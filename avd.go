@@ -1,0 +1,358 @@
+// Package avd is an atomicity-violation detector for task parallel
+// programs, reproducing "Atomicity Violation Checker for Task Parallel
+// Programs" (Yoga & Nagarakatte, CGO 2016) in pure Go.
+//
+// A Session couples a work-stealing fork-join runtime (the Intel TBB
+// stand-in) with a dynamic analysis. Programs are written against the
+// structured task API — Task.Spawn, Task.Finish, ParallelFor — and
+// declare the shared state whose step-level atomicity matters through
+// instrumented variables (IntVar, FloatVar, IntArray, FloatArray) and
+// instrumented Mutexes; this plays the role of the paper's type-qualifier
+// annotations and LLVM instrumentation pass.
+//
+// The default checker maintains the paper's dynamic program structure
+// tree (DPST) and fixed 12-entry-per-location access-history metadata to
+// report every conflict-unserializable access triple that is feasible in
+// ANY schedule of the given input, not just the observed one. A
+// reimplementation of the Velodrome checker (in-trace detection only) is
+// included as the evaluation baseline.
+//
+//	s := avd.NewSession(avd.Options{})
+//	defer s.Close()
+//	x := s.NewIntVar("X")
+//	s.Run(func(t *avd.Task) {
+//	    x.Store(t, 10)
+//	    t.Finish(func(t *avd.Task) {
+//	        t.Spawn(func(t *avd.Task) { x.Add(t, 1) }) // read + write of X
+//	        t.Spawn(func(t *avd.Task) { x.Store(t, 7) })
+//	    })
+//	})
+//	for _, v := range s.Report().Violations { fmt.Println(v) }
+package avd
+
+import (
+	"fmt"
+
+	"github.com/taskpar/avd/internal/checker"
+	"github.com/taskpar/avd/internal/dpst"
+	"github.com/taskpar/avd/internal/sched"
+	"github.com/taskpar/avd/internal/trace"
+	"github.com/taskpar/avd/internal/velodrome"
+)
+
+// Task is a dynamic task of the fork-join computation; see the sched
+// runtime for the full method set (Spawn, Finish, Parallel, Access).
+type Task = sched.Task
+
+// Mutex is an instrumented lock whose acquisitions are versioned for the
+// checker's lock handling.
+type Mutex = sched.Mutex
+
+// Loc identifies an instrumented shared-memory location.
+type Loc = sched.Loc
+
+// Violation is a detected atomicity violation (an unserializable access
+// triple feasible in some schedule of this input).
+type Violation = checker.Violation
+
+// Trace is a recorded execution trace; see Options.RecordTrace,
+// Session.RecordedTrace, and ReplayTrace.
+type Trace = trace.Trace
+
+// ParallelFor executes body(i) for i in [lo, hi) with recursive range
+// bisection and grain-sized leaves, like tbb::parallel_for.
+func ParallelFor(t *Task, lo, hi, grain int, body func(*Task, int)) {
+	sched.ParallelFor(t, lo, hi, grain, body)
+}
+
+// ParallelRange is the blocked-range form of ParallelFor: each leaf task
+// receives a whole [lo, hi) chunk of at most grain iterations, like
+// tbb::parallel_for over a blocked_range.
+func ParallelRange(t *Task, lo, hi, grain int, body func(*Task, int, int)) {
+	sched.ParallelRange(t, lo, hi, grain, body)
+}
+
+// CheckerKind selects the dynamic analysis attached to a session.
+type CheckerKind int
+
+// Available checkers.
+const (
+	// CheckerOptimized is the paper's fixed-metadata DPST checker.
+	CheckerOptimized CheckerKind = iota
+	// CheckerBasic is the unbounded access-history reference checker.
+	CheckerBasic
+	// CheckerVelodrome is the in-trace Velodrome baseline.
+	CheckerVelodrome
+	// CheckerNone runs without any instrumentation or DPST: the
+	// uninstrumented baseline of the evaluation.
+	CheckerNone
+)
+
+// String names the configuration as in the paper's figures.
+func (k CheckerKind) String() string {
+	switch k {
+	case CheckerOptimized:
+		return "our-prototype"
+	case CheckerBasic:
+		return "basic"
+	case CheckerVelodrome:
+		return "velodrome"
+	case CheckerNone:
+		return "baseline"
+	default:
+		return fmt.Sprintf("checker(%d)", int(k))
+	}
+}
+
+// Layout selects the DPST memory layout (the Figure 14 ablation).
+type Layout = dpst.Layout
+
+// DPST layouts.
+const (
+	LayoutArray  = dpst.ArrayLayout
+	LayoutLinked = dpst.LinkedLayout
+)
+
+// Options configures a Session. The zero value is the paper's default
+// configuration: the optimized checker on an array DPST with LCA caching
+// and GOMAXPROCS workers.
+type Options struct {
+	// Workers is the worker-thread count; 0 means GOMAXPROCS.
+	Workers int
+	// Checker picks the analysis; default CheckerOptimized.
+	Checker CheckerKind
+	// Layout picks the DPST layout; default LayoutArray.
+	Layout Layout
+	// DisableLCACache turns off memoization of LCA queries.
+	DisableLCACache bool
+	// StrictLockChecks enables the extension that reports pairs inside
+	// one critical section torn by unsynchronized parallel accesses
+	// (see DESIGN.md); off reproduces the paper exactly.
+	StrictLockChecks bool
+	// ReporterLimit caps retained violation details (0 = default).
+	ReporterLimit int
+	// RecordTrace additionally captures the execution into a trace
+	// (Session.RecordedTrace) that can be re-analyzed offline with
+	// ReplayTrace — record once, analyze many.
+	RecordTrace bool
+}
+
+// Session owns a runtime, an analysis, and the instrumented state
+// handles created through it.
+type Session struct {
+	sch  *sched.Scheduler
+	tree dpst.Tree
+	q    *dpst.Query
+	chk  checker.Checker
+	velo *velodrome.Checker
+	rec  *trace.Recorder
+}
+
+// NewSession creates a session and starts its worker pool; Close it when
+// done.
+func NewSession(opts Options) *Session {
+	s := &Session{}
+	var mon sched.Monitor
+	switch opts.Checker {
+	case CheckerNone:
+		// No tree, no monitor.
+	case CheckerVelodrome:
+		s.tree = dpst.New(opts.Layout)
+		s.velo = velodrome.New()
+		mon = s.velo
+	default:
+		s.tree = dpst.New(opts.Layout)
+		s.q = dpst.NewQuery(s.tree, !opts.DisableLCACache)
+		alg := checker.AlgOptimized
+		if opts.Checker == CheckerBasic {
+			alg = checker.AlgBasic
+		}
+		s.chk = checker.New(checker.Options{
+			Algorithm:        alg,
+			Query:            s.q,
+			Reporter:         checker.NewReporter(opts.ReporterLimit),
+			StrictLockChecks: opts.StrictLockChecks,
+		})
+		mon = s.chk
+	}
+	if opts.RecordTrace {
+		s.rec = trace.NewRecorder()
+		if mon == nil {
+			mon = s.rec
+		} else {
+			mon = &teeMonitor{a: mon, b: s.rec}
+		}
+	}
+	s.sch = sched.New(sched.Options{
+		Workers: opts.Workers,
+		Tree:    s.tree,
+		Monitor: mon,
+	})
+	return s
+}
+
+// teeMonitor fans instrumented events out to two monitors, forwarding
+// the structural events to whichever of them observes structure.
+type teeMonitor struct {
+	a, b sched.Monitor
+}
+
+func (m *teeMonitor) OnAccess(t *Task, loc Loc, write bool) {
+	m.a.OnAccess(t, loc, write)
+	m.b.OnAccess(t, loc, write)
+}
+
+func (m *teeMonitor) OnAcquire(t *Task, mu *Mutex) {
+	m.a.OnAcquire(t, mu)
+	m.b.OnAcquire(t, mu)
+}
+
+func (m *teeMonitor) OnRelease(t *Task, mu *Mutex) {
+	m.a.OnRelease(t, mu)
+	m.b.OnRelease(t, mu)
+}
+
+func (m *teeMonitor) each(f func(sched.StructureObserver)) {
+	if so, ok := m.a.(sched.StructureObserver); ok {
+		f(so)
+	}
+	if so, ok := m.b.(sched.StructureObserver); ok {
+		f(so)
+	}
+}
+
+func (m *teeMonitor) OnSpawn(parent *Task, child int32) {
+	m.each(func(so sched.StructureObserver) { so.OnSpawn(parent, child) })
+}
+
+func (m *teeMonitor) OnFinishBegin(t *Task) {
+	m.each(func(so sched.StructureObserver) { so.OnFinishBegin(t) })
+}
+
+func (m *teeMonitor) OnFinishEnd(t *Task) {
+	m.each(func(so sched.StructureObserver) { so.OnFinishEnd(t) })
+}
+
+func (m *teeMonitor) OnTaskEnd(t *Task) {
+	m.each(func(so sched.StructureObserver) { so.OnTaskEnd(t) })
+}
+
+// RecordedTrace returns the trace captured so far (Options.RecordTrace
+// must be set; nil otherwise). Call it after Run has returned.
+func (s *Session) RecordedTrace() *Trace {
+	if s.rec == nil {
+		return nil
+	}
+	return s.rec.Trace()
+}
+
+// ReplayTrace re-analyzes a recorded (or generated) trace offline with
+// the checker selected by opts: the DPST is rebuilt from the trace's
+// structural events and every access is fed to the analysis exactly as
+// during a live run. CheckerNone is rejected — there is nothing to
+// replay into.
+func ReplayTrace(tr *Trace, opts Options) (Report, error) {
+	var rep Report
+	tree := dpst.New(opts.Layout)
+	switch opts.Checker {
+	case CheckerVelodrome:
+		v := velodrome.New()
+		if err := trace.Replay(tr, tree, v, v); err != nil {
+			return rep, err
+		}
+		rep.Cycles = v.Count()
+		rep.ViolationCount = v.Count()
+		rep.Stats.DPSTNodes = tree.Len()
+	case CheckerOptimized, CheckerBasic:
+		alg := checker.AlgOptimized
+		if opts.Checker == CheckerBasic {
+			alg = checker.AlgBasic
+		}
+		q := dpst.NewQuery(tree, !opts.DisableLCACache)
+		c := checker.New(checker.Options{
+			Algorithm:        alg,
+			Query:            q,
+			Reporter:         checker.NewReporter(opts.ReporterLimit),
+			StrictLockChecks: opts.StrictLockChecks,
+		})
+		if err := trace.Replay(tr, tree, c, nil); err != nil {
+			return rep, err
+		}
+		rep.Violations = c.Reporter().Violations()
+		rep.ViolationCount = c.Reporter().Count()
+		rep.Stats.Locations = c.Stats().Locations
+		rep.Stats.DPSTNodes = tree.Len()
+		qs := q.Stats()
+		rep.Stats.LCAQueries = qs.LCAQueries
+		rep.Stats.UniqueLCAs = qs.UniqueLCAs
+	default:
+		return rep, fmt.Errorf("avd: ReplayTrace requires an analyzing checker, got %v", opts.Checker)
+	}
+	return rep, nil
+}
+
+// Run executes body as the root task and waits for the whole computation.
+func (s *Session) Run(body func(*Task)) { s.sch.Run(body) }
+
+// Close stops the worker pool.
+func (s *Session) Close() { s.sch.Close() }
+
+// NewMutex creates an instrumented mutex.
+func (s *Session) NewMutex(name string) *Mutex { return s.sch.NewMutex(name) }
+
+// Stats are the per-run measurements reported in Table 1 of the paper.
+type Stats struct {
+	// Locations is the number of unique instrumented locations accessed.
+	Locations int64
+	// DPSTNodes is the number of nodes in the DPST.
+	DPSTNodes int
+	// LCAQueries is the number of least-common-ancestor queries issued.
+	LCAQueries int64
+	// UniqueLCAs is the number of distinct LCA queries (cache misses).
+	UniqueLCAs int64
+}
+
+// UniquePercent is the percentage of LCA queries that were unique, or 0
+// when none were issued (shown as -NA- in Table 1).
+func (st Stats) UniquePercent() float64 {
+	if st.LCAQueries == 0 {
+		return 0
+	}
+	return 100 * float64(st.UniqueLCAs) / float64(st.LCAQueries)
+}
+
+// Report is the outcome of a session's runs.
+type Report struct {
+	// Violations lists distinct atomicity violations (DPST checkers).
+	Violations []Violation
+	// ViolationCount counts distinct violations, including any beyond
+	// the retention limit.
+	ViolationCount int64
+	// Cycles counts Velodrome serializability cycles (Velodrome only).
+	Cycles int64
+	// Stats carries the Table 1 measurements.
+	Stats Stats
+}
+
+// Report returns the analysis results accumulated so far.
+func (s *Session) Report() Report {
+	var r Report
+	if s.chk != nil {
+		r.Violations = s.chk.Reporter().Violations()
+		r.ViolationCount = s.chk.Reporter().Count()
+		r.Stats.Locations = s.chk.Stats().Locations
+	}
+	if s.velo != nil {
+		r.Cycles = s.velo.Count()
+		r.ViolationCount = s.velo.Count()
+	}
+	if s.tree != nil {
+		r.Stats.DPSTNodes = s.tree.Len()
+	}
+	if s.q != nil {
+		qs := s.q.Stats()
+		r.Stats.LCAQueries = qs.LCAQueries
+		r.Stats.UniqueLCAs = qs.UniqueLCAs
+	}
+	return r
+}

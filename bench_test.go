@@ -1,0 +1,178 @@
+package avd_test
+
+import (
+	"math/rand"
+	"testing"
+
+	avd "github.com/taskpar/avd"
+	"github.com/taskpar/avd/internal/bench"
+	"github.com/taskpar/avd/internal/checker"
+	"github.com/taskpar/avd/internal/dpst"
+	"github.com/taskpar/avd/internal/harness"
+	"github.com/taskpar/avd/internal/sptest"
+	"github.com/taskpar/avd/internal/suite"
+	"github.com/taskpar/avd/internal/trace"
+	"github.com/taskpar/avd/internal/velodrome"
+)
+
+// benchScale shrinks the default problem sizes so the full `go test
+// -bench=.` sweep stays in the minutes range; use cmd/avd-bench and
+// cmd/avd-stats for full-size runs.
+const benchScale = 0.5
+
+func benchKernel(b *testing.B, k bench.Kernel, cfg harness.Config) {
+	n := harness.Sizes(benchScale)[k.Name]
+	b.ReportAllocs()
+	var rep avd.Report
+	for i := 0; i < b.N; i++ {
+		s := avd.NewSession(cfg.Opts)
+		sum := k.Run(s, n)
+		rep = s.Report()
+		s.Close()
+		if err := k.Check(n, sum); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if rep.ViolationCount != 0 {
+		b.Fatalf("kernel %s reported %d violations", k.Name, rep.ViolationCount)
+	}
+}
+
+// BenchmarkTable1 regenerates the Table 1 measurements: each kernel runs
+// under the optimized checker and reports its location, DPST-node, and
+// LCA-query counts as benchmark metrics.
+func BenchmarkTable1(b *testing.B) {
+	for _, k := range bench.All() {
+		k := k
+		b.Run(k.Name, func(b *testing.B) {
+			n := harness.Sizes(benchScale)[k.Name]
+			var rep avd.Report
+			for i := 0; i < b.N; i++ {
+				s := avd.NewSession(avd.Options{})
+				if sum := k.Run(s, n); k.Check(n, sum) != nil {
+					b.Fatal("checksum mismatch")
+				}
+				rep = s.Report()
+				s.Close()
+			}
+			b.ReportMetric(float64(rep.Stats.Locations), "locations")
+			b.ReportMetric(float64(rep.Stats.DPSTNodes), "dpst-nodes")
+			b.ReportMetric(float64(rep.Stats.LCAQueries), "lca-queries")
+			b.ReportMetric(rep.Stats.UniquePercent(), "%unique-lca")
+		})
+	}
+}
+
+// BenchmarkFigure13 regenerates the Figure 13 configurations: the
+// uninstrumented baseline, our prototype, and the Velodrome baseline.
+// The slowdown for a kernel is the ratio of the prototype/velodrome
+// ns/op to the baseline ns/op.
+func BenchmarkFigure13(b *testing.B) {
+	configs := []harness.Config{
+		harness.Baseline(0),
+		harness.Prototype(0),
+		harness.Velodrome(0),
+	}
+	for _, cfg := range configs {
+		cfg := cfg
+		b.Run(cfg.Name, func(b *testing.B) {
+			for _, k := range bench.All() {
+				k := k
+				b.Run(k.Name, func(b *testing.B) { benchKernel(b, k, cfg) })
+			}
+		})
+	}
+}
+
+// BenchmarkFigure14 regenerates the Figure 14 ablation: the checker on
+// the array-based DPST vs the linked DPST.
+func BenchmarkFigure14(b *testing.B) {
+	configs := []harness.Config{
+		harness.Prototype(0),
+		harness.PrototypeLinked(0),
+	}
+	for _, cfg := range configs {
+		cfg := cfg
+		b.Run(cfg.Name, func(b *testing.B) {
+			for _, k := range bench.All() {
+				k := k
+				b.Run(k.Name, func(b *testing.B) { benchKernel(b, k, cfg) })
+			}
+		})
+	}
+}
+
+// BenchmarkDetectionSuite measures one pass of the 36-program detection
+// suite (experiment E4).
+func BenchmarkDetectionSuite(b *testing.B) {
+	programs := suite.Programs()
+	for i := 0; i < b.N; i++ {
+		for _, p := range programs {
+			rep := p.Execute(avd.Options{})
+			if (rep.ViolationCount > 0) != p.Want {
+				b.Fatalf("%s misbehaved", p.Name)
+			}
+		}
+	}
+}
+
+// BenchmarkTraceReplay measures the trace generator plus offline replay
+// pipeline (experiment E5) for both the optimized checker and Velodrome.
+func BenchmarkTraceReplay(b *testing.B) {
+	r := rand.New(rand.NewSource(42))
+	p := sptest.Random(r, sptest.GenConfig{
+		MaxItems: 6, MaxDepth: 4, MaxSteps: 400,
+		Locations: 20, MaxAccess: 6, Locks: 2, LockProb: 0.3,
+	})
+	tr, err := trace.FromProgram(p, r)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("optimized", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			tree := dpst.NewArrayTree()
+			c := checker.New(checker.Options{Query: dpst.NewQuery(tree, true)})
+			if err := trace.Replay(tr, tree, c, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("velodrome", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			tree := dpst.NewArrayTree()
+			v := velodrome.New()
+			if err := trace.Replay(tr, tree, v, v); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkDPSTQueries isolates the cost of Par queries on a large tree,
+// the operation the array layout optimizes (Figure 14's mechanism).
+func BenchmarkDPSTQueries(b *testing.B) {
+	for _, layout := range []dpst.Layout{dpst.ArrayLayout, dpst.LinkedLayout} {
+		layout := layout
+		b.Run(layout.String(), func(b *testing.B) {
+			tree := dpst.New(layout)
+			root := tree.NewNode(dpst.None, dpst.Finish, 0)
+			var steps []dpst.NodeID
+			// A comb of finish/async levels with steps at each depth.
+			parent := root
+			for d := 0; d < 200; d++ {
+				a := tree.NewNode(parent, dpst.Async, 0)
+				steps = append(steps, tree.NewNode(a, dpst.Step, int32(d)))
+				parent = tree.NewNode(parent, dpst.Finish, 0)
+			}
+			q := dpst.NewQuery(tree, false) // uncached: measure the walk
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				a := steps[i%len(steps)]
+				c := steps[(i*7+13)%len(steps)]
+				_ = q.Par(a, c)
+			}
+		})
+	}
+}

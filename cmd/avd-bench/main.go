@@ -1,0 +1,65 @@
+// Command avd-bench regenerates the performance figures of the paper:
+// Figure 13 (checker slowdown vs the reimplemented Velodrome, both
+// relative to an uninstrumented baseline) and Figure 14 (array-based vs
+// linked DPST layouts).
+//
+// Usage:
+//
+//	avd-bench [-figure 13|14|all] [-workers N] [-scale F] [-reps N]
+//
+// As in the paper, each benchmark is executed repeatedly and the average
+// is reported; absolute times depend on this machine, but the shape —
+// who wins and by roughly what factor — should match the paper.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"github.com/taskpar/avd/internal/harness"
+)
+
+func main() {
+	figure := flag.String("figure", "all", "which figure to regenerate: 13, 14, or all")
+	ablation := flag.String("ablation", "", "extra ablation to run instead of the figures: metadata")
+	seed := flag.Int64("seed", 1, "seed for ablation workloads")
+	workers := flag.Int("workers", 0, "worker threads (0 = GOMAXPROCS)")
+	scale := flag.Float64("scale", 1, "problem-size multiplier")
+	reps := flag.Int("reps", 3, "repetitions per measurement (the paper uses 5)")
+	flag.Parse()
+
+	if *ablation != "" {
+		switch *ablation {
+		case "metadata":
+			if err := harness.MetadataAblation(os.Stdout, *seed); err != nil {
+				log.Fatal(err)
+			}
+		default:
+			log.Fatalf("unknown -ablation %q (want metadata)", *ablation)
+		}
+		return
+	}
+
+	switch *figure {
+	case "13":
+		if err := harness.Figure13(os.Stdout, *workers, *scale, *reps); err != nil {
+			log.Fatal(err)
+		}
+	case "14":
+		if err := harness.Figure14(os.Stdout, *workers, *scale, *reps); err != nil {
+			log.Fatal(err)
+		}
+	case "all":
+		if err := harness.Figure13(os.Stdout, *workers, *scale, *reps); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println()
+		if err := harness.Figure14(os.Stdout, *workers, *scale, *reps); err != nil {
+			log.Fatal(err)
+		}
+	default:
+		log.Fatalf("unknown -figure %q (want 13, 14, or all)", *figure)
+	}
+}

@@ -1,0 +1,26 @@
+// Command avd-stats regenerates Table 1 of the paper: per-benchmark
+// unique locations, DPST node counts, LCA query counts, and the unique
+// LCA percentage, measured under the atomicity checker.
+//
+// Usage:
+//
+//	avd-stats [-workers N] [-scale F] [-reps N]
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+
+	"github.com/taskpar/avd/internal/harness"
+)
+
+func main() {
+	workers := flag.Int("workers", 0, "worker threads (0 = GOMAXPROCS)")
+	scale := flag.Float64("scale", 1, "problem-size multiplier")
+	reps := flag.Int("reps", 1, "repetitions per benchmark")
+	flag.Parse()
+	if err := harness.Table1(os.Stdout, *workers, *scale, *reps); err != nil {
+		log.Fatal(err)
+	}
+}

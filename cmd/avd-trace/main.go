@@ -1,0 +1,186 @@
+// Command avd-trace is the paper's trace generator and offline checker:
+// it generates random structured task parallel programs, schedules them
+// into valid interleavings, replays traces through the detectors, and
+// cross-checks the one-trace detection result against the all-schedules
+// oracle.
+//
+// Usage:
+//
+//	avd-trace -gen [-steps N] [-locations N] [-locks N] [-seed N] [-o file]
+//	avd-trace -check [-algorithm optimized|basic|velodrome] [-i file]
+//	avd-trace -selfcheck [-trials N] [-seed N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"math/rand"
+	"os"
+
+	"github.com/taskpar/avd/internal/checker"
+	"github.com/taskpar/avd/internal/dpst"
+	"github.com/taskpar/avd/internal/oracle"
+	"github.com/taskpar/avd/internal/sptest"
+	"github.com/taskpar/avd/internal/trace"
+	"github.com/taskpar/avd/internal/velodrome"
+)
+
+func main() {
+	gen := flag.Bool("gen", false, "generate a random trace to -o")
+	check := flag.Bool("check", false, "replay the trace from -i through a checker")
+	selfcheck := flag.Bool("selfcheck", false, "generate programs and compare one-trace detection with the all-schedules oracle")
+	steps := flag.Int("steps", 12, "generation: maximum steps")
+	locations := flag.Int("locations", 3, "generation: shared locations")
+	locks := flag.Int("locks", 1, "generation: number of locks")
+	lockProb := flag.Float64("lockprob", 0.3, "generation: probability an access run is locked")
+	seed := flag.Int64("seed", 1, "random seed")
+	trials := flag.Int("trials", 200, "selfcheck: number of programs")
+	algorithm := flag.String("algorithm", "optimized", "check: optimized, basic, or velodrome")
+	strict := flag.Bool("strict", false, "enable the strict-lock extension (and compare against the full oracle in -selfcheck)")
+	in := flag.String("i", "-", "input trace file (- = stdin)")
+	out := flag.String("o", "-", "output trace file (- = stdout)")
+	flag.Parse()
+
+	switch {
+	case *gen:
+		if err := runGen(*steps, *locations, *locks, *lockProb, *seed, *out); err != nil {
+			log.Fatal(err)
+		}
+	case *check:
+		if err := runCheck(*algorithm, *in, *strict); err != nil {
+			log.Fatal(err)
+		}
+	case *selfcheck:
+		if err := runSelfcheck(*trials, *steps, *locations, *locks, *lockProb, *seed, *strict); err != nil {
+			log.Fatal(err)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func genConfig(steps, locations, locks int, lockProb float64) sptest.GenConfig {
+	return sptest.GenConfig{
+		MaxItems: 4, MaxDepth: 3, MaxSteps: steps,
+		Locations: locations, MaxAccess: 4,
+		Locks: locks, LockProb: lockProb,
+	}
+}
+
+func runGen(steps, locations, locks int, lockProb float64, seed int64, out string) error {
+	r := rand.New(rand.NewSource(seed))
+	p := sptest.Random(r, genConfig(steps, locations, locks, lockProb))
+	tr, err := trace.FromProgram(p, r)
+	if err != nil {
+		return err
+	}
+	w := io.Writer(os.Stdout)
+	if out != "-" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	fmt.Fprintf(os.Stderr, "generated program:\n%s", p)
+	return tr.Encode(w)
+}
+
+func runCheck(algorithm, in string, strict bool) error {
+	r := io.Reader(os.Stdin)
+	if in != "-" {
+		f, err := os.Open(in)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+	tr, err := trace.Decode(r)
+	if err != nil {
+		return err
+	}
+	tree := dpst.NewArrayTree()
+	switch algorithm {
+	case "velodrome":
+		v := velodrome.New()
+		if err := trace.Replay(tr, tree, v, v); err != nil {
+			return err
+		}
+		for _, c := range v.Cycles() {
+			fmt.Println(c)
+		}
+		fmt.Printf("%d cycles in %d events (%d tasks, %d DPST nodes)\n",
+			v.Count(), len(tr.Events), tr.Tasks, tree.Len())
+	case "optimized", "basic":
+		alg := checker.AlgOptimized
+		if algorithm == "basic" {
+			alg = checker.AlgBasic
+		}
+		q := dpst.NewQuery(tree, true)
+		c := checker.New(checker.Options{Algorithm: alg, Query: q, StrictLockChecks: strict})
+		if err := trace.Replay(tr, tree, c, nil); err != nil {
+			return err
+		}
+		for _, v := range c.Reporter().Violations() {
+			fmt.Println(v)
+		}
+		st := q.Stats()
+		fmt.Printf("%d violations in %d events (%d tasks, %d DPST nodes, %d LCA queries)\n",
+			c.Reporter().Count(), len(tr.Events), tr.Tasks, st.Nodes, st.LCAQueries)
+	default:
+		return fmt.Errorf("unknown algorithm %q", algorithm)
+	}
+	return nil
+}
+
+func runSelfcheck(trials, steps, locations, locks int, lockProb float64, seed int64, strict bool) error {
+	r := rand.New(rand.NewSource(seed))
+	mismatches := 0
+	detected := 0
+	mode := oracle.ModePaper
+	if strict {
+		mode = oracle.ModeFull
+	}
+	for i := 0; i < trials; i++ {
+		p := sptest.Random(r, genConfig(steps, locations, locks, lockProb))
+		b := sptest.Build(dpst.ArrayLayout, p)
+		want := oracle.Violations(b, mode)
+		tr, err := trace.FromProgram(p, r)
+		if err != nil {
+			return err
+		}
+		tree := dpst.NewArrayTree()
+		c := checker.New(checker.Options{Query: dpst.NewQuery(tree, true), StrictLockChecks: strict})
+		if err := trace.Replay(tr, tree, c, nil); err != nil {
+			return err
+		}
+		got := map[int]bool{}
+		for _, v := range c.Reporter().Violations() {
+			got[int(v.Loc-trace.LocBase)] = true
+		}
+		same := len(got) == len(want)
+		for l := range got {
+			if !want[l] {
+				same = false
+			}
+		}
+		if !same {
+			mismatches++
+			fmt.Printf("MISMATCH (trial %d): checker=%v oracle=%v\nprogram:\n%s\n", i, got, want, p)
+		}
+		if len(want) > 0 {
+			detected++
+		}
+	}
+	fmt.Printf("selfcheck: %d trials, %d with feasible violations, %d mismatches vs oracle\n",
+		trials, detected, mismatches)
+	if mismatches > 0 {
+		return fmt.Errorf("%d mismatches", mismatches)
+	}
+	return nil
+}

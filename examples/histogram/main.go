@@ -1,0 +1,62 @@
+// Histogram: a realistic violation-free parallel kernel and what its
+// checker report looks like.
+//
+// A parallel_for over the input privatizes per-leaf bucket counts and
+// merges them under a striped lock, one critical section per bucket per
+// leaf — the reduction idiom all thirteen benchmark kernels use. The
+// checker verifies every feasible schedule is serializable: zero
+// violations, and the run prints the Table 1 style statistics (unique
+// locations, DPST nodes, LCA queries) for the execution.
+//
+//	go run ./examples/histogram
+package main
+
+import (
+	"fmt"
+
+	avd "github.com/taskpar/avd"
+)
+
+const (
+	items   = 100_000
+	buckets = 32
+)
+
+func main() {
+	s := avd.NewSession(avd.Options{})
+	defer s.Close()
+
+	hist := s.NewIntArray("histogram", buckets)
+	locks := make([]*avd.Mutex, buckets)
+	for i := range locks {
+		locks[i] = s.NewMutex(fmt.Sprintf("bucket-%d", i))
+	}
+
+	s.Run(func(t *avd.Task) {
+		avd.ParallelRange(t, 0, items, 256, func(t *avd.Task, lo, hi int) {
+			var local [buckets]int64
+			for i := lo; i < hi; i++ {
+				v := uint64(i) * 2654435761
+				local[v%buckets]++
+			}
+			for b := 0; b < buckets; b++ {
+				if local[b] == 0 {
+					continue
+				}
+				locks[b].Lock(t)
+				hist.Add(t, b, local[b])
+				locks[b].Unlock(t)
+			}
+		})
+	})
+
+	var total int64
+	for b := 0; b < buckets; b++ {
+		total += hist.Value(b)
+	}
+	rep := s.Report()
+	fmt.Printf("histogram total = %d (want %d)\n", total, items)
+	fmt.Printf("violations: %d (a correctly synchronized reduction)\n", rep.ViolationCount)
+	fmt.Printf("stats: %d locations, %d DPST nodes, %d LCA queries (%.1f%% unique)\n",
+		rep.Stats.Locations, rep.Stats.DPSTNodes, rep.Stats.LCAQueries, rep.Stats.UniquePercent())
+}

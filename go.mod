@@ -1,0 +1,3 @@
+module github.com/taskpar/avd
+
+go 1.22

@@ -1,0 +1,119 @@
+// Package bench implements the thirteen benchmark applications of the
+// paper's evaluation (Table 1, Figures 13 and 14) as miniature-but-real
+// task parallel kernels on the avd runtime: five TBB applications from
+// PARSEC (blackscholes, bodytrack, streamcluster, swaptions,
+// fluidanimate), five geometry/graphics applications from PBBS
+// (convexhull, delrefine, deltriang, nearestneigh, raycast — plus sort),
+// and kernels from the Structured Parallel Programming book (karatsuba,
+// kmeans, sort).
+//
+// Each kernel keeps the original application's algorithmic skeleton and,
+// importantly for the evaluation, its sharing profile: which data is
+// shared, how often steps revisit locations (driving two-access
+// patterns and LCA queries), and how accumulations are locked. All
+// kernels are properly synchronized — like the paper's benchmarks they
+// are performance workloads, so a precise checker must report zero
+// violations on them (asserted by the tests).
+package bench
+
+import (
+	"fmt"
+	"math"
+
+	avd "github.com/taskpar/avd"
+)
+
+// Kernel is one benchmark application.
+type Kernel struct {
+	// Name matches Table 1 of the paper.
+	Name string
+	// DefaultN is the default problem size used by the harness.
+	DefaultN int
+	// Run executes one instance on the session (which may be configured
+	// with any checker) and returns a checksum.
+	Run func(s *avd.Session, n int) float64
+	// Check validates the checksum for problem size n.
+	Check func(n int, sum float64) error
+}
+
+// All returns the thirteen kernels in the paper's Table 1 order.
+func All() []Kernel {
+	return []Kernel{
+		Blackscholes(),
+		Bodytrack(),
+		Streamcluster(),
+		Swaptions(),
+		Fluidanimate(),
+		Convexhull(),
+		Delrefine(),
+		Deltriang(),
+		Karatsuba(),
+		Kmeans(),
+		Nearestneigh(),
+		Raycast(),
+		Sort(),
+	}
+}
+
+// ByName returns the kernel with the given name.
+func ByName(name string) (Kernel, error) {
+	for _, k := range All() {
+		if k.Name == name {
+			return k, nil
+		}
+	}
+	return Kernel{}, fmt.Errorf("bench: unknown kernel %q", name)
+}
+
+// rng is a small deterministic xorshift64* generator so kernels are
+// reproducible without math/rand allocation overhead in hot loops.
+type rng uint64
+
+func newRng(seed uint64) rng {
+	if seed == 0 {
+		seed = 0x9E3779B97F4A7C15
+	}
+	return rng(seed)
+}
+
+func (r *rng) next() uint64 {
+	x := uint64(*r)
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	*r = rng(x)
+	return x * 0x2545F4914F6CDD1D
+}
+
+// float returns a uniform float64 in [0, 1).
+func (r *rng) float() float64 {
+	return float64(r.next()>>11) / float64(1<<53)
+}
+
+// intn returns a uniform int in [0, n).
+func (r *rng) intn(n int) int {
+	return int(r.next() % uint64(n))
+}
+
+// approxEqual compares checksums with a relative tolerance; parallel
+// floating-point reductions are order-sensitive.
+func approxEqual(got, want, relTol float64) bool {
+	if got == want {
+		return true
+	}
+	diff := math.Abs(got - want)
+	scale := math.Max(math.Abs(got), math.Abs(want))
+	return diff <= relTol*math.Max(scale, 1)
+}
+
+// grainFor picks a fine leaf grain (roughly 2048 leaves per loop),
+// mirroring the fine task granularity of the paper's TBB benchmarks —
+// Table 1's DPST sizes and unique-LCA fractions presuppose many small
+// steps.
+func grainFor(n, _ int) int {
+	g := n / 2048
+	if g < 1 {
+		g = 1
+	}
+	return g
+}

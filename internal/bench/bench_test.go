@@ -1,0 +1,177 @@
+package bench_test
+
+import (
+	"testing"
+
+	avd "github.com/taskpar/avd"
+	"github.com/taskpar/avd/internal/bench"
+)
+
+// testSize shrinks the default problem size so checked configurations
+// stay fast in unit tests.
+func testSize(k bench.Kernel) int {
+	n := k.DefaultN / 4
+	switch k.Name {
+	case "fluidanimate", "raycast": // n is a grid/image dimension
+		n = k.DefaultN / 2
+	case "swaptions":
+		n = 8
+	case "karatsuba":
+		n = 256
+	}
+	if n < 8 {
+		n = 8
+	}
+	return n
+}
+
+func TestRegistry(t *testing.T) {
+	ks := bench.All()
+	if len(ks) != 13 {
+		t.Fatalf("registry has %d kernels, want 13", len(ks))
+	}
+	names := map[string]bool{}
+	for _, k := range ks {
+		if k.Name == "" || k.Run == nil || k.Check == nil || k.DefaultN <= 0 {
+			t.Errorf("kernel %q incompletely defined", k.Name)
+		}
+		if names[k.Name] {
+			t.Errorf("duplicate kernel %q", k.Name)
+		}
+		names[k.Name] = true
+	}
+	if _, err := bench.ByName("kmeans"); err != nil {
+		t.Error(err)
+	}
+	if _, err := bench.ByName("nope"); err == nil {
+		t.Error("ByName must reject unknown kernels")
+	}
+}
+
+// TestKernelsCorrectUninstrumented runs every kernel on the baseline
+// configuration and validates the checksum against the serial reference.
+func TestKernelsCorrectUninstrumented(t *testing.T) {
+	for _, k := range bench.All() {
+		k := k
+		t.Run(k.Name, func(t *testing.T) {
+			t.Parallel()
+			n := testSize(k)
+			s := avd.NewSession(avd.Options{Workers: 4, Checker: avd.CheckerNone})
+			defer s.Close()
+			sum := k.Run(s, n)
+			if err := k.Check(n, sum); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestKernelsCorrectAndCleanUnderChecker runs every kernel under the
+// optimized checker: results must stay correct and, because all kernels
+// are properly synchronized, the checker must report zero violations
+// (the paper's benchmarks are violation-free performance workloads).
+func TestKernelsCorrectAndCleanUnderChecker(t *testing.T) {
+	for _, k := range bench.All() {
+		k := k
+		t.Run(k.Name, func(t *testing.T) {
+			t.Parallel()
+			n := testSize(k)
+			s := avd.NewSession(avd.Options{Workers: 4})
+			defer s.Close()
+			sum := k.Run(s, n)
+			if err := k.Check(n, sum); err != nil {
+				t.Fatal(err)
+			}
+			rep := s.Report()
+			if rep.ViolationCount != 0 {
+				t.Fatalf("checker reported %d violations on a synchronized kernel:\n%v",
+					rep.ViolationCount, rep.Violations)
+			}
+			if rep.Stats.Locations == 0 || rep.Stats.DPSTNodes == 0 {
+				t.Errorf("missing stats: %+v", rep.Stats)
+			}
+		})
+	}
+}
+
+// TestKernelsCleanUnderStrictChecker: the kernels must stay clean even
+// under the strict-lock extension, which additionally reports
+// same-critical-section pairs torn by unsynchronized parallel accesses —
+// i.e. the kernels are free of that class of races too.
+func TestKernelsCleanUnderStrictChecker(t *testing.T) {
+	for _, k := range bench.All() {
+		k := k
+		t.Run(k.Name, func(t *testing.T) {
+			t.Parallel()
+			n := testSize(k)
+			s := avd.NewSession(avd.Options{Workers: 4, StrictLockChecks: true})
+			defer s.Close()
+			sum := k.Run(s, n)
+			if err := k.Check(n, sum); err != nil {
+				t.Fatal(err)
+			}
+			if rep := s.Report(); rep.ViolationCount != 0 {
+				t.Fatalf("strict checker reported %d violations:\n%v",
+					rep.ViolationCount, rep.Violations)
+			}
+		})
+	}
+}
+
+// TestKernelsUnderVelodrome: the baseline checker must also run every
+// kernel correctly and silently.
+func TestKernelsUnderVelodrome(t *testing.T) {
+	for _, k := range bench.All() {
+		k := k
+		t.Run(k.Name, func(t *testing.T) {
+			t.Parallel()
+			n := testSize(k)
+			s := avd.NewSession(avd.Options{Workers: 4, Checker: avd.CheckerVelodrome})
+			defer s.Close()
+			sum := k.Run(s, n)
+			if err := k.Check(n, sum); err != nil {
+				t.Fatal(err)
+			}
+			if c := s.Report().Cycles; c != 0 {
+				t.Fatalf("velodrome reported %d cycles on a synchronized kernel", c)
+			}
+		})
+	}
+}
+
+// TestKernelsLinkedLayout exercises the Figure 14 ablation configuration.
+func TestKernelsLinkedLayout(t *testing.T) {
+	for _, k := range bench.All() {
+		k := k
+		t.Run(k.Name, func(t *testing.T) {
+			t.Parallel()
+			n := testSize(k)
+			s := avd.NewSession(avd.Options{Workers: 4, Layout: avd.LayoutLinked})
+			defer s.Close()
+			sum := k.Run(s, n)
+			if err := k.Check(n, sum); err != nil {
+				t.Fatal(err)
+			}
+			if s.Report().ViolationCount != 0 {
+				t.Fatal("linked layout must agree: zero violations")
+			}
+		})
+	}
+}
+
+// TestBlackscholesZeroLCAs asserts the Table 1 peculiarity the paper
+// calls out: blackscholes performs no LCA queries at all.
+func TestBlackscholesZeroLCAs(t *testing.T) {
+	k, err := bench.ByName("blackscholes")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := avd.NewSession(avd.Options{Workers: 4})
+	defer s.Close()
+	if sum := k.Run(s, 2000); k.Check(2000, sum) != nil {
+		t.Fatal("blackscholes incorrect")
+	}
+	if q := s.Report().Stats.LCAQueries; q != 0 {
+		t.Fatalf("blackscholes issued %d LCA queries, want 0", q)
+	}
+}

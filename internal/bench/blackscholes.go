@@ -1,0 +1,120 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+
+	avd "github.com/taskpar/avd"
+)
+
+// blackscholesInputs generates the option portfolio deterministically.
+type bsOption struct {
+	spot, strike, rate, vol, time float64
+	call                          bool
+}
+
+func bsInputs(n int) []bsOption {
+	r := newRng(42)
+	opts := make([]bsOption, n)
+	for i := range opts {
+		opts[i] = bsOption{
+			spot:   50 + 100*r.float(),
+			strike: 50 + 100*r.float(),
+			rate:   0.01 + 0.09*r.float(),
+			vol:    0.1 + 0.5*r.float(),
+			time:   0.25 + 1.75*r.float(),
+			call:   r.intn(2) == 0,
+		}
+	}
+	return opts
+}
+
+// cndf is the cumulative normal distribution approximation used by the
+// PARSEC blackscholes kernel (Abramowitz & Stegun 26.2.17).
+func cndf(x float64) float64 {
+	sign := false
+	if x < 0 {
+		x = -x
+		sign = true
+	}
+	k := 1 / (1 + 0.2316419*x)
+	poly := k * (0.319381530 + k*(-0.356563782+k*(1.781477937+k*(-1.821255978+k*1.330274429))))
+	v := 1 - 1/math.Sqrt(2*math.Pi)*math.Exp(-0.5*x*x)*poly
+	if sign {
+		return 1 - v
+	}
+	return v
+}
+
+// bsPrice computes the Black-Scholes price of one option.
+func bsPrice(o bsOption) float64 {
+	sqrtT := math.Sqrt(o.time)
+	d1 := (math.Log(o.spot/o.strike) + (o.rate+0.5*o.vol*o.vol)*o.time) / (o.vol * sqrtT)
+	d2 := d1 - o.vol*sqrtT
+	if o.call {
+		return o.spot*cndf(d1) - o.strike*math.Exp(-o.rate*o.time)*cndf(d2)
+	}
+	return o.strike*math.Exp(-o.rate*o.time)*cndf(-d2) - o.spot*cndf(-d1)
+}
+
+// bsValue prices the option and its first-order Greeks (delta and vega
+// by central finite differences), the full per-option computation of the
+// PARSEC kernel's verification mode. The result folds price and Greeks
+// into one output value.
+func bsValue(o bsOption) float64 {
+	price := bsPrice(o)
+	up, dn := o, o
+	up.spot *= 1.001
+	dn.spot *= 0.999
+	delta := (bsPrice(up) - bsPrice(dn)) / (0.002 * o.spot)
+	uv, dv := o, o
+	uv.vol += 0.001
+	dv.vol -= 0.001
+	vega := (bsPrice(uv) - bsPrice(dv)) / 0.002
+	return price + 0.1*delta + 0.001*vega
+}
+
+// Blackscholes is the PARSEC option-pricing kernel: a pure parallel_for
+// over independent options. Every instrumented location (the per-option
+// inputs and the output price) is touched exactly once, by one step, so
+// the checker issues zero LCA queries — the profile Table 1 reports.
+func Blackscholes() Kernel {
+	run := func(s *avd.Session, n int) float64 {
+		opts := bsInputs(n)
+		spot := s.NewFloatArray("spot", n)
+		strike := s.NewFloatArray("strike", n)
+		prices := s.NewFloatArray("prices", n)
+		var sum float64
+		s.Run(func(t *avd.Task) {
+			// Streaming the portfolio into the instrumented input arrays
+			// is part of the measured kernel, as in PARSEC.
+			for i, o := range opts {
+				spot.Store(t, i, o.spot)
+				strike.Store(t, i, o.strike)
+			}
+			avd.ParallelFor(t, 0, n, grainFor(n, 8), func(t *avd.Task, i int) {
+				o := opts[i]
+				o.spot = spot.Load(t, i)
+				o.strike = strike.Load(t, i)
+				prices.Store(t, i, bsValue(o))
+			})
+			// The final reduction is sequential, over uninstrumented
+			// values, mirroring the benchmark's verification pass.
+			for i := 0; i < n; i++ {
+				sum += prices.Value(i)
+			}
+		})
+		return sum
+	}
+	check := func(n int, sum float64) error {
+		var want float64
+		for _, o := range bsInputs(n) {
+			want += bsValue(o)
+		}
+		if !approxEqual(sum, want, 1e-9) {
+			return fmt.Errorf("blackscholes: checksum %g, want %g", sum, want)
+		}
+		return nil
+	}
+	return Kernel{Name: "blackscholes", DefaultN: 20000, Run: run, Check: check}
+}

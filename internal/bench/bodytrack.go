@@ -1,0 +1,113 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+
+	avd "github.com/taskpar/avd"
+)
+
+const btFrames = 4
+
+// btLikelihood is the synthetic observation model: a deterministic,
+// smooth function of the particle state and the frame, standing in for
+// bodytrack's edge/silhouette likelihood evaluation.
+func btLikelihood(state float64, frame int) float64 {
+	x := state - float64(frame)*0.37
+	return math.Exp(-x*x) + 1e-9*state
+}
+
+func btInitialStates(n int) []float64 {
+	r := newRng(7)
+	states := make([]float64, n)
+	for i := range states {
+		states[i] = 4 * (r.float() - 0.5)
+	}
+	return states
+}
+
+// btSerial runs the particle filter sequentially for verification.
+func btSerial(n int) float64 {
+	states := btInitialStates(n)
+	var sum float64
+	for frame := 0; frame < btFrames; frame++ {
+		best, bestW := 0, math.Inf(-1)
+		sum = 0
+		for i := 0; i < n; i++ {
+			w := btLikelihood(states[i], frame)
+			sum += w
+			if w > bestW {
+				bestW, best = w, i
+			}
+		}
+		anchor := states[best]
+		for i := 0; i < n; i++ {
+			states[i] = 0.5*states[i] + 0.5*anchor + 0.01*float64(i%17-8)
+		}
+	}
+	return sum
+}
+
+// Bodytrack is the PARSEC particle-filter kernel: per frame, particle
+// weights are evaluated in parallel, reduced into a locked global sum,
+// and the best particle is tracked under a lock; the sequential
+// resampling step then re-reads every weight. Weights are revisited
+// across frames by different steps, which drives the moderate LCA-query
+// count the paper reports for bodytrack.
+func Bodytrack() Kernel {
+	run := func(s *avd.Session, n int) float64 {
+		states := btInitialStates(n)
+		weights := s.NewFloatArray("weights", n)
+		sumW := s.NewFloatVar("sumWeights")
+		bestW := s.NewFloatVar("bestWeight")
+		bestI := s.NewIntVar("bestIndex")
+		s.Atomic(bestW, bestI) // the (weight, index) pair must stay consistent
+		lock := s.NewMutex("reduce")
+
+		var result float64
+		s.Run(func(t *avd.Task) {
+			for frame := 0; frame < btFrames; frame++ {
+				fr := frame
+				sumW.Store(t, 0)
+				bestW.Store(t, math.Inf(-1))
+				bestI.Store(t, 0)
+				avd.ParallelRange(t, 0, n, grainFor(n, 8), func(t *avd.Task, lo, hi int) {
+					// Leaf-local reduction, merged in one critical section
+					// per leaf step (the idiomatic TBB reduction shape).
+					local, lbW, lbI := 0.0, math.Inf(-1), 0
+					for i := lo; i < hi; i++ {
+						w := btLikelihood(states[i], fr)
+						weights.Store(t, i, w)
+						local += w
+						if w > lbW {
+							lbW, lbI = w, i
+						}
+					}
+					lock.Lock(t)
+					sumW.Add(t, local)
+					if lbW > bestW.Load(t) {
+						bestW.Store(t, lbW)
+						bestI.Store(t, int64(lbI))
+					}
+					lock.Unlock(t)
+				})
+				// Sequential resampling around the best particle.
+				anchor := states[bestI.Load(t)]
+				for i := 0; i < n; i++ {
+					_ = weights.Load(t, i) // normalization pass
+					states[i] = 0.5*states[i] + 0.5*anchor + 0.01*float64(i%17-8)
+				}
+				result = sumW.Load(t)
+			}
+		})
+		return result
+	}
+	check := func(n int, sum float64) error {
+		want := btSerial(n)
+		if !approxEqual(sum, want, 1e-6) {
+			return fmt.Errorf("bodytrack: checksum %g, want %g", sum, want)
+		}
+		return nil
+	}
+	return Kernel{Name: "bodytrack", DefaultN: 4000, Run: run, Check: check}
+}

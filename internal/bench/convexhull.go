@@ -1,0 +1,228 @@
+package bench
+
+import (
+	"fmt"
+
+	avd "github.com/taskpar/avd"
+)
+
+func chPoints(n int) []float64 {
+	r := newRng(77)
+	pts := make([]float64, 2*n)
+	for i := 0; i < n; i++ {
+		// A disc-ish cloud: hull size grows slowly with n.
+		x, y := 2*r.float()-1, 2*r.float()-1
+		pts[2*i], pts[2*i+1] = x*100, y*100
+	}
+	return pts
+}
+
+// chCross is twice the signed area of triangle (a, b, c); positive when
+// c lies left of a->b.
+func chCross(ax, ay, bx, by, cx, cy float64) float64 {
+	return (bx-ax)*(cy-ay) - (by-ay)*(cx-ax)
+}
+
+// chSerialHull runs sequential quickhull and returns the hull-index sum.
+func chSerialHull(n int) int64 {
+	pts := chPoints(n)
+	at := func(i int) (float64, float64) { return pts[2*i], pts[2*i+1] }
+	lo, hi := 0, 0
+	for i := 1; i < n; i++ {
+		if pts[2*i] < pts[2*lo] {
+			lo = i
+		}
+		if pts[2*i] > pts[2*hi] {
+			hi = i
+		}
+	}
+	onHull := map[int]bool{lo: true, hi: true}
+	var rec func(set []int, a, b int)
+	rec = func(set []int, a, b int) {
+		if len(set) == 0 {
+			return
+		}
+		ax, ay := at(a)
+		bx, by := at(b)
+		far, farD := -1, 0.0
+		for _, i := range set {
+			cx, cy := at(i)
+			d := chCross(ax, ay, bx, by, cx, cy)
+			if d > farD || (d == farD && far >= 0 && i > far) {
+				far, farD = i, d
+			}
+		}
+		if far < 0 {
+			return
+		}
+		onHull[far] = true
+		fx, fy := at(far)
+		var left, right []int
+		for _, i := range set {
+			if i == far {
+				continue
+			}
+			cx, cy := at(i)
+			if chCross(ax, ay, fx, fy, cx, cy) > 0 {
+				left = append(left, i)
+			} else if chCross(fx, fy, bx, by, cx, cy) > 0 {
+				right = append(right, i)
+			}
+		}
+		rec(left, a, far)
+		rec(right, far, b)
+	}
+	var upper, lower []int
+	ax, ay := at(lo)
+	bx, by := at(hi)
+	for i := 0; i < n; i++ {
+		if i == lo || i == hi {
+			continue
+		}
+		cx, cy := at(i)
+		if chCross(ax, ay, bx, by, cx, cy) > 0 {
+			upper = append(upper, i)
+		} else if chCross(bx, by, ax, ay, cx, cy) > 0 {
+			lower = append(lower, i)
+		}
+	}
+	rec(upper, lo, hi)
+	rec(lower, hi, lo)
+	var sum int64
+	for i := range onHull {
+		sum += int64(i)
+	}
+	return sum
+}
+
+// Convexhull is the PBBS quickhull kernel: divide-and-conquer over the
+// point set, spawning a task per sub-hull. Point coordinates are
+// instrumented and re-read at every recursion level by different steps,
+// and the recursion produces many small tasks — matching the paper's
+// profile of a very large DPST relative to the location count.
+func Convexhull() Kernel {
+	run := func(s *avd.Session, n int) float64 {
+		raw := chPoints(n)
+		pts := s.NewFloatArray("points", 2*n)
+		flags := s.NewIntArray("onHull", n)
+		var sum int64
+		s.Run(func(t *avd.Task) {
+			for i := range raw {
+				pts.Store(t, i, raw[i])
+			}
+			at := func(t *avd.Task, i int) (float64, float64) {
+				return pts.Load(t, 2*i), pts.Load(t, 2*i+1)
+			}
+			lo, hi := 0, 0
+			for i := 1; i < n; i++ {
+				if raw[2*i] < raw[2*lo] {
+					lo = i
+				}
+				if raw[2*i] > raw[2*hi] {
+					hi = i
+				}
+			}
+			flags.Store(t, lo, 1)
+			flags.Store(t, hi, 1)
+			// farthest finds the point of set with the largest signed
+			// distance from line a->b (ties to the larger index), using a
+			// parallel reduction for large sets — PBBS quickhull's shape,
+			// which gives the recursion its large DPST.
+			farthest := func(t *avd.Task, set []int, ax, ay, bx, by float64) int {
+				far, farD := -1, 0.0
+				if len(set) < 256 {
+					for _, i := range set {
+						cx, cy := at(t, i)
+						d := chCross(ax, ay, bx, by, cx, cy)
+						if d > farD || (d == farD && far >= 0 && i > far) {
+							far, farD = i, d
+						}
+					}
+					return far
+				}
+				lock := s.NewMutex("hull.reduce")
+				avd.ParallelRange(t, 0, len(set), grainFor(len(set), 8), func(t *avd.Task, lo, hi int) {
+					lf, lfD := -1, 0.0
+					for _, i := range set[lo:hi] {
+						cx, cy := at(t, i)
+						d := chCross(ax, ay, bx, by, cx, cy)
+						if d > lfD || (d == lfD && lf >= 0 && i > lf) {
+							lf, lfD = i, d
+						}
+					}
+					if lf < 0 {
+						return
+					}
+					lock.Lock(t)
+					if lfD > farD || (lfD == farD && lf > far) {
+						far, farD = lf, lfD
+					}
+					lock.Unlock(t)
+				})
+				return far
+			}
+			var rec func(t *avd.Task, set []int, a, b int)
+			rec = func(t *avd.Task, set []int, a, b int) {
+				if len(set) == 0 {
+					return
+				}
+				ax, ay := at(t, a)
+				bx, by := at(t, b)
+				far := farthest(t, set, ax, ay, bx, by)
+				if far < 0 {
+					return
+				}
+				flags.Store(t, far, 1)
+				fx, fy := at(t, far)
+				var left, right []int
+				for _, i := range set {
+					if i == far {
+						continue
+					}
+					cx, cy := at(t, i)
+					if chCross(ax, ay, fx, fy, cx, cy) > 0 {
+						left = append(left, i)
+					} else if chCross(fx, fy, bx, by, cx, cy) > 0 {
+						right = append(right, i)
+					}
+				}
+				t.Finish(func(t *avd.Task) {
+					t.Spawn(func(ct *avd.Task) { rec(ct, left, a, far) })
+					rec(t, right, far, b)
+				})
+			}
+			ax, ay := at(t, lo)
+			bx, by := at(t, hi)
+			var upper, lower []int
+			for i := 0; i < n; i++ {
+				if i == lo || i == hi {
+					continue
+				}
+				cx, cy := at(t, i)
+				if chCross(ax, ay, bx, by, cx, cy) > 0 {
+					upper = append(upper, i)
+				} else if chCross(bx, by, ax, ay, cx, cy) > 0 {
+					lower = append(lower, i)
+				}
+			}
+			t.Finish(func(t *avd.Task) {
+				t.Spawn(func(ct *avd.Task) { rec(ct, upper, lo, hi) })
+				rec(t, lower, hi, lo)
+			})
+			for i := 0; i < n; i++ {
+				if flags.Value(i) != 0 {
+					sum += int64(i)
+				}
+			}
+		})
+		return float64(sum)
+	}
+	check := func(n int, sum float64) error {
+		want := float64(chSerialHull(n))
+		if sum != want {
+			return fmt.Errorf("convexhull: hull index sum %g, want %g", sum, want)
+		}
+		return nil
+	}
+	return Kernel{Name: "convexhull", DefaultN: 6000, Run: run, Check: check}
+}

@@ -1,0 +1,160 @@
+package bench
+
+import "math"
+
+// Bowyer-Watson incremental Delaunay triangulation, used by the
+// deltriang kernel. Points are inserted one at a time: the triangles
+// whose circumcircle contains the new point form the cavity, the cavity
+// boundary is collected, and the cavity is re-triangulated as a fan from
+// the new point. A super-triangle enclosing the input bounds the
+// construction and is removed at the end.
+
+// dTri is a triangle over point indices; negative indices name the three
+// super-triangle vertices.
+type dTri struct {
+	a, b, c int
+	alive   bool
+}
+
+// dtTriangulation is the working state of one Bowyer-Watson run.
+type dtTriangulation struct {
+	pts  [][2]float64
+	sup  [3][2]float64
+	tris []dTri
+}
+
+func (d *dtTriangulation) coord(i int) (float64, float64) {
+	if i < 0 {
+		v := d.sup[-i-1]
+		return v[0], v[1]
+	}
+	return d.pts[i][0], d.pts[i][1]
+}
+
+// inCircumcircle reports whether point p lies strictly inside the
+// circumcircle of triangle t, using the standard 3x3 determinant on
+// coordinates translated to p (positive for counter-clockwise triangles).
+func (d *dtTriangulation) inCircumcircle(t dTri, px, py float64) bool {
+	ax, ay := d.coord(t.a)
+	bx, by := d.coord(t.b)
+	cx, cy := d.coord(t.c)
+	// Ensure counter-clockwise orientation.
+	if chCross(ax, ay, bx, by, cx, cy) < 0 {
+		bx, by, cx, cy = cx, cy, bx, by
+	}
+	ax -= px
+	ay -= py
+	bx -= px
+	by -= py
+	cx -= px
+	cy -= py
+	det := (ax*ax+ay*ay)*(bx*cy-cx*by) -
+		(bx*bx+by*by)*(ax*cy-cx*ay) +
+		(cx*cx+cy*cy)*(ax*by-bx*ay)
+	return det > 0
+}
+
+type dEdge struct{ u, v int }
+
+func normEdge(u, v int) dEdge {
+	if u > v {
+		u, v = v, u
+	}
+	return dEdge{u, v}
+}
+
+// compact drops dead triangles once they dominate the slice, keeping the
+// cavity scan linear in the number of live triangles.
+func (d *dtTriangulation) compact() {
+	live := d.tris[:0]
+	for _, t := range d.tris {
+		if t.alive {
+			live = append(live, t)
+		}
+	}
+	d.tris = live
+}
+
+// insert adds point index p to the triangulation.
+func (d *dtTriangulation) insert(p int) {
+	px, py := d.coord(p)
+	// Cavity: all live triangles whose circumcircle contains p. The
+	// boundary edges are those that belong to exactly one cavity
+	// triangle.
+	boundary := make(map[dEdge]int)
+	for i := range d.tris {
+		t := &d.tris[i]
+		if !t.alive || !d.inCircumcircle(*t, px, py) {
+			continue
+		}
+		t.alive = false
+		for _, e := range [3]dEdge{normEdge(t.a, t.b), normEdge(t.b, t.c), normEdge(t.c, t.a)} {
+			boundary[e]++
+		}
+	}
+	dead := 0
+	for _, t := range d.tris {
+		if !t.alive {
+			dead++
+		}
+	}
+	if dead*2 > len(d.tris) {
+		d.compact()
+	}
+	for e, n := range boundary {
+		if n != 1 {
+			continue // interior cavity edge
+		}
+		d.tris = append(d.tris, dTri{a: e.u, b: e.v, c: p, alive: true})
+	}
+}
+
+// dtBowyerWatson triangulates the points and returns the triangles (as
+// index triples) of the Delaunay triangulation, excluding every triangle
+// touching the super-triangle. Duplicate points are skipped.
+func dtBowyerWatson(pts [][2]float64) [][3]int {
+	if len(pts) < 3 {
+		return nil
+	}
+	minX, minY := math.Inf(1), math.Inf(1)
+	maxX, maxY := math.Inf(-1), math.Inf(-1)
+	for _, p := range pts {
+		minX = math.Min(minX, p[0])
+		maxX = math.Max(maxX, p[0])
+		minY = math.Min(minY, p[1])
+		maxY = math.Max(maxY, p[1])
+	}
+	dx, dy := maxX-minX, maxY-minY
+	dmax := math.Max(math.Max(dx, dy), 1)
+	midX, midY := (minX+maxX)/2, (minY+maxY)/2
+	// The super-triangle stands in for three points at infinity; placing
+	// it very far out makes the finite circumcircle tests against its
+	// vertices converge to the correct half-plane limits (hull sliver
+	// triangles can have circumcircles hundreds of times larger than the
+	// point cloud).
+	const far = 1e7
+	d := &dtTriangulation{
+		pts: pts,
+		sup: [3][2]float64{
+			{midX - far*dmax, midY - far*dmax/2},
+			{midX, midY + far*dmax},
+			{midX + far*dmax, midY - far*dmax/2},
+		},
+	}
+	d.tris = append(d.tris, dTri{a: -1, b: -2, c: -3, alive: true})
+	seen := make(map[[2]float64]bool, len(pts))
+	for i := range pts {
+		if seen[pts[i]] {
+			continue
+		}
+		seen[pts[i]] = true
+		d.insert(i)
+	}
+	var out [][3]int
+	for _, t := range d.tris {
+		if t.alive && t.a >= 0 && t.b >= 0 && t.c >= 0 {
+			out = append(out, [3]int{t.a, t.b, t.c})
+		}
+	}
+	return out
+}

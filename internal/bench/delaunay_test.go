@@ -1,0 +1,167 @@
+package bench
+
+import (
+	"math"
+	"sort"
+	"testing"
+)
+
+// hullSize computes the convex hull vertex count via monotone chain.
+func hullSize(pts [][2]float64) int {
+	n := len(pts)
+	if n < 3 {
+		return n
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		pa, pb := pts[idx[a]], pts[idx[b]]
+		if pa[0] != pb[0] {
+			return pa[0] < pb[0]
+		}
+		return pa[1] < pb[1]
+	})
+	build := func(ord []int) []int {
+		var h []int
+		for _, i := range ord {
+			for len(h) >= 2 {
+				a, b := pts[h[len(h)-2]], pts[h[len(h)-1]]
+				if chCross(a[0], a[1], b[0], b[1], pts[i][0], pts[i][1]) <= 0 {
+					h = h[:len(h)-1]
+				} else {
+					break
+				}
+			}
+			h = append(h, i)
+		}
+		return h
+	}
+	lower := build(idx)
+	rev := make([]int, n)
+	for i := range idx {
+		rev[i] = idx[n-1-i]
+	}
+	upper := build(rev)
+	return len(lower) + len(upper) - 2
+}
+
+func hullArea2(pts [][2]float64) float64 {
+	// Doubled area of the convex hull via the shoelace over the hull.
+	n := len(pts)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		pa, pb := pts[idx[a]], pts[idx[b]]
+		if pa[0] != pb[0] {
+			return pa[0] < pb[0]
+		}
+		return pa[1] < pb[1]
+	})
+	build := func(ord []int) []int {
+		var h []int
+		for _, i := range ord {
+			for len(h) >= 2 {
+				a, b := pts[h[len(h)-2]], pts[h[len(h)-1]]
+				if chCross(a[0], a[1], b[0], b[1], pts[i][0], pts[i][1]) <= 0 {
+					h = h[:len(h)-1]
+				} else {
+					break
+				}
+			}
+			h = append(h, i)
+		}
+		return h
+	}
+	lower := build(idx)
+	rev := make([]int, n)
+	for i := range idx {
+		rev[i] = idx[n-1-i]
+	}
+	upper := build(rev)
+	hull := append(lower[:len(lower)-1], upper[:len(upper)-1]...)
+	var area2 float64
+	for i := range hull {
+		a := pts[hull[i]]
+		b := pts[hull[(i+1)%len(hull)]]
+		area2 += a[0]*b[1] - b[0]*a[1]
+	}
+	return math.Abs(area2)
+}
+
+func TestBowyerWatsonSquare(t *testing.T) {
+	pts := [][2]float64{{0, 0}, {1, 0}, {1, 1}, {0, 1}}
+	tris := dtBowyerWatson(pts)
+	if len(tris) != 2 {
+		t.Fatalf("square triangulated into %d triangles, want 2", len(tris))
+	}
+	var area float64
+	for _, tr := range tris {
+		a, b, c := pts[tr[0]], pts[tr[1]], pts[tr[2]]
+		area += math.Abs(chCross(a[0], a[1], b[0], b[1], c[0], c[1]))
+	}
+	if math.Abs(area-2) > 1e-12 { // doubled area of the unit square
+		t.Fatalf("triangulation area2 = %f, want 2", area)
+	}
+}
+
+func TestBowyerWatsonDegenerate(t *testing.T) {
+	if got := dtBowyerWatson(nil); got != nil {
+		t.Error("empty input must yield no triangles")
+	}
+	if got := dtBowyerWatson([][2]float64{{0, 0}, {1, 1}}); got != nil {
+		t.Error("two points must yield no triangles")
+	}
+	collinear := [][2]float64{{0, 0}, {1, 1}, {2, 2}, {3, 3}}
+	if got := dtBowyerWatson(collinear); len(got) != 0 {
+		t.Errorf("collinear points yielded %d triangles", len(got))
+	}
+	dup := [][2]float64{{0, 0}, {1, 0}, {0, 1}, {0, 0}}
+	if got := dtBowyerWatson(dup); len(got) != 1 {
+		t.Errorf("duplicate point handling yielded %d triangles, want 1", len(got))
+	}
+}
+
+// TestBowyerWatsonRandom checks the two defining global invariants on
+// random point sets: the Euler count 2n-2-h and exact coverage of the
+// convex hull area, plus the empty-circumcircle property on a sample.
+func TestBowyerWatsonRandom(t *testing.T) {
+	r := newRng(123)
+	for trial := 0; trial < 40; trial++ {
+		n := 20 + int(r.next()%180)
+		pts := make([][2]float64, n)
+		for i := range pts {
+			pts[i] = [2]float64{r.float() * 100, r.float() * 100}
+		}
+		tris := dtBowyerWatson(pts)
+		h := hullSize(pts)
+		want := 2*n - 2 - h
+		if len(tris) != want {
+			t.Fatalf("trial %d: %d triangles for n=%d h=%d, want %d", trial, len(tris), n, h, want)
+		}
+		var area2 float64
+		for _, tr := range tris {
+			a, b, c := pts[tr[0]], pts[tr[1]], pts[tr[2]]
+			area2 += math.Abs(chCross(a[0], a[1], b[0], b[1], c[0], c[1]))
+		}
+		if wantArea := hullArea2(pts); math.Abs(area2-wantArea) > 1e-6*wantArea {
+			t.Fatalf("trial %d: triangulation area2 %f != hull area2 %f", trial, area2, wantArea)
+		}
+		// Empty-circumcircle property on a sample of triangle/point pairs.
+		d := &dtTriangulation{pts: pts}
+		for s := 0; s < 200; s++ {
+			tr := tris[int(r.next()%uint64(len(tris)))]
+			p := int(r.next() % uint64(n))
+			if p == tr[0] || p == tr[1] || p == tr[2] {
+				continue
+			}
+			if d.inCircumcircle(dTri{a: tr[0], b: tr[1], c: tr[2]}, pts[p][0]-1e-9, pts[p][1]) &&
+				d.inCircumcircle(dTri{a: tr[0], b: tr[1], c: tr[2]}, pts[p][0]+1e-9, pts[p][1]) {
+				t.Fatalf("trial %d: point %d strictly inside circumcircle of %v", trial, p, tr)
+			}
+		}
+	}
+}

@@ -1,0 +1,152 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+
+	avd "github.com/taskpar/avd"
+)
+
+const (
+	drRounds    = 4
+	drThreshold = 0.5
+	drRegions   = 16
+)
+
+// Delaunay refinement, modeled on a fixed mesh graph: each triangle has
+// a quality score; a refinement round "splits" every triangle below the
+// quality threshold, which improves its own quality and perturbs its
+// neighbors'. All arithmetic uses exactly representable multiples of
+// 1/1024 so the result is schedule-independent despite locked parallel
+// accumulation.
+
+const drUnit = 1.0 / 1024
+
+// drInitQuality produces qualities on the exact grid.
+func drInitQuality(n int) []float64 {
+	r := newRng(555)
+	q := make([]float64, n)
+	for i := range q {
+		q[i] = float64(r.intn(1024)) * drUnit
+	}
+	return q
+}
+
+// drNeighbors enumerates the mesh neighbors of triangle i (a ring
+// lattice with two skip links, standing in for mesh adjacency).
+func drNeighbors(n, i int, f func(int)) {
+	f((i + 1) % n)
+	f((i + n - 1) % n)
+	f((i + 7) % n)
+}
+
+func drSerial(n int) float64 {
+	q := drInitQuality(n)
+	for round := 0; round < drRounds; round++ {
+		delta := make([]float64, n)
+		for i := 0; i < n; i++ {
+			if q[i] < drThreshold {
+				delta[i] += float64(256+i%64) * drUnit
+				drNeighbors(n, i, func(nb int) {
+					delta[nb] -= float64(2+i%4) * drUnit
+				})
+			}
+		}
+		for i := 0; i < n; i++ {
+			q[i] += delta[i]
+			if q[i] < 0 {
+				q[i] = 0
+			}
+		}
+	}
+	var sum float64
+	for i := range q {
+		sum += q[i] * float64(i%7+1)
+	}
+	return sum
+}
+
+// Delrefine is the PBBS Delaunay-refinement kernel shape: rounds of
+// identify-bad-triangles (parallel reads of the quality array) followed
+// by split-and-perturb (scatter of exact deltas into neighbors under
+// striped locks with per-leaf privatization). The quality array is
+// revisited every round, giving the high LCA-query count with a high
+// unique fraction that Table 1 reports for delrefine.
+func Delrefine() Kernel {
+	run := func(s *avd.Session, n int) float64 {
+		quality := s.NewFloatArray("quality", n)
+		delta := s.NewFloatArray("delta", n)
+		locks := make([]*avd.Mutex, drRegions)
+		for i := range locks {
+			locks[i] = s.NewMutex(fmt.Sprintf("mesh-region-%d", i))
+		}
+		init := drInitQuality(n)
+
+		var sum float64
+		s.Run(func(t *avd.Task) {
+			for i := 0; i < n; i++ {
+				quality.Store(t, i, init[i])
+			}
+			for round := 0; round < drRounds; round++ {
+				avd.ParallelFor(t, 0, n, grainFor(n, 4), func(t *avd.Task, i int) {
+					delta.Store(t, i, 0)
+				})
+				// Identify & scatter: privatized per leaf, one critical
+				// section per touched cell.
+				avd.ParallelRange(t, 0, n, grainFor(n, 8), func(t *avd.Task, lo, hi int) {
+					local := make(map[int]float64)
+					for i := lo; i < hi; i++ {
+						if quality.Load(t, i) < drThreshold {
+							local[i] += float64(256+i%64) * drUnit
+							drNeighbors(n, i, func(nb int) {
+								local[nb] -= float64(2+i%4) * drUnit
+							})
+						}
+					}
+					// Ordered full acquisition of the touched regions keeps
+					// each leaf's merge one atomic block (see fluidanimate).
+					var regions []int
+					seen := [drRegions]bool{}
+					for cell := range local {
+						if r := cell % drRegions; !seen[r] {
+							seen[r] = true
+							regions = append(regions, r)
+						}
+					}
+					sort.Ints(regions)
+					for _, r := range regions {
+						locks[r].Lock(t)
+					}
+					for cell, v := range local {
+						delta.Add(t, cell, v)
+					}
+					for i := len(regions) - 1; i >= 0; i-- {
+						locks[regions[i]].Unlock(t)
+					}
+				})
+				// Apply phase.
+				avd.ParallelRange(t, 0, n, grainFor(n, 8), func(t *avd.Task, lo, hi int) {
+					for i := lo; i < hi; i++ {
+						q := quality.Load(t, i) + delta.Load(t, i)
+						if q < 0 {
+							q = 0
+						}
+						quality.Store(t, i, q)
+					}
+				})
+			}
+			for i := 0; i < n; i++ {
+				sum += quality.Value(i) * float64(i%7+1)
+			}
+		})
+		return sum
+	}
+	check := func(n int, sum float64) error {
+		want := drSerial(n)
+		if sum != want {
+			return fmt.Errorf("delrefine: checksum %g, want %g (exact arithmetic)", sum, want)
+		}
+		return nil
+	}
+	return Kernel{Name: "delrefine", DefaultN: 12000, Run: run, Check: check}
+}

@@ -1,0 +1,160 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+
+	avd "github.com/taskpar/avd"
+)
+
+const dtBuckets = 32
+
+func dtPoints(n int) []float64 {
+	r := newRng(31337)
+	pts := make([]float64, 2*n)
+	for i := 0; i < n; i++ {
+		pts[2*i] = r.float() * 1000
+		pts[2*i+1] = r.float() * 1000
+	}
+	return pts
+}
+
+// dtBucketize assigns points to x-ranged buckets deterministically.
+func dtBucketize(pts []float64, n int) [][]int {
+	buckets := make([][]int, dtBuckets)
+	for i := 0; i < n; i++ {
+		b := int(pts[2*i] / 1000 * dtBuckets)
+		if b >= dtBuckets {
+			b = dtBuckets - 1
+		}
+		buckets[b] = append(buckets[b], i)
+	}
+	for _, b := range buckets {
+		sort.Ints(b)
+	}
+	return buckets
+}
+
+// dtTriangulate runs Bowyer-Watson over the bucket's points (given as
+// original indices with a coordinate lookup) and returns the Delaunay
+// triangles as original-index triples.
+func dtTriangulate(coord func(i int) (float64, float64), idx []int) [][3]int {
+	local := make([][2]float64, len(idx))
+	for k, i := range idx {
+		x, y := coord(i)
+		local[k] = [2]float64{x, y}
+	}
+	tris := dtBowyerWatson(local)
+	out := make([][3]int, len(tris))
+	for k, t := range tris {
+		out[k] = [3]int{idx[t[0]], idx[t[1]], idx[t[2]]}
+	}
+	return out
+}
+
+func dtSerial(n int) float64 {
+	pts := dtPoints(n)
+	buckets := dtBucketize(pts, n)
+	coord := func(i int) (float64, float64) { return pts[2*i], pts[2*i+1] }
+	var count int64
+	var area float64
+	for _, b := range buckets {
+		for _, tr := range dtTriangulate(coord, b) {
+			ax, ay := coord(tr[0])
+			bx, by := coord(tr[1])
+			cx, cy := coord(tr[2])
+			a2 := chCross(ax, ay, bx, by, cx, cy)
+			if a2 < 0 {
+				a2 = -a2
+			}
+			count++
+			area += a2
+		}
+	}
+	return float64(count)*1e6 + area
+}
+
+// Deltriang is the PBBS Delaunay-triangulation kernel: points are
+// bucketed spatially, each bucket is triangulated by an independent task
+// running incremental Bowyer-Watson over the instrumented coordinates,
+// and the per-triangle statistics are computed in parallel and reduced
+// under a lock. Coordinate locations are read a handful of times each,
+// giving the many-locations profile Table 1 reports for deltriang.
+func Deltriang() Kernel {
+	run := func(s *avd.Session, n int) float64 {
+		raw := dtPoints(n)
+		pts := s.NewFloatArray("points", 2*n)
+		perBucket := s.NewIntArray("bucketTriangles", dtBuckets)
+		totalCount := s.NewIntVar("triangles")
+		totalArea := s.NewFloatVar("area")
+		lock := s.NewMutex("stats")
+		buckets := dtBucketize(raw, n)
+
+		var sum float64
+		s.Run(func(t *avd.Task) {
+			for i := range raw {
+				pts.Store(t, i, raw[i])
+			}
+			t.Finish(func(t *avd.Task) {
+				for b := 0; b < dtBuckets; b++ {
+					b := b
+					t.Spawn(func(t *avd.Task) {
+						idx := buckets[b]
+						if len(idx) < 3 {
+							perBucket.Store(t, b, 0)
+							return
+						}
+						// Pull the bucket's coordinates once through the
+						// instrumented array and run Bowyer-Watson locally,
+						// then compute the per-triangle statistics in
+						// parallel (instrumented vertex reads), merging each
+						// leaf under the stats lock.
+						tris := dtTriangulate(func(i int) (float64, float64) {
+							return pts.Load(t, 2*i), pts.Load(t, 2*i+1)
+						}, idx)
+						avd.ParallelRange(t, 0, len(tris), grainFor(len(tris), 8), func(t *avd.Task, lo, hi int) {
+							load := func(i int) (float64, float64) {
+								return pts.Load(t, 2*i), pts.Load(t, 2*i+1)
+							}
+							var count int64
+							var area float64
+							for k := lo; k < hi; k++ {
+								ax, ay := load(tris[k][0])
+								bx, by := load(tris[k][1])
+								cx, cy := load(tris[k][2])
+								a2 := chCross(ax, ay, bx, by, cx, cy)
+								if a2 < 0 {
+									a2 = -a2
+								}
+								count++
+								area += a2
+							}
+							lock.Lock(t)
+							perBucket.Add(t, b, count)
+							totalCount.Add(t, count)
+							totalArea.Add(t, area)
+							lock.Unlock(t)
+						})
+					})
+				}
+			})
+			var count int64
+			for b := 0; b < dtBuckets; b++ {
+				count += perBucket.Value(b)
+			}
+			if count != totalCount.Load(t) {
+				panic("deltriang: per-bucket and global counts disagree")
+			}
+			sum = float64(count)*1e6 + totalArea.Load(t)
+		})
+		return sum
+	}
+	check := func(n int, sum float64) error {
+		want := dtSerial(n)
+		if !approxEqual(sum, want, 1e-9) {
+			return fmt.Errorf("deltriang: checksum %g, want %g", sum, want)
+		}
+		return nil
+	}
+	return Kernel{Name: "deltriang", DefaultN: 8000, Run: run, Check: check}
+}

@@ -1,0 +1,167 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+
+	avd "github.com/taskpar/avd"
+)
+
+const (
+	faSteps   = 3
+	faRegions = 16 // lock striping over cells
+)
+
+// faNeighbors yields the grid neighborhood (including the cell itself)
+// of cell (x, y) on a g x g grid.
+func faNeighbors(g, x, y int, f func(int)) {
+	for dy := -1; dy <= 1; dy++ {
+		for dx := -1; dx <= 1; dx++ {
+			nx, ny := x+dx, y+dy
+			if nx >= 0 && nx < g && ny >= 0 && ny < g {
+				f(ny*g + nx)
+			}
+		}
+	}
+}
+
+func faInitMass(g int) []float64 {
+	r := newRng(99)
+	m := make([]float64, g*g)
+	for i := range m {
+		m[i] = 0.5 + r.float()
+	}
+	return m
+}
+
+// faSerial is the reference simulation.
+func faSerial(g int) float64 {
+	mass := faInitMass(g)
+	density := make([]float64, g*g)
+	acc := make([]float64, g*g)
+	for step := 0; step < faSteps; step++ {
+		for y := 0; y < g; y++ {
+			for x := 0; x < g; x++ {
+				var d float64
+				faNeighbors(g, x, y, func(nb int) { d += mass[nb] })
+				density[y*g+x] = d / 9
+			}
+		}
+		for i := range acc {
+			acc[i] = 0
+		}
+		for y := 0; y < g; y++ {
+			for x := 0; x < g; x++ {
+				c := y*g + x
+				faNeighbors(g, x, y, func(nb int) {
+					acc[nb] += (density[c] - density[nb]) * 0.05
+				})
+			}
+		}
+		for i := range mass {
+			mass[i] += acc[i]
+		}
+	}
+	var sum float64
+	for i := range mass {
+		sum += mass[i] * float64(i%13+1)
+	}
+	return sum
+}
+
+// Fluidanimate is the PARSEC grid-based SPH kernel: per time step, a
+// density phase reads each cell's neighborhood, a force phase scatters
+// contributions into neighbor cells under striped locks (with per-leaf
+// privatization, the standard fluidanimate optimization), and an update
+// phase advances the per-cell state. Every cell array is revisited each
+// time step by different steps, driving the high ratio of LCA queries to
+// DPST nodes the paper reports.
+func Fluidanimate() Kernel {
+	run := func(s *avd.Session, n int) float64 {
+		g := n
+		cells := g * g
+		mass := s.NewFloatArray("mass", cells)
+		density := s.NewFloatArray("density", cells)
+		acc := s.NewFloatArray("acc", cells)
+		locks := make([]*avd.Mutex, faRegions)
+		for i := range locks {
+			locks[i] = s.NewMutex(fmt.Sprintf("region-%d", i))
+		}
+		init := faInitMass(g)
+
+		var sum float64
+		s.Run(func(t *avd.Task) {
+			for i := 0; i < cells; i++ {
+				mass.Store(t, i, init[i])
+			}
+			for step := 0; step < faSteps; step++ {
+				// Density phase: gather from the neighborhood.
+				avd.ParallelRange(t, 0, cells, grainFor(cells, 8), func(t *avd.Task, lo, hi int) {
+					for c := lo; c < hi; c++ {
+						x, y := c%g, c/g
+						var d float64
+						faNeighbors(g, x, y, func(nb int) { d += mass.Load(t, nb) })
+						density.Store(t, c, d/9)
+					}
+				})
+				avd.ParallelFor(t, 0, cells, grainFor(cells, 4), func(t *avd.Task, c int) {
+					acc.Store(t, c, 0)
+				})
+				// Force phase: scatter into neighbors. Each leaf privatizes
+				// its contributions and merges each target cell in one
+				// critical section.
+				avd.ParallelRange(t, 0, cells, grainFor(cells, 8), func(t *avd.Task, lo, hi int) {
+					local := make(map[int]float64)
+					for c := lo; c < hi; c++ {
+						x, y := c%g, c/g
+						dc := density.Load(t, c)
+						faNeighbors(g, x, y, func(nb int) {
+							local[nb] += (dc - density.Load(t, nb)) * 0.05
+						})
+					}
+					// Acquire every region the leaf touches in ascending
+					// order before merging: the merge is then one atomic
+					// block per step (no release/re-acquire a concurrent
+					// leaf could slip between), and ordered acquisition
+					// keeps the striped locks deadlock-free.
+					var regions []int
+					seen := [faRegions]bool{}
+					for nb := range local {
+						if r := nb % faRegions; !seen[r] {
+							seen[r] = true
+							regions = append(regions, r)
+						}
+					}
+					sort.Ints(regions)
+					for _, r := range regions {
+						locks[r].Lock(t)
+					}
+					for nb, v := range local {
+						acc.Add(t, nb, v)
+					}
+					for i := len(regions) - 1; i >= 0; i-- {
+						locks[regions[i]].Unlock(t)
+					}
+				})
+				// Update phase: advance each cell.
+				avd.ParallelRange(t, 0, cells, grainFor(cells, 8), func(t *avd.Task, lo, hi int) {
+					for c := lo; c < hi; c++ {
+						mass.Store(t, c, mass.Load(t, c)+acc.Load(t, c))
+					}
+				})
+			}
+			for i := 0; i < cells; i++ {
+				sum += mass.Value(i) * float64(i%13+1)
+			}
+		})
+		return sum
+	}
+	check := func(n int, sum float64) error {
+		want := faSerial(n)
+		if !approxEqual(sum, want, 1e-6) {
+			return fmt.Errorf("fluidanimate: checksum %g, want %g", sum, want)
+		}
+		return nil
+	}
+	return Kernel{Name: "fluidanimate", DefaultN: 48, Run: run, Check: check}
+}

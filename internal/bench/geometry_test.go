@@ -1,0 +1,195 @@
+package bench
+
+import (
+	"math"
+	"testing"
+)
+
+// TestKdQueryMatchesBruteForce validates the kd-tree nearest-neighbor
+// search against an exhaustive scan — the kernel's serial reference uses
+// the same kd-tree, so this is the independent correctness check.
+func TestKdQueryMatchesBruteForce(t *testing.T) {
+	r := newRng(404)
+	for trial := 0; trial < 10; trial++ {
+		n := 50 + int(r.next()%200)
+		pts := make([]float64, 2*n)
+		for i := range pts {
+			pts[i] = r.float() * 1000
+		}
+		idx := make([]int, n)
+		for i := range idx {
+			idx[i] = i
+		}
+		root := kdBuild(pts, idx, 0)
+		load := func(j int) (float64, float64) { return pts[2*j], pts[2*j+1] }
+		for q := 0; q < n; q++ {
+			best, bestD := -1, 0.0
+			kdQuery(root, load, pts[2*q], pts[2*q+1], q, &best, &bestD)
+			// Brute force.
+			bf, bfD := -1, math.Inf(1)
+			for j := 0; j < n; j++ {
+				if j == q {
+					continue
+				}
+				dx, dy := pts[2*j]-pts[2*q], pts[2*j+1]-pts[2*q+1]
+				d := dx*dx + dy*dy
+				if d < bfD || (d == bfD && j < bf) {
+					bf, bfD = j, d
+				}
+			}
+			if best != bf {
+				t.Fatalf("trial %d query %d: kd-tree found %d (d=%g), brute force %d (d=%g)",
+					trial, q, best, bestD, bf, bfD)
+			}
+		}
+	}
+}
+
+// TestBVHTraverseMatchesBruteForce validates the raycast BVH traversal
+// against testing every sphere directly, for a grid of rays.
+func TestBVHTraverseMatchesBruteForce(t *testing.T) {
+	sc := rcScene()
+	bvh := rcBuildBVH(sc)
+	nodeAt := func(i int) float64 { return bvh.bounds[i] }
+	sphereAt := func(i int) float64 { return sc[i] }
+
+	bruteForce := func(dx, dy, dz float64) float64 {
+		bestT := math.Inf(1)
+		shade := 0.05
+		for i := 0; i < rcSpheres; i++ {
+			cx, cy, cz := sc[i*5], sc[i*5+1], sc[i*5+2]
+			rad, alb := sc[i*5+3], sc[i*5+4]
+			b := -(dx*cx + dy*cy + dz*cz)
+			c := cx*cx + cy*cy + cz*cz - rad*rad
+			disc := b*b - c
+			if disc <= 0 {
+				continue
+			}
+			thit := -b - math.Sqrt(disc)
+			if thit > 1e-6 && thit < bestT {
+				bestT = thit
+				hx, hy, hz := dx*thit-cx, dy*thit-cy, dz*thit-cz
+				nl := math.Sqrt(hx*hx + hy*hy + hz*hz)
+				lambert := (hx*0.57735 + hy*0.57735 + hz*-0.57735) / nl
+				if lambert < 0 {
+					lambert = 0
+				}
+				shade = 0.1 + alb*lambert
+			}
+		}
+		return shade
+	}
+
+	const w, h = 48, 48
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			dx, dy, dz := rcRay(x, y, w, h)
+			got := rcTraverse(bvh, nodeAt, sphereAt, dx, dy, dz)
+			want := bruteForce(dx, dy, dz)
+			if math.Abs(got-want) > 1e-12 {
+				t.Fatalf("pixel (%d,%d): BVH shade %g != brute force %g", x, y, got, want)
+			}
+		}
+	}
+}
+
+// TestBVHStructure: every sphere appears in exactly one leaf and every
+// node's bounds contain its spheres.
+func TestBVHStructure(t *testing.T) {
+	sc := rcScene()
+	b := rcBuildBVH(sc)
+	seen := make([]int, rcSpheres)
+	for n := range b.left {
+		if b.left[n] >= 0 {
+			continue
+		}
+		for k := 0; k < int(b.count[n]); k++ {
+			s := int(b.order[int(b.start[n])+k])
+			seen[s]++
+			for a := 0; a < 3; a++ {
+				c, rad := sc[s*5+a], sc[s*5+3]
+				if c-rad < b.bounds[n*6+a]-1e-9 || c+rad > b.bounds[n*6+3+a]+1e-9 {
+					t.Fatalf("sphere %d escapes node %d bounds on axis %d", s, n, a)
+				}
+			}
+		}
+	}
+	for s, n := range seen {
+		if n != 1 {
+			t.Fatalf("sphere %d appears in %d leaves", s, n)
+		}
+	}
+}
+
+// TestCndf: the cumulative normal approximation must be monotone, hit
+// the midpoint exactly, and respect symmetry within the published error
+// of the Abramowitz-Stegun polynomial (~7.5e-8).
+func TestCndf(t *testing.T) {
+	if math.Abs(cndf(0)-0.5) > 1e-7 {
+		t.Errorf("cndf(0) = %g", cndf(0))
+	}
+	prev := -1.0
+	for x := -6.0; x <= 6.0; x += 0.01 {
+		v := cndf(x)
+		if v < prev-1e-9 {
+			t.Fatalf("cndf not monotone at %g", x)
+		}
+		if s := cndf(x) + cndf(-x); math.Abs(s-1) > 2e-7 {
+			t.Fatalf("cndf symmetry broken at %g: %g", x, s)
+		}
+		prev = v
+	}
+	if cndf(6) < 0.999999 || cndf(-6) > 1e-6 {
+		t.Error("cndf tails wrong")
+	}
+}
+
+// TestSwPathDeterministic: the Monte-Carlo path payoff is a pure
+// function of (swaption, trial).
+func TestSwPathDeterministic(t *testing.T) {
+	for sw := 0; sw < 4; sw++ {
+		for tr := 0; tr < 8; tr++ {
+			a, b := swPath(sw, tr), swPath(sw, tr)
+			if a != b {
+				t.Fatalf("swPath(%d,%d) nondeterministic", sw, tr)
+			}
+			if a < 0 || math.IsNaN(a) || a > 10 {
+				t.Fatalf("swPath(%d,%d) = %g out of range", sw, tr, a)
+			}
+		}
+	}
+	// Payoffs are floored at zero (a deep out-of-the-money swaption can
+	// produce all-zero trials), so check non-degeneracy across the whole
+	// portfolio rather than per swaption.
+	distinct := map[float64]bool{}
+	for sw := 0; sw < 8; sw++ {
+		for tr := 0; tr < 64; tr++ {
+			distinct[swPath(sw, tr)] = true
+		}
+	}
+	if len(distinct) < 10 {
+		t.Errorf("portfolio payoffs degenerate: %d distinct values", len(distinct))
+	}
+}
+
+// TestFaNeighbors: neighborhood sizes and bounds on the grid.
+func TestFaNeighbors(t *testing.T) {
+	counts := map[int]int{}
+	const g = 4
+	for y := 0; y < g; y++ {
+		for x := 0; x < g; x++ {
+			n := 0
+			faNeighbors(g, x, y, func(nb int) {
+				if nb < 0 || nb >= g*g {
+					t.Fatalf("neighbor %d out of range", nb)
+				}
+				n++
+			})
+			counts[n]++
+		}
+	}
+	// 4 corners (4 neighbors incl. self), 8 edges (6), 4 interior (9).
+	if counts[4] != 4 || counts[6] != 8 || counts[9] != 4 {
+		t.Fatalf("neighborhood size distribution wrong: %v", counts)
+	}
+}

@@ -1,0 +1,211 @@
+package bench
+
+import (
+	"fmt"
+	"math/big"
+
+	avd "github.com/taskpar/avd"
+)
+
+const (
+	kaBase      = 1 << 16 // 16-bit limbs: schoolbook sums stay in int64
+	kaCutoff    = 32      // schoolbook below this size
+	kaSpawnSize = 64      // spawn subproducts above this size
+)
+
+// kaOperand is a multiplication operand: either a window into an
+// instrumented limb array (an original input, re-read at every recursion
+// level) or a materialized plain slice (a derived a0+a1 sum).
+type kaOperand struct {
+	arr  *avd.IntArray
+	off  int
+	n    int
+	data []int64
+}
+
+func (o kaOperand) len() int { return o.n }
+
+func (o kaOperand) at(t *avd.Task, i int) int64 {
+	if i >= o.n {
+		return 0
+	}
+	if o.arr != nil {
+		return o.arr.Load(t, o.off+i)
+	}
+	return o.data[i]
+}
+
+func (o kaOperand) slice(off, n int) kaOperand {
+	if off >= o.n {
+		return kaOperand{n: 0}
+	}
+	if off+n > o.n {
+		n = o.n - off
+	}
+	if o.arr != nil {
+		return kaOperand{arr: o.arr, off: o.off + off, n: n}
+	}
+	return kaOperand{data: o.data[off : off+n], n: n}
+}
+
+// kaSum materializes lo+hi limbwise (no carry: coefficients may exceed
+// the base; the final normalization handles it).
+func kaSum(t *avd.Task, lo, hi kaOperand) kaOperand {
+	n := lo.len()
+	if hi.len() > n {
+		n = hi.len()
+	}
+	out := make([]int64, n)
+	for i := 0; i < n; i++ {
+		out[i] = lo.at(t, i) + hi.at(t, i)
+	}
+	return kaOperand{data: out, n: n}
+}
+
+// kaSchoolbook is the base-case coefficient product.
+func kaSchoolbook(t *avd.Task, a, b kaOperand) []int64 {
+	if a.len() == 0 || b.len() == 0 {
+		return nil
+	}
+	out := make([]int64, a.len()+b.len()-1)
+	for i := 0; i < a.len(); i++ {
+		ai := a.at(t, i)
+		for j := 0; j < b.len(); j++ {
+			out[i+j] += ai * b.at(t, j)
+		}
+	}
+	return out
+}
+
+// kaMul is the parallel Karatsuba recursion over coefficient arrays.
+func kaMul(t *avd.Task, a, b kaOperand) []int64 {
+	n := a.len()
+	if b.len() > n {
+		n = b.len()
+	}
+	if n <= kaCutoff {
+		return kaSchoolbook(t, a, b)
+	}
+	m := n / 2
+	a0, a1 := a.slice(0, m), a.slice(m, n-m)
+	b0, b1 := b.slice(0, m), b.slice(m, n-m)
+	var z0, z1, z2 []int64
+	compute := func(t *avd.Task) {
+		z1 = kaMul(t, kaSum(t, a0, a1), kaSum(t, b0, b1))
+	}
+	if n >= kaSpawnSize {
+		t.Finish(func(t *avd.Task) {
+			t.Spawn(func(ct *avd.Task) { z0 = kaMul(ct, a0, b0) })
+			t.Spawn(func(ct *avd.Task) { z2 = kaMul(ct, a1, b1) })
+			compute(t)
+		})
+	} else {
+		z0 = kaMul(t, a0, b0)
+		z2 = kaMul(t, a1, b1)
+		compute(t)
+	}
+	out := make([]int64, a.len()+b.len()-1)
+	add := func(dst int, src []int64, sign int64) {
+		for i, v := range src {
+			out[dst+i] += sign * v
+		}
+	}
+	add(0, z0, 1)
+	add(2*m, z2, 1)
+	add(m, z1, 1)
+	add(m, z0, -1)
+	add(m, z2, -1)
+	return out
+}
+
+// kaNormalize carries the coefficient array into canonical limbs.
+func kaNormalize(coef []int64, limbs int) []int64 {
+	out := make([]int64, limbs)
+	var carry int64
+	for i := 0; i < limbs; i++ {
+		v := carry
+		if i < len(coef) {
+			v += coef[i]
+		}
+		out[i] = v & (kaBase - 1)
+		carry = v >> 16
+	}
+	if carry != 0 {
+		panic("karatsuba: overflow in normalization")
+	}
+	return out
+}
+
+func kaInput(n int, seed uint64) []int64 {
+	r := newRng(seed)
+	limbs := make([]int64, n)
+	for i := range limbs {
+		limbs[i] = int64(r.next() % kaBase)
+	}
+	limbs[n-1] |= 1 << 12 // keep the top limb non-zero
+	return limbs
+}
+
+func kaToBig(limbs []int64) *big.Int {
+	x := new(big.Int)
+	for i := len(limbs) - 1; i >= 0; i-- {
+		x.Lsh(x, 16)
+		x.Or(x, big.NewInt(limbs[i]))
+	}
+	return x
+}
+
+// Karatsuba is the Structured Parallel Programming big-integer
+// multiplication kernel: recursive three-way Karatsuba with spawned
+// subproducts. The original operand limbs are instrumented and re-read
+// by the parallel recursion at every level (for the a0+a1 sums and the
+// schoolbook leaves), giving the modest location/LCA profile Table 1
+// reports for karatsuba.
+func Karatsuba() Kernel {
+	runFn := func(s *avd.Session, n int) float64 {
+		aw := kaInput(n, 17)
+		bw := kaInput(n, 23)
+		aArr := s.NewIntArray("A", n)
+		bArr := s.NewIntArray("B", n)
+		res := s.NewIntArray("product", 2*n)
+		var checksum float64
+		s.Run(func(t *avd.Task) {
+			for i := 0; i < n; i++ {
+				aArr.Store(t, i, aw[i])
+				bArr.Store(t, i, bw[i])
+			}
+			coef := kaMul(t,
+				kaOperand{arr: aArr, n: n},
+				kaOperand{arr: bArr, n: n})
+			norm := kaNormalize(coef, 2*n)
+			for i, v := range norm {
+				res.Store(t, i, v)
+			}
+			for i := 0; i < 2*n; i++ {
+				checksum += float64(res.Value(i)) * float64(i%31+1)
+			}
+		})
+		return checksum
+	}
+	check := func(n int, sum float64) error {
+		a := kaToBig(kaInput(n, 17))
+		b := kaToBig(kaInput(n, 23))
+		prod := new(big.Int).Mul(a, b)
+		var want float64
+		mask := big.NewInt(kaBase - 1)
+		tmp := new(big.Int).Set(prod)
+		for i := 0; i < 2*n; i++ {
+			limb := new(big.Int).And(tmp, mask)
+			want += float64(limb.Int64()) * float64(i%31+1)
+			tmp.Rsh(tmp, 16)
+		}
+		if tmp.Sign() != 0 {
+			return fmt.Errorf("karatsuba: product wider than 2n limbs")
+		}
+		if sum != want {
+			return fmt.Errorf("karatsuba: checksum %g, want %g (product mismatch vs math/big)", sum, want)
+		}
+		return nil
+	}
+	return Kernel{Name: "karatsuba", DefaultN: 1024, Run: runFn, Check: check}
+}

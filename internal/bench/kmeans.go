@@ -1,0 +1,186 @@
+package bench
+
+import (
+	"fmt"
+
+	avd "github.com/taskpar/avd"
+)
+
+const (
+	kmK     = 8
+	kmDim   = 4
+	kmIters = 5
+)
+
+func kmPoints(n int) []float64 {
+	r := newRng(2024)
+	pts := make([]float64, n*kmDim)
+	for i := range pts {
+		// Coordinates on an exact 1/256 grid: cluster sums are then exact
+		// in float64 regardless of reduction order, so the parallel
+		// iteration trajectory matches the serial reference bit-for-bit.
+		pts[i] = float64(r.intn(2560)) / 256
+	}
+	return pts
+}
+
+func kmNearest(pts []float64, i int, centroids []float64) int {
+	best, bestD := 0, 0.0
+	for c := 0; c < kmK; c++ {
+		var d float64
+		for k := 0; k < kmDim; k++ {
+			x := pts[i*kmDim+k] - centroids[c*kmDim+k]
+			d += x * x
+		}
+		if c == 0 || d < bestD {
+			best, bestD = c, d
+		}
+	}
+	return best
+}
+
+// kmSerial is the reference clustering; returns the membership checksum
+// (exact) plus the final centroid checksum (approximate).
+func kmSerial(n int) (int64, []float64) {
+	pts := kmPoints(n)
+	centroids := make([]float64, kmK*kmDim)
+	copy(centroids, pts[:kmK*kmDim])
+	member := make([]int, n)
+	for it := 0; it < kmIters; it++ {
+		sums := make([]float64, kmK*kmDim)
+		counts := make([]int64, kmK)
+		for i := 0; i < n; i++ {
+			c := kmNearest(pts, i, centroids)
+			member[i] = c
+			counts[c]++
+			for k := 0; k < kmDim; k++ {
+				sums[c*kmDim+k] += pts[i*kmDim+k]
+			}
+		}
+		for c := 0; c < kmK; c++ {
+			if counts[c] > 0 {
+				for k := 0; k < kmDim; k++ {
+					centroids[c*kmDim+k] = sums[c*kmDim+k] / float64(counts[c])
+				}
+			}
+		}
+	}
+	var msum int64
+	for i, c := range member {
+		msum += int64((c + 1) * (i%101 + 1))
+	}
+	return msum, centroids
+}
+
+// Kmeans is the clustering kernel from Structured Parallel Programming:
+// per iteration, points are assigned to the nearest centroid in parallel
+// (re-reading the shared instrumented centroids) and the per-cluster
+// sums and counts are merged under per-cluster locks. Repeated revisits
+// of the centroid and accumulator locations by fresh steps every
+// iteration produce the very high LCA-query count with a high unique
+// fraction that Table 1 reports for kmeans.
+func Kmeans() Kernel {
+	run := func(s *avd.Session, n int) float64 {
+		pts := kmPoints(n)
+		points := s.NewFloatArray("points", n*kmDim)
+		centroids := s.NewFloatArray("centroids", kmK*kmDim)
+		sums := s.NewFloatArray("sums", kmK*kmDim)
+		counts := s.NewIntArray("counts", kmK)
+		member := s.NewIntArray("membership", n)
+		locks := make([]*avd.Mutex, kmK)
+		for c := range locks {
+			locks[c] = s.NewMutex(fmt.Sprintf("cluster-%d", c))
+		}
+
+		var msum int64
+		s.Run(func(t *avd.Task) {
+			for i := 0; i < n*kmDim; i++ {
+				points.Store(t, i, pts[i])
+			}
+			for i := 0; i < kmK*kmDim; i++ {
+				centroids.Store(t, i, pts[i])
+			}
+			for it := 0; it < kmIters; it++ {
+				for i := 0; i < kmK*kmDim; i++ {
+					sums.Store(t, i, 0)
+				}
+				for c := 0; c < kmK; c++ {
+					counts.Store(t, c, 0)
+				}
+				avd.ParallelRange(t, 0, n, grainFor(n, 8), func(t *avd.Task, lo, hi int) {
+					// Leaf-local accumulation, merged per cluster in one
+					// critical section each.
+					localSums := make([]float64, kmK*kmDim)
+					localCounts := make([]int64, kmK)
+					cent := make([]float64, kmK*kmDim)
+					for i := range cent {
+						cent[i] = centroids.Load(t, i)
+					}
+					var coord [kmDim]float64
+					for i := lo; i < hi; i++ {
+						for k := 0; k < kmDim; k++ {
+							coord[k] = points.Load(t, i*kmDim+k)
+						}
+						best, bestD := 0, 0.0
+						for c := 0; c < kmK; c++ {
+							var d float64
+							for k := 0; k < kmDim; k++ {
+								x := coord[k] - cent[c*kmDim+k]
+								d += x * x
+							}
+							if c == 0 || d < bestD {
+								best, bestD = c, d
+							}
+						}
+						member.Store(t, i, int64(best))
+						localCounts[best]++
+						for k := 0; k < kmDim; k++ {
+							localSums[best*kmDim+k] += coord[k]
+						}
+					}
+					// Ordered full acquisition of the touched cluster locks:
+					// the leaf's merge is one atomic block per step.
+					var held []int
+					for c := 0; c < kmK; c++ {
+						if localCounts[c] != 0 {
+							held = append(held, c)
+							locks[c].Lock(t)
+						}
+					}
+					for _, c := range held {
+						counts.Add(t, c, localCounts[c])
+						for k := 0; k < kmDim; k++ {
+							sums.Add(t, c*kmDim+k, localSums[c*kmDim+k])
+						}
+					}
+					for i := len(held) - 1; i >= 0; i-- {
+						locks[held[i]].Unlock(t)
+					}
+				})
+				for c := 0; c < kmK; c++ {
+					cnt := counts.Value(c)
+					if cnt > 0 {
+						for k := 0; k < kmDim; k++ {
+							centroids.Store(t, c*kmDim+k, sums.Value(c*kmDim+k)/float64(cnt))
+						}
+					}
+				}
+			}
+			for i := 0; i < n; i++ {
+				msum += (member.Value(i) + 1) * int64(i%101+1)
+			}
+		})
+		return float64(msum)
+	}
+	check := func(n int, sum float64) error {
+		want, _ := kmSerial(n)
+		// Centroid float accumulation is order-dependent, which can in
+		// principle flip a nearest-centroid tie; the generated points
+		// make ties measure-zero, so memberships must match exactly.
+		if sum != float64(want) {
+			return fmt.Errorf("kmeans: membership checksum %g, want %d", sum, want)
+		}
+		return nil
+	}
+	return Kernel{Name: "kmeans", DefaultN: 10000, Run: run, Check: check}
+}

@@ -1,0 +1,140 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+
+	avd "github.com/taskpar/avd"
+)
+
+// kd-tree over 2D points, built sequentially (uninstrumented, as tree
+// construction is not the measured sharing pattern) and queried in
+// parallel with instrumented coordinate reads.
+
+type kdNode struct {
+	point       int // index into the point set
+	axis        int
+	left, right *kdNode
+}
+
+func kdBuild(pts []float64, idx []int, axis int) *kdNode {
+	if len(idx) == 0 {
+		return nil
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		va, vb := pts[2*idx[a]+axis], pts[2*idx[b]+axis]
+		if va != vb {
+			return va < vb
+		}
+		return idx[a] < idx[b]
+	})
+	m := len(idx) / 2
+	n := &kdNode{point: idx[m], axis: axis}
+	leftIdx := append([]int(nil), idx[:m]...)
+	rightIdx := append([]int(nil), idx[m+1:]...)
+	n.left = kdBuild(pts, leftIdx, 1-axis)
+	n.right = kdBuild(pts, rightIdx, 1-axis)
+	return n
+}
+
+// kdQuery finds the nearest tree point to query q (excluding exact index
+// match), reading coordinates through load.
+func kdQuery(n *kdNode, load func(i int) (float64, float64), qx, qy float64, self int, best *int, bestD *float64) {
+	if n == nil {
+		return
+	}
+	px, py := load(n.point)
+	if n.point != self {
+		d := (px-qx)*(px-qx) + (py-qy)*(py-qy)
+		if *best < 0 || d < *bestD || (d == *bestD && n.point < *best) {
+			*bestD, *best = d, n.point
+		}
+	}
+	var axisQ, axisP float64
+	if n.axis == 0 {
+		axisQ, axisP = qx, px
+	} else {
+		axisQ, axisP = qy, py
+	}
+	near, far := n.left, n.right
+	if axisQ > axisP {
+		near, far = far, near
+	}
+	kdQuery(near, load, qx, qy, self, best, bestD)
+	if diff := axisQ - axisP; diff*diff <= *bestD || *best < 0 {
+		kdQuery(far, load, qx, qy, self, best, bestD)
+	}
+}
+
+func nnPoints(n int) []float64 {
+	r := newRng(808)
+	pts := make([]float64, 2*n)
+	for i := range pts {
+		pts[i] = r.float() * 1000
+	}
+	return pts
+}
+
+func nnSerial(n int) int64 {
+	pts := nnPoints(n)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	root := kdBuild(pts, idx, 0)
+	var sum int64
+	for i := 0; i < n; i++ {
+		best, bestD := -1, 0.0
+		kdQuery(root, func(j int) (float64, float64) { return pts[2*j], pts[2*j+1] },
+			pts[2*i], pts[2*i+1], i, &best, &bestD)
+		sum += int64(best) * int64(i%97+1)
+	}
+	return sum
+}
+
+// Nearestneigh is the PBBS all-nearest-neighbors kernel: a kd-tree is
+// built over the point set and every point queries its nearest neighbor
+// in parallel. Tree-node coordinates near the root are re-read by nearly
+// every query step, yielding many locations with a moderate LCA-query
+// profile as in Table 1.
+func Nearestneigh() Kernel {
+	run := func(s *avd.Session, n int) float64 {
+		raw := nnPoints(n)
+		pts := s.NewFloatArray("points", 2*n)
+		nearest := s.NewIntArray("nearest", n)
+		idx := make([]int, n)
+		for i := range idx {
+			idx[i] = i
+		}
+		root := kdBuild(raw, idx, 0)
+
+		var sum int64
+		s.Run(func(t *avd.Task) {
+			for i := range raw {
+				pts.Store(t, i, raw[i])
+			}
+			avd.ParallelRange(t, 0, n, grainFor(n, 8), func(t *avd.Task, lo, hi int) {
+				load := func(j int) (float64, float64) {
+					return pts.Load(t, 2*j), pts.Load(t, 2*j+1)
+				}
+				for i := lo; i < hi; i++ {
+					best, bestD := -1, 0.0
+					kdQuery(root, load, raw[2*i], raw[2*i+1], i, &best, &bestD)
+					nearest.Store(t, i, int64(best))
+				}
+			})
+			for i := 0; i < n; i++ {
+				sum += nearest.Value(i) * int64(i%97+1)
+			}
+		})
+		return float64(sum)
+	}
+	check := func(n int, sum float64) error {
+		want := float64(nnSerial(n))
+		if sum != want {
+			return fmt.Errorf("nearestneigh: checksum %g, want %g", sum, want)
+		}
+		return nil
+	}
+	return Kernel{Name: "nearestneigh", DefaultN: 4000, Run: run, Check: check}
+}

@@ -1,0 +1,242 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	avd "github.com/taskpar/avd"
+)
+
+const (
+	rcSpheres  = 256
+	rcWidth    = 64 // image width; height is the problem size
+	rcLeafSize = 4
+)
+
+// rcScene generates sphere centers/radii/albedos deterministically:
+// 5 floats per sphere (cx, cy, cz, radius, albedo).
+func rcScene() []float64 {
+	r := newRng(4242)
+	sc := make([]float64, rcSpheres*5)
+	for i := 0; i < rcSpheres; i++ {
+		sc[i*5+0] = 24 * (r.float() - 0.5)
+		sc[i*5+1] = 24 * (r.float() - 0.5)
+		sc[i*5+2] = 8 + 40*r.float()
+		sc[i*5+3] = 0.3 + 1.2*r.float()
+		sc[i*5+4] = 0.2 + 0.8*r.float()
+	}
+	return sc
+}
+
+// rcBVH is a bounding-volume hierarchy over the spheres: median split on
+// the longest axis, leaves of at most rcLeafSize spheres. The topology
+// (children, leaf ranges) is immutable; the node bounds are what rays
+// read, so those live in an instrumented array during the parallel phase.
+type rcBVH struct {
+	bounds []float64 // 6 per node: min xyz, max xyz
+	left   []int32   // child index, or -1 for leaves
+	right  []int32
+	start  []int32 // leaf: first index into order
+	count  []int32 // leaf: sphere count
+	order  []int32 // sphere indices, grouped by leaf
+}
+
+func rcBuildBVH(sc []float64) *rcBVH {
+	b := &rcBVH{}
+	idx := make([]int32, rcSpheres)
+	for i := range idx {
+		idx[i] = int32(i)
+	}
+	var build func(items []int32) int32
+	build = func(items []int32) int32 {
+		node := int32(len(b.left))
+		b.left = append(b.left, -1)
+		b.right = append(b.right, -1)
+		b.start = append(b.start, -1)
+		b.count = append(b.count, 0)
+		lo := [3]float64{math.Inf(1), math.Inf(1), math.Inf(1)}
+		hi := [3]float64{math.Inf(-1), math.Inf(-1), math.Inf(-1)}
+		for _, s := range items {
+			for a := 0; a < 3; a++ {
+				c, r := sc[int(s)*5+a], sc[int(s)*5+3]
+				lo[a] = math.Min(lo[a], c-r)
+				hi[a] = math.Max(hi[a], c+r)
+			}
+		}
+		b.bounds = append(b.bounds, lo[0], lo[1], lo[2], hi[0], hi[1], hi[2])
+		if len(items) <= rcLeafSize {
+			b.start[node] = int32(len(b.order))
+			b.count[node] = int32(len(items))
+			b.order = append(b.order, items...)
+			return node
+		}
+		axis := 0
+		if hi[1]-lo[1] > hi[axis]-lo[axis] {
+			axis = 1
+		}
+		if hi[2]-lo[2] > hi[axis]-lo[axis] {
+			axis = 2
+		}
+		sorted := append([]int32(nil), items...)
+		sort.Slice(sorted, func(x, y int) bool {
+			cx, cy := sc[int(sorted[x])*5+axis], sc[int(sorted[y])*5+axis]
+			if cx != cy {
+				return cx < cy
+			}
+			return sorted[x] < sorted[y]
+		})
+		mid := len(sorted) / 2
+		l := build(sorted[:mid])
+		r := build(sorted[mid:])
+		b.left[node], b.right[node] = l, r
+		return node
+	}
+	build(idx)
+	return b
+}
+
+// rcTraverse intersects the ray (origin 0, direction d) with the BVH,
+// reading node bounds and sphere data through the given loaders, and
+// returns the shade at the nearest hit.
+func rcTraverse(b *rcBVH, nodeAt func(i int) float64, sphereAt func(i int) float64, dx, dy, dz float64) float64 {
+	bestT := math.Inf(1)
+	shade := 0.05
+	inv := [3]float64{1 / dx, 1 / dy, 1 / dz}
+	var stack [64]int32
+	sp := 0
+	stack[sp] = 0
+	sp++
+	for sp > 0 {
+		sp--
+		node := int(stack[sp])
+		// Slab test against the node bounds.
+		tmin, tmax := 0.0, bestT
+		hit := true
+		for a := 0; a < 3; a++ {
+			lo := nodeAt(node*6 + a)
+			hi := nodeAt(node*6 + 3 + a)
+			t0 := lo * inv[a]
+			t1 := hi * inv[a]
+			if t0 > t1 {
+				t0, t1 = t1, t0
+			}
+			if t0 > tmin {
+				tmin = t0
+			}
+			if t1 < tmax {
+				tmax = t1
+			}
+			if tmin > tmax {
+				hit = false
+				break
+			}
+		}
+		if !hit {
+			continue
+		}
+		if b.left[node] < 0 {
+			for k := 0; k < int(b.count[node]); k++ {
+				s := int(b.order[int(b.start[node])+k])
+				cx, cy, cz := sphereAt(s*5), sphereAt(s*5+1), sphereAt(s*5+2)
+				rad, alb := sphereAt(s*5+3), sphereAt(s*5+4)
+				bq := -(dx*cx + dy*cy + dz*cz)
+				cq := cx*cx + cy*cy + cz*cz - rad*rad
+				disc := bq*bq - cq
+				if disc <= 0 {
+					continue
+				}
+				thit := -bq - math.Sqrt(disc)
+				if thit > 1e-6 && thit < bestT {
+					bestT = thit
+					hx, hy, hz := dx*thit-cx, dy*thit-cy, dz*thit-cz
+					nl := math.Sqrt(hx*hx + hy*hy + hz*hz)
+					lambert := (hx*0.57735 + hy*0.57735 + hz*-0.57735) / nl
+					if lambert < 0 {
+						lambert = 0
+					}
+					shade = 0.1 + alb*lambert
+				}
+			}
+			continue
+		}
+		stack[sp] = b.left[node]
+		sp++
+		stack[sp] = b.right[node]
+		sp++
+	}
+	return shade
+}
+
+func rcRay(px, py, w, h int) (float64, float64, float64) {
+	dx := (float64(px)+0.5)/float64(w)*2 - 1
+	dy := (float64(py)+0.5)/float64(h)*2 - 1
+	dz := 1.5
+	norm := math.Sqrt(dx*dx + dy*dy + dz*dz)
+	return dx / norm, dy / norm, dz / norm
+}
+
+func rcSerial(n int) float64 {
+	sc := rcScene()
+	bvh := rcBuildBVH(sc)
+	nodeAt := func(i int) float64 { return bvh.bounds[i] }
+	sphereAt := func(i int) float64 { return sc[i] }
+	h := n
+	var sum float64
+	for y := 0; y < h; y++ {
+		for x := 0; x < rcWidth; x++ {
+			dx, dy, dz := rcRay(x, y, rcWidth, h)
+			sum += rcTraverse(bvh, nodeAt, sphereAt, dx, dy, dz) * float64((x+y)%7+1)
+		}
+	}
+	return sum
+}
+
+// Raycast is the PBBS ray-casting kernel: primary rays are traced in
+// parallel, one task per pixel, through a bounding-volume hierarchy over
+// the scene. Each ray reads the bounds and sphere data along its own
+// traversal path, so different steps touch different subsets of the
+// shared scene — which is why raycast issues by far the most LCA queries
+// relative to its size, with the highest unique fraction (91% in the
+// paper's Table 1).
+func Raycast() Kernel {
+	run := func(s *avd.Session, n int) float64 {
+		sc := rcScene()
+		bvh := rcBuildBVH(sc)
+		nodes := s.NewFloatArray("bvh", len(bvh.bounds))
+		scene := s.NewFloatArray("scene", len(sc))
+		frame := s.NewFloatArray("framebuffer", rcWidth*n)
+		var sum float64
+		s.Run(func(t *avd.Task) {
+			for i := range bvh.bounds {
+				nodes.Store(t, i, bvh.bounds[i])
+			}
+			for i := range sc {
+				scene.Store(t, i, sc[i])
+			}
+			h := n
+			avd.ParallelRange(t, 0, h*rcWidth, 1, func(t *avd.Task, lo, hi int) {
+				nodeAt := func(i int) float64 { return nodes.Load(t, i) }
+				sphereAt := func(i int) float64 { return scene.Load(t, i) }
+				for p := lo; p < hi; p++ {
+					x, y := p%rcWidth, p/rcWidth
+					dx, dy, dz := rcRay(x, y, rcWidth, h)
+					frame.Store(t, p, rcTraverse(bvh, nodeAt, sphereAt, dx, dy, dz))
+				}
+			})
+			for p := 0; p < h*rcWidth; p++ {
+				x, y := p%rcWidth, p/rcWidth
+				sum += frame.Value(p) * float64((x+y)%7+1)
+			}
+		})
+		return sum
+	}
+	check := func(n int, sum float64) error {
+		want := rcSerial(n)
+		if !approxEqual(sum, want, 1e-9) {
+			return fmt.Errorf("raycast: checksum %g, want %g", sum, want)
+		}
+		return nil
+	}
+	return Kernel{Name: "raycast", DefaultN: 64, Run: run, Check: check}
+}

@@ -1,0 +1,141 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+
+	avd "github.com/taskpar/avd"
+)
+
+const (
+	sortCutoff = 256 // sort ranges of this size locally at the leaves
+)
+
+func sortInput(n int) []int64 {
+	r := newRng(606060)
+	a := make([]int64, n)
+	for i := range a {
+		a[i] = int64(r.next() % 1000000)
+	}
+	return a
+}
+
+// Sort is the parallel merge sort from Structured Parallel Programming:
+// recursive halving with spawned subsorts over an instrumented array and
+// an instrumented scratch buffer. Each element is read and written a
+// logarithmic number of times by different steps, giving the small
+// locations/nodes/LCA profile Table 1 reports for sort.
+func Sort() Kernel {
+	run := func(s *avd.Session, n int) float64 {
+		input := sortInput(n)
+		data := s.NewIntArray("data", n)
+		scratch := s.NewIntArray("scratch", n)
+
+		// leafSort pulls a leaf range into task-local memory, sorts it,
+		// and writes it back: one instrumented read and write per element,
+		// as a cache-resident base case would.
+		leafSort := func(t *avd.Task, lo, hi int) {
+			buf := make([]int64, hi-lo)
+			for i := lo; i < hi; i++ {
+				buf[i-lo] = data.Load(t, i)
+			}
+			sort.Slice(buf, func(a, b int) bool { return buf[a] < buf[b] })
+			for i := lo; i < hi; i++ {
+				data.Store(t, i, buf[i-lo])
+			}
+		}
+		merge := func(t *avd.Task, lo, mid, hi int) {
+			i, j, k := lo, mid, lo
+			for i < mid && j < hi {
+				a, b := data.Load(t, i), data.Load(t, j)
+				if a <= b {
+					scratch.Store(t, k, a)
+					i++
+				} else {
+					scratch.Store(t, k, b)
+					j++
+				}
+				k++
+			}
+			for i < mid {
+				scratch.Store(t, k, data.Load(t, i))
+				i, k = i+1, k+1
+			}
+			for j < hi {
+				scratch.Store(t, k, data.Load(t, j))
+				j, k = j+1, k+1
+			}
+			for x := lo; x < hi; x++ {
+				data.Store(t, x, scratch.Load(t, x))
+			}
+		}
+		var parSort func(t *avd.Task, lo, hi int)
+		parSort = func(t *avd.Task, lo, hi int) {
+			if hi-lo <= sortCutoff {
+				leafSort(t, lo, hi)
+				return
+			}
+			mid := lo + (hi-lo)/2
+			t.Finish(func(t *avd.Task) {
+				t.Spawn(func(ct *avd.Task) { parSort(ct, lo, mid) })
+				parSort(t, mid, hi)
+			})
+			merge(t, lo, mid, hi)
+		}
+
+		var sum float64
+		s.Run(func(t *avd.Task) {
+			for i, v := range input {
+				data.Store(t, i, v)
+			}
+			parSort(t, 0, n)
+			prev := int64(-1)
+			for i := 0; i < n; i++ {
+				v := data.Value(i)
+				if v < prev {
+					panic("sort: output not sorted")
+				}
+				prev = v
+				sum += float64(v) * float64(i%31+1)
+			}
+		})
+		return sum
+	}
+	check := func(n int, sum float64) error {
+		input := sortInput(n)
+		// Reference: counting via a simple serial merge sort.
+		sorted := append([]int64(nil), input...)
+		var ms func(a []int64) []int64
+		ms = func(a []int64) []int64 {
+			if len(a) < 2 {
+				return a
+			}
+			m := len(a) / 2
+			l, r := ms(append([]int64(nil), a[:m]...)), ms(append([]int64(nil), a[m:]...))
+			out := make([]int64, 0, len(a))
+			i, j := 0, 0
+			for i < len(l) && j < len(r) {
+				if l[i] <= r[j] {
+					out = append(out, l[i])
+					i++
+				} else {
+					out = append(out, r[j])
+					j++
+				}
+			}
+			out = append(out, l[i:]...)
+			out = append(out, r[j:]...)
+			return out
+		}
+		sorted = ms(sorted)
+		var want float64
+		for i, v := range sorted {
+			want += float64(v) * float64(i%31+1)
+		}
+		if sum != want {
+			return fmt.Errorf("sort: checksum %g, want %g", sum, want)
+		}
+		return nil
+	}
+	return Kernel{Name: "sort", DefaultN: 20000, Run: run, Check: check}
+}

@@ -1,0 +1,136 @@
+package bench
+
+import (
+	"fmt"
+
+	avd "github.com/taskpar/avd"
+)
+
+const (
+	scDim       = 3
+	scChunkDiv  = 4 // points arrive in n/scChunkDiv-sized chunks
+	scMaxCenter = 6 // centers opened over the stream, one per chunk
+)
+
+func scPoints(n int) []float64 {
+	r := newRng(1234)
+	pts := make([]float64, n*scDim)
+	for i := range pts {
+		pts[i] = r.float() * 100
+	}
+	return pts
+}
+
+func scDist2(pts []float64, i int, center []float64) float64 {
+	var d float64
+	for k := 0; k < scDim; k++ {
+		x := pts[i*scDim+k] - center[k]
+		d += x * x
+	}
+	return d
+}
+
+// scSerial computes the reference cost and assignment checksum.
+func scSerial(n int) (float64, int64) {
+	pts := scPoints(n)
+	chunk := n / scChunkDiv
+	var centers [][]float64
+	var cost float64
+	var assignSum int64
+	for start := 0; start < n; start += chunk {
+		end := start + chunk
+		if end > n {
+			end = n
+		}
+		if len(centers) < scMaxCenter {
+			c := make([]float64, scDim)
+			copy(c, pts[start*scDim:start*scDim+scDim])
+			centers = append(centers, c)
+		}
+		for i := start; i < end; i++ {
+			best, bestD := 0, scDist2(pts, i, centers[0])
+			for j := 1; j < len(centers); j++ {
+				if d := scDist2(pts, i, centers[j]); d < bestD {
+					best, bestD = j, d
+				}
+			}
+			cost += bestD
+			assignSum += int64(best * i % 97)
+		}
+	}
+	return cost, assignSum
+}
+
+// Streamcluster is the PARSEC streaming k-median kernel: points arrive
+// in chunks, each chunk is assigned in parallel to the nearest of the
+// currently open centers, the assignment cost is reduced under a lock,
+// and a new center is opened between chunks. The shared center
+// coordinates are re-read by every step, which drives the large LCA
+// query count (with roughly half unique) that Table 1 reports.
+func Streamcluster() Kernel {
+	run := func(s *avd.Session, n int) float64 {
+		pts := scPoints(n)
+		chunk := n / scChunkDiv
+		centers := s.NewFloatArray("centers", scMaxCenter*scDim)
+		assign := s.NewIntArray("assign", n)
+		cost := s.NewFloatVar("cost")
+		lock := s.NewMutex("cost.lock")
+
+		var total float64
+		var assignSum int64
+		s.Run(func(t *avd.Task) {
+			opened := 0
+			for start := 0; start < n; start += chunk {
+				end := start + chunk
+				if end > n {
+					end = n
+				}
+				if opened < scMaxCenter {
+					// The streaming thread opens a center at the head of
+					// the chunk (sequential, like the facility-opening
+					// decision in streamcluster).
+					for k := 0; k < scDim; k++ {
+						centers.Store(t, opened*scDim+k, pts[start*scDim+k])
+					}
+					opened++
+				}
+				nc := opened
+				avd.ParallelRange(t, start, end, grainFor(end-start, 8), func(t *avd.Task, lo, hi int) {
+					var local float64
+					for i := lo; i < hi; i++ {
+						best, bestD := 0, 0.0
+						for j := 0; j < nc; j++ {
+							var d float64
+							for k := 0; k < scDim; k++ {
+								x := pts[i*scDim+k] - centers.Load(t, j*scDim+k)
+								d += x * x
+							}
+							if j == 0 || d < bestD {
+								best, bestD = j, d
+							}
+						}
+						assign.Store(t, i, int64(best))
+						local += bestD
+					}
+					lock.Lock(t)
+					cost.Add(t, local)
+					lock.Unlock(t)
+				})
+			}
+			total = cost.Load(t)
+			for i := 0; i < n; i++ {
+				assignSum += assign.Value(i) * int64(i) % 97
+			}
+		})
+		return total + float64(assignSum)
+	}
+	check := func(n int, sum float64) error {
+		cost, assignSum := scSerial(n)
+		want := cost + float64(assignSum)
+		if !approxEqual(sum, want, 1e-6) {
+			return fmt.Errorf("streamcluster: checksum %g, want %g", sum, want)
+		}
+		return nil
+	}
+	return Kernel{Name: "streamcluster", DefaultN: 8000, Run: run, Check: check}
+}

@@ -1,0 +1,93 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+
+	avd "github.com/taskpar/avd"
+)
+
+const swTrials = 2048
+
+// swPath simulates one simplified HJM short-rate path and returns the
+// discounted payoff of the swaption. Deterministic per (swaption, trial).
+func swPath(swaption, trial int) float64 {
+	r := newRng(uint64(swaption)*2654435761 + uint64(trial)*40503 + 1)
+	rate := 0.02 + 0.04*float64(swaption%7)/7
+	strike := 0.03 + 0.02*float64(swaption%5)/5
+	discount := 1.0
+	const steps = 16
+	for s := 0; s < steps; s++ {
+		// Box-Muller-free shock: sum of uniforms, variance-matched.
+		shock := (r.float() + r.float() + r.float() - 1.5) / math.Sqrt(0.25)
+		rate += 0.002*shock*math.Sqrt(1.0/steps) + 0.0001
+		if rate < 0 {
+			rate = 0
+		}
+		discount *= math.Exp(-rate / steps)
+	}
+	payoff := rate - strike
+	if payoff < 0 {
+		payoff = 0
+	}
+	return discount * payoff
+}
+
+func swSerial(n int) float64 {
+	var total float64
+	for sw := 0; sw < n; sw++ {
+		var sum float64
+		for tr := 0; tr < swTrials; tr++ {
+			sum += swPath(sw, tr)
+		}
+		total += sum / swTrials
+	}
+	return total
+}
+
+// Swaptions is the PARSEC Monte-Carlo swaption pricer: an outer parallel
+// loop over swaptions and an inner fine-grained parallel loop over
+// simulation trials. The fine grain produces the largest DPST of the
+// suite and a fresh instrumented location per trial, matching the
+// "highest number of nodes, large number of locations" profile the
+// paper gives for swaptions.
+func Swaptions() Kernel {
+	run := func(s *avd.Session, n int) float64 {
+		payoffs := s.NewFloatArray("payoffs", n*swTrials)
+		prices := s.NewFloatArray("prices", n)
+		sums := s.NewFloatArray("sums", n)
+		locks := make([]*avd.Mutex, n)
+		for i := range locks {
+			locks[i] = s.NewMutex(fmt.Sprintf("swaption-%d", i))
+		}
+		var total float64
+		s.Run(func(t *avd.Task) {
+			avd.ParallelFor(t, 0, n, 1, func(t *avd.Task, sw int) {
+				avd.ParallelRange(t, 0, swTrials, 1, func(t *avd.Task, lo, hi int) {
+					var local float64
+					for tr := lo; tr < hi; tr++ {
+						p := swPath(sw, tr)
+						payoffs.Store(t, sw*swTrials+tr, p)
+						local += p
+					}
+					locks[sw].Lock(t)
+					sums.Add(t, sw, local)
+					locks[sw].Unlock(t)
+				})
+				prices.Store(t, sw, sums.Load(t, sw)/swTrials)
+			})
+			for sw := 0; sw < n; sw++ {
+				total += prices.Value(sw)
+			}
+		})
+		return total
+	}
+	check := func(n int, sum float64) error {
+		want := swSerial(n)
+		if !approxEqual(sum, want, 1e-6) {
+			return fmt.Errorf("swaptions: checksum %g, want %g", sum, want)
+		}
+		return nil
+	}
+	return Kernel{Name: "swaptions", DefaultN: 32, Run: run, Check: check}
+}

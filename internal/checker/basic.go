@@ -1,0 +1,145 @@
+package checker
+
+import (
+	"sync"
+
+	"github.com/taskpar/avd/internal/dpst"
+	"github.com/taskpar/avd/internal/sched"
+)
+
+// basicEntry is one access-history record of the basic algorithm.
+type basicEntry struct {
+	step  dpst.NodeID
+	typ   AccessType
+	locks []uint64
+}
+
+// basicCell is the unbounded per-location access history of Figure 3.
+type basicCell struct {
+	mu   sync.Mutex
+	hist []basicEntry
+}
+
+// Basic is the reference checker of Figure 3: it appends every dynamic
+// access to the location's history and, on each access, searches the
+// history for unserializable triples. Its metadata grows with the number
+// of dynamic accesses; it exists as the differential-testing baseline for
+// Optimized and for the trace-replay tooling, not for performance.
+//
+// Beyond the literal pseudocode of Figure 3, Basic also checks the
+// current access in the interleaver role against every two-access
+// pattern already in the history (the optimized algorithm does this in
+// HandleFirstAccessCurrentTask); without it, violations whose
+// interleaving access appears after the pattern in the observed trace
+// would be missed by the basic variant alone.
+type Basic struct {
+	q      *dpst.Query
+	rep    *Reporter
+	strict bool
+	mem    shadow[basicCell]
+}
+
+func newBasic(opts Options) *Basic {
+	c := &Basic{q: opts.Query, rep: opts.Reporter, strict: opts.StrictLockChecks}
+	return c
+}
+
+// Reporter implements Checker.
+func (c *Basic) Reporter() *Reporter { return c.rep }
+
+// Stats implements Checker.
+func (c *Basic) Stats() Stats { return Stats{Locations: c.mem.count.Load()} }
+
+// OnAcquire implements sched.Monitor.
+func (c *Basic) OnAcquire(*sched.Task, *sched.Mutex) {}
+
+// OnRelease implements sched.Monitor.
+func (c *Basic) OnRelease(*sched.Task, *sched.Mutex) {}
+
+func (c *Basic) report(loc sched.Loc, patStep, inter dpst.NodeID, a1, a2, a3 AccessType) {
+	tr := c.q.Tree()
+	c.rep.Report(Violation{
+		Loc:             loc,
+		PatternStep:     patStep,
+		InterleaverStep: inter,
+		First:           a1,
+		Middle:          a2,
+		Last:            a3,
+		PatternTask:     tr.Task(patStep),
+		InterleaverTask: tr.Task(inter),
+	})
+}
+
+// OnAccess implements sched.Monitor.
+func (c *Basic) OnAccess(t *sched.Task, loc sched.Loc, write bool) {
+	c.Access(t, loc, write)
+}
+
+// Access checks one access against the location's full history.
+func (c *Basic) Access(ts TaskState, loc sched.Loc, write bool) {
+	si := ts.StepNode()
+	locks := ts.Lockset()
+	cur := Read
+	if write {
+		cur = Write
+	}
+	cell := c.mem.cell(loc)
+	cell.mu.Lock()
+	defer cell.mu.Unlock()
+
+	// Role 1 (Figure 3): the current access completes a two-access
+	// pattern (p, current) of its own step; any recorded access by a
+	// parallel step is a candidate interleaver.
+	for _, p := range cell.hist {
+		if p.step != si {
+			continue
+		}
+		common := intersect(p.locks, locks)
+		if len(common) > 0 && !c.strict {
+			continue // same critical section: atomic under the lock
+		}
+		for _, q := range cell.hist {
+			if q.step == si {
+				continue
+			}
+			if !Unserializable(p.typ, q.typ, cur) {
+				continue
+			}
+			if !identityDisjoint(common, q.locks) {
+				continue
+			}
+			if c.q.Par(si, q.step) {
+				c.report(loc, si, q.step, p.typ, q.typ, cur)
+			}
+		}
+	}
+
+	// Role 2: the current access is the interleaver of a pattern already
+	// recorded by another step (both pattern accesses precede the
+	// current one in the trace).
+	for i, p1 := range cell.hist {
+		if p1.step == si {
+			continue
+		}
+		for _, p2 := range cell.hist[i+1:] {
+			if p2.step != p1.step {
+				continue
+			}
+			common := intersect(p1.locks, p2.locks)
+			if len(common) > 0 && !c.strict {
+				continue
+			}
+			if !Unserializable(p1.typ, cur, p2.typ) {
+				continue
+			}
+			if !identityDisjoint(common, locks) {
+				continue
+			}
+			if c.q.Par(si, p1.step) {
+				c.report(loc, p1.step, si, p1.typ, cur, p2.typ)
+			}
+		}
+	}
+
+	cell.hist = append(cell.hist, basicEntry{step: si, typ: cur, locks: copyLocks(locks)})
+}

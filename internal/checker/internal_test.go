@@ -1,0 +1,115 @@
+package checker
+
+import (
+	"testing"
+
+	"github.com/taskpar/avd/internal/dpst"
+	"github.com/taskpar/avd/internal/sched"
+)
+
+func TestIntersect(t *testing.T) {
+	cases := []struct {
+		a, b, want []uint64
+	}{
+		{nil, nil, nil},
+		{[]uint64{1, 2}, nil, nil},
+		{[]uint64{1, 2}, []uint64{3}, nil},
+		{[]uint64{1, 2}, []uint64{2, 3}, []uint64{2}},
+		{[]uint64{1, 2, 3}, []uint64{3, 1}, []uint64{1, 3}},
+	}
+	for _, c := range cases {
+		got := intersect(c.a, c.b)
+		if len(got) != len(c.want) {
+			t.Errorf("intersect(%v,%v) = %v, want %v", c.a, c.b, got, c.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("intersect(%v,%v) = %v, want %v", c.a, c.b, got, c.want)
+			}
+		}
+	}
+}
+
+func TestIdentityDisjoint(t *testing.T) {
+	l1a := sched.MakeLockToken(1, 10)
+	l1b := sched.MakeLockToken(1, 11)
+	l2 := sched.MakeLockToken(2, 12)
+	if !identityDisjoint(nil, []uint64{l1a}) {
+		t.Error("empty common lockset must be disjoint from anything")
+	}
+	if identityDisjoint([]uint64{l1a}, []uint64{l1b}) {
+		t.Error("different acquisitions of the same mutex share an identity")
+	}
+	if !identityDisjoint([]uint64{l1a}, []uint64{l2}) {
+		t.Error("different mutexes must be identity-disjoint")
+	}
+}
+
+// TestUpdateSingleSlots verifies the Figure 8 single-entry update rule:
+// a serial entry is replaced, a parallel one is kept and the second slot
+// used, and when both slots hold parallel steps the access is dropped.
+func TestUpdateSingleSlots(t *testing.T) {
+	tree := dpst.NewArrayTree()
+	root := tree.NewNode(dpst.None, dpst.Finish, 0)
+	mkPar := func() dpst.NodeID { // steps under distinct asyncs: mutually parallel
+		a := tree.NewNode(root, dpst.Async, 0)
+		return tree.NewNode(a, dpst.Step, 0)
+	}
+	p1, p2, p3 := mkPar(), mkPar(), mkPar()
+	c := newOptimized(Options{Query: dpst.NewQuery(tree, true), Reporter: NewReporter(0)})
+
+	cell := &optCell{}
+	initOptCell(cell)
+	sp := &localSpace{m: map[sched.Loc]*localEntry{}, par: map[uint64]int8{}}
+	c.updateSingle(sp, cell, sR1, sR2, p1, nil)
+	if cell.single[sR1] != p1 || cell.single[sR2] != dpst.None {
+		t.Fatalf("first update: a=%d b=%d", cell.single[sR1], cell.single[sR2])
+	}
+	c.updateSingle(sp, cell, sR1, sR2, p2, nil)
+	if cell.single[sR1] != p1 || cell.single[sR2] != p2 {
+		t.Fatalf("parallel update must fill slot b: a=%d b=%d", cell.single[sR1], cell.single[sR2])
+	}
+	c.updateSingle(sp, cell, sR1, sR2, p3, nil)
+	if cell.single[sR1] != p1 || cell.single[sR2] != p2 {
+		t.Fatalf("third parallel step must be dropped: a=%d b=%d", cell.single[sR1], cell.single[sR2])
+	}
+	// A serial successor replaces: a step in the same chain as p1.
+	serial := tree.NewNode(tree.Parent(p1), dpst.Step, 0) // sibling step under same async: serial
+	c.updateSingle(sp, cell, sR1, sR2, serial, nil)
+	if cell.single[sR1] != serial {
+		t.Fatalf("serial step must replace slot a: a=%d", cell.single[sR1])
+	}
+}
+
+// TestShadowCellIdentity: repeated lookups return the same cell and the
+// location count grows once per distinct location.
+func TestShadowCellIdentity(t *testing.T) {
+	var s shadow[optCell]
+	s.initC = initOptCell
+	c1 := s.cell(5)
+	c2 := s.cell(5)
+	c3 := s.cell(6)
+	if c1 != c2 {
+		t.Error("same location must map to the same cell")
+	}
+	if c1 == c3 {
+		t.Error("distinct locations must map to distinct cells")
+	}
+	if got := s.count.Load(); got != 2 {
+		t.Errorf("count = %d, want 2", got)
+	}
+	if c1.single[sR1] != dpst.None || c1.pat[pWW][0] != dpst.None || c1.pat[pWW][1] != dpst.None {
+		t.Error("fresh optimized cell must have all entries empty (None)")
+	}
+}
+
+// TestShadowDefaultConstructor covers the new(C) fallback used by the
+// basic checker's cells.
+func TestShadowDefaultConstructor(t *testing.T) {
+	var s shadow[basicCell]
+	c := s.cell(1)
+	if c == nil || len(c.hist) != 0 {
+		t.Error("default-constructed cell must be empty")
+	}
+}

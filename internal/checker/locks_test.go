@@ -1,0 +1,151 @@
+package checker_test
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/taskpar/avd/internal/checker"
+	"github.com/taskpar/avd/internal/sched"
+)
+
+// These tests exercise lock-handling corners beyond the Figure 11/12
+// scenarios, for both checker algorithms.
+
+// TestThreeTaskLockChain: the pattern task splits its pair over two
+// critical sections; writes from logically parallel steps (S3, S12) are
+// feasible interleavers, while the strictly serial S11 never is.
+func TestThreeTaskLockChain(t *testing.T) {
+	for _, alg := range algorithms() {
+		t.Run(alg.String(), func(t *testing.T) {
+			tree, s11, s12, s2, s3 := figure2()
+			c := newChecker(t, tree, alg, false)
+			const lockL = 1
+			c.Access(&fakeTask{step: s11}, locX, true) // serial predecessor
+			t2 := &fakeTask{step: s2}
+			t2.locks = []uint64{lockTok(lockL, 1)}
+			c.Access(t2, locX, false)
+			t2.locks = []uint64{lockTok(lockL, 2)}
+			c.Access(t2, locX, true)
+			c.Access(&fakeTask{step: s3, locks: []uint64{lockTok(lockL, 3)}}, locX, true)
+			c.Access(&fakeTask{step: s12, locks: []uint64{lockTok(lockL, 4)}}, locX, true)
+			vs := c.Reporter().Violations()
+			for _, v := range vs {
+				if v.InterleaverStep == s11 || v.PatternStep == s11 {
+					t.Errorf("serial step s11 involved in a violation: %v", v)
+				}
+			}
+			found := false
+			for _, v := range vs {
+				if v.PatternStep == s2 && v.InterleaverStep == s3 {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("missing s2/s3 violation: %v", vs)
+			}
+		})
+	}
+}
+
+// TestNestedLockPairSuppressed: a pair holding an outer lock across both
+// inner critical sections is never promoted in paper mode, because the
+// outer acquisition token is common to both accesses.
+func TestNestedLockPairSuppressed(t *testing.T) {
+	for _, alg := range algorithms() {
+		t.Run(alg.String(), func(t *testing.T) {
+			tree, _, _, s2, s3 := figure2()
+			c := newChecker(t, tree, alg, false)
+			const lockL, lockM = 1, 2
+			outer := lockTok(lockL, 1)
+			t2 := &fakeTask{step: s2}
+			t2.locks = []uint64{outer, lockTok(lockM, 2)}
+			c.Access(t2, locX, false)
+			t2.locks = []uint64{outer, lockTok(lockM, 3)} // M re-acquired, L still held
+			c.Access(t2, locX, true)
+			c.Access(&fakeTask{step: s3, locks: []uint64{lockTok(lockM, 4)}}, locX, true)
+			if n := c.Reporter().Count(); n != 0 {
+				t.Fatalf("paper mode must suppress the L-protected pair, got %d: %v",
+					n, c.Reporter().Violations())
+			}
+		})
+	}
+}
+
+// TestNestedLockStrictDetects: the same program under strict mode
+// reports the tear, because the interleaver holds only M while the
+// pair's common lockset is {L}.
+func TestNestedLockStrictDetects(t *testing.T) {
+	for _, alg := range algorithms() {
+		t.Run(alg.String(), func(t *testing.T) {
+			tree, _, _, s2, s3 := figure2()
+			c := newChecker(t, tree, alg, true)
+			const lockL, lockM = 1, 2
+			outer := lockTok(lockL, 1)
+			t2 := &fakeTask{step: s2}
+			t2.locks = []uint64{outer, lockTok(lockM, 2)}
+			c.Access(t2, locX, false)
+			t2.locks = []uint64{outer, lockTok(lockM, 3)}
+			c.Access(t2, locX, true)
+			c.Access(&fakeTask{step: s3, locks: []uint64{lockTok(lockM, 4)}}, locX, true)
+			if c.Reporter().Count() == 0 {
+				t.Fatal("strict mode must report the M-only interleaver")
+			}
+			// ... but stays silent when the interleaver also holds L.
+			c2 := newChecker(t, tree, alg, true)
+			t2b := &fakeTask{step: s2}
+			t2b.locks = []uint64{outer, lockTok(lockM, 5)}
+			c2.Access(t2b, locX, false)
+			t2b.locks = []uint64{outer, lockTok(lockM, 6)}
+			c2.Access(t2b, locX, true)
+			c2.Access(&fakeTask{step: s3, locks: []uint64{lockTok(lockL, 7), lockTok(lockM, 8)}}, locX, true)
+			if n := c2.Reporter().Count(); n != 0 {
+				t.Fatalf("interleaver holding L cannot tear an L-protected pair, got %d", n)
+			}
+		})
+	}
+}
+
+// TestLockedGroupClean: a multi-variable group fully guarded by one lock
+// stays clean in both modes even across many tasks.
+func TestLockedGroupClean(t *testing.T) {
+	for _, alg := range algorithms() {
+		t.Run(alg.String(), func(t *testing.T) {
+			for _, strict := range []bool{false, true} {
+				tree, _, s12, s2, s3 := figure2()
+				c := newChecker(t, tree, alg, strict)
+				const group sched.Loc = 9
+				const lockL = 1
+				acq := uint64(1)
+				for _, s := range []*fakeTask{{step: s2}, {step: s3}, {step: s12}} {
+					s.locks = []uint64{lockTok(lockL, acq)}
+					acq++
+					c.Access(s, group, false)
+					c.Access(s, group, true)
+					s.locks = nil
+				}
+				if n := c.Reporter().Count(); n != 0 {
+					t.Fatalf("strict=%v: locked group reported %d violations", strict, n)
+				}
+			}
+		})
+	}
+}
+
+// TestViolationStringMentionsParts: diagnostics must carry the location,
+// the steps, and the access kinds.
+func TestViolationStringMentionsParts(t *testing.T) {
+	v := checker.Violation{
+		Loc: 7, PatternStep: 3, InterleaverStep: 9,
+		First: checker.Write, Middle: checker.Write, Last: checker.Read,
+		PatternTask: 1, InterleaverTask: 2,
+	}
+	out := v.String()
+	for _, want := range []string{"loc 7", "step 3", "step 9", "task 1", "task 2", "W"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("String() missing %q: %s", want, out)
+		}
+	}
+	if v.Kind() != "W-W-R" {
+		t.Errorf("Kind = %s", v.Kind())
+	}
+}

@@ -1,0 +1,538 @@
+package checker
+
+import (
+	"github.com/taskpar/avd/internal/dpst"
+	"github.com/taskpar/avd/internal/sched"
+)
+
+// Indices of the single-access entries (R1, R2, W1, W2) in the global
+// metadata space.
+const (
+	sR1 = iota
+	sR2
+	sW1
+	sW2
+)
+
+// Indices of the two-access pattern kinds (read-read, read-write,
+// write-read, write-write).
+const (
+	pRR = iota
+	pRW
+	pWR
+	pWW
+)
+
+// patTypes maps a pattern kind to its (first, last) access types.
+var patTypes = [4][2]AccessType{
+	pRR: {Read, Read},
+	pRW: {Read, Write},
+	pWR: {Write, Read},
+	pWW: {Write, Write},
+}
+
+// optCell is the per-location global metadata space: twelve access
+// history entries as in Section 3.2.1 — four single-access entries plus
+// two entries for each of the four two-access pattern kinds. The paper's
+// "eight of them capture the four different kinds of two-access
+// patterns" is exactly two entries per kind; both accesses of a pattern
+// belong to one step, so each entry stores just that step.
+//
+// Keeping two entries per kind (rather than one) is essential for
+// completeness: with a single entry, a pattern step dropped because the
+// stored step is parallel to it would be missed when a later interleaver
+// is parallel only to the dropped step. The replacement discipline is
+// the spanning-pair rule of SPD3 (see chooseSlot).
+//
+// The global space carries no lock information in paper mode (Section
+// 3.3 keeps locksets local); the strict-lock extension attaches lockInfo
+// lazily.
+type optCell struct {
+	mu     spinLock
+	single [4]dpst.NodeID
+	pat    [4][2]dpst.NodeID
+	// singleD and patD memoize the LCA depth of each stored entry pair
+	// (the spanning rule's comparison baseline), maintained on
+	// replacement so steady-state accesses avoid tree walks.
+	singleD [2]int32
+	patD    [4]int32
+	// patMask has bit kind set when that pattern kind has an entry, so
+	// interleaver-role checks skip empty kinds without touching them.
+	patMask  uint8
+	lockInfo *cellLocks
+}
+
+// cellLocks carries the strict-lock extension's lockset annotations for
+// the global entries: the lockset held at each single access, and the
+// common lockset of each stored pattern.
+type cellLocks struct {
+	single [4][]uint64
+	pat    [4][2][]uint64
+}
+
+func initOptCell(c *optCell) {
+	for i := range c.single {
+		c.single[i] = dpst.None
+	}
+	for k := range c.pat {
+		c.pat[k][0] = dpst.None
+		c.pat[k][1] = dpst.None
+	}
+}
+
+func (c *optCell) singleLocks(i int) []uint64 {
+	if c.lockInfo == nil {
+		return nil
+	}
+	return c.lockInfo.single[i]
+}
+
+func (c *optCell) patLocks(k, slot int) []uint64 {
+	if c.lockInfo == nil {
+		return nil
+	}
+	return c.lockInfo.pat[k][slot]
+}
+
+func (c *optCell) locks() *cellLocks {
+	if c.lockInfo == nil {
+		c.lockInfo = &cellLocks{}
+	}
+	return c.lockInfo
+}
+
+// Offer-once flags kept in localEntry: once a step has offered its
+// single-access entry (including its interleaver-role checks) or a
+// pattern candidate of a given kind to the global space, an identical
+// lock-free repeat by the same step can be skipped entirely. This is
+// sound for location-level detection: the global entries kept by the
+// spanning-pair discipline cover every dropped offer, so the symmetric
+// check on the other access of any real violating triple still fires.
+const (
+	fR  uint8 = 1 << iota // read single offered + interleaver checks done
+	fW                    // write single offered + interleaver checks done
+	fRR                   // read-read pattern candidate offered
+	fRW                   // read-write pattern candidate offered
+	fWR                   // write-read pattern candidate offered
+	fWW                   // write-write pattern candidate offered
+)
+
+// localEntry is the per-task local metadata space for one location: the
+// first read and first write performed by the task's current step, with
+// the locksets held at those accesses (Section 3.3). Entries recorded by
+// earlier steps of the same task are stale and ignored. The entry also
+// caches the location's global cell so the sharded shadow map is
+// consulted once per (task, location).
+type localEntry struct {
+	cell       *optCell
+	readStep   dpst.NodeID
+	writeStep  dpst.NodeID
+	flags      uint8
+	readLocks  []uint64
+	writeLocks []uint64
+}
+
+// localSpace is a task's local metadata, kept in Task.Local. Besides the
+// per-location entries it holds a task-private front cache for Par
+// results: the same step pair is queried for many locations in a row
+// (e.g. a merge step against the previous level's steps for every array
+// element), and the private map answers those repeats without touching
+// the shared cache. Entries: 1 = serial, 2 = parallel.
+type localSpace struct {
+	m     map[sched.Loc]*localEntry
+	par   map[uint64]int8
+	chunk []localEntry
+	used  int
+}
+
+// alloc bump-allocates a local entry from the space's current chunk.
+func (ls *localSpace) alloc() *localEntry {
+	if ls.used == len(ls.chunk) {
+		ls.chunk = make([]localEntry, 64)
+		ls.used = 0
+	}
+	e := &ls.chunk[ls.used]
+	ls.used++
+	return e
+}
+
+// Optimized is the paper's fixed-metadata atomicity checker.
+type Optimized struct {
+	q      *dpst.Query
+	rep    *Reporter
+	strict bool
+	mem    shadow[optCell]
+}
+
+func newOptimized(opts Options) *Optimized {
+	c := &Optimized{q: opts.Query, rep: opts.Reporter, strict: opts.StrictLockChecks}
+	c.mem.initC = initOptCell
+	return c
+}
+
+// Reporter implements Checker.
+func (c *Optimized) Reporter() *Reporter { return c.rep }
+
+// Stats implements Checker.
+func (c *Optimized) Stats() Stats { return Stats{Locations: c.mem.count.Load()} }
+
+// OnAcquire implements sched.Monitor; lockset maintenance lives in the
+// runtime, so nothing to do.
+func (c *Optimized) OnAcquire(*sched.Task, *sched.Mutex) {}
+
+// OnRelease implements sched.Monitor.
+func (c *Optimized) OnRelease(*sched.Task, *sched.Mutex) {}
+
+func (c *Optimized) local(ts TaskState, loc sched.Loc) (*localSpace, *localEntry) {
+	slot := ts.LocalSlot()
+	ls, ok := (*slot).(*localSpace)
+	if !ok {
+		ls = &localSpace{m: make(map[sched.Loc]*localEntry), par: make(map[uint64]int8)}
+		*slot = ls
+	}
+	e, ok := ls.m[loc]
+	if !ok {
+		e = ls.alloc()
+		e.cell = c.mem.cell(loc)
+		e.readStep, e.writeStep = dpst.None, dpst.None
+		ls.m[loc] = e
+	}
+	return ls, e
+}
+
+// par answers a may-happen-in-parallel query through the current task's
+// front cache, falling back to the shared query cache.
+func (c *Optimized) par(sp *localSpace, a, b dpst.NodeID) bool {
+	if a == b || a == dpst.None || b == dpst.None {
+		return false
+	}
+	if !c.q.Caching() {
+		return c.q.Par(a, b)
+	}
+	key := dpst.PairKey(a, b)
+	if v, ok := sp.par[key]; ok {
+		c.q.CountQuery(a, b)
+		return v == 2
+	}
+	r := c.q.Par(a, b)
+	v := int8(1)
+	if r {
+		v = 2
+	}
+	sp.par[key] = v
+	return r
+}
+
+// intersect returns the common tokens of two locksets (nil when
+// disjoint). Locksets are tiny (nesting depth), so quadratic is fine.
+func intersect(a, b []uint64) []uint64 {
+	var out []uint64
+	for _, x := range a {
+		for _, y := range b {
+			if x == y {
+				out = append(out, x)
+				break
+			}
+		}
+	}
+	return out
+}
+
+func copyLocks(a []uint64) []uint64 {
+	if len(a) == 0 {
+		return nil
+	}
+	return append([]uint64(nil), a...)
+}
+
+// checkTriple reports a violation if a two-access pattern (performed by
+// patStep with types a1, a3 and common lockset patLocks) can be torn by
+// the single access (inter, a2, interLocks) from a logically parallel
+// step. In paper mode patLocks is always empty and the lockset test is
+// vacuous, matching the paper's lock-free global space.
+func (c *Optimized) checkTriple(sp *localSpace, loc sched.Loc, patStep dpst.NodeID, patLocks []uint64, a1, a3 AccessType, inter dpst.NodeID, a2 AccessType, interLocks []uint64) {
+	if patStep == dpst.None || inter == dpst.None {
+		return
+	}
+	if !Unserializable(a1, a2, a3) {
+		return
+	}
+	if !identityDisjoint(patLocks, interLocks) {
+		return
+	}
+	if !c.par(sp, patStep, inter) {
+		return
+	}
+	tr := c.q.Tree()
+	c.rep.Report(Violation{
+		Loc:             loc,
+		PatternStep:     patStep,
+		InterleaverStep: inter,
+		First:           a1,
+		Middle:          a2,
+		Last:            a3,
+		PatternTask:     tr.Task(patStep),
+		InterleaverTask: tr.Task(inter),
+	})
+}
+
+// checkStoredPatterns checks the current access, in the interleaver
+// role, against both stored entries of the given pattern kind.
+func (c *Optimized) checkStoredPatterns(sp *localSpace, loc sched.Loc, cell *optCell, kind int, inter dpst.NodeID, a2 AccessType, interLocks []uint64) {
+	if cell.patMask&(1<<kind) == 0 {
+		return
+	}
+	t := patTypes[kind]
+	for slot := 0; slot < 2; slot++ {
+		c.checkTriple(sp, loc, cell.pat[kind][slot], cell.patLocks(kind, slot), t[0], t[1], inter, a2, interLocks)
+	}
+}
+
+// checkCandidate checks a freshly formed two-access pattern against a
+// stored single-access entry.
+func (c *Optimized) checkCandidate(sp *localSpace, loc sched.Loc, cell *optCell, candStep dpst.NodeID, candLocks []uint64, a1, a3 AccessType, singleIdx int, a2 AccessType) {
+	c.checkTriple(sp, loc, candStep, candLocks, a1, a3, cell.single[singleIdx], a2, cell.singleLocks(singleIdx))
+}
+
+// chooseSlot decides where a new step s goes among a two-entry history
+// (slots holding steps a and b): slot 0, slot 1, or dropped (-1).
+//
+// An empty or series-related slot is replaced (Figure 8: a serial
+// predecessor is subsumed by the newer access — any future step parallel
+// to the old one is parallel to the new one, by the series-parallel
+// structure and trace order). When s is parallel to both entries, the
+// pair with the shallowest least common ancestor is kept — SPD3's
+// spanning-reader discipline — which guarantees any future step parallel
+// to a dropped step is parallel to one of the kept entries.
+func (c *Optimized) chooseSlot(sp *localSpace, a, b, s dpst.NodeID, dab int32) int {
+	if a == dpst.None || !c.par(sp, a, s) {
+		return 0
+	}
+	if b == dpst.None || !c.par(sp, b, s) {
+		return 1
+	}
+	das := c.q.PairDepth(a, s)
+	if dab <= das {
+		if dab <= c.q.PairDepth(b, s) {
+			return -1 // the current pair already spans widest
+		}
+		return 0 // keep {b, s}
+	}
+	if das <= c.q.PairDepth(b, s) {
+		return 1 // keep {a, s}
+	}
+	return 0 // keep {b, s}
+}
+
+// updateSingle installs (si, locks) into the single-entry pair (a, b);
+// a is sR1 or sW1 and b the matching second slot.
+func (c *Optimized) updateSingle(sp *localSpace, cell *optCell, a, b int, si dpst.NodeID, locks []uint64) {
+	dIdx := a / 2 // (sR1,sR2) -> 0, (sW1,sW2) -> 1
+	idx := a
+	switch c.chooseSlot(sp, cell.single[a], cell.single[b], si, cell.singleD[dIdx]) {
+	case 0:
+	case 1:
+		idx = b
+	default:
+		return
+	}
+	cell.single[idx] = si
+	if cell.single[a] != dpst.None && cell.single[b] != dpst.None {
+		cell.singleD[dIdx] = c.q.PairDepth(cell.single[a], cell.single[b])
+	}
+	if c.strict {
+		cell.locks().single[idx] = copyLocks(locks)
+	}
+}
+
+// updatePattern installs a freshly formed two-access pattern into the
+// kind's entry pair.
+func (c *Optimized) updatePattern(sp *localSpace, cell *optCell, kind int, candStep dpst.NodeID, candLocks []uint64) {
+	slot := c.chooseSlot(sp, cell.pat[kind][0], cell.pat[kind][1], candStep, cell.patD[kind])
+	if slot < 0 {
+		return
+	}
+	cell.pat[kind][slot] = candStep
+	cell.patMask |= 1 << kind
+	if cell.pat[kind][0] != dpst.None && cell.pat[kind][1] != dpst.None {
+		cell.patD[kind] = c.q.PairDepth(cell.pat[kind][0], cell.pat[kind][1])
+	}
+	if c.strict {
+		cell.locks().pat[kind][slot] = candLocks
+	}
+}
+
+// OnAccess implements sched.Monitor.
+func (c *Optimized) OnAccess(t *sched.Task, loc sched.Loc, write bool) {
+	c.Access(t, loc, write)
+}
+
+// Access checks one access with the dispatch of Figure 6.
+func (c *Optimized) Access(ts TaskState, loc sched.Loc, write bool) {
+	si := ts.StepNode()
+	sp, ls := c.local(ts, loc)
+	locks := ts.Lockset()
+	cell := ls.cell
+
+	localRead := ls.readStep == si
+	localWrite := ls.writeStep == si
+	// Offer-once fast path: a lock-free repeat whose offers and checks
+	// have all happened is a no-op (see the flag documentation).
+	if len(locks) == 0 {
+		if write {
+			if localWrite && ls.flags&fW != 0 && ls.flags&fWW != 0 &&
+				(!localRead || ls.flags&fRW != 0) {
+				return
+			}
+		} else {
+			if localRead && ls.flags&fR != 0 && ls.flags&fRR != 0 &&
+				(!localWrite || ls.flags&fWR != 0) {
+				return
+			}
+		}
+	}
+	cell.mu.lock()
+	defer cell.mu.unlock()
+	if !localRead && !localWrite {
+		if cell.single[sR1] == dpst.None && cell.single[sW1] == dpst.None {
+			c.handleFirstAccess(cell, ls, si, write, locks)
+		} else {
+			c.handleFirstAccessCurrentTask(sp, loc, cell, ls, si, write, locks)
+		}
+		return
+	}
+	c.handleNonFirstAccess(sp, loc, cell, ls, si, write, locks, localRead, localWrite)
+}
+
+// setLocalRead records the step's first read in the local space,
+// clearing the offer flags tied to the previous read entry.
+func setLocalRead(ls *localEntry, si dpst.NodeID, locks []uint64) {
+	ls.readStep, ls.readLocks = si, copyLocks(locks)
+	ls.flags &^= fR | fRR | fRW
+}
+
+// setLocalWrite records the step's first write in the local space.
+func setLocalWrite(ls *localEntry, si dpst.NodeID, locks []uint64) {
+	ls.writeStep, ls.writeLocks = si, copyLocks(locks)
+	ls.flags &^= fW | fWW | fWR
+}
+
+// markDone sets an offer flag when the access is lock-free (locked
+// repeats always take the slow path, since their locksets vary).
+func markDone(ls *localEntry, locks []uint64, flag uint8) {
+	if len(locks) == 0 {
+		ls.flags |= flag
+	}
+}
+
+// handleFirstAccess is Figure 7: the very first access to the location
+// by any task. No LCA query is performed.
+func (c *Optimized) handleFirstAccess(cell *optCell, ls *localEntry, si dpst.NodeID, write bool, locks []uint64) {
+	idx := sR1
+	if write {
+		idx = sW1
+	}
+	cell.single[idx] = si
+	if c.strict {
+		cell.locks().single[idx] = copyLocks(locks)
+	}
+	if write {
+		setLocalWrite(ls, si, locks)
+		markDone(ls, locks, fW)
+	} else {
+		setLocalRead(ls, si, locks)
+		markDone(ls, locks, fR)
+	}
+}
+
+// handleFirstAccessCurrentTask is Figure 8: the current step has not
+// accessed the location before, but other tasks have. The only possible
+// violation pairs the current access, as interleaver, with a stored
+// global two-access pattern.
+func (c *Optimized) handleFirstAccessCurrentTask(sp *localSpace, loc sched.Loc, cell *optCell, ls *localEntry, si dpst.NodeID, write bool, locks []uint64) {
+	if write {
+		setLocalWrite(ls, si, locks)
+		c.checkStoredPatterns(sp, loc, cell, pWW, si, Write, locks)
+		c.checkStoredPatterns(sp, loc, cell, pRW, si, Write, locks)
+		c.checkStoredPatterns(sp, loc, cell, pRR, si, Write, locks)
+		c.checkStoredPatterns(sp, loc, cell, pWR, si, Write, locks)
+		c.updateSingle(sp, cell, sW1, sW2, si, locks)
+		markDone(ls, locks, fW)
+	} else {
+		setLocalRead(ls, si, locks)
+		c.checkStoredPatterns(sp, loc, cell, pWW, si, Read, locks)
+		c.updateSingle(sp, cell, sR1, sR2, si, locks)
+		markDone(ls, locks, fR)
+	}
+}
+
+// handleNonFirstAccess is Figure 9: the current step has accessed the
+// location before, so the local entry and the current access form a
+// two-access pattern whose atomicity is checked against the global
+// single-access entries, and the pattern is propagated to the global
+// space. A pattern is only formed when the two accesses' locksets are
+// disjoint — they sit in different critical sections (Section 3.3) — or
+// unconditionally under the strict-lock extension, which then records
+// the common lockset in the pattern.
+//
+// Beyond the literal Figure 9, the current access is also checked in the
+// interleaver role against the stored global patterns, exactly as in
+// Figure 8. Without this, a pattern formed by a parallel step is missed
+// when the tearing access arrives later in the trace from a step that
+// already accessed the location (the Figure 8 checks only run on a
+// step's first access); the oracle-based differential tests exposed the
+// gap.
+func (c *Optimized) handleNonFirstAccess(sp *localSpace, loc sched.Loc, cell *optCell, ls *localEntry, si dpst.NodeID, write bool, locks []uint64, localRead, localWrite bool) {
+	if write {
+		c.checkStoredPatterns(sp, loc, cell, pWW, si, Write, locks)
+		c.checkStoredPatterns(sp, loc, cell, pRW, si, Write, locks)
+		c.checkStoredPatterns(sp, loc, cell, pRR, si, Write, locks)
+		c.checkStoredPatterns(sp, loc, cell, pWR, si, Write, locks)
+		if localRead {
+			if common := intersect(ls.readLocks, locks); len(common) == 0 || c.strict {
+				c.checkCandidate(sp, loc, cell, si, common, Read, Write, sW1, Write)
+				c.checkCandidate(sp, loc, cell, si, common, Read, Write, sW2, Write)
+				c.updatePattern(sp, cell, pRW, si, common)
+				markDone(ls, locks, fRW)
+			}
+		}
+		if localWrite {
+			if common := intersect(ls.writeLocks, locks); len(common) == 0 || c.strict {
+				c.checkCandidate(sp, loc, cell, si, common, Write, Write, sW1, Write)
+				c.checkCandidate(sp, loc, cell, si, common, Write, Write, sW2, Write)
+				c.checkCandidate(sp, loc, cell, si, common, Write, Write, sR1, Read)
+				c.checkCandidate(sp, loc, cell, si, common, Write, Write, sR2, Read)
+				c.updatePattern(sp, cell, pWW, si, common)
+				markDone(ls, locks, fWW)
+			}
+		}
+		c.updateSingle(sp, cell, sW1, sW2, si, locks)
+		if !localWrite {
+			setLocalWrite(ls, si, locks)
+		}
+		markDone(ls, locks, fW)
+	} else {
+		c.checkStoredPatterns(sp, loc, cell, pWW, si, Read, locks)
+		if localRead {
+			if common := intersect(ls.readLocks, locks); len(common) == 0 || c.strict {
+				c.checkCandidate(sp, loc, cell, si, common, Read, Read, sW1, Write)
+				c.checkCandidate(sp, loc, cell, si, common, Read, Read, sW2, Write)
+				c.updatePattern(sp, cell, pRR, si, common)
+				markDone(ls, locks, fRR)
+			}
+		}
+		if localWrite {
+			if common := intersect(ls.writeLocks, locks); len(common) == 0 || c.strict {
+				c.checkCandidate(sp, loc, cell, si, common, Write, Read, sW1, Write)
+				c.checkCandidate(sp, loc, cell, si, common, Write, Read, sW2, Write)
+				c.updatePattern(sp, cell, pWR, si, common)
+				markDone(ls, locks, fWR)
+			}
+		}
+		c.updateSingle(sp, cell, sR1, sR2, si, locks)
+		if !localRead {
+			setLocalRead(ls, si, locks)
+		}
+		markDone(ls, locks, fR)
+	}
+}

@@ -1,0 +1,98 @@
+package checker_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/taskpar/avd/internal/checker"
+	"github.com/taskpar/avd/internal/dpst"
+	"github.com/taskpar/avd/internal/sched"
+)
+
+func accessType(b bool) checker.AccessType {
+	if b {
+		return checker.Write
+	}
+	return checker.Read
+}
+
+// TestQuickSerializabilityDefinition: the Figure 4 table is equivalent
+// to the first-principles definition — the triple is serializable iff
+// the interleaver A2 commutes past A1 or past A3 (i.e. fails to conflict
+// with one of them; a conflict needs at least one write).
+func TestQuickSerializabilityDefinition(t *testing.T) {
+	f := func(w1, w2, w3 bool) bool {
+		a1, a2, a3 := accessType(w1), accessType(w2), accessType(w3)
+		conflicts := func(x, y checker.AccessType) bool {
+			return x == checker.Write || y == checker.Write
+		}
+		serializable := !conflicts(a1, a2) || !conflicts(a2, a3)
+		return checker.Unserializable(a1, a2, a3) == !serializable
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickSerializabilityMirror: reversing the pattern (A3, A2, A1)
+// never changes the verdict — reading the region backwards commutes the
+// same conflicts.
+func TestQuickSerializabilityMirror(t *testing.T) {
+	f := func(w1, w2, w3 bool) bool {
+		a1, a2, a3 := accessType(w1), accessType(w2), accessType(w3)
+		return checker.Unserializable(a1, a2, a3) == checker.Unserializable(a3, a2, a1)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickReporterDedup: for any multiset of violations, Count equals
+// the number of distinct values and Violations is deterministic.
+func TestQuickReporterDedup(t *testing.T) {
+	f := func(locs []uint8, kinds []uint8) bool {
+		r := checker.NewReporter(0)
+		distinct := map[checker.Violation]bool{}
+		n := len(locs)
+		if len(kinds) < n {
+			n = len(kinds)
+		}
+		for i := 0; i < n; i++ {
+			v := checker.Violation{
+				Loc:             sched.Loc(locs[i] % 4),
+				PatternStep:     dpst.NodeID(kinds[i] % 3),
+				InterleaverStep: dpst.NodeID(kinds[i] % 5),
+				First:           accessType(kinds[i]&1 != 0),
+				Middle:          accessType(kinds[i]&2 != 0),
+				Last:            accessType(kinds[i]&4 != 0),
+			}
+			r.Report(v)
+			r.Report(v) // duplicates never count
+			distinct[v] = true
+		}
+		return r.Count() == int64(len(distinct)) && len(r.Violations()) == len(distinct)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickLockTokens: MakeLockToken/LockIdentity round-trip, and
+// distinct acquisitions of one lock produce distinct tokens with the
+// same identity.
+func TestQuickLockTokens(t *testing.T) {
+	f := func(id uint32, acq1, acq2 uint64) bool {
+		id %= 1 << 24
+		acq1 %= 1 << 40
+		acq2 %= 1 << 40
+		t1 := sched.MakeLockToken(id, acq1)
+		t2 := sched.MakeLockToken(id, acq2)
+		if sched.LockIdentity(t1) != uint64(id) || sched.LockIdentity(t2) != uint64(id) {
+			return false
+		}
+		return (acq1 == acq2) == (t1 == t2)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,104 @@
+package checker
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"github.com/taskpar/avd/internal/dpst"
+	"github.com/taskpar/avd/internal/sched"
+)
+
+// Violation describes one detected atomicity violation: an access triple
+// (First, Middle, Last) where First and Last are performed by PatternStep
+// and Middle by the logically parallel InterleaverStep, and the types form
+// an unserializable pattern. The violation may or may not manifest in the
+// observed schedule; it is feasible in some schedule of the given input.
+type Violation struct {
+	Loc             sched.Loc
+	PatternStep     dpst.NodeID
+	InterleaverStep dpst.NodeID
+	First           AccessType
+	Middle          AccessType
+	Last            AccessType
+	PatternTask     int32
+	InterleaverTask int32
+}
+
+// Kind returns the triple pattern, e.g. "W-R-W".
+func (v Violation) Kind() string {
+	return v.First.String() + "-" + v.Middle.String() + "-" + v.Last.String()
+}
+
+// String renders a one-line diagnostic.
+func (v Violation) String() string {
+	return fmt.Sprintf("atomicity violation at loc %d: %s by step %d (task %d) with interleaving %s by parallel step %d (task %d)",
+		v.Loc, v.First.String()+"…"+v.Last.String(), v.PatternStep, v.PatternTask,
+		v.Middle, v.InterleaverStep, v.InterleaverTask)
+}
+
+// Reporter collects violations, deduplicating identical triples. It is
+// safe for concurrent use.
+type Reporter struct {
+	mu    sync.Mutex
+	seen  map[Violation]struct{}
+	list  []Violation
+	limit int
+	total int64
+}
+
+// NewReporter creates a reporter retaining at most limit distinct
+// violations in detail (0 means a generous default of 1<<16).
+func NewReporter(limit int) *Reporter {
+	if limit <= 0 {
+		limit = 1 << 16
+	}
+	return &Reporter{seen: make(map[Violation]struct{}), limit: limit}
+}
+
+// Report records a violation, ignoring duplicates.
+func (r *Reporter) Report(v Violation) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.seen[v]; dup {
+		return
+	}
+	r.total++
+	if len(r.seen) < r.limit {
+		r.seen[v] = struct{}{}
+		r.list = append(r.list, v)
+	}
+}
+
+// Violations returns the distinct recorded violations, ordered by
+// location then steps for determinism.
+func (r *Reporter) Violations() []Violation {
+	r.mu.Lock()
+	out := append([]Violation(nil), r.list...)
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Loc != b.Loc {
+			return a.Loc < b.Loc
+		}
+		if a.PatternStep != b.PatternStep {
+			return a.PatternStep < b.PatternStep
+		}
+		if a.InterleaverStep != b.InterleaverStep {
+			return a.InterleaverStep < b.InterleaverStep
+		}
+		return a.Kind() < b.Kind()
+	})
+	return out
+}
+
+// Count returns the number of distinct violations reported, including
+// any beyond the retention limit.
+func (r *Reporter) Count() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}
+
+// Empty reports whether nothing was reported.
+func (r *Reporter) Empty() bool { return r.Count() == 0 }

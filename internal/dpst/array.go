@@ -1,0 +1,103 @@
+package dpst
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+const (
+	chunkBits = 13 // 8192 nodes per chunk
+	chunkSize = 1 << chunkBits
+	chunkMask = chunkSize - 1
+
+	// maxChunks bounds the chunk directory. 1<<17 chunks of 1<<13 nodes
+	// allow 2^30 nodes, far beyond any workload in this repository, while
+	// the directory itself is only 1 MiB of pointers.
+	maxChunks = 1 << 17
+)
+
+// arrayNode is a DPST node stored by value inside a chunk. Parent links
+// are integer indices, so traversals touch dense memory instead of
+// chasing heap pointers — the layout optimization evaluated in Figure 14
+// of the paper.
+type arrayNode struct {
+	parent   NodeID
+	depth    int32
+	rank     int32
+	children int32 // child counter, maintained by the owning task
+	task     int32
+	kind     Kind
+}
+
+type arrayChunk [chunkSize]arrayNode
+
+// ArrayTree is the chunked-array DPST layout. Nodes live by value in
+// fixed-size chunks; the chunk directory is preallocated so readers index
+// it without synchronization, and chunks are published with an atomic
+// pointer store when first needed.
+type ArrayTree struct {
+	chunks [maxChunks]atomic.Pointer[arrayChunk]
+	next   atomic.Int64
+	grow   sync.Mutex
+}
+
+// NewArrayTree returns an empty array-layout DPST.
+func NewArrayTree() *ArrayTree {
+	t := &ArrayTree{}
+	t.chunks[0].Store(new(arrayChunk))
+	return t
+}
+
+func (t *ArrayTree) node(id NodeID) *arrayNode {
+	return &t.chunks[id>>chunkBits].Load()[id&chunkMask]
+}
+
+// NewNode implements Tree.
+func (t *ArrayTree) NewNode(parent NodeID, kind Kind, task int32) NodeID {
+	idx := t.next.Add(1) - 1
+	if idx>>chunkBits >= maxChunks {
+		panic("dpst: ArrayTree node capacity exceeded")
+	}
+	ci := idx >> chunkBits
+	if t.chunks[ci].Load() == nil {
+		t.grow.Lock()
+		if t.chunks[ci].Load() == nil {
+			t.chunks[ci].Store(new(arrayChunk))
+		}
+		t.grow.Unlock()
+	}
+	id := NodeID(idx)
+	n := t.node(id)
+	n.kind = kind
+	n.task = task
+	if parent == None {
+		n.parent = None
+		n.depth = 0
+		n.rank = 0
+	} else {
+		p := t.node(parent)
+		n.parent = parent
+		n.depth = p.depth + 1
+		n.rank = p.children
+		p.children++
+	}
+	return id
+}
+
+// Parent implements Tree.
+func (t *ArrayTree) Parent(id NodeID) NodeID { return t.node(id).parent }
+
+// Kind implements Tree.
+func (t *ArrayTree) Kind(id NodeID) Kind { return t.node(id).kind }
+
+// Depth implements Tree.
+func (t *ArrayTree) Depth(id NodeID) int32 { return t.node(id).depth }
+
+// Rank implements Tree.
+func (t *ArrayTree) Rank(id NodeID) int32 { return t.node(id).rank }
+
+// Task implements Tree.
+func (t *ArrayTree) Task(id NodeID) int32 { return t.node(id).task }
+
+// Len implements Tree.
+func (t *ArrayTree) Len() int { return int(t.next.Load()) }

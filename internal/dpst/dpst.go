@@ -1,0 +1,122 @@
+// Package dpst implements the Dynamic Program Structure Tree (DPST) of
+// Raman et al. (SPD3, PLDI 2012), the execution representation used by the
+// CGO 2016 atomicity-violation checker to decide whether two step nodes of
+// a task parallel execution may logically happen in parallel.
+//
+// A DPST is an ordered tree with three node kinds:
+//
+//   - Step nodes are maximal instruction sequences without task management
+//     constructs. All memory accesses belong to a step node. Steps are
+//     always leaves.
+//   - Async nodes capture task spawns; the spawned task's subtree lives
+//     under the async node and executes asynchronously with the remainder
+//     of the parent task.
+//   - Finish nodes capture task-join scopes; a finish node is the parent
+//     of everything directly executed inside the scope, and the scope's
+//     continuation only runs after all descendants complete.
+//
+// Siblings are ordered left to right in program order of the parent task.
+// Two distinct step nodes S1 (left) and S2 are logically parallel iff the
+// child of LCA(S1, S2) that is an ancestor of S1 is an async node.
+//
+// The package provides two layouts of the same structure, matching the
+// paper's implementation ablation (Figure 14): ArrayTree overlays nodes in
+// chunked linear arrays with integer parent indices (the optimized layout)
+// and LinkedTree allocates every node separately and chases pointers (the
+// baseline layout). Par queries, LCA caching, and query statistics live in
+// Query and work with either layout.
+package dpst
+
+import "fmt"
+
+// Kind identifies the role of a DPST node.
+type Kind uint8
+
+// The three DPST node kinds.
+const (
+	Step Kind = iota
+	Async
+	Finish
+)
+
+// String returns the conventional one-letter-prefixed node kind name.
+func (k Kind) String() string {
+	switch k {
+	case Step:
+		return "step"
+	case Async:
+		return "async"
+	case Finish:
+		return "finish"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// NodeID names a node within one Tree. IDs are dense, allocated in
+// creation order, and never reused.
+type NodeID int32
+
+// None is the absent node: the parent of the root and the zero context.
+const None NodeID = -1
+
+// Tree is the interface shared by the array and linked DPST layouts.
+//
+// NewNode is safe for concurrent use by multiple tasks provided each
+// parent's children are appended by a single task at a time, which the
+// DPST construction rules guarantee: the children of a finish node are
+// appended only by the task executing the scope, and the children of an
+// async node only by the spawned task. All read accessors are safe for
+// unsynchronized concurrent use on published nodes.
+type Tree interface {
+	// NewNode appends a node of the given kind under parent (None for the
+	// root) on behalf of task and returns its ID.
+	NewNode(parent NodeID, kind Kind, task int32) NodeID
+	// Parent returns the parent of id, or None for the root.
+	Parent(id NodeID) NodeID
+	// Kind returns the node kind of id.
+	Kind(id NodeID) Kind
+	// Depth returns the distance from the root (root depth is 0).
+	Depth(id NodeID) int32
+	// Rank returns the index of id among its siblings, left to right.
+	Rank(id NodeID) int32
+	// Task returns the ID of the task that created id.
+	Task(id NodeID) int32
+	// Len returns the number of nodes created so far.
+	Len() int
+}
+
+// Layout selects a Tree implementation.
+type Layout uint8
+
+// Available tree layouts.
+const (
+	// ArrayLayout stores nodes by value in chunked linear arrays with
+	// integer parent indices (the paper's optimized layout).
+	ArrayLayout Layout = iota
+	// LinkedLayout allocates each node separately and follows pointers
+	// (the paper's baseline layout for the Figure 14 ablation).
+	LinkedLayout
+)
+
+// String returns the layout name as used in the paper's figures.
+func (l Layout) String() string {
+	switch l {
+	case ArrayLayout:
+		return "array-DPST"
+	case LinkedLayout:
+		return "linked-DPST"
+	default:
+		return fmt.Sprintf("layout(%d)", uint8(l))
+	}
+}
+
+// New returns an empty tree of the requested layout.
+func New(l Layout) Tree {
+	switch l {
+	case LinkedLayout:
+		return NewLinkedTree()
+	default:
+		return NewArrayTree()
+	}
+}

@@ -1,0 +1,326 @@
+package dpst_test
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"github.com/taskpar/avd/internal/dpst"
+	"github.com/taskpar/avd/internal/sptest"
+)
+
+// figure2 builds the DPST of Figure 2 in the paper: the program of
+// Figure 1 with tasks T1, T2, T3 and step nodes S11, S12, S2, S3.
+func figure2(layout dpst.Layout) (t dpst.Tree, s11, s12, s2, s3 dpst.NodeID) {
+	t = dpst.New(layout)
+	f11 := t.NewNode(dpst.None, dpst.Finish, 1)
+	s11 = t.NewNode(f11, dpst.Step, 1)
+	f12 := t.NewNode(f11, dpst.Finish, 1)
+	a2 := t.NewNode(f12, dpst.Async, 1)
+	s2 = t.NewNode(a2, dpst.Step, 2)
+	s12 = t.NewNode(f12, dpst.Step, 1)
+	a3 := t.NewNode(f12, dpst.Async, 1)
+	s3 = t.NewNode(a3, dpst.Step, 3)
+	return t, s11, s12, s2, s3
+}
+
+func layouts() []dpst.Layout {
+	return []dpst.Layout{dpst.ArrayLayout, dpst.LinkedLayout}
+}
+
+func TestFigure2Relations(t *testing.T) {
+	for _, layout := range layouts() {
+		layout := layout
+		t.Run(layout.String(), func(t *testing.T) {
+			tree, s11, s12, s2, s3 := figure2(layout)
+			q := dpst.NewQuery(tree, true)
+			cases := []struct {
+				name string
+				a, b dpst.NodeID
+				want bool
+			}{
+				{"S2 parallel S12", s2, s12, true},
+				{"S2 parallel S3", s2, s3, true},
+				{"S11 serial S2", s11, s2, false},
+				{"S12 serial S3", s12, s3, false},
+				{"S11 serial S12", s11, s12, false},
+				{"S11 serial S3", s11, s3, false},
+			}
+			for _, c := range cases {
+				if got := q.Par(c.a, c.b); got != c.want {
+					t.Errorf("%s: Par=%v, want %v", c.name, got, c.want)
+				}
+				if got := q.Par(c.b, c.a); got != c.want {
+					t.Errorf("%s (swapped): Par=%v, want %v", c.name, got, c.want)
+				}
+			}
+		})
+	}
+}
+
+func TestParIsIrreflexive(t *testing.T) {
+	tree, s11, s12, s2, s3 := figure2(dpst.ArrayLayout)
+	q := dpst.NewQuery(tree, false)
+	for _, s := range []dpst.NodeID{s11, s12, s2, s3} {
+		if q.Par(s, s) {
+			t.Errorf("Par(%d,%d) = true; a step is serial with itself", s, s)
+		}
+	}
+}
+
+func TestParNoneIsSerial(t *testing.T) {
+	tree, _, _, s2, _ := figure2(dpst.ArrayLayout)
+	q := dpst.NewQuery(tree, true)
+	if q.Par(dpst.None, s2) || q.Par(s2, dpst.None) || q.Par(dpst.None, dpst.None) {
+		t.Error("queries involving None must be serial")
+	}
+}
+
+func TestNodeAccessors(t *testing.T) {
+	for _, layout := range layouts() {
+		tree := dpst.New(layout)
+		root := tree.NewNode(dpst.None, dpst.Finish, 7)
+		a := tree.NewNode(root, dpst.Async, 7)
+		s := tree.NewNode(a, dpst.Step, 8)
+		s2 := tree.NewNode(root, dpst.Step, 7)
+		if tree.Parent(root) != dpst.None {
+			t.Errorf("%v: root parent = %d", layout, tree.Parent(root))
+		}
+		if tree.Parent(s) != a || tree.Parent(a) != root {
+			t.Errorf("%v: wrong parents", layout)
+		}
+		if tree.Depth(root) != 0 || tree.Depth(a) != 1 || tree.Depth(s) != 2 {
+			t.Errorf("%v: wrong depths", layout)
+		}
+		if tree.Rank(a) != 0 || tree.Rank(s2) != 1 {
+			t.Errorf("%v: wrong ranks: %d %d", layout, tree.Rank(a), tree.Rank(s2))
+		}
+		if tree.Kind(root) != dpst.Finish || tree.Kind(a) != dpst.Async || tree.Kind(s) != dpst.Step {
+			t.Errorf("%v: wrong kinds", layout)
+		}
+		if tree.Task(s) != 8 || tree.Task(a) != 7 {
+			t.Errorf("%v: wrong tasks", layout)
+		}
+		if tree.Len() != 4 {
+			t.Errorf("%v: Len = %d, want 4", layout, tree.Len())
+		}
+	}
+}
+
+func TestLeftOf(t *testing.T) {
+	tree, s11, s12, s2, s3 := figure2(dpst.ArrayLayout)
+	cases := []struct {
+		a, b dpst.NodeID
+		want bool
+	}{
+		{s11, s12, true},
+		{s12, s11, false},
+		{s11, s2, true},
+		{s2, s12, true},
+		{s12, s3, true},
+		{s2, s3, true},
+		{s3, s2, false},
+		{s2, s2, false},
+	}
+	for _, c := range cases {
+		if got := dpst.LeftOf(tree, c.a, c.b); got != c.want {
+			t.Errorf("LeftOf(%d,%d) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestLCAStats(t *testing.T) {
+	tree, _, s12, s2, s3 := figure2(dpst.ArrayLayout)
+	q := dpst.NewQuery(tree, true)
+	q.Par(s2, s12)
+	q.Par(s12, s2) // same pair, must hit the cache
+	q.Par(s2, s3)
+	st := q.Stats()
+	if st.LCAQueries != 3 {
+		t.Errorf("LCAQueries = %d, want 3", st.LCAQueries)
+	}
+	if st.UniqueLCAs != 2 {
+		t.Errorf("UniqueLCAs = %d, want 2", st.UniqueLCAs)
+	}
+	if st.Nodes != 8 {
+		t.Errorf("Nodes = %d, want 8", st.Nodes)
+	}
+	if got := st.UniqueFraction(); got < 66 || got > 67 {
+		t.Errorf("UniqueFraction = %f, want ~66.7", got)
+	}
+	if (dpst.Stats{}).UniqueFraction() != 0 {
+		t.Error("UniqueFraction of empty stats must be 0")
+	}
+}
+
+func TestUncachedQueryCountsAllAsUnique(t *testing.T) {
+	tree, _, s12, s2, _ := figure2(dpst.ArrayLayout)
+	q := dpst.NewQuery(tree, false)
+	q.Par(s2, s12)
+	q.Par(s2, s12)
+	st := q.Stats()
+	if st.LCAQueries != 2 || st.UniqueLCAs != 2 {
+		t.Errorf("stats = %+v, want 2 queries, 2 unique", st)
+	}
+}
+
+// TestParMatchesOracle cross-checks DPST Par answers against fork-join
+// DAG reachability on random structured programs, for both layouts.
+func TestParMatchesOracle(t *testing.T) {
+	for _, layout := range layouts() {
+		layout := layout
+		t.Run(layout.String(), func(t *testing.T) {
+			r := rand.New(rand.NewSource(42))
+			for trial := 0; trial < 200; trial++ {
+				p := sptest.Random(r, sptest.GenConfig{
+					MaxItems: 4, MaxDepth: 4, MaxSteps: 25,
+				})
+				built := sptest.Build(layout, p)
+				q := dpst.NewQuery(built.Tree, trial%2 == 0)
+				steps := p.Steps()
+				for i := range steps {
+					for j := range steps {
+						a, b := steps[i].ID, steps[j].ID
+						got := q.Par(built.Steps[a], built.Steps[b])
+						want := built.Parallel(a, b)
+						if got != want {
+							t.Fatalf("trial %d: Par(step %d, step %d) = %v, oracle says %v",
+								trial, a, b, got, want)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestLayoutsAgree verifies the two layouts produce identical relations
+// on identical programs.
+func TestLayoutsAgree(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 100; trial++ {
+		p := sptest.Random(r, sptest.GenConfig{MaxItems: 5, MaxDepth: 3, MaxSteps: 20})
+		ba := sptest.Build(dpst.ArrayLayout, p)
+		bl := sptest.Build(dpst.LinkedLayout, p)
+		qa := dpst.NewQuery(ba.Tree, true)
+		ql := dpst.NewQuery(bl.Tree, true)
+		steps := p.Steps()
+		for i := range steps {
+			for j := range steps {
+				a, b := steps[i].ID, steps[j].ID
+				if qa.Par(ba.Steps[a], ba.Steps[b]) != ql.Par(bl.Steps[a], bl.Steps[b]) {
+					t.Fatalf("trial %d: layouts disagree on steps %d,%d", trial, a, b)
+				}
+			}
+		}
+		if ba.Tree.Len() != bl.Tree.Len() {
+			t.Fatalf("trial %d: node counts differ: %d vs %d", trial, ba.Tree.Len(), bl.Tree.Len())
+		}
+	}
+}
+
+// TestParPropertySymmetric is a quick-check property: Par is symmetric
+// on random programs.
+func TestParPropertySymmetric(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		p := sptest.Random(r, sptest.GenConfig{MaxItems: 4, MaxDepth: 3, MaxSteps: 15})
+		b := sptest.Build(dpst.ArrayLayout, p)
+		q := dpst.NewQuery(b.Tree, true)
+		steps := p.Steps()
+		for i := range steps {
+			for j := range steps {
+				na, nb := b.Steps[steps[i].ID], b.Steps[steps[j].ID]
+				if q.Par(na, nb) != q.Par(nb, na) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSameTaskStepsSerial: steps executed by the same task are never
+// parallel.
+func TestSameTaskStepsSerial(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		p := sptest.Random(r, sptest.GenConfig{MaxItems: 4, MaxDepth: 3, MaxSteps: 20})
+		b := sptest.Build(dpst.ArrayLayout, p)
+		q := dpst.NewQuery(b.Tree, true)
+		steps := p.Steps()
+		for i := range steps {
+			for j := range steps {
+				a, c := steps[i].ID, steps[j].ID
+				if b.TaskOf[a] == b.TaskOf[c] && q.Par(b.Steps[a], b.Steps[c]) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestConcurrentConstruction stresses concurrent NewNode calls under
+// distinct parents (the single-writer-per-parent discipline the
+// scheduler guarantees) together with concurrent Par queries.
+func TestConcurrentConstruction(t *testing.T) {
+	for _, layout := range layouts() {
+		layout := layout
+		t.Run(layout.String(), func(t *testing.T) {
+			tree := dpst.New(layout)
+			root := tree.NewNode(dpst.None, dpst.Finish, 0)
+			const workers = 8
+			asyncs := make([]dpst.NodeID, workers)
+			for i := range asyncs {
+				asyncs[i] = tree.NewNode(root, dpst.Async, 0)
+			}
+			var wg sync.WaitGroup
+			firstSteps := make([]dpst.NodeID, workers)
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					var last dpst.NodeID = dpst.None
+					for i := 0; i < 2000; i++ {
+						last = tree.NewNode(asyncs[w], dpst.Step, int32(w+1))
+						if i == 0 {
+							firstSteps[w] = last
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+			if tree.Len() != 1+workers+workers*2000 {
+				t.Fatalf("Len = %d", tree.Len())
+			}
+			q := dpst.NewQuery(tree, true)
+			for i := 0; i < workers; i++ {
+				for j := i + 1; j < workers; j++ {
+					if !q.Par(firstSteps[i], firstSteps[j]) {
+						t.Errorf("steps under distinct asyncs must be parallel (%d,%d)", i, j)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestKindAndLayoutStrings(t *testing.T) {
+	if dpst.Step.String() != "step" || dpst.Async.String() != "async" || dpst.Finish.String() != "finish" {
+		t.Error("unexpected Kind strings")
+	}
+	if dpst.ArrayLayout.String() != "array-DPST" || dpst.LinkedLayout.String() != "linked-DPST" {
+		t.Error("unexpected Layout strings")
+	}
+	if dpst.Kind(9).String() == "" || dpst.Layout(9).String() == "" {
+		t.Error("out-of-range strings must be non-empty")
+	}
+}

@@ -1,0 +1,81 @@
+package dpst_test
+
+import (
+	"testing"
+
+	"github.com/taskpar/avd/internal/dpst"
+)
+
+func TestLCADepth(t *testing.T) {
+	tree, s11, s12, s2, s3 := figure2(dpst.ArrayLayout)
+	// Root F11 has depth 0; F12 depth 1.
+	cases := []struct {
+		a, b dpst.NodeID
+		want int32
+	}{
+		{s2, s3, 1},   // LCA = F12
+		{s2, s12, 1},  // LCA = F12
+		{s11, s2, 0},  // LCA = F11
+		{s11, s12, 0}, // LCA = F11
+		{s2, s2, tree.Depth(s2)},
+	}
+	for _, c := range cases {
+		if got := dpst.LCADepth(tree, c.a, c.b); got != c.want {
+			t.Errorf("LCADepth(%d,%d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+		if got := dpst.LCADepth(tree, c.b, c.a); got != c.want {
+			t.Errorf("LCADepth(%d,%d) = %d, want %d (symmetry)", c.b, c.a, got, c.want)
+		}
+	}
+}
+
+func TestPairDepthAndKey(t *testing.T) {
+	tree, _, _, s2, s3 := figure2(dpst.ArrayLayout)
+	q := dpst.NewQuery(tree, true)
+	if q.PairDepth(s2, s3) != 1 {
+		t.Errorf("PairDepth(s2,s3) = %d, want 1", q.PairDepth(s2, s3))
+	}
+	if q.PairDepth(dpst.None, s2) != 0 || q.PairDepth(s2, dpst.None) != 0 {
+		t.Error("PairDepth with None must be 0")
+	}
+	if dpst.PairKey(s2, s3) != dpst.PairKey(s3, s2) {
+		t.Error("PairKey must be order-insensitive")
+	}
+	if dpst.PairKey(s2, s3) == dpst.PairKey(s2, s2) {
+		t.Error("distinct pairs must have distinct keys")
+	}
+}
+
+func TestCountQuery(t *testing.T) {
+	tree, _, _, s2, s3 := figure2(dpst.ArrayLayout)
+	q := dpst.NewQuery(tree, true)
+	q.Par(s2, s3)
+	q.CountQuery(s2, s3) // a front-cache hit reported by a caller
+	st := q.Stats()
+	if st.LCAQueries != 2 {
+		t.Errorf("LCAQueries = %d, want 2 (one real + one counted)", st.LCAQueries)
+	}
+	if st.UniqueLCAs != 1 {
+		t.Errorf("UniqueLCAs = %d, want 1", st.UniqueLCAs)
+	}
+	if !q.Caching() {
+		t.Error("Caching() must reflect the constructor flag")
+	}
+	if dpst.NewQuery(tree, false).Caching() {
+		t.Error("uncached query must report Caching()==false")
+	}
+}
+
+func TestLeftOfAncestorChain(t *testing.T) {
+	tree := dpst.NewArrayTree()
+	root := tree.NewNode(dpst.None, dpst.Finish, 0)
+	f := tree.NewNode(root, dpst.Finish, 0)
+	s := tree.NewNode(f, dpst.Step, 0)
+	// Ancestor is "left" of its descendant by the depth rule.
+	if !dpst.LeftOf(tree, root, s) || dpst.LeftOf(tree, s, root) {
+		t.Error("ancestor ordering broken")
+	}
+	if dpst.LeftOf(tree, s, s) {
+		t.Error("LeftOf must be irreflexive")
+	}
+}

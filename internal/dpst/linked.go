@@ -1,0 +1,86 @@
+package dpst
+
+import "sync/atomic"
+
+// linkedNode is a separately heap-allocated DPST node with a parent
+// pointer, the layout the paper uses as the baseline in Figure 14. Every
+// traversal step chases a pointer to an individually allocated object,
+// which costs locality and allocator pressure relative to ArrayTree.
+type linkedNode struct {
+	parent   *linkedNode
+	id       NodeID
+	depth    int32
+	rank     int32
+	children int32
+	task     int32
+	kind     Kind
+}
+
+type linkedChunk [chunkSize]*linkedNode
+
+// LinkedTree is the pointer-based DPST layout. A chunked directory maps
+// NodeIDs to per-node heap allocations so that both layouts expose the
+// same ID-based interface; all structural traversal goes through the
+// nodes' parent pointers.
+type LinkedTree struct {
+	chunks [maxChunks]atomic.Pointer[linkedChunk]
+	next   atomic.Int64
+}
+
+// NewLinkedTree returns an empty linked-layout DPST.
+func NewLinkedTree() *LinkedTree {
+	t := &LinkedTree{}
+	t.chunks[0].Store(new(linkedChunk))
+	return t
+}
+
+func (t *LinkedTree) node(id NodeID) *linkedNode {
+	return t.chunks[id>>chunkBits].Load()[id&chunkMask]
+}
+
+// NewNode implements Tree.
+func (t *LinkedTree) NewNode(parent NodeID, kind Kind, task int32) NodeID {
+	idx := t.next.Add(1) - 1
+	if idx>>chunkBits >= maxChunks {
+		panic("dpst: LinkedTree node capacity exceeded")
+	}
+	ci := idx >> chunkBits
+	if t.chunks[ci].Load() == nil {
+		t.chunks[ci].CompareAndSwap(nil, new(linkedChunk))
+	}
+	id := NodeID(idx)
+	n := &linkedNode{id: id, kind: kind, task: task, parent: nil}
+	if parent != None {
+		p := t.node(parent)
+		n.parent = p
+		n.depth = p.depth + 1
+		n.rank = p.children
+		p.children++
+	}
+	t.chunks[ci].Load()[id&chunkMask] = n
+	return id
+}
+
+// Parent implements Tree.
+func (t *LinkedTree) Parent(id NodeID) NodeID {
+	p := t.node(id).parent
+	if p == nil {
+		return None
+	}
+	return p.id
+}
+
+// Kind implements Tree.
+func (t *LinkedTree) Kind(id NodeID) Kind { return t.node(id).kind }
+
+// Depth implements Tree.
+func (t *LinkedTree) Depth(id NodeID) int32 { return t.node(id).depth }
+
+// Rank implements Tree.
+func (t *LinkedTree) Rank(id NodeID) int32 { return t.node(id).rank }
+
+// Task implements Tree.
+func (t *LinkedTree) Task(id NodeID) int32 { return t.node(id).task }
+
+// Len implements Tree.
+func (t *LinkedTree) Len() int { return int(t.next.Load()) }

@@ -1,0 +1,219 @@
+package dpst
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Stats aggregates the DPST measurements reported in Table 1 of the
+// paper: the number of nodes in the tree, the number of least common
+// ancestor queries issued by the checker, and how many of those queries
+// were unique (i.e., missed the LCA cache).
+type Stats struct {
+	Nodes      int
+	LCAQueries int64
+	UniqueLCAs int64
+}
+
+// UniqueFraction returns the percentage of LCA queries that were unique,
+// or 0 when no queries were performed (reported as "-NA-" in the paper).
+func (s Stats) UniqueFraction() float64 {
+	if s.LCAQueries == 0 {
+		return 0
+	}
+	return 100 * float64(s.UniqueLCAs) / float64(s.LCAQueries)
+}
+
+const lcaShards = 256
+
+// lcaShard is one bucket of the LCA result cache: a read-mostly map
+// under an RWMutex. Plain maps avoid the per-entry boxing allocations a
+// sync.Map would pay on this write-once workload.
+type lcaShard struct {
+	mu sync.RWMutex
+	m  map[uint64]bool
+}
+
+// counterStripe is a cache-line padded counter cell; striping the query
+// counter avoids cross-core ping-pong on the hottest instrumentation
+// increment.
+type counterStripe struct {
+	n atomic.Int64
+	_ [56]byte
+}
+
+// Query answers may-happen-in-parallel (DMHP) queries over a DPST and
+// memoizes LCA results, the caching optimization described in Section 4
+// of the paper. A Query is safe for concurrent use.
+type Query struct {
+	tree    Tree
+	caching bool
+	queries [8]counterStripe
+	unique  atomic.Int64
+	shards  [lcaShards]lcaShard
+}
+
+// NewQuery returns a Query over tree. When caching is false every query
+// recomputes the tree walk, which isolates the cost of LCA traversals for
+// the ablation experiments.
+func NewQuery(tree Tree, caching bool) *Query {
+	q := &Query{tree: tree, caching: caching}
+	for i := range q.shards {
+		q.shards[i].m = make(map[uint64]bool)
+	}
+	return q
+}
+
+// PairDepth returns the depth of LCA(a, b). The walk is allocation-free
+// and roughly as cheap as a cache lookup, so it is computed directly; it
+// supports the spanning-pair replacement rule and is not counted as an
+// LCA query in the Table 1 statistics.
+func (q *Query) PairDepth(a, b NodeID) int32 {
+	if a == None || b == None {
+		return 0
+	}
+	return LCADepth(q.tree, a, b)
+}
+
+// Tree returns the underlying DPST.
+func (q *Query) Tree() Tree { return q.tree }
+
+// Caching reports whether LCA results are memoized; callers layering
+// their own caches should bypass them when this is false.
+func (q *Query) Caching() bool { return q.caching }
+
+// CountQuery records an LCA query that was answered from a caller-side
+// cache layer, keeping the Table 1 query statistics faithful.
+func (q *Query) CountQuery(a, b NodeID) {
+	q.queries[uint64(a^b)%8].n.Add(1)
+}
+
+// PairKey returns the canonical cache key of an unordered node pair.
+func PairKey(a, b NodeID) uint64 { return pairKey(a, b) }
+
+// Stats returns a snapshot of the node and query counters.
+func (q *Query) Stats() Stats {
+	var total int64
+	for i := range q.queries {
+		total += q.queries[i].n.Load()
+	}
+	return Stats{
+		Nodes:      q.tree.Len(),
+		LCAQueries: total,
+		UniqueLCAs: q.unique.Load(),
+	}
+}
+
+func pairKey(a, b NodeID) uint64 {
+	if a > b {
+		a, b = b, a
+	}
+	return uint64(uint32(a))<<32 | uint64(uint32(b))
+}
+
+// Par reports whether the two step nodes can logically execute in
+// parallel in some schedule of the recorded execution. Identical nodes
+// and ancestor/descendant pairs are serial by definition.
+func (q *Query) Par(a, b NodeID) bool {
+	if a == b || a == None || b == None {
+		return false
+	}
+	q.queries[uint64(a^b)%8].n.Add(1)
+	if !q.caching {
+		q.unique.Add(1)
+		return ComputePar(q.tree, a, b)
+	}
+	key := pairKey(a, b)
+	shard := &q.shards[key%lcaShards]
+	shard.mu.RLock()
+	r, ok := shard.m[key]
+	shard.mu.RUnlock()
+	if ok {
+		return r
+	}
+	r = ComputePar(q.tree, a, b)
+	shard.mu.Lock()
+	if _, dup := shard.m[key]; !dup {
+		shard.m[key] = r
+		q.unique.Add(1)
+	}
+	shard.mu.Unlock()
+	return r
+}
+
+// ComputePar performs the uncached DMHP tree walk: it locates the least
+// common ancestor of a and b and the two children of the LCA on the paths
+// to a and b, and reports parallelism iff the left such child (the one
+// with the smaller sibling rank) is an async node.
+func ComputePar(t Tree, a, b NodeID) bool {
+	if a == b {
+		return false
+	}
+	pa, pb := a, b
+	for t.Depth(pa) > t.Depth(pb) {
+		pa = t.Parent(pa)
+	}
+	for t.Depth(pb) > t.Depth(pa) {
+		pb = t.Parent(pb)
+	}
+	if pa == pb {
+		// One node is an ancestor of the other; they are ordered.
+		return false
+	}
+	for t.Parent(pa) != t.Parent(pb) {
+		pa = t.Parent(pa)
+		pb = t.Parent(pb)
+	}
+	left := pa
+	if t.Rank(pb) < t.Rank(pa) {
+		left = pb
+	}
+	return t.Kind(left) == Async
+}
+
+// LCADepth returns the depth of the least common ancestor of a and b
+// (the root has depth 0). It is used by the checker's spanning-pair
+// replacement rule: among three mutually parallel steps, the pair with
+// the shallowest LCA covers the widest range of future parallel steps.
+func LCADepth(t Tree, a, b NodeID) int32 {
+	if a == b {
+		return t.Depth(a)
+	}
+	pa, pb := a, b
+	for t.Depth(pa) > t.Depth(pb) {
+		pa = t.Parent(pa)
+	}
+	for t.Depth(pb) > t.Depth(pa) {
+		pb = t.Parent(pb)
+	}
+	for pa != pb {
+		pa = t.Parent(pa)
+		pb = t.Parent(pb)
+	}
+	return t.Depth(pa)
+}
+
+// LeftOf reports whether step a precedes step b in the left-to-right
+// ordering of the DPST, i.e. whether a's subtree is to the left of b's at
+// their least common ancestor. Nodes equal to each other or on the same
+// root path are ordered by depth (the ancestor is "left").
+func LeftOf(t Tree, a, b NodeID) bool {
+	if a == b {
+		return false
+	}
+	pa, pb := a, b
+	for t.Depth(pa) > t.Depth(pb) {
+		pa = t.Parent(pa)
+	}
+	for t.Depth(pb) > t.Depth(pa) {
+		pb = t.Parent(pb)
+	}
+	if pa == pb {
+		return t.Depth(a) < t.Depth(b)
+	}
+	for t.Parent(pa) != t.Parent(pb) {
+		pa = t.Parent(pa)
+		pb = t.Parent(pb)
+	}
+	return t.Rank(pa) < t.Rank(pb)
+}

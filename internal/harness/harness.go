@@ -1,0 +1,269 @@
+// Package harness runs the paper's evaluation: it measures each
+// benchmark kernel under the uninstrumented baseline, the DPST checker
+// (array and linked layouts), and the Velodrome baseline, and renders
+// Table 1, Figure 13, and Figure 14 as text.
+package harness
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"runtime"
+	"sort"
+	"strings"
+	"time"
+
+	avd "github.com/taskpar/avd"
+	"github.com/taskpar/avd/internal/bench"
+)
+
+// Config names one measured configuration.
+type Config struct {
+	Name string
+	Opts avd.Options
+}
+
+// Baseline is the uninstrumented configuration all slowdowns are
+// relative to.
+func Baseline(workers int) Config {
+	return Config{Name: "baseline", Opts: avd.Options{Workers: workers, Checker: avd.CheckerNone}}
+}
+
+// Prototype is the paper's checker on the array DPST.
+func Prototype(workers int) Config {
+	return Config{Name: "our-prototype", Opts: avd.Options{Workers: workers}}
+}
+
+// PrototypeLinked is the Figure 14 ablation configuration.
+func PrototypeLinked(workers int) Config {
+	return Config{Name: "linked-DPST", Opts: avd.Options{Workers: workers, Layout: avd.LayoutLinked}}
+}
+
+// PrototypeNoCache variants disable LCA memoization so every Par query
+// walks the tree, isolating the DPST layout cost that Figure 14
+// measures.
+func PrototypeNoCache(workers int) Config {
+	return Config{Name: "array-nocache", Opts: avd.Options{Workers: workers, DisableLCACache: true}}
+}
+
+// PrototypeLinkedNoCache is the uncached linked-layout configuration.
+func PrototypeLinkedNoCache(workers int) Config {
+	return Config{Name: "linked-nocache", Opts: avd.Options{Workers: workers, Layout: avd.LayoutLinked, DisableLCACache: true}}
+}
+
+// Velodrome is the comparison checker of Figure 13.
+func Velodrome(workers int) Config {
+	return Config{Name: "velodrome", Opts: avd.Options{Workers: workers, Checker: avd.CheckerVelodrome}}
+}
+
+// Measurement is one (kernel, configuration) timing result.
+type Measurement struct {
+	Kernel  string
+	Config  string
+	N       int
+	Reps    int
+	Seconds float64 // median wall time per repetition
+	Report  avd.Report
+}
+
+// Measure runs kernel k under cfg reps times (fresh session each time,
+// as each run owns its DPST and metadata), validates the checksum, and
+// returns the median wall time and the final run's report. The paper
+// averages five runs; the median is more robust against scheduler noise
+// at our smaller problem sizes.
+func Measure(k bench.Kernel, cfg Config, n, reps int) (Measurement, error) {
+	if reps < 1 {
+		reps = 1
+	}
+	times := make([]float64, 0, reps)
+	var rep avd.Report
+	for i := 0; i < reps; i++ {
+		runtime.GC() // don't charge this run with the previous config's garbage
+		s := avd.NewSession(cfg.Opts)
+		start := time.Now()
+		sum := k.Run(s, n)
+		times = append(times, time.Since(start).Seconds())
+		rep = s.Report()
+		s.Close()
+		if err := k.Check(n, sum); err != nil {
+			return Measurement{}, fmt.Errorf("%s under %s: %w", k.Name, cfg.Name, err)
+		}
+	}
+	sort.Float64s(times)
+	return Measurement{
+		Kernel:  k.Name,
+		Config:  cfg.Name,
+		N:       n,
+		Reps:    reps,
+		Seconds: times[len(times)/2],
+		Report:  rep,
+	}, nil
+}
+
+// GeoMean returns the geometric mean of xs (1 when empty).
+func GeoMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 1
+	}
+	var logSum float64
+	for _, x := range xs {
+		logSum += math.Log(x)
+	}
+	return math.Exp(logSum / float64(len(xs)))
+}
+
+// human renders counts in the paper's style: 1,352 / 9.87M / 40M.
+func human(v int64) string {
+	switch {
+	case v >= 100_000_000:
+		return fmt.Sprintf("%dM", (v+500_000)/1_000_000)
+	case v >= 1_000_000:
+		return fmt.Sprintf("%.2fM", float64(v)/1_000_000)
+	default:
+		return group(v)
+	}
+}
+
+// group inserts thousands separators.
+func group(v int64) string {
+	s := fmt.Sprintf("%d", v)
+	if len(s) <= 3 {
+		return s
+	}
+	var parts []string
+	for len(s) > 3 {
+		parts = append([]string{s[len(s)-3:]}, parts...)
+		s = s[:len(s)-3]
+	}
+	return s + "," + strings.Join(parts, ",")
+}
+
+// Sizes resolves the per-kernel problem sizes, scaled by scale.
+func Sizes(scale float64) map[string]int {
+	out := make(map[string]int)
+	for _, k := range bench.All() {
+		n := int(float64(k.DefaultN) * scale)
+		if n < 8 {
+			n = 8
+		}
+		// Dimension-style sizes scale with the square root so the total
+		// work scales roughly linearly.
+		switch k.Name {
+		case "fluidanimate", "raycast":
+			n = int(float64(k.DefaultN) * math.Sqrt(scale))
+			if n < 8 {
+				n = 8
+			}
+		}
+		out[k.Name] = n
+	}
+	return out
+}
+
+// Table1 measures every kernel under the prototype checker and renders
+// the paper's Table 1: unique locations, DPST nodes, LCA queries, and
+// the unique-LCA percentage.
+func Table1(w io.Writer, workers int, scale float64, reps int) error {
+	sizes := Sizes(scale)
+	cfg := Prototype(workers)
+	fmt.Fprintf(w, "Table 1: benchmark characteristics under the atomicity checker\n")
+	fmt.Fprintf(w, "%-14s %12s %12s %12s %10s\n", "Benchmark", "Locations", "DPST nodes", "LCA queries", "% unique")
+	for _, k := range bench.All() {
+		m, err := Measure(k, cfg, sizes[k.Name], reps)
+		if err != nil {
+			return err
+		}
+		st := m.Report.Stats
+		unique := "-NA-"
+		if st.LCAQueries > 0 {
+			unique = fmt.Sprintf("%.2f", st.UniquePercent())
+		}
+		fmt.Fprintf(w, "%-14s %12s %12s %12s %10s\n",
+			k.Name, human(st.Locations), human(int64(st.DPSTNodes)), human(st.LCAQueries), unique)
+	}
+	return nil
+}
+
+// Figure13 measures the prototype and Velodrome against the baseline and
+// renders the slowdown comparison with geometric means.
+func Figure13(w io.Writer, workers int, scale float64, reps int) error {
+	sizes := Sizes(scale)
+	base := Baseline(workers)
+	ours := Prototype(workers)
+	velo := Velodrome(workers)
+	fmt.Fprintf(w, "Figure 13: execution-time slowdown vs uninstrumented baseline\n")
+	fmt.Fprintf(w, "%-14s %14s %14s\n", "Benchmark", "our-prototype", "velodrome")
+	var oursX, veloX []float64
+	for _, k := range bench.All() {
+		n := sizes[k.Name]
+		mb, err := Measure(k, base, n, reps)
+		if err != nil {
+			return err
+		}
+		mo, err := Measure(k, ours, n, reps)
+		if err != nil {
+			return err
+		}
+		mv, err := Measure(k, velo, n, reps)
+		if err != nil {
+			return err
+		}
+		so := mo.Seconds / mb.Seconds
+		sv := mv.Seconds / mb.Seconds
+		oursX = append(oursX, so)
+		veloX = append(veloX, sv)
+		fmt.Fprintf(w, "%-14s %13.2fx %13.2fx\n", k.Name, so, sv)
+	}
+	fmt.Fprintf(w, "%-14s %13.2fx %13.2fx\n", "geo.mean", GeoMean(oursX), GeoMean(veloX))
+	return nil
+}
+
+// Figure14 compares the array and linked DPST layouts, with the LCA
+// cache enabled (the paper's configuration) and disabled (every query
+// walks the tree, isolating the layout cost).
+func Figure14(w io.Writer, workers int, scale float64, reps int) error {
+	sizes := Sizes(scale)
+	base := Baseline(workers)
+	configs := []Config{
+		Prototype(workers),
+		PrototypeLinked(workers),
+		PrototypeNoCache(workers),
+		PrototypeLinkedNoCache(workers),
+	}
+	fmt.Fprintf(w, "Figure 14: checker slowdown with array-based vs linked DPST\n")
+	fmt.Fprintf(w, "%-14s %12s %12s %14s %14s\n", "Benchmark",
+		"array-DPST", "linked-DPST", "array-nocache", "linked-nocache")
+	sums := make([][]float64, len(configs))
+	for _, k := range bench.All() {
+		n := sizes[k.Name]
+		mb, err := Measure(k, base, n, reps)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%-14s", k.Name)
+		for ci, cfg := range configs {
+			m, err := Measure(k, cfg, n, reps)
+			if err != nil {
+				return err
+			}
+			sl := m.Seconds / mb.Seconds
+			sums[ci] = append(sums[ci], sl)
+			width := 11
+			if ci >= 2 {
+				width = 13
+			}
+			fmt.Fprintf(w, " %*.2fx", width, sl)
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintf(w, "%-14s", "geo.mean")
+	for ci := range configs {
+		width := 11
+		if ci >= 2 {
+			width = 13
+		}
+		fmt.Fprintf(w, " %*.2fx", width, GeoMean(sums[ci]))
+	}
+	fmt.Fprintln(w)
+	return nil
+}

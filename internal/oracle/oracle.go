@@ -1,0 +1,266 @@
+// Package oracle computes ground-truth atomicity-violation answers for
+// small structured programs, independently of the DPST checker, for
+// differential testing.
+//
+// Two oracles are provided. Violations derives the answer in closed form
+// from first principles: a location has a feasible atomicity violation
+// iff some pair of accesses by one step node (the atomic region) and an
+// access by a logically parallel step node form a conflict-unserializable
+// triple that the lock structure allows to interleave. Enumerate
+// validates that closed form by brute force: it walks every valid
+// sequentially consistent schedule of the program and looks for a
+// manifest unserializable triple.
+package oracle
+
+import (
+	"github.com/taskpar/avd/internal/checker"
+	"github.com/taskpar/avd/internal/sptest"
+	"github.com/taskpar/avd/internal/trace"
+)
+
+// Mode selects which violations the oracle should count, mirroring the
+// checker's lock-handling modes.
+type Mode uint8
+
+// Oracle modes.
+const (
+	// ModeFull counts every feasible unserializable triple: a pair in
+	// one critical section still counts when the interleaver does not
+	// synchronize on that lock (the checker's StrictLockChecks
+	// extension).
+	ModeFull Mode = iota
+	// ModePaper counts only triples whose pair accesses lie in
+	// different critical sections (empty lockset intersection), the
+	// promotion rule of the paper's Section 3.3.
+	ModePaper
+)
+
+func typeOf(w bool) checker.AccessType {
+	if w {
+		return checker.Write
+	}
+	return checker.Read
+}
+
+// Violations returns the set of locations (sptest location numbers) with
+// at least one feasible atomicity violation in some schedule of the
+// built program.
+func Violations(b *sptest.Built, mode Mode) map[int]bool {
+	out := make(map[int]bool)
+	accs := b.Accesses
+	for i, a1 := range accs {
+		for j := i + 1; j < len(accs); j++ {
+			a3 := accs[j]
+			if a3.Step != a1.Step || a3.Loc != a1.Loc {
+				continue
+			}
+			sameCS := a1.CS >= 0 && a1.CS == a3.CS
+			if sameCS && mode == ModePaper {
+				continue // pair never promoted by the paper's rule
+			}
+			for _, a2 := range accs {
+				if a2.Loc != a1.Loc || a2.Step == a1.Step {
+					continue
+				}
+				if !checker.Unserializable(typeOf(a1.Write), typeOf(a2.Write), typeOf(a3.Write)) {
+					continue
+				}
+				if sameCS && a2.CS >= 0 && a2.Lock == a1.Lock {
+					continue // interleaver synchronizes on the pair's lock
+				}
+				if !b.ParallelSteps(a1.Step, a2.Step) {
+					continue
+				}
+				out[a1.Loc] = true
+			}
+		}
+	}
+	return out
+}
+
+// Enumerate explores every valid schedule of the program (up to limit
+// explored schedules) and returns the locations at which some schedule
+// manifests an unserializable triple — two accesses of one step with an
+// interleaved conflicting access of another step between them. The
+// second result is false when the limit was hit and the answer may be
+// incomplete.
+func Enumerate(p *sptest.Program, limit int) (map[int]bool, bool) {
+	c := trace.Compile(p)
+	n := len(c.Code)
+	type state struct {
+		pc     []int
+		done   []bool
+		start  []bool
+		scopes [][]int // per task: stack of scope indices
+	}
+	// Scopes are identified by dense indices into pending.
+	var pending []int
+	scopeOf := make([]int, n) // scope a task decrements at its end
+	st := state{
+		pc:     make([]int, n),
+		done:   make([]bool, n),
+		start:  make([]bool, n),
+		scopes: make([][]int, n),
+	}
+	st.start[0] = true
+	pending = append(pending, 0) // root scope
+	st.scopes[0] = []int{0}
+	scopeOf[0] = 0
+	holder := make(map[uint32]int)
+
+	found := make(map[int]bool)
+	explored := 0
+	complete := true
+
+	// sched is the schedule prefix: per event, (task, op) with op == nil
+	// for task end.
+	type ev struct {
+		task int
+		op   *trace.Op
+	}
+	var prefix []ev
+
+	// scan the completed schedule for manifest triples.
+	scan := func() {
+		// Track, per access, its step identity. Steps change at spawn,
+		// finish-begin, finish-end within a task.
+		stepID := make([]int, n)
+		nextStep := n
+		type acc struct {
+			task, step int
+			loc        int
+			write      bool
+		}
+		var accs []acc
+		for i := range stepID {
+			stepID[i] = -1
+		}
+		newStep := func(task int) {
+			stepID[task] = nextStep
+			nextStep++
+		}
+		for i := range stepID {
+			newStep(i)
+		}
+		for _, e := range prefix {
+			if e.op == nil {
+				continue
+			}
+			switch e.op.Kind {
+			case trace.KSpawn, trace.KFinishBegin, trace.KFinishEnd:
+				newStep(e.task)
+			case trace.KAccess:
+				accs = append(accs, acc{
+					task: e.task, step: stepID[e.task],
+					loc:   int(e.op.Loc - trace.LocBase),
+					write: e.op.Write,
+				})
+			}
+		}
+		for i, a1 := range accs {
+			for j := i + 1; j < len(accs); j++ {
+				a3 := accs[j]
+				if a3.step != a1.step || a3.loc != a1.loc {
+					continue
+				}
+				for k := i + 1; k < j; k++ {
+					a2 := accs[k]
+					if a2.loc != a1.loc || a2.step == a1.step {
+						continue
+					}
+					if checker.Unserializable(typeOf(a1.write), typeOf(a2.write), typeOf(a3.write)) {
+						found[a1.loc] = true
+					}
+				}
+			}
+		}
+	}
+
+	var rec func(remaining int)
+	rec = func(remaining int) {
+		if explored >= limit {
+			complete = false
+			return
+		}
+		if remaining == 0 {
+			explored++
+			scan()
+			return
+		}
+		for i := 0; i < n; i++ {
+			if !st.start[i] || st.done[i] {
+				continue
+			}
+			// Runnability.
+			var o *trace.Op
+			if st.pc[i] < len(c.Code[i]) {
+				o = &c.Code[i][st.pc[i]]
+				switch o.Kind {
+				case trace.KFinishEnd:
+					if pending[st.scopes[i][len(st.scopes[i])-1]] != 0 {
+						continue
+					}
+				case trace.KAcquire:
+					if _, held := holder[o.Lock]; held {
+						continue
+					}
+				}
+			}
+			// Apply.
+			if o == nil {
+				st.done[i] = true
+				if i != 0 {
+					pending[scopeOf[i]]--
+				}
+				prefix = append(prefix, ev{task: i})
+				rec(remaining - 1)
+				prefix = prefix[:len(prefix)-1]
+				if i != 0 {
+					pending[scopeOf[i]]++
+				}
+				st.done[i] = false
+				continue
+			}
+			st.pc[i]++
+			prefix = append(prefix, ev{task: i, op: o})
+			switch o.Kind {
+			case trace.KSpawn:
+				ch := int(o.Child)
+				st.start[ch] = true
+				sc := st.scopes[i][len(st.scopes[i])-1]
+				pending[sc]++
+				scopeOf[ch] = sc
+				st.scopes[ch] = []int{sc}
+				rec(remaining)
+				pending[sc]--
+				st.start[ch] = false
+				st.scopes[ch] = nil
+			case trace.KFinishBegin:
+				pending = append(pending, 0)
+				st.scopes[i] = append(st.scopes[i], len(pending)-1)
+				rec(remaining)
+				st.scopes[i] = st.scopes[i][:len(st.scopes[i])-1]
+				pending = pending[:len(pending)-1]
+			case trace.KFinishEnd:
+				sc := st.scopes[i][len(st.scopes[i])-1]
+				st.scopes[i] = st.scopes[i][:len(st.scopes[i])-1]
+				rec(remaining)
+				st.scopes[i] = append(st.scopes[i], sc)
+			case trace.KAcquire:
+				holder[o.Lock] = i
+				rec(remaining)
+				delete(holder, o.Lock)
+			case trace.KRelease:
+				delete(holder, o.Lock)
+				rec(remaining)
+				holder[o.Lock] = i
+			default:
+				rec(remaining)
+			}
+			prefix = prefix[:len(prefix)-1]
+			st.pc[i]--
+		}
+	}
+	rec(n)
+	return found, complete
+}

@@ -1,0 +1,237 @@
+package sched_test
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/taskpar/avd/internal/dpst"
+	"github.com/taskpar/avd/internal/sched"
+)
+
+// TestCilkFigure1DPST runs the paper's Figure 1 program with the
+// Cilk-style spawn/sync API and verifies it produces exactly the
+// Figure 2 tree: F11[S11, F12[A2[S2], S12, A3[S3]]].
+func TestCilkFigure1DPST(t *testing.T) {
+	tree := dpst.NewArrayTree()
+	s := sched.New(sched.Options{Workers: 4, Tree: tree})
+	defer s.Close()
+
+	const locX sched.Loc = 1
+	var s11, s12, s2, s3 dpst.NodeID
+	done2 := make(chan dpst.NodeID, 1)
+	done3 := make(chan dpst.NodeID, 1)
+	s.Run(func(tk *sched.Task) {
+		tk.Access(locX, true) // S11
+		s11 = tk.StepNode()
+		tk.CilkSpawn(func(t2 *sched.Task) { // T2
+			t2.Access(locX, false)
+			t2.Access(locX, true)
+			done2 <- t2.StepNode()
+		})
+		tk.Access(locX, true) // S12 (continuation)
+		s12 = tk.StepNode()
+		tk.CilkSpawn(func(t3 *sched.Task) { // T3
+			t3.Access(locX, true)
+			done3 <- t3.StepNode()
+		})
+		tk.Sync()
+	})
+	s2, s3 = <-done2, <-done3
+
+	q := dpst.NewQuery(tree, true)
+	if !q.Par(s2, s12) || !q.Par(s2, s3) {
+		t.Error("S2 must be parallel with S12 and S3")
+	}
+	if q.Par(s11, s2) || q.Par(s12, s3) || q.Par(s11, s12) {
+		t.Error("S11/S2, S12/S3, S11/S12 must be serial")
+	}
+	// Structure: root finish, S11, implicit finish F12, A2, S2, S12, A3,
+	// S3 = 8 nodes exactly.
+	if tree.Len() != 8 {
+		t.Errorf("DPST has %d nodes, want the 8 of Figure 2", tree.Len())
+	}
+	// F12 is a finish node child of the root.
+	if got := tree.Kind(tree.Parent(s12)); got != dpst.Finish {
+		t.Errorf("S12's parent is %v, want the implicit finish", got)
+	}
+	if tree.Parent(tree.Parent(s12)) != tree.Parent(s11) {
+		t.Error("the implicit finish must be a sibling of S11 under the root")
+	}
+}
+
+func TestCilkSyncWaits(t *testing.T) {
+	s := sched.New(sched.Options{Workers: 4})
+	defer s.Close()
+	var n atomic.Int64
+	s.Run(func(tk *sched.Task) {
+		for i := 0; i < 20; i++ {
+			tk.CilkSpawn(func(*sched.Task) {
+				time.Sleep(time.Millisecond)
+				n.Add(1)
+			})
+		}
+		tk.Sync()
+		if got := n.Load(); got != 20 {
+			t.Errorf("Sync returned with %d/20 children complete", got)
+		}
+	})
+}
+
+func TestCilkSyncRegionsAreOrdered(t *testing.T) {
+	tree := dpst.NewArrayTree()
+	s := sched.New(sched.Options{Workers: 2, Tree: tree})
+	defer s.Close()
+	steps := make(chan dpst.NodeID, 2)
+	s.Run(func(tk *sched.Task) {
+		tk.CilkSpawn(func(c *sched.Task) {
+			c.Access(1, true)
+			steps <- c.StepNode()
+		})
+		tk.Sync()
+		tk.CilkSpawn(func(c *sched.Task) {
+			c.Access(1, true)
+			steps <- c.StepNode()
+		})
+		tk.Sync()
+	})
+	a, b := <-steps, <-steps
+	if dpst.NewQuery(tree, true).Par(a, b) {
+		t.Error("children of successive sync regions must be serial")
+	}
+}
+
+func TestCilkImplicitSyncAtTaskEnd(t *testing.T) {
+	s := sched.New(sched.Options{Workers: 4})
+	defer s.Close()
+	var n atomic.Int64
+	s.Run(func(tk *sched.Task) {
+		tk.Finish(func(tk *sched.Task) {
+			tk.Spawn(func(child *sched.Task) {
+				// CilkSpawn without an explicit Sync: the task end syncs.
+				child.CilkSpawn(func(*sched.Task) { n.Add(1) })
+				child.CilkSpawn(func(*sched.Task) { n.Add(1) })
+			})
+		})
+		if got := n.Load(); got != 2 {
+			t.Errorf("implicit sync at task end left %d/2 children unjoined", got)
+		}
+	})
+}
+
+func TestCilkSyncWithoutSpawnsIsNoop(t *testing.T) {
+	s := sched.New(sched.Options{Workers: 1})
+	defer s.Close()
+	s.Run(func(tk *sched.Task) {
+		tk.Sync()
+		tk.Sync()
+	})
+}
+
+func TestPanicFromSpawnedTaskPropagates(t *testing.T) {
+	s := sched.New(sched.Options{Workers: 4})
+	defer s.Close()
+	var joined atomic.Int64
+	caught := func() (r any) {
+		defer func() { r = recover() }()
+		s.Run(func(tk *sched.Task) {
+			tk.Finish(func(tk *sched.Task) {
+				tk.Spawn(func(*sched.Task) { panic("boom") })
+				for i := 0; i < 10; i++ {
+					tk.Spawn(func(*sched.Task) {
+						time.Sleep(time.Millisecond)
+						joined.Add(1)
+					})
+				}
+			})
+		})
+		return nil
+	}()
+	if caught != "boom" {
+		t.Fatalf("recovered %v, want \"boom\"", caught)
+	}
+	if got := joined.Load(); got != 10 {
+		t.Fatalf("panic escaped before the scope joined: %d/10 siblings done", got)
+	}
+	// The scheduler must stay usable.
+	ok := false
+	s.Run(func(*sched.Task) { ok = true })
+	if !ok {
+		t.Fatal("scheduler unusable after a panic")
+	}
+}
+
+func TestPanicFromRootBodyPropagates(t *testing.T) {
+	s := sched.New(sched.Options{Workers: 2})
+	defer s.Close()
+	caught := func() (r any) {
+		defer func() { r = recover() }()
+		s.Run(func(*sched.Task) { panic(42) })
+		return nil
+	}()
+	if caught != 42 {
+		t.Fatalf("recovered %v, want 42", caught)
+	}
+}
+
+func TestPanicFromCilkChildPropagatesAtSync(t *testing.T) {
+	s := sched.New(sched.Options{Workers: 2})
+	defer s.Close()
+	caught := func() (r any) {
+		defer func() { r = recover() }()
+		s.Run(func(tk *sched.Task) {
+			tk.CilkSpawn(func(*sched.Task) { panic("child") })
+			tk.Sync()
+			t.Error("Sync returned despite a panicking child")
+		})
+		return nil
+	}()
+	if caught != "child" {
+		t.Fatalf("recovered %v, want \"child\"", caught)
+	}
+}
+
+func TestPanicWithOpenCilkScopeJoinsChildren(t *testing.T) {
+	s := sched.New(sched.Options{Workers: 4})
+	defer s.Close()
+	var joined atomic.Int64
+	caught := func() (r any) {
+		defer func() { r = recover() }()
+		s.Run(func(tk *sched.Task) {
+			for i := 0; i < 8; i++ {
+				tk.CilkSpawn(func(*sched.Task) {
+					time.Sleep(time.Millisecond)
+					joined.Add(1)
+				})
+			}
+			panic("before sync") // scope still open
+		})
+		return nil
+	}()
+	if caught != "before sync" {
+		t.Fatalf("recovered %v", caught)
+	}
+	if got := joined.Load(); got != 8 {
+		t.Fatalf("children escaped the unwinding join: %d/8", got)
+	}
+}
+
+func TestPanicInNestedFinishPropagatesOutward(t *testing.T) {
+	s := sched.New(sched.Options{Workers: 2})
+	defer s.Close()
+	caught := func() (r any) {
+		defer func() { r = recover() }()
+		s.Run(func(tk *sched.Task) {
+			tk.Finish(func(tk *sched.Task) {
+				tk.Finish(func(tk *sched.Task) {
+					tk.Spawn(func(*sched.Task) { panic("deep") })
+				})
+				t.Error("inner Finish returned despite the panic")
+			})
+		})
+		return nil
+	}()
+	if caught != "deep" {
+		t.Fatalf("recovered %v, want \"deep\"", caught)
+	}
+}

@@ -1,0 +1,94 @@
+package sched
+
+import "sync/atomic"
+
+// deque is a Chase-Lev work-stealing deque. The owning worker pushes and
+// pops at the bottom (LIFO); thieves steal from the top (FIFO). The
+// implementation follows Chase & Lev, "Dynamic Circular Work-Stealing
+// Deque" (SPAA 2005), adapted to Go's sequentially consistent atomics.
+type deque struct {
+	top    atomic.Int64
+	bottom atomic.Int64
+	buf    atomic.Pointer[dequeRing]
+}
+
+type dequeRing struct {
+	mask  int64
+	items []atomic.Pointer[Task]
+}
+
+func newDequeRing(capacity int64) *dequeRing {
+	return &dequeRing{mask: capacity - 1, items: make([]atomic.Pointer[Task], capacity)}
+}
+
+func (r *dequeRing) get(i int64) *Task    { return r.items[i&r.mask].Load() }
+func (r *dequeRing) put(i int64, t *Task) { r.items[i&r.mask].Store(t) }
+func (r *dequeRing) size() int64          { return r.mask + 1 }
+
+func newDeque() *deque {
+	d := &deque{}
+	d.buf.Store(newDequeRing(64))
+	return d
+}
+
+// push appends a task at the bottom. Only the owning worker may call it.
+func (d *deque) push(t *Task) {
+	b := d.bottom.Load()
+	tp := d.top.Load()
+	r := d.buf.Load()
+	if b-tp >= r.size()-1 {
+		grown := newDequeRing(r.size() * 2)
+		for i := tp; i < b; i++ {
+			grown.put(i, r.get(i))
+		}
+		d.buf.Store(grown)
+		r = grown
+	}
+	r.put(b, t)
+	d.bottom.Store(b + 1)
+}
+
+// pop removes the most recently pushed task. Only the owning worker may
+// call it.
+func (d *deque) pop() *Task {
+	b := d.bottom.Load() - 1
+	r := d.buf.Load()
+	d.bottom.Store(b)
+	tp := d.top.Load()
+	if tp > b {
+		// Deque was empty; restore.
+		d.bottom.Store(tp)
+		return nil
+	}
+	t := r.get(b)
+	if b > tp {
+		return t
+	}
+	// Single element left: race with thieves via CAS on top.
+	if !d.top.CompareAndSwap(tp, tp+1) {
+		t = nil
+	}
+	d.bottom.Store(tp + 1)
+	return t
+}
+
+// steal removes the oldest task on behalf of another worker. Safe for
+// concurrent use by any number of thieves.
+func (d *deque) steal() *Task {
+	tp := d.top.Load()
+	b := d.bottom.Load()
+	if tp >= b {
+		return nil
+	}
+	r := d.buf.Load()
+	t := r.get(tp)
+	if !d.top.CompareAndSwap(tp, tp+1) {
+		return nil // lost the race; caller retries elsewhere
+	}
+	return t
+}
+
+// empty reports whether the deque currently appears empty.
+func (d *deque) empty() bool {
+	return d.top.Load() >= d.bottom.Load()
+}

@@ -1,0 +1,132 @@
+package sched
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestDequeLIFOOwner(t *testing.T) {
+	d := newDeque()
+	if d.pop() != nil {
+		t.Fatal("pop on empty deque must return nil")
+	}
+	if !d.empty() {
+		t.Fatal("new deque must be empty")
+	}
+	a, b, c := &Task{id: 1}, &Task{id: 2}, &Task{id: 3}
+	d.push(a)
+	d.push(b)
+	d.push(c)
+	if d.empty() {
+		t.Fatal("deque with elements must not be empty")
+	}
+	for i, want := range []*Task{c, b, a} {
+		if got := d.pop(); got != want {
+			t.Fatalf("pop %d: got %v, want %v", i, got, want)
+		}
+	}
+	if d.pop() != nil {
+		t.Fatal("deque must be drained")
+	}
+}
+
+func TestDequeStealFIFO(t *testing.T) {
+	d := newDeque()
+	a, b := &Task{id: 1}, &Task{id: 2}
+	d.push(a)
+	d.push(b)
+	if got := d.steal(); got != a {
+		t.Fatalf("steal: got %v, want oldest %v", got, a)
+	}
+	if got := d.pop(); got != b {
+		t.Fatalf("pop: got %v, want %v", got, b)
+	}
+	if d.steal() != nil {
+		t.Fatal("steal on empty deque must return nil")
+	}
+}
+
+func TestDequeGrowth(t *testing.T) {
+	d := newDeque()
+	const n = 1000 // forces several ring doublings past the initial 64
+	tasks := make([]*Task, n)
+	for i := range tasks {
+		tasks[i] = &Task{id: int32(i)}
+		d.push(tasks[i])
+	}
+	for i := n - 1; i >= 0; i-- {
+		if got := d.pop(); got != tasks[i] {
+			t.Fatalf("pop: got %v, want id %d", got, i)
+		}
+	}
+}
+
+// TestDequeConcurrentSteals hammers one owner against many thieves and
+// verifies every task is taken exactly once.
+func TestDequeConcurrentSteals(t *testing.T) {
+	d := newDeque()
+	const total = 20000
+	const thieves = 4
+	var taken [total]atomic.Int32
+	var count atomic.Int64
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < thieves; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if task := d.steal(); task != nil {
+					taken[task.id].Add(1)
+					count.Add(1)
+				}
+				select {
+				case <-stop:
+					if task := d.steal(); task == nil {
+						return
+					}
+				default:
+				}
+			}
+		}()
+	}
+	// Owner interleaves pushes and pops.
+	for i := 0; i < total; i++ {
+		d.push(&Task{id: int32(i)})
+		if i%3 == 0 {
+			if task := d.pop(); task != nil {
+				taken[task.id].Add(1)
+				count.Add(1)
+			}
+		}
+	}
+	for {
+		task := d.pop()
+		if task == nil {
+			break
+		}
+		taken[task.id].Add(1)
+		count.Add(1)
+	}
+	close(stop)
+	wg.Wait()
+	// Drain anything the thieves put back... nothing to put back; drain remains.
+	for {
+		task := d.steal()
+		if task == nil {
+			break
+		}
+		taken[task.id].Add(1)
+		count.Add(1)
+	}
+	if got := count.Load(); got != total {
+		t.Fatalf("consumed %d tasks, want %d", got, total)
+	}
+	for i := range taken {
+		if n := taken[i].Load(); n != 1 {
+			t.Fatalf("task %d consumed %d times", i, n)
+		}
+	}
+}

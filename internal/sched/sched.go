@@ -1,0 +1,298 @@
+// Package sched implements the task parallel runtime substrate of the
+// reproduction: a TBB-style fork-join scheduler with per-worker
+// Chase-Lev work-stealing deques, async-finish task structure, and
+// hooks that build the DPST and drive a dynamic-analysis Monitor.
+//
+// The paper's prototype piggybacks on Intel Threading Building Blocks;
+// goroutines have no strict fork-join structure, so this package provides
+// the structured runtime the analysis requires. Tasks are spawned with
+// Task.Spawn and joined by the innermost enclosing Task.Finish scope.
+// Workers waiting at a finish scope help execute other tasks instead of
+// blocking, as TBB's wait_for_all does.
+package sched
+
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"github.com/taskpar/avd/internal/dpst"
+)
+
+// Loc identifies an instrumented shared-memory location. Locations in a
+// multi-variable atomicity group share a Loc, which gives all of them the
+// same checker metadata as Section 3 of the paper prescribes.
+type Loc uint64
+
+// Monitor observes the instrumented events of an execution. A nil
+// monitor corresponds to the paper's uninstrumented baseline. Monitor
+// methods are invoked on the goroutine executing the task, concurrently
+// across tasks; implementations synchronize their own state.
+type Monitor interface {
+	// OnAccess is called on every instrumented read or write.
+	OnAccess(t *Task, loc Loc, write bool)
+	// OnAcquire is called after the task acquires an instrumented lock.
+	OnAcquire(t *Task, m *Mutex)
+	// OnRelease is called before the task releases an instrumented lock.
+	OnRelease(t *Task, m *Mutex)
+}
+
+// StructureObserver is an optional extension of Monitor for analyses
+// that need the task-management events themselves (e.g. the trace
+// recorder): task spawns, finish-scope boundaries, and task completion.
+// The runtime checks for it with a type assertion on the Monitor.
+type StructureObserver interface {
+	// OnSpawn is called by the spawning task before the child runs.
+	OnSpawn(parent *Task, child int32)
+	// OnFinishBegin/OnFinishEnd bracket a finish scope of t.
+	OnFinishBegin(t *Task)
+	OnFinishEnd(t *Task)
+	// OnTaskEnd is called when a task's body (and implicit sync) is done.
+	OnTaskEnd(t *Task)
+}
+
+// Options configures a Scheduler.
+type Options struct {
+	// Workers is the number of worker goroutines; 0 means GOMAXPROCS.
+	Workers int
+	// Tree receives the DPST of the execution. When nil, no DPST is
+	// built: the uninstrumented configuration.
+	Tree dpst.Tree
+	// Monitor observes instrumented events; may be nil.
+	Monitor Monitor
+}
+
+// Scheduler runs fork-join task programs on a pool of work-stealing
+// workers.
+type Scheduler struct {
+	tree       dpst.Tree
+	mon        Monitor
+	so         StructureObserver // mon's optional extension, or nil
+	workers    []*worker
+	inject     chan *Task
+	nextTask   atomic.Int32
+	lockTok    atomic.Uint64
+	nextLockID atomic.Uint32
+	nextLoc    atomic.Uint64
+
+	stop     atomic.Bool
+	sleepers atomic.Int32
+	idleMu   sync.Mutex
+	idleCond *sync.Cond
+	wg       sync.WaitGroup
+}
+
+// New creates a scheduler and starts its workers. Call Close to stop
+// them.
+func New(opts Options) *Scheduler {
+	n := opts.Workers
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	s := &Scheduler{
+		tree:   opts.Tree,
+		mon:    opts.Monitor,
+		inject: make(chan *Task, 1),
+	}
+	s.so, _ = opts.Monitor.(StructureObserver)
+	s.idleCond = sync.NewCond(&s.idleMu)
+	s.workers = make([]*worker, n)
+	for i := range s.workers {
+		s.workers[i] = &worker{
+			id:  i,
+			s:   s,
+			dq:  newDeque(),
+			rng: rand.New(rand.NewSource(int64(i)*2654435761 + 1)),
+		}
+	}
+	for _, w := range s.workers {
+		s.wg.Add(1)
+		go w.loop()
+	}
+	return s
+}
+
+// Tree returns the DPST being built, or nil for the uninstrumented
+// configuration.
+func (s *Scheduler) Tree() dpst.Tree { return s.tree }
+
+// Monitor returns the attached monitor, or nil.
+func (s *Scheduler) Monitor() Monitor { return s.mon }
+
+// AllocLoc allocates a fresh location identifier.
+func (s *Scheduler) AllocLoc() Loc { return Loc(s.nextLoc.Add(1)) }
+
+// AllocLocs allocates n consecutive location identifiers and returns the
+// first; used for instrumented arrays.
+func (s *Scheduler) AllocLocs(n int) Loc {
+	last := s.nextLoc.Add(uint64(n))
+	return Loc(last - uint64(n) + 1)
+}
+
+// Run executes body as the root task and blocks until the whole
+// computation — the root body and every transitively spawned task — has
+// completed. Run may be called multiple times, sequentially.
+func (s *Scheduler) Run(body func(*Task)) {
+	rootParent := dpst.None
+	if s.tree != nil {
+		rootParent = s.tree.NewNode(dpst.None, dpst.Finish, 0)
+	}
+	scope := &finishScope{}
+	done := make(chan struct{})
+	root := &Task{
+		id:         s.nextTask.Add(1) - 1,
+		sch:        s,
+		parentNode: rootParent,
+		step:       dpst.None,
+		scope:      scope,
+	}
+	root.body = func(t *Task) {
+		func() {
+			defer func() {
+				r := recover()
+				if cr := t.abortCilk(); r == nil {
+					r = cr
+				}
+				if r != nil {
+					scope.recordPanic(r)
+				}
+			}()
+			body(t)
+			t.implicitSync()
+		}()
+		t.waitScope(scope)
+	}
+	root.onDone = func() { close(done) }
+	s.inject <- root
+	s.wake()
+	<-done
+	// Re-raise a panic from the root body or any spawned task on the
+	// caller's goroutine, after the whole computation has joined.
+	scope.rethrow()
+}
+
+// Close stops the worker pool. The scheduler must be idle.
+func (s *Scheduler) Close() {
+	s.stop.Store(true)
+	s.idleMu.Lock()
+	s.idleCond.Broadcast()
+	s.idleMu.Unlock()
+	s.wg.Wait()
+}
+
+func (s *Scheduler) wake() {
+	if s.sleepers.Load() > 0 {
+		s.idleMu.Lock()
+		s.idleCond.Signal()
+		s.idleMu.Unlock()
+	}
+}
+
+type worker struct {
+	id  int
+	s   *Scheduler
+	dq  *deque
+	rng *rand.Rand
+}
+
+func (w *worker) loop() {
+	defer w.s.wg.Done()
+	idleSpins := 0
+	for {
+		if w.s.stop.Load() {
+			return
+		}
+		if t := w.findTask(); t != nil {
+			idleSpins = 0
+			w.runTask(t)
+			continue
+		}
+		idleSpins++
+		if idleSpins < 64 {
+			runtime.Gosched()
+			continue
+		}
+		w.park()
+		idleSpins = 0
+	}
+}
+
+// park blocks the worker until new work may be available. The sleepers
+// counter and the recheck under seq-cst atomics close the lost-wakeup
+// window against concurrent pushes.
+func (w *worker) park() {
+	w.s.idleMu.Lock()
+	w.s.sleepers.Add(1)
+	if t := w.findTask(); t != nil {
+		w.s.sleepers.Add(-1)
+		w.s.idleMu.Unlock()
+		w.runTask(t)
+		return
+	}
+	if w.s.stop.Load() {
+		w.s.sleepers.Add(-1)
+		w.s.idleMu.Unlock()
+		return
+	}
+	w.s.idleCond.Wait()
+	w.s.sleepers.Add(-1)
+	w.s.idleMu.Unlock()
+}
+
+// findTask looks for runnable work: the local deque first, then the
+// injection channel, then stealing from victims in random order.
+func (w *worker) findTask() *Task {
+	if t := w.dq.pop(); t != nil {
+		return t
+	}
+	select {
+	case t := <-w.s.inject:
+		return t
+	default:
+	}
+	n := len(w.s.workers)
+	if n > 1 {
+		off := w.rng.Intn(n)
+		for i := 0; i < n; i++ {
+			v := w.s.workers[(off+i)%n]
+			if v == w {
+				continue
+			}
+			if t := v.dq.steal(); t != nil {
+				return t
+			}
+		}
+	}
+	return nil
+}
+
+func (w *worker) runTask(t *Task) {
+	t.worker = w
+	func() {
+		defer func() {
+			// A panicking spawned task must not take the worker down;
+			// record the panic in its join scope, which re-raises it
+			// at the Finish (or Run) that owns the task. An open
+			// spawn-sync scope is drained even while unwinding.
+			r := recover()
+			if cr := t.abortCilk(); r == nil {
+				r = cr
+			}
+			if r != nil && t.scope != nil {
+				t.scope.recordPanic(r)
+			}
+		}()
+		t.body(t)
+		t.implicitSync()
+	}()
+	if so := t.sch.so; so != nil {
+		so.OnTaskEnd(t)
+	}
+	if t.scope != nil && t.spawned {
+		t.scope.pending.Add(-1)
+	}
+	if t.onDone != nil {
+		t.onDone()
+	}
+}

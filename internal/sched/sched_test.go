@@ -1,0 +1,358 @@
+package sched_test
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"github.com/taskpar/avd/internal/dpst"
+	"github.com/taskpar/avd/internal/sched"
+)
+
+// recordingMonitor captures instrumented events for assertions.
+type recordingMonitor struct {
+	mu       sync.Mutex
+	accesses []recordedAccess
+	acquires int
+	releases int
+}
+
+type recordedAccess struct {
+	task  int32
+	step  dpst.NodeID
+	loc   sched.Loc
+	write bool
+	locks []uint64
+}
+
+func (m *recordingMonitor) OnAccess(t *sched.Task, loc sched.Loc, write bool) {
+	rec := recordedAccess{
+		task:  t.ID(),
+		step:  t.StepNode(),
+		loc:   loc,
+		write: write,
+		locks: append([]uint64(nil), t.Lockset()...),
+	}
+	m.mu.Lock()
+	m.accesses = append(m.accesses, rec)
+	m.mu.Unlock()
+}
+
+func (m *recordingMonitor) OnAcquire(*sched.Task, *sched.Mutex) {
+	m.mu.Lock()
+	m.acquires++
+	m.mu.Unlock()
+}
+
+func (m *recordingMonitor) OnRelease(*sched.Task, *sched.Mutex) {
+	m.mu.Lock()
+	m.releases++
+	m.mu.Unlock()
+}
+
+func TestRunExecutesRootBody(t *testing.T) {
+	s := sched.New(sched.Options{Workers: 2})
+	defer s.Close()
+	ran := false
+	s.Run(func(*sched.Task) { ran = true })
+	if !ran {
+		t.Fatal("root body did not run")
+	}
+}
+
+func TestSpawnJoinsAtRunEnd(t *testing.T) {
+	s := sched.New(sched.Options{Workers: 4})
+	defer s.Close()
+	var n atomic.Int64
+	s.Run(func(t *sched.Task) {
+		for i := 0; i < 100; i++ {
+			t.Spawn(func(ct *sched.Task) {
+				ct.Spawn(func(*sched.Task) { n.Add(1) })
+				n.Add(1)
+			})
+		}
+	})
+	if got := n.Load(); got != 200 {
+		t.Fatalf("completed %d tasks before Run returned, want 200", got)
+	}
+}
+
+func TestFinishJoinsNestedSpawns(t *testing.T) {
+	s := sched.New(sched.Options{Workers: 4})
+	defer s.Close()
+	s.Run(func(tk *sched.Task) {
+		var inner atomic.Int64
+		tk.Finish(func(tk *sched.Task) {
+			for i := 0; i < 50; i++ {
+				tk.Spawn(func(ct *sched.Task) {
+					ct.Spawn(func(*sched.Task) { inner.Add(1) })
+					inner.Add(1)
+				})
+			}
+		})
+		if got := inner.Load(); got != 100 {
+			t.Errorf("Finish returned with %d/100 spawned tasks complete", got)
+		}
+	})
+}
+
+func TestRunTwice(t *testing.T) {
+	s := sched.New(sched.Options{Workers: 2})
+	defer s.Close()
+	var n atomic.Int64
+	for r := 0; r < 2; r++ {
+		s.Run(func(t *sched.Task) {
+			t.Spawn(func(*sched.Task) { n.Add(1) })
+		})
+	}
+	if n.Load() != 2 {
+		t.Fatalf("got %d spawned executions, want 2", n.Load())
+	}
+}
+
+func TestParallelForCoversRange(t *testing.T) {
+	s := sched.New(sched.Options{Workers: 4})
+	defer s.Close()
+	const n = 1003
+	var hits [n]atomic.Int32
+	s.Run(func(t *sched.Task) {
+		sched.ParallelFor(t, 0, n, 16, func(_ *sched.Task, i int) {
+			hits[i].Add(1)
+		})
+	})
+	for i := range hits {
+		if got := hits[i].Load(); got != 1 {
+			t.Fatalf("index %d executed %d times", i, got)
+		}
+	}
+}
+
+func TestParallelForEmptyAndTiny(t *testing.T) {
+	s := sched.New(sched.Options{Workers: 2})
+	defer s.Close()
+	var n atomic.Int64
+	s.Run(func(t *sched.Task) {
+		sched.ParallelFor(t, 5, 5, 4, func(*sched.Task, int) { n.Add(1) })
+		sched.ParallelFor(t, 0, 1, 0, func(*sched.Task, int) { n.Add(1) })
+	})
+	if n.Load() != 1 {
+		t.Fatalf("got %d iterations, want 1", n.Load())
+	}
+}
+
+func TestParallelInvoke(t *testing.T) {
+	s := sched.New(sched.Options{Workers: 4})
+	defer s.Close()
+	var n atomic.Int64
+	s.Run(func(tk *sched.Task) {
+		tk.Parallel(
+			func(*sched.Task) { n.Add(1) },
+			func(*sched.Task) { n.Add(10) },
+			func(*sched.Task) { n.Add(100) },
+		)
+		if n.Load() != 111 {
+			t.Error("Parallel returned before all branches completed")
+		}
+		tk.Parallel() // no-op
+	})
+}
+
+// TestDPSTStructureFigure1 runs the paper's Figure 1 program on the real
+// scheduler and verifies the step-node parallelism relations of Figure 2.
+func TestDPSTStructureFigure1(t *testing.T) {
+	tree := dpst.NewArrayTree()
+	mon := &recordingMonitor{}
+	s := sched.New(sched.Options{Workers: 4, Tree: tree, Monitor: mon})
+	defer s.Close()
+
+	const locX sched.Loc = 1
+	var s11, s12, s2, s3 dpst.NodeID
+	var mu sync.Mutex
+	s.Run(func(t *sched.Task) {
+		t.Access(locX, true) // X = 10 (S11)
+		s11 = t.StepNode()
+		t.Finish(func(t *sched.Task) {
+			t.Spawn(func(t2 *sched.Task) { // T2
+				t2.Access(locX, false)
+				t2.Access(locX, true)
+				mu.Lock()
+				s2 = t2.StepNode()
+				mu.Unlock()
+			})
+			t.Access(locX, true) // X = Y (S12)
+			s12 = t.StepNode()
+			t.Spawn(func(t3 *sched.Task) { // T3
+				t3.Access(locX, true)
+				mu.Lock()
+				s3 = t3.StepNode()
+				mu.Unlock()
+			})
+		})
+	})
+
+	q := dpst.NewQuery(tree, true)
+	if s11 == dpst.None || s12 == dpst.None || s2 == dpst.None || s3 == dpst.None {
+		t.Fatal("missing step nodes")
+	}
+	if s11 == s12 {
+		t.Fatal("S11 and S12 must be distinct steps (Finish splits steps)")
+	}
+	cases := []struct {
+		name string
+		a, b dpst.NodeID
+		want bool
+	}{
+		{"S2 vs S12", s2, s12, true},
+		{"S2 vs S3", s2, s3, true},
+		{"S11 vs S2", s11, s2, false},
+		{"S12 vs S3", s12, s3, false},
+		{"S11 vs S12", s11, s12, false},
+	}
+	for _, c := range cases {
+		if got := q.Par(c.a, c.b); got != c.want {
+			t.Errorf("%s: Par=%v want %v", c.name, got, c.want)
+		}
+	}
+	if len(mon.accesses) != 5 {
+		t.Errorf("monitor saw %d accesses, want 5", len(mon.accesses))
+	}
+}
+
+func TestStepNodeStableWithinRegion(t *testing.T) {
+	tree := dpst.NewArrayTree()
+	s := sched.New(sched.Options{Workers: 1, Tree: tree})
+	defer s.Close()
+	s.Run(func(tk *sched.Task) {
+		a := tk.StepNode()
+		b := tk.StepNode()
+		if a != b {
+			t.Error("StepNode must be stable between task-management constructs")
+		}
+		tk.Finish(func(*sched.Task) {})
+		if c := tk.StepNode(); c == a {
+			t.Error("StepNode must change across a Finish")
+		}
+	})
+}
+
+func TestUninstrumentedConfigHasNoSteps(t *testing.T) {
+	s := sched.New(sched.Options{Workers: 2})
+	defer s.Close()
+	s.Run(func(tk *sched.Task) {
+		if tk.StepNode() != dpst.None {
+			t.Error("StepNode must be None without a Tree")
+		}
+		tk.Access(1, true) // must be a no-op without a monitor
+	})
+}
+
+func TestMutexLocksetAndVersioning(t *testing.T) {
+	mon := &recordingMonitor{}
+	s := sched.New(sched.Options{Workers: 2, Tree: dpst.NewArrayTree(), Monitor: mon})
+	defer s.Close()
+	l := s.NewMutex("L")
+	m := s.NewMutex("M")
+	s.Run(func(tk *sched.Task) {
+		l.Lock(tk)
+		tk.Access(1, false)
+		tok1 := append([]uint64(nil), tk.Lockset()...)
+		l.Unlock(tk)
+		l.Lock(tk)
+		tok2 := append([]uint64(nil), tk.Lockset()...)
+		l.Unlock(tk)
+		if len(tok1) != 1 || len(tok2) != 1 {
+			t.Fatalf("lockset sizes: %d, %d; want 1, 1", len(tok1), len(tok2))
+		}
+		if tok1[0] == tok2[0] {
+			t.Error("re-acquisition must produce a fresh token (lock versioning)")
+		}
+		// Non-LIFO release order.
+		l.Lock(tk)
+		m.Lock(tk)
+		if len(tk.Lockset()) != 2 {
+			t.Fatalf("lockset size = %d, want 2", len(tk.Lockset()))
+		}
+		l.Unlock(tk)
+		if len(tk.Lockset()) != 1 {
+			t.Error("non-LIFO unlock must remove the right entry")
+		}
+		m.Unlock(tk)
+		if len(tk.Lockset()) != 0 {
+			t.Error("lockset must be empty after releasing all locks")
+		}
+	})
+	if mon.acquires != 4 || mon.releases != 4 {
+		t.Errorf("monitor saw %d acquires, %d releases; want 4, 4", mon.acquires, mon.releases)
+	}
+	if l.Name() != "L" || l.Loc() == 0 || l.Loc() == m.Loc() {
+		t.Error("mutex name/loc bookkeeping broken")
+	}
+}
+
+func TestUnlockWithoutHoldPanics(t *testing.T) {
+	s := sched.New(sched.Options{Workers: 1})
+	defer s.Close()
+	l := s.NewMutex("L")
+	s.Run(func(tk *sched.Task) {
+		defer func() {
+			if recover() == nil {
+				t.Error("Unlock without Lock must panic")
+			}
+		}()
+		l.Unlock(tk)
+	})
+}
+
+func TestFinishWhileLockedPanics(t *testing.T) {
+	s := sched.New(sched.Options{Workers: 1})
+	defer s.Close()
+	l := s.NewMutex("L")
+	s.Run(func(tk *sched.Task) {
+		defer func() {
+			if recover() == nil {
+				t.Error("Finish while holding a lock must panic")
+			}
+			l.Unlock(tk)
+		}()
+		l.Lock(tk)
+		tk.Finish(func(*sched.Task) {})
+	})
+}
+
+func TestAllocLocs(t *testing.T) {
+	s := sched.New(sched.Options{Workers: 1})
+	defer s.Close()
+	a := s.AllocLoc()
+	base := s.AllocLocs(10)
+	b := s.AllocLoc()
+	if base != a+1 {
+		t.Errorf("AllocLocs base = %d, want %d", base, a+1)
+	}
+	if b != base+10 {
+		t.Errorf("next loc = %d, want %d", b, base+10)
+	}
+}
+
+// TestStressDeepAndWide exercises stealing and helping with an irregular
+// fib-like spawn tree; run with -race to validate the deque and parking.
+func TestStressDeepAndWide(t *testing.T) {
+	s := sched.New(sched.Options{Workers: 8, Tree: dpst.NewArrayTree()})
+	defer s.Close()
+	var leaves atomic.Int64
+	var fib func(t *sched.Task, n int)
+	fib = func(t *sched.Task, n int) {
+		if n < 2 {
+			leaves.Add(1)
+			return
+		}
+		t.Finish(func(t *sched.Task) {
+			t.Spawn(func(ct *sched.Task) { fib(ct, n-1) })
+			fib(t, n-2)
+		})
+	}
+	s.Run(func(t *sched.Task) { fib(t, 18) })
+	// fib(18) leaves: fib-tree leaf count = fib(19) in the 1,1,2,... sequence: 4181.
+	if got := leaves.Load(); got != 4181 {
+		t.Fatalf("leaves = %d, want 4181", got)
+	}
+}

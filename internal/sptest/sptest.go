@@ -1,0 +1,378 @@
+// Package sptest provides a miniature structured task-parallel program
+// model used throughout the test suites: random program generation, DPST
+// construction from a program, and an independent series-parallel
+// reachability oracle built from the fork-join DAG rather than from the
+// DPST, so DPST query results can be cross-checked against first
+// principles.
+//
+// A program is a tree of task bodies made of three item kinds: a step
+// (carrying an optional list of shared-memory accesses), a spawn of a
+// child task, and a finish block. Spawned tasks join at the end of the
+// innermost enclosing finish block (async-finish semantics); the whole
+// program is implicitly wrapped in a root finish.
+package sptest
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"github.com/taskpar/avd/internal/dpst"
+)
+
+// Access is one shared-memory operation inside a step.
+type Access struct {
+	// Loc is a small dense location identifier.
+	Loc int
+	// Write distinguishes writes from reads.
+	Write bool
+	// Lock is the identity of the lock held during the access, or -1.
+	Lock int
+	// CS is the critical-section instance (acquisition) the access
+	// belongs to, unique per dynamic acquisition, or -1 when Lock is -1.
+	// Two accesses with the same Lock but different CS sit in different
+	// critical sections of that lock.
+	CS int
+}
+
+// Item is a component of a task body.
+type Item interface{ isItem() }
+
+// StepItem is a step node with an ordered list of accesses.
+type StepItem struct {
+	// ID is a program-unique step identifier assigned by the generator
+	// or the test author; Build maps it to a DPST node.
+	ID       int
+	Accesses []Access
+}
+
+// SpawnItem spawns a child task executing Body.
+type SpawnItem struct {
+	Body []Item
+}
+
+// FinishItem executes Body and joins every task spawned (transitively,
+// through non-finish items) inside it.
+type FinishItem struct {
+	Body []Item
+}
+
+func (StepItem) isItem()   {}
+func (SpawnItem) isItem()  {}
+func (FinishItem) isItem() {}
+
+// Program is a structured task-parallel program.
+type Program struct {
+	Body []Item
+}
+
+// String renders the program structure for debugging.
+func (p *Program) String() string {
+	var sb strings.Builder
+	var walk func(items []Item, indent string)
+	walk = func(items []Item, indent string) {
+		for _, it := range items {
+			switch v := it.(type) {
+			case *StepItem:
+				fmt.Fprintf(&sb, "%sstep %d:", indent, v.ID)
+				for _, a := range v.Accesses {
+					op := "R"
+					if a.Write {
+						op = "W"
+					}
+					if a.CS >= 0 {
+						fmt.Fprintf(&sb, " %s(x%d)@L%d.cs%d", op, a.Loc, a.Lock, a.CS)
+					} else {
+						fmt.Fprintf(&sb, " %s(x%d)", op, a.Loc)
+					}
+				}
+				sb.WriteString("\n")
+			case *SpawnItem:
+				fmt.Fprintf(&sb, "%sspawn {\n", indent)
+				walk(v.Body, indent+"  ")
+				fmt.Fprintf(&sb, "%s}\n", indent)
+			case *FinishItem:
+				fmt.Fprintf(&sb, "%sfinish {\n", indent)
+				walk(v.Body, indent+"  ")
+				fmt.Fprintf(&sb, "%s}\n", indent)
+			}
+		}
+	}
+	walk(p.Body, "")
+	return sb.String()
+}
+
+// Steps returns the step items of the program in program order.
+func (p *Program) Steps() []*StepItem {
+	var out []*StepItem
+	var walk func(items []Item)
+	walk = func(items []Item) {
+		for _, it := range items {
+			switch v := it.(type) {
+			case *StepItem:
+				out = append(out, v)
+			case *SpawnItem:
+				walk(v.Body)
+			case *FinishItem:
+				walk(v.Body)
+			}
+		}
+	}
+	walk(p.Body)
+	return out
+}
+
+// GenConfig bounds random program generation.
+type GenConfig struct {
+	MaxItems  int     // maximum items per body (>=1)
+	MaxDepth  int     // maximum nesting depth of spawn/finish
+	MaxSteps  int     // global cap on generated steps
+	Locations int     // number of distinct shared locations (0 = no accesses)
+	MaxAccess int     // maximum accesses per step
+	Locks     int     // number of distinct locks (0 = lock-free)
+	LockProb  float64 // probability an access run is inside a critical section
+	WriteProb float64 // probability an access is a write (default 0.5 if 0)
+}
+
+type generator struct {
+	r        *rand.Rand
+	cfg      GenConfig
+	steps    int
+	nextStep int
+	nextCS   int
+}
+
+// Random generates a random structured program.
+func Random(r *rand.Rand, cfg GenConfig) *Program {
+	if cfg.MaxItems < 1 {
+		cfg.MaxItems = 1
+	}
+	if cfg.MaxSteps < 1 {
+		cfg.MaxSteps = 1
+	}
+	if cfg.WriteProb == 0 {
+		cfg.WriteProb = 0.5
+	}
+	g := &generator{r: r, cfg: cfg}
+	body := g.body(cfg.MaxDepth)
+	if len(body) == 0 {
+		body = []Item{g.step()}
+	}
+	return &Program{Body: body}
+}
+
+func (g *generator) body(depth int) []Item {
+	n := 1 + g.r.Intn(g.cfg.MaxItems)
+	items := make([]Item, 0, n)
+	for i := 0; i < n; i++ {
+		if g.steps >= g.cfg.MaxSteps {
+			break
+		}
+		switch {
+		case depth > 0 && g.r.Float64() < 0.35:
+			items = append(items, &SpawnItem{Body: g.body(depth - 1)})
+		case depth > 0 && g.r.Float64() < 0.2:
+			items = append(items, &FinishItem{Body: g.body(depth - 1)})
+		default:
+			items = append(items, g.step())
+		}
+	}
+	if len(items) == 0 {
+		items = append(items, g.step())
+	}
+	return items
+}
+
+func (g *generator) step() *StepItem {
+	s := &StepItem{ID: g.nextStep}
+	g.nextStep++
+	g.steps++
+	if g.cfg.Locations > 0 && g.cfg.MaxAccess > 0 {
+		n := g.r.Intn(g.cfg.MaxAccess + 1)
+		i := 0
+		for i < n {
+			lock, cs := -1, -1
+			run := 1
+			if g.cfg.Locks > 0 && g.r.Float64() < g.cfg.LockProb {
+				lock = g.r.Intn(g.cfg.Locks)
+				cs = g.nextCS
+				g.nextCS++
+				run = 1 + g.r.Intn(2) // critical sections cover 1-2 accesses
+			}
+			for j := 0; j < run && i < n; j++ {
+				s.Accesses = append(s.Accesses, Access{
+					Loc:   g.r.Intn(g.cfg.Locations),
+					Write: g.r.Float64() < g.cfg.WriteProb,
+					Lock:  lock,
+					CS:    cs,
+				})
+				i++
+			}
+		}
+	}
+	return s
+}
+
+// BuiltAccess is one access of the program annotated with the DPST step
+// node that performs it, in serial program order.
+type BuiltAccess struct {
+	Step dpst.NodeID
+	Task int32
+	Access
+}
+
+// Built is the result of constructing a program's DPST together with the
+// fork-join reachability oracle. Consecutive StepItems with no
+// intervening task-management construct are merged into a single step
+// node, matching the "maximal instruction sequence" definition of a step
+// (and the lazy step creation of the runtime and the trace replayer).
+type Built struct {
+	Tree dpst.Tree
+	// Steps maps StepItem.ID to the (possibly merged) step's DPST node.
+	Steps map[int]dpst.NodeID
+	// Order lists distinct step nodes in serial program order.
+	Order []dpst.NodeID
+	// TaskOf maps StepItem.ID to the task that executes it.
+	TaskOf map[int]int32
+	// Accesses lists every access with its step, in program order.
+	Accesses []BuiltAccess
+
+	vertOf map[int]int // StepItem.ID -> DAG vertex
+	reach  []map[int]bool
+}
+
+type dagBuilder struct {
+	edges  [][]int
+	vertOf map[int]int
+}
+
+func (d *dagBuilder) vertex() int {
+	d.edges = append(d.edges, nil)
+	return len(d.edges) - 1
+}
+
+func (d *dagBuilder) edge(from, to int) {
+	d.edges[from] = append(d.edges[from], to)
+}
+
+// Build constructs the DPST of p on a fresh tree of the given layout and
+// computes the reachability oracle.
+func Build(layout dpst.Layout, p *Program) *Built {
+	t := dpst.New(layout)
+	b := &Built{
+		Tree:   t,
+		Steps:  make(map[int]dpst.NodeID),
+		TaskOf: make(map[int]int32),
+	}
+	d := &dagBuilder{vertOf: make(map[int]int)}
+	start := d.vertex()
+	root := t.NewNode(dpst.None, dpst.Finish, 0)
+	nextTask := int32(1)
+
+	// run executes a body under DPST parent with the given incoming DAG
+	// frontier, returning the final frontier and the frontiers of tasks
+	// spawned directly in this body (to be joined by the enclosing
+	// finish). curStep/curVert implement lazy step creation: consecutive
+	// StepItems share one step node until a construct intervenes.
+	var run func(body []Item, parent dpst.NodeID, frontier int, task int32) (int, []int)
+	run = func(body []Item, parent dpst.NodeID, frontier int, task int32) (int, []int) {
+		var pending []int
+		curStep := dpst.None
+		curVert := -1
+		for _, it := range body {
+			switch v := it.(type) {
+			case *StepItem:
+				if curStep == dpst.None {
+					curStep = t.NewNode(parent, dpst.Step, task)
+					b.Order = append(b.Order, curStep)
+					curVert = d.vertex()
+					d.edge(frontier, curVert)
+					frontier = curVert
+				}
+				b.Steps[v.ID] = curStep
+				b.TaskOf[v.ID] = task
+				d.vertOf[v.ID] = curVert
+				for _, a := range v.Accesses {
+					b.Accesses = append(b.Accesses, BuiltAccess{Step: curStep, Task: task, Access: a})
+				}
+			case *SpawnItem:
+				a := t.NewNode(parent, dpst.Async, task)
+				child := nextTask
+				nextTask++
+				cf, cp := run(v.Body, a, frontier, child)
+				pending = append(pending, cf)
+				pending = append(pending, cp...)
+				curStep, curVert = dpst.None, -1
+			case *FinishItem:
+				f := t.NewNode(parent, dpst.Finish, task)
+				inF, inP := run(v.Body, f, frontier, task)
+				join := d.vertex()
+				d.edge(inF, join)
+				for _, pv := range inP {
+					d.edge(pv, join)
+				}
+				frontier = join
+				curStep, curVert = dpst.None, -1
+			}
+		}
+		return frontier, pending
+	}
+	final, pending := run(p.Body, root, start, 0)
+	end := d.vertex()
+	d.edge(final, end)
+	for _, pv := range pending {
+		d.edge(pv, end)
+	}
+
+	// All-pairs reachability by BFS from every vertex; the DAGs in tests
+	// are small.
+	n := len(d.edges)
+	b.reach = make([]map[int]bool, n)
+	for v := 0; v < n; v++ {
+		seen := map[int]bool{}
+		stack := append([]int(nil), d.edges[v]...)
+		for len(stack) > 0 {
+			u := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if seen[u] {
+				continue
+			}
+			seen[u] = true
+			stack = append(stack, d.edges[u]...)
+		}
+		b.reach[v] = seen
+	}
+	b.vertOf = d.vertOf
+	return b
+}
+
+// Parallel is the oracle answer: steps a and b (StepItem IDs) may happen
+// in parallel iff neither reaches the other in the fork-join DAG. Items
+// merged into the same step are serial by definition.
+func (b *Built) Parallel(a, c int) bool {
+	va, vc := b.vertOf[a], b.vertOf[c]
+	if va == vc {
+		return false
+	}
+	return !b.reach[va][vc] && !b.reach[vc][va]
+}
+
+// ParallelSteps answers the oracle parallelism question for two step
+// nodes of the built tree (as recorded in Accesses).
+func (b *Built) ParallelSteps(x, y dpst.NodeID) bool {
+	vx, okx := b.stepVert(x)
+	vy, oky := b.stepVert(y)
+	if !okx || !oky || vx == vy {
+		return false
+	}
+	return !b.reach[vx][vy] && !b.reach[vy][vx]
+}
+
+func (b *Built) stepVert(s dpst.NodeID) (int, bool) {
+	for id, node := range b.Steps {
+		if node == s {
+			return b.vertOf[id], true
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,137 @@
+package sptest_test
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"github.com/taskpar/avd/internal/dpst"
+	"github.com/taskpar/avd/internal/sptest"
+)
+
+func config() sptest.GenConfig {
+	return sptest.GenConfig{
+		MaxItems: 4, MaxDepth: 3, MaxSteps: 20,
+		Locations: 3, MaxAccess: 4, Locks: 2, LockProb: 0.4,
+	}
+}
+
+func TestRandomIsDeterministicPerSeed(t *testing.T) {
+	p1 := sptest.Random(rand.New(rand.NewSource(9)), config())
+	p2 := sptest.Random(rand.New(rand.NewSource(9)), config())
+	if p1.String() != p2.String() {
+		t.Fatal("same seed must generate the same program")
+	}
+	p3 := sptest.Random(rand.New(rand.NewSource(10)), config())
+	if p1.String() == p3.String() {
+		t.Fatal("different seeds should generate different programs")
+	}
+}
+
+func TestStepsEnumeratesInProgramOrder(t *testing.T) {
+	p := sptest.Random(rand.New(rand.NewSource(3)), config())
+	steps := p.Steps()
+	if len(steps) == 0 {
+		t.Fatal("no steps generated")
+	}
+	for i, s := range steps {
+		if s.ID != i {
+			t.Fatalf("step %d has ID %d; IDs must be dense in program order", i, s.ID)
+		}
+	}
+}
+
+func TestStringRendersStructure(t *testing.T) {
+	p := &sptest.Program{Body: []sptest.Item{
+		&sptest.StepItem{ID: 0, Accesses: []sptest.Access{
+			{Loc: 1, Write: true, Lock: -1, CS: -1},
+			{Loc: 2, Write: false, Lock: 0, CS: 5},
+		}},
+		&sptest.FinishItem{Body: []sptest.Item{
+			&sptest.SpawnItem{Body: []sptest.Item{&sptest.StepItem{ID: 1}}},
+		}},
+	}}
+	out := p.String()
+	for _, want := range []string{"step 0:", "W(x1)", "R(x2)@L0.cs5", "finish {", "spawn {", "step 1:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("String() missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestBuildInvariants(t *testing.T) {
+	r := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 100; trial++ {
+		p := sptest.Random(r, config())
+		b := sptest.Build(dpst.ArrayLayout, p)
+		steps := p.Steps()
+		// Every step item maps to a step node owned by a task.
+		for _, s := range steps {
+			node, ok := b.Steps[s.ID]
+			if !ok {
+				t.Fatalf("trial %d: step %d unmapped", trial, s.ID)
+			}
+			if b.Tree.Kind(node) != dpst.Step {
+				t.Fatalf("trial %d: step %d mapped to a %v node", trial, s.ID, b.Tree.Kind(node))
+			}
+			if _, ok := b.TaskOf[s.ID]; !ok {
+				t.Fatalf("trial %d: step %d has no task", trial, s.ID)
+			}
+		}
+		// Accesses appear in program order with matching steps.
+		ai := 0
+		for _, s := range steps {
+			for range s.Accesses {
+				if b.Accesses[ai].Step != b.Steps[s.ID] {
+					t.Fatalf("trial %d: access %d attributed to the wrong step", trial, ai)
+				}
+				ai++
+			}
+		}
+		if ai != len(b.Accesses) {
+			t.Fatalf("trial %d: %d accesses recorded, want %d", trial, len(b.Accesses), ai)
+		}
+		// The oracle relation is symmetric and irreflexive, and items
+		// merged into one step are serial.
+		for i := range steps {
+			for j := range steps {
+				a, c := steps[i].ID, steps[j].ID
+				if b.Parallel(a, c) != b.Parallel(c, a) {
+					t.Fatalf("trial %d: Parallel not symmetric", trial)
+				}
+				if a == c && b.Parallel(a, c) {
+					t.Fatalf("trial %d: Parallel not irreflexive", trial)
+				}
+				if b.Steps[a] == b.Steps[c] && b.Parallel(a, c) {
+					t.Fatalf("trial %d: merged step items must be serial", trial)
+				}
+				// ParallelSteps must agree with Parallel on step nodes.
+				if b.ParallelSteps(b.Steps[a], b.Steps[c]) != b.Parallel(a, c) {
+					t.Fatalf("trial %d: ParallelSteps disagrees with Parallel", trial)
+				}
+			}
+		}
+	}
+}
+
+func TestConsecutiveStepsMerge(t *testing.T) {
+	p := &sptest.Program{Body: []sptest.Item{
+		&sptest.StepItem{ID: 0},
+		&sptest.StepItem{ID: 1}, // same maximal sequence as ID 0
+		&sptest.SpawnItem{Body: []sptest.Item{&sptest.StepItem{ID: 2}}},
+		&sptest.StepItem{ID: 3}, // continuation: a fresh step
+	}}
+	b := sptest.Build(dpst.ArrayLayout, p)
+	if b.Steps[0] != b.Steps[1] {
+		t.Error("consecutive step items must merge into one step node")
+	}
+	if b.Steps[1] == b.Steps[3] {
+		t.Error("a spawn must split the step")
+	}
+	if !b.Parallel(2, 3) {
+		t.Error("spawned step must be parallel with the continuation")
+	}
+	if b.Parallel(0, 3) {
+		t.Error("two steps of the same task must be serial")
+	}
+}

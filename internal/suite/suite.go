@@ -1,0 +1,616 @@
+// Package suite contains the 36-program atomicity-violation test suite
+// of the paper's evaluation ("We have built a test suite of 36 programs
+// that exercise various kinds of atomicity violations. Our prototype
+// detected all these violations without false positives.").
+//
+// The suite covers every unserializable triple kind, trace-order
+// variants (interleaver before, between, and after the pair), lock
+// versioning and critical-section interactions, multi-variable atomicity
+// groups, nested and irregular parallelism, and a complement of negative
+// programs that any precise checker must keep silent on.
+package suite
+
+import (
+	avd "github.com/taskpar/avd"
+)
+
+// Program is one entry of the detection suite.
+type Program struct {
+	// Name is a short unique identifier.
+	Name string
+	// Desc says what the program exercises.
+	Desc string
+	// Want is whether the paper-mode checker must report a violation.
+	Want bool
+	// WantStrict is the expectation under Options.StrictLockChecks.
+	WantStrict bool
+	// Body sets up instrumented state on the session and returns the
+	// root task body.
+	Body func(s *avd.Session) func(t *avd.Task)
+}
+
+// Execute runs the program once under the given options.
+func (p Program) Execute(opts avd.Options) avd.Report {
+	s := avd.NewSession(opts)
+	defer s.Close()
+	body := p.Body(s)
+	s.Run(body)
+	return s.Report()
+}
+
+// pos builds a positive program (violation expected in both modes).
+func pos(name, desc string, body func(s *avd.Session) func(t *avd.Task)) Program {
+	return Program{Name: name, Desc: desc, Want: true, WantStrict: true, Body: body}
+}
+
+// neg builds a negative program (no violation in either mode).
+func neg(name, desc string, body func(s *avd.Session) func(t *avd.Task)) Program {
+	return Program{Name: name, Desc: desc, Want: false, WantStrict: false, Body: body}
+}
+
+// Programs returns the 36-program suite.
+func Programs() []Program {
+	return []Program{
+		// --- Unserializable triple kinds, lock-free -------------------
+		pos("rww-figure1", "Figure 1: read-write pair torn by a parallel write (R-W-W)",
+			func(s *avd.Session) func(*avd.Task) {
+				x := s.NewIntVar("X")
+				return func(t *avd.Task) {
+					x.Store(t, 10)
+					t.Finish(func(t *avd.Task) {
+						t.Spawn(func(t *avd.Task) { x.Store(t, x.Load(t)+1) })
+						t.Spawn(func(t *avd.Task) { x.Store(t, 0) })
+					})
+				}
+			}),
+		pos("rwr-read-pair", "read-read pair torn by a parallel write (R-W-R)",
+			func(s *avd.Session) func(*avd.Task) {
+				x := s.NewIntVar("X")
+				return func(t *avd.Task) {
+					t.Finish(func(t *avd.Task) {
+						t.Spawn(func(t *avd.Task) {
+							a := x.Load(t)
+							b := x.Load(t)
+							_, _ = a, b
+						})
+						t.Spawn(func(t *avd.Task) { x.Store(t, 1) })
+					})
+				}
+			}),
+		pos("www-write-pair", "write-write pair torn by a parallel write (W-W-W)",
+			func(s *avd.Session) func(*avd.Task) {
+				x := s.NewIntVar("X")
+				return func(t *avd.Task) {
+					t.Finish(func(t *avd.Task) {
+						t.Spawn(func(t *avd.Task) {
+							x.Store(t, 1)
+							x.Store(t, 2)
+						})
+						t.Spawn(func(t *avd.Task) { x.Store(t, 3) })
+					})
+				}
+			}),
+		pos("wwr-stale-read", "write-read pair torn by a parallel write (W-W-R)",
+			func(s *avd.Session) func(*avd.Task) {
+				x := s.NewIntVar("X")
+				return func(t *avd.Task) {
+					t.Finish(func(t *avd.Task) {
+						t.Spawn(func(t *avd.Task) {
+							x.Store(t, 1)
+							_ = x.Load(t)
+						})
+						t.Spawn(func(t *avd.Task) { x.Store(t, 2) })
+					})
+				}
+			}),
+		pos("wrw-read-tear", "write-write pair torn by a parallel read (W-R-W)",
+			func(s *avd.Session) func(*avd.Task) {
+				x := s.NewIntVar("X")
+				return func(t *avd.Task) {
+					t.Finish(func(t *avd.Task) {
+						t.Spawn(func(t *avd.Task) {
+							x.Store(t, 1)
+							x.Store(t, 2)
+						})
+						t.Spawn(func(t *avd.Task) { _ = x.Load(t) })
+					})
+				}
+			}),
+		// --- Trace-order variants -------------------------------------
+		pos("interleaver-first", "the tearing write precedes the pair in the trace",
+			func(s *avd.Session) func(*avd.Task) {
+				x := s.NewIntVar("X")
+				return func(t *avd.Task) {
+					t.Finish(func(t *avd.Task) {
+						t.Spawn(func(t *avd.Task) { x.Store(t, 3) })
+					})
+					// The pair runs after the writer task completed; it is
+					// parallel to nothing. Use a second phase where order is
+					// forced the other way: writer spawned first, pair last,
+					// but both in one finish so they stay logically parallel.
+					t.Finish(func(t *avd.Task) {
+						t.Spawn(func(t *avd.Task) { x.Store(t, 4) })
+						a := x.Load(t) // continuation pair after the spawn
+						x.Store(t, a+1)
+					})
+				}
+			}),
+		pos("interleaver-in-continuation", "pair in the spawned task, tearing write in the spawner's continuation",
+			func(s *avd.Session) func(*avd.Task) {
+				x := s.NewIntVar("X")
+				return func(t *avd.Task) {
+					t.Finish(func(t *avd.Task) {
+						t.Spawn(func(t *avd.Task) {
+							a := x.Load(t)
+							x.Store(t, a+1)
+						})
+						x.Store(t, 9)
+					})
+				}
+			}),
+		pos("continuation-pair", "pair in the spawner's continuation step",
+			func(s *avd.Session) func(*avd.Task) {
+				y := s.NewIntVar("Y")
+				return func(t *avd.Task) {
+					t.Finish(func(t *avd.Task) {
+						t.Spawn(func(t *avd.Task) { y.Store(t, 1) })
+						y.Add(t, 1) // continuation: read+write parallel to child
+					})
+				}
+			}),
+		// --- Locks and lock versioning ---------------------------------
+		pos("figure11-lock-versioning", "Figure 11: pair split across two critical sections of the same lock",
+			func(s *avd.Session) func(*avd.Task) {
+				x := s.NewIntVar("X")
+				y := s.NewIntVar("Y")
+				l := s.NewMutex("L")
+				return func(t *avd.Task) {
+					x.Store(t, 10)
+					t.Finish(func(t *avd.Task) {
+						t.Spawn(func(t *avd.Task) { // T2
+							l.Lock(t)
+							a := x.Load(t)
+							l.Unlock(t)
+							a++
+							l.Lock(t)
+							x.Store(t, a)
+							l.Unlock(t)
+						})
+						t.Spawn(func(t *avd.Task) { // T3
+							l.Lock(t)
+							x.Store(t, y.Load(t))
+							l.Unlock(t)
+							y.Add(t, 1)
+						})
+						y.Add(t, 1)
+					})
+				}
+			}),
+		pos("two-cs-same-lock", "pair in two critical sections of L torn by another task's L section",
+			func(s *avd.Session) func(*avd.Task) {
+				x := s.NewIntVar("X")
+				l := s.NewMutex("L")
+				return func(t *avd.Task) {
+					t.Finish(func(t *avd.Task) {
+						t.Spawn(func(t *avd.Task) {
+							l.Lock(t)
+							a := x.Load(t)
+							l.Unlock(t)
+							l.Lock(t)
+							x.Store(t, a+1)
+							l.Unlock(t)
+						})
+						t.Spawn(func(t *avd.Task) {
+							l.Lock(t)
+							x.Store(t, 100)
+							l.Unlock(t)
+						})
+					})
+				}
+			}),
+		pos("different-locks", "pair under lock L torn by a write under unrelated lock M",
+			func(s *avd.Session) func(*avd.Task) {
+				x := s.NewIntVar("X")
+				l := s.NewMutex("L")
+				m := s.NewMutex("M")
+				return func(t *avd.Task) {
+					t.Finish(func(t *avd.Task) {
+						t.Spawn(func(t *avd.Task) {
+							l.Lock(t)
+							a := x.Load(t)
+							l.Unlock(t)
+							l.Lock(t)
+							x.Store(t, a*2)
+							l.Unlock(t)
+						})
+						t.Spawn(func(t *avd.Task) {
+							m.Lock(t)
+							x.Store(t, 5)
+							m.Unlock(t)
+						})
+					})
+				}
+			}),
+		pos("half-locked-pair", "first access locked, second unlocked",
+			func(s *avd.Session) func(*avd.Task) {
+				x := s.NewIntVar("X")
+				l := s.NewMutex("L")
+				return func(t *avd.Task) {
+					t.Finish(func(t *avd.Task) {
+						t.Spawn(func(t *avd.Task) {
+							l.Lock(t)
+							a := x.Load(t)
+							l.Unlock(t)
+							x.Store(t, a+1)
+						})
+						t.Spawn(func(t *avd.Task) {
+							l.Lock(t)
+							x.Store(t, 7)
+							l.Unlock(t)
+						})
+					})
+				}
+			}),
+		{
+			Name: "same-cs-racy-tear",
+			Desc: "pair inside one critical section, unsynchronized parallel write (a data race, not reported as an atomicity violation by the paper; strict mode reports it)",
+			Want: false, WantStrict: true,
+			Body: func(s *avd.Session) func(*avd.Task) {
+				x := s.NewIntVar("X")
+				l := s.NewMutex("L")
+				return func(t *avd.Task) {
+					t.Finish(func(t *avd.Task) {
+						t.Spawn(func(t *avd.Task) {
+							l.Lock(t)
+							x.Store(t, x.Load(t)+1)
+							l.Unlock(t)
+						})
+						t.Spawn(func(t *avd.Task) { x.Store(t, 3) })
+					})
+				}
+			},
+		},
+		neg("same-cs-protected", "pair inside one critical section, all interleavers synchronized on the same lock",
+			func(s *avd.Session) func(*avd.Task) {
+				x := s.NewIntVar("X")
+				l := s.NewMutex("L")
+				return func(t *avd.Task) {
+					t.Finish(func(t *avd.Task) {
+						for i := 0; i < 3; i++ {
+							t.Spawn(func(t *avd.Task) {
+								l.Lock(t)
+								x.Store(t, x.Load(t)+1)
+								l.Unlock(t)
+							})
+						}
+					})
+				}
+			}),
+		neg("single-access-critical-sections", "every step touches the location once, under a lock",
+			func(s *avd.Session) func(*avd.Task) {
+				x := s.NewIntVar("X")
+				l := s.NewMutex("L")
+				return func(t *avd.Task) {
+					t.Finish(func(t *avd.Task) {
+						for i := 0; i < 4; i++ {
+							t.Spawn(func(t *avd.Task) {
+								l.Lock(t)
+								x.Store(t, 1)
+								l.Unlock(t)
+							})
+						}
+					})
+				}
+			}),
+		{
+			Name: "nested-locks",
+			Desc: "pair holding L throughout, split across two M sections, torn by an M-only writer (the shared outer L acquisition suppresses the pattern in paper mode; strict mode reports it)",
+			Want: false, WantStrict: true,
+			Body: func(s *avd.Session) func(*avd.Task) {
+				x := s.NewIntVar("X")
+				l := s.NewMutex("L")
+				m := s.NewMutex("M")
+				return func(t *avd.Task) {
+					t.Finish(func(t *avd.Task) {
+						t.Spawn(func(t *avd.Task) {
+							l.Lock(t)
+							m.Lock(t)
+							a := x.Load(t)
+							m.Unlock(t)
+							m.Lock(t)
+							x.Store(t, a+1)
+							m.Unlock(t)
+							l.Unlock(t)
+						})
+						t.Spawn(func(t *avd.Task) {
+							m.Lock(t)
+							x.Store(t, 2)
+							m.Unlock(t)
+						})
+					})
+				}
+			},
+		},
+		// --- Multi-variable atomicity ----------------------------------
+		pos("multivar-pair", "grouped lo/hi pair read torn by a parallel two-word update",
+			func(s *avd.Session) func(*avd.Task) {
+				lo := s.NewIntVar("pair.lo")
+				hi := s.NewIntVar("pair.hi")
+				s.Atomic(lo, hi)
+				return func(t *avd.Task) {
+					t.Finish(func(t *avd.Task) {
+						t.Spawn(func(t *avd.Task) {
+							_ = lo.Load(t)
+							_ = hi.Load(t)
+						})
+						t.Spawn(func(t *avd.Task) {
+							lo.Store(t, 1)
+							hi.Store(t, 2)
+						})
+					})
+				}
+			}),
+		neg("multivar-ungrouped", "same two-word program without the atomicity annotation",
+			func(s *avd.Session) func(*avd.Task) {
+				lo := s.NewIntVar("pair.lo")
+				hi := s.NewIntVar("pair.hi")
+				return func(t *avd.Task) {
+					t.Finish(func(t *avd.Task) {
+						t.Spawn(func(t *avd.Task) {
+							_ = lo.Load(t)
+							_ = hi.Load(t)
+						})
+						t.Spawn(func(t *avd.Task) {
+							lo.Store(t, 1)
+							hi.Store(t, 2)
+						})
+					})
+				}
+			}),
+		pos("bank-transfer", "unsynchronized transfer over a grouped account pair vs audit",
+			func(s *avd.Session) func(*avd.Task) {
+				a := s.NewIntVar("acct.a")
+				b := s.NewIntVar("acct.b")
+				s.Atomic(a, b)
+				return func(t *avd.Task) {
+					a.Store(t, 100)
+					b.Store(t, 100)
+					t.Finish(func(t *avd.Task) {
+						t.Spawn(func(t *avd.Task) { // transfer 10 from a to b
+							a.Store(t, a.Load(t)-10)
+							b.Store(t, b.Load(t)+10)
+						})
+						t.Spawn(func(t *avd.Task) { // audit
+							_ = a.Load(t) + b.Load(t)
+						})
+					})
+				}
+			}),
+		neg("bank-transfer-locked", "the same transfer/audit fully guarded by one lock",
+			func(s *avd.Session) func(*avd.Task) {
+				a := s.NewIntVar("acct.a")
+				b := s.NewIntVar("acct.b")
+				s.Atomic(a, b)
+				l := s.NewMutex("bank")
+				return func(t *avd.Task) {
+					a.Store(t, 100)
+					b.Store(t, 100)
+					t.Finish(func(t *avd.Task) {
+						t.Spawn(func(t *avd.Task) {
+							l.Lock(t)
+							a.Store(t, a.Load(t)-10)
+							b.Store(t, b.Load(t)+10)
+							l.Unlock(t)
+						})
+						t.Spawn(func(t *avd.Task) {
+							l.Lock(t)
+							_ = a.Load(t) + b.Load(t)
+							l.Unlock(t)
+						})
+					})
+				}
+			}),
+		// --- Structure: nesting, fan-out, helpers -----------------------
+		pos("nested-spawns", "violation between steps three spawn levels apart",
+			func(s *avd.Session) func(*avd.Task) {
+				x := s.NewIntVar("X")
+				return func(t *avd.Task) {
+					t.Finish(func(t *avd.Task) {
+						t.Spawn(func(t *avd.Task) {
+							t.Spawn(func(t *avd.Task) {
+								t.Spawn(func(t *avd.Task) { x.Add(t, 1) })
+							})
+						})
+						t.Spawn(func(t *avd.Task) { x.Store(t, 2) })
+					})
+				}
+			}),
+		pos("finish-scope-escape", "pair after an inner finish vs a task of the outer scope",
+			func(s *avd.Session) func(*avd.Task) {
+				x := s.NewIntVar("X")
+				return func(t *avd.Task) {
+					t.Finish(func(t *avd.Task) {
+						t.Spawn(func(t *avd.Task) { x.Store(t, 1) }) // outer-scope task
+						t.Finish(func(t *avd.Task) {
+							t.Spawn(func(t *avd.Task) {})
+						})
+						x.Add(t, 1) // pair after the inner join, still parallel to the outer task
+					})
+				}
+			}),
+		pos("fib-tree", "violation across an irregular fib-shaped spawn tree",
+			func(s *avd.Session) func(*avd.Task) {
+				x := s.NewIntVar("X")
+				var fib func(t *avd.Task, n int)
+				fib = func(t *avd.Task, n int) {
+					if n < 2 {
+						x.Add(t, 1)
+						return
+					}
+					t.Finish(func(t *avd.Task) {
+						t.Spawn(func(ct *avd.Task) { fib(ct, n-1) })
+						fib(t, n-2)
+					})
+				}
+				return func(t *avd.Task) { fib(t, 6) }
+			}),
+		pos("parallel-invoke", "violation between Parallel branches",
+			func(s *avd.Session) func(*avd.Task) {
+				x := s.NewIntVar("X")
+				return func(t *avd.Task) {
+					t.Parallel(
+						func(t *avd.Task) { x.Add(t, 1) },
+						func(t *avd.Task) { x.Store(t, 5) },
+					)
+				}
+			}),
+		pos("parallel-for-counter", "parallel_for iterations bump one shared counter",
+			func(s *avd.Session) func(*avd.Task) {
+				c := s.NewIntVar("counter")
+				return func(t *avd.Task) {
+					avd.ParallelFor(t, 0, 64, 4, func(t *avd.Task, i int) {
+						c.Add(t, 1)
+					})
+				}
+			}),
+		neg("parallel-for-private", "parallel_for writes disjoint array slots",
+			func(s *avd.Session) func(*avd.Task) {
+				a := s.NewIntArray("out", 64)
+				return func(t *avd.Task) {
+					avd.ParallelFor(t, 0, 64, 4, func(t *avd.Task, i int) {
+						a.Store(t, i, int64(i))
+					})
+				}
+			}),
+		pos("array-element-contention", "two tasks read-modify-write the same array slot",
+			func(s *avd.Session) func(*avd.Task) {
+				a := s.NewIntArray("hist", 8)
+				return func(t *avd.Task) {
+					t.Finish(func(t *avd.Task) {
+						t.Spawn(func(t *avd.Task) { a.Add(t, 3, 1) })
+						t.Spawn(func(t *avd.Task) { a.Add(t, 3, 1) })
+					})
+				}
+			}),
+		neg("array-disjoint", "tasks read-modify-write distinct slots",
+			func(s *avd.Session) func(*avd.Task) {
+				a := s.NewIntArray("hist", 8)
+				return func(t *avd.Task) {
+					t.Finish(func(t *avd.Task) {
+						t.Spawn(func(t *avd.Task) { a.Add(t, 1, 1) })
+						t.Spawn(func(t *avd.Task) { a.Add(t, 2, 1) })
+					})
+				}
+			}),
+		pos("wide-fanout", "sixteen tasks increment one unprotected counter",
+			func(s *avd.Session) func(*avd.Task) {
+				c := s.NewIntVar("counter")
+				return func(t *avd.Task) {
+					t.Finish(func(t *avd.Task) {
+						for i := 0; i < 16; i++ {
+							t.Spawn(func(t *avd.Task) { c.Add(t, 1) })
+						}
+					})
+				}
+			}),
+		// --- Idiomatic bug shapes ---------------------------------------
+		pos("check-then-act", "test-and-set without a lock",
+			func(s *avd.Session) func(*avd.Task) {
+				init := s.NewIntVar("initialized")
+				return func(t *avd.Task) {
+					t.Finish(func(t *avd.Task) {
+						for i := 0; i < 2; i++ {
+							t.Spawn(func(t *avd.Task) {
+								if init.Load(t) == 0 {
+									init.Store(t, 1)
+								} else {
+									_ = init.Load(t)
+									init.Store(t, 1)
+								}
+							})
+						}
+					})
+				}
+			}),
+		pos("float-accumulator", "floating-point reduction without a lock",
+			func(s *avd.Session) func(*avd.Task) {
+				sum := s.NewFloatVar("sum")
+				return func(t *avd.Task) {
+					t.Finish(func(t *avd.Task) {
+						for i := 0; i < 4; i++ {
+							t.Spawn(func(t *avd.Task) { sum.Add(t, 1.5) })
+						}
+					})
+				}
+			}),
+		neg("locked-reduction", "reduction where each read-modify-write sits in one critical section",
+			func(s *avd.Session) func(*avd.Task) {
+				sum := s.NewFloatVar("sum")
+				l := s.NewMutex("sum.lock")
+				return func(t *avd.Task) {
+					t.Finish(func(t *avd.Task) {
+						for i := 0; i < 4; i++ {
+							t.Spawn(func(t *avd.Task) {
+								l.Lock(t)
+								sum.Add(t, 2.5)
+								l.Unlock(t)
+							})
+						}
+					})
+				}
+			}),
+		// --- Negatives: serial structure --------------------------------
+		neg("serial-phases", "pair and writer separated by a join",
+			func(s *avd.Session) func(*avd.Task) {
+				x := s.NewIntVar("X")
+				return func(t *avd.Task) {
+					t.Finish(func(t *avd.Task) {
+						t.Spawn(func(t *avd.Task) { x.Add(t, 1) })
+					})
+					// After the join: logically serial with the task above.
+					x.Store(t, 7)
+					x.Store(t, 8)
+				}
+			}),
+		neg("pair-spans-spawn", "two accesses of one task separated by a spawn are not an atomic region",
+			func(s *avd.Session) func(*avd.Task) {
+				x := s.NewIntVar("X")
+				return func(t *avd.Task) {
+					t.Finish(func(t *avd.Task) {
+						_ = x.Load(t)
+						t.Spawn(func(t *avd.Task) { x.Store(t, 1) })
+						x.Store(t, 2) // different step than the read above
+					})
+				}
+			}),
+		neg("readers-only", "parallel readers never violate atomicity",
+			func(s *avd.Session) func(*avd.Task) {
+				x := s.NewIntVar("X")
+				return func(t *avd.Task) {
+					x.Store(t, 42)
+					t.Finish(func(t *avd.Task) {
+						for i := 0; i < 4; i++ {
+							t.Spawn(func(t *avd.Task) {
+								_ = x.Load(t)
+								_ = x.Load(t)
+							})
+						}
+					})
+				}
+			}),
+		neg("empty-tasks", "task structure without any shared accesses",
+			func(s *avd.Session) func(*avd.Task) {
+				return func(t *avd.Task) {
+					t.Finish(func(t *avd.Task) {
+						for i := 0; i < 8; i++ {
+							t.Spawn(func(t *avd.Task) {
+								t.Finish(func(t *avd.Task) {
+									t.Spawn(func(*avd.Task) {})
+								})
+							})
+						}
+					})
+				}
+			}),
+	}
+}

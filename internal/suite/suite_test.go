@@ -1,0 +1,96 @@
+package suite_test
+
+import (
+	"testing"
+
+	avd "github.com/taskpar/avd"
+	"github.com/taskpar/avd/internal/suite"
+)
+
+func TestSuiteHas36UniquePrograms(t *testing.T) {
+	ps := suite.Programs()
+	if len(ps) != 36 {
+		t.Fatalf("suite has %d programs, want 36", len(ps))
+	}
+	seen := map[string]bool{}
+	for _, p := range ps {
+		if p.Name == "" || p.Desc == "" {
+			t.Errorf("program %q missing name or description", p.Name)
+		}
+		if seen[p.Name] {
+			t.Errorf("duplicate program name %q", p.Name)
+		}
+		seen[p.Name] = true
+	}
+}
+
+// TestSuiteDetection is experiment E4: the paper-mode checker detects a
+// violation in every positive program and stays silent on every negative
+// one, across repeated runs (schedules vary).
+func TestSuiteDetection(t *testing.T) {
+	for _, p := range suite.Programs() {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			t.Parallel()
+			for round := 0; round < 3; round++ {
+				rep := p.Execute(avd.Options{Workers: 4})
+				got := rep.ViolationCount > 0
+				if got != p.Want {
+					t.Fatalf("round %d: detected=%v, want %v (%s); violations: %v",
+						round, got, p.Want, p.Desc, rep.Violations)
+				}
+			}
+		})
+	}
+}
+
+// TestSuiteDetectionStrict re-runs the suite under the strict-lock
+// extension.
+func TestSuiteDetectionStrict(t *testing.T) {
+	for _, p := range suite.Programs() {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			t.Parallel()
+			rep := p.Execute(avd.Options{Workers: 4, StrictLockChecks: true})
+			got := rep.ViolationCount > 0
+			if got != p.WantStrict {
+				t.Fatalf("detected=%v, want %v (%s); violations: %v",
+					got, p.WantStrict, p.Desc, rep.Violations)
+			}
+		})
+	}
+}
+
+// TestSuiteDetectionBasic cross-checks the suite against the
+// unbounded-history reference checker.
+func TestSuiteDetectionBasic(t *testing.T) {
+	for _, p := range suite.Programs() {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			t.Parallel()
+			rep := p.Execute(avd.Options{Workers: 4, Checker: avd.CheckerBasic})
+			got := rep.ViolationCount > 0
+			if got != p.Want {
+				t.Fatalf("basic: detected=%v, want %v (%s)", got, p.Want, p.Desc)
+			}
+		})
+	}
+}
+
+// TestSuiteLinkedLayout runs the positives on the linked DPST to confirm
+// layout-independence of detection.
+func TestSuiteLinkedLayout(t *testing.T) {
+	for _, p := range suite.Programs() {
+		if !p.Want {
+			continue
+		}
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			t.Parallel()
+			rep := p.Execute(avd.Options{Workers: 4, Layout: avd.LayoutLinked})
+			if rep.ViolationCount == 0 {
+				t.Fatalf("linked layout missed the violation (%s)", p.Desc)
+			}
+		})
+	}
+}

@@ -1,0 +1,123 @@
+package trace_test
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/taskpar/avd/internal/checker"
+	"github.com/taskpar/avd/internal/dpst"
+	"github.com/taskpar/avd/internal/sched"
+	"github.com/taskpar/avd/internal/sptest"
+	"github.com/taskpar/avd/internal/trace"
+)
+
+// TestQuickSchedulesAlwaysValid: for any seed, the generator produces a
+// structurally valid trace whose event count matches the compiled
+// program (all tasks end, every op emitted exactly once).
+func TestQuickSchedulesAlwaysValid(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		p := sptest.Random(r, sptest.GenConfig{
+			MaxItems: 4, MaxDepth: 3, MaxSteps: 15,
+			Locations: 3, MaxAccess: 3, Locks: 2, LockProb: 0.4,
+		})
+		c := trace.Compile(p)
+		tr, err := c.Schedule(r)
+		if err != nil {
+			return false
+		}
+		if tr.Validate() != nil {
+			return false
+		}
+		ops := 0
+		for _, code := range c.Code {
+			ops += len(code)
+		}
+		// One event per op plus one KTaskEnd per task.
+		return len(tr.Events) == ops+len(c.Code)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickEncodeDecodeRoundtrip: traces survive serialization exactly.
+func TestQuickEncodeDecodeRoundtrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		p := sptest.Random(r, sptest.GenConfig{
+			MaxItems: 3, MaxDepth: 2, MaxSteps: 10,
+			Locations: 2, MaxAccess: 2, Locks: 1, LockProb: 0.5,
+		})
+		tr, err := trace.FromProgram(p, r)
+		if err != nil {
+			return false
+		}
+		var buf bytes.Buffer
+		if tr.Encode(&buf) != nil {
+			return false
+		}
+		got, err := trace.Decode(&buf)
+		if err != nil || got.Tasks != tr.Tasks || len(got.Events) != len(tr.Events) {
+			return false
+		}
+		for i := range got.Events {
+			if got.Events[i] != tr.Events[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickReplayDPSTShape: replaying a generated trace always yields a
+// DPST whose step count equals the number of maximal access runs, and
+// never errors.
+func TestQuickReplayDPSTShape(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		p := sptest.Random(r, sptest.GenConfig{
+			MaxItems: 4, MaxDepth: 3, MaxSteps: 12,
+			Locations: 3, MaxAccess: 3,
+		})
+		tr, err := trace.FromProgram(p, r)
+		if err != nil {
+			return false
+		}
+		tree := dpst.NewArrayTree()
+		sink := countingSink{}
+		if trace.Replay(tr, tree, &sink, nil) != nil {
+			return false
+		}
+		// Every access was delivered, and the tree contains at least a
+		// root plus one node per spawn.
+		accesses := 0
+		spawns := 0
+		for _, e := range tr.Events {
+			switch e.Kind {
+			case trace.KAccess:
+				accesses++
+			case trace.KSpawn:
+				spawns++
+			}
+		}
+		return sink.n == accesses && tree.Len() >= 1+spawns
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+type countingSink struct{ n int }
+
+func (c *countingSink) Access(ts checker.TaskState, loc sched.Loc, write bool) {
+	if ts.StepNode() == dpst.None {
+		panic("access without a step node")
+	}
+	c.n++
+}

@@ -1,0 +1,116 @@
+package trace
+
+import (
+	"sync"
+
+	"github.com/taskpar/avd/internal/sched"
+)
+
+// Recorder is a Monitor that captures a live execution into a Trace for
+// later offline analysis ("record once, analyze many"). A global mutex
+// linearizes the recorded events; because every event is appended inside
+// the instrumentation call that produces it, the recorded order is a
+// valid sequentially consistent schedule of the execution: it preserves
+// each task's program order, spawn-before-child ordering, finish-end
+// after every child's end, and the mutual exclusion of instrumented
+// locks.
+//
+// Recorder can run stand-alone or teed behind a checker (see
+// avd.Options.RecordTrace).
+type Recorder struct {
+	mu     sync.Mutex
+	events []Event
+	ids    map[int32]int32
+	locks  map[*sched.Mutex]uint32
+	acq    uint64
+}
+
+// NewRecorder creates an empty recorder.
+func NewRecorder() *Recorder {
+	return &Recorder{
+		ids:   make(map[int32]int32),
+		locks: make(map[*sched.Mutex]uint32),
+	}
+}
+
+// id maps a scheduler task ID to a dense trace task ID; the first task
+// observed (necessarily the root, since all events of descendants happen
+// after their spawn) becomes task 0. Must be called with mu held.
+func (r *Recorder) id(task int32) int32 {
+	if v, ok := r.ids[task]; ok {
+		return v
+	}
+	v := int32(len(r.ids))
+	r.ids[task] = v
+	return v
+}
+
+func (r *Recorder) lockID(m *sched.Mutex) uint32 {
+	if v, ok := r.locks[m]; ok {
+		return v
+	}
+	v := uint32(len(r.locks) + 1)
+	r.locks[m] = v
+	return v
+}
+
+// OnAccess implements sched.Monitor.
+func (r *Recorder) OnAccess(t *sched.Task, loc sched.Loc, write bool) {
+	r.mu.Lock()
+	r.events = append(r.events, Event{Kind: KAccess, Task: r.id(t.ID()), Loc: loc, Write: write})
+	r.mu.Unlock()
+}
+
+// OnAcquire implements sched.Monitor.
+func (r *Recorder) OnAcquire(t *sched.Task, m *sched.Mutex) {
+	r.mu.Lock()
+	r.acq++
+	r.events = append(r.events, Event{Kind: KAcquire, Task: r.id(t.ID()), Lock: r.lockID(m), CS: r.acq})
+	r.mu.Unlock()
+}
+
+// OnRelease implements sched.Monitor.
+func (r *Recorder) OnRelease(t *sched.Task, m *sched.Mutex) {
+	r.mu.Lock()
+	r.events = append(r.events, Event{Kind: KRelease, Task: r.id(t.ID()), Lock: r.lockID(m)})
+	r.mu.Unlock()
+}
+
+// OnSpawn implements sched.StructureObserver.
+func (r *Recorder) OnSpawn(parent *sched.Task, child int32) {
+	r.mu.Lock()
+	r.events = append(r.events, Event{Kind: KSpawn, Task: r.id(parent.ID()), Child: r.id(child)})
+	r.mu.Unlock()
+}
+
+// OnFinishBegin implements sched.StructureObserver.
+func (r *Recorder) OnFinishBegin(t *sched.Task) {
+	r.mu.Lock()
+	r.events = append(r.events, Event{Kind: KFinishBegin, Task: r.id(t.ID())})
+	r.mu.Unlock()
+}
+
+// OnFinishEnd implements sched.StructureObserver.
+func (r *Recorder) OnFinishEnd(t *sched.Task) {
+	r.mu.Lock()
+	r.events = append(r.events, Event{Kind: KFinishEnd, Task: r.id(t.ID())})
+	r.mu.Unlock()
+}
+
+// OnTaskEnd implements sched.StructureObserver.
+func (r *Recorder) OnTaskEnd(t *sched.Task) {
+	r.mu.Lock()
+	r.events = append(r.events, Event{Kind: KTaskEnd, Task: r.id(t.ID())})
+	r.mu.Unlock()
+}
+
+// Trace returns the recorded trace. Call it after the recorded Run has
+// completed.
+func (r *Recorder) Trace() *Trace {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return &Trace{
+		Tasks:  int32(len(r.ids)),
+		Events: append([]Event(nil), r.events...),
+	}
+}

@@ -1,0 +1,114 @@
+package trace
+
+import (
+	"fmt"
+
+	"github.com/taskpar/avd/internal/checker"
+	"github.com/taskpar/avd/internal/dpst"
+	"github.com/taskpar/avd/internal/sched"
+)
+
+// Sink consumes replayed memory accesses; both checker.Checker and the
+// Velodrome baseline satisfy it.
+type Sink interface {
+	Access(ts checker.TaskState, loc sched.Loc, write bool)
+}
+
+// LockSink consumes replayed lock operations (used by Velodrome, whose
+// happens-before graph includes release-acquire edges).
+type LockSink interface {
+	Acquire(ts checker.TaskState, lockLoc sched.Loc)
+	Release(ts checker.TaskState, lockLoc sched.Loc)
+}
+
+// LockLocBase offsets lock identities into a Loc range disjoint from
+// program locations when lock operations are modeled as accesses.
+const LockLocBase sched.Loc = 1 << 32
+
+// LockLoc maps a trace lock ID to its location identifier.
+func LockLoc(lock uint32) sched.Loc { return LockLocBase + sched.Loc(lock) }
+
+// replayTask reconstructs the TaskState of one traced task: DPST
+// position, lazily created step nodes, and the current lockset.
+type replayTask struct {
+	id      int32
+	tree    dpst.Tree
+	parents []dpst.NodeID // finish/async ancestry; top is the current parent
+	step    dpst.NodeID
+	locks   []uint64
+	lockIDs []uint32
+	local   any
+}
+
+// StepNode implements checker.TaskState.
+func (t *replayTask) StepNode() dpst.NodeID {
+	if t.step == dpst.None {
+		t.step = t.tree.NewNode(t.parents[len(t.parents)-1], dpst.Step, t.id)
+	}
+	return t.step
+}
+
+// Lockset implements checker.TaskState.
+func (t *replayTask) Lockset() []uint64 { return t.locks }
+
+// LocalSlot implements checker.TaskState.
+func (t *replayTask) LocalSlot() *any { return &t.local }
+
+// Replay drives sink (and lockSink, if non-nil) with the events of tr,
+// rebuilding the DPST on tree exactly as the live runtime would. It
+// returns an error on structurally invalid traces.
+func Replay(tr *Trace, tree dpst.Tree, sink Sink, lockSink LockSink) error {
+	if err := tr.Validate(); err != nil {
+		return err
+	}
+	root := tree.NewNode(dpst.None, dpst.Finish, 0)
+	tasks := make([]*replayTask, tr.Tasks)
+	tasks[0] = &replayTask{id: 0, tree: tree, parents: []dpst.NodeID{root}, step: dpst.None}
+	var acq uint64
+	for i, e := range tr.Events {
+		t := tasks[e.Task]
+		switch e.Kind {
+		case KSpawn:
+			a := tree.NewNode(t.parents[len(t.parents)-1], dpst.Async, t.id)
+			t.step = dpst.None
+			tasks[e.Child] = &replayTask{
+				id: e.Child, tree: tree, parents: []dpst.NodeID{a}, step: dpst.None,
+			}
+		case KFinishBegin:
+			f := tree.NewNode(t.parents[len(t.parents)-1], dpst.Finish, t.id)
+			t.parents = append(t.parents, f)
+			t.step = dpst.None
+		case KFinishEnd:
+			t.parents = t.parents[:len(t.parents)-1]
+			t.step = dpst.None
+		case KAccess:
+			sink.Access(t, e.Loc, e.Write)
+		case KAcquire:
+			acq++
+			t.locks = append(t.locks, sched.MakeLockToken(e.Lock, acq))
+			t.lockIDs = append(t.lockIDs, e.Lock)
+			if lockSink != nil {
+				lockSink.Acquire(t, LockLoc(e.Lock))
+			}
+		case KRelease:
+			if lockSink != nil {
+				lockSink.Release(t, LockLoc(e.Lock))
+			}
+			found := false
+			for j := len(t.lockIDs) - 1; j >= 0; j-- {
+				if t.lockIDs[j] == e.Lock {
+					t.locks = append(t.locks[:j], t.locks[j+1:]...)
+					t.lockIDs = append(t.lockIDs[:j], t.lockIDs[j+1:]...)
+					found = true
+					break
+				}
+			}
+			if !found {
+				return fmt.Errorf("trace: event %d: release of unheld lock %d", i, e.Lock)
+			}
+		case KTaskEnd:
+			// No DPST effect; the join is captured by finish scopes.
+		}
+	}
+	return nil
+}

@@ -1,0 +1,146 @@
+// Package trace models execution traces of task parallel programs: a
+// sequentially consistent sequence of task-management, memory, and lock
+// events. It provides the paper's trace generator — parameterized random
+// structured programs scheduled into valid interleavings — and an offline
+// replayer that rebuilds the DPST from a trace and drives any checker,
+// so detectors can be exercised deterministically and differentially
+// without a live scheduler.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"github.com/taskpar/avd/internal/sched"
+)
+
+// Kind enumerates trace event kinds.
+type Kind uint8
+
+// Trace event kinds.
+const (
+	// KSpawn records task Task spawning task Child.
+	KSpawn Kind = iota
+	// KFinishBegin opens a finish scope in task Task.
+	KFinishBegin
+	// KFinishEnd closes the innermost finish scope of task Task; it
+	// appears only after all tasks spawned in the scope have ended.
+	KFinishEnd
+	// KAccess is a shared-memory access by task Task.
+	KAccess
+	// KAcquire is a lock acquisition by task Task.
+	KAcquire
+	// KRelease is a lock release by task Task.
+	KRelease
+	// KTaskEnd marks the completion of task Task.
+	KTaskEnd
+)
+
+// String names the event kind.
+func (k Kind) String() string {
+	switch k {
+	case KSpawn:
+		return "spawn"
+	case KFinishBegin:
+		return "finish-begin"
+	case KFinishEnd:
+		return "finish-end"
+	case KAccess:
+		return "access"
+	case KAcquire:
+		return "acquire"
+	case KRelease:
+		return "release"
+	case KTaskEnd:
+		return "task-end"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Event is one trace record. Field use depends on Kind: Child for
+// KSpawn; Loc and Write for KAccess; Lock and CS for KAcquire/KRelease.
+type Event struct {
+	Kind  Kind      `json:"k"`
+	Task  int32     `json:"t"`
+	Child int32     `json:"c,omitempty"`
+	Loc   sched.Loc `json:"l,omitempty"`
+	Write bool      `json:"w,omitempty"`
+	Lock  uint32    `json:"m,omitempty"`
+	CS    uint64    `json:"cs,omitempty"`
+}
+
+// Trace is one observed schedule of a task parallel execution. Task 0 is
+// the root task and is implicitly started; every other task appears in a
+// KSpawn event before its own events.
+type Trace struct {
+	Tasks  int32   `json:"tasks"`
+	Events []Event `json:"events"`
+}
+
+// Encode writes the trace as JSON to w.
+func (tr *Trace) Encode(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(tr)
+}
+
+// Decode reads a JSON trace from r.
+func Decode(r io.Reader) (*Trace, error) {
+	var tr Trace
+	if err := json.NewDecoder(r).Decode(&tr); err != nil {
+		return nil, fmt.Errorf("trace: decode: %w", err)
+	}
+	if err := tr.Validate(); err != nil {
+		return nil, err
+	}
+	return &tr, nil
+}
+
+// Validate performs structural sanity checks: tasks spawned before use,
+// finish scopes balanced, locks released by their holder.
+func (tr *Trace) Validate() error {
+	started := make([]bool, tr.Tasks)
+	depth := make([]int, tr.Tasks)
+	holder := make(map[uint32]int32)
+	if tr.Tasks < 1 {
+		return fmt.Errorf("trace: no tasks")
+	}
+	started[0] = true
+	for i, e := range tr.Events {
+		if e.Task < 0 || e.Task >= tr.Tasks || !started[e.Task] {
+			return fmt.Errorf("trace: event %d: task %d not started", i, e.Task)
+		}
+		switch e.Kind {
+		case KSpawn:
+			if e.Child <= 0 || e.Child >= tr.Tasks || started[e.Child] {
+				return fmt.Errorf("trace: event %d: bad child %d", i, e.Child)
+			}
+			started[e.Child] = true
+		case KFinishBegin:
+			depth[e.Task]++
+		case KFinishEnd:
+			depth[e.Task]--
+			if depth[e.Task] < 0 {
+				return fmt.Errorf("trace: event %d: unbalanced finish in task %d", i, e.Task)
+			}
+		case KAcquire:
+			if h, held := holder[e.Lock]; held {
+				return fmt.Errorf("trace: event %d: lock %d already held by task %d", i, e.Lock, h)
+			}
+			holder[e.Lock] = e.Task
+		case KRelease:
+			if h, held := holder[e.Lock]; !held || h != e.Task {
+				return fmt.Errorf("trace: event %d: lock %d not held by task %d", i, e.Lock, e.Task)
+			}
+			delete(holder, e.Lock)
+		case KAccess, KTaskEnd:
+		default:
+			return fmt.Errorf("trace: event %d: unknown kind %d", i, e.Kind)
+		}
+	}
+	if len(holder) != 0 {
+		return fmt.Errorf("trace: locks left held at end")
+	}
+	return nil
+}

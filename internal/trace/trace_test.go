@@ -1,0 +1,210 @@
+package trace_test
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"github.com/taskpar/avd/internal/checker"
+	"github.com/taskpar/avd/internal/dpst"
+	"github.com/taskpar/avd/internal/sptest"
+	"github.com/taskpar/avd/internal/trace"
+)
+
+// figure1Program is the paper's running example as a structured program:
+// task T1 writes X, then spawns T2 (read X; write X) and T3 (write X)
+// inside a finish block.
+func figure1Program() *sptest.Program {
+	return &sptest.Program{Body: []sptest.Item{
+		&sptest.StepItem{ID: 0, Accesses: []sptest.Access{{Loc: 0, Write: true, Lock: -1, CS: -1}}},
+		&sptest.FinishItem{Body: []sptest.Item{
+			&sptest.SpawnItem{Body: []sptest.Item{
+				&sptest.StepItem{ID: 1, Accesses: []sptest.Access{
+					{Loc: 0, Write: false, Lock: -1, CS: -1},
+					{Loc: 0, Write: true, Lock: -1, CS: -1},
+				}},
+			}},
+			&sptest.SpawnItem{Body: []sptest.Item{
+				&sptest.StepItem{ID: 2, Accesses: []sptest.Access{{Loc: 0, Write: true, Lock: -1, CS: -1}}},
+			}},
+		}},
+	}}
+}
+
+func TestCompileStructure(t *testing.T) {
+	c := trace.Compile(figure1Program())
+	if len(c.Code) != 3 {
+		t.Fatalf("compiled %d tasks, want 3", len(c.Code))
+	}
+	// Root: access, finish-begin, spawn, spawn, finish-end.
+	kinds := []trace.Kind{}
+	for _, o := range c.Code[0] {
+		kinds = append(kinds, o.Kind)
+	}
+	want := []trace.Kind{trace.KAccess, trace.KFinishBegin, trace.KSpawn, trace.KSpawn, trace.KFinishEnd}
+	if len(kinds) != len(want) {
+		t.Fatalf("root ops = %v, want %v", kinds, want)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Fatalf("root ops = %v, want %v", kinds, want)
+		}
+	}
+	if len(c.Code[1]) != 2 || len(c.Code[2]) != 1 {
+		t.Fatalf("child op counts: %d, %d; want 2, 1", len(c.Code[1]), len(c.Code[2]))
+	}
+}
+
+func TestCompileCriticalSections(t *testing.T) {
+	p := &sptest.Program{Body: []sptest.Item{
+		&sptest.StepItem{ID: 0, Accesses: []sptest.Access{
+			{Loc: 0, Write: false, Lock: 1, CS: 10},
+			{Loc: 1, Write: true, Lock: 1, CS: 10},
+			{Loc: 0, Write: true, Lock: 1, CS: 11},
+			{Loc: 2, Write: true, Lock: -1, CS: -1},
+		}},
+	}}
+	c := trace.Compile(p)
+	kinds := []trace.Kind{}
+	for _, o := range c.Code[0] {
+		kinds = append(kinds, o.Kind)
+	}
+	want := []trace.Kind{
+		trace.KAcquire, trace.KAccess, trace.KAccess, trace.KRelease,
+		trace.KAcquire, trace.KAccess, trace.KRelease,
+		trace.KAccess,
+	}
+	if len(kinds) != len(want) {
+		t.Fatalf("ops = %v, want %v", kinds, want)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Fatalf("ops = %v, want %v", kinds, want)
+		}
+	}
+}
+
+func TestScheduleValidAcrossSeeds(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 200; trial++ {
+		p := sptest.Random(r, sptest.GenConfig{
+			MaxItems: 4, MaxDepth: 3, MaxSteps: 15,
+			Locations: 3, MaxAccess: 3, Locks: 2, LockProb: 0.4,
+		})
+		tr, err := trace.FromProgram(p, r)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("trial %d: generated invalid trace: %v", trial, err)
+		}
+	}
+}
+
+func TestEncodeDecodeRoundtrip(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	p := sptest.Random(r, sptest.GenConfig{
+		MaxItems: 4, MaxDepth: 2, MaxSteps: 10,
+		Locations: 2, MaxAccess: 2, Locks: 1, LockProb: 0.5,
+	})
+	tr, err := trace.FromProgram(p, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tr.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := trace.Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Tasks != tr.Tasks || len(got.Events) != len(tr.Events) {
+		t.Fatalf("roundtrip mismatch: %d/%d events, %d/%d tasks",
+			len(got.Events), len(tr.Events), got.Tasks, tr.Tasks)
+	}
+	for i := range got.Events {
+		if got.Events[i] != tr.Events[i] {
+			t.Fatalf("event %d differs: %+v vs %+v", i, got.Events[i], tr.Events[i])
+		}
+	}
+}
+
+func TestValidateRejectsBadTraces(t *testing.T) {
+	cases := []struct {
+		name string
+		tr   trace.Trace
+	}{
+		{"no tasks", trace.Trace{Tasks: 0}},
+		{"unstarted task", trace.Trace{Tasks: 2, Events: []trace.Event{
+			{Kind: trace.KAccess, Task: 1, Loc: 1},
+		}}},
+		{"double spawn", trace.Trace{Tasks: 2, Events: []trace.Event{
+			{Kind: trace.KSpawn, Task: 0, Child: 1},
+			{Kind: trace.KSpawn, Task: 0, Child: 1},
+		}}},
+		{"unbalanced finish", trace.Trace{Tasks: 1, Events: []trace.Event{
+			{Kind: trace.KFinishEnd, Task: 0},
+		}}},
+		{"double acquire", trace.Trace{Tasks: 2, Events: []trace.Event{
+			{Kind: trace.KSpawn, Task: 0, Child: 1},
+			{Kind: trace.KAcquire, Task: 0, Lock: 1},
+			{Kind: trace.KAcquire, Task: 1, Lock: 1},
+		}}},
+		{"foreign release", trace.Trace{Tasks: 2, Events: []trace.Event{
+			{Kind: trace.KSpawn, Task: 0, Child: 1},
+			{Kind: trace.KAcquire, Task: 0, Lock: 1},
+			{Kind: trace.KRelease, Task: 1, Lock: 1},
+		}}},
+		{"lock left held", trace.Trace{Tasks: 1, Events: []trace.Event{
+			{Kind: trace.KAcquire, Task: 0, Lock: 1},
+		}}},
+	}
+	for _, c := range cases {
+		if err := c.tr.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted an invalid trace", c.name)
+		}
+	}
+}
+
+// TestReplayDetectsFigure1Violation replays a generated schedule of the
+// Figure 1 program into the optimized checker.
+func TestReplayDetectsFigure1Violation(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 30; trial++ {
+		tr, err := trace.FromProgram(figure1Program(), r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tree := dpst.NewArrayTree()
+		c := checker.New(checker.Options{Query: dpst.NewQuery(tree, true)})
+		if err := trace.Replay(tr, tree, c, nil); err != nil {
+			t.Fatal(err)
+		}
+		vs := c.Reporter().Violations()
+		if len(vs) != 1 || vs[0].Kind() != "R-W-W" {
+			t.Fatalf("trial %d: got %v, want one R-W-W violation", trial, vs)
+		}
+		if vs[0].Loc != trace.LocBase {
+			t.Fatalf("trial %d: violation at loc %d, want %d", trial, vs[0].Loc, trace.LocBase)
+		}
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	kinds := []trace.Kind{
+		trace.KSpawn, trace.KFinishBegin, trace.KFinishEnd,
+		trace.KAccess, trace.KAcquire, trace.KRelease, trace.KTaskEnd,
+	}
+	seen := map[string]bool{}
+	for _, k := range kinds {
+		s := k.String()
+		if s == "" || seen[s] {
+			t.Errorf("kind %d has bad string %q", k, s)
+		}
+		seen[s] = true
+	}
+	if trace.Kind(99).String() == "" {
+		t.Error("unknown kind must still format")
+	}
+}

@@ -1,0 +1,270 @@
+// Package velodrome reimplements the Velodrome dynamic atomicity checker
+// (Flanagan, Freund, Yi — PLDI 2008) as the comparison baseline of the
+// paper's evaluation (Figure 13), adapted — as the paper describes — to
+// check the atomicity of the accesses performed by each DPST step node.
+//
+// Velodrome detects conflict-serializability violations in the observed
+// trace: each step node is a transaction; conflicting accesses by
+// different transactions, program order within a task, and lock
+// release-acquire pairs add edges to a transactional happens-before
+// graph; a cycle in that graph means the observed schedule is not
+// conflict serializable. Unlike the paper's DPST-based checker, Velodrome
+// says nothing about other schedules of the same input — exposing those
+// requires pairing it with an interleaving explorer.
+package velodrome
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/taskpar/avd/internal/checker"
+	"github.com/taskpar/avd/internal/dpst"
+	"github.com/taskpar/avd/internal/sched"
+)
+
+// txn is a transaction node of the happens-before graph: one per step.
+type txn struct {
+	step dpst.NodeID
+	out  []*txn
+	// outSet dedups edges; allocated lazily once out grows.
+	outSet map[*txn]struct{}
+	mark   uint64
+}
+
+// Cycle records one detected serializability cycle: adding the edge
+// From -> To closed a path To ~> From.
+type Cycle struct {
+	Loc  sched.Loc
+	From dpst.NodeID
+	To   dpst.NodeID
+}
+
+// String renders a one-line diagnostic.
+func (c Cycle) String() string {
+	return fmt.Sprintf("velodrome: serializability cycle at loc %d between steps %d and %d", c.Loc, c.From, c.To)
+}
+
+// locState is the per-location last-access bookkeeping.
+type locState struct {
+	lastWrite *txn
+	readers   []*txn
+}
+
+// lockState tracks the previous releaser for release-acquire edges.
+type lockState struct {
+	lastRelease *txn
+}
+
+// taskState is the per-task scratch kept in the task's LocalSlot.
+type taskState struct {
+	last *txn
+}
+
+// Checker is the Velodrome baseline. A single mutex guards the graph and
+// the location tables, as analysis state is shared by all transactions.
+type Checker struct {
+	mu     sync.Mutex
+	txns   map[dpst.NodeID]*txn
+	locs   map[sched.Loc]*locState
+	locks  map[sched.Loc]*lockState
+	epoch  uint64
+	seen   map[Cycle]struct{}
+	cycles []Cycle
+	limit  int
+	total  int64
+}
+
+// New creates a Velodrome checker.
+func New() *Checker {
+	return &Checker{
+		txns:  make(map[dpst.NodeID]*txn),
+		locs:  make(map[sched.Loc]*locState),
+		locks: make(map[sched.Loc]*lockState),
+		seen:  make(map[Cycle]struct{}),
+		limit: 1 << 16,
+	}
+}
+
+// Count returns the number of distinct cycles detected.
+func (c *Checker) Count() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.total
+}
+
+// Cycles returns the recorded cycles.
+func (c *Checker) Cycles() []Cycle {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]Cycle(nil), c.cycles...)
+}
+
+func (c *Checker) txnOf(step dpst.NodeID) *txn {
+	t, ok := c.txns[step]
+	if !ok {
+		t = &txn{step: step}
+		c.txns[step] = t
+	}
+	return t
+}
+
+func (c *Checker) locOf(loc sched.Loc) *locState {
+	st, ok := c.locs[loc]
+	if !ok {
+		st = &locState{}
+		c.locs[loc] = st
+	}
+	return st
+}
+
+// reaches reports whether a path from -> ... -> to exists, by DFS with
+// epoch marking.
+func (c *Checker) reaches(from, to *txn) bool {
+	if from == to {
+		return true
+	}
+	c.epoch++
+	ep := c.epoch
+	stack := []*txn{from}
+	from.mark = ep
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, m := range n.out {
+			if m == to {
+				return true
+			}
+			if m.mark != ep {
+				m.mark = ep
+				stack = append(stack, m)
+			}
+		}
+	}
+	return false
+}
+
+// addEdge inserts u -> v into the graph, reporting a cycle if v already
+// reaches u. Self and nil edges are ignored; duplicate edges are
+// deduplicated.
+func (c *Checker) addEdge(u, v *txn, loc sched.Loc) {
+	if u == nil || v == nil || u == v {
+		return
+	}
+	if u.outSet != nil {
+		if _, dup := u.outSet[v]; dup {
+			return
+		}
+	} else {
+		for _, w := range u.out {
+			if w == v {
+				return
+			}
+		}
+	}
+	if len(v.out) > 0 && c.reaches(v, u) {
+		c.report(Cycle{Loc: loc, From: u.step, To: v.step})
+	}
+	u.out = append(u.out, v)
+	if u.outSet == nil && len(u.out) > 8 {
+		u.outSet = make(map[*txn]struct{}, len(u.out))
+		for _, w := range u.out {
+			u.outSet[w] = struct{}{}
+		}
+	}
+	if u.outSet != nil {
+		u.outSet[v] = struct{}{}
+	}
+}
+
+func (c *Checker) report(cy Cycle) {
+	if _, dup := c.seen[cy]; dup {
+		return
+	}
+	c.total++
+	if len(c.seen) < c.limit {
+		c.seen[cy] = struct{}{}
+		c.cycles = append(c.cycles, cy)
+	}
+}
+
+// programOrder links the task's previous transaction to the current one.
+func (c *Checker) programOrder(ts checker.TaskState, cur *txn) {
+	slot := ts.LocalSlot()
+	st, ok := (*slot).(*taskState)
+	if !ok {
+		st = &taskState{}
+		*slot = st
+	}
+	if st.last != nil && st.last != cur {
+		c.addEdge(st.last, cur, 0)
+	}
+	st.last = cur
+}
+
+// Access processes one instrumented access.
+func (c *Checker) Access(ts checker.TaskState, loc sched.Loc, write bool) {
+	step := ts.StepNode()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	cur := c.txnOf(step)
+	c.programOrder(ts, cur)
+	st := c.locOf(loc)
+	if write {
+		c.addEdge(st.lastWrite, cur, loc)
+		for _, r := range st.readers {
+			c.addEdge(r, cur, loc)
+		}
+		st.lastWrite = cur
+		st.readers = st.readers[:0]
+	} else {
+		c.addEdge(st.lastWrite, cur, loc)
+		for _, r := range st.readers {
+			if r == cur {
+				return
+			}
+		}
+		st.readers = append(st.readers, cur)
+	}
+}
+
+// OnAccess implements sched.Monitor.
+func (c *Checker) OnAccess(t *sched.Task, loc sched.Loc, write bool) {
+	c.Access(t, loc, write)
+}
+
+// Acquire processes a lock acquisition: the previous release of the lock
+// happens-before this transaction.
+func (c *Checker) Acquire(ts checker.TaskState, lockLoc sched.Loc) {
+	step := ts.StepNode()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	cur := c.txnOf(step)
+	c.programOrder(ts, cur)
+	st, ok := c.locks[lockLoc]
+	if !ok {
+		st = &lockState{}
+		c.locks[lockLoc] = st
+	}
+	c.addEdge(st.lastRelease, cur, lockLoc)
+}
+
+// Release records the releasing transaction.
+func (c *Checker) Release(ts checker.TaskState, lockLoc sched.Loc) {
+	step := ts.StepNode()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	cur := c.txnOf(step)
+	c.programOrder(ts, cur)
+	st, ok := c.locks[lockLoc]
+	if !ok {
+		st = &lockState{}
+		c.locks[lockLoc] = st
+	}
+	st.lastRelease = cur
+}
+
+// OnAcquire implements sched.Monitor.
+func (c *Checker) OnAcquire(t *sched.Task, m *sched.Mutex) { c.Acquire(t, m.Loc()) }
+
+// OnRelease implements sched.Monitor.
+func (c *Checker) OnRelease(t *sched.Task, m *sched.Mutex) { c.Release(t, m.Loc()) }

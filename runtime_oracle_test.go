@@ -1,0 +1,134 @@
+package avd_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	avd "github.com/taskpar/avd"
+	"github.com/taskpar/avd/internal/dpst"
+	"github.com/taskpar/avd/internal/oracle"
+	"github.com/taskpar/avd/internal/sptest"
+)
+
+// execProgram runs a structured test program on the real work-stealing
+// runtime (actual parallel execution, not deterministic replay) and
+// returns the set of program locations with reported violations.
+func execProgram(p *sptest.Program, cfg sptest.GenConfig, opts avd.Options) map[int]bool {
+	s := avd.NewSession(opts)
+	defer s.Close()
+	vars := make([]*avd.IntVar, cfg.Locations)
+	locOf := make(map[avd.Loc]int, cfg.Locations)
+	for i := range vars {
+		vars[i] = s.NewIntVar(fmt.Sprintf("x%d", i))
+		locOf[vars[i].Loc()] = i
+	}
+	locks := make([]*avd.Mutex, cfg.Locks)
+	for i := range locks {
+		locks[i] = s.NewMutex(fmt.Sprintf("L%d", i))
+	}
+	var exec func(t *avd.Task, items []sptest.Item)
+	exec = func(t *avd.Task, items []sptest.Item) {
+		for _, it := range items {
+			switch v := it.(type) {
+			case *sptest.StepItem:
+				curCS := -1
+				var held *avd.Mutex
+				for _, a := range v.Accesses {
+					if a.CS != curCS {
+						if held != nil {
+							held.Unlock(t)
+							held = nil
+						}
+						if a.CS >= 0 {
+							held = locks[a.Lock]
+							held.Lock(t)
+						}
+						curCS = a.CS
+					}
+					if a.Write {
+						vars[a.Loc].Store(t, int64(a.Loc))
+					} else {
+						vars[a.Loc].Load(t)
+					}
+				}
+				if held != nil {
+					held.Unlock(t)
+				}
+			case *sptest.SpawnItem:
+				body := v.Body
+				t.Spawn(func(ct *avd.Task) { exec(ct, body) })
+			case *sptest.FinishItem:
+				body := v.Body
+				t.Finish(func(ft *avd.Task) { exec(ft, body) })
+			}
+		}
+	}
+	s.Run(func(t *avd.Task) { exec(t, p.Body) })
+	out := make(map[int]bool)
+	for _, v := range s.Report().Violations {
+		out[locOf[v.Loc]] = true
+	}
+	return out
+}
+
+// TestLiveExecutionMatchesOracle is the strongest end-to-end property:
+// random structured programs executed on the real scheduler — with
+// genuine work stealing, parallel metadata updates, and whatever
+// schedule the machine produces — must detect exactly the violating
+// locations the independent all-schedules oracle predicts.
+func TestLiveExecutionMatchesOracle(t *testing.T) {
+	r := rand.New(rand.NewSource(4242))
+	for trial := 0; trial < 150; trial++ {
+		locks := trial % 2
+		cfg := sptest.GenConfig{
+			MaxItems: 4, MaxDepth: 3, MaxSteps: 12,
+			Locations: 3, MaxAccess: 4, Locks: locks, LockProb: 0.4,
+		}
+		if cfg.Locks == 0 {
+			cfg.Locks = 1 // allocate a mutex slice even when unused
+		}
+		p := sptest.Random(r, cfg)
+		b := sptest.Build(dpst.ArrayLayout, p)
+		want := oracle.Violations(b, oracle.ModePaper)
+		for round := 0; round < 3; round++ {
+			got := execProgram(p, cfg, avd.Options{Workers: 4})
+			if len(got) != len(want) {
+				t.Fatalf("trial %d round %d: live run detected %v, oracle %v\nprogram:\n%s",
+					trial, round, got, want, p)
+			}
+			for l := range got {
+				if !want[l] {
+					t.Fatalf("trial %d round %d: live run detected %v, oracle %v\nprogram:\n%s",
+						trial, round, got, want, p)
+				}
+			}
+		}
+	}
+}
+
+// TestLiveExecutionStrictMatchesOracle repeats the live-execution
+// property under the strict-lock extension against the full oracle.
+func TestLiveExecutionStrictMatchesOracle(t *testing.T) {
+	r := rand.New(rand.NewSource(777))
+	for trial := 0; trial < 100; trial++ {
+		cfg := sptest.GenConfig{
+			MaxItems: 4, MaxDepth: 3, MaxSteps: 10,
+			Locations: 3, MaxAccess: 4, Locks: 2, LockProb: 0.5,
+		}
+		p := sptest.Random(r, cfg)
+		b := sptest.Build(dpst.ArrayLayout, p)
+		want := oracle.Violations(b, oracle.ModeFull)
+		got := execProgram(p, cfg, avd.Options{Workers: 4, StrictLockChecks: true})
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: strict live run detected %v, oracle %v\nprogram:\n%s",
+				trial, got, want, p)
+		}
+		for l := range got {
+			if !want[l] {
+				t.Fatalf("trial %d: strict live run detected %v, oracle %v\nprogram:\n%s",
+					trial, got, want, p)
+			}
+		}
+	}
+}
