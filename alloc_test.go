@@ -1,0 +1,41 @@
+package avd_test
+
+import (
+	"testing"
+
+	avd "github.com/taskpar/avd"
+)
+
+// TestSteadyStateZeroAllocs pins the hot-path allocation behaviour the
+// lock-free shadow table and label-based MHP are designed for: once a
+// location is warm (shadow cell published, step metadata offered), an
+// instrumented Load or Store must not allocate at all.
+//
+// testing.AllocsPerRun pins GOMAXPROCS to 1 for the duration of the
+// closure, so the measurement runs inside a single-worker session and
+// the measured closure never spawns or blocks.
+func TestSteadyStateZeroAllocs(t *testing.T) {
+	s := avd.NewSession(avd.Options{Workers: 1})
+	defer s.Close()
+	x := s.NewIntVar("X")
+	var loadAllocs, storeAllocs float64
+	s.Run(func(tk *avd.Task) {
+		// Warm: publish the shadow cell and settle the per-step
+		// offer-once metadata for this location.
+		x.Store(tk, 1)
+		_ = x.Load(tk)
+		_ = x.Load(tk)
+		x.Store(tk, 2)
+		loadAllocs = testing.AllocsPerRun(200, func() { _ = x.Load(tk) })
+		storeAllocs = testing.AllocsPerRun(200, func() { x.Store(tk, 3) })
+	})
+	if loadAllocs != 0 {
+		t.Errorf("IntVar.Load allocates %.1f objects per op on a warm location, want 0", loadAllocs)
+	}
+	if storeAllocs != 0 {
+		t.Errorf("IntVar.Store allocates %.1f objects per op on a warm location, want 0", storeAllocs)
+	}
+	if got := x.Value(); got != 3 {
+		t.Fatalf("final value %d, want 3", got)
+	}
+}

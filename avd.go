@@ -113,6 +113,38 @@ const (
 	LayoutLinked = dpst.LinkedLayout
 )
 
+// MHPMode selects how may-happen-in-parallel queries are answered.
+type MHPMode int
+
+// Available MHP modes.
+const (
+	// MHPLabels (the default) compares per-node path labels stamped at
+	// DPST construction: O(LCA depth) per query, no locks, no shared
+	// cache (DePa-style; see internal/dpst/labels.go).
+	MHPLabels MHPMode = iota
+	// MHPCachedWalk performs the LCA tree walk with the sharded result
+	// cache — the paper's Section 4 configuration, kept as a selectable
+	// ablation and for faithful Table 1 uniqueness statistics.
+	MHPCachedWalk
+	// MHPWalk recomputes the tree walk on every query (the Figure 14
+	// no-cache ablation).
+	MHPWalk
+)
+
+// String names the mode as used in the harness configurations.
+func (m MHPMode) String() string {
+	switch m {
+	case MHPLabels:
+		return "labels"
+	case MHPCachedWalk:
+		return "cached-walk"
+	case MHPWalk:
+		return "walk"
+	default:
+		return fmt.Sprintf("mhp(%d)", int(m))
+	}
+}
+
 // Options configures a Session. The zero value is the paper's default
 // configuration: the optimized checker on an array DPST with LCA caching
 // and GOMAXPROCS workers.
@@ -123,7 +155,12 @@ type Options struct {
 	Checker CheckerKind
 	// Layout picks the DPST layout; default LayoutArray.
 	Layout Layout
-	// DisableLCACache turns off memoization of LCA queries.
+	// MHP picks the may-happen-in-parallel mechanism; default MHPLabels.
+	MHP MHPMode
+	// DisableLCACache turns off memoization of LCA queries. It is only
+	// meaningful for the walk-based modes: when MHP is left at the
+	// default it selects MHPWalk, preserving the historic behaviour of
+	// the Figure 14 no-cache configurations.
 	DisableLCACache bool
 	// StrictLockChecks enables the extension that reports pairs inside
 	// one critical section torn by unsynchronized parallel accesses
@@ -135,6 +172,23 @@ type Options struct {
 	// (Session.RecordedTrace) that can be re-analyzed offline with
 	// ReplayTrace — record once, analyze many.
 	RecordTrace bool
+}
+
+// queryMode maps the public MHP knobs onto the dpst query mode. An
+// explicit MHP selection wins; otherwise DisableLCACache downgrades the
+// default to the uncached walk as it always has.
+func (o Options) queryMode() dpst.QueryMode {
+	switch o.MHP {
+	case MHPCachedWalk:
+		return dpst.ModeCachedWalk
+	case MHPWalk:
+		return dpst.ModeWalk
+	default:
+		if o.DisableLCACache {
+			return dpst.ModeWalk
+		}
+		return dpst.ModeLabels
+	}
 }
 
 // Session owns a runtime, an analysis, and the instrumented state
@@ -162,7 +216,7 @@ func NewSession(opts Options) *Session {
 		mon = s.velo
 	default:
 		s.tree = dpst.New(opts.Layout)
-		s.q = dpst.NewQuery(s.tree, !opts.DisableLCACache)
+		s.q = dpst.NewQueryMode(s.tree, opts.queryMode())
 		alg := checker.AlgOptimized
 		if opts.Checker == CheckerBasic {
 			alg = checker.AlgBasic
@@ -268,7 +322,7 @@ func ReplayTrace(tr *Trace, opts Options) (Report, error) {
 		if opts.Checker == CheckerBasic {
 			alg = checker.AlgBasic
 		}
-		q := dpst.NewQuery(tree, !opts.DisableLCACache)
+		q := dpst.NewQueryMode(tree, opts.queryMode())
 		c := checker.New(checker.Options{
 			Algorithm:        alg,
 			Query:            q,

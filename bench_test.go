@@ -39,8 +39,9 @@ func benchKernel(b *testing.B, k bench.Kernel, cfg harness.Config) {
 }
 
 // BenchmarkTable1 regenerates the Table 1 measurements: each kernel runs
-// under the optimized checker and reports its location, DPST-node, and
-// LCA-query counts as benchmark metrics.
+// under the optimized checker (in the paper's cached-walk configuration,
+// whose unique-LCA statistic is meaningful) and reports its location,
+// DPST-node, and LCA-query counts as benchmark metrics.
 func BenchmarkTable1(b *testing.B) {
 	for _, k := range bench.All() {
 		k := k
@@ -48,7 +49,7 @@ func BenchmarkTable1(b *testing.B) {
 			n := harness.Sizes(benchScale)[k.Name]
 			var rep avd.Report
 			for i := 0; i < b.N; i++ {
-				s := avd.NewSession(avd.Options{})
+				s := avd.NewSession(avd.Options{MHP: avd.MHPCachedWalk})
 				if sum := k.Run(s, n); k.Check(n, sum) != nil {
 					b.Fatal("checksum mismatch")
 				}
@@ -64,13 +65,14 @@ func BenchmarkTable1(b *testing.B) {
 }
 
 // BenchmarkFigure13 regenerates the Figure 13 configurations: the
-// uninstrumented baseline, our prototype, and the Velodrome baseline.
-// The slowdown for a kernel is the ratio of the prototype/velodrome
-// ns/op to the baseline ns/op.
+// uninstrumented baseline, our prototype under label MHP and under the
+// cached-walk ablation, and the Velodrome baseline. The slowdown for a
+// kernel is the ratio of the checker ns/op to the baseline ns/op.
 func BenchmarkFigure13(b *testing.B) {
 	configs := []harness.Config{
 		harness.Baseline(0),
-		harness.Prototype(0),
+		harness.PrototypeLabels(0),
+		harness.PrototypeCachedLCA(0),
 		harness.Velodrome(0),
 	}
 	for _, cfg := range configs {
@@ -150,9 +152,11 @@ func BenchmarkTraceReplay(b *testing.B) {
 	})
 }
 
-// BenchmarkDPSTQueries isolates the cost of Par queries on a large tree,
-// the operation the array layout optimizes (Figure 14's mechanism).
+// BenchmarkDPSTQueries isolates the cost of Par queries on a large tree
+// under each query mode: the label comparison, the raw tree walk
+// (Figure 14's mechanism), and the memoized walk.
 func BenchmarkDPSTQueries(b *testing.B) {
+	modes := []dpst.QueryMode{dpst.ModeLabels, dpst.ModeWalk, dpst.ModeCachedWalk}
 	for _, layout := range []dpst.Layout{dpst.ArrayLayout, dpst.LinkedLayout} {
 		layout := layout
 		b.Run(layout.String(), func(b *testing.B) {
@@ -166,12 +170,17 @@ func BenchmarkDPSTQueries(b *testing.B) {
 				steps = append(steps, tree.NewNode(a, dpst.Step, int32(d)))
 				parent = tree.NewNode(parent, dpst.Finish, 0)
 			}
-			q := dpst.NewQuery(tree, false) // uncached: measure the walk
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				a := steps[i%len(steps)]
-				c := steps[(i*7+13)%len(steps)]
-				_ = q.Par(a, c)
+			for _, mode := range modes {
+				mode := mode
+				b.Run(mode.String(), func(b *testing.B) {
+					q := dpst.NewQueryMode(tree, mode)
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						a := steps[i%len(steps)]
+						c := steps[(i*7+13)%len(steps)]
+						_ = q.Par(a, c)
+					}
+				})
 			}
 		})
 	}

@@ -5,11 +5,14 @@
 //
 // Usage:
 //
-//	avd-bench [-figure 13|14|all] [-workers N] [-scale F] [-reps N]
+//	avd-bench [-figure 13|14|all] [-workers N] [-scale F] [-reps N] [-json PATH]
 //
 // As in the paper, each benchmark is executed repeatedly and the average
 // is reported; absolute times depend on this machine, but the shape —
-// who wins and by roughly what factor — should match the paper.
+// who wins and by roughly what factor — should match the paper. With
+// -json the selected figure's raw measurements (wall times, slowdowns,
+// geomeans) are additionally written to PATH as indented JSON; when
+// -figure all, the JSON carries Figure 13.
 package main
 
 import (
@@ -28,6 +31,7 @@ func main() {
 	workers := flag.Int("workers", 0, "worker threads (0 = GOMAXPROCS)")
 	scale := flag.Float64("scale", 1, "problem-size multiplier")
 	reps := flag.Int("reps", 3, "repetitions per measurement (the paper uses 5)")
+	jsonPath := flag.String("json", "", "also write the figure's measurements to this file as JSON")
 	flag.Parse()
 
 	if *ablation != "" {
@@ -42,24 +46,37 @@ func main() {
 		return
 	}
 
+	// render measures one figure, prints it, and remembers its data for
+	// the optional JSON dump.
+	var jsonData *harness.FigureData
+	render := func(title string, data func(int, float64, int) (*harness.FigureData, error), keep bool) {
+		d, err := data(*workers, *scale, *reps)
+		if err != nil {
+			log.Fatal(err)
+		}
+		harness.RenderFigure(os.Stdout, title, d)
+		if keep {
+			jsonData = d
+		}
+	}
+
 	switch *figure {
 	case "13":
-		if err := harness.Figure13(os.Stdout, *workers, *scale, *reps); err != nil {
-			log.Fatal(err)
-		}
+		render(harness.Figure13Title, harness.Figure13Data, true)
 	case "14":
-		if err := harness.Figure14(os.Stdout, *workers, *scale, *reps); err != nil {
-			log.Fatal(err)
-		}
+		render(harness.Figure14Title, harness.Figure14Data, true)
 	case "all":
-		if err := harness.Figure13(os.Stdout, *workers, *scale, *reps); err != nil {
-			log.Fatal(err)
-		}
+		render(harness.Figure13Title, harness.Figure13Data, true)
 		fmt.Println()
-		if err := harness.Figure14(os.Stdout, *workers, *scale, *reps); err != nil {
-			log.Fatal(err)
-		}
+		render(harness.Figure14Title, harness.Figure14Data, false)
 	default:
 		log.Fatalf("unknown -figure %q (want 13, 14, or all)", *figure)
+	}
+
+	if *jsonPath != "" && jsonData != nil {
+		if err := jsonData.WriteJSON(*jsonPath); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nwrote %s\n", *jsonPath)
 	}
 }

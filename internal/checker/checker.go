@@ -182,54 +182,102 @@ func New(opts Options) Checker {
 	return newOptimized(opts)
 }
 
-// shadow is the sharded shadow memory mapping locations to metadata
-// cells. The value type is generic over the two checkers' cell types.
-// Cells are bump-allocated from per-shard chunks: one heap allocation
-// per 256 locations instead of one per location, which matters for
-// workloads that touch each location only once (blackscholes).
+// shadow is the shadow memory mapping locations to metadata cells. The
+// value type is generic over the two checkers' cell types.
+//
+// Location IDs are allocated densely by the runtime, so the map is an
+// atomic two-level table rather than a locked hash map: a fixed top-level
+// directory indexed by the location's high bits holds atomically
+// published leaves, and each leaf holds atomically published cell
+// pointers. The steady-state lookup — by far the hottest checker
+// operation after the MHP query itself — is therefore two dependent
+// atomic loads with no lock, no hashing, and no interface dispatch. The
+// slow path keeps the bump allocator: one heap allocation per 256
+// locations instead of one per location, which matters for workloads
+// that touch each location only once (blackscholes).
 type shadow[C any] struct {
-	shards [64]shadowShard[C]
-	count  atomic.Int64
+	top   [shadowTopSize]atomic.Pointer[shadowLeaf[C]]
+	count atomic.Int64
 	// initC initializes a freshly allocated cell; may be nil when the
 	// zero value is ready to use.
 	initC func(*C)
-}
 
-type shadowShard[C any] struct {
-	mu    sync.RWMutex
-	m     map[sched.Loc]*C
+	mu    sync.Mutex // guards the slow path: leaf creation and the allocator
 	chunk []C
 	used  int
+	far   map[sched.Loc]*C // overflow for IDs beyond the direct-index range
 }
 
-const shadowChunk = 256
+type shadowLeaf[C any] struct {
+	cells [shadowLeafSize]atomic.Pointer[C]
+}
+
+const (
+	shadowChunk = 256
+
+	shadowLeafBits = 12 // 4096 cells per leaf
+	shadowLeafSize = 1 << shadowLeafBits
+	shadowLeafMask = shadowLeafSize - 1
+
+	// shadowTopSize bounds the directory: 1<<15 leaves of 1<<12 cells
+	// direct-index 2^27 locations in 256 KiB of pointers; anything
+	// beyond falls back to a locked overflow map.
+	shadowTopSize = 1 << 15
+)
 
 func (s *shadow[C]) cell(loc sched.Loc) *C {
-	sh := &s.shards[uint64(loc)%64]
-	sh.mu.RLock()
-	c, ok := sh.m[loc]
-	sh.mu.RUnlock()
-	if ok {
+	if li := uint64(loc) >> shadowLeafBits; li < shadowTopSize {
+		if leaf := s.top[li].Load(); leaf != nil {
+			if c := leaf.cells[uint64(loc)&shadowLeafMask].Load(); c != nil {
+				return c
+			}
+		}
+	}
+	return s.cellSlow(loc)
+}
+
+func (s *shadow[C]) cellSlow(loc sched.Loc) *C {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	li := uint64(loc) >> shadowLeafBits
+	if li >= shadowTopSize {
+		if c, ok := s.far[loc]; ok {
+			return c
+		}
+		if s.far == nil {
+			s.far = make(map[sched.Loc]*C)
+		}
+		c := s.alloc()
+		s.far[loc] = c
 		return c
 	}
-	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	if c, ok = sh.m[loc]; ok {
+	leaf := s.top[li].Load()
+	if leaf == nil {
+		leaf = new(shadowLeaf[C])
+		s.top[li].Store(leaf)
+	}
+	slot := &leaf.cells[uint64(loc)&shadowLeafMask]
+	if c := slot.Load(); c != nil {
 		return c
 	}
-	if sh.m == nil {
-		sh.m = make(map[sched.Loc]*C, shadowChunk)
+	c := s.alloc()
+	// The atomic publish orders the cell's initialization before any
+	// fast-path reader can observe the pointer.
+	slot.Store(c)
+	return c
+}
+
+// alloc bump-allocates and initializes a fresh cell; callers hold s.mu.
+func (s *shadow[C]) alloc() *C {
+	if s.used == len(s.chunk) {
+		s.chunk = make([]C, shadowChunk)
+		s.used = 0
 	}
-	if sh.used == len(sh.chunk) {
-		sh.chunk = make([]C, shadowChunk)
-		sh.used = 0
-	}
-	c = &sh.chunk[sh.used]
-	sh.used++
+	c := &s.chunk[s.used]
+	s.used++
 	if s.initC != nil {
 		s.initC(c)
 	}
-	sh.m[loc] = c
 	s.count.Add(1)
 	return c
 }

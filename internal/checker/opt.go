@@ -134,13 +134,17 @@ type localEntry struct {
 
 // localSpace is a task's local metadata, kept in Task.Local. Besides the
 // per-location entries it holds a task-private front cache for Par
-// results: the same step pair is queried for many locations in a row
-// (e.g. a merge step against the previous level's steps for every array
-// element), and the private map answers those repeats without touching
-// the shared cache. Entries: 1 = serial, 2 = parallel.
+// results (entries: 1 = serial, 2 = parallel), created only in the
+// cached-walk query mode: the same step pair is queried for many
+// locations in a row (e.g. a merge step against the previous level's
+// steps for every array element), and the private map answers those
+// repeats without touching the shared cache. In label mode a query is
+// cheaper than the map hit, so no front cache is kept. rep is the task's
+// private violation buffer, created on its first report.
 type localSpace struct {
 	m     map[sched.Loc]*localEntry
 	par   map[uint64]int8
+	rep   *reportBuffer
 	chunk []localEntry
 	used  int
 }
@@ -187,7 +191,10 @@ func (c *Optimized) local(ts TaskState, loc sched.Loc) (*localSpace, *localEntry
 	slot := ts.LocalSlot()
 	ls, ok := (*slot).(*localSpace)
 	if !ok {
-		ls = &localSpace{m: make(map[sched.Loc]*localEntry), par: make(map[uint64]int8)}
+		ls = &localSpace{m: make(map[sched.Loc]*localEntry)}
+		if c.q.Caching() {
+			ls.par = make(map[uint64]int8)
+		}
 		*slot = ls
 	}
 	e, ok := ls.m[loc]
@@ -264,7 +271,10 @@ func (c *Optimized) checkTriple(sp *localSpace, loc sched.Loc, patStep dpst.Node
 		return
 	}
 	tr := c.q.Tree()
-	c.rep.Report(Violation{
+	if sp.rep == nil {
+		sp.rep = c.rep.buffer()
+	}
+	sp.rep.report(Violation{
 		Loc:             loc,
 		PatternStep:     patStep,
 		InterleaverStep: inter,

@@ -39,12 +39,45 @@ func (v Violation) String() string {
 
 // Reporter collects violations, deduplicating identical triples. It is
 // safe for concurrent use.
+//
+// Recording is buffered: each reporting task obtains its own
+// reportBuffer (via buffer) whose report path deduplicates locally under
+// a private, uncontended mutex, so the instrumented hot path never
+// serializes on Reporter-wide state. Buffers are merged — cross-buffer
+// deduplicated, capped at the retention limit — whenever results are
+// read with Violations or Count. The plain Report method remains for
+// unbuffered callers (the basic checker, tests) and writes through an
+// internal buffer of its own.
 type Reporter struct {
+	mu    sync.Mutex
+	bufs  []*reportBuffer
+	own   *reportBuffer // buffer backing direct Report calls
+	limit int
+}
+
+// reportBuffer is one producer's private dedup buffer. The mutex is
+// owned by a single reporting task in practice; it exists so merges can
+// run concurrently with late reports.
+type reportBuffer struct {
 	mu    sync.Mutex
 	seen  map[Violation]struct{}
 	list  []Violation
+	extra int64 // reports beyond the local retention cap (not deduped)
 	limit int
-	total int64
+}
+
+// report records a violation in the buffer, ignoring local duplicates.
+func (b *reportBuffer) report(v Violation) {
+	b.mu.Lock()
+	if _, dup := b.seen[v]; !dup {
+		if len(b.seen) < b.limit {
+			b.seen[v] = struct{}{}
+			b.list = append(b.list, v)
+		} else {
+			b.extra++
+		}
+	}
+	b.mu.Unlock()
 }
 
 // NewReporter creates a reporter retaining at most limit distinct
@@ -53,29 +86,63 @@ func NewReporter(limit int) *Reporter {
 	if limit <= 0 {
 		limit = 1 << 16
 	}
-	return &Reporter{seen: make(map[Violation]struct{}), limit: limit}
+	return &Reporter{limit: limit}
+}
+
+// buffer registers and returns a fresh private buffer. Called once per
+// reporting task, on its first violation.
+func (r *Reporter) buffer() *reportBuffer {
+	b := &reportBuffer{seen: make(map[Violation]struct{}), limit: r.limit}
+	r.mu.Lock()
+	r.bufs = append(r.bufs, b)
+	r.mu.Unlock()
+	return b
 }
 
 // Report records a violation, ignoring duplicates.
 func (r *Reporter) Report(v Violation) {
 	r.mu.Lock()
-	defer r.mu.Unlock()
-	if _, dup := r.seen[v]; dup {
-		return
+	if r.own == nil {
+		b := &reportBuffer{seen: make(map[Violation]struct{}), limit: r.limit}
+		r.bufs = append(r.bufs, b)
+		r.own = b
 	}
-	r.total++
-	if len(r.seen) < r.limit {
-		r.seen[v] = struct{}{}
-		r.list = append(r.list, v)
+	b := r.own
+	r.mu.Unlock()
+	b.report(v)
+}
+
+// merge folds every buffer into one deduplicated view: the retained list
+// (capped at the limit, first-merged wins) and the distinct total,
+// including an estimate for reports beyond per-buffer retention.
+func (r *Reporter) merge() ([]Violation, int64) {
+	r.mu.Lock()
+	bufs := append([]*reportBuffer(nil), r.bufs...)
+	r.mu.Unlock()
+	seen := make(map[Violation]struct{})
+	var list []Violation
+	var extra int64
+	for _, b := range bufs {
+		b.mu.Lock()
+		for _, v := range b.list {
+			if _, dup := seen[v]; dup {
+				continue
+			}
+			seen[v] = struct{}{}
+			if len(list) < r.limit {
+				list = append(list, v)
+			}
+		}
+		extra += b.extra
+		b.mu.Unlock()
 	}
+	return list, int64(len(seen)) + extra
 }
 
 // Violations returns the distinct recorded violations, ordered by
 // location then steps for determinism.
 func (r *Reporter) Violations() []Violation {
-	r.mu.Lock()
-	out := append([]Violation(nil), r.list...)
-	r.mu.Unlock()
+	out, _ := r.merge()
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]
 		if a.Loc != b.Loc {
@@ -95,9 +162,8 @@ func (r *Reporter) Violations() []Violation {
 // Count returns the number of distinct violations reported, including
 // any beyond the retention limit.
 func (r *Reporter) Count() int64 {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.total
+	_, total := r.merge()
+	return total
 }
 
 // Empty reports whether nothing was reported.

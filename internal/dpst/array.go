@@ -22,6 +22,7 @@ const (
 // of the paper.
 type arrayNode struct {
 	parent   NodeID
+	label    []uint32 // path label, stamped at creation (labels.go)
 	depth    int32
 	rank     int32
 	children int32 // child counter, maintained by the owning task
@@ -39,6 +40,7 @@ type ArrayTree struct {
 	chunks [maxChunks]atomic.Pointer[arrayChunk]
 	next   atomic.Int64
 	grow   sync.Mutex
+	labels labelArena
 }
 
 // NewArrayTree returns an empty array-layout DPST.
@@ -74,12 +76,14 @@ func (t *ArrayTree) NewNode(parent NodeID, kind Kind, task int32) NodeID {
 		n.parent = None
 		n.depth = 0
 		n.rank = 0
+		n.label = nil
 	} else {
 		p := t.node(parent)
 		n.parent = parent
 		n.depth = p.depth + 1
 		n.rank = p.children
 		p.children++
+		n.label = t.labels.extend(task, p.label, labelComponent(n.rank, kind))
 	}
 	return id
 }
@@ -98,6 +102,9 @@ func (t *ArrayTree) Rank(id NodeID) int32 { return t.node(id).rank }
 
 // Task implements Tree.
 func (t *ArrayTree) Task(id NodeID) int32 { return t.node(id).task }
+
+// Label implements Tree.
+func (t *ArrayTree) Label(id NodeID) []uint32 { return t.node(id).label }
 
 // Len implements Tree.
 func (t *ArrayTree) Len() int { return int(t.next.Load()) }

@@ -82,6 +82,10 @@ type Tree interface {
 	Rank(id NodeID) int32
 	// Task returns the ID of the task that created id.
 	Task(id NodeID) int32
+	// Label returns the node's path label: one packed (rank, kind)
+	// component per root-path edge, stamped at creation (see labels.go).
+	// The returned slice is immutable and safe for concurrent reads.
+	Label(id NodeID) []uint32
 	// Len returns the number of nodes created so far.
 	Len() int
 }

@@ -1,0 +1,108 @@
+package dpst
+
+import "sync"
+
+// Path labels give every DPST node a compact encoding of its root path so
+// that may-happen-in-parallel and LCA depth are answered by comparing two
+// arrays up to their first divergence — no parent chasing, no shared
+// cache, no synchronization on the query path. The scheme follows DePa
+// (Westrick et al., PPoPP 2022), which shows fork-join MHP is decidable
+// from per-node path labels alone, specialized here to the DPST's
+// three-kind ordered tree.
+//
+// A node at depth d carries a label of d packed uint32 components; the
+// j-th component describes the path node at depth j+1: its sibling rank
+// in the upper 30 bits and its Kind in the low 2 bits. Because siblings
+// have distinct ranks, the first index at which two labels differ is
+// exactly the depth of their least common ancestor, and the two differing
+// components are the LCA's children on the two paths — rank order picks
+// the left child and the packed kind tells whether it is an async node,
+// which is the entire DMHP criterion. One array scan therefore answers
+// Par and LCA depth together in O(LCA depth) with zero shared state.
+//
+// Labels are immutable once published. Each child label is the parent's
+// label plus one component, copied into storage carved from per-shard
+// bump-allocated chunks: label construction costs one short lock on a
+// shard chosen by the creating task (node creation is per-task, so
+// contention is rare) and no per-node heap allocation in steady state.
+
+const (
+	// labelKindBits is the width of the Kind field in a packed component.
+	labelKindBits = 2
+	labelKindMask = 1<<labelKindBits - 1
+
+	// labelArenaShards spreads label allocation across independently
+	// locked bump arenas; tasks hash onto shards by ID.
+	labelArenaShards = 32
+
+	// labelChunkWords is the allocation unit of a label arena shard.
+	labelChunkWords = 1 << 14
+)
+
+// labelComponent packs a node's sibling rank and kind into one uint32.
+func labelComponent(rank int32, kind Kind) uint32 {
+	if uint32(rank) >= 1<<(32-labelKindBits) {
+		panic("dpst: sibling rank exceeds path-label capacity")
+	}
+	return uint32(rank)<<labelKindBits | uint32(kind)
+}
+
+// labelShard is one independently locked bump allocator for label
+// storage, padded to a cache line so shard locks do not false-share.
+type labelShard struct {
+	mu  sync.Mutex
+	buf []uint32
+	_   [64 - 8 - 24]byte
+}
+
+// labelArena hands out immutable label slices from per-shard chunks.
+type labelArena struct {
+	shards [labelArenaShards]labelShard
+}
+
+// extend returns parent's label with comp appended, in freshly carved
+// storage owned by the new node. The copy happens outside the shard lock:
+// the carved region is exclusively the caller's once the cursor moved.
+func (a *labelArena) extend(task int32, parent []uint32, comp uint32) []uint32 {
+	n := len(parent) + 1
+	sh := &a.shards[uint32(task)&(labelArenaShards-1)]
+	sh.mu.Lock()
+	if len(sh.buf) < n {
+		size := labelChunkWords
+		if size < n {
+			size = n
+		}
+		sh.buf = make([]uint32, size)
+	}
+	lab := sh.buf[:n:n]
+	sh.buf = sh.buf[n:]
+	sh.mu.Unlock()
+	copy(lab, parent)
+	lab[n-1] = comp
+	return lab
+}
+
+// ParLabels answers the DMHP query and the LCA depth of a and b in one
+// pass over their path labels: the nodes may happen in parallel iff the
+// left child of their least common ancestor on the two paths is an async
+// node. When one node is the other (or an ancestor of the other) the pair
+// is serial and the LCA depth is the shallower node's depth. ParLabels is
+// equivalent to ComputePar plus LCADepth (the tree-walk oracle, kept for
+// differential testing) but touches no shared mutable state.
+func ParLabels(t Tree, a, b NodeID) (parallel bool, lcaDepth int32) {
+	la, lb := t.Label(a), t.Label(b)
+	n := len(la)
+	if len(lb) < n {
+		n = len(lb)
+	}
+	for i := 0; i < n; i++ {
+		if ca, cb := la[i], lb[i]; ca != cb {
+			left := ca
+			if cb>>labelKindBits < ca>>labelKindBits {
+				left = cb
+			}
+			return Kind(left&labelKindMask) == Async, int32(i)
+		}
+	}
+	return false, int32(n)
+}

@@ -1,0 +1,150 @@
+package dpst_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/taskpar/avd/internal/dpst"
+	"github.com/taskpar/avd/internal/sptest"
+)
+
+// TestLabelStructure checks the stamping invariants directly: the root
+// label is empty, and every other node's label is its parent's label
+// extended by one component carrying the node's rank and kind.
+func TestLabelStructure(t *testing.T) {
+	for _, layout := range layouts() {
+		layout := layout
+		t.Run(layout.String(), func(t *testing.T) {
+			r := rand.New(rand.NewSource(11))
+			p := sptest.Random(r, sptest.GenConfig{MaxItems: 5, MaxDepth: 4, MaxSteps: 30})
+			b := sptest.Build(layout, p)
+			tree := b.Tree
+			for id := dpst.NodeID(0); int(id) < tree.Len(); id++ {
+				lab := tree.Label(id)
+				if tree.Parent(id) == dpst.None {
+					if len(lab) != 0 {
+						t.Fatalf("root %d has non-empty label %v", id, lab)
+					}
+					continue
+				}
+				parent := tree.Label(tree.Parent(id))
+				if len(lab) != len(parent)+1 {
+					t.Fatalf("node %d: label length %d, parent's %d", id, len(lab), len(parent))
+				}
+				for i := range parent {
+					if lab[i] != parent[i] {
+						t.Fatalf("node %d: label %v does not extend parent label %v", id, lab, parent)
+					}
+				}
+				last := lab[len(lab)-1]
+				if got := int32(last >> 2); got != tree.Rank(id) {
+					t.Fatalf("node %d: label rank %d, tree rank %d", id, got, tree.Rank(id))
+				}
+				if got := dpst.Kind(last & 3); got != tree.Kind(id) {
+					t.Fatalf("node %d: label kind %v, tree kind %v", id, got, tree.Kind(id))
+				}
+				if int32(len(lab)) != tree.Depth(id) {
+					t.Fatalf("node %d: label length %d, depth %d", id, len(lab), tree.Depth(id))
+				}
+			}
+		})
+	}
+}
+
+// TestParLabelsMatchesWalk is the differential property test of the
+// label-based MHP: on random structured programs, for every pair of step
+// nodes and both layouts, ParLabels must agree with the ComputePar tree
+// walk on parallelism and with LCADepth on the LCA depth.
+func TestParLabelsMatchesWalk(t *testing.T) {
+	for _, layout := range layouts() {
+		layout := layout
+		t.Run(layout.String(), func(t *testing.T) {
+			r := rand.New(rand.NewSource(42))
+			for trial := 0; trial < 150; trial++ {
+				p := sptest.Random(r, sptest.GenConfig{
+					MaxItems: 4, MaxDepth: 4, MaxSteps: 25,
+				})
+				b := sptest.Build(layout, p)
+				steps := p.Steps()
+				for i := range steps {
+					for j := range steps {
+						na, nb := b.Steps[steps[i].ID], b.Steps[steps[j].ID]
+						par, depth := dpst.ParLabels(b.Tree, na, nb)
+						if na != nb {
+							if want := dpst.ComputePar(b.Tree, na, nb); par != want {
+								t.Fatalf("trial %d: ParLabels(%d,%d) par = %v, walk says %v",
+									trial, na, nb, par, want)
+							}
+						} else if par {
+							t.Fatalf("trial %d: ParLabels(%d,%d) claims a node parallel to itself", trial, na, nb)
+						}
+						if want := dpst.LCADepth(b.Tree, na, nb); depth != want {
+							t.Fatalf("trial %d: ParLabels(%d,%d) depth = %d, LCADepth says %d",
+								trial, na, nb, depth, want)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestLabelQueryMatchesOracle runs a ModeLabels Query against fork-join
+// DAG reachability on random programs and checks the Table 1 counters:
+// every Par call is counted as an LCA query, and no uniqueness is
+// tracked because no cache is consulted.
+func TestLabelQueryMatchesOracle(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 100; trial++ {
+		p := sptest.Random(r, sptest.GenConfig{MaxItems: 4, MaxDepth: 4, MaxSteps: 25})
+		b := sptest.Build(dpst.ArrayLayout, p)
+		q := dpst.NewQueryMode(b.Tree, dpst.ModeLabels)
+		if q.Mode() != dpst.ModeLabels || q.Caching() {
+			t.Fatal("label query must report its mode and no caching")
+		}
+		steps := p.Steps()
+		var calls int64
+		for i := range steps {
+			for j := range steps {
+				a, c := steps[i].ID, steps[j].ID
+				got := q.Par(b.Steps[a], b.Steps[c])
+				// Distinct program steps may share one DPST step node;
+				// Par only counts queries over distinct nodes.
+				if b.Steps[a] != b.Steps[c] {
+					calls++
+				}
+				if want := b.Parallel(a, c); got != want {
+					t.Fatalf("trial %d: Par(step %d, step %d) = %v, oracle says %v", trial, a, c, got, want)
+				}
+			}
+		}
+		st := q.Stats()
+		if st.LCAQueries != calls {
+			t.Fatalf("trial %d: counted %d LCA queries, want %d", trial, st.LCAQueries, calls)
+		}
+		if st.UniqueLCAs != 0 {
+			t.Fatalf("trial %d: label mode tracked %d unique LCAs, want 0", trial, st.UniqueLCAs)
+		}
+	}
+}
+
+// TestPairDepthModesAgree checks the spanning-pair replacement input: the
+// label-mode PairDepth equals the walk-based one for every step pair.
+func TestPairDepthModesAgree(t *testing.T) {
+	r := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 60; trial++ {
+		p := sptest.Random(r, sptest.GenConfig{MaxItems: 4, MaxDepth: 3, MaxSteps: 20})
+		b := sptest.Build(dpst.ArrayLayout, p)
+		ql := dpst.NewQueryMode(b.Tree, dpst.ModeLabels)
+		qw := dpst.NewQueryMode(b.Tree, dpst.ModeCachedWalk)
+		steps := p.Steps()
+		for i := range steps {
+			for j := range steps {
+				na, nb := b.Steps[steps[i].ID], b.Steps[steps[j].ID]
+				if dl, dw := ql.PairDepth(na, nb), qw.PairDepth(na, nb); dl != dw {
+					t.Fatalf("trial %d: PairDepth(%d,%d) label %d vs walk %d", trial, na, nb, dl, dw)
+				}
+			}
+		}
+	}
+}

@@ -8,6 +8,7 @@ import "sync/atomic"
 // which costs locality and allocator pressure relative to ArrayTree.
 type linkedNode struct {
 	parent   *linkedNode
+	label    []uint32 // path label, stamped at creation (labels.go)
 	id       NodeID
 	depth    int32
 	rank     int32
@@ -25,6 +26,7 @@ type linkedChunk [chunkSize]*linkedNode
 type LinkedTree struct {
 	chunks [maxChunks]atomic.Pointer[linkedChunk]
 	next   atomic.Int64
+	labels labelArena
 }
 
 // NewLinkedTree returns an empty linked-layout DPST.
@@ -56,6 +58,7 @@ func (t *LinkedTree) NewNode(parent NodeID, kind Kind, task int32) NodeID {
 		n.depth = p.depth + 1
 		n.rank = p.children
 		p.children++
+		n.label = t.labels.extend(task, p.label, labelComponent(n.rank, kind))
 	}
 	t.chunks[ci].Load()[id&chunkMask] = n
 	return id
@@ -81,6 +84,9 @@ func (t *LinkedTree) Rank(id NodeID) int32 { return t.node(id).rank }
 
 // Task implements Tree.
 func (t *LinkedTree) Task(id NodeID) int32 { return t.node(id).task }
+
+// Label implements Tree.
+func (t *LinkedTree) Label(id NodeID) []uint32 { return t.node(id).label }
 
 // Len implements Tree.
 func (t *LinkedTree) Len() int { return int(t.next.Load()) }

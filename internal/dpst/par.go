@@ -1,6 +1,7 @@
 package dpst
 
 import (
+	"runtime"
 	"sync"
 	"sync/atomic"
 )
@@ -8,7 +9,9 @@ import (
 // Stats aggregates the DPST measurements reported in Table 1 of the
 // paper: the number of nodes in the tree, the number of least common
 // ancestor queries issued by the checker, and how many of those queries
-// were unique (i.e., missed the LCA cache).
+// were unique (i.e., missed the LCA cache). Unique counts are only
+// meaningful in the walk-based modes; the label mode consults no cache,
+// so every query costs the same and UniqueLCAs stays 0.
 type Stats struct {
 	Nodes      int
 	LCAQueries int64
@@ -42,35 +45,92 @@ type counterStripe struct {
 	_ [56]byte
 }
 
-// Query answers may-happen-in-parallel (DMHP) queries over a DPST and
-// memoizes LCA results, the caching optimization described in Section 4
-// of the paper. A Query is safe for concurrent use.
-type Query struct {
-	tree    Tree
-	caching bool
-	queries [8]counterStripe
-	unique  atomic.Int64
-	shards  [lcaShards]lcaShard
+// QueryMode selects the mechanism answering may-happen-in-parallel
+// queries; the modes are observationally equivalent (asserted by the
+// differential tests in labels_test.go) and differ only in cost model.
+type QueryMode uint8
+
+// Available query modes.
+const (
+	// ModeLabels answers Par and PairDepth by comparing the two nodes'
+	// path labels up to their first divergence: O(LCA depth), no shared
+	// mutable state, no locks. The default.
+	ModeLabels QueryMode = iota
+	// ModeCachedWalk performs the LCA tree walk and memoizes results in
+	// a 256-way sharded map — the paper's Section 4 configuration, kept
+	// as a selectable ablation (and for faithful Table 1 uniqueness
+	// statistics).
+	ModeCachedWalk
+	// ModeWalk recomputes the tree walk on every query, isolating the
+	// raw traversal cost for the Figure 14 ablation.
+	ModeWalk
+)
+
+// String names the query mode as used in the harness configurations.
+func (m QueryMode) String() string {
+	switch m {
+	case ModeLabels:
+		return "labels"
+	case ModeCachedWalk:
+		return "cached-walk"
+	default:
+		return "walk"
+	}
 }
 
-// NewQuery returns a Query over tree. When caching is false every query
-// recomputes the tree walk, which isolates the cost of LCA traversals for
-// the ablation experiments.
+// Query answers may-happen-in-parallel (DMHP) queries over a DPST. In
+// the default label mode each query is a lock-free label comparison; the
+// walk modes reproduce the paper's LCA traversal with and without the
+// sharded memoization cache (Section 4). A Query is safe for concurrent
+// use.
+type Query struct {
+	tree       Tree
+	mode       QueryMode
+	stripeMask uint64
+	queries    []counterStripe
+	unique     atomic.Int64
+	shards     [lcaShards]lcaShard
+}
+
+// NewQuery returns a walk-based Query over tree, preserving the historic
+// two-state constructor: caching selects ModeCachedWalk, otherwise every
+// query recomputes the tree walk (ModeWalk).
 func NewQuery(tree Tree, caching bool) *Query {
-	q := &Query{tree: tree, caching: caching}
+	if caching {
+		return NewQueryMode(tree, ModeCachedWalk)
+	}
+	return NewQueryMode(tree, ModeWalk)
+}
+
+// NewQueryMode returns a Query over tree answering in the given mode.
+func NewQueryMode(tree Tree, mode QueryMode) *Query {
+	q := &Query{tree: tree, mode: mode}
+	// Size the counter stripes to a power of two covering the worker
+	// count (clamped to [8, 32]) so concurrent increments spread across
+	// cache lines even on wide machines.
+	n := 8
+	for n < runtime.GOMAXPROCS(0) && n < 32 {
+		n <<= 1
+	}
+	q.queries = make([]counterStripe, n)
+	q.stripeMask = uint64(n - 1)
 	for i := range q.shards {
 		q.shards[i].m = make(map[uint64]bool)
 	}
 	return q
 }
 
-// PairDepth returns the depth of LCA(a, b). The walk is allocation-free
-// and roughly as cheap as a cache lookup, so it is computed directly; it
-// supports the spanning-pair replacement rule and is not counted as an
-// LCA query in the Table 1 statistics.
+// PairDepth returns the depth of LCA(a, b). In label mode it falls out
+// of the same label comparison that answers Par; the walk modes traverse
+// the tree. It supports the spanning-pair replacement rule and is not
+// counted as an LCA query in the Table 1 statistics.
 func (q *Query) PairDepth(a, b NodeID) int32 {
 	if a == None || b == None {
 		return 0
+	}
+	if q.mode == ModeLabels {
+		_, d := ParLabels(q.tree, a, b)
+		return d
 	}
 	return LCADepth(q.tree, a, b)
 }
@@ -78,14 +138,18 @@ func (q *Query) PairDepth(a, b NodeID) int32 {
 // Tree returns the underlying DPST.
 func (q *Query) Tree() Tree { return q.tree }
 
-// Caching reports whether LCA results are memoized; callers layering
-// their own caches should bypass them when this is false.
-func (q *Query) Caching() bool { return q.caching }
+// Mode returns the query-answering mode.
+func (q *Query) Mode() QueryMode { return q.mode }
+
+// Caching reports whether LCA results are memoized in the shared cache;
+// callers layering their own caches should bypass them otherwise (in
+// label mode a query is cheaper than a front-cache map hit).
+func (q *Query) Caching() bool { return q.mode == ModeCachedWalk }
 
 // CountQuery records an LCA query that was answered from a caller-side
 // cache layer, keeping the Table 1 query statistics faithful.
 func (q *Query) CountQuery(a, b NodeID) {
-	q.queries[uint64(a^b)%8].n.Add(1)
+	q.queries[mix64(pairKey(a, b))&q.stripeMask].n.Add(1)
 }
 
 // PairKey returns the canonical cache key of an unordered node pair.
@@ -111,6 +175,18 @@ func pairKey(a, b NodeID) uint64 {
 	return uint64(uint32(a))<<32 | uint64(uint32(b))
 }
 
+// mix64 is the splitmix64 finalizer: a full-avalanche mix so that hot
+// symmetric pairs (whose raw keys share low bits) spread across counter
+// stripes instead of colliding on one cache line.
+func mix64(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
 // Par reports whether the two step nodes can logically execute in
 // parallel in some schedule of the recorded execution. Identical nodes
 // and ancestor/descendant pairs are serial by definition.
@@ -118,8 +194,12 @@ func (q *Query) Par(a, b NodeID) bool {
 	if a == b || a == None || b == None {
 		return false
 	}
-	q.queries[uint64(a^b)%8].n.Add(1)
-	if !q.caching {
+	q.CountQuery(a, b)
+	switch q.mode {
+	case ModeLabels:
+		par, _ := ParLabels(q.tree, a, b)
+		return par
+	case ModeWalk:
 		q.unique.Add(1)
 		return ComputePar(q.tree, a, b)
 	}
@@ -144,7 +224,8 @@ func (q *Query) Par(a, b NodeID) bool {
 // ComputePar performs the uncached DMHP tree walk: it locates the least
 // common ancestor of a and b and the two children of the LCA on the paths
 // to a and b, and reports parallelism iff the left such child (the one
-// with the smaller sibling rank) is an async node.
+// with the smaller sibling rank) is an async node. It is the differential
+// oracle for ParLabels.
 func ComputePar(t Tree, a, b NodeID) bool {
 	if a == b {
 		return false

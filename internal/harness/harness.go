@@ -5,9 +5,11 @@
 package harness
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"math"
+	"os"
 	"runtime"
 	"sort"
 	"strings"
@@ -29,14 +31,30 @@ func Baseline(workers int) Config {
 	return Config{Name: "baseline", Opts: avd.Options{Workers: workers, Checker: avd.CheckerNone}}
 }
 
-// Prototype is the paper's checker on the array DPST.
+// Prototype is our checker in its default configuration: the array DPST
+// with label-based MHP queries.
 func Prototype(workers int) Config {
 	return Config{Name: "our-prototype", Opts: avd.Options{Workers: workers}}
 }
 
-// PrototypeLinked is the Figure 14 ablation configuration.
+// PrototypeLabels is the default configuration under its explicit
+// Figure 13 column name: path-label MHP on the array DPST.
+func PrototypeLabels(workers int) Config {
+	return Config{Name: "avd-labels", Opts: avd.Options{Workers: workers, MHP: avd.MHPLabels}}
+}
+
+// PrototypeCachedLCA is the paper's Section 4 configuration — the LCA
+// tree walk with the sharded memoization cache — kept as the avd-array
+// comparison column and as the source of Table 1's unique-LCA counts.
+func PrototypeCachedLCA(workers int) Config {
+	return Config{Name: "avd-array", Opts: avd.Options{Workers: workers, MHP: avd.MHPCachedWalk}}
+}
+
+// PrototypeLinked is the Figure 14 linked-layout configuration. The walk
+// mode is forced because label queries never touch node memory, which
+// would make the layout comparison vacuous.
 func PrototypeLinked(workers int) Config {
-	return Config{Name: "linked-DPST", Opts: avd.Options{Workers: workers, Layout: avd.LayoutLinked}}
+	return Config{Name: "linked-DPST", Opts: avd.Options{Workers: workers, Layout: avd.LayoutLinked, MHP: avd.MHPCachedWalk}}
 }
 
 // PrototypeNoCache variants disable LCA memoization so every Par query
@@ -165,7 +183,9 @@ func Sizes(scale float64) map[string]int {
 // the unique-LCA percentage.
 func Table1(w io.Writer, workers int, scale float64, reps int) error {
 	sizes := Sizes(scale)
-	cfg := Prototype(workers)
+	// The cached-walk configuration is the one whose unique-LCA column is
+	// meaningful; the default label mode consults no cache.
+	cfg := PrototypeCachedLCA(workers)
 	fmt.Fprintf(w, "Table 1: benchmark characteristics under the atomicity checker\n")
 	fmt.Fprintf(w, "%-14s %12s %12s %12s %10s\n", "Benchmark", "Locations", "DPST nodes", "LCA queries", "% unique")
 	for _, k := range bench.All() {
@@ -184,86 +204,168 @@ func Table1(w io.Writer, workers int, scale float64, reps int) error {
 	return nil
 }
 
-// Figure13 measures the prototype and Velodrome against the baseline and
-// renders the slowdown comparison with geometric means.
-func Figure13(w io.Writer, workers int, scale float64, reps int) error {
-	sizes := Sizes(scale)
-	base := Baseline(workers)
-	ours := Prototype(workers)
-	velo := Velodrome(workers)
-	fmt.Fprintf(w, "Figure 13: execution-time slowdown vs uninstrumented baseline\n")
-	fmt.Fprintf(w, "%-14s %14s %14s\n", "Benchmark", "our-prototype", "velodrome")
-	var oursX, veloX []float64
-	for _, k := range bench.All() {
-		n := sizes[k.Name]
-		mb, err := Measure(k, base, n, reps)
-		if err != nil {
-			return err
-		}
-		mo, err := Measure(k, ours, n, reps)
-		if err != nil {
-			return err
-		}
-		mv, err := Measure(k, velo, n, reps)
-		if err != nil {
-			return err
-		}
-		so := mo.Seconds / mb.Seconds
-		sv := mv.Seconds / mb.Seconds
-		oursX = append(oursX, so)
-		veloX = append(veloX, sv)
-		fmt.Fprintf(w, "%-14s %13.2fx %13.2fx\n", k.Name, so, sv)
-	}
-	fmt.Fprintf(w, "%-14s %13.2fx %13.2fx\n", "geo.mean", GeoMean(oursX), GeoMean(veloX))
-	return nil
+// FigureResult is one (kernel, configuration) slowdown measurement in a
+// machine-readable figure report.
+type FigureResult struct {
+	Kernel   string  `json:"kernel"`
+	Config   string  `json:"config"`
+	N        int     `json:"n"`
+	WallNS   int64   `json:"wall_ns"`
+	Slowdown float64 `json:"slowdown"`
 }
 
-// Figure14 compares the array and linked DPST layouts, with the LCA
-// cache enabled (the paper's configuration) and disabled (every query
-// walks the tree, isolating the layout cost).
-func Figure14(w io.Writer, workers int, scale float64, reps int) error {
+// FigureData is the machine-readable form of a slowdown figure, suitable
+// for committing next to the text rendering (BENCH_figure13.json).
+type FigureData struct {
+	Figure  int                `json:"figure"`
+	Workers int                `json:"workers"`
+	Scale   float64            `json:"scale"`
+	Reps    int                `json:"reps"`
+	Configs []string           `json:"configs"`
+	Results []FigureResult     `json:"results"`
+	Geomean map[string]float64 `json:"geomean"`
+}
+
+// WriteJSON writes the figure data, indented, to path.
+func (d *FigureData) WriteJSON(path string) error {
+	buf, err := json.MarshalIndent(d, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
+}
+
+// figureData measures every kernel under each configuration (plus the
+// uninstrumented baseline all slowdowns are relative to) and collects
+// the results.
+func figureData(figure int, configs []Config, workers int, scale float64, reps int) (*FigureData, error) {
 	sizes := Sizes(scale)
 	base := Baseline(workers)
-	configs := []Config{
-		Prototype(workers),
-		PrototypeLinked(workers),
-		PrototypeNoCache(workers),
-		PrototypeLinkedNoCache(workers),
+	d := &FigureData{
+		Figure:  figure,
+		Workers: workers,
+		Scale:   scale,
+		Reps:    reps,
+		Geomean: make(map[string]float64),
 	}
-	fmt.Fprintf(w, "Figure 14: checker slowdown with array-based vs linked DPST\n")
-	fmt.Fprintf(w, "%-14s %12s %12s %14s %14s\n", "Benchmark",
-		"array-DPST", "linked-DPST", "array-nocache", "linked-nocache")
-	sums := make([][]float64, len(configs))
+	for _, cfg := range configs {
+		d.Configs = append(d.Configs, cfg.Name)
+	}
+	slowdowns := make(map[string][]float64)
 	for _, k := range bench.All() {
 		n := sizes[k.Name]
 		mb, err := Measure(k, base, n, reps)
 		if err != nil {
-			return err
+			return nil, err
 		}
-		fmt.Fprintf(w, "%-14s", k.Name)
-		for ci, cfg := range configs {
+		d.Results = append(d.Results, FigureResult{
+			Kernel: k.Name, Config: base.Name, N: n,
+			WallNS: int64(mb.Seconds * 1e9), Slowdown: 1,
+		})
+		for _, cfg := range configs {
 			m, err := Measure(k, cfg, n, reps)
 			if err != nil {
-				return err
+				return nil, err
 			}
 			sl := m.Seconds / mb.Seconds
-			sums[ci] = append(sums[ci], sl)
-			width := 11
-			if ci >= 2 {
-				width = 13
-			}
-			fmt.Fprintf(w, " %*.2fx", width, sl)
+			slowdowns[cfg.Name] = append(slowdowns[cfg.Name], sl)
+			d.Results = append(d.Results, FigureResult{
+				Kernel: k.Name, Config: cfg.Name, N: n,
+				WallNS: int64(m.Seconds * 1e9), Slowdown: sl,
+			})
+		}
+	}
+	for name, xs := range slowdowns {
+		d.Geomean[name] = GeoMean(xs)
+	}
+	return d, nil
+}
+
+// Figure titles shared by the text renderings here and in cmd/avd-bench.
+const (
+	Figure13Title = "Figure 13: execution-time slowdown vs uninstrumented baseline"
+	Figure14Title = "Figure 14: checker slowdown with array-based vs linked DPST"
+)
+
+// RenderFigure writes the text rendering of a slowdown figure: one row
+// per kernel, one column per configuration, and a geo.mean row.
+func RenderFigure(w io.Writer, title string, d *FigureData) {
+	fmt.Fprintln(w, title)
+	fmt.Fprintf(w, "%-14s", "Benchmark")
+	for _, name := range d.Configs {
+		fmt.Fprintf(w, " %14s", name)
+	}
+	fmt.Fprintln(w)
+	byKernel := make(map[string]map[string]float64)
+	var kernels []string
+	for _, r := range d.Results {
+		if r.Config == "baseline" {
+			continue
+		}
+		if byKernel[r.Kernel] == nil {
+			byKernel[r.Kernel] = make(map[string]float64)
+			kernels = append(kernels, r.Kernel)
+		}
+		byKernel[r.Kernel][r.Config] = r.Slowdown
+	}
+	for _, k := range kernels {
+		fmt.Fprintf(w, "%-14s", k)
+		for _, name := range d.Configs {
+			fmt.Fprintf(w, " %13.2fx", byKernel[k][name])
 		}
 		fmt.Fprintln(w)
 	}
 	fmt.Fprintf(w, "%-14s", "geo.mean")
-	for ci := range configs {
-		width := 11
-		if ci >= 2 {
-			width = 13
-		}
-		fmt.Fprintf(w, " %*.2fx", width, GeoMean(sums[ci]))
+	for _, name := range d.Configs {
+		fmt.Fprintf(w, " %13.2fx", d.Geomean[name])
 	}
 	fmt.Fprintln(w)
+}
+
+// Figure13Data measures the label-MHP prototype, the cached-walk
+// ablation, and Velodrome against the baseline.
+func Figure13Data(workers int, scale float64, reps int) (*FigureData, error) {
+	return figureData(13, []Config{
+		PrototypeLabels(workers),
+		PrototypeCachedLCA(workers),
+		Velodrome(workers),
+	}, workers, scale, reps)
+}
+
+// Figure13 measures the prototype configurations and Velodrome against
+// the baseline and renders the slowdown comparison with geometric means.
+func Figure13(w io.Writer, workers int, scale float64, reps int) error {
+	d, err := Figure13Data(workers, scale, reps)
+	if err != nil {
+		return err
+	}
+	RenderFigure(w, Figure13Title, d)
+	return nil
+}
+
+// Figure14Data measures the DPST layout ablation: the label-MHP default
+// alongside the array and linked layouts under the cached tree walk (the
+// paper's configuration) and the uncached walk (every query traverses
+// the tree, isolating the layout cost).
+func Figure14Data(workers int, scale float64, reps int) (*FigureData, error) {
+	return figureData(14, []Config{
+		PrototypeLabels(workers),
+		PrototypeCachedLCA(workers),
+		PrototypeLinked(workers),
+		PrototypeNoCache(workers),
+		PrototypeLinkedNoCache(workers),
+	}, workers, scale, reps)
+}
+
+// Figure14 compares the array and linked DPST layouts, with the LCA
+// cache enabled (the paper's configuration) and disabled (every query
+// walks the tree, isolating the layout cost), next to the label-MHP
+// default that walks no tree at all.
+func Figure14(w io.Writer, workers int, scale float64, reps int) error {
+	d, err := Figure14Data(workers, scale, reps)
+	if err != nil {
+		return err
+	}
+	RenderFigure(w, Figure14Title, d)
 	return nil
 }

@@ -108,8 +108,17 @@ func TestConfigConstructors(t *testing.T) {
 	if PrototypeLinked(2).Opts.Layout != avd.LayoutLinked {
 		t.Error("linked config wrong")
 	}
+	if PrototypeLinked(2).Opts.MHP != avd.MHPCachedWalk {
+		t.Error("linked config must force the walk so layout matters")
+	}
 	if !PrototypeNoCache(2).Opts.DisableLCACache || !PrototypeLinkedNoCache(2).Opts.DisableLCACache {
 		t.Error("nocache configs must disable the LCA cache")
+	}
+	if PrototypeLabels(2).Opts.MHP != avd.MHPLabels || PrototypeLabels(2).Name != "avd-labels" {
+		t.Error("labels config wrong")
+	}
+	if PrototypeCachedLCA(2).Opts.MHP != avd.MHPCachedWalk || PrototypeCachedLCA(2).Name != "avd-array" {
+		t.Error("cached-LCA config wrong")
 	}
 }
 
