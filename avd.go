@@ -33,6 +33,7 @@ package avd
 import (
 	"fmt"
 
+	"github.com/taskpar/avd/internal/chaos"
 	"github.com/taskpar/avd/internal/checker"
 	"github.com/taskpar/avd/internal/dpst"
 	"github.com/taskpar/avd/internal/sched"
@@ -54,6 +55,22 @@ type Loc = sched.Loc
 // Violation is a detected atomicity violation (an unserializable access
 // triple feasible in some schedule of this input).
 type Violation = checker.Violation
+
+// UsageError is the typed panic value raised on API misuse: using a
+// session after Close, or using a handle (variable, mutex, task) created
+// by one session from another.
+type UsageError = sched.UsageError
+
+// TaskPanic is one recovered task panic: the crashing task, the panic
+// value, and the stack at recovery. See Report.TaskPanics.
+type TaskPanic = sched.TaskPanic
+
+// InjectedPanic is the panic value of a chaos-injected task crash, so
+// tests can tell injected failures from genuine ones.
+type InjectedPanic = chaos.InjectedPanic
+
+// ChaosStats counts the faults the session's chaos plane has injected.
+type ChaosStats = chaos.PlaneStats
 
 // Trace is a recorded execution trace; see Options.RecordTrace,
 // Session.RecordedTrace, and ReplayTrace.
@@ -172,6 +189,72 @@ type Options struct {
 	// (Session.RecordedTrace) that can be re-analyzed offline with
 	// ReplayTrace — record once, analyze many.
 	RecordTrace bool
+	// MemoryBudget bounds the tracked bytes of analysis metadata (shadow
+	// table, metadata cells, path-label arenas, LCA cache). 0 means
+	// unlimited. When the budget is exhausted the session degrades
+	// gracefully instead of growing or failing: new locations stop being
+	// admitted, labels fall back to tree walks, the LCA cache stops
+	// filling, and the Report carries Saturated plus per-layer drop
+	// counts. The budget is never exceeded in tracked bytes.
+	MemoryBudget int64
+	// MaxViolations caps the distinct violations admitted by the
+	// reporter (0 = uncapped); excess violations are counted in
+	// Report.Drops.Violations and set Report.Saturated.
+	MaxViolations int64
+	// RecoverPanics keeps Run from re-raising panics that escape tasks:
+	// crashed tasks are recorded in Report.TaskPanics, surviving tasks
+	// still join, and the partial violation report stands.
+	RecoverPanics bool
+	// Chaos enables deterministic fault injection (forced steals,
+	// bounded delays, task panics, simulated allocation failures) for
+	// robustness testing; nil disables it.
+	Chaos *ChaosConfig
+}
+
+// ChaosConfig parameterizes the session's deterministic fault-injection
+// plane. Probabilities are in [0, 1]; zero disables that fault class.
+type ChaosConfig struct {
+	// Seed selects the deterministic decision streams.
+	Seed int64
+	// StealProb is the probability a freshly spawned task is diverted to
+	// the scheduler's shared overflow queue — a forced steal.
+	StealProb float64
+	// DelayProb is the probability a task's start is delayed by a
+	// bounded number of scheduling yields.
+	DelayProb float64
+	// MaxDelaySpins bounds one injected delay (default 64 yields).
+	MaxDelaySpins int
+	// PanicProb is the probability a task's body is replaced by an
+	// injected panic (the root task is exempt).
+	PanicProb float64
+	// AllocFailProb is the probability a gated metadata allocation is
+	// denied, simulating memory pressure.
+	AllocFailProb float64
+}
+
+// plane builds the internal fault plane (nil when c is nil or all-zero).
+func (c *ChaosConfig) plane() *chaos.Plane {
+	if c == nil {
+		return nil
+	}
+	return chaos.New(chaos.Config{
+		Seed:          c.Seed,
+		StealProb:     c.StealProb,
+		DelayProb:     c.DelayProb,
+		MaxDelaySpins: c.MaxDelaySpins,
+		PanicProb:     c.PanicProb,
+		AllocFailProb: c.AllocFailProb,
+	})
+}
+
+// gate combines the chaos plane and memory budget of opts into an
+// allocation gate; nil when neither is configured.
+func (o Options) gate(plane *chaos.Plane) *chaos.Gate {
+	budget := chaos.NewBudget(o.MemoryBudget)
+	if plane == nil && budget == nil {
+		return nil
+	}
+	return &chaos.Gate{Plane: plane, Budget: budget}
 }
 
 // queryMode maps the public MHP knobs onto the dpst query mode. An
@@ -194,38 +277,59 @@ func (o Options) queryMode() dpst.QueryMode {
 // Session owns a runtime, an analysis, and the instrumented state
 // handles created through it.
 type Session struct {
-	sch  *sched.Scheduler
-	tree dpst.Tree
-	q    *dpst.Query
-	chk  checker.Checker
-	velo *velodrome.Checker
-	rec  *trace.Recorder
+	sch   *sched.Scheduler
+	tree  dpst.Tree
+	q     *dpst.Query
+	chk   checker.Checker
+	velo  *velodrome.Checker
+	rec   *trace.Recorder
+	plane *chaos.Plane
+	gate  *chaos.Gate
+}
+
+// setTreeGate attaches the allocation gate to a tree layout's label
+// arena; both layouts implement the optional interface.
+func setTreeGate(tree dpst.Tree, g *chaos.Gate) {
+	if g == nil {
+		return
+	}
+	if gt, ok := tree.(interface{ SetGate(*chaos.Gate) }); ok {
+		gt.SetGate(g)
+	}
 }
 
 // NewSession creates a session and starts its worker pool; Close it when
 // done.
 func NewSession(opts Options) *Session {
 	s := &Session{}
+	s.plane = opts.Chaos.plane()
+	s.gate = opts.gate(s.plane)
 	var mon sched.Monitor
 	switch opts.Checker {
 	case CheckerNone:
 		// No tree, no monitor.
 	case CheckerVelodrome:
 		s.tree = dpst.New(opts.Layout)
+		setTreeGate(s.tree, s.gate)
 		s.velo = velodrome.New()
 		mon = s.velo
 	default:
 		s.tree = dpst.New(opts.Layout)
+		setTreeGate(s.tree, s.gate)
 		s.q = dpst.NewQueryMode(s.tree, opts.queryMode())
+		s.q.SetGate(s.gate)
 		alg := checker.AlgOptimized
 		if opts.Checker == CheckerBasic {
 			alg = checker.AlgBasic
 		}
+		rep := checker.NewReporter(opts.ReporterLimit)
+		rep.SetMaxViolations(opts.MaxViolations)
 		s.chk = checker.New(checker.Options{
 			Algorithm:        alg,
 			Query:            s.q,
-			Reporter:         checker.NewReporter(opts.ReporterLimit),
+			Reporter:         rep,
 			StrictLockChecks: opts.StrictLockChecks,
+			Gate:             s.gate,
 		})
 		mon = s.chk
 	}
@@ -238,11 +342,19 @@ func NewSession(opts Options) *Session {
 		}
 	}
 	s.sch = sched.New(sched.Options{
-		Workers: opts.Workers,
-		Tree:    s.tree,
-		Monitor: mon,
+		Workers:       opts.Workers,
+		Tree:          s.tree,
+		Monitor:       mon,
+		Chaos:         s.plane,
+		RecoverPanics: opts.RecoverPanics,
 	})
 	return s
+}
+
+// ChaosStats returns the fault counters of the session's chaos plane
+// (zero when chaos is not configured).
+func (s *Session) ChaosStats() ChaosStats {
+	return s.plane.Stats()
 }
 
 // teeMonitor fans instrumented events out to two monitors, forwarding
@@ -308,6 +420,9 @@ func (s *Session) RecordedTrace() *Trace {
 func ReplayTrace(tr *Trace, opts Options) (Report, error) {
 	var rep Report
 	tree := dpst.New(opts.Layout)
+	plane := opts.Chaos.plane()
+	gate := opts.gate(plane)
+	setTreeGate(tree, gate)
 	switch opts.Checker {
 	case CheckerVelodrome:
 		v := velodrome.New()
@@ -323,11 +438,15 @@ func ReplayTrace(tr *Trace, opts Options) (Report, error) {
 			alg = checker.AlgBasic
 		}
 		q := dpst.NewQueryMode(tree, opts.queryMode())
+		q.SetGate(gate)
+		r := checker.NewReporter(opts.ReporterLimit)
+		r.SetMaxViolations(opts.MaxViolations)
 		c := checker.New(checker.Options{
 			Algorithm:        alg,
 			Query:            q,
-			Reporter:         checker.NewReporter(opts.ReporterLimit),
+			Reporter:         r,
 			StrictLockChecks: opts.StrictLockChecks,
+			Gate:             gate,
 		})
 		if err := trace.Replay(tr, tree, c, nil); err != nil {
 			return rep, err
@@ -339,10 +458,27 @@ func ReplayTrace(tr *Trace, opts Options) (Report, error) {
 		qs := q.Stats()
 		rep.Stats.LCAQueries = qs.LCAQueries
 		rep.Stats.UniqueLCAs = qs.UniqueLCAs
+		rep.Drops.Violations = c.Reporter().Dropped()
+		rep.Saturated = c.Reporter().Saturated()
 	default:
 		return rep, fmt.Errorf("avd: ReplayTrace requires an analyzing checker, got %v", opts.Checker)
 	}
+	fillGateReport(&rep, gate)
 	return rep, nil
+}
+
+// fillGateReport folds the gate's saturation state into a report.
+func fillGateReport(r *Report, g *chaos.Gate) {
+	if g == nil {
+		return
+	}
+	r.Drops.Locations = g.Drops(chaos.SiteShadowLeaf) + g.Drops(chaos.SiteShadowChunk) + g.Drops(chaos.SiteShadowFar)
+	r.Drops.Labels = g.Drops(chaos.SiteLabelArena)
+	r.Drops.LCAEntries = g.Drops(chaos.SiteLCACache)
+	r.MemoryUsed = g.Budget.Used()
+	if g.Saturated() {
+		r.Saturated = true
+	}
 }
 
 // Run executes body as the root task and waits for the whole computation.
@@ -375,6 +511,25 @@ func (st Stats) UniquePercent() float64 {
 	return 100 * float64(st.UniqueLCAs) / float64(st.LCAQueries)
 }
 
+// DropStats counts what a resource-bounded session shed instead of
+// allocating: a nonzero field means the corresponding results may be
+// incomplete in a documented way (see DESIGN.md, "Robustness and
+// failure modes").
+type DropStats struct {
+	// Locations counts shadow-memory admissions refused: accesses to
+	// those locations were ignored by the checker.
+	Locations int64
+	// Labels counts path-label allocations degraded to the sentinel;
+	// affected nodes answer MHP queries by tree walk (slower, still
+	// exact).
+	Labels int64
+	// LCAEntries counts memoized LCA results not cached; those queries
+	// recompute (slower, still exact).
+	LCAEntries int64
+	// Violations counts violations refused by Options.MaxViolations.
+	Violations int64
+}
+
 // Report is the outcome of a session's runs.
 type Report struct {
 	// Violations lists distinct atomicity violations (DPST checkers).
@@ -386,6 +541,20 @@ type Report struct {
 	Cycles int64
 	// Stats carries the Table 1 measurements.
 	Stats Stats
+	// Saturated is set when any resource bound (MemoryBudget,
+	// MaxViolations) or injected allocation failure caused the analysis
+	// to shed metadata or results; Drops says what was shed.
+	Saturated bool
+	// Drops itemizes what was shed per layer.
+	Drops DropStats
+	// MemoryUsed is the tracked metadata bytes charged against
+	// Options.MemoryBudget (0 when no budget is set).
+	MemoryUsed int64
+	// TaskPanics lists recovered task panics (bounded detail);
+	// PanicCount is the total including any beyond the bound.
+	TaskPanics []TaskPanic
+	// PanicCount is the total number of recovered task panics.
+	PanicCount int64
 }
 
 // Report returns the analysis results accumulated so far.
@@ -395,6 +564,10 @@ func (s *Session) Report() Report {
 		r.Violations = s.chk.Reporter().Violations()
 		r.ViolationCount = s.chk.Reporter().Count()
 		r.Stats.Locations = s.chk.Stats().Locations
+		r.Drops.Violations = s.chk.Reporter().Dropped()
+		if s.chk.Reporter().Saturated() {
+			r.Saturated = true
+		}
 	}
 	if s.velo != nil {
 		r.Cycles = s.velo.Count()
@@ -408,5 +581,7 @@ func (s *Session) Report() Report {
 		r.Stats.LCAQueries = qs.LCAQueries
 		r.Stats.UniqueLCAs = qs.UniqueLCAs
 	}
+	fillGateReport(&r, s.gate)
+	r.TaskPanics, r.PanicCount = s.sch.TaskPanics()
 	return r
 }

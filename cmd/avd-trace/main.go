@@ -15,7 +15,6 @@ import (
 	"flag"
 	"fmt"
 	"io"
-	"log"
 	"math/rand"
 	"os"
 
@@ -43,22 +42,21 @@ func main() {
 	out := flag.String("o", "-", "output trace file (- = stdout)")
 	flag.Parse()
 
+	var err error
 	switch {
 	case *gen:
-		if err := runGen(*steps, *locations, *locks, *lockProb, *seed, *out); err != nil {
-			log.Fatal(err)
-		}
+		err = runGen(*steps, *locations, *locks, *lockProb, *seed, *out)
 	case *check:
-		if err := runCheck(*algorithm, *in, *strict); err != nil {
-			log.Fatal(err)
-		}
+		err = runCheck(*algorithm, *in, *strict)
 	case *selfcheck:
-		if err := runSelfcheck(*trials, *steps, *locations, *locks, *lockProb, *seed, *strict); err != nil {
-			log.Fatal(err)
-		}
+		err = runSelfcheck(*trials, *steps, *locations, *locks, *lockProb, *seed, *strict)
 	default:
 		flag.Usage()
 		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "avd-trace: %v\n", err)
+		os.Exit(1)
 	}
 }
 

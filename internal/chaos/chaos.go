@@ -1,0 +1,248 @@
+// Package chaos is the deterministic fault-injection and resource-budget
+// plane of the checker. It has two halves:
+//
+//   - A Plane injects scheduler- and allocator-level faults — forced
+//     steals of freshly spawned tasks, bounded delays at task start,
+//     task panics, and simulated allocation failures — from seeded,
+//     deterministic decision streams. The perturbation tests use it to
+//     assert that violation reports are schedule-stable (the property
+//     RegionTrack proves analytically) and that the session lifecycle
+//     survives crashing tasks.
+//
+//   - A Budget bounds the tracked bytes of checker metadata (shadow
+//     table, metadata chunks, label arenas, LCA cache); a Gate combines
+//     injected failures and the budget into a single admission decision
+//     for every gated allocation site, counting what was dropped so
+//     saturation is observable instead of silent.
+//
+// The package sits below the scheduler, checker, and DPST packages and
+// imports none of them, so every layer can consult the same plane.
+package chaos
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Site names a gated allocation site. Drop counters are kept per site so
+// a saturated report can say what kind of metadata was shed.
+type Site uint8
+
+// Gated allocation sites.
+const (
+	// SiteShadowLeaf is a shadow-table leaf (a page of cell pointers).
+	SiteShadowLeaf Site = iota
+	// SiteShadowChunk is a chunk of checker metadata cells.
+	SiteShadowChunk
+	// SiteShadowFar is an overflow-map cell for out-of-range locations.
+	SiteShadowFar
+	// SiteLabelArena is a DPST path-label arena chunk.
+	SiteLabelArena
+	// SiteLCACache is an entry of the memoized LCA result cache.
+	SiteLCACache
+	numSites
+)
+
+// String names the site.
+func (s Site) String() string {
+	switch s {
+	case SiteShadowLeaf:
+		return "shadow-leaf"
+	case SiteShadowChunk:
+		return "shadow-chunk"
+	case SiteShadowFar:
+		return "shadow-far"
+	case SiteLabelArena:
+		return "label-arena"
+	case SiteLCACache:
+		return "lca-cache"
+	default:
+		return fmt.Sprintf("site(%d)", uint8(s))
+	}
+}
+
+// Config parameterizes a Plane. Probabilities are in [0, 1]; zero
+// disables the corresponding fault class.
+type Config struct {
+	// Seed selects the deterministic decision streams.
+	Seed int64
+	// StealProb is the probability a freshly spawned task is diverted to
+	// the scheduler's overflow queue instead of the spawner's deque, so
+	// another worker picks it up — a forced steal.
+	StealProb float64
+	// DelayProb is the probability a task's start is delayed by a
+	// bounded number of scheduling yields.
+	DelayProb float64
+	// MaxDelaySpins bounds one injected delay (default 64 yields).
+	MaxDelaySpins int
+	// PanicProb is the probability a task's body is replaced by an
+	// injected panic. The root task (ID 0) is exempt so a run always
+	// produces a joinable structure.
+	PanicProb float64
+	// AllocFailProb is the probability a gated allocation is denied.
+	AllocFailProb float64
+}
+
+// InjectedPanic is the value carried by a chaos-injected task panic, so
+// tests and reports can tell injected crashes from genuine ones.
+type InjectedPanic struct {
+	Task int32
+}
+
+// Error implements error.
+func (p InjectedPanic) Error() string {
+	return fmt.Sprintf("chaos: injected panic in task %d", p.Task)
+}
+
+// Plane is a deterministic, seeded fault injector. Decisions that have a
+// stable identity (a task ID, a task's n-th spawn) are pure functions of
+// the seed and that identity; allocation-failure decisions draw from a
+// deterministic per-site stream. A nil *Plane injects nothing; every
+// method is nil-receiver safe so call sites need no guards.
+type Plane struct {
+	seed       uint64
+	stealThr   uint64
+	delayThr   uint64
+	panicThr   uint64
+	allocThr   uint64
+	maxDelay   int
+	allocSeq   [numSites]atomic.Uint64
+	steals     atomic.Int64
+	delays     atomic.Int64
+	panics     atomic.Int64
+	allocFails atomic.Int64
+}
+
+// PlaneStats counts the faults a plane has injected so far.
+type PlaneStats struct {
+	ForcedSteals   int64
+	InjectedDelays int64
+	InjectedPanics int64
+	FailedAllocs   int64
+}
+
+// New creates a plane from cfg; nil is returned for the zero Config so
+// an unset configuration costs nothing at the hook sites.
+func New(cfg Config) *Plane {
+	if cfg.StealProb == 0 && cfg.DelayProb == 0 && cfg.PanicProb == 0 && cfg.AllocFailProb == 0 {
+		return nil
+	}
+	maxDelay := cfg.MaxDelaySpins
+	if maxDelay <= 0 {
+		maxDelay = 64
+	}
+	return &Plane{
+		seed:     mix(uint64(cfg.Seed) ^ 0x9e3779b97f4a7c15),
+		stealThr: threshold(cfg.StealProb),
+		delayThr: threshold(cfg.DelayProb),
+		panicThr: threshold(cfg.PanicProb),
+		allocThr: threshold(cfg.AllocFailProb),
+		maxDelay: maxDelay,
+	}
+}
+
+// threshold converts a probability to a uint64 compare threshold.
+func threshold(p float64) uint64 {
+	switch {
+	case p <= 0:
+		return 0
+	case p >= 1:
+		return ^uint64(0)
+	default:
+		return uint64(p * float64(1<<63) * 2)
+	}
+}
+
+// mix is the splitmix64 finalizer, the full-avalanche hash behind every
+// decision stream.
+func mix(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+func (p *Plane) decide(salt, ident uint64, thr uint64) bool {
+	if thr == 0 {
+		return false
+	}
+	return mix(p.seed^salt^ident) < thr
+}
+
+// Decision-stream salts, arbitrary distinct constants.
+const (
+	saltSteal uint64 = 0x5354454154
+	saltDelay uint64 = 0x44454c4159
+	saltPanic uint64 = 0x50414e4943
+	saltAlloc uint64 = 0x414c4c4f43
+)
+
+// ForceSteal decides whether the seq-th spawn of the given task is
+// diverted to the overflow queue. Deterministic in (seed, task, seq).
+func (p *Plane) ForceSteal(task, seq int32) bool {
+	if p == nil {
+		return false
+	}
+	if p.decide(saltSteal, uint64(uint32(task))<<32|uint64(uint32(seq)), p.stealThr) {
+		p.steals.Add(1)
+		return true
+	}
+	return false
+}
+
+// DelaySpins returns how many scheduling yields to inject before the
+// given task starts (0 for none). Deterministic in (seed, task).
+func (p *Plane) DelaySpins(task int32) int {
+	if p == nil {
+		return 0
+	}
+	h := mix(p.seed ^ saltDelay ^ uint64(uint32(task)))
+	if p.delayThr == 0 || h >= p.delayThr {
+		return 0
+	}
+	p.delays.Add(1)
+	return 1 + int(mix(h)%uint64(p.maxDelay))
+}
+
+// PanicTask decides whether the given task's body is replaced with an
+// injected panic. Pure in (seed, task); the root task is exempt.
+func (p *Plane) PanicTask(task int32) bool {
+	if p == nil || task == 0 {
+		return false
+	}
+	if p.decide(saltPanic, uint64(uint32(task)), p.panicThr) {
+		p.panics.Add(1)
+		return true
+	}
+	return false
+}
+
+// AllocFail decides whether the next gated allocation at site is denied.
+// The per-site decision stream is deterministic in (seed, site, n) where
+// n is the site's allocation ordinal.
+func (p *Plane) AllocFail(site Site) bool {
+	if p == nil || p.allocThr == 0 {
+		return false
+	}
+	n := p.allocSeq[site].Add(1)
+	if p.decide(saltAlloc, uint64(site)<<56|n, p.allocThr) {
+		p.allocFails.Add(1)
+		return true
+	}
+	return false
+}
+
+// Stats returns the injected-fault counters.
+func (p *Plane) Stats() PlaneStats {
+	if p == nil {
+		return PlaneStats{}
+	}
+	return PlaneStats{
+		ForcedSteals:   p.steals.Load(),
+		InjectedDelays: p.delays.Load(),
+		InjectedPanics: p.panics.Load(),
+		FailedAllocs:   p.allocFails.Load(),
+	}
+}

@@ -1,0 +1,204 @@
+package chaos
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestNewZeroConfigIsNil(t *testing.T) {
+	if p := New(Config{}); p != nil {
+		t.Fatalf("zero config must produce a nil plane, got %+v", p)
+	}
+	if p := New(Config{Seed: 42}); p != nil {
+		t.Fatalf("seed-only config injects nothing and must be nil")
+	}
+}
+
+func TestNilPlaneIsInert(t *testing.T) {
+	var p *Plane
+	if p.ForceSteal(1, 0) || p.PanicTask(1) || p.AllocFail(SiteShadowLeaf) {
+		t.Fatal("nil plane injected a fault")
+	}
+	if p.DelaySpins(1) != 0 {
+		t.Fatal("nil plane injected a delay")
+	}
+	if p.Stats() != (PlaneStats{}) {
+		t.Fatal("nil plane has nonzero stats")
+	}
+}
+
+// TestDecisionsDeterministic asserts the whole point of the plane: the
+// same seed yields the same decision on every (stream, identity), and a
+// different seed yields a different stream overall.
+func TestDecisionsDeterministic(t *testing.T) {
+	cfg := Config{Seed: 7, StealProb: 0.3, DelayProb: 0.25, PanicProb: 0.2}
+	a, b := New(cfg), New(cfg)
+	diff := New(Config{Seed: 8, StealProb: 0.3, DelayProb: 0.25, PanicProb: 0.2})
+	same := true
+	for task := int32(0); task < 500; task++ {
+		if a.PanicTask(task) != b.PanicTask(task) {
+			t.Fatalf("PanicTask(%d) differs across identically seeded planes", task)
+		}
+		if a.DelaySpins(task) != b.DelaySpins(task) {
+			t.Fatalf("DelaySpins(%d) differs across identically seeded planes", task)
+		}
+		for seq := int32(0); seq < 4; seq++ {
+			av, dv := a.ForceSteal(task, seq), diff.ForceSteal(task, seq)
+			if av != b.ForceSteal(task, seq) {
+				t.Fatalf("ForceSteal(%d,%d) differs across identically seeded planes", task, seq)
+			}
+			if av != dv {
+				same = false
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical steal streams")
+	}
+	if a.Stats() != b.Stats() {
+		t.Fatalf("stats diverged: %+v vs %+v", a.Stats(), b.Stats())
+	}
+}
+
+func TestRootTaskNeverPanics(t *testing.T) {
+	p := New(Config{Seed: 1, PanicProb: 1})
+	if p.PanicTask(0) {
+		t.Fatal("root task must be exempt from injected panics")
+	}
+	if !p.PanicTask(1) {
+		t.Fatal("PanicProb=1 must panic every non-root task")
+	}
+}
+
+func TestProbabilityExtremes(t *testing.T) {
+	p := New(Config{Seed: 3, StealProb: 1})
+	for task := int32(0); task < 100; task++ {
+		if !p.ForceSteal(task, 0) {
+			t.Fatalf("StealProb=1 must steal every spawn (task %d)", task)
+		}
+		if p.PanicTask(task) || p.DelaySpins(task) != 0 || p.AllocFail(SiteLCACache) {
+			t.Fatal("zero-probability stream injected a fault")
+		}
+	}
+	if got := p.Stats().ForcedSteals; got != 100 {
+		t.Fatalf("ForcedSteals = %d, want 100", got)
+	}
+}
+
+func TestBudgetReserve(t *testing.T) {
+	if b := NewBudget(0); b != nil {
+		t.Fatal("limit 0 must mean unlimited (nil)")
+	}
+	var nilB *Budget
+	if !nilB.Reserve(1 << 40) {
+		t.Fatal("nil budget must admit everything")
+	}
+	b := NewBudget(100)
+	if !b.Reserve(60) || !b.Reserve(40) {
+		t.Fatal("reservations within the limit refused")
+	}
+	if b.Saturated() {
+		t.Fatal("saturated before any refusal")
+	}
+	if b.Reserve(1) {
+		t.Fatal("reservation beyond the limit admitted")
+	}
+	if !b.Saturated() || b.Used() != 100 {
+		t.Fatalf("after exhaustion: saturated=%v used=%d", b.Saturated(), b.Used())
+	}
+}
+
+// TestBudgetNeverOvershoots hammers Reserve from many goroutines and
+// asserts the acceptance criterion directly: the tracked total never
+// exceeds the limit, and the admitted reservations sum to Used.
+func TestBudgetNeverOvershoots(t *testing.T) {
+	const (
+		limit   = 1_000_000
+		workers = 8
+		perG    = 10_000
+		unit    = 17
+	)
+	b := NewBudget(limit)
+	var wg sync.WaitGroup
+	admitted := make([]int64, workers)
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				if b.Reserve(unit) {
+					admitted[g] += unit
+				}
+				if u := b.Used(); u > limit {
+					t.Errorf("tracked bytes %d exceed limit %d", u, limit)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	var total int64
+	for _, a := range admitted {
+		total += a
+	}
+	if total != b.Used() {
+		t.Fatalf("admitted sum %d != Used %d", total, b.Used())
+	}
+	if b.Used() > limit {
+		t.Fatalf("final Used %d exceeds limit %d", b.Used(), limit)
+	}
+	if !b.Saturated() {
+		t.Fatal("budget should have saturated under demand > limit")
+	}
+}
+
+func TestGateDropAccounting(t *testing.T) {
+	var nilG *Gate
+	if !nilG.Allow(SiteShadowLeaf, 1<<40) {
+		t.Fatal("nil gate must admit everything")
+	}
+	g := &Gate{Budget: NewBudget(100)}
+	if !g.Allow(SiteShadowLeaf, 80) {
+		t.Fatal("in-budget allocation refused")
+	}
+	if g.Allow(SiteShadowChunk, 50) {
+		t.Fatal("over-budget allocation admitted")
+	}
+	if g.Allow(SiteShadowChunk, 50) {
+		t.Fatal("over-budget allocation admitted on retry")
+	}
+	if got := g.Drops(SiteShadowChunk); got != 2 {
+		t.Fatalf("Drops(chunk) = %d, want 2", got)
+	}
+	if got := g.Drops(SiteShadowLeaf); got != 0 {
+		t.Fatalf("Drops(leaf) = %d, want 0", got)
+	}
+	if g.DropsTotal() != 2 || !g.Saturated() {
+		t.Fatalf("total=%d saturated=%v", g.DropsTotal(), g.Saturated())
+	}
+}
+
+func TestGateInjectedFailure(t *testing.T) {
+	g := &Gate{Plane: New(Config{Seed: 5, AllocFailProb: 1})}
+	if g.Allow(SiteLabelArena, 0) {
+		t.Fatal("AllocFailProb=1 must deny every gated allocation")
+	}
+	if g.Drops(SiteLabelArena) != 1 || !g.Saturated() {
+		t.Fatal("injected denial not counted")
+	}
+}
+
+func TestSiteString(t *testing.T) {
+	names := map[Site]string{
+		SiteShadowLeaf:  "shadow-leaf",
+		SiteShadowChunk: "shadow-chunk",
+		SiteShadowFar:   "shadow-far",
+		SiteLabelArena:  "label-arena",
+		SiteLCACache:    "lca-cache",
+	}
+	for s, want := range names {
+		if s.String() != want {
+			t.Fatalf("Site(%d).String() = %q, want %q", s, s.String(), want)
+		}
+	}
+}

@@ -41,6 +41,7 @@ type Basic struct {
 
 func newBasic(opts Options) *Basic {
 	c := &Basic{q: opts.Query, rep: opts.Reporter, strict: opts.StrictLockChecks}
+	c.mem.setGate(opts.Gate)
 	return c
 }
 
@@ -84,6 +85,9 @@ func (c *Basic) Access(ts TaskState, loc sched.Loc, write bool) {
 		cur = Write
 	}
 	cell := c.mem.cell(loc)
+	if cell == nil {
+		return // gate refused the location's metadata: not admitted
+	}
 	cell.mu.Lock()
 	defer cell.mu.Unlock()
 

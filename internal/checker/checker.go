@@ -31,7 +31,9 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"unsafe"
 
+	"github.com/taskpar/avd/internal/chaos"
 	"github.com/taskpar/avd/internal/dpst"
 	"github.com/taskpar/avd/internal/sched"
 )
@@ -134,6 +136,12 @@ type Options struct {
 	// that could split the critical section are reported. Off by default
 	// to match the paper.
 	StrictLockChecks bool
+	// Gate arbitrates the checker's metadata allocations against a memory
+	// budget and the fault-injection plane; nil admits everything. When
+	// the gate denies a location's shadow cell, the checker degrades
+	// gracefully: that location is no longer admitted to the analysis and
+	// its accesses are ignored, counted as drops on the gate.
+	Gate *chaos.Gate
 }
 
 // TaskState is the per-task view the checkers consume: the current step
@@ -201,6 +209,11 @@ type shadow[C any] struct {
 	// initC initializes a freshly allocated cell; may be nil when the
 	// zero value is ready to use.
 	initC func(*C)
+	// gate arbitrates slow-path allocations (leaves, cell chunks, far
+	// entries) against the memory budget and fault plane; nil admits
+	// everything. cellBytes is one cell's size, charged per chunk.
+	gate      *chaos.Gate
+	cellBytes int64
 
 	mu    sync.Mutex // guards the slow path: leaf creation and the allocator
 	chunk []C
@@ -223,7 +236,19 @@ const (
 	// direct-index 2^27 locations in 256 KiB of pointers; anything
 	// beyond falls back to a locked overflow map.
 	shadowTopSize = 1 << 15
+
+	// shadowLeafBytes is the tracked cost of one leaf (a page of cell
+	// pointers); farEntryBytes estimates one overflow-map entry.
+	shadowLeafBytes = shadowLeafSize * 8
+	farEntryBytes   = 48
 )
+
+// setGate attaches an allocation gate; must be called before any access.
+func (s *shadow[C]) setGate(g *chaos.Gate) {
+	s.gate = g
+	var z C
+	s.cellBytes = int64(unsafe.Sizeof(z))
+}
 
 func (s *shadow[C]) cell(loc sched.Loc) *C {
 	if li := uint64(loc) >> shadowLeafBits; li < shadowTopSize {
@@ -236,6 +261,9 @@ func (s *shadow[C]) cell(loc sched.Loc) *C {
 	return s.cellSlow(loc)
 }
 
+// cellSlow creates the location's cell (and any missing leaf). A nil
+// return means the gate refused the allocation: the location is not
+// admitted, and the caller must skip the access.
 func (s *shadow[C]) cellSlow(loc sched.Loc) *C {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -244,15 +272,24 @@ func (s *shadow[C]) cellSlow(loc sched.Loc) *C {
 		if c, ok := s.far[loc]; ok {
 			return c
 		}
+		if !s.gate.Allow(chaos.SiteShadowFar, farEntryBytes) {
+			return nil
+		}
+		c := s.alloc()
+		if c == nil {
+			return nil
+		}
 		if s.far == nil {
 			s.far = make(map[sched.Loc]*C)
 		}
-		c := s.alloc()
 		s.far[loc] = c
 		return c
 	}
 	leaf := s.top[li].Load()
 	if leaf == nil {
+		if !s.gate.Allow(chaos.SiteShadowLeaf, shadowLeafBytes) {
+			return nil
+		}
 		leaf = new(shadowLeaf[C])
 		s.top[li].Store(leaf)
 	}
@@ -261,6 +298,9 @@ func (s *shadow[C]) cellSlow(loc sched.Loc) *C {
 		return c
 	}
 	c := s.alloc()
+	if c == nil {
+		return nil
+	}
 	// The atomic publish orders the cell's initialization before any
 	// fast-path reader can observe the pointer.
 	slot.Store(c)
@@ -268,8 +308,12 @@ func (s *shadow[C]) cellSlow(loc sched.Loc) *C {
 }
 
 // alloc bump-allocates and initializes a fresh cell; callers hold s.mu.
+// Returns nil when the gate refuses a fresh chunk.
 func (s *shadow[C]) alloc() *C {
 	if s.used == len(s.chunk) {
+		if !s.gate.Allow(chaos.SiteShadowChunk, shadowChunk*s.cellBytes) {
+			return nil
+		}
 		s.chunk = make([]C, shadowChunk)
 		s.used = 0
 	}

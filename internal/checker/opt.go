@@ -171,6 +171,7 @@ type Optimized struct {
 func newOptimized(opts Options) *Optimized {
 	c := &Optimized{q: opts.Query, rep: opts.Reporter, strict: opts.StrictLockChecks}
 	c.mem.initC = initOptCell
+	c.mem.setGate(opts.Gate)
 	return c
 }
 
@@ -383,6 +384,13 @@ func (c *Optimized) Access(ts TaskState, loc sched.Loc, write bool) {
 	sp, ls := c.local(ts, loc)
 	locks := ts.Lockset()
 	cell := ls.cell
+	if cell == nil {
+		// The gate refused this location's metadata: the location is not
+		// part of the analysis (graceful degradation). The nil cell is
+		// cached in the local entry, so the refusal costs one shadow
+		// lookup per task, not per access.
+		return
+	}
 
 	localRead := ls.readStep == si
 	localWrite := ls.writeStep == si

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"github.com/taskpar/avd/internal/dpst"
 	"github.com/taskpar/avd/internal/sched"
@@ -53,6 +54,15 @@ type Reporter struct {
 	bufs  []*reportBuffer
 	own   *reportBuffer // buffer backing direct Report calls
 	limit int
+
+	// max caps the locally-new violations admitted session-wide (0 =
+	// uncapped); once reached, further new violations only bump dropped.
+	// The admission counter is over locally-new triples, so with many
+	// concurrent buffers the cap is enforced conservatively: cross-buffer
+	// duplicates may consume admissions.
+	max      int64
+	admitted atomic.Int64
+	dropped  atomic.Int64
 }
 
 // reportBuffer is one producer's private dedup buffer. The mutex is
@@ -60,6 +70,7 @@ type Reporter struct {
 // run concurrently with late reports.
 type reportBuffer struct {
 	mu    sync.Mutex
+	rep   *Reporter
 	seen  map[Violation]struct{}
 	list  []Violation
 	extra int64 // reports beyond the local retention cap (not deduped)
@@ -70,6 +81,11 @@ type reportBuffer struct {
 func (b *reportBuffer) report(v Violation) {
 	b.mu.Lock()
 	if _, dup := b.seen[v]; !dup {
+		if max := b.rep.max; max > 0 && b.rep.admitted.Add(1) > max {
+			b.rep.dropped.Add(1)
+			b.mu.Unlock()
+			return
+		}
 		if len(b.seen) < b.limit {
 			b.seen[v] = struct{}{}
 			b.list = append(b.list, v)
@@ -89,10 +105,21 @@ func NewReporter(limit int) *Reporter {
 	return &Reporter{limit: limit}
 }
 
+// SetMaxViolations caps how many distinct violations the reporter admits
+// (0 removes the cap). Call before reporting begins.
+func (r *Reporter) SetMaxViolations(max int64) { r.max = max }
+
+// Dropped returns the number of violations refused by the MaxViolations
+// cap.
+func (r *Reporter) Dropped() int64 { return r.dropped.Load() }
+
+// Saturated reports whether the MaxViolations cap has dropped anything.
+func (r *Reporter) Saturated() bool { return r.dropped.Load() > 0 }
+
 // buffer registers and returns a fresh private buffer. Called once per
 // reporting task, on its first violation.
 func (r *Reporter) buffer() *reportBuffer {
-	b := &reportBuffer{seen: make(map[Violation]struct{}), limit: r.limit}
+	b := &reportBuffer{rep: r, seen: make(map[Violation]struct{}), limit: r.limit}
 	r.mu.Lock()
 	r.bufs = append(r.bufs, b)
 	r.mu.Unlock()
@@ -103,7 +130,7 @@ func (r *Reporter) buffer() *reportBuffer {
 func (r *Reporter) Report(v Violation) {
 	r.mu.Lock()
 	if r.own == nil {
-		b := &reportBuffer{seen: make(map[Violation]struct{}), limit: r.limit}
+		b := &reportBuffer{rep: r, seen: make(map[Violation]struct{}), limit: r.limit}
 		r.bufs = append(r.bufs, b)
 		r.own = b
 	}

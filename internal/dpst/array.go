@@ -3,6 +3,8 @@ package dpst
 import (
 	"sync"
 	"sync/atomic"
+
+	"github.com/taskpar/avd/internal/chaos"
 )
 
 const (
@@ -83,10 +85,14 @@ func (t *ArrayTree) NewNode(parent NodeID, kind Kind, task int32) NodeID {
 		n.depth = p.depth + 1
 		n.rank = p.children
 		p.children++
-		n.label = t.labels.extend(task, p.label, labelComponent(n.rank, kind))
+		n.label = t.labels.extend(task, p.label, n.rank, kind)
 	}
 	return id
 }
+
+// SetGate attaches an allocation gate to the label arena; call before
+// the first node is created.
+func (t *ArrayTree) SetGate(g *chaos.Gate) { t.labels.gate = g }
 
 // Parent implements Tree.
 func (t *ArrayTree) Parent(id NodeID) NodeID { return t.node(id).parent }

@@ -1,0 +1,127 @@
+package dpst_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/taskpar/avd/internal/chaos"
+	"github.com/taskpar/avd/internal/dpst"
+	"github.com/taskpar/avd/internal/sptest"
+)
+
+// gatedTree builds a fresh tree of the given layout with an allocation
+// gate attached before any node exists, so label-arena chunk carving is
+// subject to the gate from the first node on.
+func gatedTree(t *testing.T, layout dpst.Layout, g *chaos.Gate) dpst.Tree {
+	t.Helper()
+	tree := dpst.New(layout)
+	gs, ok := tree.(interface{ SetGate(*chaos.Gate) })
+	if !ok {
+		t.Fatalf("%v tree does not accept a gate", layout)
+	}
+	gs.SetGate(g)
+	return tree
+}
+
+// checkDegradedEquivalence asserts the degradation contract on a built
+// tree: ParLabels must agree with the ComputePar/LCADepth tree walk for
+// every step pair, degraded or not, and degradation must be sticky
+// (every descendant of a degraded node is degraded).
+func checkDegradedEquivalence(t *testing.T, b *sptest.Built, p *sptest.Program) (degraded, intact int) {
+	t.Helper()
+	tree := b.Tree
+	for id := dpst.NodeID(0); int(id) < tree.Len(); id++ {
+		lab := tree.Label(id)
+		bad := len(lab) > 0 && lab[0] == ^uint32(0)
+		if bad {
+			degraded++
+		} else {
+			intact++
+		}
+		if par := tree.Parent(id); par != dpst.None {
+			plab := tree.Label(par)
+			if len(plab) > 0 && plab[0] == ^uint32(0) && !bad {
+				t.Fatalf("node %d has an intact label under degraded parent %d", id, par)
+			}
+		}
+	}
+	steps := p.Steps()
+	for i := range steps {
+		for j := range steps {
+			na, nb := b.Steps[steps[i].ID], b.Steps[steps[j].ID]
+			par, depth := dpst.ParLabels(tree, na, nb)
+			wantPar := na != nb && dpst.ComputePar(tree, na, nb)
+			if par != wantPar {
+				t.Fatalf("ParLabels(%d,%d) par = %v, walk says %v", na, nb, par, wantPar)
+			}
+			if want := dpst.LCADepth(tree, na, nb); depth != want {
+				t.Fatalf("ParLabels(%d,%d) depth = %d, LCADepth says %d", na, nb, depth, want)
+			}
+			if got := b.Parallel(steps[i].ID, steps[j].ID); wantPar != got {
+				t.Fatalf("walk Par(%d,%d) = %v, DAG oracle says %v", na, nb, wantPar, got)
+			}
+		}
+	}
+	return degraded, intact
+}
+
+// TestDegradedLabelsInjectedFailure drives label-arena allocation through
+// a plane that denies roughly half the chunk refills: some shards lose
+// their chunk and their nodes degrade to the sentinel label, others keep
+// stamping. MHP answers must be unchanged either way.
+func TestDegradedLabelsInjectedFailure(t *testing.T) {
+	for _, layout := range layouts() {
+		layout := layout
+		t.Run(layout.String(), func(t *testing.T) {
+			r := rand.New(rand.NewSource(17))
+			totalDegraded := 0
+			for trial := 0; trial < 60; trial++ {
+				p := sptest.Random(r, sptest.GenConfig{MaxItems: 4, MaxDepth: 4, MaxSteps: 25})
+				g := &chaos.Gate{Plane: chaos.New(chaos.Config{
+					Seed: int64(trial), AllocFailProb: 0.5,
+				})}
+				tree := gatedTree(t, layout, g)
+				b := sptest.BuildOn(tree, p)
+				d, _ := checkDegradedEquivalence(t, b, p)
+				totalDegraded += d
+				if d > 0 && g.Drops(chaos.SiteLabelArena) == 0 {
+					t.Fatal("labels degraded but no drop was counted")
+				}
+			}
+			if totalDegraded == 0 {
+				t.Fatal("AllocFailProb=0.5 degraded no label across 60 trials; the gate is not wired")
+			}
+		})
+	}
+}
+
+// TestDegradedLabelsBudgetExhaustion degrades through the budget half of
+// the gate instead: a budget big enough for a single 64KiB label chunk
+// admits one shard's chunk and starves the rest.
+func TestDegradedLabelsBudgetExhaustion(t *testing.T) {
+	for _, layout := range layouts() {
+		layout := layout
+		t.Run(layout.String(), func(t *testing.T) {
+			r := rand.New(rand.NewSource(23))
+			totalDegraded, totalIntact := 0, 0
+			for trial := 0; trial < 40; trial++ {
+				p := sptest.Random(r, sptest.GenConfig{MaxItems: 5, MaxDepth: 4, MaxSteps: 30})
+				g := &chaos.Gate{Budget: chaos.NewBudget(1 << 16)}
+				tree := gatedTree(t, layout, g)
+				b := sptest.BuildOn(tree, p)
+				d, i := checkDegradedEquivalence(t, b, p)
+				totalDegraded += d
+				totalIntact += i
+				if used := g.Budget.Used(); used > 1<<16 {
+					t.Fatalf("trial %d: label arena charged %d bytes against a %d budget", trial, used, 1<<16)
+				}
+			}
+			if totalDegraded == 0 {
+				t.Fatal("one-chunk budget degraded no label; the arena is not charging the budget")
+			}
+			if totalIntact == 0 {
+				t.Fatal("no label survived; the first chunk should fit the budget")
+			}
+		})
+	}
+}

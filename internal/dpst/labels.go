@@ -1,6 +1,10 @@
 package dpst
 
-import "sync"
+import (
+	"sync"
+
+	"github.com/taskpar/avd/internal/chaos"
+)
 
 // Path labels give every DPST node a compact encoding of its root path so
 // that may-happen-in-parallel and LCA depth are answered by comparing two
@@ -40,11 +44,26 @@ const (
 )
 
 // labelComponent packs a node's sibling rank and kind into one uint32.
+// Callers guarantee the rank fits (extend degrades beforehand otherwise).
 func labelComponent(rank int32, kind Kind) uint32 {
-	if uint32(rank) >= 1<<(32-labelKindBits) {
-		panic("dpst: sibling rank exceeds path-label capacity")
-	}
 	return uint32(rank)<<labelKindBits | uint32(kind)
+}
+
+// degradedComponent marks a label that could not be materialized — its
+// kind bits hold 3, a value labelComponent can never produce (Kind is
+// Finish/Async/Step). A node carrying the shared degradedLabel answers
+// MHP queries through the tree walk instead of label comparison; see
+// ParLabels. Degradation is sticky: every descendant of a degraded node
+// is degraded too, since its own label could not be derived.
+const degradedComponent = ^uint32(0)
+
+// degradedLabel is the shared sentinel label of degraded nodes.
+var degradedLabel = []uint32{degradedComponent}
+
+// labelDegraded reports whether a label is the degradation sentinel. The
+// root's nil label is not degraded.
+func labelDegraded(label []uint32) bool {
+	return len(label) > 0 && label[0] == degradedComponent
 }
 
 // labelShard is one independently locked bump allocator for label
@@ -55,15 +74,26 @@ type labelShard struct {
 	_   [64 - 8 - 24]byte
 }
 
-// labelArena hands out immutable label slices from per-shard chunks.
+// labelArena hands out immutable label slices from per-shard chunks. An
+// optional gate arbitrates fresh chunk carving against the memory
+// budget; a refused chunk degrades the node's label to the sentinel
+// instead of failing node creation.
 type labelArena struct {
 	shards [labelArenaShards]labelShard
+	gate   *chaos.Gate
 }
 
-// extend returns parent's label with comp appended, in freshly carved
-// storage owned by the new node. The copy happens outside the shard lock:
-// the carved region is exclusively the caller's once the cursor moved.
-func (a *labelArena) extend(task int32, parent []uint32, comp uint32) []uint32 {
+// extend returns parent's label with one component (rank, kind)
+// appended, in freshly carved storage owned by the new node. The copy
+// happens outside the shard lock: the carved region is exclusively the
+// caller's once the cursor moved. Extension degrades to the sentinel
+// label when the parent is already degraded, the sibling rank exceeds
+// the packed-component capacity, or the gate refuses a fresh arena
+// chunk.
+func (a *labelArena) extend(task int32, parent []uint32, rank int32, kind Kind) []uint32 {
+	if labelDegraded(parent) || uint32(rank) >= 1<<(32-labelKindBits) {
+		return degradedLabel
+	}
 	n := len(parent) + 1
 	sh := &a.shards[uint32(task)&(labelArenaShards-1)]
 	sh.mu.Lock()
@@ -72,13 +102,17 @@ func (a *labelArena) extend(task int32, parent []uint32, comp uint32) []uint32 {
 		if size < n {
 			size = n
 		}
+		if !a.gate.Allow(chaos.SiteLabelArena, int64(size)*4) {
+			sh.mu.Unlock()
+			return degradedLabel
+		}
 		sh.buf = make([]uint32, size)
 	}
 	lab := sh.buf[:n:n]
 	sh.buf = sh.buf[n:]
 	sh.mu.Unlock()
 	copy(lab, parent)
-	lab[n-1] = comp
+	lab[n-1] = labelComponent(rank, kind)
 	return lab
 }
 
@@ -91,6 +125,12 @@ func (a *labelArena) extend(task int32, parent []uint32, comp uint32) []uint32 {
 // differential testing) but touches no shared mutable state.
 func ParLabels(t Tree, a, b NodeID) (parallel bool, lcaDepth int32) {
 	la, lb := t.Label(a), t.Label(b)
+	if labelDegraded(la) || labelDegraded(lb) {
+		// One of the labels was shed under memory pressure (or an
+		// injected allocation failure); fall back to the tree walk, which
+		// needs no per-node metadata beyond the structure itself.
+		return ComputePar(t, a, b), LCADepth(t, a, b)
+	}
 	n := len(la)
 	if len(lb) < n {
 		n = len(lb)

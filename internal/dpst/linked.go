@@ -1,6 +1,10 @@
 package dpst
 
-import "sync/atomic"
+import (
+	"sync/atomic"
+
+	"github.com/taskpar/avd/internal/chaos"
+)
 
 // linkedNode is a separately heap-allocated DPST node with a parent
 // pointer, the layout the paper uses as the baseline in Figure 14. Every
@@ -58,11 +62,15 @@ func (t *LinkedTree) NewNode(parent NodeID, kind Kind, task int32) NodeID {
 		n.depth = p.depth + 1
 		n.rank = p.children
 		p.children++
-		n.label = t.labels.extend(task, p.label, labelComponent(n.rank, kind))
+		n.label = t.labels.extend(task, p.label, n.rank, kind)
 	}
 	t.chunks[ci].Load()[id&chunkMask] = n
 	return id
 }
+
+// SetGate attaches an allocation gate to the label arena; call before
+// the first node is created.
+func (t *LinkedTree) SetGate(g *chaos.Gate) { t.labels.gate = g }
 
 // Parent implements Tree.
 func (t *LinkedTree) Parent(id NodeID) NodeID {

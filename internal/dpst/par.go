@@ -4,6 +4,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"github.com/taskpar/avd/internal/chaos"
 )
 
 // Stats aggregates the DPST measurements reported in Table 1 of the
@@ -86,11 +88,22 @@ func (m QueryMode) String() string {
 type Query struct {
 	tree       Tree
 	mode       QueryMode
+	gate       *chaos.Gate
 	stripeMask uint64
 	queries    []counterStripe
 	unique     atomic.Int64
 	shards     [lcaShards]lcaShard
 }
+
+// lcaEntryBytes estimates the tracked cost of one memoized LCA result
+// (map key, value, and amortized bucket overhead).
+const lcaEntryBytes = 48
+
+// SetGate attaches an allocation gate to the LCA cache: once the gate
+// refuses, results are still computed but no longer memoized, so a
+// saturated cache degrades to recomputation instead of growing. Queries
+// refused insertion recount as unique if recomputed.
+func (q *Query) SetGate(g *chaos.Gate) { q.gate = g }
 
 // NewQuery returns a walk-based Query over tree, preserving the historic
 // two-state constructor: caching selects ModeCachedWalk, otherwise every
@@ -214,8 +227,10 @@ func (q *Query) Par(a, b NodeID) bool {
 	r = ComputePar(q.tree, a, b)
 	shard.mu.Lock()
 	if _, dup := shard.m[key]; !dup {
-		shard.m[key] = r
-		q.unique.Add(1)
+		if q.gate.Allow(chaos.SiteLCACache, lcaEntryBytes) {
+			shard.m[key] = r
+			q.unique.Add(1)
+		}
 	}
 	shard.mu.Unlock()
 	return r

@@ -74,6 +74,29 @@ func Velodrome(workers int) Config {
 	return Config{Name: "velodrome", Opts: avd.Options{Workers: workers, Checker: avd.CheckerVelodrome}}
 }
 
+// Bounded is the prototype under a metadata memory budget — the
+// graceful-degradation configuration. A saturated run is visible in
+// Measurement.Report (Saturated, Drops, MemoryUsed).
+func Bounded(workers int, budgetBytes int64) Config {
+	return Config{
+		Name: fmt.Sprintf("bounded-%s", human(budgetBytes)),
+		Opts: avd.Options{Workers: workers, MemoryBudget: budgetBytes},
+	}
+}
+
+// Chaotic is the prototype under deterministic schedule perturbation
+// (forced steals and bounded delays), used to measure how robust the
+// checker's cost and results are to adversarial schedules.
+func Chaotic(workers int, seed int64) Config {
+	return Config{
+		Name: "chaos",
+		Opts: avd.Options{
+			Workers: workers,
+			Chaos:   &avd.ChaosConfig{Seed: seed, StealProb: 0.2, DelayProb: 0.1},
+		},
+	}
+}
+
 // Measurement is one (kernel, configuration) timing result.
 type Measurement struct {
 	Kernel  string

@@ -1,0 +1,76 @@
+package sched
+
+import (
+	"fmt"
+	"sync"
+)
+
+// UsageError is the typed panic value raised on API misuse: unlocking a
+// mutex the task does not hold, using a handle created by one session
+// from a task of another, running a closed scheduler, or blocking
+// constructs that could deadlock a helping worker. It replaces the
+// historic raw-string panics so callers can recover and classify misuse
+// programmatically.
+type UsageError struct {
+	// Op is the operation that was misused (e.g. "Mutex.Unlock").
+	Op string
+	// Detail describes the misuse.
+	Detail string
+}
+
+// Error implements error.
+func (e *UsageError) Error() string {
+	return fmt.Sprintf("sched: invalid use of %s: %s", e.Op, e.Detail)
+}
+
+// usage panics with a UsageError.
+func usage(op, format string, args ...any) {
+	panic(&UsageError{Op: op, Detail: fmt.Sprintf(format, args...)})
+}
+
+// TaskPanic is one recovered task panic: which task crashed, the panic
+// value, and the stack captured at the recovery point. Panics recover
+// into the session report (and, unless the scheduler runs in
+// recover-panics mode, additionally re-raise from Run after the
+// computation has joined), so a crashing task never loses the partial
+// analysis results accumulated before it.
+type TaskPanic struct {
+	// Task is the ID of the task whose body panicked.
+	Task int32
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the goroutine stack captured at recovery.
+	Stack string
+}
+
+// String renders a one-line diagnostic.
+func (p TaskPanic) String() string {
+	return fmt.Sprintf("task %d panicked: %v", p.Task, p.Value)
+}
+
+// maxRecordedPanics caps the retained panic details; the count keeps
+// running beyond it so saturation is visible without unbounded growth.
+const maxRecordedPanics = 64
+
+// panicLog collects recovered task panics, bounded.
+type panicLog struct {
+	mu    sync.Mutex
+	list  []TaskPanic
+	extra int64
+}
+
+func (l *panicLog) record(p TaskPanic) {
+	l.mu.Lock()
+	if len(l.list) < maxRecordedPanics {
+		l.list = append(l.list, p)
+	} else {
+		l.extra++
+	}
+	l.mu.Unlock()
+}
+
+func (l *panicLog) snapshot() ([]TaskPanic, int64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]TaskPanic(nil), l.list...), int64(len(l.list)) + l.extra
+}

@@ -1,7 +1,6 @@
 package sched
 
 import (
-	"fmt"
 	"runtime"
 	"sync"
 )
@@ -53,6 +52,9 @@ func (m *Mutex) Loc() Loc { return m.loc }
 // Lock acquires the mutex on behalf of t, pushes a fresh acquisition
 // token on t's lockset, and notifies the monitor.
 func (m *Mutex) Lock(t *Task) {
+	if t.sch != m.sch {
+		usage("Mutex.Lock", "task %d locks %q, which belongs to a different session", t.id, m.name)
+	}
 	m.mu.Lock()
 	tok := MakeLockToken(m.id, t.sch.lockTok.Add(1))
 	t.locks = append(t.locks, tok)
@@ -65,6 +67,9 @@ func (m *Mutex) Lock(t *Task) {
 // Unlock releases the mutex, popping it from t's lockset. Locks may be
 // released in any order.
 func (m *Mutex) Unlock(t *Task) {
+	if t.sch != m.sch {
+		usage("Mutex.Unlock", "task %d unlocks %q, which belongs to a different session", t.id, m.name)
+	}
 	if mon := t.sch.mon; mon != nil {
 		mon.OnRelease(t, m)
 	}
@@ -76,5 +81,5 @@ func (m *Mutex) Unlock(t *Task) {
 			return
 		}
 	}
-	panic(fmt.Sprintf("sched: task %d unlocks %q without holding it", t.id, m.name))
+	usage("Mutex.Unlock", "task %d unlocks %q without holding it", t.id, m.name)
 }

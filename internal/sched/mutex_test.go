@@ -1,0 +1,120 @@
+package sched_test
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"github.com/taskpar/avd/internal/sched"
+)
+
+// runExpectingUsage runs body on a fresh scheduler and returns the
+// *UsageError its root task panicked with, failing the test when the
+// panic is missing or of the wrong type.
+func runExpectingUsage(t *testing.T, body func(*sched.Task)) *sched.UsageError {
+	t.Helper()
+	s := sched.New(sched.Options{Workers: 1})
+	defer s.Close()
+	var rec any
+	func() {
+		defer func() { rec = recover() }()
+		s.Run(body)
+	}()
+	if rec == nil {
+		t.Fatal("expected a UsageError panic, got none")
+	}
+	ue, ok := rec.(*sched.UsageError)
+	if !ok {
+		t.Fatalf("expected *UsageError, got %T: %v", rec, rec)
+	}
+	return ue
+}
+
+func TestUnlockWithoutHoldIsUsageError(t *testing.T) {
+	s := sched.New(sched.Options{Workers: 1})
+	defer s.Close()
+	m := s.NewMutex("orphan")
+	var rec any
+	func() {
+		defer func() { rec = recover() }()
+		s.Run(func(t *sched.Task) { m.Unlock(t) })
+	}()
+	ue, ok := rec.(*sched.UsageError)
+	if !ok {
+		t.Fatalf("expected *UsageError, got %T: %v", rec, rec)
+	}
+	if ue.Op != "Mutex.Unlock" {
+		t.Fatalf("Op = %q, want %q", ue.Op, "Mutex.Unlock")
+	}
+	if !strings.Contains(ue.Detail, "without holding it") {
+		t.Fatalf("Detail %q does not name the misuse", ue.Detail)
+	}
+	var asUE *sched.UsageError
+	if err := error(ue); !errors.As(err, &asUE) {
+		t.Fatal("UsageError must satisfy errors.As")
+	}
+}
+
+func TestCrossSessionLockIsUsageError(t *testing.T) {
+	other := sched.New(sched.Options{Workers: 1})
+	defer other.Close()
+	m := other.NewMutex("foreign")
+	ue := runExpectingUsage(t, func(t *sched.Task) { m.Lock(t) })
+	if ue.Op != "Mutex.Lock" {
+		t.Fatalf("Op = %q, want %q", ue.Op, "Mutex.Lock")
+	}
+	if !strings.Contains(ue.Detail, "different session") {
+		t.Fatalf("Detail %q does not name the misuse", ue.Detail)
+	}
+}
+
+func TestCrossSessionUnlockIsUsageError(t *testing.T) {
+	other := sched.New(sched.Options{Workers: 1})
+	defer other.Close()
+	m := other.NewMutex("foreign")
+	ue := runExpectingUsage(t, func(t *sched.Task) { m.Unlock(t) })
+	if ue.Op != "Mutex.Unlock" {
+		t.Fatalf("Op = %q, want %q", ue.Op, "Mutex.Unlock")
+	}
+}
+
+func TestRunAfterCloseIsUsageError(t *testing.T) {
+	s := sched.New(sched.Options{Workers: 1})
+	s.Run(func(*sched.Task) {})
+	s.Close()
+	s.Close() // idempotent: second Close must be a no-op, not a crash
+	var rec any
+	func() {
+		defer func() { rec = recover() }()
+		s.Run(func(*sched.Task) {})
+	}()
+	ue, ok := rec.(*sched.UsageError)
+	if !ok {
+		t.Fatalf("expected *UsageError, got %T: %v", rec, rec)
+	}
+	if ue.Op != "Scheduler.Run" || !strings.Contains(ue.Detail, "after Close") {
+		t.Fatalf("unexpected error %v", ue)
+	}
+}
+
+func TestFinishWhileLockedIsUsageError(t *testing.T) {
+	s := sched.New(sched.Options{Workers: 1})
+	defer s.Close()
+	m := s.NewMutex("held")
+	var rec any
+	func() {
+		defer func() { rec = recover() }()
+		s.Run(func(t *sched.Task) {
+			m.Lock(t)
+			defer m.Unlock(t)
+			t.Finish(func(*sched.Task) {})
+		})
+	}()
+	ue, ok := rec.(*sched.UsageError)
+	if !ok {
+		t.Fatalf("expected *UsageError, got %T: %v", rec, rec)
+	}
+	if ue.Op != "Task.Finish" {
+		t.Fatalf("Op = %q, want %q", ue.Op, "Task.Finish")
+	}
+}

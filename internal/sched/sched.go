@@ -14,9 +14,11 @@ package sched
 import (
 	"math/rand"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 
+	"github.com/taskpar/avd/internal/chaos"
 	"github.com/taskpar/avd/internal/dpst"
 )
 
@@ -61,6 +63,14 @@ type Options struct {
 	Tree dpst.Tree
 	// Monitor observes instrumented events; may be nil.
 	Monitor Monitor
+	// Chaos optionally injects scheduler faults — forced steals, bounded
+	// delays, task panics — from deterministic seeded streams; nil
+	// disables injection (the default, zero-overhead configuration).
+	Chaos *chaos.Plane
+	// RecoverPanics stops Run from re-raising task panics: crashed tasks
+	// are recorded (see TaskPanics) and the computation's surviving
+	// tasks still join, preserving partial analysis results.
+	RecoverPanics bool
 }
 
 // Scheduler runs fork-join task programs on a pool of work-stealing
@@ -69,12 +79,21 @@ type Scheduler struct {
 	tree       dpst.Tree
 	mon        Monitor
 	so         StructureObserver // mon's optional extension, or nil
+	chaos      *chaos.Plane
 	workers    []*worker
 	inject     chan *Task
 	nextTask   atomic.Int32
 	lockTok    atomic.Uint64
 	nextLockID atomic.Uint32
 	nextLoc    atomic.Uint64
+
+	recoverPanics bool
+	panics        panicLog
+
+	// overflow receives forced-steal victims injected by the chaos
+	// plane; only consulted when chaos is active.
+	ovMu     sync.Mutex
+	overflow []*Task
 
 	stop     atomic.Bool
 	sleepers atomic.Int32
@@ -91,9 +110,11 @@ func New(opts Options) *Scheduler {
 		n = runtime.GOMAXPROCS(0)
 	}
 	s := &Scheduler{
-		tree:   opts.Tree,
-		mon:    opts.Monitor,
-		inject: make(chan *Task, 1),
+		tree:          opts.Tree,
+		mon:           opts.Monitor,
+		chaos:         opts.Chaos,
+		recoverPanics: opts.RecoverPanics,
+		inject:        make(chan *Task, 1),
 	}
 	s.so, _ = opts.Monitor.(StructureObserver)
 	s.idleCond = sync.NewCond(&s.idleMu)
@@ -132,8 +153,12 @@ func (s *Scheduler) AllocLocs(n int) Loc {
 
 // Run executes body as the root task and blocks until the whole
 // computation — the root body and every transitively spawned task — has
-// completed. Run may be called multiple times, sequentially.
+// completed. Run may be called multiple times, sequentially. Running a
+// closed scheduler raises a UsageError.
 func (s *Scheduler) Run(body func(*Task)) {
+	if s.stop.Load() {
+		usage("Scheduler.Run", "session used after Close")
+	}
 	rootParent := dpst.None
 	if s.tree != nil {
 		rootParent = s.tree.NewNode(dpst.None, dpst.Finish, 0)
@@ -150,13 +175,7 @@ func (s *Scheduler) Run(body func(*Task)) {
 	root.body = func(t *Task) {
 		func() {
 			defer func() {
-				r := recover()
-				if cr := t.abortCilk(); r == nil {
-					r = cr
-				}
-				if r != nil {
-					scope.recordPanic(r)
-				}
+				t.recoverInto(recover(), scope)
 			}()
 			body(t)
 			t.implicitSync()
@@ -168,13 +187,49 @@ func (s *Scheduler) Run(body func(*Task)) {
 	s.wake()
 	<-done
 	// Re-raise a panic from the root body or any spawned task on the
-	// caller's goroutine, after the whole computation has joined.
-	scope.rethrow()
+	// caller's goroutine, after the whole computation has joined — unless
+	// the scheduler recovers panics, in which case the recorded TaskPanics
+	// are the only trace and the partial results stand.
+	if !s.recoverPanics {
+		scope.rethrow()
+	}
 }
 
-// Close stops the worker pool. The scheduler must be idle.
+// recordPanic appends one recovered task panic to the bounded panic log.
+func (s *Scheduler) recordPanic(task int32, v any) {
+	s.panics.record(TaskPanic{Task: task, Value: v, Stack: string(debug.Stack())})
+}
+
+// TaskPanics returns the recovered task panics (detail bounded at
+// maxRecordedPanics) and the total count including any beyond the cap.
+func (s *Scheduler) TaskPanics() ([]TaskPanic, int64) { return s.panics.snapshot() }
+
+// pushOverflow hands a forced-steal victim to the shared overflow queue,
+// where any worker — typically not the spawner — will find it.
+func (s *Scheduler) pushOverflow(t *Task) {
+	s.ovMu.Lock()
+	s.overflow = append(s.overflow, t)
+	s.ovMu.Unlock()
+}
+
+func (s *Scheduler) popOverflow() *Task {
+	s.ovMu.Lock()
+	defer s.ovMu.Unlock()
+	if len(s.overflow) == 0 {
+		return nil
+	}
+	t := s.overflow[0]
+	s.overflow = s.overflow[1:]
+	return t
+}
+
+// Close stops the worker pool and waits for every worker goroutine to
+// exit, so a closed session leaves nothing behind. The scheduler must be
+// idle. Close is idempotent: repeated calls are no-ops.
 func (s *Scheduler) Close() {
-	s.stop.Store(true)
+	if !s.stop.CompareAndSwap(false, true) {
+		return
+	}
 	s.idleMu.Lock()
 	s.idleCond.Broadcast()
 	s.idleMu.Unlock()
@@ -241,10 +296,16 @@ func (w *worker) park() {
 }
 
 // findTask looks for runnable work: the local deque first, then the
-// injection channel, then stealing from victims in random order.
+// chaos overflow queue (forced-steal victims), then the injection
+// channel, then stealing from victims in random order.
 func (w *worker) findTask() *Task {
 	if t := w.dq.pop(); t != nil {
 		return t
+	}
+	if w.s.chaos != nil {
+		if t := w.s.popOverflow(); t != nil {
+			return t
+		}
 	}
 	select {
 	case t := <-w.s.inject:
@@ -272,17 +333,20 @@ func (w *worker) runTask(t *Task) {
 	func() {
 		defer func() {
 			// A panicking spawned task must not take the worker down;
-			// record the panic in its join scope, which re-raises it
-			// at the Finish (or Run) that owns the task. An open
-			// spawn-sync scope is drained even while unwinding.
-			r := recover()
-			if cr := t.abortCilk(); r == nil {
-				r = cr
-			}
-			if r != nil && t.scope != nil {
-				t.scope.recordPanic(r)
-			}
+			// the panic recovers into the scheduler's panic log and the
+			// task's join scope, which re-raises it at the Finish (or
+			// Run) that owns the task. An open spawn-sync scope is
+			// drained even while unwinding.
+			t.recoverInto(recover(), t.scope)
 		}()
+		if pl := w.s.chaos; pl != nil {
+			for i, n := 0, pl.DelaySpins(t.id); i < n; i++ {
+				runtime.Gosched()
+			}
+			if pl.PanicTask(t.id) {
+				panic(chaos.InjectedPanic{Task: t.id})
+			}
+		}
 		t.body(t)
 		t.implicitSync()
 	}()

@@ -24,6 +24,9 @@ func (sc *finishScope) recordPanic(v any) {
 	sc.panicV.CompareAndSwap(nil, &taskPanic{val: v})
 }
 
+// panicked reports whether the scope has a recorded panic.
+func (sc *finishScope) panicked() bool { return sc.panicV.Load() != nil }
+
 // rethrow re-raises the scope's recorded panic, if any.
 func (sc *finishScope) rethrow() {
 	if p := sc.panicV.Load(); p != nil {
@@ -40,9 +43,17 @@ type Task struct {
 	parentNode dpst.NodeID // DPST node receiving this task's new children
 	step       dpst.NodeID // current step node, or None when stale
 	scope      *finishScope
-	spawned    bool // whether this task was registered in scope
+	spawned    bool  // whether this task was registered in scope
+	spawnSeq   int32 // ordinal of the task's next Spawn (chaos identity)
 	body       func(*Task)
 	onDone     func()
+
+	// propagating marks a panic that is being re-raised at a join point
+	// (Finish, Sync) rather than originating in a task body, so the
+	// capture sites above record each panic once. It lives on the task
+	// because the whole rethrow/recover chain runs on the task's own
+	// goroutine.
+	propagating bool
 
 	locks    []uint64 // acquisition tokens of currently held locks
 	lockRefs []*Mutex // parallel stack of the held mutexes
@@ -96,6 +107,34 @@ func (t *Task) Access(loc Loc, write bool) {
 	}
 }
 
+// recoverInto is the recovery bookkeeping shared by every capture site
+// (runTask, Finish, the root body): it drains an open spawn-sync scope,
+// records first-hand panics in the scheduler's panic log, and stores the
+// value in the join scope so it re-raises at the owning Finish or Run. r
+// must be the value of a recover() call made directly in the caller's
+// deferred function.
+func (t *Task) recoverInto(r any, scope *finishScope) {
+	fromChild := false
+	if cr := t.abortCilk(); r == nil {
+		r = cr
+		fromChild = true
+	}
+	if r == nil {
+		t.propagating = false
+		return
+	}
+	// Panics re-raised at a join point (propagating) and panics drained
+	// from a cilk scope (fromChild) were already recorded when they first
+	// unwound their own task; record only first-hand ones.
+	if !t.propagating && !fromChild {
+		t.sch.recordPanic(t.id, r)
+	}
+	t.propagating = false
+	if scope != nil {
+		scope.recordPanic(r)
+	}
+}
+
 // Spawn creates a child task that executes body asynchronously. The
 // child joins at the end of the innermost enclosing Finish scope (or at
 // the end of Run for top-level spawns).
@@ -118,7 +157,15 @@ func (t *Task) Spawn(body func(*Task)) {
 	if so := t.sch.so; so != nil {
 		so.OnSpawn(t, child.id)
 	}
-	t.worker.dq.push(child)
+	seq := t.spawnSeq
+	t.spawnSeq++
+	if pl := t.sch.chaos; pl != nil && pl.ForceSteal(t.id, seq) {
+		// Forced steal: divert the child to the shared overflow queue so
+		// another worker (not the spawner's LIFO pop) picks it up.
+		t.sch.pushOverflow(child)
+	} else {
+		t.worker.dq.push(child)
+	}
 	t.sch.wake()
 }
 
@@ -154,7 +201,7 @@ func (t *Task) Sync() {
 		return
 	}
 	if len(t.locks) > 0 {
-		panic("sched: Sync while holding an instrumented lock can deadlock a helping worker")
+		usage("Task.Sync", "task %d syncs while holding an instrumented lock, which can deadlock a helping worker", t.id)
 	}
 	sc := t.cilk
 	t.waitScope(sc)
@@ -165,6 +212,9 @@ func (t *Task) Sync() {
 	t.cilk = nil
 	if t.sch.tree != nil {
 		t.step = dpst.None
+	}
+	if sc.panicked() {
+		t.propagating = true
 	}
 	sc.rethrow()
 }
@@ -208,7 +258,7 @@ func (t *Task) abortCilk() any {
 // scope has joined, so the tree of tasks unwinds in a structured way.
 func (t *Task) Finish(body func(*Task)) {
 	if len(t.locks) > 0 {
-		panic("sched: Finish while holding an instrumented lock can deadlock a helping worker")
+		usage("Task.Finish", "task %d enters a finish scope while holding an instrumented lock, which can deadlock a helping worker", t.id)
 	}
 	t.implicitSync()
 	prevParent, prevScope := t.parentNode, t.scope
@@ -223,13 +273,7 @@ func (t *Task) Finish(body func(*Task)) {
 	}
 	func() {
 		defer func() {
-			r := recover()
-			if cr := t.abortCilk(); r == nil {
-				r = cr
-			}
-			if r != nil {
-				scope.recordPanic(r)
-			}
+			t.recoverInto(recover(), scope)
 		}()
 		body(t)
 		t.implicitSync()
@@ -241,6 +285,9 @@ func (t *Task) Finish(body func(*Task)) {
 	t.parentNode, t.scope = prevParent, prevScope
 	if t.sch.tree != nil {
 		t.step = dpst.None // the continuation after the join is a fresh step
+	}
+	if scope.panicked() {
+		t.propagating = true
 	}
 	scope.rethrow()
 }

@@ -258,7 +258,13 @@ func (d *dagBuilder) edge(from, to int) {
 // Build constructs the DPST of p on a fresh tree of the given layout and
 // computes the reachability oracle.
 func Build(layout dpst.Layout, p *Program) *Built {
-	t := dpst.New(layout)
+	return BuildOn(dpst.New(layout), p)
+}
+
+// BuildOn constructs the DPST of p on a caller-provided empty tree, so
+// tests can configure the tree (e.g. attach an allocation gate) before
+// any node is created.
+func BuildOn(t dpst.Tree, p *Program) *Built {
 	b := &Built{
 		Tree:   t,
 		Steps:  make(map[int]dpst.NodeID),

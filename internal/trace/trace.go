@@ -98,14 +98,23 @@ func Decode(r io.Reader) (*Trace, error) {
 }
 
 // Validate performs structural sanity checks: tasks spawned before use,
-// finish scopes balanced, locks released by their holder.
+// finish scopes balanced, locks released by their holder. The bounds on
+// Tasks are checked before any allocation sized by it, so a corrupt or
+// hostile trace (negative task count, or a count absurdly larger than
+// the event stream could introduce) fails cleanly instead of panicking
+// or exhausting memory.
 func (tr *Trace) Validate() error {
-	started := make([]bool, tr.Tasks)
-	depth := make([]int, tr.Tasks)
-	holder := make(map[uint32]int32)
 	if tr.Tasks < 1 {
 		return fmt.Errorf("trace: no tasks")
 	}
+	// Every task beyond the root must be introduced by its own KSpawn
+	// event, so a valid trace never has more tasks than events+1.
+	if int64(tr.Tasks) > int64(len(tr.Events))+1 {
+		return fmt.Errorf("trace: %d tasks declared but only %d events", tr.Tasks, len(tr.Events))
+	}
+	started := make([]bool, tr.Tasks)
+	depth := make([]int, tr.Tasks)
+	holder := make(map[uint32]int32)
 	started[0] = true
 	for i, e := range tr.Events {
 		if e.Task < 0 || e.Task >= tr.Tasks || !started[e.Task] {

@@ -15,6 +15,13 @@ import (
 // runtime (actual parallel execution, not deterministic replay) and
 // returns the set of program locations with reported violations.
 func execProgram(p *sptest.Program, cfg sptest.GenConfig, opts avd.Options) map[int]bool {
+	locs, _, _ := execProgramFull(p, cfg, opts)
+	return locs
+}
+
+// execProgramFull is execProgram plus the session report and chaos
+// counters, for the perturbation tests.
+func execProgramFull(p *sptest.Program, cfg sptest.GenConfig, opts avd.Options) (map[int]bool, avd.Report, avd.ChaosStats) {
 	s := avd.NewSession(opts)
 	defer s.Close()
 	vars := make([]*avd.IntVar, cfg.Locations)
@@ -65,11 +72,12 @@ func execProgram(p *sptest.Program, cfg sptest.GenConfig, opts avd.Options) map[
 		}
 	}
 	s.Run(func(t *avd.Task) { exec(t, p.Body) })
+	rep := s.Report()
 	out := make(map[int]bool)
-	for _, v := range s.Report().Violations {
+	for _, v := range rep.Violations {
 		out[locOf[v.Loc]] = true
 	}
-	return out
+	return out, rep, s.ChaosStats()
 }
 
 // TestLiveExecutionMatchesOracle is the strongest end-to-end property:

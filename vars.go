@@ -3,7 +3,19 @@ package avd
 import (
 	"math"
 	"sync/atomic"
+
+	"github.com/taskpar/avd/internal/sched"
 )
+
+// guardSession panics with a UsageError when a variable handle created
+// by one session is accessed from a task of another. Mixing sessions
+// would silently corrupt the analysis: the location IDs and DPST nodes
+// of different sessions live in unrelated namespaces.
+func guardSession(op string, t *Task, sch *sched.Scheduler) {
+	if t.Scheduler() != sch {
+		panic(&UsageError{Op: op, Detail: "variable belongs to a different session"})
+	}
+}
 
 // Shared is implemented by every instrumented variable handle; it exposes
 // the location identifier the checker tracks. Variables grouped with
@@ -33,13 +45,14 @@ func (s *Session) Atomic(vars ...Shared) {
 // the reads and writes exactly as annotated accesses.
 type IntVar struct {
 	loc  Loc
+	sch  *sched.Scheduler
 	name string
 	v    atomic.Int64
 }
 
 // NewIntVar creates an instrumented integer variable.
 func (s *Session) NewIntVar(name string) *IntVar {
-	return &IntVar{loc: s.sch.AllocLoc(), name: name}
+	return &IntVar{loc: s.sch.AllocLoc(), sch: s.sch, name: name}
 }
 
 // Name returns the diagnostic name.
@@ -52,12 +65,14 @@ func (v *IntVar) setLoc(l Loc) { v.loc = l }
 
 // Load reads the variable.
 func (v *IntVar) Load(t *Task) int64 {
+	guardSession("IntVar.Load", t, v.sch)
 	t.Access(v.loc, false)
 	return v.v.Load()
 }
 
 // Store writes the variable.
 func (v *IntVar) Store(t *Task, x int64) {
+	guardSession("IntVar.Store", t, v.sch)
 	t.Access(v.loc, true)
 	v.v.Store(x)
 }
@@ -66,6 +81,7 @@ func (v *IntVar) Store(t *Task, x int64) {
 // read followed by a write, the access pattern whose atomicity the paper
 // targets.
 func (v *IntVar) Add(t *Task, d int64) int64 {
+	guardSession("IntVar.Add", t, v.sch)
 	t.Access(v.loc, false)
 	t.Access(v.loc, true)
 	return v.v.Add(d)
@@ -78,13 +94,14 @@ func (v *IntVar) Value() int64 { return v.v.Load() }
 // FloatVar is an instrumented shared float64.
 type FloatVar struct {
 	loc  Loc
+	sch  *sched.Scheduler
 	name string
 	v    atomic.Uint64
 }
 
 // NewFloatVar creates an instrumented float variable.
 func (s *Session) NewFloatVar(name string) *FloatVar {
-	return &FloatVar{loc: s.sch.AllocLoc(), name: name}
+	return &FloatVar{loc: s.sch.AllocLoc(), sch: s.sch, name: name}
 }
 
 // Name returns the diagnostic name.
@@ -97,12 +114,14 @@ func (v *FloatVar) setLoc(l Loc) { v.loc = l }
 
 // Load reads the variable.
 func (v *FloatVar) Load(t *Task) float64 {
+	guardSession("FloatVar.Load", t, v.sch)
 	t.Access(v.loc, false)
 	return math.Float64frombits(v.v.Load())
 }
 
 // Store writes the variable.
 func (v *FloatVar) Store(t *Task, x float64) {
+	guardSession("FloatVar.Store", t, v.sch)
 	t.Access(v.loc, true)
 	v.v.Store(math.Float64bits(x))
 }
@@ -121,13 +140,14 @@ func (v *FloatVar) Value() float64 { return math.Float64frombits(v.v.Load()) }
 // its own location.
 type IntArray struct {
 	loc0 Loc
+	sch  *sched.Scheduler
 	name string
 	data []atomic.Int64
 }
 
 // NewIntArray creates an instrumented integer array of length n.
 func (s *Session) NewIntArray(name string, n int) *IntArray {
-	return &IntArray{loc0: s.sch.AllocLocs(n), name: name, data: make([]atomic.Int64, n)}
+	return &IntArray{loc0: s.sch.AllocLocs(n), sch: s.sch, name: name, data: make([]atomic.Int64, n)}
 }
 
 // Name returns the diagnostic name.
@@ -141,18 +161,21 @@ func (a *IntArray) LocAt(i int) Loc { return a.loc0 + Loc(i) }
 
 // Load reads element i.
 func (a *IntArray) Load(t *Task, i int) int64 {
+	guardSession("IntArray.Load", t, a.sch)
 	t.Access(a.LocAt(i), false)
 	return a.data[i].Load()
 }
 
 // Store writes element i.
 func (a *IntArray) Store(t *Task, i int, x int64) {
+	guardSession("IntArray.Store", t, a.sch)
 	t.Access(a.LocAt(i), true)
 	a.data[i].Store(x)
 }
 
 // Add performs element i's load-modify-store (read then write).
 func (a *IntArray) Add(t *Task, i int, d int64) int64 {
+	guardSession("IntArray.Add", t, a.sch)
 	t.Access(a.LocAt(i), false)
 	t.Access(a.LocAt(i), true)
 	return a.data[i].Add(d)
@@ -164,13 +187,14 @@ func (a *IntArray) Value(i int) int64 { return a.data[i].Load() }
 // FloatArray is an instrumented array of shared float64 values.
 type FloatArray struct {
 	loc0 Loc
+	sch  *sched.Scheduler
 	name string
 	data []atomic.Uint64
 }
 
 // NewFloatArray creates an instrumented float array of length n.
 func (s *Session) NewFloatArray(name string, n int) *FloatArray {
-	return &FloatArray{loc0: s.sch.AllocLocs(n), name: name, data: make([]atomic.Uint64, n)}
+	return &FloatArray{loc0: s.sch.AllocLocs(n), sch: s.sch, name: name, data: make([]atomic.Uint64, n)}
 }
 
 // Name returns the diagnostic name.
@@ -184,12 +208,14 @@ func (a *FloatArray) LocAt(i int) Loc { return a.loc0 + Loc(i) }
 
 // Load reads element i.
 func (a *FloatArray) Load(t *Task, i int) float64 {
+	guardSession("FloatArray.Load", t, a.sch)
 	t.Access(a.LocAt(i), false)
 	return math.Float64frombits(a.data[i].Load())
 }
 
 // Store writes element i.
 func (a *FloatArray) Store(t *Task, i int, x float64) {
+	guardSession("FloatArray.Store", t, a.sch)
 	t.Access(a.LocAt(i), true)
 	a.data[i].Store(math.Float64bits(x))
 }
