@@ -39,3 +39,52 @@ func TestSteadyStateZeroAllocs(t *testing.T) {
 		t.Fatalf("final value %d, want 3", got)
 	}
 }
+
+// TestLockedRepeatZeroAllocs extends the steady-state pin to the locked
+// hot path, with the redundant-access filter both enabled and disabled:
+// once a task is past the filter warm-up (its cache, counters, and
+// lockset arenas are allocated) a lock/load/store/unlock round must not
+// allocate. Strict lock checking is deliberately left off — that mode
+// retains lockset copies in the global metadata by design.
+func TestLockedRepeatZeroAllocs(t *testing.T) {
+	for _, disable := range []bool{false, true} {
+		name := "filter"
+		if disable {
+			name = "nofilter"
+		}
+		t.Run(name, func(t *testing.T) {
+			s := avd.NewSession(avd.Options{Workers: 1, DisableAccessFilter: disable})
+			defer s.Close()
+			x := s.NewIntVar("X")
+			mu := s.NewMutex("L")
+			var allocs float64
+			s.Run(func(tk *avd.Task) {
+				// Warm past the filter's warm-up window with the same
+				// locked load+store pairs the measurement runs: the
+				// single-location working set enables the cache, and the
+				// arena chunks are allocated here.
+				for i := 0; i < 96; i++ {
+					mu.Lock(tk)
+					x.Store(tk, x.Load(tk)+1)
+					mu.Unlock(tk)
+				}
+				allocs = testing.AllocsPerRun(200, func() {
+					mu.Lock(tk)
+					x.Store(tk, x.Load(tk)+1)
+					mu.Unlock(tk)
+				})
+			})
+			if allocs != 0 {
+				t.Errorf("locked load+store round allocates %.1f objects per op on a warm location, want 0", allocs)
+			}
+			rep := s.Report()
+			if disable && (rep.Stats.FilterHits != 0 || rep.Stats.FilterMisses != 0) {
+				t.Errorf("disabled filter reported counters %d/%d",
+					rep.Stats.FilterHits, rep.Stats.FilterMisses)
+			}
+			if !disable && rep.Stats.FilterMisses == 0 {
+				t.Errorf("filter cache never engaged: the warm-up loop is too short for the probe window")
+			}
+		})
+	}
+}

@@ -183,6 +183,14 @@ type Options struct {
 	// one critical section torn by unsynchronized parallel accesses
 	// (see DESIGN.md); off reproduces the paper exactly.
 	StrictLockChecks bool
+	// DisableAccessFilter turns off the optimized checker's
+	// redundant-access filter — the per-task epoch filter and
+	// direct-mapped location cache that skip provably redundant repeat
+	// accesses before the full dispatch (see DESIGN.md, "Redundant-
+	// access filtering"). On by default; disable for ablation
+	// measurements and differential testing. The detected violation
+	// locations are identical either way.
+	DisableAccessFilter bool
 	// ReporterLimit caps retained violation details (0 = default).
 	ReporterLimit int
 	// RecordTrace additionally captures the execution into a trace
@@ -325,11 +333,12 @@ func NewSession(opts Options) *Session {
 		rep := checker.NewReporter(opts.ReporterLimit)
 		rep.SetMaxViolations(opts.MaxViolations)
 		s.chk = checker.New(checker.Options{
-			Algorithm:        alg,
-			Query:            s.q,
-			Reporter:         rep,
-			StrictLockChecks: opts.StrictLockChecks,
-			Gate:             s.gate,
+			Algorithm:           alg,
+			Query:               s.q,
+			Reporter:            rep,
+			StrictLockChecks:    opts.StrictLockChecks,
+			DisableAccessFilter: opts.DisableAccessFilter,
+			Gate:                s.gate,
 		})
 		mon = s.chk
 	}
@@ -442,18 +451,22 @@ func ReplayTrace(tr *Trace, opts Options) (Report, error) {
 		r := checker.NewReporter(opts.ReporterLimit)
 		r.SetMaxViolations(opts.MaxViolations)
 		c := checker.New(checker.Options{
-			Algorithm:        alg,
-			Query:            q,
-			Reporter:         r,
-			StrictLockChecks: opts.StrictLockChecks,
-			Gate:             gate,
+			Algorithm:           alg,
+			Query:               q,
+			Reporter:            r,
+			StrictLockChecks:    opts.StrictLockChecks,
+			DisableAccessFilter: opts.DisableAccessFilter,
+			Gate:                gate,
 		})
 		if err := trace.Replay(tr, tree, c, nil); err != nil {
 			return rep, err
 		}
 		rep.Violations = c.Reporter().Violations()
 		rep.ViolationCount = c.Reporter().Count()
-		rep.Stats.Locations = c.Stats().Locations
+		cs := c.Stats()
+		rep.Stats.Locations = cs.Locations
+		rep.Stats.FilterHits = cs.FilterHits
+		rep.Stats.FilterMisses = cs.FilterMisses
 		rep.Stats.DPSTNodes = tree.Len()
 		qs := q.Stats()
 		rep.Stats.LCAQueries = qs.LCAQueries
@@ -500,6 +513,12 @@ type Stats struct {
 	LCAQueries int64
 	// UniqueLCAs is the number of distinct LCA queries (cache misses).
 	UniqueLCAs int64
+	// FilterHits counts accesses skipped by the optimized checker's
+	// redundant-access filter; FilterMisses counts accesses that fell
+	// through to the full dispatch. Both are zero when the filter is
+	// disabled (Options.DisableAccessFilter) or for other checkers.
+	FilterHits   int64
+	FilterMisses int64
 }
 
 // UniquePercent is the percentage of LCA queries that were unique, or 0
@@ -563,7 +582,10 @@ func (s *Session) Report() Report {
 	if s.chk != nil {
 		r.Violations = s.chk.Reporter().Violations()
 		r.ViolationCount = s.chk.Reporter().Count()
-		r.Stats.Locations = s.chk.Stats().Locations
+		cs := s.chk.Stats()
+		r.Stats.Locations = cs.Locations
+		r.Stats.FilterHits = cs.FilterHits
+		r.Stats.FilterMisses = cs.FilterMisses
 		r.Drops.Violations = s.chk.Reporter().Dropped()
 		if s.chk.Reporter().Saturated() {
 			r.Saturated = true

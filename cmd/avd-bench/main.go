@@ -6,13 +6,19 @@
 // Usage:
 //
 //	avd-bench [-figure 13|14|all] [-workers N] [-scale F] [-reps N] [-json PATH]
+//	          [-cpuprofile PATH] [-memprofile PATH] [-require-filter-hits]
 //
 // As in the paper, each benchmark is executed repeatedly and the average
 // is reported; absolute times depend on this machine, but the shape —
 // who wins and by roughly what factor — should match the paper. With
 // -json the selected figure's raw measurements (wall times, slowdowns,
-// geomeans) are additionally written to PATH as indented JSON; when
-// -figure all, the JSON carries Figure 13.
+// geomeans, filter hit/miss counters) are additionally written to PATH
+// as indented JSON; when -figure all, the JSON carries Figure 13.
+//
+// -cpuprofile and -memprofile write pprof profiles of the measurement
+// run. -require-filter-hits exits nonzero when the avd-filter
+// configuration reports zero redundant-access filter hits — the CI
+// guard against the filter silently wedging open.
 package main
 
 import (
@@ -20,6 +26,8 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"github.com/taskpar/avd/internal/harness"
 )
@@ -32,7 +40,22 @@ func main() {
 	scale := flag.Float64("scale", 1, "problem-size multiplier")
 	reps := flag.Int("reps", 3, "repetitions per measurement (the paper uses 5)")
 	jsonPath := flag.String("json", "", "also write the figure's measurements to this file as JSON")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile at exit to this file")
+	requireHits := flag.Bool("require-filter-hits", false, "fail when the avd-filter configuration reports zero filter hits")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	if *ablation != "" {
 		switch *ablation {
@@ -43,11 +66,12 @@ func main() {
 		default:
 			log.Fatalf("unknown -ablation %q (want metadata)", *ablation)
 		}
+		writeMemProfile(*memProfile)
 		return
 	}
 
 	// render measures one figure, prints it, and remembers its data for
-	// the optional JSON dump.
+	// the optional JSON dump and the filter-hit guard.
 	var jsonData *harness.FigureData
 	render := func(title string, data func(int, float64, int) (*harness.FigureData, error), keep bool) {
 		d, err := data(*workers, *scale, *reps)
@@ -78,5 +102,38 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Printf("\nwrote %s\n", *jsonPath)
+	}
+
+	if *requireHits {
+		var hits, misses int64
+		for _, r := range jsonData.Results {
+			if r.Config == "avd-filter" {
+				hits += r.FilterHits
+				misses += r.FilterMisses
+			}
+		}
+		fmt.Printf("\navd-filter: %d filter hits, %d misses\n", hits, misses)
+		if hits == 0 {
+			log.Fatal("avd-bench: -require-filter-hits: the avd-filter configuration reported zero filter hits")
+		}
+	}
+
+	writeMemProfile(*memProfile)
+}
+
+// writeMemProfile dumps a heap profile after a final GC so the profile
+// reflects retained metadata rather than transient garbage.
+func writeMemProfile(path string) {
+	if path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		log.Fatal(err)
 	}
 }

@@ -1,0 +1,190 @@
+package avd_test
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	avd "github.com/taskpar/avd"
+	"github.com/taskpar/avd/internal/dpst"
+	"github.com/taskpar/avd/internal/oracle"
+	"github.com/taskpar/avd/internal/sptest"
+	"github.com/taskpar/avd/internal/trace"
+)
+
+// The redundant-access filter must be invisible in the checker's output:
+// an access it skips is provably a re-run of one the checker already
+// dispatched for the same step under the same lockset. The tests in this
+// file compare a filtered checker against one with
+// Options.DisableAccessFilter on the same inputs, at three strengths:
+// byte-identical violation reports on serial traces, identical violated
+// location sets on random interleavings of the same trace, and identical
+// location sets between live scheduler runs.
+
+// filterCfg generates programs whose tasks run long enough to pass the
+// filter's warm-up window and revisit locations often enough to keep
+// the cache engaged — otherwise the filter never fires and the
+// differential comparison is vacuous (hammerProgram guarantees at least
+// one engaged task regardless).
+func filterCfg() sptest.GenConfig {
+	return sptest.GenConfig{
+		MaxItems: 5, MaxDepth: 3, MaxSteps: 14,
+		Locations: 2, MaxAccess: 8, Locks: 2, LockProb: 0.3,
+	}
+}
+
+// replayBoth replays tr under opts with the filter on and off and
+// returns both reports.
+func replayBoth(t *testing.T, tr *avd.Trace, opts avd.Options) (on, off avd.Report) {
+	t.Helper()
+	opts.DisableAccessFilter = false
+	on, err := avd.ReplayTrace(tr, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.DisableAccessFilter = true
+	off, err = avd.ReplayTrace(tr, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return on, off
+}
+
+// hammerProgram is a hand-built program that forces the filter to
+// engage: one long step re-reading and re-writing two locations far past
+// the warm-up threshold, with a parallel writer making the location
+// genuinely racy.
+func hammerProgram() *sptest.Program {
+	step := &sptest.StepItem{ID: 1}
+	for i := 0; i < 90; i++ {
+		step.Accesses = append(step.Accesses,
+			sptest.Access{Loc: 0, Write: i%4 == 3, Lock: -1, CS: -1},
+			sptest.Access{Loc: 1, Write: false, Lock: -1, CS: -1})
+	}
+	writer := &sptest.StepItem{ID: 2, Accesses: []sptest.Access{
+		{Loc: 0, Write: true, Lock: -1, CS: -1},
+		{Loc: 1, Write: true, Lock: -1, CS: -1},
+	}}
+	return &sptest.Program{Body: []sptest.Item{
+		&sptest.FinishItem{Body: []sptest.Item{
+			&sptest.SpawnItem{Body: []sptest.Item{step}},
+			writer,
+		}},
+	}}
+}
+
+// TestFilterDifferentialExactReports is the strongest form of the
+// soundness property: on a serial (depth-first, one-worker) schedule,
+// where every step's accesses are contiguous, the filtered and
+// unfiltered checkers must produce byte-identical violation reports —
+// same violations, same order, same steps and locksets — in paper mode,
+// strict-lock mode, and under injected allocation failures.
+func TestFilterDifferentialExactReports(t *testing.T) {
+	r := rand.New(rand.NewSource(7701))
+	var hits int64
+	programs := []*sptest.Program{hammerProgram()}
+	for trial := 0; trial < 120; trial++ {
+		programs = append(programs, sptest.Random(r, filterCfg()))
+	}
+	for i, p := range programs {
+		tr, err := trace.Compile(p).ScheduleSerial()
+		if err != nil {
+			t.Fatalf("program %d: %v", i, err)
+		}
+		for _, opts := range []avd.Options{
+			{},
+			{StrictLockChecks: true},
+			{Chaos: &avd.ChaosConfig{Seed: int64(i), AllocFailProb: 0.05}},
+		} {
+			on, off := replayBoth(t, tr, opts)
+			if on.ViolationCount != off.ViolationCount ||
+				!reflect.DeepEqual(on.Violations, off.Violations) {
+				t.Fatalf("program %d opts %+v: filtered report differs\nfiltered:   %v\nunfiltered: %v\nprogram:\n%s",
+					i, opts, on.Violations, off.Violations, p)
+			}
+			if off.Stats.FilterHits != 0 || off.Stats.FilterMisses != 0 {
+				t.Fatalf("program %d: disabled filter reported counters %d/%d",
+					i, off.Stats.FilterHits, off.Stats.FilterMisses)
+			}
+			hits += on.Stats.FilterHits
+		}
+	}
+	if hits == 0 {
+		t.Fatal("the filter never engaged across all trials; the differential test is vacuous")
+	}
+}
+
+// TestFilterDifferentialRandomSchedules replays random interleavings of
+// the same compiled programs: step accesses are no longer contiguous, so
+// the metadata evolution may differ slot-by-slot, but the set of
+// violated locations must not.
+func TestFilterDifferentialRandomSchedules(t *testing.T) {
+	r := rand.New(rand.NewSource(7702))
+	for trial := 0; trial < 100; trial++ {
+		p := sptest.Random(r, filterCfg())
+		tr, err := trace.FromProgram(p, r)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		on, off := replayBoth(t, tr, avd.Options{})
+		if !reflect.DeepEqual(violLocs(on), violLocs(off)) {
+			t.Fatalf("trial %d: filtered locations %v, unfiltered %v\nprogram:\n%s",
+				trial, violLocs(on), violLocs(off), p)
+		}
+	}
+}
+
+// TestFilterDifferentialLive runs programs on the real work-stealing
+// scheduler with the filter on and off (including chaos-perturbed
+// schedules): by the checker's schedule-independence, both sessions must
+// report the same violated locations.
+func TestFilterDifferentialLive(t *testing.T) {
+	r := rand.New(rand.NewSource(7703))
+	cfg := filterCfg()
+	for trial := 0; trial < 40; trial++ {
+		p := sptest.Random(r, cfg)
+		var chaos *avd.ChaosConfig
+		if trial%2 == 1 {
+			chaos = &avd.ChaosConfig{Seed: int64(trial), StealProb: 0.3, DelayProb: 0.2, MaxDelaySpins: 8}
+		}
+		on := execProgram(p, cfg, avd.Options{Workers: 4, Chaos: chaos})
+		off := execProgram(p, cfg, avd.Options{Workers: 4, Chaos: chaos, DisableAccessFilter: true})
+		if !sameLocs(on, off) {
+			t.Fatalf("trial %d: filtered live run detected %v, unfiltered %v\nprogram:\n%s",
+				trial, on, off, p)
+		}
+	}
+}
+
+// TestFilterSerialReplayMatchesOracle anchors the serial-schedule
+// differential in ground truth: on programs small enough for the
+// all-schedules oracle, the filtered serial replay detects exactly the
+// violating locations the oracle predicts (the serial interleaving loses
+// no violations, because detection is DPST- not schedule-based).
+func TestFilterSerialReplayMatchesOracle(t *testing.T) {
+	r := rand.New(rand.NewSource(7704))
+	for trial := 0; trial < 60; trial++ {
+		cfg := sptest.GenConfig{
+			MaxItems: 4, MaxDepth: 3, MaxSteps: 10,
+			Locations: 2, MaxAccess: 6, Locks: 1, LockProb: 0.25,
+		}
+		p := sptest.Random(r, cfg)
+		tr, err := trace.Compile(p).ScheduleSerial()
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		rep, err := avd.ReplayTrace(tr, avd.Options{})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		got := make(map[int]bool)
+		for _, v := range rep.Violations {
+			got[int(v.Loc-trace.LocBase)] = true
+		}
+		want := oracle.Violations(sptest.Build(dpst.ArrayLayout, p), oracle.ModePaper)
+		if !sameLocs(got, want) {
+			t.Fatalf("trial %d: serial filtered replay %v, oracle %v\nprogram:\n%s",
+				trial, got, want, p)
+		}
+	}
+}

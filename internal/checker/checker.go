@@ -130,6 +130,12 @@ type Options struct {
 	Query *dpst.Query
 	// Reporter collects violations; a fresh one is created when nil.
 	Reporter *Reporter
+	// DisableAccessFilter turns off the optimized checker's
+	// redundant-access filter (the per-task epoch filter and
+	// direct-mapped location cache in front of the dispatch), for
+	// ablation benchmarks and differential testing. The basic checker
+	// has no filter and ignores the flag.
+	DisableAccessFilter bool
 	// StrictLockChecks enables the extension described in DESIGN.md:
 	// two-access patterns whose accesses share a lock are still tracked
 	// (with their common lockset) so that unsynchronized interleavers
@@ -155,6 +161,17 @@ type TaskState interface {
 	Lockset() []uint64
 	// LocalSlot returns a pointer to monitor-owned per-task storage.
 	LocalSlot() *any
+	// FilterEpoch returns a version word that changes whenever the task
+	// moves to a new step node or changes its lockset. The checker's
+	// redundant-access filter trusts a cached redundancy fact only while
+	// the epoch is unchanged, so implementations must never reuse a
+	// value across a step transition or lock operation.
+	FilterEpoch() uint64
+	// AccessState returns the four facts above in one call — the hot
+	// path pays one indirect call instead of four. The results must be
+	// exactly what the individual getters would have returned, in order
+	// (LocalSlot, StepNode, FilterEpoch, Lockset).
+	AccessState() (slot *any, step dpst.NodeID, epoch uint64, locks []uint64)
 }
 
 // Checker is the common interface of both algorithms; it extends
@@ -174,6 +191,13 @@ type Checker interface {
 type Stats struct {
 	// Locations is the number of unique instrumented locations accessed.
 	Locations int64
+	// FilterHits counts accesses skipped by the redundant-access filter
+	// (epoch-word hits plus offer-once fast-path skips); FilterMisses
+	// counts accesses that consulted the filter and fell through to the
+	// full dispatch. Both are zero when the filter is disabled or for
+	// the basic checker.
+	FilterHits   int64
+	FilterMisses int64
 }
 
 // New creates a checker.

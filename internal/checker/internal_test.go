@@ -61,7 +61,8 @@ func TestUpdateSingleSlots(t *testing.T) {
 
 	cell := &optCell{}
 	initOptCell(cell)
-	sp := &localSpace{m: map[sched.Loc]*localEntry{}, par: map[uint64]int8{}}
+	sp := &localSpace{par: map[uint64]int8{}}
+	sp.m.init()
 	c.updateSingle(sp, cell, sR1, sR2, p1, nil)
 	if cell.single[sR1] != p1 || cell.single[sR2] != dpst.None {
 		t.Fatalf("first update: a=%d b=%d", cell.single[sR1], cell.single[sR2])

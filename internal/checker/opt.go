@@ -1,6 +1,8 @@
 package checker
 
 import (
+	"sync"
+
 	"github.com/taskpar/avd/internal/dpst"
 	"github.com/taskpar/avd/internal/sched"
 )
@@ -132,6 +134,161 @@ type localEntry struct {
 	writeLocks []uint64
 }
 
+// The redundant-access filter in front of the full dispatch: a small
+// per-task direct-mapped cache indexed by the location's low bits. Each
+// entry caches the location's local entry (valid for the task's whole
+// lifetime, killing the local-map probe on repeat locations) and a
+// redundancy word (valid only while the task's filter epoch — step
+// region and lockset version — is unchanged, see Task.FilterEpoch).
+const (
+	filterCacheBits = 6 // 64 entries, 2 KiB per task
+	filterCacheSize = 1 << filterCacheBits
+	filterCacheMask = filterCacheSize - 1
+)
+
+// Redundancy word bits. filtR means a further read under the same
+// filter epoch is provably redundant, filtW the same for writes. A bit
+// is set only after an access of that type ran the full dispatch (or
+// the offer-once fast path) as a repeat — i.e. with its own local entry
+// already recorded — so every pattern kind the current step can form
+// has been offered before the type becomes skippable. A step's first
+// write clears filtR (the next read newly forms a WR pattern) and its
+// first read clears filtW (the next write newly forms an RW pattern);
+// see DESIGN.md for the full soundness argument.
+const (
+	filtR uint8 = 1 << iota
+	filtW
+)
+
+type filterEntry struct {
+	loc  sched.Loc // 0 = empty (location IDs start at 1)
+	e    *localEntry
+	ver  uint64
+	bits uint8
+	// hot marks an entry that has answered at least one repeat since it
+	// was installed. A conflicting location only evicts a hot entry on
+	// its second try (clearing hot on the first), so a sweep of
+	// single-use locations cannot purge the entries that actually serve
+	// repeats — the classic second-chance policy, one byte per entry.
+	hot uint8
+}
+
+type filterCache [filterCacheSize]filterEntry
+
+// The filter cache is allocated per task only on evidence that it can
+// pay: after the task's first filterWarmup accesses, the filter enables
+// iff they touched at most filterCacheSize distinct locations — a
+// working set the direct-mapped cache can actually hold, implying the
+// window revisited locations. The distinct count is the location
+// table's size, already maintained, so warm-up costs one counter
+// increment per access; streaming tasks (one ray, one chunk of a sweep,
+// an array-initialising root task) decide against the 2 KiB allocation
+// once and never pay again.
+const filterWarmup = 2 * filterCacheSize
+
+// Enablement states (localSpace.fstate). The enabled state is implied
+// by a non-nil cache; fstate distinguishes "still probing" from
+// "decided against / retired / disabled", so a retired task can never
+// re-enter warm-up and thrash allocate-retire cycles.
+const (
+	filterWarming int8 = iota
+	filterOff
+)
+
+// The filter retires itself per task when it stops paying: at
+// filterProbeFirst counted accesses and then every filterProbeWindow,
+// the probe hit count is compared against total/filterProbeRatio, and
+// the cache is dropped — permanently for this task — when the access
+// mix shows (almost) no location reuse. The early first check matters:
+// most tasks die long before a full window.
+const (
+	filterProbeFirst  = 256
+	filterProbeWindow = 8192
+	filterProbeRatio  = 16
+)
+
+// locTable maps a task's accessed locations to their local entries: an
+// open-addressing table (power-of-two capacity, Fibonacci hashing,
+// linear probing) replacing the built-in map on the hot path. A lookup
+// is one multiply-shift and, at the table's load factor, rarely more
+// than one compare; an insert never runs the runtime map's incremental
+// growth machinery, which dominated the profile of first-touch-heavy
+// kernels (one ray or one sweep chunk per task inserts its whole
+// working set into a freshly grown map). Location 0 marks empty slots;
+// real location IDs start at 1.
+type locTable struct {
+	keys  []sched.Loc
+	vals  []*localEntry
+	n     int
+	shift uint8 // 64 - log2(cap), the Fibonacci-hash shift
+}
+
+const locTableBits = 4 // initial capacity 16
+
+func (t *locTable) init() {
+	t.keys = make([]sched.Loc, 1<<locTableBits)
+	t.vals = make([]*localEntry, 1<<locTableBits)
+	t.shift = 64 - locTableBits
+}
+
+// get returns the entry for loc, or nil when absent.
+func (t *locTable) get(loc sched.Loc) *localEntry {
+	mask := uint64(len(t.keys) - 1)
+	i := uint64(loc) * 0x9E3779B97F4A7C15 >> t.shift
+	for {
+		switch t.keys[i] {
+		case loc:
+			return t.vals[i]
+		case 0:
+			return nil
+		}
+		i = (i + 1) & mask
+	}
+}
+
+// put inserts loc → e; loc must not be present.
+func (t *locTable) put(loc sched.Loc, e *localEntry) {
+	if t.n >= len(t.keys)-len(t.keys)/4 {
+		t.grow()
+	}
+	mask := uint64(len(t.keys) - 1)
+	i := uint64(loc) * 0x9E3779B97F4A7C15 >> t.shift
+	for t.keys[i] != 0 {
+		i = (i + 1) & mask
+	}
+	t.keys[i], t.vals[i] = loc, e
+	t.n++
+}
+
+func (t *locTable) grow() {
+	oldKeys, oldVals := t.keys, t.vals
+	t.keys = make([]sched.Loc, 2*len(oldKeys))
+	t.vals = make([]*localEntry, 2*len(oldVals))
+	t.shift--
+	mask := uint64(len(t.keys) - 1)
+	for j, k := range oldKeys {
+		if k == 0 {
+			continue
+		}
+		i := uint64(k) * 0x9E3779B97F4A7C15 >> t.shift
+		for t.keys[i] != 0 {
+			i = (i + 1) & mask
+		}
+		t.keys[i], t.vals[i] = k, oldVals[j]
+	}
+}
+
+// filterCounters holds one task's filter hit/miss counters. They live
+// outside localSpace so the checker-wide registry retains only these
+// few bytes per task — not the task's whole local metadata — after the
+// task dies. The fields are written only by the owning task's
+// goroutine; Stats reads them after the run's join barrier, whose
+// atomic task accounting orders every task-side write before the read.
+type filterCounters struct {
+	hits   int64
+	misses int64
+}
+
 // localSpace is a task's local metadata, kept in Task.Local. Besides the
 // per-location entries it holds a task-private front cache for Par
 // results (entries: 1 = serial, 2 = parallel), created only in the
@@ -141,12 +298,32 @@ type localEntry struct {
 // repeats without touching the shared cache. In label mode a query is
 // cheaper than the map hit, so no front cache is kept. rep is the task's
 // private violation buffer, created on its first report.
+//
+// cache is the redundant-access filter, allocated lazily when the
+// warm-up window shows a cache-sized working set (nil while warming up,
+// retired, or disabled), with ctr its counters, accs the warm-up
+// progress, and reuse the probe matches that fell through to dispatch —
+// retirement weighs reuse+hits against the access total, so the hit
+// return path bumps a single counter.
 type localSpace struct {
-	m     map[sched.Loc]*localEntry
+	cache  *filterCache
+	ctr    *filterCounters
+	fstate int8
+	accs   int32
+	reuse  int64
+	m      locTable
 	par   map[uint64]int8
 	rep   *reportBuffer
 	chunk []localEntry
 	used  int
+
+	// lockChunk bump-allocates the lockset copies stored in local
+	// entries, and inter is the reusable scratch for lockset
+	// intersections — both replace the per-access heap allocations of
+	// the locked hot path.
+	lockChunk []uint64
+	lockUsed  int
+	inter     []uint64
 }
 
 // alloc bump-allocates a local entry from the space's current chunk.
@@ -160,16 +337,67 @@ func (ls *localSpace) alloc() *localEntry {
 	return e
 }
 
+// copyLockSlice copies a lockset into the space's bump arena. Like the
+// entry chunks, arena chunks are never reclaimed individually; lockset
+// copies are tiny (lock nesting depth) and die with the task.
+func (ls *localSpace) copyLockSlice(a []uint64) []uint64 {
+	if len(a) == 0 {
+		return nil
+	}
+	if ls.lockUsed+len(a) > len(ls.lockChunk) {
+		n := 128
+		if len(a) > n {
+			n = len(a)
+		}
+		ls.lockChunk = make([]uint64, n)
+		ls.lockUsed = 0
+	}
+	out := ls.lockChunk[ls.lockUsed : ls.lockUsed+len(a) : ls.lockUsed+len(a)]
+	ls.lockUsed += len(a)
+	copy(out, a)
+	return out
+}
+
+// intersect returns the common tokens of two locksets into a scratch
+// buffer reused across calls: the result is only valid until the next
+// call, so callers that retain it (the strict mode's global pattern
+// locksets) must copy it first.
+func (ls *localSpace) intersect(a, b []uint64) []uint64 {
+	out := ls.inter[:0]
+	for _, x := range a {
+		for _, y := range b {
+			if x == y {
+				out = append(out, x)
+				break
+			}
+		}
+	}
+	ls.inter = out
+	return out
+}
+
 // Optimized is the paper's fixed-metadata atomicity checker.
 type Optimized struct {
-	q      *dpst.Query
-	rep    *Reporter
-	strict bool
-	mem    shadow[optCell]
+	q        *dpst.Query
+	rep      *Reporter
+	strict   bool
+	noFilter bool
+	mem      shadow[optCell]
+
+	// counters tracks every task's filter counters; registration happens
+	// once per task, so the lock is cold, and only the counters — not
+	// the task's local metadata — outlive the task.
+	countersMu sync.Mutex
+	counters   []*filterCounters
 }
 
 func newOptimized(opts Options) *Optimized {
-	c := &Optimized{q: opts.Query, rep: opts.Reporter, strict: opts.StrictLockChecks}
+	c := &Optimized{
+		q:        opts.Query,
+		rep:      opts.Reporter,
+		strict:   opts.StrictLockChecks,
+		noFilter: opts.DisableAccessFilter,
+	}
 	c.mem.initC = initOptCell
 	c.mem.setGate(opts.Gate)
 	return c
@@ -179,7 +407,16 @@ func newOptimized(opts Options) *Optimized {
 func (c *Optimized) Reporter() *Reporter { return c.rep }
 
 // Stats implements Checker.
-func (c *Optimized) Stats() Stats { return Stats{Locations: c.mem.count.Load()} }
+func (c *Optimized) Stats() Stats {
+	st := Stats{Locations: c.mem.count.Load()}
+	c.countersMu.Lock()
+	for _, ctr := range c.counters {
+		st.FilterHits += ctr.hits
+		st.FilterMisses += ctr.misses
+	}
+	c.countersMu.Unlock()
+	return st
+}
 
 // OnAcquire implements sched.Monitor; lockset maintenance lives in the
 // runtime, so nothing to do.
@@ -188,24 +425,49 @@ func (c *Optimized) OnAcquire(*sched.Task, *sched.Mutex) {}
 // OnRelease implements sched.Monitor.
 func (c *Optimized) OnRelease(*sched.Task, *sched.Mutex) {}
 
-func (c *Optimized) local(ts TaskState, loc sched.Loc) (*localSpace, *localEntry) {
+// space returns the task's local metadata space, creating it on the
+// task's first instrumented access.
+func (c *Optimized) space(ts TaskState) *localSpace {
 	slot := ts.LocalSlot()
-	ls, ok := (*slot).(*localSpace)
-	if !ok {
-		ls = &localSpace{m: make(map[sched.Loc]*localEntry)}
-		if c.q.Caching() {
-			ls.par = make(map[uint64]int8)
-		}
-		*slot = ls
+	if sp, ok := (*slot).(*localSpace); ok {
+		return sp
 	}
-	e, ok := ls.m[loc]
-	if !ok {
-		e = ls.alloc()
-		e.cell = c.mem.cell(loc)
-		e.readStep, e.writeStep = dpst.None, dpst.None
-		ls.m[loc] = e
+	return c.newSpace(slot)
+}
+
+// newSpace creates a task's local space (the slow path of space, kept
+// out of the Access hot path's inlining footprint).
+func (c *Optimized) newSpace(slot *any) *localSpace {
+	sp := &localSpace{}
+	sp.m.init()
+	if c.noFilter {
+		sp.fstate = filterOff
 	}
-	return ls, e
+	if c.q.Caching() {
+		sp.par = make(map[uint64]int8)
+	}
+	*slot = sp
+	return sp
+}
+
+// enableFilter ends a task's warm-up: it allocates the filter cache and
+// registers the task's counters with the checker.
+func (c *Optimized) enableFilter(sp *localSpace) {
+	sp.cache = new(filterCache)
+	sp.ctr = &filterCounters{}
+	c.countersMu.Lock()
+	c.counters = append(c.counters, sp.ctr)
+	c.countersMu.Unlock()
+}
+
+// newEntry creates the task's local entry for loc, resolving the
+// location's global cell (the slow path of the Access map probe).
+func (c *Optimized) newEntry(sp *localSpace, loc sched.Loc) *localEntry {
+	e := sp.alloc()
+	e.cell = c.mem.cell(loc)
+	e.readStep, e.writeStep = dpst.None, dpst.None
+	sp.m.put(loc, e)
+	return e
 }
 
 // par answers a may-happen-in-parallel query through the current task's
@@ -338,6 +600,13 @@ func (c *Optimized) chooseSlot(sp *localSpace, a, b, s dpst.NodeID, dab int32) i
 // updateSingle installs (si, locks) into the single-entry pair (a, b);
 // a is sR1 or sW1 and b the matching second slot.
 func (c *Optimized) updateSingle(sp *localSpace, cell *optCell, a, b int, si dpst.NodeID, locks []uint64) {
+	if !c.strict && (cell.single[a] == si || cell.single[b] == si) {
+		// Re-offer of an already-stored step: replacement would at best
+		// re-install si (or shrink the pair to {si, si}), so keeping the
+		// stored pair loses nothing. Strict mode still runs, since it
+		// refreshes the entry's lockset.
+		return
+	}
 	dIdx := a / 2 // (sR1,sR2) -> 0, (sW1,sW2) -> 1
 	idx := a
 	switch c.chooseSlot(sp, cell.single[a], cell.single[b], si, cell.singleD[dIdx]) {
@@ -359,6 +628,10 @@ func (c *Optimized) updateSingle(sp *localSpace, cell *optCell, a, b int, si dps
 // updatePattern installs a freshly formed two-access pattern into the
 // kind's entry pair.
 func (c *Optimized) updatePattern(sp *localSpace, cell *optCell, kind int, candStep dpst.NodeID, candLocks []uint64) {
+	if !c.strict && (cell.pat[kind][0] == candStep || cell.pat[kind][1] == candStep) {
+		// Same idempotence argument as updateSingle's re-offer guard.
+		return
+	}
 	slot := c.chooseSlot(sp, cell.pat[kind][0], cell.pat[kind][1], candStep, cell.patD[kind])
 	if slot < 0 {
 		return
@@ -369,7 +642,9 @@ func (c *Optimized) updatePattern(sp *localSpace, cell *optCell, kind int, candS
 		cell.patD[kind] = c.q.PairDepth(cell.pat[kind][0], cell.pat[kind][1])
 	}
 	if c.strict {
-		cell.locks().pat[kind][slot] = candLocks
+		// candLocks may live in the task's intersect scratch; the global
+		// entry outlives the task, so take a heap copy.
+		cell.locks().pat[kind][slot] = copyLocks(candLocks)
 	}
 }
 
@@ -378,11 +653,60 @@ func (c *Optimized) OnAccess(t *sched.Task, loc sched.Loc, write bool) {
 	c.Access(t, loc, write)
 }
 
-// Access checks one access with the dispatch of Figure 6.
+// Access checks one access with the dispatch of Figure 6, fronted by
+// the redundant-access filter: a one-load epoch check skips accesses
+// that are provably re-runs of an access already dispatched by the same
+// step under an identical lockset, and the direct-mapped cache resolves
+// the local entry without the map probe on repeat locations.
 func (c *Optimized) Access(ts TaskState, loc sched.Loc, write bool) {
-	si := ts.StepNode()
-	sp, ls := c.local(ts, loc)
-	locks := ts.Lockset()
+	slot, si, ver, locks := ts.AccessState()
+	sp, ok := (*slot).(*localSpace)
+	if !ok {
+		sp = c.newSpace(slot)
+	}
+	var fe *filterEntry
+	var ls *localEntry
+	if cache := sp.cache; cache != nil {
+		fe = &cache[uint64(loc)&filterCacheMask]
+		if fe.loc == loc {
+			if fe.ver == ver {
+				bit := filtR
+				if write {
+					bit = filtW
+				}
+				if fe.bits&bit != 0 {
+					sp.ctr.hits++
+					return
+				}
+			}
+			sp.reuse++
+			fe.hot = 1
+			ls = fe.e
+		} else if fe.hot != 0 {
+			// The incumbent has served a repeat: give it a second chance
+			// and run this access unfiltered.
+			fe.hot = 0
+			fe = nil
+		}
+	} else if sp.fstate == filterWarming {
+		// Warm-up: a window's worth of accesses over at most a cache's
+		// worth of distinct locations means the working set fits.
+		if sp.accs++; sp.accs >= filterWarmup {
+			if sp.m.n <= filterCacheSize {
+				c.enableFilter(sp)
+			} else {
+				sp.fstate = filterOff
+			}
+		}
+	}
+	if ls == nil {
+		if ls = sp.m.get(loc); ls == nil {
+			ls = c.newEntry(sp, loc)
+		}
+		if fe != nil {
+			fe.loc, fe.e, fe.ver, fe.bits, fe.hot = loc, ls, ver, 0, 0
+		}
+	}
 	cell := ls.cell
 	if cell == nil {
 		// The gate refused this location's metadata: the location is not
@@ -395,43 +719,100 @@ func (c *Optimized) Access(ts TaskState, loc sched.Loc, write bool) {
 	localRead := ls.readStep == si
 	localWrite := ls.writeStep == si
 	// Offer-once fast path: a lock-free repeat whose offers and checks
-	// have all happened is a no-op (see the flag documentation).
+	// have all happened is a no-op (see the flag documentation). It
+	// backstops the filter on cache collisions and when the filter is
+	// disabled; a skip here also primes the filter word so the next
+	// repeat is answered by the epoch check alone.
 	if len(locks) == 0 {
 		if write {
 			if localWrite && ls.flags&fW != 0 && ls.flags&fWW != 0 &&
 				(!localRead || ls.flags&fRW != 0) {
+				if sp.cache != nil {
+					sp.ctr.hits++
+					if fe != nil {
+						if fe.ver != ver {
+							fe.ver, fe.bits = ver, 0
+						}
+						fe.bits |= filtW
+					}
+				}
 				return
 			}
 		} else {
 			if localRead && ls.flags&fR != 0 && ls.flags&fRR != 0 &&
 				(!localWrite || ls.flags&fWR != 0) {
+				if sp.cache != nil {
+					sp.ctr.hits++
+					if fe != nil {
+						if fe.ver != ver {
+							fe.ver, fe.bits = ver, 0
+						}
+						fe.bits |= filtR
+					}
+				}
 				return
 			}
 		}
 	}
+	if sp.cache != nil {
+		sp.ctr.misses++
+		if t := sp.ctr.hits + sp.ctr.misses; (t == filterProbeFirst ||
+			t&(filterProbeWindow-1) == 0) && sp.reuse+sp.ctr.hits < t/filterProbeRatio {
+			// No reuse in this task's mix after all: retire the filter
+			// for good (fstate blocks re-entry into warm-up).
+			sp.cache, sp.fstate = nil, filterOff
+		}
+	}
+	// The Figure 6 dispatch, under the cell lock.
 	cell.mu.lock()
-	defer cell.mu.unlock()
 	if !localRead && !localWrite {
 		if cell.single[sR1] == dpst.None && cell.single[sW1] == dpst.None {
-			c.handleFirstAccess(cell, ls, si, write, locks)
+			c.handleFirstAccess(sp, cell, ls, si, write, locks)
 		} else {
 			c.handleFirstAccessCurrentTask(sp, loc, cell, ls, si, write, locks)
 		}
+	} else {
+		c.handleNonFirstAccess(sp, loc, cell, ls, si, write, locks, localRead, localWrite)
+	}
+	cell.mu.unlock()
+	if fe == nil {
 		return
 	}
-	c.handleNonFirstAccess(sp, loc, cell, ls, si, write, locks, localRead, localWrite)
+	// Update the redundancy word. A bit is set only when the access ran
+	// as a repeat of its own type (localRead/localWrite at entry): only
+	// then has every pattern kind the step can currently form been
+	// offered. A first write invalidates read redundancy (the next read
+	// newly forms a WR pattern) and a first read invalidates write
+	// redundancy (RW), so the enabling access always dispatches fully.
+	if fe.ver != ver {
+		fe.ver, fe.bits = ver, 0
+	}
+	if write {
+		if localWrite {
+			fe.bits |= filtW
+		} else {
+			fe.bits &^= filtR
+		}
+	} else {
+		if localRead {
+			fe.bits |= filtR
+		} else {
+			fe.bits &^= filtW
+		}
+	}
 }
 
 // setLocalRead records the step's first read in the local space,
-// clearing the offer flags tied to the previous read entry.
-func setLocalRead(ls *localEntry, si dpst.NodeID, locks []uint64) {
-	ls.readStep, ls.readLocks = si, copyLocks(locks)
+// clearing the offer flags tied to the previous read entry. The lockset
+// copy comes from the space's bump arena, not the heap.
+func setLocalRead(sp *localSpace, ls *localEntry, si dpst.NodeID, locks []uint64) {
+	ls.readStep, ls.readLocks = si, sp.copyLockSlice(locks)
 	ls.flags &^= fR | fRR | fRW
 }
 
 // setLocalWrite records the step's first write in the local space.
-func setLocalWrite(ls *localEntry, si dpst.NodeID, locks []uint64) {
-	ls.writeStep, ls.writeLocks = si, copyLocks(locks)
+func setLocalWrite(sp *localSpace, ls *localEntry, si dpst.NodeID, locks []uint64) {
+	ls.writeStep, ls.writeLocks = si, sp.copyLockSlice(locks)
 	ls.flags &^= fW | fWW | fWR
 }
 
@@ -445,7 +826,7 @@ func markDone(ls *localEntry, locks []uint64, flag uint8) {
 
 // handleFirstAccess is Figure 7: the very first access to the location
 // by any task. No LCA query is performed.
-func (c *Optimized) handleFirstAccess(cell *optCell, ls *localEntry, si dpst.NodeID, write bool, locks []uint64) {
+func (c *Optimized) handleFirstAccess(sp *localSpace, cell *optCell, ls *localEntry, si dpst.NodeID, write bool, locks []uint64) {
 	idx := sR1
 	if write {
 		idx = sW1
@@ -455,10 +836,10 @@ func (c *Optimized) handleFirstAccess(cell *optCell, ls *localEntry, si dpst.Nod
 		cell.locks().single[idx] = copyLocks(locks)
 	}
 	if write {
-		setLocalWrite(ls, si, locks)
+		setLocalWrite(sp, ls, si, locks)
 		markDone(ls, locks, fW)
 	} else {
-		setLocalRead(ls, si, locks)
+		setLocalRead(sp, ls, si, locks)
 		markDone(ls, locks, fR)
 	}
 }
@@ -469,7 +850,7 @@ func (c *Optimized) handleFirstAccess(cell *optCell, ls *localEntry, si dpst.Nod
 // global two-access pattern.
 func (c *Optimized) handleFirstAccessCurrentTask(sp *localSpace, loc sched.Loc, cell *optCell, ls *localEntry, si dpst.NodeID, write bool, locks []uint64) {
 	if write {
-		setLocalWrite(ls, si, locks)
+		setLocalWrite(sp, ls, si, locks)
 		c.checkStoredPatterns(sp, loc, cell, pWW, si, Write, locks)
 		c.checkStoredPatterns(sp, loc, cell, pRW, si, Write, locks)
 		c.checkStoredPatterns(sp, loc, cell, pRR, si, Write, locks)
@@ -477,7 +858,7 @@ func (c *Optimized) handleFirstAccessCurrentTask(sp *localSpace, loc sched.Loc, 
 		c.updateSingle(sp, cell, sW1, sW2, si, locks)
 		markDone(ls, locks, fW)
 	} else {
-		setLocalRead(ls, si, locks)
+		setLocalRead(sp, ls, si, locks)
 		c.checkStoredPatterns(sp, loc, cell, pWW, si, Read, locks)
 		c.updateSingle(sp, cell, sR1, sR2, si, locks)
 		markDone(ls, locks, fR)
@@ -507,7 +888,7 @@ func (c *Optimized) handleNonFirstAccess(sp *localSpace, loc sched.Loc, cell *op
 		c.checkStoredPatterns(sp, loc, cell, pRR, si, Write, locks)
 		c.checkStoredPatterns(sp, loc, cell, pWR, si, Write, locks)
 		if localRead {
-			if common := intersect(ls.readLocks, locks); len(common) == 0 || c.strict {
+			if common := sp.intersect(ls.readLocks, locks); len(common) == 0 || c.strict {
 				c.checkCandidate(sp, loc, cell, si, common, Read, Write, sW1, Write)
 				c.checkCandidate(sp, loc, cell, si, common, Read, Write, sW2, Write)
 				c.updatePattern(sp, cell, pRW, si, common)
@@ -515,7 +896,7 @@ func (c *Optimized) handleNonFirstAccess(sp *localSpace, loc sched.Loc, cell *op
 			}
 		}
 		if localWrite {
-			if common := intersect(ls.writeLocks, locks); len(common) == 0 || c.strict {
+			if common := sp.intersect(ls.writeLocks, locks); len(common) == 0 || c.strict {
 				c.checkCandidate(sp, loc, cell, si, common, Write, Write, sW1, Write)
 				c.checkCandidate(sp, loc, cell, si, common, Write, Write, sW2, Write)
 				c.checkCandidate(sp, loc, cell, si, common, Write, Write, sR1, Read)
@@ -526,13 +907,13 @@ func (c *Optimized) handleNonFirstAccess(sp *localSpace, loc sched.Loc, cell *op
 		}
 		c.updateSingle(sp, cell, sW1, sW2, si, locks)
 		if !localWrite {
-			setLocalWrite(ls, si, locks)
+			setLocalWrite(sp, ls, si, locks)
 		}
 		markDone(ls, locks, fW)
 	} else {
 		c.checkStoredPatterns(sp, loc, cell, pWW, si, Read, locks)
 		if localRead {
-			if common := intersect(ls.readLocks, locks); len(common) == 0 || c.strict {
+			if common := sp.intersect(ls.readLocks, locks); len(common) == 0 || c.strict {
 				c.checkCandidate(sp, loc, cell, si, common, Read, Read, sW1, Write)
 				c.checkCandidate(sp, loc, cell, si, common, Read, Read, sW2, Write)
 				c.updatePattern(sp, cell, pRR, si, common)
@@ -540,7 +921,7 @@ func (c *Optimized) handleNonFirstAccess(sp *localSpace, loc sched.Loc, cell *op
 			}
 		}
 		if localWrite {
-			if common := intersect(ls.writeLocks, locks); len(common) == 0 || c.strict {
+			if common := sp.intersect(ls.writeLocks, locks); len(common) == 0 || c.strict {
 				c.checkCandidate(sp, loc, cell, si, common, Write, Read, sW1, Write)
 				c.checkCandidate(sp, loc, cell, si, common, Write, Read, sW2, Write)
 				c.updatePattern(sp, cell, pWR, si, common)
@@ -549,7 +930,7 @@ func (c *Optimized) handleNonFirstAccess(sp *localSpace, loc sched.Loc, cell *op
 		}
 		c.updateSingle(sp, cell, sR1, sR2, si, locks)
 		if !localRead {
-			setLocalRead(ls, si, locks)
+			setLocalRead(sp, ls, si, locks)
 		}
 		markDone(ls, locks, fR)
 	}

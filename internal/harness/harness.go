@@ -37,10 +37,18 @@ func Prototype(workers int) Config {
 	return Config{Name: "our-prototype", Opts: avd.Options{Workers: workers}}
 }
 
-// PrototypeLabels is the default configuration under its explicit
-// Figure 13 column name: path-label MHP on the array DPST.
+// PrototypeFilter is the full fast configuration: path-label MHP plus
+// the redundant-access filter (the shipping default, under its explicit
+// Figure 13 column name).
+func PrototypeFilter(workers int) Config {
+	return Config{Name: "avd-filter", Opts: avd.Options{Workers: workers, MHP: avd.MHPLabels}}
+}
+
+// PrototypeLabels is the label-MHP configuration with the
+// redundant-access filter disabled — the PR 1 baseline, kept as the
+// filter ablation column.
 func PrototypeLabels(workers int) Config {
-	return Config{Name: "avd-labels", Opts: avd.Options{Workers: workers, MHP: avd.MHPLabels}}
+	return Config{Name: "avd-labels", Opts: avd.Options{Workers: workers, MHP: avd.MHPLabels, DisableAccessFilter: true}}
 }
 
 // PrototypeCachedLCA is the paper's Section 4 configuration — the LCA
@@ -118,16 +126,22 @@ func Measure(k bench.Kernel, cfg Config, n, reps int) (Measurement, error) {
 	}
 	times := make([]float64, 0, reps)
 	var rep avd.Report
-	for i := 0; i < reps; i++ {
+	for i := 0; i <= reps; i++ {
 		runtime.GC() // don't charge this run with the previous config's garbage
 		s := avd.NewSession(cfg.Opts)
 		start := time.Now()
 		sum := k.Run(s, n)
-		times = append(times, time.Since(start).Seconds())
+		elapsed := time.Since(start).Seconds()
 		rep = s.Report()
 		s.Close()
 		if err := k.Check(n, sum); err != nil {
 			return Measurement{}, fmt.Errorf("%s under %s: %w", k.Name, cfg.Name, err)
+		}
+		if i > 0 {
+			// Run 0 is an untimed warm-up: it grows the heap and faults in
+			// the shadow structures, so the first measured configuration is
+			// not charged for the process's cold start.
+			times = append(times, elapsed)
 		}
 	}
 	sort.Float64s(times)
@@ -235,18 +249,26 @@ type FigureResult struct {
 	N        int     `json:"n"`
 	WallNS   int64   `json:"wall_ns"`
 	Slowdown float64 `json:"slowdown"`
+	// FilterHits/FilterMisses are the redundant-access filter counters
+	// of the measured run (omitted for configurations without the
+	// filter).
+	FilterHits   int64 `json:"filter_hits,omitempty"`
+	FilterMisses int64 `json:"filter_misses,omitempty"`
 }
 
 // FigureData is the machine-readable form of a slowdown figure, suitable
 // for committing next to the text rendering (BENCH_figure13.json).
 type FigureData struct {
-	Figure  int                `json:"figure"`
-	Workers int                `json:"workers"`
-	Scale   float64            `json:"scale"`
-	Reps    int                `json:"reps"`
-	Configs []string           `json:"configs"`
-	Results []FigureResult     `json:"results"`
-	Geomean map[string]float64 `json:"geomean"`
+	Figure int `json:"figure"`
+	// Workers is the resolved worker count (GOMAXPROCS when the
+	// configuration requested 0).
+	Workers   int                `json:"workers"`
+	GoVersion string             `json:"go_version"`
+	Scale     float64            `json:"scale"`
+	Reps      int                `json:"reps"`
+	Configs   []string           `json:"configs"`
+	Results   []FigureResult     `json:"results"`
+	Geomean   map[string]float64 `json:"geomean"`
 }
 
 // WriteJSON writes the figure data, indented, to path.
@@ -264,12 +286,17 @@ func (d *FigureData) WriteJSON(path string) error {
 func figureData(figure int, configs []Config, workers int, scale float64, reps int) (*FigureData, error) {
 	sizes := Sizes(scale)
 	base := Baseline(workers)
+	resolved := workers
+	if resolved <= 0 {
+		resolved = runtime.GOMAXPROCS(0)
+	}
 	d := &FigureData{
-		Figure:  figure,
-		Workers: workers,
-		Scale:   scale,
-		Reps:    reps,
-		Geomean: make(map[string]float64),
+		Figure:    figure,
+		Workers:   resolved,
+		GoVersion: runtime.Version(),
+		Scale:     scale,
+		Reps:      reps,
+		Geomean:   make(map[string]float64),
 	}
 	for _, cfg := range configs {
 		d.Configs = append(d.Configs, cfg.Name)
@@ -295,6 +322,8 @@ func figureData(figure int, configs []Config, workers int, scale float64, reps i
 			d.Results = append(d.Results, FigureResult{
 				Kernel: k.Name, Config: cfg.Name, N: n,
 				WallNS: int64(m.Seconds * 1e9), Slowdown: sl,
+				FilterHits:   m.Report.Stats.FilterHits,
+				FilterMisses: m.Report.Stats.FilterMisses,
 			})
 		}
 	}
@@ -345,10 +374,11 @@ func RenderFigure(w io.Writer, title string, d *FigureData) {
 	fmt.Fprintln(w)
 }
 
-// Figure13Data measures the label-MHP prototype, the cached-walk
-// ablation, and Velodrome against the baseline.
+// Figure13Data measures the filtered prototype, the no-filter and
+// cached-walk ablations, and Velodrome against the baseline.
 func Figure13Data(workers int, scale float64, reps int) (*FigureData, error) {
 	return figureData(13, []Config{
+		PrototypeFilter(workers),
 		PrototypeLabels(workers),
 		PrototypeCachedLCA(workers),
 		Velodrome(workers),

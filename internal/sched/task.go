@@ -58,6 +58,13 @@ type Task struct {
 	locks    []uint64 // acquisition tokens of currently held locks
 	lockRefs []*Mutex // parallel stack of the held mutexes
 
+	// stepEpoch counts step-region transitions and lockVer lockset
+	// changes; together they version the checker's redundant-access
+	// filter (see FilterEpoch). Both only ever grow, and only from the
+	// task's own goroutine.
+	stepEpoch uint64
+	lockVer   uint64
+
 	// Cilk-style spawn/sync state: the implicit finish scope opened by
 	// the first CilkSpawn after a Sync, and the context to restore.
 	cilk           *finishScope
@@ -88,6 +95,36 @@ func (t *Task) StepNode() dpst.NodeID {
 		t.step = t.sch.tree.NewNode(t.parentNode, dpst.Step, t.id)
 	}
 	return t.step
+}
+
+// newStepRegion invalidates the current step node and advances the
+// step epoch: the next instrumented access belongs to a fresh step, so
+// per-step redundancy state cached against the old epoch must die.
+func (t *Task) newStepRegion() {
+	t.step = dpst.None
+	t.stepEpoch++
+}
+
+// FilterEpoch returns a version word identifying the current
+// (step region, lockset) regime of the task. The word changes whenever
+// the task transitions to a new step node or acquires or releases a
+// lock, so a redundancy fact recorded under one epoch is provably about
+// the same step and an identical lockset when the epoch still matches.
+// The step epoch occupies the high 32 bits and the lockset version the
+// low 32; a collision would need 2^32 lock operations inside a single
+// step region, which the shadow state cannot survive anyway.
+func (t *Task) FilterEpoch() uint64 {
+	return t.stepEpoch<<32 | t.lockVer&(1<<32-1)
+}
+
+// AccessState bundles LocalSlot, StepNode, FilterEpoch, and Lockset
+// into a single call, so the checker's per-access hot path pays one
+// indirect call instead of four.
+func (t *Task) AccessState() (*any, dpst.NodeID, uint64, []uint64) {
+	if t.step == dpst.None && t.sch.tree != nil {
+		t.step = t.sch.tree.NewNode(t.parentNode, dpst.Step, t.id)
+	}
+	return &t.Local, t.step, t.stepEpoch<<32 | t.lockVer&(1<<32-1), t.locks
 }
 
 // Lockset returns the acquisition tokens of the locks currently held by
@@ -142,7 +179,7 @@ func (t *Task) Spawn(body func(*Task)) {
 	childParent := dpst.None
 	if t.sch.tree != nil {
 		childParent = t.sch.tree.NewNode(t.parentNode, dpst.Async, t.id)
-		t.step = dpst.None // the continuation is a fresh step
+		t.newStepRegion() // the continuation is a fresh step
 	}
 	t.scope.pending.Add(1)
 	child := &Task{
@@ -182,7 +219,7 @@ func (t *Task) CilkSpawn(body func(*Task)) {
 		t.cilkParentSave, t.cilkScopeSave = t.parentNode, t.scope
 		if t.sch.tree != nil {
 			t.parentNode = t.sch.tree.NewNode(t.parentNode, dpst.Finish, t.id)
-			t.step = dpst.None
+			t.newStepRegion()
 		}
 		t.cilk = &finishScope{}
 		t.scope = t.cilk
@@ -211,7 +248,7 @@ func (t *Task) Sync() {
 	t.parentNode, t.scope = t.cilkParentSave, t.cilkScopeSave
 	t.cilk = nil
 	if t.sch.tree != nil {
-		t.step = dpst.None
+		t.newStepRegion()
 	}
 	if sc.panicked() {
 		t.propagating = true
@@ -243,7 +280,7 @@ func (t *Task) abortCilk() any {
 		so.OnFinishEnd(t)
 	}
 	if t.sch.tree != nil {
-		t.step = dpst.None
+		t.newStepRegion()
 	}
 	if p := sc.panicV.Load(); p != nil {
 		return p.val
@@ -264,7 +301,7 @@ func (t *Task) Finish(body func(*Task)) {
 	prevParent, prevScope := t.parentNode, t.scope
 	if t.sch.tree != nil {
 		t.parentNode = t.sch.tree.NewNode(t.parentNode, dpst.Finish, t.id)
-		t.step = dpst.None
+		t.newStepRegion()
 	}
 	scope := &finishScope{}
 	t.scope = scope
@@ -284,7 +321,7 @@ func (t *Task) Finish(body func(*Task)) {
 	}
 	t.parentNode, t.scope = prevParent, prevScope
 	if t.sch.tree != nil {
-		t.step = dpst.None // the continuation after the join is a fresh step
+		t.newStepRegion() // the continuation after the join is a fresh step
 	}
 	if scope.panicked() {
 		t.propagating = true

@@ -101,6 +101,23 @@ type simScope struct {
 // runnable tasks. The resulting trace respects spawn/join ordering and
 // lock mutual exclusion.
 func (c *Compiled) Schedule(r *rand.Rand) (*Trace, error) {
+	return c.schedule(func(ready []int) int { return ready[r.Intn(len(ready))] })
+}
+
+// ScheduleSerial produces the depth-first serial interleaving: the most
+// recently spawned runnable task always runs next, so every spawned
+// child executes to completion before its parent resumes — the schedule
+// of a one-worker execution. Each step's accesses are contiguous in the
+// resulting trace (a task is never preempted mid-step), which is the
+// precondition for the redundant-access filter's exact-report
+// differential test.
+func (c *Compiled) ScheduleSerial() (*Trace, error) {
+	return c.schedule(func(ready []int) int { return ready[len(ready)-1] })
+}
+
+// schedule runs the interleaving simulator with the given policy for
+// picking among runnable tasks (indices in ascending order).
+func (c *Compiled) schedule(pick func(ready []int) int) (*Trace, error) {
 	n := len(c.Code)
 	tasks := make([]*simTask, n)
 	rootScope := &simScope{}
@@ -145,7 +162,7 @@ func (c *Compiled) Schedule(r *rand.Rand) (*Trace, error) {
 		if len(ready) == 0 {
 			return nil, fmt.Errorf("trace: schedule deadlocked with %d tasks remaining", remaining)
 		}
-		i := ready[r.Intn(len(ready))]
+		i := pick(ready)
 		t := tasks[i]
 		if t.pc >= len(c.Code[i]) {
 			t.done = true

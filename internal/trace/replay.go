@@ -38,6 +38,18 @@ type replayTask struct {
 	locks   []uint64
 	lockIDs []uint32
 	local   any
+
+	// stepEpoch and lockVer mirror the live runtime's filter-epoch
+	// bookkeeping (see sched.Task.FilterEpoch): step transitions and
+	// lock operations each advance the epoch word.
+	stepEpoch uint64
+	lockVer   uint64
+}
+
+// newStepRegion invalidates the current step and advances the epoch.
+func (t *replayTask) newStepRegion() {
+	t.step = dpst.None
+	t.stepEpoch++
 }
 
 // StepNode implements checker.TaskState.
@@ -53,6 +65,16 @@ func (t *replayTask) Lockset() []uint64 { return t.locks }
 
 // LocalSlot implements checker.TaskState.
 func (t *replayTask) LocalSlot() *any { return &t.local }
+
+// FilterEpoch implements checker.TaskState.
+func (t *replayTask) FilterEpoch() uint64 {
+	return t.stepEpoch<<32 | t.lockVer&(1<<32-1)
+}
+
+// AccessState implements checker.TaskState.
+func (t *replayTask) AccessState() (*any, dpst.NodeID, uint64, []uint64) {
+	return &t.local, t.StepNode(), t.FilterEpoch(), t.locks
+}
 
 // Replay drives sink (and lockSink, if non-nil) with the events of tr,
 // rebuilding the DPST on tree exactly as the live runtime would. It
@@ -70,23 +92,24 @@ func Replay(tr *Trace, tree dpst.Tree, sink Sink, lockSink LockSink) error {
 		switch e.Kind {
 		case KSpawn:
 			a := tree.NewNode(t.parents[len(t.parents)-1], dpst.Async, t.id)
-			t.step = dpst.None
+			t.newStepRegion()
 			tasks[e.Child] = &replayTask{
 				id: e.Child, tree: tree, parents: []dpst.NodeID{a}, step: dpst.None,
 			}
 		case KFinishBegin:
 			f := tree.NewNode(t.parents[len(t.parents)-1], dpst.Finish, t.id)
 			t.parents = append(t.parents, f)
-			t.step = dpst.None
+			t.newStepRegion()
 		case KFinishEnd:
 			t.parents = t.parents[:len(t.parents)-1]
-			t.step = dpst.None
+			t.newStepRegion()
 		case KAccess:
 			sink.Access(t, e.Loc, e.Write)
 		case KAcquire:
 			acq++
 			t.locks = append(t.locks, sched.MakeLockToken(e.Lock, acq))
 			t.lockIDs = append(t.lockIDs, e.Lock)
+			t.lockVer++
 			if lockSink != nil {
 				lockSink.Acquire(t, LockLoc(e.Lock))
 			}
@@ -99,6 +122,7 @@ func Replay(tr *Trace, tree dpst.Tree, sink Sink, lockSink LockSink) error {
 				if t.lockIDs[j] == e.Lock {
 					t.locks = append(t.locks[:j], t.locks[j+1:]...)
 					t.lockIDs = append(t.lockIDs[:j], t.lockIDs[j+1:]...)
+					t.lockVer++
 					found = true
 					break
 				}
