@@ -1,0 +1,165 @@
+// Command avd-lint statically enforces the avd instrumentation
+// contract. It is the compile-time counterpart of the paper's LLVM
+// instrumentation pass: the dynamic checker is only sound when every
+// shared access reaches it through instrumented handles on the right
+// task, and avd-lint verifies exactly that discipline.
+//
+// The suite (see internal/analysis/suite) ships five analyzers:
+//
+//	taskcapture    closures must use their own *Task parameter
+//	sharedescape   parallel-written plain variables are invisible to the checker
+//	lockdiscipline unlock-without-lock, double-lock, critical sections spanning Spawn/Finish
+//	sessionhandle  cross-session handles and use-after-Close
+//	elision        variables provably touched by one step (info: instrumentation removable)
+//
+// Usage:
+//
+//	go run ./cmd/avd-lint [-json] [packages...]
+//	go vet -vettool=$(which avd-lint) ./...
+//
+// Packages default to ./... resolved against the enclosing module.
+// Findings print vet-style (file:line:col: [analyzer] message); -json
+// emits a machine-readable {package: {analyzer: [finding]}} tree for
+// diffing lint results across revisions. Exit status: 0 clean (info
+// findings do not fail the run), 1 operational error, 2 findings.
+//
+// When invoked by go vet (a single *.cfg argument), avd-lint speaks
+// the vet unitchecker protocol: it type-checks from the compiler's
+// export data and reports through vet's own plumbing.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"github.com/taskpar/avd/internal/analysis"
+	"github.com/taskpar/avd/internal/analysis/load"
+	"github.com/taskpar/avd/internal/analysis/suite"
+)
+
+var (
+	jsonFlag = flag.Bool("json", false, "emit machine-readable JSON diagnostics on stdout")
+	versFlag = flag.String("V", "", "if 'full', print tool version and exit (go vet protocol)")
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	// go vet probes the tool's flag inventory with a bare -flags before
+	// ever passing real arguments; answer it ahead of flag.Parse.
+	if len(os.Args) == 2 && os.Args[1] == "-flags" {
+		return printFlags()
+	}
+	flag.Parse()
+	if *versFlag != "" {
+		return printVersion(*versFlag)
+	}
+	args := flag.Args()
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		return unitcheck(args[0], *jsonFlag)
+	}
+	return standalone(args, *jsonFlag)
+}
+
+// jsonFinding is one diagnostic in -json output.
+type jsonFinding struct {
+	Posn     string `json:"posn"`
+	End      string `json:"end,omitempty"`
+	Severity string `json:"severity"`
+	Message  string `json:"message"`
+}
+
+// standalone loads the requested packages from source and lints them.
+func standalone(patterns []string, asJSON bool) int {
+	wd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "avd-lint:", err)
+		return 1
+	}
+	loader, err := load.NewModule(wd)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "avd-lint:", err)
+		return 1
+	}
+	dirs, err := loader.Expand(wd, patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "avd-lint:", err)
+		return 1
+	}
+	analyzers := suite.All()
+	tree := make(map[string]map[string][]jsonFinding)
+	failures := 0
+	exit := 0
+	for _, dir := range dirs {
+		pkg, err := loader.LoadDir(dir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "avd-lint:", err)
+			exit = 1
+			continue
+		}
+		diags, err := analysis.Run(loader.Fset, pkg.Files, pkg.Types, pkg.Info, analyzers)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "avd-lint:", err)
+			exit = 1
+			continue
+		}
+		for _, d := range diags {
+			if d.Severity != analysis.SeverityInfo {
+				failures++
+			}
+			if asJSON {
+				byAnalyzer := tree[pkg.Path]
+				if byAnalyzer == nil {
+					byAnalyzer = make(map[string][]jsonFinding)
+					tree[pkg.Path] = byAnalyzer
+				}
+				byAnalyzer[d.Analyzer] = append(byAnalyzer[d.Analyzer], jsonFinding{
+					Posn:     relPosn(loader.Fset, wd, d.Pos),
+					End:      relPosn(loader.Fset, wd, d.End),
+					Severity: string(d.Severity),
+					Message:  d.Message,
+				})
+			} else {
+				prefix := ""
+				if d.Severity == analysis.SeverityInfo {
+					prefix = "info: "
+				}
+				fmt.Fprintf(os.Stderr, "%s: %s[%s] %s\n", relPosn(loader.Fset, wd, d.Pos), prefix, d.Analyzer, d.Message)
+			}
+		}
+	}
+	if asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "\t")
+		if err := enc.Encode(tree); err != nil {
+			fmt.Fprintln(os.Stderr, "avd-lint:", err)
+			return 1
+		}
+	}
+	if exit != 0 {
+		return exit
+	}
+	if failures > 0 {
+		return 2
+	}
+	return 0
+}
+
+// relPosn renders a position with the file path relative to base.
+func relPosn(fset *token.FileSet, base string, pos token.Pos) string {
+	if !pos.IsValid() {
+		return ""
+	}
+	p := fset.Position(pos)
+	if rel, err := filepath.Rel(base, p.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+		p.Filename = rel
+	}
+	return p.String()
+}

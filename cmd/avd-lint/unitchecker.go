@@ -1,0 +1,220 @@
+// Vet unitchecker protocol: when the go command runs
+// `go vet -vettool=avd-lint`, it first queries `avd-lint -V=full` for
+// a version fingerprint, then invokes the tool once per package with a
+// JSON config file describing the sources and the compiler's export
+// data. This file implements that protocol with the standard library's
+// gc importer, mirroring golang.org/x/tools/go/analysis/unitchecker.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+
+	"github.com/taskpar/avd/internal/analysis"
+	"github.com/taskpar/avd/internal/analysis/suite"
+)
+
+// vetConfig is the JSON configuration the go command hands a vettool
+// (cmd/go/internal/work's vetConfig).
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// printFlags answers the go command's -flags probe with the JSON flag
+// inventory it uses to validate user-supplied vet flags.
+func printFlags() int {
+	type jsonFlag struct {
+		Name  string
+		Bool  bool
+		Usage string
+	}
+	var out []jsonFlag
+	flag.VisitAll(func(f *flag.Flag) {
+		isBool := false
+		if g, ok := f.Value.(flag.Getter); ok {
+			_, isBool = g.Get().(bool)
+		}
+		out = append(out, jsonFlag{Name: f.Name, Bool: isBool, Usage: f.Usage})
+	})
+	data, err := json.Marshal(out)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "avd-lint:", err)
+		return 1
+	}
+	os.Stdout.Write(data)
+	fmt.Println()
+	return 0
+}
+
+// printVersion answers -V=full with the fingerprint format the go
+// command's tool-ID cache expects.
+func printVersion(mode string) int {
+	if mode != "full" {
+		fmt.Fprintf(os.Stderr, "avd-lint: unsupported flag value -V=%s\n", mode)
+		return 1
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "avd-lint:", err)
+		return 1
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "avd-lint:", err)
+		return 1
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		fmt.Fprintln(os.Stderr, "avd-lint:", err)
+		return 1
+	}
+	fmt.Printf("%s version devel comments-go-here buildID=%02x\n", os.Args[0], string(h.Sum(nil)))
+	return 0
+}
+
+// unitcheck lints one package as directed by a vet config file.
+func unitcheck(cfgPath string, asJSON bool) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "avd-lint:", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "avd-lint: parsing %s: %v\n", cfgPath, err)
+		return 1
+	}
+
+	// The go command requires the facts output file to exist even though
+	// the avdlint suite exports no cross-package facts.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, "avd-lint:", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0
+			}
+			fmt.Fprintln(os.Stderr, "avd-lint:", err)
+			return 1
+		}
+		files = append(files, f)
+	}
+
+	compilerImporter := importer.ForCompiler(fset, cfg.Compiler, func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no package file for %q", path)
+		}
+		return os.Open(file)
+	})
+	imp := importerFunc(func(importPath string) (*types.Package, error) {
+		if mapped, ok := cfg.ImportMap[importPath]; ok {
+			importPath = mapped
+		}
+		return compilerImporter.Import(importPath)
+	})
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	tc := &types.Config{Importer: imp}
+	if cfg.GoVersion != "" {
+		tc.GoVersion = cfg.GoVersion
+	}
+	pkg, err := tc.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintln(os.Stderr, "avd-lint:", err)
+		return 1
+	}
+
+	diags, err := analysis.Run(fset, files, pkg, info, suite.All())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "avd-lint:", err)
+		return 1
+	}
+	// Info-severity findings are advisory; under vet they would fail the
+	// build, so only contract violations are reported here.
+	var reportable []analysis.Diagnostic
+	for _, d := range diags {
+		if d.Severity != analysis.SeverityInfo {
+			reportable = append(reportable, d)
+		}
+	}
+	if asJSON {
+		tree := map[string]map[string][]jsonFinding{}
+		for _, d := range reportable {
+			byAnalyzer := tree[cfg.ImportPath]
+			if byAnalyzer == nil {
+				byAnalyzer = map[string][]jsonFinding{}
+				tree[cfg.ImportPath] = byAnalyzer
+			}
+			byAnalyzer[d.Analyzer] = append(byAnalyzer[d.Analyzer], jsonFinding{
+				Posn:     fset.Position(d.Pos).String(),
+				Severity: string(d.Severity),
+				Message:  d.Message,
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "\t")
+		if err := enc.Encode(tree); err != nil {
+			fmt.Fprintln(os.Stderr, "avd-lint:", err)
+			return 1
+		}
+		return 0
+	}
+	for _, d := range reportable {
+		fmt.Fprintf(os.Stderr, "%s: [%s] %s\n", fset.Position(d.Pos), d.Analyzer, d.Message)
+	}
+	if len(reportable) > 0 {
+		return 2
+	}
+	return 0
+}
+
+// importerFunc adapts a function to types.Importer.
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

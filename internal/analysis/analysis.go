@@ -1,0 +1,207 @@
+// Package analysis is a self-contained static-analysis framework
+// modeled on golang.org/x/tools/go/analysis, built only on the standard
+// library so the repo stays dependency-free. It exists to host avdlint,
+// the suite of analyzers that statically enforce the instrumentation
+// contract of the avd API: the paper's detector is only as sound as the
+// event stream it sees, and these analyzers catch — at compile time —
+// the mistakes that would silently produce a wrong DPST or a checker
+// blind spot (wrong-task captures, uninstrumented shared locals,
+// ill-scoped critical sections, cross-session handles).
+//
+// The shapes mirror go/analysis deliberately (Analyzer, Pass,
+// Diagnostic, SuggestedFix) so the suite can be ported to the upstream
+// framework wholesale if the dependency ever becomes available.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"github.com/taskpar/avd/internal/analysis/avdapi"
+)
+
+// Severity classifies a diagnostic. Warnings are contract violations
+// that make the dynamic analysis wrong or incomplete; info diagnostics
+// are advisory findings (e.g. provably elidable instrumentation) that
+// never fail a lint run.
+type Severity string
+
+// Diagnostic severities.
+const (
+	SeverityWarning Severity = "warning"
+	SeverityInfo    Severity = "info"
+)
+
+// Analyzer describes one static analysis of the suite.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and JSON output.
+	Name string
+	// Doc is the help text; the first line is the summary.
+	Doc string
+	// DefaultSeverity applies to diagnostics that do not set their own.
+	DefaultSeverity Severity
+	// Run applies the analyzer to one package.
+	Run func(*Pass) error
+}
+
+// Pass carries one package's syntax and type information to an
+// analyzer's Run function. The Inspector and API facts are built once
+// per package and shared by every analyzer in the suite, so the whole
+// suite traverses each package a single time per layer.
+type Pass struct {
+	// Analyzer is the analyzer being run.
+	Analyzer *Analyzer
+	// Fset maps positions of Files.
+	Fset *token.FileSet
+	// Files is the package's syntax.
+	Files []*ast.File
+	// Pkg is the type-checked package.
+	Pkg *types.Package
+	// TypesInfo carries the type-checker's per-expression results.
+	TypesInfo *types.Info
+	// Inspector is the shared pre-built traversal of Files.
+	Inspector *Inspector
+	// API recognizes the avd instrumentation surface.
+	API *avdapi.Facts
+
+	report func(Diagnostic)
+}
+
+// Report emits a diagnostic, stamping the analyzer name and default
+// severity.
+func (p *Pass) Report(d Diagnostic) {
+	if d.Analyzer == "" {
+		d.Analyzer = p.Analyzer.Name
+	}
+	if d.Severity == "" {
+		if p.Analyzer.DefaultSeverity != "" {
+			d.Severity = p.Analyzer.DefaultSeverity
+		} else {
+			d.Severity = SeverityWarning
+		}
+	}
+	p.report(d)
+}
+
+// Reportf emits a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	// Pos is the primary position; End optionally extends it.
+	Pos, End token.Pos
+	// Analyzer is the reporting analyzer (filled by Report).
+	Analyzer string
+	// Severity is the finding class (filled by Report when empty).
+	Severity Severity
+	// Message describes the finding.
+	Message string
+	// SuggestedFixes are mechanical rewrites that resolve the finding.
+	SuggestedFixes []SuggestedFix
+}
+
+// SuggestedFix is one alternative rewrite.
+type SuggestedFix struct {
+	// Message describes the rewrite.
+	Message string
+	// TextEdits are the edits; they must not overlap.
+	TextEdits []TextEdit
+}
+
+// TextEdit replaces source in [Pos, End) with NewText.
+type TextEdit struct {
+	Pos, End token.Pos
+	NewText  []byte
+}
+
+// Run applies every analyzer to one type-checked package and returns
+// the diagnostics in source order. The Inspector and API facts are
+// constructed once and shared. Diagnostics on a line carrying (or
+// directly below) an //avdlint:ignore comment are suppressed — the
+// escape hatch for code that misuses the API on purpose, such as tests
+// of the runtime's own UsageError paths.
+func Run(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, analyzers []*Analyzer) ([]Diagnostic, error) {
+	insp := NewInspector(files)
+	api := avdapi.NewFacts(pkg, info)
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     files,
+			Pkg:       pkg,
+			TypesInfo: info,
+			Inspector: insp,
+			API:       api,
+			report:    func(d Diagnostic) { diags = append(diags, d) },
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %w", a.Name, err)
+		}
+	}
+	diags = suppressIgnored(fset, files, diags)
+	sortDiagnostics(diags)
+	return diags, nil
+}
+
+// ignoreDirective is the suppression marker: a comment containing it
+// silences every diagnostic reported on its own line or on the line
+// immediately following it.
+const ignoreDirective = "avdlint:ignore"
+
+// suppressIgnored drops diagnostics covered by an ignore directive.
+func suppressIgnored(fset *token.FileSet, files []*ast.File, diags []Diagnostic) []Diagnostic {
+	if len(diags) == 0 {
+		return diags
+	}
+	ignored := make(map[string]map[int]bool)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.Contains(c.Text, ignoreDirective) {
+					continue
+				}
+				posn := fset.Position(c.Pos())
+				lines := ignored[posn.Filename]
+				if lines == nil {
+					lines = make(map[int]bool)
+					ignored[posn.Filename] = lines
+				}
+				lines[posn.Line] = true
+				lines[posn.Line+1] = true
+			}
+		}
+	}
+	if len(ignored) == 0 {
+		return diags
+	}
+	kept := diags[:0]
+	for _, d := range diags {
+		posn := fset.Position(d.Pos)
+		if !ignored[posn.Filename][posn.Line] {
+			kept = append(kept, d)
+		}
+	}
+	return kept
+}
+
+// sortDiagnostics orders findings by position then analyzer name.
+func sortDiagnostics(diags []Diagnostic) {
+	for i := 1; i < len(diags); i++ {
+		for j := i; j > 0 && less(diags[j], diags[j-1]); j-- {
+			diags[j], diags[j-1] = diags[j-1], diags[j]
+		}
+	}
+}
+
+func less(a, b Diagnostic) bool {
+	if a.Pos != b.Pos {
+		return a.Pos < b.Pos
+	}
+	return a.Analyzer < b.Analyzer
+}

@@ -1,0 +1,222 @@
+// Package analysistest runs an analyzer over a GOPATH-style testdata
+// corpus and checks its diagnostics against // want "regexp"
+// expectations, in the style of golang.org/x/tools/go/analysis/
+// analysistest. A file with a sibling <name>.golden additionally has
+// every suggested fix applied and the result compared against the
+// golden content, so mechanical rewrites stay correct.
+package analysistest
+
+import (
+	"fmt"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"github.com/taskpar/avd/internal/analysis"
+	"github.com/taskpar/avd/internal/analysis/load"
+)
+
+// expectation is one // want regexp at a file:line.
+type expectation struct {
+	file    string
+	line    int
+	rx      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+// Run loads each named package from testdata/src, applies the
+// analyzer, and reports mismatches between its diagnostics and the
+// corpus's // want comments through t.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	l := load.NewGOPATH(testdata)
+	for _, path := range pkgs {
+		pkg, err := l.Load(path)
+		if err != nil {
+			t.Errorf("loading %s: %v", path, err)
+			continue
+		}
+		diags, err := analysis.Run(l.Fset, pkg.Files, pkg.Types, pkg.Info, []*analysis.Analyzer{a})
+		if err != nil {
+			t.Errorf("running %s on %s: %v", a.Name, path, err)
+			continue
+		}
+		checkDiagnostics(t, l.Fset, pkg, diags)
+		checkGolden(t, l.Fset, pkg, diags)
+	}
+}
+
+// checkDiagnostics matches diagnostics against want expectations.
+func checkDiagnostics(t *testing.T, fset *token.FileSet, pkg *load.Package, diags []analysis.Diagnostic) {
+	t.Helper()
+	expects, err := collectWants(fset, pkg)
+	if err != nil {
+		t.Error(err)
+		return
+	}
+	for _, d := range diags {
+		posn := fset.Position(d.Pos)
+		matched := false
+		for _, e := range expects {
+			if e.matched || e.file != posn.Filename || e.line != posn.Line {
+				continue
+			}
+			if e.rx.MatchString(d.Message) {
+				e.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic [%s] %s", posn, d.Analyzer, d.Message)
+		}
+	}
+	for _, e := range expects {
+		if !e.matched {
+			t.Errorf("%s:%d: no diagnostic matched want %q", e.file, e.line, e.raw)
+		}
+	}
+}
+
+// collectWants parses the // want comments of every file in pkg.
+func collectWants(fset *token.FileSet, pkg *load.Package) ([]*expectation, error) {
+	var expects []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				idx := strings.Index(text, "want ")
+				if idx < 0 || strings.TrimSpace(text[:idx]) != "" {
+					continue
+				}
+				posn := fset.Position(c.Pos())
+				rxs, err := parseWant(text[idx+len("want "):])
+				if err != nil {
+					return nil, fmt.Errorf("%s: %v", posn, err)
+				}
+				for _, raw := range rxs {
+					rx, err := regexp.Compile(raw)
+					if err != nil {
+						return nil, fmt.Errorf("%s: bad want regexp %q: %v", posn, raw, err)
+					}
+					expects = append(expects, &expectation{file: posn.Filename, line: posn.Line, rx: rx, raw: raw})
+				}
+			}
+		}
+	}
+	return expects, nil
+}
+
+// parseWant extracts the sequence of quoted or backquoted regexps
+// following a want marker.
+func parseWant(s string) ([]string, error) {
+	var out []string
+	for {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			break
+		}
+		switch s[0] {
+		case '`':
+			end := strings.IndexByte(s[1:], '`')
+			if end < 0 {
+				return nil, fmt.Errorf("unterminated backquoted want pattern")
+			}
+			out = append(out, s[1:1+end])
+			s = s[end+2:]
+		case '"':
+			end := -1
+			for i := 1; i < len(s); i++ {
+				if s[i] == '\\' {
+					i++
+					continue
+				}
+				if s[i] == '"' {
+					end = i
+					break
+				}
+			}
+			if end < 0 {
+				return nil, fmt.Errorf("unterminated quoted want pattern")
+			}
+			unq, err := strconv.Unquote(s[:end+1])
+			if err != nil {
+				return nil, fmt.Errorf("bad quoted want pattern %s: %v", s[:end+1], err)
+			}
+			out = append(out, unq)
+			s = s[end+1:]
+		default:
+			return nil, fmt.Errorf("want patterns must be quoted or backquoted, got %q", s)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("want marker with no patterns")
+	}
+	return out, nil
+}
+
+// checkGolden applies suggested fixes per file and compares against
+// <file>.golden where present.
+func checkGolden(t *testing.T, fset *token.FileSet, pkg *load.Package, diags []analysis.Diagnostic) {
+	t.Helper()
+	edits := make(map[string][]analysis.TextEdit)
+	for _, d := range diags {
+		for _, fix := range d.SuggestedFixes {
+			for _, e := range fix.TextEdits {
+				file := fset.Position(e.Pos).Filename
+				edits[file] = append(edits[file], e)
+			}
+		}
+	}
+	for _, f := range pkg.Files {
+		file := fset.Position(f.Pos()).Filename
+		golden := file + ".golden"
+		want, err := os.ReadFile(golden)
+		if err != nil {
+			if len(edits[file]) > 0 && !os.IsNotExist(err) {
+				t.Errorf("reading %s: %v", golden, err)
+			}
+			continue
+		}
+		src, err := os.ReadFile(file)
+		if err != nil {
+			t.Errorf("reading %s: %v", file, err)
+			continue
+		}
+		got := ApplyEdits(fset, src, edits[file])
+		if string(got) != string(want) {
+			t.Errorf("suggested fixes for %s do not match %s:\n-- got --\n%s\n-- want --\n%s",
+				filepath.Base(file), filepath.Base(golden), got, want)
+		}
+	}
+}
+
+// ApplyEdits applies non-overlapping text edits to src, resolving
+// positions through fset.
+func ApplyEdits(fset *token.FileSet, src []byte, edits []analysis.TextEdit) []byte {
+	type span struct {
+		start, end int
+		text       []byte
+	}
+	var spans []span
+	for _, e := range edits {
+		start := fset.Position(e.Pos).Offset
+		end := start
+		if e.End.IsValid() {
+			end = fset.Position(e.End).Offset
+		}
+		spans = append(spans, span{start: start, end: end, text: e.NewText})
+	}
+	sort.Slice(spans, func(i, j int) bool { return spans[i].start > spans[j].start })
+	out := append([]byte(nil), src...)
+	for _, s := range spans {
+		out = append(out[:s.start], append(append([]byte(nil), s.text...), out[s.end:]...)...)
+	}
+	return out
+}

@@ -1,0 +1,384 @@
+// Package avdapi recognizes the avd instrumentation surface — tasks,
+// sessions, instrumented variable handles, instrumented mutexes, and
+// the task-structure operations — in type-checked syntax. It is the
+// shared facts layer of the avdlint suite: every analyzer asks the same
+// questions ("is this call a Spawn?", "is this a *Task?", "which
+// session built this handle?") through one package so the suite agrees
+// on what the instrumentation contract covers.
+//
+// Recognition is by package path and name rather than by object
+// identity, so the analyzers work over the real module
+// (github.com/taskpar/avd and its internal/sched runtime), over the
+// analysistest corpus (which imports a dependency-free stub named
+// "avd"), and over any future vendored copy.
+package avdapi
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// IsAVDPath reports whether path names the public avd package or the
+// sched runtime that defines the instrumented primitives.
+func IsAVDPath(path string) bool {
+	switch path {
+	case "avd", "sched", "github.com/taskpar/avd":
+		return true
+	}
+	return strings.HasSuffix(path, "/avd") || strings.HasSuffix(path, "/internal/sched")
+}
+
+// StructureKind classifies the task-management operations that create
+// or join parallelism — the calls that advance the DPST.
+type StructureKind int
+
+// Structure operations.
+const (
+	KindNone StructureKind = iota
+	KindSpawn
+	KindCilkSpawn
+	KindFinish
+	KindSync
+	KindParallel
+	KindRun
+	KindParallelFor
+	KindParallelRange
+)
+
+// String names the operation as written in source.
+func (k StructureKind) String() string {
+	switch k {
+	case KindSpawn:
+		return "Spawn"
+	case KindCilkSpawn:
+		return "CilkSpawn"
+	case KindFinish:
+		return "Finish"
+	case KindSync:
+		return "Sync"
+	case KindParallel:
+		return "Parallel"
+	case KindRun:
+		return "Run"
+	case KindParallelFor:
+		return "ParallelFor"
+	case KindParallelRange:
+		return "ParallelRange"
+	default:
+		return "none"
+	}
+}
+
+// Forks reports whether the operation introduces logical parallelism
+// between its closure and the spawning context (as opposed to running
+// the closure inline, like Finish and Run do).
+func (k StructureKind) Forks() bool {
+	switch k {
+	case KindSpawn, KindCilkSpawn, KindParallel, KindParallelFor, KindParallelRange:
+		return true
+	}
+	return false
+}
+
+// Facts answers avd API questions about one type-checked package.
+type Facts struct {
+	// Pkg is the package under analysis.
+	Pkg *types.Package
+	// Info is its type information.
+	Info *types.Info
+}
+
+// NewFacts builds the facts layer for one package.
+func NewFacts(pkg *types.Package, info *types.Info) *Facts {
+	return &Facts{Pkg: pkg, Info: info}
+}
+
+// namedInAVD reports whether t (after stripping one pointer) is the
+// named avd type with the given name, returning the named type.
+func namedInAVD(t types.Type, name string) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Name() == name && obj.Pkg() != nil && IsAVDPath(obj.Pkg().Path())
+}
+
+// IsTaskPtr reports whether t is *avd.Task (or the sched original).
+func IsTaskPtr(t types.Type) bool {
+	ptr, ok := t.(*types.Pointer)
+	return ok && namedInAVD(ptr.Elem(), "Task")
+}
+
+// IsSessionPtr reports whether t is *avd.Session.
+func IsSessionPtr(t types.Type) bool {
+	ptr, ok := t.(*types.Pointer)
+	return ok && namedInAVD(ptr.Elem(), "Session")
+}
+
+// IsMutexPtr reports whether t is *avd.Mutex.
+func IsMutexPtr(t types.Type) bool {
+	ptr, ok := t.(*types.Pointer)
+	return ok && namedInAVD(ptr.Elem(), "Mutex")
+}
+
+// HandleKind returns the instrumented-variable kind of t ("IntVar",
+// "FloatVar", "IntArray", "FloatArray"), or "" when t is not a handle.
+func HandleKind(t types.Type) string {
+	for _, name := range [...]string{"IntVar", "FloatVar", "IntArray", "FloatArray"} {
+		if namedInAVD(t, name) {
+			return name
+		}
+	}
+	return ""
+}
+
+// IsInstrumented reports whether t is any instrumented handle type
+// (variable, array, or mutex) — values the checker already sees.
+func IsInstrumented(t types.Type) bool {
+	return HandleKind(t) != "" || IsMutexPtr(t) || IsSessionPtr(t) || IsTaskPtr(t)
+}
+
+// Callee resolves the called function or method of call, or nil.
+func (f *Facts) Callee(call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := f.Info.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := f.Info.Selections[fun]; ok {
+			if fn, ok := sel.Obj().(*types.Func); ok {
+				return fn
+			}
+			return nil
+		}
+		if fn, ok := f.Info.Uses[fun.Sel].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}
+
+// avdFunc reports whether fn is declared in an avd package (directly or
+// as a method of an avd type).
+func avdFunc(fn *types.Func) bool {
+	return fn != nil && fn.Pkg() != nil && IsAVDPath(fn.Pkg().Path())
+}
+
+// recvType returns the receiver type of fn, or nil for plain functions.
+func recvType(fn *types.Func) types.Type {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil
+	}
+	return sig.Recv().Type()
+}
+
+// Structure classifies call as a task-structure operation.
+func (f *Facts) Structure(call *ast.CallExpr) StructureKind {
+	fn := f.Callee(call)
+	if !avdFunc(fn) {
+		return KindNone
+	}
+	recv := recvType(fn)
+	switch {
+	case recv == nil:
+		switch fn.Name() {
+		case "ParallelFor":
+			return KindParallelFor
+		case "ParallelRange":
+			return KindParallelRange
+		}
+	case IsTaskPtr(recv):
+		switch fn.Name() {
+		case "Spawn":
+			return KindSpawn
+		case "CilkSpawn":
+			return KindCilkSpawn
+		case "Finish":
+			return KindFinish
+		case "Sync":
+			return KindSync
+		case "Parallel":
+			return KindParallel
+		}
+	case IsSessionPtr(recv):
+		if fn.Name() == "Run" {
+			return KindRun
+		}
+	}
+	return KindNone
+}
+
+// TaskClosures returns the function-literal arguments of a structure
+// call that receive their own *Task parameter (the task bodies).
+func (f *Facts) TaskClosures(kind StructureKind, call *ast.CallExpr) []*ast.FuncLit {
+	var lits []*ast.FuncLit
+	add := func(e ast.Expr) {
+		if lit, ok := ast.Unparen(e).(*ast.FuncLit); ok {
+			lits = append(lits, lit)
+		}
+	}
+	switch kind {
+	case KindSpawn, KindCilkSpawn, KindFinish, KindRun:
+		if len(call.Args) >= 1 {
+			add(call.Args[0])
+		}
+	case KindParallel:
+		for _, a := range call.Args {
+			add(a)
+		}
+	case KindParallelFor, KindParallelRange:
+		if n := len(call.Args); n >= 1 {
+			add(call.Args[n-1])
+		}
+	}
+	return lits
+}
+
+// TaskParam returns the *Task parameter object of a task closure, or
+// nil when the literal has no named task parameter.
+func (f *Facts) TaskParam(lit *ast.FuncLit) *types.Var {
+	if lit.Type.Params == nil {
+		return nil
+	}
+	for _, field := range lit.Type.Params.List {
+		for _, name := range field.Names {
+			obj, ok := f.Info.Defs[name].(*types.Var)
+			if ok && IsTaskPtr(obj.Type()) {
+				return obj
+			}
+		}
+	}
+	return nil
+}
+
+// Access describes one instrumented operation: a variable access, a
+// lock operation, or a handle/session constructor.
+type Access struct {
+	// Kind is the method name (Load, Store, Add, Lock, Unlock).
+	Kind string
+	// Recv is the receiver expression (the handle or mutex).
+	Recv ast.Expr
+	// Task is the task argument expression.
+	Task ast.Expr
+	// Write reports whether the operation includes a write (Store, Add).
+	Write bool
+	// Mutex reports a lock operation rather than a variable access.
+	Mutex bool
+}
+
+// InstrumentedOp classifies call as an instrumented access or lock
+// operation taking a task argument; ok is false otherwise.
+func (f *Facts) InstrumentedOp(call *ast.CallExpr) (Access, bool) {
+	fn := f.Callee(call)
+	if !avdFunc(fn) || len(call.Args) < 1 {
+		return Access{}, false
+	}
+	recv := recvType(fn)
+	if recv == nil {
+		return Access{}, false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return Access{}, false
+	}
+	acc := Access{Kind: fn.Name(), Recv: sel.X, Task: call.Args[0]}
+	switch {
+	case HandleKind(recv) != "":
+		switch fn.Name() {
+		case "Load":
+		case "Store", "Add":
+			acc.Write = true
+		default:
+			return Access{}, false
+		}
+		return acc, true
+	case IsMutexPtr(recv):
+		switch fn.Name() {
+		case "Lock", "Unlock":
+			acc.Mutex = true
+			return acc, true
+		}
+	}
+	return Access{}, false
+}
+
+// SessionOp classifies call as a Session method of the given name,
+// returning the receiver expression.
+func (f *Facts) SessionOp(call *ast.CallExpr) (name string, recv ast.Expr, ok bool) {
+	fn := f.Callee(call)
+	if !avdFunc(fn) {
+		return "", nil, false
+	}
+	rt := recvType(fn)
+	if rt == nil || !IsSessionPtr(rt) {
+		return "", nil, false
+	}
+	sel, sok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !sok {
+		return "", nil, false
+	}
+	return fn.Name(), sel.X, true
+}
+
+// IsNewSession reports whether call constructs a session
+// (avd.NewSession).
+func (f *Facts) IsNewSession(call *ast.CallExpr) bool {
+	fn := f.Callee(call)
+	return avdFunc(fn) && recvType(fn) == nil && fn.Name() == "NewSession"
+}
+
+// ObjectOf resolves the variable object an expression names, looking
+// through parentheses; nil for non-identifier expressions.
+func (f *Facts) ObjectOf(e ast.Expr) *types.Var {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	v, _ := f.Info.Uses[id].(*types.Var)
+	if v == nil {
+		v, _ = f.Info.Defs[id].(*types.Var)
+	}
+	return v
+}
+
+// SuggestVar names the instrumented handle constructor matching a
+// shared plain variable's type, or "" when no instrumented counterpart
+// exists.
+func SuggestVar(t types.Type) string {
+	switch u := t.Underlying().(type) {
+	case *types.Basic:
+		info := u.Info()
+		switch {
+		case info&types.IsInteger != 0:
+			return "Session.NewIntVar"
+		case info&types.IsFloat != 0:
+			return "Session.NewFloatVar"
+		}
+	case *types.Slice:
+		if b, ok := u.Elem().Underlying().(*types.Basic); ok {
+			switch {
+			case b.Info()&types.IsInteger != 0:
+				return "Session.NewIntArray"
+			case b.Info()&types.IsFloat != 0:
+				return "Session.NewFloatArray"
+			}
+		}
+	case *types.Array:
+		if b, ok := u.Elem().Underlying().(*types.Basic); ok {
+			switch {
+			case b.Info()&types.IsInteger != 0:
+				return "Session.NewIntArray"
+			case b.Info()&types.IsFloat != 0:
+				return "Session.NewFloatArray"
+			}
+		}
+	}
+	return ""
+}

@@ -1,0 +1,118 @@
+package avdapi
+
+import (
+	"go/ast"
+)
+
+// ClosureInfo describes one function literal passed as a task body to
+// a structure operation.
+type ClosureInfo struct {
+	// Kind is the structure operation receiving the closure.
+	Kind StructureKind
+	// Call is the structure call expression.
+	Call *ast.CallExpr
+	// ArgIndex is the closure's position in Call.Args.
+	ArgIndex int
+	// InLoop reports whether the structure call sits inside a for or
+	// range statement of its enclosing function, so the closure is
+	// instantiated as a task once per iteration.
+	InLoop bool
+	// Replicated reports whether the closure body executes as more than
+	// one task in a single dynamic pass over the call: ParallelFor and
+	// ParallelRange bodies, and forking closures spawned inside loops.
+	Replicated bool
+	// Frame is the innermost function literal or declaration whose body
+	// contains the structure call (nil when the call is at top level of
+	// a FuncDecl — then FrameDecl is set).
+	Frame *ast.FuncLit
+	// FrameDecl is the enclosing function declaration when Frame is nil.
+	FrameDecl *ast.FuncDecl
+}
+
+// IndexTaskClosures maps every task-body function literal in files to
+// its structure-call context. Built once per package and shared by the
+// analyzers that reason about closure parallelism.
+func (f *Facts) IndexTaskClosures(files []*ast.File) map[*ast.FuncLit]*ClosureInfo {
+	index := make(map[*ast.FuncLit]*ClosureInfo)
+	for _, file := range files {
+		var stack []ast.Node
+		ast.Inspect(file, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			stack = append(stack, n)
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			kind := f.Structure(call)
+			if kind == KindNone {
+				return true
+			}
+			inLoop, frame, frameDecl := callContext(stack[:len(stack)-1])
+			for i, arg := range call.Args {
+				lit, ok := ast.Unparen(arg).(*ast.FuncLit)
+				if !ok || !isClosureArg(f, kind, call, i) {
+					continue
+				}
+				index[lit] = &ClosureInfo{
+					Kind:       kind,
+					Call:       call,
+					ArgIndex:   i,
+					InLoop:     inLoop,
+					Replicated: kind == KindParallelFor || kind == KindParallelRange || (kind.Forks() && inLoop),
+					Frame:      frame,
+					FrameDecl:  frameDecl,
+				}
+			}
+			return true
+		})
+	}
+	return index
+}
+
+// isClosureArg reports whether argument i of a kind-classified call is
+// a task body.
+func isClosureArg(f *Facts, kind StructureKind, call *ast.CallExpr, i int) bool {
+	switch kind {
+	case KindSpawn, KindCilkSpawn, KindFinish, KindRun:
+		return i == 0
+	case KindParallel:
+		return true
+	case KindParallelFor, KindParallelRange:
+		return i == len(call.Args)-1
+	}
+	return false
+}
+
+// callContext scans the ancestor stack of a call (outermost first,
+// excluding the call itself) for the innermost enclosing function and
+// any loop between that function and the call.
+func callContext(stack []ast.Node) (inLoop bool, frame *ast.FuncLit, frameDecl *ast.FuncDecl) {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch n := stack[i].(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			inLoop = true
+		case *ast.FuncLit:
+			return inLoop, n, nil
+		case *ast.FuncDecl:
+			return inLoop, nil, n
+		}
+	}
+	return inLoop, nil, nil
+}
+
+// InlineReceiver reports whether the closure at ArgIndex of the given
+// structure call runs inline on the call's receiver task (Finish
+// bodies and the first function of Parallel), so a capture of the
+// receiver variable aliases the closure's own task parameter.
+func (c *ClosureInfo) InlineReceiver() bool {
+	switch c.Kind {
+	case KindFinish:
+		return true
+	case KindParallel:
+		return c.ArgIndex == 0
+	}
+	return false
+}

@@ -1,0 +1,98 @@
+package analysis
+
+import (
+	"go/ast"
+	"reflect"
+)
+
+// event is one step of a depth-first traversal: a node entry (push) or
+// exit (pop). The pre-built event list lets every analyzer traverse the
+// package without re-walking the syntax trees.
+type event struct {
+	node ast.Node
+	push bool
+}
+
+// Inspector is a pre-computed depth-first traversal of a package's
+// files, in the style of golang.org/x/tools/go/ast/inspector. Build it
+// once per package and share it across the suite.
+type Inspector struct {
+	events []event
+}
+
+// NewInspector records the traversal of files.
+func NewInspector(files []*ast.File) *Inspector {
+	in := &Inspector{}
+	for _, f := range files {
+		var stack []ast.Node
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				top := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				in.events = append(in.events, event{node: top})
+				return true
+			}
+			stack = append(stack, n)
+			in.events = append(in.events, event{node: n, push: true})
+			return true
+		})
+	}
+	return in
+}
+
+// matches reports whether n's concrete type is one of the filter types;
+// an empty filter matches everything.
+func matches(n ast.Node, filter []reflect.Type) bool {
+	if len(filter) == 0 {
+		return true
+	}
+	t := reflect.TypeOf(n)
+	for _, ft := range filter {
+		if t == ft {
+			return true
+		}
+	}
+	return false
+}
+
+func filterTypes(nodeTypes []ast.Node) []reflect.Type {
+	ts := make([]reflect.Type, len(nodeTypes))
+	for i, n := range nodeTypes {
+		ts[i] = reflect.TypeOf(n)
+	}
+	return ts
+}
+
+// Preorder calls f for every node whose type matches one of nodeTypes
+// (exemplar values, e.g. (*ast.CallExpr)(nil)), in depth-first order.
+func (in *Inspector) Preorder(nodeTypes []ast.Node, f func(ast.Node)) {
+	filter := filterTypes(nodeTypes)
+	for _, ev := range in.events {
+		if ev.push && matches(ev.node, filter) {
+			f(ev.node)
+		}
+	}
+}
+
+// WithStack calls f for matching nodes on both entry (push=true) and
+// exit (push=false), passing the enclosing node stack (outermost
+// first, ending with n itself). Returning false from a push visit
+// still visits children (the traversal is pre-recorded); use the stack
+// to skip subtrees by position instead.
+func (in *Inspector) WithStack(nodeTypes []ast.Node, f func(n ast.Node, push bool, stack []ast.Node)) {
+	filter := filterTypes(nodeTypes)
+	var stack []ast.Node
+	for _, ev := range in.events {
+		if ev.push {
+			stack = append(stack, ev.node)
+			if matches(ev.node, filter) {
+				f(ev.node, true, stack)
+			}
+		} else {
+			if matches(ev.node, filter) {
+				f(ev.node, false, stack)
+			}
+			stack = stack[:len(stack)-1]
+		}
+	}
+}

@@ -1,0 +1,325 @@
+// Package load type-checks Go packages for the avdlint suite using
+// only the standard library: module-local packages are parsed and
+// checked from source in dependency order, and everything else
+// (the standard library) is resolved through go/importer's source
+// importer. No network, no export data, no golang.org/x/tools.
+package load
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	// Path is the import path.
+	Path string
+	// Dir is the source directory.
+	Dir string
+	// Files is the parsed syntax (non-test files).
+	Files []*ast.File
+	// Types is the type-checked package.
+	Types *types.Package
+	// Info is the type-checker's per-expression results.
+	Info *types.Info
+}
+
+// Loader resolves and type-checks packages. A loader is either in
+// module mode (rooted at a directory with a go.mod, resolving the
+// module's own import paths to its subdirectories) or in GOPATH mode
+// (resolving any import path under root/src, used by the analysistest
+// corpus). Unresolved paths fall back to the source importer.
+type Loader struct {
+	Fset *token.FileSet
+
+	modulePath string
+	moduleDir  string
+	srcRoot    string // GOPATH-style src root, or ""
+
+	source  types.Importer
+	pkgs    map[string]*Package
+	loading map[string]bool
+}
+
+func newLoader() *Loader {
+	l := &Loader{
+		Fset:    token.NewFileSet(),
+		pkgs:    make(map[string]*Package),
+		loading: make(map[string]bool),
+	}
+	l.source = importer.ForCompiler(l.Fset, "source", nil)
+	return l
+}
+
+// NewModule creates a loader rooted at the module containing dir.
+func NewModule(dir string) (*Loader, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	modDir, modPath, err := findModule(abs)
+	if err != nil {
+		return nil, err
+	}
+	l := newLoader()
+	l.moduleDir = modDir
+	l.modulePath = modPath
+	return l, nil
+}
+
+// NewGOPATH creates a loader that resolves import paths under
+// root/src, for testdata corpora laid out GOPATH-style.
+func NewGOPATH(root string) *Loader {
+	l := newLoader()
+	l.srcRoot = filepath.Join(root, "src")
+	return l
+}
+
+// findModule walks up from dir to the enclosing go.mod and returns the
+// module directory and path.
+func findModule(dir string) (string, string, error) {
+	for d := dir; ; {
+		data, err := os.ReadFile(filepath.Join(d, "go.mod"))
+		if err == nil {
+			path := modulePathOf(string(data))
+			if path == "" {
+				return "", "", fmt.Errorf("load: no module path in %s/go.mod", d)
+			}
+			return d, path, nil
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", "", fmt.Errorf("load: no go.mod found above %s", dir)
+		}
+		d = parent
+	}
+}
+
+// modulePathOf extracts the module path from go.mod text.
+func modulePathOf(gomod string) string {
+	for _, line := range strings.Split(gomod, "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.Trim(strings.TrimSpace(rest), `"`)
+		}
+	}
+	return ""
+}
+
+// dirFor maps an import path to a local source directory, or "" when
+// the path is not locally resolvable (and should use the fallback
+// importer).
+func (l *Loader) dirFor(path string) string {
+	if l.srcRoot != "" {
+		dir := filepath.Join(l.srcRoot, filepath.FromSlash(path))
+		if fi, err := os.Stat(dir); err == nil && fi.IsDir() {
+			return dir
+		}
+		return ""
+	}
+	if l.modulePath == "" {
+		return ""
+	}
+	if path == l.modulePath {
+		return l.moduleDir
+	}
+	if rest, ok := strings.CutPrefix(path, l.modulePath+"/"); ok {
+		return filepath.Join(l.moduleDir, filepath.FromSlash(rest))
+	}
+	return ""
+}
+
+// Import implements types.Importer over local packages with the source
+// importer as fallback, so the type checker can resolve any import the
+// analyzed code mentions.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if dir := l.dirFor(path); dir != "" {
+		pkg, err := l.load(path, dir)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return l.source.Import(path)
+}
+
+// Load type-checks the package at the given import path.
+func (l *Loader) Load(path string) (*Package, error) {
+	dir := l.dirFor(path)
+	if dir == "" {
+		return nil, fmt.Errorf("load: cannot resolve %q to a local directory", path)
+	}
+	return l.load(path, dir)
+}
+
+// LoadDir type-checks the package in dir, deriving its import path.
+func (l *Loader) LoadDir(dir string) (*Package, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	path, err := l.pathFor(abs)
+	if err != nil {
+		return nil, err
+	}
+	return l.load(path, abs)
+}
+
+// pathFor derives the import path of a local directory.
+func (l *Loader) pathFor(dir string) (string, error) {
+	root, prefix := l.moduleDir, l.modulePath
+	if l.srcRoot != "" {
+		root, prefix = l.srcRoot, ""
+	}
+	rel, err := filepath.Rel(root, dir)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return "", fmt.Errorf("load: %s is outside the load root %s", dir, root)
+	}
+	if rel == "." {
+		return prefix, nil
+	}
+	p := filepath.ToSlash(rel)
+	if prefix != "" {
+		p = prefix + "/" + p
+	}
+	return p, nil
+}
+
+func (l *Loader) load(path, dir string) (*Package, error) {
+	if pkg, ok := l.pkgs[path]; ok {
+		return pkg, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("load: import cycle through %q", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	bp, err := build.ImportDir(dir, 0)
+	if err != nil {
+		return nil, fmt.Errorf("load %s: %w", path, err)
+	}
+	var files []*ast.File
+	for _, name := range bp.GoFiles {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("load %s: no buildable Go files in %s", path, dir)
+	}
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	var typeErrs []string
+	conf := types.Config{
+		Importer: l,
+		Error: func(err error) {
+			if len(typeErrs) < 10 {
+				typeErrs = append(typeErrs, err.Error())
+			}
+		},
+	}
+	tpkg, _ := conf.Check(path, l.Fset, files, info)
+	if len(typeErrs) > 0 {
+		return nil, fmt.Errorf("load %s: %s", path, strings.Join(typeErrs, "\n\t"))
+	}
+	pkg := &Package{Path: path, Dir: dir, Files: files, Types: tpkg, Info: info}
+	l.pkgs[path] = pkg
+	return pkg, nil
+}
+
+// Expand resolves command-line package patterns relative to dir:
+// "./..." style recursive patterns, "./x" relative directories, and
+// plain import paths. It returns the matched directories in sorted
+// order; testdata, vendor, and hidden directories are skipped, as are
+// directories with no buildable non-test Go files.
+func (l *Loader) Expand(dir string, patterns []string) ([]string, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	seen := make(map[string]bool)
+	var dirs []string
+	add := func(d string) {
+		d = filepath.Clean(d)
+		if !seen[d] {
+			seen[d] = true
+			dirs = append(dirs, d)
+		}
+	}
+	for _, pat := range patterns {
+		switch {
+		case pat == "all" || pat == "...":
+			pat = "./..."
+			fallthrough
+		case strings.HasSuffix(pat, "/...") || strings.HasSuffix(pat, string(filepath.Separator)+"..."):
+			root := strings.TrimSuffix(strings.TrimSuffix(pat, "..."), "/")
+			root = strings.TrimSuffix(root, string(filepath.Separator))
+			if root == "" || root == "." {
+				root = dir
+			} else if !filepath.IsAbs(root) {
+				root = filepath.Join(dir, root)
+			}
+			err := filepath.WalkDir(root, func(p string, d os.DirEntry, err error) error {
+				if err != nil {
+					return err
+				}
+				if !d.IsDir() {
+					return nil
+				}
+				name := d.Name()
+				if p != root && (name == "testdata" || name == "vendor" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+					return filepath.SkipDir
+				}
+				if hasBuildableGo(p) {
+					add(p)
+				}
+				return nil
+			})
+			if err != nil {
+				return nil, err
+			}
+		default:
+			p := pat
+			if !filepath.IsAbs(p) {
+				if strings.HasPrefix(p, "./") || strings.HasPrefix(p, "../") || p == "." {
+					p = filepath.Join(dir, p)
+				} else if d := l.dirFor(p); d != "" {
+					p = d
+				} else {
+					p = filepath.Join(dir, p)
+				}
+			}
+			if !hasBuildableGo(p) {
+				return nil, fmt.Errorf("load: no buildable Go files in %s", p)
+			}
+			add(p)
+		}
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+// hasBuildableGo reports whether dir holds at least one buildable
+// non-test Go file.
+func hasBuildableGo(dir string) bool {
+	bp, err := build.ImportDir(dir, 0)
+	return err == nil && len(bp.GoFiles) > 0
+}

@@ -1,0 +1,294 @@
+// Package elision proves that an instrumented variable is only ever
+// touched by a single step and reports its instrumentation as safely
+// removable.
+//
+// Every instrumented access pays the checker's per-access dispatch. A
+// handle whose accesses all happen in one step region — one task, with
+// no task-structure operation between them — can never participate in
+// an atomicity violation: there is no parallel step to interleave
+// with. Removing (or never adding) its instrumentation is therefore
+// sound, exactly like the annotation pruning a compiler pass would do.
+// This composes with the dynamic redundant-access filter: the filter
+// skips repeat accesses at runtime, elision removes the handle's
+// events altogether.
+//
+// The proof obligations are purely local: the handle is bound once by
+// x := s.New*Var(...), never escapes (no aliasing, no calls other than
+// its own access methods, no Atomic grouping), all checker-visible
+// accesses share one closure context, that context contains no
+// structure operations and never hands its task to non-avd code (the
+// callee could spawn), and no enclosing closure replicates it (no
+// ParallelFor body, no spawn-in-loop). Anything unprovable stays
+// silent — the analyzer only speaks when elision is certain.
+//
+// Findings are informational (Severity info): they are a performance
+// lever, not a contract violation, and never fail a lint run.
+package elision
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"github.com/taskpar/avd/internal/analysis"
+	"github.com/taskpar/avd/internal/analysis/avdapi"
+)
+
+// Analyzer is the elision pass.
+var Analyzer = &analysis.Analyzer{
+	Name:            "elision",
+	Doc:             "report instrumented variables provably touched by a single step (instrumentation elidable)",
+	DefaultSeverity: analysis.SeverityInfo,
+	Run:             run,
+}
+
+// neutralMethods are handle methods that emit no checker event.
+var neutralMethods = map[string]bool{
+	"Value": true, "Name": true, "Loc": true, "Len": true, "LocAt": true,
+}
+
+// handle tracks one candidate instrumented variable.
+type handle struct {
+	obj  *types.Var
+	kind string
+	// contexts collects the distinct closure contexts of all accesses;
+	// the key is the innermost enclosing task closure (nil = the
+	// declaring function's serial body).
+	contexts map[*ast.FuncLit]bool
+	bad      bool // escaped, grouped, or otherwise unprovable
+}
+
+func run(pass *analysis.Pass) error {
+	index := pass.API.IndexTaskClosures(pass.Files)
+	handles := collectHandles(pass)
+	if len(handles) == 0 {
+		return nil
+	}
+	classifyUses(pass, index, handles)
+
+	var objs []*types.Var
+	for obj := range handles {
+		objs = append(objs, obj)
+	}
+	sort.Slice(objs, func(i, j int) bool { return objs[i].Pos() < objs[j].Pos() })
+	for _, obj := range objs {
+		h := handles[obj]
+		if h.bad || len(h.contexts) != 1 {
+			continue
+		}
+		var ctx *ast.FuncLit
+		for c := range h.contexts {
+			ctx = c
+		}
+		if !singleStepContext(pass, index, ctx, obj) {
+			continue
+		}
+		pass.Reportf(obj.Pos(),
+			"%s %s is only ever accessed by a single step; its instrumentation can be elided safely (use a plain local, or keep it for documentation)",
+			h.kind, obj.Name())
+	}
+	return nil
+}
+
+// collectHandles finds x := s.New*Var(...) bindings.
+func collectHandles(pass *analysis.Pass) map[*types.Var]*handle {
+	handles := make(map[*types.Var]*handle)
+	pass.Inspector.Preorder([]ast.Node{(*ast.AssignStmt)(nil)}, func(n ast.Node) {
+		as := n.(*ast.AssignStmt)
+		if len(as.Lhs) != len(as.Rhs) {
+			return
+		}
+		for i := range as.Lhs {
+			call, ok := ast.Unparen(as.Rhs[i]).(*ast.CallExpr)
+			if !ok {
+				continue
+			}
+			name, _, ok := pass.API.SessionOp(call)
+			if !ok {
+				continue
+			}
+			switch name {
+			case "NewIntVar", "NewFloatVar", "NewIntArray", "NewFloatArray":
+			default:
+				continue
+			}
+			id, ok := ast.Unparen(as.Lhs[i]).(*ast.Ident)
+			if !ok {
+				continue
+			}
+			obj, ok := pass.TypesInfo.Defs[id].(*types.Var)
+			if !ok {
+				continue
+			}
+			handles[obj] = &handle{obj: obj, kind: name[3:], contexts: map[*ast.FuncLit]bool{}}
+		}
+	})
+	return handles
+}
+
+// classifyUses visits every use of every candidate and either records
+// an access context or disqualifies the handle.
+func classifyUses(pass *analysis.Pass, index map[*ast.FuncLit]*avdapi.ClosureInfo, handles map[*types.Var]*handle) {
+	pass.Inspector.WithStack([]ast.Node{(*ast.Ident)(nil)}, func(n ast.Node, push bool, stack []ast.Node) {
+		if !push {
+			return
+		}
+		id := n.(*ast.Ident)
+		obj, ok := pass.TypesInfo.Uses[id].(*types.Var)
+		if !ok {
+			return
+		}
+		h, ok := handles[obj]
+		if !ok {
+			return
+		}
+		// The only provable use shape is a direct method call x.M(...).
+		if len(stack) >= 3 {
+			if sel, ok := stack[len(stack)-2].(*ast.SelectorExpr); ok && sel.X == id {
+				if call, ok := stack[len(stack)-3].(*ast.CallExpr); ok && call.Fun == sel {
+					if _, isOp := pass.API.InstrumentedOp(call); isOp {
+						ctx, provable := accessContext(index, stack)
+						if !provable {
+							h.bad = true
+							return
+						}
+						h.contexts[ctx] = true
+						return
+					}
+					if neutralMethods[sel.Sel.Name] {
+						return
+					}
+				}
+			}
+		}
+		h.bad = true // any other use: aliased, passed, grouped, returned
+	})
+}
+
+// accessContext finds the innermost enclosing task closure of an
+// access. The access is unprovable when a plain (non-task) function
+// literal sits in between — that closure may run on any task, later,
+// or many times.
+func accessContext(index map[*ast.FuncLit]*avdapi.ClosureInfo, stack []ast.Node) (*ast.FuncLit, bool) {
+	for i := len(stack) - 1; i >= 0; i-- {
+		lit, ok := stack[i].(*ast.FuncLit)
+		if !ok {
+			continue
+		}
+		if _, isTask := index[lit]; isTask {
+			return lit, true
+		}
+		return nil, false // plain closure in between
+	}
+	return nil, true // serial body of the declaring function
+}
+
+// singleStepContext checks that ctx executes as exactly one step for
+// this handle: no structure operations inside it, not replicated, and
+// no replicated closure between it and the handle's declaration.
+func singleStepContext(pass *analysis.Pass, index map[*ast.FuncLit]*avdapi.ClosureInfo, ctx *ast.FuncLit, obj *types.Var) bool {
+	var body ast.Node
+	if ctx != nil {
+		body = ctx.Body
+	} else {
+		// All accesses are in serial code; find the declaring function.
+		for _, f := range pass.Files {
+			if f.Pos() <= obj.Pos() && obj.Pos() < f.End() {
+				body = enclosingFuncBody(f, obj.Pos())
+			}
+		}
+		if body == nil {
+			return false
+		}
+	}
+	if containsStructureOp(pass, body) {
+		return false
+	}
+	// Climb the closure chain: replication anywhere between the access
+	// context and the declaration scope means many dynamic steps share
+	// the one handle.
+	for lit := ctx; lit != nil; {
+		if lit.Pos() <= obj.Pos() && obj.Pos() < lit.End() {
+			break // declared inside: outer replication makes fresh handles
+		}
+		info, ok := index[lit]
+		if !ok {
+			return false
+		}
+		if info.Replicated {
+			return false
+		}
+		lit = info.Frame
+	}
+	return true
+}
+
+// enclosingFuncBody finds the body of the innermost function
+// declaration or literal containing pos.
+func enclosingFuncBody(f *ast.File, pos token.Pos) ast.Node {
+	var body ast.Node
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil {
+			return false
+		}
+		if pos < n.Pos() || pos >= n.End() {
+			return false // prune subtrees that do not contain pos
+		}
+		switch fn := n.(type) {
+		case *ast.FuncDecl:
+			if fn.Body != nil {
+				body = fn.Body
+			}
+		case *ast.FuncLit:
+			body = fn.Body
+		}
+		return true
+	})
+	return body
+}
+
+// containsStructureOp reports whether body contains any task-structure
+// call, ignoring nested function literals. A call that hands the task
+// to a non-avd function counts too: the callee may spawn or sync
+// internally, which would split the context into several steps, so the
+// single-step proof must give up on it.
+func containsStructureOp(pass *analysis.Pass, body ast.Node) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if _, ok := n.(*ast.FuncLit); ok && n != body {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			if pass.API.Structure(call) != avdapi.KindNone {
+				found = true
+				return false
+			}
+			if passesTaskToUnknown(pass, call) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// passesTaskToUnknown reports whether call hands a *Task to a callee
+// outside the avd API (or to an unresolvable callee, such as a call
+// through a function variable). avd's own entry points are exempt: the
+// handle methods and mutex operations never alter task structure.
+func passesTaskToUnknown(pass *analysis.Pass, call *ast.CallExpr) bool {
+	if fn := pass.API.Callee(call); fn != nil && fn.Pkg() != nil && avdapi.IsAVDPath(fn.Pkg().Path()) {
+		return false
+	}
+	for _, arg := range call.Args {
+		if tv, ok := pass.TypesInfo.Types[arg]; ok && avdapi.IsTaskPtr(tv.Type) {
+			return true
+		}
+	}
+	return false
+}

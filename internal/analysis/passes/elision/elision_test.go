@@ -1,0 +1,12 @@
+package elision_test
+
+import (
+	"testing"
+
+	"github.com/taskpar/avd/internal/analysis/analysistest"
+	"github.com/taskpar/avd/internal/analysis/passes/elision"
+)
+
+func TestElision(t *testing.T) {
+	analysistest.Run(t, "../../testdata", elision.Analyzer, "elision")
+}

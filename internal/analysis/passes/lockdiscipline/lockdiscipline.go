@@ -1,0 +1,352 @@
+// Package lockdiscipline statically checks the critical-section shape
+// assumptions of the checker's lock handling (paper Section 3.3).
+//
+// The dynamic runtime panics with a UsageError on Unlock-without-hold
+// and on Finish/Sync while holding an instrumented mutex; this pass
+// reports those misuses at compile time, plus the ones the runtime
+// cannot cheaply see: double-locking the same mutex on one path (a
+// guaranteed self-deadlock, since instrumented mutexes are not
+// reentrant) and critical sections that span a Spawn (the lock is held
+// by the spawning task while the child runs, so the paper's lock-
+// versioning model no longer describes a properly scoped critical
+// section).
+//
+// Each function body is abstractly interpreted with a must-held /
+// may-held lockset keyed by the mutex receiver expression; branches
+// fork the state and joins intersect must-held and union may-held.
+// Deferred unlocks keep the mutex in the held set (they release at
+// return, not at the end of the enclosing block). Function literals
+// are separate frames: a closure runs on its own task with its own
+// lockset.
+package lockdiscipline
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strconv"
+
+	"github.com/taskpar/avd/internal/analysis"
+	"github.com/taskpar/avd/internal/analysis/avdapi"
+)
+
+// Analyzer is the lockdiscipline pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockdiscipline",
+	Doc:  "flag unlock-without-lock, double-lock, and critical sections spanning task structure operations",
+	Run:  run,
+}
+
+// state is the abstract lockset at one program point.
+type state struct {
+	must map[string]int  // definitely-held acquisition counts
+	may  map[string]bool // possibly-held
+	dead bool            // path has returned or branched away
+}
+
+func newState() *state {
+	return &state{must: map[string]int{}, may: map[string]bool{}}
+}
+
+func (s *state) clone() *state {
+	c := newState()
+	c.dead = s.dead
+	for k, v := range s.must {
+		c.must[k] = v
+	}
+	for k := range s.may {
+		c.may[k] = true
+	}
+	return c
+}
+
+// merge joins two branch states: must is the pointwise minimum, may
+// the union; a dead branch contributes nothing.
+func merge(a, b *state) *state {
+	if a.dead {
+		return b
+	}
+	if b.dead {
+		return a
+	}
+	m := newState()
+	for k, va := range a.must {
+		if vb := b.must[k]; vb > 0 && va > 0 {
+			if vb < va {
+				m.must[k] = vb
+			} else {
+				m.must[k] = va
+			}
+		}
+	}
+	for k := range a.may {
+		m.may[k] = true
+	}
+	for k := range b.may {
+		m.may[k] = true
+	}
+	return m
+}
+
+// frame analyzes one function body.
+type frame struct {
+	pass     *analysis.Pass
+	hasLock  map[string]bool // mutex keys this frame Locks somewhere
+	reported map[string]bool // dedup key: kind+lock+pos
+}
+
+func run(pass *analysis.Pass) error {
+	pass.Inspector.Preorder([]ast.Node{(*ast.FuncDecl)(nil), (*ast.FuncLit)(nil)}, func(n ast.Node) {
+		var body *ast.BlockStmt
+		switch fn := n.(type) {
+		case *ast.FuncDecl:
+			body = fn.Body
+		case *ast.FuncLit:
+			body = fn.Body
+		}
+		if body == nil {
+			return
+		}
+		f := &frame{pass: pass, hasLock: map[string]bool{}, reported: map[string]bool{}}
+		f.scanLocks(body)
+		f.walkStmt(body, newState())
+	})
+	return nil
+}
+
+// lockKey names a mutex by its receiver expression, so m, locks[i],
+// and c.mu are distinct critical-section identities.
+func (f *frame) lockKey(recv ast.Expr) string {
+	return types.ExprString(recv)
+}
+
+// scanLocks records which mutex keys the frame acquires anywhere, so
+// unlock-without-lock only fires in functions that manage the lock
+// themselves (a dedicated unlock helper stays silent).
+func (f *frame) scanLocks(body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			if acc, ok := f.pass.API.InstrumentedOp(call); ok && acc.Mutex && acc.Kind == "Lock" {
+				f.hasLock[f.lockKey(acc.Recv)] = true
+			}
+		}
+		return true
+	})
+}
+
+func (f *frame) reportOnce(pos ast.Node, key, format string, args ...any) {
+	id := key + "@" + strconv.Itoa(int(pos.Pos()))
+	if f.reported[id] {
+		return
+	}
+	f.reported[id] = true
+	f.pass.Reportf(pos.Pos(), format, args...)
+}
+
+// walkStmt interprets one statement, mutating st in place.
+func (f *frame) walkStmt(s ast.Stmt, st *state) {
+	if s == nil {
+		return
+	}
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		for _, sub := range s.List {
+			if st.dead {
+				break
+			}
+			f.walkStmt(sub, st)
+		}
+	case *ast.ExprStmt:
+		f.walkExpr(s.X, st)
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			f.walkExpr(e, st)
+		}
+		for _, e := range s.Lhs {
+			f.walkExpr(e, st)
+		}
+	case *ast.IfStmt:
+		f.walkStmt(s.Init, st)
+		f.walkExpr(s.Cond, st)
+		then := st.clone()
+		f.walkStmt(s.Body, then)
+		els := st.clone()
+		f.walkStmt(s.Else, els)
+		*st = *merge(then, els)
+	case *ast.ForStmt:
+		f.walkStmt(s.Init, st)
+		f.walkExpr(s.Cond, st)
+		body := st.clone()
+		f.walkStmt(s.Body, body)
+		f.walkStmt(s.Post, body)
+		*st = *merge(st, body)
+	case *ast.RangeStmt:
+		f.walkExpr(s.X, st)
+		body := st.clone()
+		f.walkStmt(s.Body, body)
+		*st = *merge(st, body)
+	case *ast.SwitchStmt:
+		f.walkStmt(s.Init, st)
+		f.walkExpr(s.Tag, st)
+		f.walkCases(s.Body, st, false)
+	case *ast.TypeSwitchStmt:
+		f.walkStmt(s.Init, st)
+		f.walkStmt(s.Assign, st)
+		f.walkCases(s.Body, st, false)
+	case *ast.SelectStmt:
+		f.walkCases(s.Body, st, true)
+	case *ast.CaseClause, *ast.CommClause:
+		// handled by walkCases
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			f.walkExpr(e, st)
+		}
+		st.dead = true
+	case *ast.BranchStmt:
+		st.dead = true
+	case *ast.DeferStmt:
+		// A deferred unlock releases at return: the mutex stays held for
+		// everything that follows, so no state change — and no checks, the
+		// runtime order is not statement order.
+		for _, a := range s.Call.Args {
+			f.walkExpr(a, st)
+		}
+	case *ast.GoStmt:
+		for _, a := range s.Call.Args {
+			f.walkExpr(a, st)
+		}
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						f.walkExpr(v, st)
+					}
+				}
+			}
+		}
+	case *ast.LabeledStmt:
+		f.walkStmt(s.Stmt, st)
+	case *ast.IncDecStmt:
+		f.walkExpr(s.X, st)
+	case *ast.SendStmt:
+		f.walkExpr(s.Chan, st)
+		f.walkExpr(s.Value, st)
+	}
+}
+
+// walkCases interprets a switch/select body: every clause forks from
+// the pre-state and the results merge; without a default the zero
+// clause path merges in too.
+func (f *frame) walkCases(body *ast.BlockStmt, st *state, isSelect bool) {
+	pre := st.clone()
+	var out *state
+	hasDefault := false
+	for _, c := range body.List {
+		cs := pre.clone()
+		var stmts []ast.Stmt
+		switch c := c.(type) {
+		case *ast.CaseClause:
+			if c.List == nil {
+				hasDefault = true
+			}
+			for _, e := range c.List {
+				f.walkExpr(e, cs)
+			}
+			stmts = c.Body
+		case *ast.CommClause:
+			if c.Comm == nil {
+				hasDefault = true
+			}
+			f.walkStmt(c.Comm, cs)
+			stmts = c.Body
+		}
+		for _, sub := range stmts {
+			if cs.dead {
+				break
+			}
+			f.walkStmt(sub, cs)
+		}
+		if out == nil {
+			out = cs
+		} else {
+			out = merge(out, cs)
+		}
+	}
+	if out == nil {
+		return
+	}
+	if !hasDefault && !isSelect {
+		out = merge(out, pre)
+	}
+	*st = *out
+}
+
+// walkExpr interprets the calls inside an expression, skipping nested
+// function literals (separate frames).
+func (f *frame) walkExpr(e ast.Expr, st *state) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		f.applyCall(call, st)
+		return true
+	})
+}
+
+// applyCall updates the lockset for a lock operation and checks
+// structure operations against the held set.
+func (f *frame) applyCall(call *ast.CallExpr, st *state) {
+	if acc, ok := f.pass.API.InstrumentedOp(call); ok && acc.Mutex {
+		key := f.lockKey(acc.Recv)
+		switch acc.Kind {
+		case "Lock":
+			if st.must[key] > 0 {
+				f.reportOnce(call, "double:"+key,
+					"mutex %s is locked again on a path where it is already held; instrumented mutexes are not reentrant and this self-deadlocks", key)
+			}
+			st.must[key]++
+			st.may[key] = true
+		case "Unlock":
+			if !st.may[key] && f.hasLock[key] {
+				f.reportOnce(call, "orphan:"+key,
+					"mutex %s is unlocked without a dominating Lock on this path; the runtime raises a UsageError here", key)
+			}
+			if st.must[key] > 0 {
+				st.must[key]--
+				if st.must[key] == 0 {
+					delete(st.must, key)
+					delete(st.may, key)
+				}
+			}
+		}
+		return
+	}
+	kind := f.pass.API.Structure(call)
+	if kind == avdapi.KindNone {
+		return
+	}
+	var held []string
+	for k, v := range st.must {
+		if v > 0 {
+			held = append(held, k)
+		}
+	}
+	if len(held) == 0 {
+		return
+	}
+	sort.Strings(held)
+	f.reportOnce(call, "span:"+held[0],
+		"critical section of mutex %s spans %s; the lock is held across the task boundary, which breaks the checker's critical-section scoping (and panics at runtime for Finish/Sync)",
+		held[0], kind)
+}

@@ -1,0 +1,12 @@
+package lockdiscipline_test
+
+import (
+	"testing"
+
+	"github.com/taskpar/avd/internal/analysis/analysistest"
+	"github.com/taskpar/avd/internal/analysis/passes/lockdiscipline"
+)
+
+func TestLockDiscipline(t *testing.T) {
+	analysistest.Run(t, "../../testdata", lockdiscipline.Analyzer, "lockdiscipline")
+}

@@ -1,0 +1,249 @@
+// Package sessionhandle tracks, by local dataflow, which Session every
+// handle (instrumented variable, mutex) and every task came from, and
+// flags uses that cross sessions or follow Close.
+//
+// A session's location IDs and DPST nodes live in a namespace of their
+// own: feeding an access from session A's task into a handle of
+// session B silently corrupts both analyses, which is why the runtime
+// guards every access with a UsageError panic. This pass reports the
+// same misuses before the program runs: a handle created by one
+// NewSession used with a task of another, and any use of a session (or
+// of its handles) after an unconditional Close on the same path.
+//
+// The dataflow is local and syntactic: session identity propagates
+// through := assignments, handle constructors (NewIntVar, NewMutex,
+// ...), Run closures, and the task parameters of structure operations.
+// Sessions arriving through parameters or fields are not tracked — no
+// false positives, at the cost of unseen flows.
+package sessionhandle
+
+import (
+	"go/ast"
+	"go/types"
+
+	"github.com/taskpar/avd/internal/analysis"
+	"github.com/taskpar/avd/internal/analysis/avdapi"
+)
+
+// Analyzer is the sessionhandle pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "sessionhandle",
+	Doc:  "flag cross-session handle use and session use after Close",
+	Run:  run,
+}
+
+// tracker carries the session-origin dataflow facts.
+type tracker struct {
+	pass *analysis.Pass
+	// origin maps session, handle, and task variables to the session
+	// (identified by a small int per NewSession call site) they belong to.
+	origin map[*types.Var]int
+	// name names each session id after the first variable bound to it.
+	name map[int]string
+	next int
+}
+
+func run(pass *analysis.Pass) error {
+	tr := &tracker{pass: pass, origin: map[*types.Var]int{}, name: map[int]string{}}
+	tr.propagate()
+	tr.checkCrossSession()
+	tr.checkUseAfterClose()
+	return nil
+}
+
+// def resolves the variable defined by an identifier.
+func (tr *tracker) def(e ast.Expr) *types.Var {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	v, _ := tr.pass.TypesInfo.Defs[id].(*types.Var)
+	return v
+}
+
+// bind records that v belongs to session id.
+func (tr *tracker) bind(v *types.Var, id int) {
+	if v == nil || id == 0 {
+		return
+	}
+	tr.origin[v] = id
+	if tr.name[id] == "" && avdapi.IsSessionPtr(v.Type()) {
+		tr.name[id] = v.Name()
+	}
+}
+
+// originOf returns the session id of the variable an expression names
+// (0 = unknown).
+func (tr *tracker) originOf(e ast.Expr) int {
+	if v := tr.pass.API.ObjectOf(e); v != nil {
+		return tr.origin[v]
+	}
+	return 0
+}
+
+// sessionName renders a session id for diagnostics.
+func (tr *tracker) sessionName(id int) string {
+	if n := tr.name[id]; n != "" {
+		return n
+	}
+	return "?"
+}
+
+// propagate walks the package in document order, which visits every
+// definition before the uses the checks care about (structure calls
+// appear before the closures they receive).
+func (tr *tracker) propagate() {
+	tr.pass.Inspector.Preorder([]ast.Node{(*ast.AssignStmt)(nil), (*ast.ValueSpec)(nil), (*ast.CallExpr)(nil)}, func(n ast.Node) {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Lhs) == len(n.Rhs) {
+				for i := range n.Lhs {
+					tr.bindValue(tr.def(n.Lhs[i]), n.Rhs[i])
+				}
+			}
+		case *ast.ValueSpec:
+			if len(n.Names) == len(n.Values) {
+				for i := range n.Names {
+					if v, ok := tr.pass.TypesInfo.Defs[n.Names[i]].(*types.Var); ok {
+						tr.bindValue(v, n.Values[i])
+					}
+				}
+			}
+		case *ast.CallExpr:
+			tr.bindClosureTasks(n)
+		}
+	})
+}
+
+// bindValue propagates session identity through one v := rhs binding.
+func (tr *tracker) bindValue(v *types.Var, rhs ast.Expr) {
+	if v == nil {
+		return
+	}
+	switch rhs := ast.Unparen(rhs).(type) {
+	case *ast.CallExpr:
+		if tr.pass.API.IsNewSession(rhs) {
+			tr.next++
+			tr.bind(v, tr.next)
+			return
+		}
+		if name, recv, ok := tr.pass.API.SessionOp(rhs); ok && len(name) > 3 && name[:3] == "New" {
+			tr.bind(v, tr.originOf(recv))
+		}
+	case *ast.Ident:
+		tr.bind(v, tr.originOf(rhs))
+	}
+}
+
+// bindClosureTasks gives the task parameters of structure-call
+// closures the session of the receiver (session for Run, task for the
+// rest; the task argument for ParallelFor/ParallelRange).
+func (tr *tracker) bindClosureTasks(call *ast.CallExpr) {
+	kind := tr.pass.API.Structure(call)
+	if kind == avdapi.KindNone {
+		return
+	}
+	var src int
+	switch kind {
+	case avdapi.KindParallelFor, avdapi.KindParallelRange:
+		if len(call.Args) > 0 {
+			src = tr.originOf(call.Args[0])
+		}
+	default:
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			src = tr.originOf(sel.X)
+		}
+	}
+	if src == 0 {
+		return
+	}
+	for _, lit := range tr.pass.API.TaskClosures(kind, call) {
+		tr.bind(tr.pass.API.TaskParam(lit), src)
+	}
+}
+
+// checkCrossSession reports instrumented operations whose handle and
+// task belong to different sessions.
+func (tr *tracker) checkCrossSession() {
+	tr.pass.Inspector.Preorder([]ast.Node{(*ast.CallExpr)(nil)}, func(n ast.Node) {
+		call := n.(*ast.CallExpr)
+		acc, ok := tr.pass.API.InstrumentedOp(call)
+		if !ok {
+			return
+		}
+		hid := tr.originOf(acc.Recv)
+		tid := tr.originOf(acc.Task)
+		if hid != 0 && tid != 0 && hid != tid {
+			what := "handle"
+			if acc.Mutex {
+				what = "mutex"
+			}
+			tr.pass.Reportf(call.Pos(),
+				"%s %s was created by session %s but is used with a task of session %s; cross-session handles corrupt the analysis and raise a UsageError at runtime",
+				what, types.ExprString(acc.Recv), tr.sessionName(hid), tr.sessionName(tid))
+		}
+	})
+}
+
+// checkUseAfterClose scans each block's statement list in order: after
+// an unconditional s.Close(), any later use of s or of a handle bound
+// to it on the same path is reported. Close itself is exempt (Close is
+// idempotent), and rebinding the variable to a fresh session clears
+// the closed mark.
+func (tr *tracker) checkUseAfterClose() {
+	tr.pass.Inspector.Preorder([]ast.Node{(*ast.BlockStmt)(nil)}, func(n ast.Node) {
+		block := n.(*ast.BlockStmt)
+		closed := map[int]ast.Node{}
+		for _, stmt := range block.List {
+			if len(closed) > 0 {
+				tr.reportUses(stmt, closed)
+			}
+			if es, ok := stmt.(*ast.ExprStmt); ok {
+				if call, ok := es.X.(*ast.CallExpr); ok {
+					if name, recv, ok := tr.pass.API.SessionOp(call); ok && name == "Close" {
+						if id := tr.originOf(recv); id != 0 {
+							closed[id] = call
+						}
+					}
+				}
+			}
+			if as, ok := stmt.(*ast.AssignStmt); ok {
+				for _, lhs := range as.Lhs {
+					if v := tr.pass.API.ObjectOf(lhs); v != nil {
+						delete(closed, tr.origin[v])
+					}
+				}
+			}
+		}
+	})
+}
+
+// reportUses flags session and handle uses of closed sessions inside
+// one statement subtree.
+func (tr *tracker) reportUses(stmt ast.Stmt, closed map[int]ast.Node) {
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if name, recv, ok := tr.pass.API.SessionOp(call); ok && name != "Close" {
+			if id := tr.originOf(recv); id != 0 {
+				if _, isClosed := closed[id]; isClosed {
+					tr.pass.Reportf(call.Pos(),
+						"session %s is used after Close; the worker pool is gone and the runtime raises a UsageError",
+						tr.sessionName(id))
+				}
+			}
+		}
+		if acc, ok := tr.pass.API.InstrumentedOp(call); ok {
+			if id := tr.originOf(acc.Recv); id != 0 {
+				if _, isClosed := closed[id]; isClosed {
+					tr.pass.Reportf(call.Pos(),
+						"handle %s belongs to session %s, which was already closed on this path",
+						types.ExprString(acc.Recv), tr.sessionName(id))
+				}
+			}
+		}
+		return true
+	})
+}

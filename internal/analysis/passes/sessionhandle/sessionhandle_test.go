@@ -1,0 +1,12 @@
+package sessionhandle_test
+
+import (
+	"testing"
+
+	"github.com/taskpar/avd/internal/analysis/analysistest"
+	"github.com/taskpar/avd/internal/analysis/passes/sessionhandle"
+)
+
+func TestSessionHandle(t *testing.T) {
+	analysistest.Run(t, "../../testdata", sessionhandle.Analyzer, "sessionhandle")
+}

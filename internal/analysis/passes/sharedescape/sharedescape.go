@@ -1,0 +1,228 @@
+// Package sharedescape flags plain Go variables that are captured and
+// written by logically parallel task closures.
+//
+// The checker only sees accesses that flow through instrumented
+// handles (IntVar, FloatVar, IntArray, FloatArray) — the stand-in for
+// the paper's type-qualifier annotations and LLVM instrumentation
+// pass. A plain variable mutated from two parallel closures produces
+// NO events at all: the access history for it is empty, every MHP
+// question about it is unasked, and a real atomicity violation (or
+// plain data race) is silently invisible. sharedescape reports such
+// captures and names the instrumented constructor that would make the
+// accesses visible.
+//
+// The parallelism approximation is syntactic: two distinct forking
+// closures (Spawn, CilkSpawn, Parallel, ParallelFor, ParallelRange
+// bodies) are treated as logically parallel, and a replicated closure
+// (a ParallelFor/ParallelRange body, or a spawn inside a loop) is
+// parallel with itself. Writes that only happen in serial code are not
+// reported — they are ordered before the forks in the common pattern.
+package sharedescape
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"github.com/taskpar/avd/internal/analysis"
+	"github.com/taskpar/avd/internal/analysis/avdapi"
+)
+
+// Analyzer is the sharedescape pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "sharedescape",
+	Doc:  "flag uninstrumented variables written by logically parallel task closures",
+	Run:  run,
+}
+
+// ref is one reference to a candidate variable.
+type ref struct {
+	pos   token.Pos
+	ctx   *ast.FuncLit // innermost forking closure, or nil for serial code
+	write bool
+}
+
+func run(pass *analysis.Pass) error {
+	index := pass.API.IndexTaskClosures(pass.Files)
+	writes := collectWriteIdents(pass)
+	refs := make(map[*types.Var][]ref)
+
+	pass.Inspector.WithStack([]ast.Node{(*ast.Ident)(nil)}, func(n ast.Node, push bool, stack []ast.Node) {
+		if !push {
+			return
+		}
+		id := n.(*ast.Ident)
+		obj, ok := pass.TypesInfo.Uses[id].(*types.Var)
+		if !ok || !candidate(obj) {
+			return
+		}
+		refs[obj] = append(refs[obj], ref{
+			pos:   id.Pos(),
+			ctx:   forkingContext(index, stack),
+			write: writes[id],
+		})
+	})
+
+	var objs []*types.Var
+	for obj := range refs {
+		objs = append(objs, obj)
+	}
+	sort.Slice(objs, func(i, j int) bool { return objs[i].Pos() < objs[j].Pos() })
+	for _, obj := range objs {
+		report(pass, index, obj, refs[obj])
+	}
+	return nil
+}
+
+// candidate reports whether obj is a plain shared-data variable the
+// checker cannot see: not an instrumented handle, task, session, or
+// deliberate sync primitive, and not a struct field selector.
+func candidate(obj *types.Var) bool {
+	if obj.Name() == "_" || obj.IsField() {
+		return false
+	}
+	t := obj.Type()
+	if avdapi.IsInstrumented(t) {
+		return false
+	}
+	if syncType(t) {
+		return false
+	}
+	// Functions and channels synchronize by other means; flagging them
+	// as "uninstrumented shared data" would only be noise.
+	switch t.Underlying().(type) {
+	case *types.Signature, *types.Chan:
+		return false
+	}
+	return true
+}
+
+// syncType reports whether t names (or points to) a type from the sync
+// or sync/atomic packages.
+func syncType(t types.Type) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	pkg := named.Obj().Pkg()
+	return pkg != nil && (pkg.Path() == "sync" || pkg.Path() == "sync/atomic")
+}
+
+// forkingContext returns the innermost enclosing forking task closure
+// from the ancestor stack, or nil for serial code.
+func forkingContext(index map[*ast.FuncLit]*avdapi.ClosureInfo, stack []ast.Node) *ast.FuncLit {
+	for i := len(stack) - 1; i >= 0; i-- {
+		lit, ok := stack[i].(*ast.FuncLit)
+		if !ok {
+			continue
+		}
+		if info, ok := index[lit]; ok && info.Kind.Forks() {
+			return lit
+		}
+	}
+	return nil
+}
+
+// collectWriteIdents finds the root identifiers of every write: assign
+// LHS, IncDec operands, and address-taken operands (a pointer may be
+// written through later).
+func collectWriteIdents(pass *analysis.Pass) map[*ast.Ident]bool {
+	writes := make(map[*ast.Ident]bool)
+	mark := func(e ast.Expr) {
+		if id := rootIdent(pass, e); id != nil {
+			writes[id] = true
+		}
+	}
+	pass.Inspector.Preorder([]ast.Node{(*ast.AssignStmt)(nil), (*ast.IncDecStmt)(nil), (*ast.UnaryExpr)(nil)}, func(n ast.Node) {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if n.Tok == token.DEFINE {
+				return // declarations bind fresh variables
+			}
+			for _, lhs := range n.Lhs {
+				mark(lhs)
+			}
+		case *ast.IncDecStmt:
+			mark(n.X)
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				mark(n.X)
+			}
+		}
+	})
+	return writes
+}
+
+// rootIdent unwraps index, selector, star, and paren chains to the
+// base identifier being written (handling package-qualified globals).
+func rootIdent(pass *analysis.Pass, e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			if base, ok := x.X.(*ast.Ident); ok {
+				if _, isPkg := pass.TypesInfo.Uses[base].(*types.PkgName); isPkg {
+					return x.Sel
+				}
+			}
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// report decides whether obj's references make it parallel-shared and
+// emits the diagnostic.
+func report(pass *analysis.Pass, index map[*ast.FuncLit]*avdapi.ClosureInfo, obj *types.Var, rs []ref) {
+	ctxs := make(map[*ast.FuncLit]bool)
+	var firstParWrite token.Pos
+	parWrites := 0
+	for _, r := range rs {
+		if r.ctx == nil {
+			continue
+		}
+		ctxs[r.ctx] = true
+		if r.write {
+			parWrites++
+			if firstParWrite == token.NoPos || r.pos < firstParWrite {
+				firstParWrite = r.pos
+			}
+		}
+	}
+	if parWrites == 0 {
+		return
+	}
+	shared := len(ctxs) >= 2
+	if !shared {
+		// One context: shared only when the closure replicates itself AND
+		// the variable outlives one replica (declared outside the body).
+		for ctx := range ctxs {
+			info := index[ctx]
+			declaredInside := ctx.Pos() <= obj.Pos() && obj.Pos() < ctx.End()
+			if info.Replicated && !declaredInside {
+				shared = true
+			}
+		}
+	}
+	if !shared {
+		return
+	}
+	msg := "variable " + obj.Name() + " is written by logically parallel tasks but is not instrumented; " +
+		"these accesses are invisible to the atomicity checker"
+	if s := avdapi.SuggestVar(obj.Type()); s != "" {
+		msg += " — declare it with " + s + " (or guard and instrument it explicitly)"
+	}
+	pass.Reportf(firstParWrite, "%s", msg)
+}

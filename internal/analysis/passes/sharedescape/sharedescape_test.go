@@ -1,0 +1,12 @@
+package sharedescape_test
+
+import (
+	"testing"
+
+	"github.com/taskpar/avd/internal/analysis/analysistest"
+	"github.com/taskpar/avd/internal/analysis/passes/sharedescape"
+)
+
+func TestSharedEscape(t *testing.T) {
+	analysistest.Run(t, "../../testdata", sharedescape.Analyzer, "sharedescape")
+}

@@ -1,0 +1,91 @@
+// Package taskcapture flags task closures that use a *Task captured
+// from an enclosing scope instead of their own task parameter.
+//
+// Every access an instrumented variable reports is attributed to the
+// step node of the task it is invoked with. A closure passed to Spawn
+// (or CilkSpawn, Parallel, ParallelFor, ParallelRange) runs as a NEW
+// task: calling x.Load(outerT) inside it charges the access to the
+// spawning task's current step — the wrong DPST node — and races on
+// the outer task's single-goroutine state. The resulting DPST is
+// silently wrong and the checker's MHP verdicts with it. This is the
+// static half of the paper's instrumentation pass, which always
+// threaded the current task through compiler-inserted calls.
+//
+// Closures that run inline on the caller's own task (Finish bodies and
+// the first function of Parallel) may reference the receiver variable
+// itself, since it aliases the closure parameter; any other captured
+// task is flagged there too.
+package taskcapture
+
+import (
+	"go/ast"
+	"go/types"
+
+	"github.com/taskpar/avd/internal/analysis"
+	"github.com/taskpar/avd/internal/analysis/avdapi"
+)
+
+// Analyzer is the taskcapture pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "taskcapture",
+	Doc:  "flag task closures using a captured outer *Task instead of their own parameter",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	index := pass.API.IndexTaskClosures(pass.Files)
+	for lit, info := range index {
+		checkClosure(pass, index, lit, info)
+	}
+	return nil
+}
+
+// checkClosure walks one task closure body and reports uses of task
+// variables declared outside it.
+func checkClosure(pass *analysis.Pass, index map[*ast.FuncLit]*avdapi.ClosureInfo, lit *ast.FuncLit, info *avdapi.ClosureInfo) {
+	own := pass.API.TaskParam(lit)
+	// Closures that run inline on the structure call's receiver task may
+	// alias it: t.Finish(func(ft *Task){ ... t ... }) passes t itself.
+	var allow *types.Var
+	if info.InlineReceiver() {
+		if sel, ok := ast.Unparen(info.Call.Fun).(*ast.SelectorExpr); ok {
+			allow = pass.API.ObjectOf(sel.X)
+		}
+	}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if nested, ok := n.(*ast.FuncLit); ok {
+			if _, isTask := index[nested]; isTask {
+				return false // it gets its own check, against its own parameter
+			}
+			return true
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj, ok := pass.TypesInfo.Uses[id].(*types.Var)
+		if !ok || !avdapi.IsTaskPtr(obj.Type()) {
+			return true
+		}
+		if obj == own || obj == allow {
+			return true
+		}
+		if lit.Pos() <= obj.Pos() && obj.Pos() < lit.End() {
+			return true // declared inside the closure
+		}
+		d := analysis.Diagnostic{
+			Pos: id.Pos(),
+			End: id.End(),
+			Message: "task closure of " + info.Kind.String() + " uses captured task " + id.Name +
+				" instead of its own parameter; accesses would be attributed to the wrong DPST step",
+		}
+		if own != nil && own.Name() != "_" && own.Name() != id.Name {
+			d.SuggestedFixes = []analysis.SuggestedFix{{
+				Message:   "use the closure's own task parameter " + own.Name(),
+				TextEdits: []analysis.TextEdit{{Pos: id.Pos(), End: id.End(), NewText: []byte(own.Name())}},
+			}}
+		}
+		pass.Report(d)
+		return true
+	})
+}

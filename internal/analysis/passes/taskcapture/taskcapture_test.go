@@ -1,0 +1,12 @@
+package taskcapture_test
+
+import (
+	"testing"
+
+	"github.com/taskpar/avd/internal/analysis/analysistest"
+	"github.com/taskpar/avd/internal/analysis/passes/taskcapture"
+)
+
+func TestTaskCapture(t *testing.T) {
+	analysistest.Run(t, "../../testdata", taskcapture.Analyzer, "taskcapture")
+}

@@ -1,0 +1,25 @@
+// Package suite registers the avdlint analyzers. The driver
+// (cmd/avd-lint) and the self-lint test both consume this list, so
+// adding an analyzer here is the single step that puts it in front of
+// every consumer.
+package suite
+
+import (
+	"github.com/taskpar/avd/internal/analysis"
+	"github.com/taskpar/avd/internal/analysis/passes/elision"
+	"github.com/taskpar/avd/internal/analysis/passes/lockdiscipline"
+	"github.com/taskpar/avd/internal/analysis/passes/sessionhandle"
+	"github.com/taskpar/avd/internal/analysis/passes/sharedescape"
+	"github.com/taskpar/avd/internal/analysis/passes/taskcapture"
+)
+
+// All returns the full avdlint analyzer suite.
+func All() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		taskcapture.Analyzer,
+		sharedescape.Analyzer,
+		lockdiscipline.Analyzer,
+		sessionhandle.Analyzer,
+		elision.Analyzer,
+	}
+}

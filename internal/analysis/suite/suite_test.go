@@ -1,0 +1,69 @@
+package suite_test
+
+import (
+	"testing"
+
+	"github.com/taskpar/avd/internal/analysis"
+	"github.com/taskpar/avd/internal/analysis/load"
+	"github.com/taskpar/avd/internal/analysis/suite"
+)
+
+// TestRegistration pins the suite contents: at least the five shipped
+// analyzers, unique names, and the advisory-only severity of elision.
+func TestRegistration(t *testing.T) {
+	all := suite.All()
+	if len(all) < 5 {
+		t.Fatalf("suite has %d analyzers, want >= 5", len(all))
+	}
+	seen := map[string]bool{}
+	for _, a := range all {
+		if a.Name == "" || a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %+v is missing name, doc, or run function", a)
+		}
+		if seen[a.Name] {
+			t.Errorf("duplicate analyzer name %q", a.Name)
+		}
+		seen[a.Name] = true
+		wantSev := analysis.SeverityWarning
+		if a.Name == "elision" {
+			wantSev = analysis.SeverityInfo
+		}
+		if got := a.DefaultSeverity; got != wantSev && !(a.Name != "elision" && got == "") {
+			t.Errorf("analyzer %s severity = %q, want %q", a.Name, got, wantSev)
+		}
+	}
+	for _, name := range []string{"taskcapture", "sharedescape", "lockdiscipline", "sessionhandle", "elision"} {
+		if !seen[name] {
+			t.Errorf("suite is missing analyzer %q", name)
+		}
+	}
+}
+
+// TestSuiteOverCorpus runs the WHOLE suite in one pass over every
+// corpus package: the analyzers must coexist on the shared
+// inspector/facts without crashing, and each one must fire on its own
+// corpus while running alongside the others.
+func TestSuiteOverCorpus(t *testing.T) {
+	corpora := []string{"taskcapture", "sharedescape", "lockdiscipline", "sessionhandle", "elision"}
+	l := load.NewGOPATH("../testdata")
+	for _, path := range corpora {
+		pkg, err := l.Load(path)
+		if err != nil {
+			t.Fatalf("loading %s: %v", path, err)
+		}
+		diags, err := analysis.Run(l.Fset, pkg.Files, pkg.Types, pkg.Info, suite.All())
+		if err != nil {
+			t.Fatalf("running suite on %s: %v", path, err)
+		}
+		fired := false
+		for _, d := range diags {
+			if d.Analyzer == path {
+				fired = true
+				break
+			}
+		}
+		if !fired {
+			t.Errorf("analyzer %s produced no diagnostics on its own corpus under the full suite", path)
+		}
+	}
+}

@@ -1,0 +1,143 @@
+// Package avd is a dependency-free stub of the public avd API used by
+// the avdlint analysistest corpus. The analyzers recognize the API by
+// package-path suffix and type/method names, so this stub exercises
+// them without type-checking the real runtime (and its standard-
+// library closure) for every corpus package.
+package avd
+
+// Task is the stub of the dynamic task.
+type Task struct{ _ int }
+
+// Spawn stubs sched.Task.Spawn.
+func (t *Task) Spawn(body func(*Task)) {}
+
+// CilkSpawn stubs sched.Task.CilkSpawn.
+func (t *Task) CilkSpawn(body func(*Task)) {}
+
+// Finish stubs sched.Task.Finish.
+func (t *Task) Finish(body func(*Task)) {}
+
+// Sync stubs sched.Task.Sync.
+func (t *Task) Sync() {}
+
+// Parallel stubs sched.Task.Parallel.
+func (t *Task) Parallel(fns ...func(*Task)) {}
+
+// ParallelFor stubs avd.ParallelFor.
+func ParallelFor(t *Task, lo, hi, grain int, body func(*Task, int)) {}
+
+// ParallelRange stubs avd.ParallelRange.
+func ParallelRange(t *Task, lo, hi, grain int, body func(*Task, int, int)) {}
+
+// Options stubs avd.Options.
+type Options struct {
+	Workers int
+}
+
+// Session stubs avd.Session.
+type Session struct{ _ int }
+
+// NewSession stubs avd.NewSession.
+func NewSession(opts Options) *Session { return &Session{} }
+
+// Run stubs Session.Run.
+func (s *Session) Run(body func(*Task)) {}
+
+// Close stubs Session.Close.
+func (s *Session) Close() {}
+
+// Atomic stubs Session.Atomic.
+func (s *Session) Atomic(vars ...any) {}
+
+// NewIntVar stubs Session.NewIntVar.
+func (s *Session) NewIntVar(name string) *IntVar { return &IntVar{} }
+
+// NewFloatVar stubs Session.NewFloatVar.
+func (s *Session) NewFloatVar(name string) *FloatVar { return &FloatVar{} }
+
+// NewIntArray stubs Session.NewIntArray.
+func (s *Session) NewIntArray(name string, n int) *IntArray { return &IntArray{} }
+
+// NewFloatArray stubs Session.NewFloatArray.
+func (s *Session) NewFloatArray(name string, n int) *FloatArray { return &FloatArray{} }
+
+// NewMutex stubs Session.NewMutex.
+func (s *Session) NewMutex(name string) *Mutex { return &Mutex{} }
+
+// IntVar stubs the instrumented integer.
+type IntVar struct{ _ int }
+
+// Load stubs IntVar.Load.
+func (v *IntVar) Load(t *Task) int64 { return 0 }
+
+// Store stubs IntVar.Store.
+func (v *IntVar) Store(t *Task, x int64) {}
+
+// Add stubs IntVar.Add.
+func (v *IntVar) Add(t *Task, d int64) int64 { return 0 }
+
+// Value stubs IntVar.Value.
+func (v *IntVar) Value() int64 { return 0 }
+
+// Name stubs IntVar.Name.
+func (v *IntVar) Name() string { return "" }
+
+// FloatVar stubs the instrumented float.
+type FloatVar struct{ _ int }
+
+// Load stubs FloatVar.Load.
+func (v *FloatVar) Load(t *Task) float64 { return 0 }
+
+// Store stubs FloatVar.Store.
+func (v *FloatVar) Store(t *Task, x float64) {}
+
+// Add stubs FloatVar.Add.
+func (v *FloatVar) Add(t *Task, d float64) float64 { return 0 }
+
+// Value stubs FloatVar.Value.
+func (v *FloatVar) Value() float64 { return 0 }
+
+// IntArray stubs the instrumented integer array.
+type IntArray struct{ _ int }
+
+// Load stubs IntArray.Load.
+func (a *IntArray) Load(t *Task, i int) int64 { return 0 }
+
+// Store stubs IntArray.Store.
+func (a *IntArray) Store(t *Task, i int, x int64) {}
+
+// Add stubs IntArray.Add.
+func (a *IntArray) Add(t *Task, i int, d int64) int64 { return 0 }
+
+// Value stubs IntArray.Value.
+func (a *IntArray) Value(i int) int64 { return 0 }
+
+// Len stubs IntArray.Len.
+func (a *IntArray) Len() int { return 0 }
+
+// FloatArray stubs the instrumented float array.
+type FloatArray struct{ _ int }
+
+// Load stubs FloatArray.Load.
+func (a *FloatArray) Load(t *Task, i int) float64 { return 0 }
+
+// Store stubs FloatArray.Store.
+func (a *FloatArray) Store(t *Task, i int, x float64) {}
+
+// Add stubs FloatArray.Add.
+func (a *FloatArray) Add(t *Task, i int, d float64) float64 { return 0 }
+
+// Value stubs FloatArray.Value.
+func (a *FloatArray) Value(i int) float64 { return 0 }
+
+// Mutex stubs the instrumented mutex.
+type Mutex struct{ _ int }
+
+// Lock stubs Mutex.Lock.
+func (m *Mutex) Lock(t *Task) {}
+
+// Unlock stubs Mutex.Unlock.
+func (m *Mutex) Unlock(t *Task) {}
+
+// Name stubs Mutex.Name.
+func (m *Mutex) Name() string { return "" }

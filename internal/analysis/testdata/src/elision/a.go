@@ -1,0 +1,60 @@
+// Corpus for the elision analyzer: instrumented variables provably
+// touched by a single step are reported (info) as safely elidable.
+package elision
+
+import "avd"
+
+func elidable() {
+	s := avd.NewSession(avd.Options{})
+	defer s.Close()
+	x := s.NewIntVar("X") // want `IntVar x is only ever accessed by a single step; its instrumentation can be elided safely`
+	y := s.NewIntVar("Y")
+	s.Run(func(t *avd.Task) {
+		t.Finish(func(t *avd.Task) {
+			t.Spawn(func(t *avd.Task) {
+				x.Store(t, 1)
+				x.Add(t, 2)
+			})
+			t.Spawn(func(t *avd.Task) {
+				y.Store(t, 1)
+			})
+		})
+		y.Add(t, 1) // a second step touches y: not elidable
+	})
+	_ = x.Value() // neutral read: emits no event, does not disturb the proof
+}
+
+func runOnly() {
+	s := avd.NewSession(avd.Options{})
+	defer s.Close()
+	r := s.NewIntVar("R") // want `IntVar r is only ever accessed by a single step; its instrumentation can be elided safely`
+	s.Run(func(t *avd.Task) {
+		r.Store(t, 1)
+		r.Add(t, 41)
+	})
+}
+
+func notElidable() {
+	s := avd.NewSession(avd.Options{})
+	defer s.Close()
+	a := s.NewIntVar("A") // two parallel steps: genuinely shared
+	b := s.NewIntVar("B") // replicated body: one handle, many dynamic steps
+	c := s.NewIntVar("C") // escapes into Atomic grouping
+	d := s.NewIntVar("D") // its step hands the task to unknown code, which may spawn
+	s.Run(func(t *avd.Task) {
+		t.Finish(func(t *avd.Task) {
+			t.Spawn(func(t *avd.Task) { a.Add(t, 1) })
+			t.Spawn(func(t *avd.Task) { a.Add(t, 1) })
+		})
+		avd.ParallelFor(t, 0, 8, 1, func(t *avd.Task, i int) {
+			b.Add(t, int64(i))
+		})
+		t.Spawn(func(t *avd.Task) {
+			d.Store(t, 1)
+			helper(t)
+		})
+	})
+	s.Atomic(c)
+}
+
+func helper(t *avd.Task) {}

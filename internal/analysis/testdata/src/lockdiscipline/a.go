@@ -1,0 +1,97 @@
+// Corpus for the lockdiscipline analyzer: the static half of the
+// runtime's critical-section UsageError checks, plus double-lock and
+// lock-across-spawn shapes the runtime cannot cheaply see.
+package lockdiscipline
+
+import "avd"
+
+func doubleLock(s *avd.Session) {
+	m := s.NewMutex("M")
+	s.Run(func(t *avd.Task) {
+		m.Lock(t)
+		m.Lock(t) // want `mutex m is locked again on a path where it is already held`
+		m.Unlock(t)
+		m.Unlock(t)
+	})
+}
+
+func orphanUnlock(s *avd.Session) {
+	m := s.NewMutex("M")
+	s.Run(func(t *avd.Task) {
+		m.Lock(t)
+		m.Unlock(t)
+		m.Unlock(t) // want `mutex m is unlocked without a dominating Lock on this path`
+	})
+}
+
+func spanSpawn(s *avd.Session) {
+	m := s.NewMutex("M")
+	x := s.NewIntVar("X")
+	s.Run(func(t *avd.Task) {
+		m.Lock(t)
+		t.Spawn(func(t *avd.Task) { // want `critical section of mutex m spans Spawn`
+			x.Store(t, 1)
+		})
+		m.Unlock(t)
+	})
+}
+
+func spanSync(s *avd.Session) {
+	m := s.NewMutex("M")
+	s.Run(func(t *avd.Task) {
+		t.Spawn(func(t *avd.Task) {})
+		m.Lock(t)
+		t.Sync() // want `critical section of mutex m spans Sync`
+		m.Unlock(t)
+	})
+}
+
+func clean(s *avd.Session) {
+	m := s.NewMutex("M")
+	x := s.NewIntVar("X")
+	s.Run(func(t *avd.Task) {
+		m.Lock(t)
+		x.Add(t, 1)
+		m.Unlock(t)
+		t.Spawn(func(t *avd.Task) { // the lock is released before the spawn
+			m.Lock(t)
+			x.Add(t, 2)
+			m.Unlock(t)
+		})
+		if x.Value() > 0 {
+			m.Lock(t)
+			x.Store(t, 0)
+			m.Unlock(t)
+		}
+		m.Lock(t) // not a double-lock: the branch above released it on every path
+		defer m.Unlock(t)
+		x.Add(t, 3)
+	})
+}
+
+// release never locks m itself, so unlock-without-lock stays silent:
+// the caller manages the critical section.
+func release(t *avd.Task, m *avd.Mutex) {
+	m.Unlock(t)
+}
+
+func suppressed(s *avd.Session) {
+	m := s.NewMutex("M")
+	s.Run(func(t *avd.Task) {
+		m.Lock(t)
+		m.Unlock(t)
+		m.Unlock(t) //avdlint:ignore exercises the runtime's UsageError on purpose
+	})
+}
+
+func branchy(s *avd.Session, cond bool) {
+	m := s.NewMutex("M")
+	s.Run(func(t *avd.Task) {
+		if cond {
+			m.Lock(t)
+			m.Unlock(t)
+		}
+		m.Lock(t) // must-held is empty after the merge: no double-lock
+		m.Unlock(t)
+	})
+}

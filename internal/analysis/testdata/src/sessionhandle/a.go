@@ -1,0 +1,50 @@
+// Corpus for the sessionhandle analyzer: handles and tasks must stay
+// inside the session that created them, and nothing may touch a
+// session after Close.
+package sessionhandle
+
+import "avd"
+
+func crossSession() {
+	s1 := avd.NewSession(avd.Options{})
+	defer s1.Close()
+	s2 := avd.NewSession(avd.Options{})
+	defer s2.Close()
+	x := s1.NewIntVar("X")
+	m := s1.NewMutex("M")
+	s2.Run(func(t *avd.Task) {
+		x.Store(t, 1) // want `handle x was created by session s1 but is used with a task of session s2`
+		m.Lock(t)     // want `mutex m was created by session s1 but is used with a task of session s2`
+		m.Unlock(t)   // want `mutex m was created by session s1 but is used with a task of session s2`
+	})
+}
+
+func useAfterClose() {
+	s := avd.NewSession(avd.Options{})
+	y := s.NewIntVar("Y")
+	s.Run(func(t *avd.Task) { y.Store(t, 1) })
+	s.Close()
+	s.Run(func(t *avd.Task) { // want `session s is used after Close`
+		y.Store(t, 2) // want `handle y belongs to session s, which was already closed on this path`
+	})
+}
+
+func sameSession() {
+	s := avd.NewSession(avd.Options{})
+	defer s.Close()
+	x := s.NewIntVar("X")
+	s.Run(func(t *avd.Task) {
+		t.Spawn(func(t *avd.Task) {
+			x.Store(t, 1) // handle and task share a session: clean
+		})
+	})
+}
+
+func reopened() {
+	s := avd.NewSession(avd.Options{})
+	s.Run(func(t *avd.Task) {})
+	s.Close()
+	s = avd.NewSession(avd.Options{})
+	s.Run(func(t *avd.Task) {}) // rebound to a fresh session: clean
+	s.Close()
+}

@@ -1,0 +1,52 @@
+// Corpus for the sharedescape analyzer: plain variables written by
+// logically parallel closures are invisible to the atomicity checker.
+package sharedescape
+
+import "avd"
+
+func flagged() {
+	s := avd.NewSession(avd.Options{})
+	defer s.Close()
+	count := 0
+	var total float64
+	s.Run(func(t *avd.Task) {
+		t.Finish(func(t *avd.Task) {
+			t.Spawn(func(t *avd.Task) {
+				count++ // want `variable count is written by logically parallel tasks but is not instrumented; these accesses are invisible to the atomicity checker — declare it with Session.NewIntVar`
+			})
+			t.Spawn(func(t *avd.Task) {
+				count++
+				total += 1.5 // want `variable total is written by logically parallel tasks but is not instrumented; these accesses are invisible to the atomicity checker — declare it with Session.NewFloatVar`
+			})
+			t.Spawn(func(t *avd.Task) {
+				total += 2.5
+			})
+		})
+	})
+	_ = count
+	_ = total
+}
+
+func replicated(t *avd.Task) {
+	sum := 0
+	avd.ParallelFor(t, 0, 100, 8, func(t *avd.Task, i int) {
+		sum += i // want `variable sum is written by logically parallel tasks but is not instrumented`
+	})
+	_ = sum
+}
+
+func clean(s *avd.Session, t *avd.Task) {
+	x := s.NewIntVar("X") // instrumented: the checker sees every access
+	seed := 42            // written serially, only read in parallel
+	t.Finish(func(t *avd.Task) {
+		t.Spawn(func(t *avd.Task) { x.Add(t, int64(seed)) })
+		t.Spawn(func(t *avd.Task) { x.Add(t, int64(seed)) })
+	})
+	avd.ParallelRange(t, 0, 100, 8, func(t *avd.Task, lo, hi int) {
+		local := 0 // declared inside the replicated body: every leaf owns its own copy
+		for i := lo; i < hi; i++ {
+			local += i
+		}
+		x.Add(t, int64(local))
+	})
+}

@@ -1,0 +1,47 @@
+// Corpus for the taskcapture analyzer: a closure passed to a structure
+// operation must thread its own *Task parameter; using a captured
+// outer task attributes accesses to the wrong DPST step.
+package taskcapture
+
+import "avd"
+
+func flagged() {
+	s := avd.NewSession(avd.Options{})
+	defer s.Close()
+	x := s.NewIntVar("X")
+	s.Run(func(t *avd.Task) {
+		t.Spawn(func(child *avd.Task) {
+			x.Store(t, 1) // want `task closure of Spawn uses captured task t instead of its own parameter`
+		})
+		t.CilkSpawn(func(child *avd.Task) {
+			x.Add(t, 1) // want `task closure of CilkSpawn uses captured task t instead of its own parameter`
+		})
+		avd.ParallelFor(t, 0, 8, 1, func(worker *avd.Task, i int) {
+			x.Add(t, int64(i)) // want `task closure of ParallelFor uses captured task t instead of its own parameter`
+		})
+		t.Finish(func(ft *avd.Task) {
+			ft.Spawn(func(child *avd.Task) {
+				x.Store(ft, 2) // want `task closure of Spawn uses captured task ft instead of its own parameter`
+			})
+		})
+	})
+}
+
+func clean() {
+	s := avd.NewSession(avd.Options{})
+	defer s.Close()
+	x := s.NewIntVar("X")
+	s.Run(func(t *avd.Task) {
+		t.Spawn(func(t *avd.Task) { x.Store(t, 1) }) // shadowing the outer task is the idiom
+		t.Finish(func(t *avd.Task) {
+			x.Add(t, 1) // Finish runs inline: its parameter aliases the receiver
+		})
+		t.Finish(func(ft *avd.Task) {
+			x.Add(t, 1) // referencing the receiver itself is fine in inline closures
+		})
+		t.Parallel(
+			func(a *avd.Task) { x.Add(a, 1) },
+			func(b *avd.Task) { x.Add(b, 2) },
+		)
+	})
+}

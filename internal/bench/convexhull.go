@@ -140,7 +140,14 @@ func Convexhull() Kernel {
 					}
 					return far
 				}
+				// The reduction state is shared by all leaves, so it goes
+				// through instrumented handles: the checker must see these
+				// accesses (and their lock) or the reduction would be a
+				// blind spot — exactly what avd-lint's sharedescape flags.
 				lock := s.NewMutex("hull.reduce")
+				farV := s.NewIntVar("hull.far")
+				farDV := s.NewFloatVar("hull.farD")
+				farV.Store(t, -1)
 				avd.ParallelRange(t, 0, len(set), grainFor(len(set), 8), func(t *avd.Task, lo, hi int) {
 					lf, lfD := -1, 0.0
 					for _, i := range set[lo:hi] {
@@ -154,12 +161,13 @@ func Convexhull() Kernel {
 						return
 					}
 					lock.Lock(t)
-					if lfD > farD || (lfD == farD && lf > far) {
-						far, farD = lf, lfD
+					if lfD > farDV.Load(t) || (lfD == farDV.Load(t) && int64(lf) > farV.Load(t)) {
+						farV.Store(t, int64(lf))
+						farDV.Store(t, lfD)
 					}
 					lock.Unlock(t)
 				})
-				return far
+				return int(farV.Load(t))
 			}
 			var rec func(t *avd.Task, set []int, a, b int)
 			rec = func(t *avd.Task, set []int, a, b int) {

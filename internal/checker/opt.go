@@ -312,10 +312,10 @@ type localSpace struct {
 	accs   int32
 	reuse  int64
 	m      locTable
-	par   map[uint64]int8
-	rep   *reportBuffer
-	chunk []localEntry
-	used  int
+	par    map[uint64]int8
+	rep    *reportBuffer
+	chunk  []localEntry
+	used   int
 
 	// lockChunk bump-allocates the lockset copies stored in local
 	// entries, and inter is the reusable scratch for lockset

@@ -1,0 +1,22 @@
+package sched
+
+import "testing"
+
+// TestUsageErrorMessage pins the diagnostic format the runtime panics
+// with (and that avd-lint's lockdiscipline/sessionhandle docs cite).
+func TestUsageErrorMessage(t *testing.T) {
+	err := &UsageError{Op: "Mutex.Unlock", Detail: "mutex is not held"}
+	want := "sched: invalid use of Mutex.Unlock: mutex is not held"
+	if got := err.Error(); got != want {
+		t.Errorf("UsageError.Error() = %q, want %q", got, want)
+	}
+}
+
+// TestTaskPanicString pins the one-line panic rendering.
+func TestTaskPanicString(t *testing.T) {
+	p := TaskPanic{Task: 7, Value: "boom"}
+	want := "task 7 panicked: boom"
+	if got := p.String(); got != want {
+		t.Errorf("TaskPanic.String() = %q, want %q", got, want)
+	}
+}

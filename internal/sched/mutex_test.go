@@ -107,7 +107,7 @@ func TestFinishWhileLockedIsUsageError(t *testing.T) {
 		s.Run(func(t *sched.Task) {
 			m.Lock(t)
 			defer m.Unlock(t)
-			t.Finish(func(*sched.Task) {})
+			t.Finish(func(*sched.Task) {}) //avdlint:ignore deliberate misuse: exercises the runtime UsageError
 		})
 	}()
 	ue, ok := rec.(*sched.UsageError)

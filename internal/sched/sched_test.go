@@ -315,7 +315,7 @@ func TestFinishWhileLockedPanics(t *testing.T) {
 			l.Unlock(tk)
 		}()
 		l.Lock(tk)
-		tk.Finish(func(*sched.Task) {})
+		tk.Finish(func(*sched.Task) {}) //avdlint:ignore deliberate misuse: exercises the runtime UsageError
 	})
 }
 

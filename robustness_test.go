@@ -267,7 +267,7 @@ func TestSessionUsageErrors(t *testing.T) {
 		var rec any
 		func() {
 			defer func() { rec = recover() }()
-			s.Run(func(*avd.Task) {})
+			s.Run(func(*avd.Task) {}) //avdlint:ignore deliberate misuse: exercises the runtime UsageError
 		}()
 		ue, ok := rec.(*avd.UsageError)
 		if !ok {
@@ -287,7 +287,7 @@ func TestSessionUsageErrors(t *testing.T) {
 		var rec any
 		func() {
 			defer func() { rec = recover() }()
-			s2.Run(func(t *avd.Task) { x.Load(t) })
+			s2.Run(func(t *avd.Task) { x.Load(t) }) //avdlint:ignore deliberate misuse: exercises the runtime UsageError
 		}()
 		ue, ok := rec.(*avd.UsageError)
 		if !ok {
@@ -307,7 +307,7 @@ func TestSessionUsageErrors(t *testing.T) {
 		var rec any
 		func() {
 			defer func() { rec = recover() }()
-			s2.Run(func(t *avd.Task) { m.Lock(t) })
+			s2.Run(func(t *avd.Task) { m.Lock(t) }) //avdlint:ignore deliberate misuse: exercises the runtime UsageError
 		}()
 		if ue, ok := rec.(*avd.UsageError); !ok || ue.Op != "Mutex.Lock" {
 			t.Fatalf("expected Mutex.Lock *UsageError, got %T: %v", rec, rec)

@@ -44,7 +44,7 @@ func execProgramFull(p *sptest.Program, cfg sptest.GenConfig, opts avd.Options) 
 				for _, a := range v.Accesses {
 					if a.CS != curCS {
 						if held != nil {
-							held.Unlock(t)
+							held.Unlock(t) //avdlint:ignore lock state is driven by the generated schedule
 							held = nil
 						}
 						if a.CS >= 0 {

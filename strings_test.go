@@ -1,0 +1,44 @@
+package avd
+
+import "testing"
+
+// TestCheckerKindString pins the figure names and the default branch
+// for out-of-range values.
+func TestCheckerKindString(t *testing.T) {
+	cases := []struct {
+		k    CheckerKind
+		want string
+	}{
+		{CheckerOptimized, "our-prototype"},
+		{CheckerBasic, "basic"},
+		{CheckerVelodrome, "velodrome"},
+		{CheckerNone, "baseline"},
+		{CheckerKind(42), "checker(42)"},
+		{CheckerKind(-1), "checker(-1)"},
+	}
+	for _, c := range cases {
+		if got := c.k.String(); got != c.want {
+			t.Errorf("CheckerKind(%d).String() = %q, want %q", int(c.k), got, c.want)
+		}
+	}
+}
+
+// TestMHPModeString pins the harness configuration names and the
+// default branch for out-of-range values.
+func TestMHPModeString(t *testing.T) {
+	cases := []struct {
+		m    MHPMode
+		want string
+	}{
+		{MHPLabels, "labels"},
+		{MHPCachedWalk, "cached-walk"},
+		{MHPWalk, "walk"},
+		{MHPMode(7), "mhp(7)"},
+		{MHPMode(-3), "mhp(-3)"},
+	}
+	for _, c := range cases {
+		if got := c.m.String(); got != c.want {
+			t.Errorf("MHPMode(%d).String() = %q, want %q", int(c.m), got, c.want)
+		}
+	}
+}
