@@ -36,6 +36,7 @@ import (
 	"github.com/taskpar/avd/internal/chaos"
 	"github.com/taskpar/avd/internal/checker"
 	"github.com/taskpar/avd/internal/dpst"
+	"github.com/taskpar/avd/internal/obs"
 	"github.com/taskpar/avd/internal/sched"
 	"github.com/taskpar/avd/internal/trace"
 	"github.com/taskpar/avd/internal/velodrome"
@@ -75,6 +76,48 @@ type ChaosStats = chaos.PlaneStats
 // Trace is a recorded execution trace; see Options.RecordTrace,
 // Session.RecordedTrace, and ReplayTrace.
 type Trace = trace.Trace
+
+// EventCounts are the live observability event totals of a session; see
+// Session.Snapshot.
+type EventCounts = obs.Counts
+
+// Provenance explains a reported violation: the DPST paths of both
+// steps, the locksets held at each access, and whether the
+// unserializable order was observed in this schedule or inferred for
+// another one. See Violation.Prov and Violation.Explain.
+type Provenance = checker.Provenance
+
+// DropEvent describes one shed unit of analysis work: a violation
+// refused by Options.MaxViolations (Kind "violation") or a metadata
+// allocation denied by the memory budget or chaos plane (Kind names the
+// allocation site, e.g. "shadow-leaf"; Bytes is the refused request).
+type DropEvent struct {
+	Kind  string
+	Bytes int64
+}
+
+// Observer receives live analysis events from a running session. All
+// callbacks run synchronously on the goroutine that produced the event,
+// with no session locks that matter to the caller held — but they MUST
+// be cheap, non-blocking, and must not call back into the owning
+// Session (Report, Snapshot, Close, or any instrumented handle): the
+// violation callback fires from inside the checker's per-location
+// critical section. cmd/avd-lint's observer pass flags such re-entrant
+// calls statically. Nil fields are simply skipped; a nil
+// Options.Observer leaves the instrumentation hot path untouched.
+type Observer struct {
+	// OnViolation fires once per locally-new admitted violation (a
+	// triple reported concurrently by several tasks may fire more than
+	// once, matching Reporter admission granularity).
+	OnViolation func(Violation)
+	// OnDrop fires when the session sheds work instead of allocating.
+	OnDrop func(DropEvent)
+	// OnSaturation fires exactly once, on the first drop of any kind.
+	OnSaturation func()
+	// OnTaskPanic fires for every recovered task panic (Options.
+	// RecoverPanics).
+	OnTaskPanic func(TaskPanic)
+}
 
 // ParallelFor executes body(i) for i in [lo, hi) with recursive range
 // bisection and grain-sized leaves, like tbb::parallel_for.
@@ -217,6 +260,10 @@ type Options struct {
 	// bounded delays, task panics, simulated allocation failures) for
 	// robustness testing; nil disables it.
 	Chaos *ChaosConfig
+	// Observer streams live analysis events (violations, drops,
+	// saturation, task panics) to the caller while the program runs; nil
+	// (the default) keeps the hot path free of observer overhead.
+	Observer *Observer
 }
 
 // ChaosConfig parameterizes the session's deterministic fault-injection
@@ -293,6 +340,7 @@ type Session struct {
 	rec   *trace.Recorder
 	plane *chaos.Plane
 	gate  *chaos.Gate
+	hub   *obs.Hub
 }
 
 // setTreeGate attaches the allocation gate to a tree layout's label
@@ -309,9 +357,10 @@ func setTreeGate(tree dpst.Tree, g *chaos.Gate) {
 // NewSession creates a session and starts its worker pool; Close it when
 // done.
 func NewSession(opts Options) *Session {
-	s := &Session{}
+	s := &Session{hub: &obs.Hub{}}
 	s.plane = opts.Chaos.plane()
 	s.gate = opts.gate(s.plane)
+	ob := opts.Observer
 	var mon sched.Monitor
 	switch opts.Checker {
 	case CheckerNone:
@@ -341,6 +390,31 @@ func NewSession(opts Options) *Session {
 			Gate:                s.gate,
 		})
 		mon = s.chk
+		// The reporter callbacks only fire on locally-new violations and
+		// cap refusals, never on the per-access fast path, so counting
+		// into the hub costs nothing when no violation is found.
+		rep.SetObserver(func(v Violation) {
+			s.hub.Note(obs.EventViolation, uint64(v.Loc))
+			if ob != nil && ob.OnViolation != nil {
+				ob.OnViolation(v)
+			}
+		})
+		rep.SetDropObserver(func() {
+			s.hub.Note(obs.EventDrop, 0)
+			s.saturate(ob)
+			if ob != nil && ob.OnDrop != nil {
+				ob.OnDrop(DropEvent{Kind: "violation"})
+			}
+		})
+	}
+	if s.gate != nil {
+		s.gate.SetDropObserver(func(site chaos.Site, n int64) {
+			s.hub.Note(obs.EventDrop, uint64(site))
+			s.saturate(ob)
+			if ob != nil && ob.OnDrop != nil {
+				ob.OnDrop(DropEvent{Kind: site.String(), Bytes: n})
+			}
+		})
 	}
 	if opts.RecordTrace {
 		s.rec = trace.NewRecorder()
@@ -356,8 +430,22 @@ func NewSession(opts Options) *Session {
 		Monitor:       mon,
 		Chaos:         s.plane,
 		RecoverPanics: opts.RecoverPanics,
+		OnPanic: func(p sched.TaskPanic) {
+			s.hub.Note(obs.EventTaskPanic, uint64(p.Task))
+			if ob != nil && ob.OnTaskPanic != nil {
+				ob.OnTaskPanic(p)
+			}
+		},
 	})
 	return s
+}
+
+// saturate latches session saturation on the first drop of any kind and
+// fires the observer's OnSaturation exactly once.
+func (s *Session) saturate(ob *Observer) {
+	if s.hub.LatchSaturation(0) && ob != nil && ob.OnSaturation != nil {
+		ob.OnSaturation()
+	}
 }
 
 // ChaosStats returns the fault counters of the session's chaos plane
@@ -412,6 +500,17 @@ func (m *teeMonitor) OnTaskEnd(t *Task) {
 	m.each(func(so sched.StructureObserver) { so.OnTaskEnd(t) })
 }
 
+// OnInject forwards chaos-injection annotations to whichever side
+// observes them (the trace recorder, in practice).
+func (m *teeMonitor) OnInject(task int32, fault chaos.Fault) {
+	if io, ok := m.a.(sched.InjectObserver); ok {
+		io.OnInject(task, fault)
+	}
+	if io, ok := m.b.(sched.InjectObserver); ok {
+		io.OnInject(task, fault)
+	}
+}
+
 // RecordedTrace returns the trace captured so far (Options.RecordTrace
 // must be set; nil otherwise). Call it after Run has returned.
 func (s *Session) RecordedTrace() *Trace {
@@ -438,9 +537,7 @@ func ReplayTrace(tr *Trace, opts Options) (Report, error) {
 		if err := trace.Replay(tr, tree, v, v); err != nil {
 			return rep, err
 		}
-		rep.Cycles = v.Count()
-		rep.ViolationCount = v.Count()
-		rep.Stats.DPSTNodes = tree.Len()
+		fillStats(&rep, nil, v, tree, nil)
 	case CheckerOptimized, CheckerBasic:
 		alg := checker.AlgOptimized
 		if opts.Checker == CheckerBasic {
@@ -461,23 +558,45 @@ func ReplayTrace(tr *Trace, opts Options) (Report, error) {
 		if err := trace.Replay(tr, tree, c, nil); err != nil {
 			return rep, err
 		}
+		fillStats(&rep, c, nil, tree, q)
 		rep.Violations = c.Reporter().Violations()
-		rep.ViolationCount = c.Reporter().Count()
-		cs := c.Stats()
-		rep.Stats.Locations = cs.Locations
-		rep.Stats.FilterHits = cs.FilterHits
-		rep.Stats.FilterMisses = cs.FilterMisses
-		rep.Stats.DPSTNodes = tree.Len()
-		qs := q.Stats()
-		rep.Stats.LCAQueries = qs.LCAQueries
-		rep.Stats.UniqueLCAs = qs.UniqueLCAs
-		rep.Drops.Violations = c.Reporter().Dropped()
-		rep.Saturated = c.Reporter().Saturated()
 	default:
 		return rep, fmt.Errorf("avd: ReplayTrace requires an analyzing checker, got %v", opts.Checker)
 	}
 	fillGateReport(&rep, gate)
 	return rep, nil
+}
+
+// fillStats assembles the numeric analysis statistics shared by Report,
+// ReplayTrace, and Snapshot. It deliberately omits the retained
+// violation list (fetched separately by the end-of-run paths) so the
+// live snapshot path does not copy per-violation detail. Every source
+// it reads is safe for concurrent use with a running analysis.
+func fillStats(r *Report, chk checker.Checker, velo *velodrome.Checker, tree dpst.Tree, q *dpst.Query) {
+	if chk != nil {
+		rep := chk.Reporter()
+		r.ViolationCount = rep.Count()
+		r.Drops.Violations = rep.Dropped()
+		if rep.Saturated() {
+			r.Saturated = true
+		}
+		cs := chk.Stats()
+		r.Stats.Locations = cs.Locations
+		r.Stats.FilterHits = cs.FilterHits
+		r.Stats.FilterMisses = cs.FilterMisses
+	}
+	if velo != nil {
+		r.Cycles = velo.Count()
+		r.ViolationCount = velo.Count()
+	}
+	if tree != nil {
+		r.Stats.DPSTNodes = tree.Len()
+	}
+	if q != nil {
+		qs := q.Stats()
+		r.Stats.LCAQueries = qs.LCAQueries
+		r.Stats.UniqueLCAs = qs.UniqueLCAs
+	}
 }
 
 // fillGateReport folds the gate's saturation state into a report.
@@ -579,31 +698,60 @@ type Report struct {
 // Report returns the analysis results accumulated so far.
 func (s *Session) Report() Report {
 	var r Report
+	fillStats(&r, s.chk, s.velo, s.tree, s.q)
 	if s.chk != nil {
 		r.Violations = s.chk.Reporter().Violations()
-		r.ViolationCount = s.chk.Reporter().Count()
-		cs := s.chk.Stats()
-		r.Stats.Locations = cs.Locations
-		r.Stats.FilterHits = cs.FilterHits
-		r.Stats.FilterMisses = cs.FilterMisses
-		r.Drops.Violations = s.chk.Reporter().Dropped()
-		if s.chk.Reporter().Saturated() {
-			r.Saturated = true
-		}
-	}
-	if s.velo != nil {
-		r.Cycles = s.velo.Count()
-		r.ViolationCount = s.velo.Count()
-	}
-	if s.tree != nil {
-		r.Stats.DPSTNodes = s.tree.Len()
-	}
-	if s.q != nil {
-		qs := s.q.Stats()
-		r.Stats.LCAQueries = qs.LCAQueries
-		r.Stats.UniqueLCAs = qs.UniqueLCAs
 	}
 	fillGateReport(&r, s.gate)
 	r.TaskPanics, r.PanicCount = s.sch.TaskPanics()
 	return r
+}
+
+// Snapshot is a point-in-time view of a running session's analysis,
+// safe to poll from any goroutine while Run executes. All counters are
+// monotone from snapshot to snapshot, and a snapshot taken after Run
+// returns agrees with the corresponding fields of Report.
+type Snapshot struct {
+	// Stats carries the live Table 1 measurements.
+	Stats Stats
+	// ViolationCount counts distinct violations reported so far;
+	// Cycles the Velodrome cycles (Velodrome sessions only).
+	ViolationCount int64
+	Cycles         int64
+	// Saturated and Drops mirror the Report fields; MemoryUsed is the
+	// current tracked metadata bytes.
+	Saturated  bool
+	Drops      DropStats
+	MemoryUsed int64
+	// PanicCount counts recovered task panics so far.
+	PanicCount int64
+	// Chaos counts injected faults so far.
+	Chaos ChaosStats
+	// Events are the raw observability event totals.
+	Events EventCounts
+}
+
+// Snapshot returns the live analysis view. It takes no locks that the
+// instrumented hot path contends on, so polling it (even at high
+// frequency, from several goroutines) does not perturb the measured
+// program.
+func (s *Session) Snapshot() Snapshot {
+	var r Report
+	fillStats(&r, s.chk, s.velo, s.tree, s.q)
+	fillGateReport(&r, s.gate)
+	ev := s.hub.Snapshot()
+	if ev.Saturated {
+		r.Saturated = true
+	}
+	return Snapshot{
+		Stats:          r.Stats,
+		ViolationCount: r.ViolationCount,
+		Cycles:         r.Cycles,
+		Saturated:      r.Saturated,
+		Drops:          r.Drops,
+		MemoryUsed:     r.MemoryUsed,
+		PanicCount:     ev.TaskPanics,
+		Chaos:          s.plane.Stats(),
+		Events:         ev,
+	}
 }

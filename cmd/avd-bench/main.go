@@ -19,12 +19,21 @@
 // run. -require-filter-hits exits nonzero when the avd-filter
 // configuration reports zero redundant-access filter hits — the CI
 // guard against the filter silently wedging open.
+//
+// -debug-addr serves expvar on the given address while the benchmarks
+// run: GET /debug/vars carries an "avd" variable with a live Snapshot
+// of the session currently being measured (violation counts, Table 1
+// stats, memory-budget usage, chaos counters), or null between runs.
+// Scheduler worker goroutines carry pprof labels (avd_worker), so CPU
+// profiles taken from the endpoint attribute samples per worker.
 package main
 
 import (
+	"expvar"
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -43,7 +52,23 @@ func main() {
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile at exit to this file")
 	requireHits := flag.Bool("require-filter-hits", false, "fail when the avd-filter configuration reports zero filter hits")
+	debugAddr := flag.String("debug-addr", "", "serve expvar (incl. a live session snapshot) on this address, e.g. localhost:6060")
 	flag.Parse()
+
+	if *debugAddr != "" {
+		expvar.Publish("avd", expvar.Func(func() any {
+			s := harness.LiveSession()
+			if s == nil {
+				return nil
+			}
+			return s.Snapshot()
+		}))
+		go func() {
+			if err := http.ListenAndServe(*debugAddr, nil); err != nil {
+				log.Printf("avd-bench: debug endpoint: %v", err)
+			}
+		}()
+	}
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)

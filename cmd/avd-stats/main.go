@@ -4,10 +4,17 @@
 //
 // Usage:
 //
-//	avd-stats [-workers N] [-scale F] [-reps N]
+//	avd-stats [-workers N] [-scale F] [-reps N] [-json]
+//
+// With -json the full machine-readable Table1Data is written to stdout
+// instead of the text table, including each kernel's detected
+// violations with provenance: DPST paths, locksets, the unserializable
+// pattern name, observed-vs-inferred classification, and a rendered
+// explanation.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"log"
 	"os"
@@ -19,8 +26,21 @@ func main() {
 	workers := flag.Int("workers", 0, "worker threads (0 = GOMAXPROCS)")
 	scale := flag.Float64("scale", 1, "problem-size multiplier")
 	reps := flag.Int("reps", 1, "repetitions per benchmark")
+	asJSON := flag.Bool("json", false, "emit machine-readable JSON with violation provenance")
 	flag.Parse()
-	if err := harness.Table1(os.Stdout, *workers, *scale, *reps); err != nil {
+	if !*asJSON {
+		if err := harness.Table1(os.Stdout, *workers, *scale, *reps); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	d, err := harness.CollectTable1(*workers, *scale, *reps)
+	if err != nil {
+		log.Fatal(err)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(d); err != nil {
 		log.Fatal(err)
 	}
 }

@@ -1,0 +1,76 @@
+// Command avd-viz converts a recorded avd trace into Chrome
+// trace-event / Perfetto JSON for interactive inspection.
+//
+// Usage:
+//
+//	avd-viz [-i trace.json] [-o out.json] [-strict] [-no-violations]
+//
+// Workflow: record a trace (avd.Options.RecordTrace or avd-trace -gen),
+// convert it with avd-viz, then open https://ui.perfetto.dev (or
+// chrome://tracing) and load the output. Process "avd tasks" shows one
+// track per task with task-lifetime, finish-scope, and DPST step spans;
+// violation instants mark the access where each violation was first
+// detected (hover for the human-readable explanation); chaos injections
+// appear as instants on the affected task. Traces recorded live also
+// get an "avd workers" process showing which scheduler worker executed
+// each task over time, making steals visible as track migrations.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"github.com/taskpar/avd/internal/trace"
+)
+
+func main() {
+	in := flag.String("i", "", "input trace file (default stdin)")
+	out := flag.String("o", "", "output Perfetto JSON file (default stdout)")
+	strict := flag.Bool("strict", false, "run the violation overlay with the strict-lock extension")
+	noViolations := flag.Bool("no-violations", false, "skip the checker replay; export structure only")
+	maxExpl := flag.Int("max-explanations", 100, "cap on rendered explanations in otherData")
+	flag.Parse()
+
+	var r io.Reader = os.Stdin
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		r = f
+	}
+	tr, err := trace.Decode(r)
+	if err != nil {
+		fatal(err)
+	}
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+		}()
+		w = f
+	}
+	err = trace.ExportPerfetto(tr, w, trace.PerfettoOptions{
+		SkipViolations:   *noViolations,
+		MaxExplanations:  *maxExpl,
+		StrictLockChecks: *strict,
+	})
+	if err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "avd-viz:", err)
+	os.Exit(1)
+}

@@ -126,6 +126,13 @@ func IsMutexPtr(t types.Type) bool {
 	return ok && namedInAVD(ptr.Elem(), "Mutex")
 }
 
+// IsObserver reports whether t is avd.Observer or *avd.Observer — the
+// struct of live-event callbacks a session invokes from inside the
+// analysis.
+func IsObserver(t types.Type) bool {
+	return namedInAVD(t, "Observer")
+}
+
 // HandleKind returns the instrumented-variable kind of t ("IntVar",
 // "FloatVar", "IntArray", "FloatArray"), or "" when t is not a handle.
 func HandleKind(t types.Type) string {

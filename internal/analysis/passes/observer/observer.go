@@ -1,0 +1,127 @@
+// Package observer flags Observer callbacks that call back into the
+// session that invokes them.
+//
+// The live-observability callbacks (Observer.OnViolation, OnDrop,
+// OnSaturation, OnTaskPanic) run synchronously on the goroutine that
+// produced the event — OnViolation fires from inside the checker's
+// per-location critical section. Calling back into the session from
+// there (Report, Snapshot, Close, an instrumented Load/Store, a
+// structure operation) can deadlock on checker-internal locks or
+// recurse into the analysis mid-dispatch. The runtime cannot guard
+// this cheaply — the callbacks exist precisely to avoid hot-path
+// overhead — so the contract is enforced statically here.
+//
+// Detection is syntactic and conservative in the safe direction: every
+// function literal bound to an Observer field (in a composite literal
+// or by assignment) is scanned, and any session operation, instrumented
+// access, or task-structure call inside it is reported, regardless of
+// which session the values belong to. Escaping to another goroutine
+// (e.g. sending the event on a channel consumed elsewhere) is the
+// supported pattern and is not flagged.
+package observer
+
+import (
+	"go/ast"
+	"strings"
+
+	"github.com/taskpar/avd/internal/analysis"
+	"github.com/taskpar/avd/internal/analysis/avdapi"
+)
+
+// Analyzer is the observer pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "observer",
+	Doc:  "flag Observer callbacks that call back into the session",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	// callbacks maps each observer-callback function literal to the
+	// Observer field it is bound to.
+	callbacks := map[*ast.FuncLit]string{}
+
+	pass.Inspector.Preorder([]ast.Node{(*ast.CompositeLit)(nil), (*ast.AssignStmt)(nil)}, func(n ast.Node) {
+		switch n := n.(type) {
+		case *ast.CompositeLit:
+			tv, ok := pass.TypesInfo.Types[n]
+			if !ok || !avdapi.IsObserver(tv.Type) {
+				return
+			}
+			for _, elt := range n.Elts {
+				kv, ok := elt.(*ast.KeyValueExpr)
+				if !ok {
+					continue
+				}
+				key, ok := kv.Key.(*ast.Ident)
+				if !ok || !strings.HasPrefix(key.Name, "On") {
+					continue
+				}
+				if lit, ok := ast.Unparen(kv.Value).(*ast.FuncLit); ok {
+					callbacks[lit] = key.Name
+				}
+			}
+		case *ast.AssignStmt:
+			if len(n.Lhs) != len(n.Rhs) {
+				return
+			}
+			for i := range n.Lhs {
+				sel, ok := ast.Unparen(n.Lhs[i]).(*ast.SelectorExpr)
+				if !ok || !strings.HasPrefix(sel.Sel.Name, "On") {
+					continue
+				}
+				tv, ok := pass.TypesInfo.Types[sel.X]
+				if !ok || !avdapi.IsObserver(tv.Type) {
+					continue
+				}
+				if lit, ok := ast.Unparen(n.Rhs[i]).(*ast.FuncLit); ok {
+					callbacks[lit] = sel.Sel.Name
+				}
+			}
+		}
+	})
+
+	for lit, field := range callbacks {
+		checkCallback(pass, lit, field)
+	}
+	return nil
+}
+
+// checkCallback reports session re-entry inside one observer callback.
+// Nested function literals are scanned too — a closure defined in the
+// callback still runs on the checker's goroutine unless it is handed
+// off, and a plain `go` or channel send is the escape hatch the
+// analyzer deliberately leaves unflagged (the goroutine body is a
+// GoStmt child, which is skipped).
+func checkCallback(pass *analysis.Pass, lit *ast.FuncLit, field string) {
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.GoStmt); ok {
+			return false // handed off the checker's goroutine: allowed
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if name, _, ok := pass.API.SessionOp(call); ok {
+			pass.Reportf(call.Pos(),
+				"Observer.%s calls Session.%s: observer callbacks run inside the analysis (OnViolation under the checker's per-location lock) and must not call back into the session; record the event and act after Run returns",
+				field, name)
+			return true
+		}
+		if acc, ok := pass.API.InstrumentedOp(call); ok {
+			what := "instrumented access"
+			if acc.Mutex {
+				what = "instrumented lock operation"
+			}
+			pass.Reportf(call.Pos(),
+				"Observer.%s performs an %s (%s): observer callbacks run inside the analysis and re-entering the checker can deadlock; record the event and act after Run returns",
+				field, what, acc.Kind)
+			return true
+		}
+		if kind := pass.API.Structure(call); kind != avdapi.KindNone {
+			pass.Reportf(call.Pos(),
+				"Observer.%s calls %s: observer callbacks run inside the analysis and must not drive the task runtime; record the event and act after Run returns",
+				field, kind)
+		}
+		return true
+	})
+}

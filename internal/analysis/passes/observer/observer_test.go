@@ -1,0 +1,12 @@
+package observer_test
+
+import (
+	"testing"
+
+	"github.com/taskpar/avd/internal/analysis/analysistest"
+	"github.com/taskpar/avd/internal/analysis/passes/observer"
+)
+
+func TestObserver(t *testing.T) {
+	analysistest.Run(t, "../../testdata", observer.Analyzer, "observer")
+}

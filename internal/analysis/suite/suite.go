@@ -8,6 +8,7 @@ import (
 	"github.com/taskpar/avd/internal/analysis"
 	"github.com/taskpar/avd/internal/analysis/passes/elision"
 	"github.com/taskpar/avd/internal/analysis/passes/lockdiscipline"
+	"github.com/taskpar/avd/internal/analysis/passes/observer"
 	"github.com/taskpar/avd/internal/analysis/passes/sessionhandle"
 	"github.com/taskpar/avd/internal/analysis/passes/sharedescape"
 	"github.com/taskpar/avd/internal/analysis/passes/taskcapture"
@@ -21,5 +22,6 @@ func All() []*analysis.Analyzer {
 		lockdiscipline.Analyzer,
 		sessionhandle.Analyzer,
 		elision.Analyzer,
+		observer.Analyzer,
 	}
 }

@@ -31,8 +31,32 @@ func ParallelRange(t *Task, lo, hi, grain int, body func(*Task, int, int)) {}
 
 // Options stubs avd.Options.
 type Options struct {
-	Workers int
+	Workers  int
+	Observer *Observer
 }
+
+// Violation stubs avd.Violation.
+type Violation struct{ _ int }
+
+// DropEvent stubs avd.DropEvent.
+type DropEvent struct{ _ int }
+
+// TaskPanic stubs avd.TaskPanic.
+type TaskPanic struct{ _ int }
+
+// Snapshot stubs avd.Snapshot.
+type Snapshot struct{ _ int }
+
+// Observer stubs avd.Observer.
+type Observer struct {
+	OnViolation  func(Violation)
+	OnDrop       func(DropEvent)
+	OnSaturation func()
+	OnTaskPanic  func(TaskPanic)
+}
+
+// Report stubs avd.Report.
+type Report struct{ _ int }
 
 // Session stubs avd.Session.
 type Session struct{ _ int }
@@ -45,6 +69,12 @@ func (s *Session) Run(body func(*Task)) {}
 
 // Close stubs Session.Close.
 func (s *Session) Close() {}
+
+// Report stubs Session.Report.
+func (s *Session) Report() Report { return Report{} }
+
+// Snapshot stubs Session.Snapshot.
+func (s *Session) Snapshot() Snapshot { return Snapshot{} }
 
 // Atomic stubs Session.Atomic.
 func (s *Session) Atomic(vars ...any) {}

@@ -1,0 +1,95 @@
+// Corpus for the observer analyzer: Observer callbacks run inside the
+// analysis and must not call back into the session.
+package observer
+
+import "avd"
+
+func reentrantLiteral() {
+	s := avd.NewSession(avd.Options{})
+	defer s.Close()
+	x := s.NewIntVar("X")
+	ob := &avd.Observer{
+		OnViolation: func(v avd.Violation) {
+			_ = s.Report()   // want `Observer.OnViolation calls Session.Report`
+			_ = s.Snapshot() // want `Observer.OnViolation calls Session.Snapshot`
+		},
+		OnDrop: func(d avd.DropEvent) {
+			s.Close() // want `Observer.OnDrop calls Session.Close`
+		},
+	}
+	_ = ob
+	_ = x
+}
+
+func reentrantAccess() {
+	s := avd.NewSession(avd.Options{})
+	defer s.Close()
+	x := s.NewIntVar("X")
+	m := s.NewMutex("M")
+	var tk *avd.Task
+	ob := avd.Observer{
+		OnViolation: func(v avd.Violation) {
+			x.Store(tk, 1) // want `Observer.OnViolation performs an instrumented access \(Store\)`
+			m.Lock(tk)     // want `Observer.OnViolation performs an instrumented lock operation \(Lock\)`
+		},
+		OnSaturation: func() {
+			tk.Spawn(func(t *avd.Task) {}) // want `Observer.OnSaturation calls Spawn`
+		},
+	}
+	_ = ob
+}
+
+func reentrantAssignment() {
+	s := avd.NewSession(avd.Options{})
+	defer s.Close()
+	var ob avd.Observer
+	ob.OnTaskPanic = func(p avd.TaskPanic) {
+		_ = s.Report() // want `Observer.OnTaskPanic calls Session.Report`
+	}
+	_ = ob
+}
+
+// cleanCounting only records into plain state: allowed.
+func cleanCounting() {
+	s := avd.NewSession(avd.Options{})
+	defer s.Close()
+	var violations int
+	ob := &avd.Observer{
+		OnViolation:  func(v avd.Violation) { violations++ },
+		OnSaturation: func() {},
+	}
+	_ = ob
+}
+
+// cleanChannelEscape hands the event to another goroutine: allowed —
+// the consumer acts after the callback returned, off the checker's
+// goroutine.
+func cleanChannelEscape() {
+	s := avd.NewSession(avd.Options{})
+	defer s.Close()
+	events := make(chan avd.Violation, 16)
+	ob := &avd.Observer{
+		OnViolation: func(v avd.Violation) {
+			select {
+			case events <- v:
+			default:
+			}
+		},
+		OnDrop: func(d avd.DropEvent) {
+			go func() {
+				_ = s.Snapshot() // escaped via go: allowed
+			}()
+		},
+	}
+	_ = ob
+}
+
+// cleanElsewhere: session calls outside observer callbacks stay
+// unflagged.
+func cleanElsewhere() {
+	s := avd.NewSession(avd.Options{})
+	defer s.Close()
+	s.Run(func(t *avd.Task) {})
+	_ = s.Report()
+	_ = s.Snapshot()
+}

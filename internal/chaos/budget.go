@@ -70,6 +70,17 @@ type Gate struct {
 	Budget *Budget
 
 	drops [numSites]atomic.Int64
+	onDrop func(Site, int64)
+}
+
+// SetDropObserver installs a callback invoked on every denied
+// allocation with the site and the refused byte count. It must be set
+// before the gate is shared with concurrent allocators; the callback
+// runs on the allocating goroutine and must be cheap and non-blocking.
+func (g *Gate) SetDropObserver(fn func(Site, int64)) {
+	if g != nil {
+		g.onDrop = fn
+	}
 }
 
 // Allow decides whether an allocation of n bytes at site may proceed.
@@ -79,6 +90,9 @@ func (g *Gate) Allow(site Site, n int64) bool {
 	}
 	if g.Plane.AllocFail(site) || !g.Budget.Reserve(n) {
 		g.drops[site].Add(1)
+		if g.onDrop != nil {
+			g.onDrop(site, n)
+		}
 		return false
 	}
 	return true

@@ -61,6 +61,35 @@ func (s Site) String() string {
 	}
 }
 
+// Fault names an injected scheduler-level fault, for observers and
+// trace overlays. Allocation denials are reported per Site instead.
+type Fault uint8
+
+// Injected fault kinds.
+const (
+	// FaultSteal is a forced steal: a fresh spawn diverted to the
+	// overflow queue.
+	FaultSteal Fault = iota + 1
+	// FaultDelay is a bounded delay injected before a task starts.
+	FaultDelay
+	// FaultPanic is an injected task panic.
+	FaultPanic
+)
+
+// String names the fault.
+func (f Fault) String() string {
+	switch f {
+	case FaultSteal:
+		return "steal"
+	case FaultDelay:
+		return "delay"
+	case FaultPanic:
+		return "panic"
+	default:
+		return fmt.Sprintf("fault(%d)", uint8(f))
+	}
+}
+
 // Config parameterizes a Plane. Probabilities are in [0, 1]; zero
 // disables the corresponding fault class.
 type Config struct {

@@ -57,7 +57,7 @@ func (c *Basic) OnAcquire(*sched.Task, *sched.Mutex) {}
 // OnRelease implements sched.Monitor.
 func (c *Basic) OnRelease(*sched.Task, *sched.Mutex) {}
 
-func (c *Basic) report(loc sched.Loc, patStep, inter dpst.NodeID, a1, a2, a3 AccessType) {
+func (c *Basic) report(loc sched.Loc, patStep, inter dpst.NodeID, a1, a2, a3 AccessType, patLocks, interLocks []uint64, observed bool) {
 	tr := c.q.Tree()
 	c.rep.Report(Violation{
 		Loc:             loc,
@@ -68,6 +68,7 @@ func (c *Basic) report(loc sched.Loc, patStep, inter dpst.NodeID, a1, a2, a3 Acc
 		Last:            a3,
 		PatternTask:     tr.Task(patStep),
 		InterleaverTask: tr.Task(inter),
+		Prov:            buildProvenance(tr, patStep, inter, patLocks, interLocks, observed),
 	})
 }
 
@@ -93,8 +94,10 @@ func (c *Basic) Access(ts TaskState, loc sched.Loc, write bool) {
 
 	// Role 1 (Figure 3): the current access completes a two-access
 	// pattern (p, current) of its own step; any recorded access by a
-	// parallel step is a candidate interleaver.
-	for _, p := range cell.hist {
+	// parallel step is a candidate interleaver. The history is in trace
+	// order, so the triple was observed in this schedule iff the
+	// interleaver was recorded after the pattern's first access.
+	for i, p := range cell.hist {
 		if p.step != si {
 			continue
 		}
@@ -102,7 +105,7 @@ func (c *Basic) Access(ts TaskState, loc sched.Loc, write bool) {
 		if len(common) > 0 && !c.strict {
 			continue // same critical section: atomic under the lock
 		}
-		for _, q := range cell.hist {
+		for j, q := range cell.hist {
 			if q.step == si {
 				continue
 			}
@@ -113,7 +116,7 @@ func (c *Basic) Access(ts TaskState, loc sched.Loc, write bool) {
 				continue
 			}
 			if c.q.Par(si, q.step) {
-				c.report(loc, si, q.step, p.typ, q.typ, cur)
+				c.report(loc, si, q.step, p.typ, q.typ, cur, common, q.locks, j > i)
 			}
 		}
 	}
@@ -140,7 +143,9 @@ func (c *Basic) Access(ts TaskState, loc sched.Loc, write bool) {
 				continue
 			}
 			if c.q.Par(si, p1.step) {
-				c.report(loc, p1.step, si, p1.typ, cur, p2.typ)
+				// The interleaving access arrives after the recorded
+				// pattern completed: inferred for another schedule.
+				c.report(loc, p1.step, si, p1.typ, cur, p2.typ, common, locks, false)
 			}
 		}
 	}

@@ -2,6 +2,7 @@ package checker
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"github.com/taskpar/avd/internal/dpst"
 	"github.com/taskpar/avd/internal/sched"
@@ -62,6 +63,18 @@ type optCell struct {
 	// interleaver-role checks skip empty kinds without touching them.
 	patMask  uint8
 	lockInfo *cellLocks
+
+	// tick is the cell's event clock for provenance: it advances once per
+	// full dispatch on this location (under mu), and the install time of
+	// each single entry is stamped in singleTick. Comparing a stored
+	// single's install tick against the pattern step's first-access tick
+	// classifies a candidate-role triple as observed (the interleaver
+	// arrived between the pattern's two accesses in this schedule) or
+	// inferred for another schedule. Ticks never reach reports directly —
+	// only the derived Observed bit does — so filtered-out dispatches
+	// shifting tick values cannot perturb report content.
+	tick       uint64
+	singleTick [4]uint64
 }
 
 // cellLocks carries the strict-lock extension's lockset annotations for
@@ -132,6 +145,11 @@ type localEntry struct {
 	flags      uint8
 	readLocks  []uint64
 	writeLocks []uint64
+	// readTick and writeTick record the cell tick at the step's first
+	// read/write of the location — the pattern-side baseline of the
+	// observed/inferred provenance classification.
+	readTick  uint64
+	writeTick uint64
 }
 
 // The redundant-access filter in front of the full dispatch: a small
@@ -281,12 +299,12 @@ func (t *locTable) grow() {
 // filterCounters holds one task's filter hit/miss counters. They live
 // outside localSpace so the checker-wide registry retains only these
 // few bytes per task — not the task's whole local metadata — after the
-// task dies. The fields are written only by the owning task's
-// goroutine; Stats reads them after the run's join barrier, whose
-// atomic task accounting orders every task-side write before the read.
+// task dies. The fields are atomic so Stats can be read live, mid-run,
+// by Session.Snapshot; each counter is written only by the owning
+// task's goroutine, so the adds are uncontended.
 type filterCounters struct {
-	hits   int64
-	misses int64
+	hits   atomic.Int64
+	misses atomic.Int64
 }
 
 // localSpace is a task's local metadata, kept in Task.Local. Besides the
@@ -411,8 +429,8 @@ func (c *Optimized) Stats() Stats {
 	st := Stats{Locations: c.mem.count.Load()}
 	c.countersMu.Lock()
 	for _, ctr := range c.counters {
-		st.FilterHits += ctr.hits
-		st.FilterMisses += ctr.misses
+		st.FilterHits += ctr.hits.Load()
+		st.FilterMisses += ctr.misses.Load()
 	}
 	c.countersMu.Unlock()
 	return st
@@ -520,7 +538,13 @@ func copyLocks(a []uint64) []uint64 {
 // the single access (inter, a2, interLocks) from a logically parallel
 // step. In paper mode patLocks is always empty and the lockset test is
 // vacuous, matching the paper's lock-free global space.
-func (c *Optimized) checkTriple(sp *localSpace, loc sched.Loc, patStep dpst.NodeID, patLocks []uint64, a1, a3 AccessType, inter dpst.NodeID, a2 AccessType, interLocks []uint64) {
+//
+// observed says whether the unserializable order actually occurred in
+// this schedule (see optCell.tick); it flows into the provenance, which
+// is built only for triples the task has not reported before — the
+// isDup probe keeps the steady-state path (duplicate re-detections)
+// allocation-free.
+func (c *Optimized) checkTriple(sp *localSpace, loc sched.Loc, patStep dpst.NodeID, patLocks []uint64, a1, a3 AccessType, inter dpst.NodeID, a2 AccessType, interLocks []uint64, observed bool) {
 	if patStep == dpst.None || inter == dpst.None {
 		return
 	}
@@ -537,7 +561,7 @@ func (c *Optimized) checkTriple(sp *localSpace, loc sched.Loc, patStep dpst.Node
 	if sp.rep == nil {
 		sp.rep = c.rep.buffer()
 	}
-	sp.rep.report(Violation{
+	v := Violation{
 		Loc:             loc,
 		PatternStep:     patStep,
 		InterleaverStep: inter,
@@ -546,25 +570,37 @@ func (c *Optimized) checkTriple(sp *localSpace, loc sched.Loc, patStep dpst.Node
 		Last:            a3,
 		PatternTask:     tr.Task(patStep),
 		InterleaverTask: tr.Task(inter),
-	})
+	}
+	if sp.rep.isDup(v.key()) {
+		return
+	}
+	v.Prov = buildProvenance(tr, patStep, inter, patLocks, interLocks, observed)
+	sp.rep.report(v)
 }
 
 // checkStoredPatterns checks the current access, in the interleaver
-// role, against both stored entries of the given pattern kind.
+// role, against both stored entries of the given pattern kind. An
+// interleaver-role detection is never observed: the middle access is
+// arriving after the stored pattern completed, so the unserializable
+// order is inferred for another schedule.
 func (c *Optimized) checkStoredPatterns(sp *localSpace, loc sched.Loc, cell *optCell, kind int, inter dpst.NodeID, a2 AccessType, interLocks []uint64) {
 	if cell.patMask&(1<<kind) == 0 {
 		return
 	}
 	t := patTypes[kind]
 	for slot := 0; slot < 2; slot++ {
-		c.checkTriple(sp, loc, cell.pat[kind][slot], cell.patLocks(kind, slot), t[0], t[1], inter, a2, interLocks)
+		c.checkTriple(sp, loc, cell.pat[kind][slot], cell.patLocks(kind, slot), t[0], t[1], inter, a2, interLocks, false)
 	}
 }
 
 // checkCandidate checks a freshly formed two-access pattern against a
-// stored single-access entry.
-func (c *Optimized) checkCandidate(sp *localSpace, loc sched.Loc, cell *optCell, candStep dpst.NodeID, candLocks []uint64, a1, a3 AccessType, singleIdx int, a2 AccessType) {
-	c.checkTriple(sp, loc, candStep, candLocks, a1, a3, cell.single[singleIdx], a2, cell.singleLocks(singleIdx))
+// stored single-access entry. firstTick is the cell tick of the pattern
+// step's first access: the triple was observed in this schedule iff the
+// stored single was installed after it — i.e. the interleaving access
+// actually fell between the pattern's two accesses.
+func (c *Optimized) checkCandidate(sp *localSpace, loc sched.Loc, cell *optCell, candStep dpst.NodeID, candLocks []uint64, a1, a3 AccessType, singleIdx int, a2 AccessType, firstTick uint64) {
+	observed := cell.singleTick[singleIdx] > firstTick
+	c.checkTriple(sp, loc, candStep, candLocks, a1, a3, cell.single[singleIdx], a2, cell.singleLocks(singleIdx), observed)
 }
 
 // chooseSlot decides where a new step s goes among a two-entry history
@@ -615,6 +651,14 @@ func (c *Optimized) updateSingle(sp *localSpace, cell *optCell, a, b int, si dps
 		idx = b
 	default:
 		return
+	}
+	if cell.single[idx] != si {
+		// Stamp the install time only when the stored step changes: a
+		// strict-mode re-offer refreshing the lockset keeps the step's
+		// original install tick, so the observed/inferred classification
+		// is independent of how often the offer is repeated (and of the
+		// redundant-access filter suppressing those repeats).
+		cell.singleTick[idx] = cell.tick
 	}
 	cell.single[idx] = si
 	if cell.single[a] != dpst.None && cell.single[b] != dpst.None {
@@ -675,7 +719,7 @@ func (c *Optimized) Access(ts TaskState, loc sched.Loc, write bool) {
 					bit = filtW
 				}
 				if fe.bits&bit != 0 {
-					sp.ctr.hits++
+					sp.ctr.hits.Add(1)
 					return
 				}
 			}
@@ -728,7 +772,7 @@ func (c *Optimized) Access(ts TaskState, loc sched.Loc, write bool) {
 			if localWrite && ls.flags&fW != 0 && ls.flags&fWW != 0 &&
 				(!localRead || ls.flags&fRW != 0) {
 				if sp.cache != nil {
-					sp.ctr.hits++
+					sp.ctr.hits.Add(1)
 					if fe != nil {
 						if fe.ver != ver {
 							fe.ver, fe.bits = ver, 0
@@ -742,7 +786,7 @@ func (c *Optimized) Access(ts TaskState, loc sched.Loc, write bool) {
 			if localRead && ls.flags&fR != 0 && ls.flags&fRR != 0 &&
 				(!localWrite || ls.flags&fWR != 0) {
 				if sp.cache != nil {
-					sp.ctr.hits++
+					sp.ctr.hits.Add(1)
 					if fe != nil {
 						if fe.ver != ver {
 							fe.ver, fe.bits = ver, 0
@@ -755,16 +799,19 @@ func (c *Optimized) Access(ts TaskState, loc sched.Loc, write bool) {
 		}
 	}
 	if sp.cache != nil {
-		sp.ctr.misses++
-		if t := sp.ctr.hits + sp.ctr.misses; (t == filterProbeFirst ||
-			t&(filterProbeWindow-1) == 0) && sp.reuse+sp.ctr.hits < t/filterProbeRatio {
+		sp.ctr.misses.Add(1)
+		hits := sp.ctr.hits.Load()
+		if t := hits + sp.ctr.misses.Load(); (t == filterProbeFirst ||
+			t&(filterProbeWindow-1) == 0) && sp.reuse+hits < t/filterProbeRatio {
 			// No reuse in this task's mix after all: retire the filter
 			// for good (fstate blocks re-entry into warm-up).
 			sp.cache, sp.fstate = nil, filterOff
 		}
 	}
-	// The Figure 6 dispatch, under the cell lock.
+	// The Figure 6 dispatch, under the cell lock. Each dispatch advances
+	// the cell's provenance clock exactly once.
 	cell.mu.lock()
+	cell.tick++
 	if !localRead && !localWrite {
 		if cell.single[sR1] == dpst.None && cell.single[sW1] == dpst.None {
 			c.handleFirstAccess(sp, cell, ls, si, write, locks)
@@ -804,15 +851,16 @@ func (c *Optimized) Access(ts TaskState, loc sched.Loc, write bool) {
 
 // setLocalRead records the step's first read in the local space,
 // clearing the offer flags tied to the previous read entry. The lockset
-// copy comes from the space's bump arena, not the heap.
-func setLocalRead(sp *localSpace, ls *localEntry, si dpst.NodeID, locks []uint64) {
-	ls.readStep, ls.readLocks = si, sp.copyLockSlice(locks)
+// copy comes from the space's bump arena, not the heap. tick is the
+// cell's current dispatch tick, kept as the provenance baseline.
+func setLocalRead(sp *localSpace, ls *localEntry, si dpst.NodeID, locks []uint64, tick uint64) {
+	ls.readStep, ls.readLocks, ls.readTick = si, sp.copyLockSlice(locks), tick
 	ls.flags &^= fR | fRR | fRW
 }
 
 // setLocalWrite records the step's first write in the local space.
-func setLocalWrite(sp *localSpace, ls *localEntry, si dpst.NodeID, locks []uint64) {
-	ls.writeStep, ls.writeLocks = si, sp.copyLockSlice(locks)
+func setLocalWrite(sp *localSpace, ls *localEntry, si dpst.NodeID, locks []uint64, tick uint64) {
+	ls.writeStep, ls.writeLocks, ls.writeTick = si, sp.copyLockSlice(locks), tick
 	ls.flags &^= fW | fWW | fWR
 }
 
@@ -832,14 +880,15 @@ func (c *Optimized) handleFirstAccess(sp *localSpace, cell *optCell, ls *localEn
 		idx = sW1
 	}
 	cell.single[idx] = si
+	cell.singleTick[idx] = cell.tick
 	if c.strict {
 		cell.locks().single[idx] = copyLocks(locks)
 	}
 	if write {
-		setLocalWrite(sp, ls, si, locks)
+		setLocalWrite(sp, ls, si, locks, cell.tick)
 		markDone(ls, locks, fW)
 	} else {
-		setLocalRead(sp, ls, si, locks)
+		setLocalRead(sp, ls, si, locks, cell.tick)
 		markDone(ls, locks, fR)
 	}
 }
@@ -850,7 +899,7 @@ func (c *Optimized) handleFirstAccess(sp *localSpace, cell *optCell, ls *localEn
 // global two-access pattern.
 func (c *Optimized) handleFirstAccessCurrentTask(sp *localSpace, loc sched.Loc, cell *optCell, ls *localEntry, si dpst.NodeID, write bool, locks []uint64) {
 	if write {
-		setLocalWrite(sp, ls, si, locks)
+		setLocalWrite(sp, ls, si, locks, cell.tick)
 		c.checkStoredPatterns(sp, loc, cell, pWW, si, Write, locks)
 		c.checkStoredPatterns(sp, loc, cell, pRW, si, Write, locks)
 		c.checkStoredPatterns(sp, loc, cell, pRR, si, Write, locks)
@@ -858,7 +907,7 @@ func (c *Optimized) handleFirstAccessCurrentTask(sp *localSpace, loc sched.Loc, 
 		c.updateSingle(sp, cell, sW1, sW2, si, locks)
 		markDone(ls, locks, fW)
 	} else {
-		setLocalRead(sp, ls, si, locks)
+		setLocalRead(sp, ls, si, locks, cell.tick)
 		c.checkStoredPatterns(sp, loc, cell, pWW, si, Read, locks)
 		c.updateSingle(sp, cell, sR1, sR2, si, locks)
 		markDone(ls, locks, fR)
@@ -889,48 +938,48 @@ func (c *Optimized) handleNonFirstAccess(sp *localSpace, loc sched.Loc, cell *op
 		c.checkStoredPatterns(sp, loc, cell, pWR, si, Write, locks)
 		if localRead {
 			if common := sp.intersect(ls.readLocks, locks); len(common) == 0 || c.strict {
-				c.checkCandidate(sp, loc, cell, si, common, Read, Write, sW1, Write)
-				c.checkCandidate(sp, loc, cell, si, common, Read, Write, sW2, Write)
+				c.checkCandidate(sp, loc, cell, si, common, Read, Write, sW1, Write, ls.readTick)
+				c.checkCandidate(sp, loc, cell, si, common, Read, Write, sW2, Write, ls.readTick)
 				c.updatePattern(sp, cell, pRW, si, common)
 				markDone(ls, locks, fRW)
 			}
 		}
 		if localWrite {
 			if common := sp.intersect(ls.writeLocks, locks); len(common) == 0 || c.strict {
-				c.checkCandidate(sp, loc, cell, si, common, Write, Write, sW1, Write)
-				c.checkCandidate(sp, loc, cell, si, common, Write, Write, sW2, Write)
-				c.checkCandidate(sp, loc, cell, si, common, Write, Write, sR1, Read)
-				c.checkCandidate(sp, loc, cell, si, common, Write, Write, sR2, Read)
+				c.checkCandidate(sp, loc, cell, si, common, Write, Write, sW1, Write, ls.writeTick)
+				c.checkCandidate(sp, loc, cell, si, common, Write, Write, sW2, Write, ls.writeTick)
+				c.checkCandidate(sp, loc, cell, si, common, Write, Write, sR1, Read, ls.writeTick)
+				c.checkCandidate(sp, loc, cell, si, common, Write, Write, sR2, Read, ls.writeTick)
 				c.updatePattern(sp, cell, pWW, si, common)
 				markDone(ls, locks, fWW)
 			}
 		}
 		c.updateSingle(sp, cell, sW1, sW2, si, locks)
 		if !localWrite {
-			setLocalWrite(sp, ls, si, locks)
+			setLocalWrite(sp, ls, si, locks, cell.tick)
 		}
 		markDone(ls, locks, fW)
 	} else {
 		c.checkStoredPatterns(sp, loc, cell, pWW, si, Read, locks)
 		if localRead {
 			if common := sp.intersect(ls.readLocks, locks); len(common) == 0 || c.strict {
-				c.checkCandidate(sp, loc, cell, si, common, Read, Read, sW1, Write)
-				c.checkCandidate(sp, loc, cell, si, common, Read, Read, sW2, Write)
+				c.checkCandidate(sp, loc, cell, si, common, Read, Read, sW1, Write, ls.readTick)
+				c.checkCandidate(sp, loc, cell, si, common, Read, Read, sW2, Write, ls.readTick)
 				c.updatePattern(sp, cell, pRR, si, common)
 				markDone(ls, locks, fRR)
 			}
 		}
 		if localWrite {
 			if common := sp.intersect(ls.writeLocks, locks); len(common) == 0 || c.strict {
-				c.checkCandidate(sp, loc, cell, si, common, Write, Read, sW1, Write)
-				c.checkCandidate(sp, loc, cell, si, common, Write, Read, sW2, Write)
+				c.checkCandidate(sp, loc, cell, si, common, Write, Read, sW1, Write, ls.writeTick)
+				c.checkCandidate(sp, loc, cell, si, common, Write, Read, sW2, Write, ls.writeTick)
 				c.updatePattern(sp, cell, pWR, si, common)
 				markDone(ls, locks, fWR)
 			}
 		}
 		c.updateSingle(sp, cell, sR1, sR2, si, locks)
 		if !localRead {
-			setLocalRead(sp, ls, si, locks)
+			setLocalRead(sp, ls, si, locks, cell.tick)
 		}
 		markDone(ls, locks, fR)
 	}

@@ -1,0 +1,115 @@
+package checker
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/taskpar/avd/internal/dpst"
+	"github.com/taskpar/avd/internal/sched"
+)
+
+// Provenance explains why a reported triple is an atomicity violation:
+// where in the DPST the two steps live, what each side held when it
+// touched the location, and whether the unserializable interleaving was
+// actually observed in this schedule or inferred for another schedule
+// (the paper's Section 3.2 distinction — the checker reports a triple
+// as soon as it is feasible in *some* schedule of the same input).
+//
+// Provenance is captured once, at the first report of a triple, and is
+// deliberately excluded from violation identity: two detections of the
+// same triple with different provenance are one violation.
+type Provenance struct {
+	// PatternPath and InterleaverPath are the DPST root paths of the two
+	// steps, rendered as dotted kind+ID components ("F0.A3.S7").
+	PatternPath     string `json:"pattern_path"`
+	InterleaverPath string `json:"interleaver_path"`
+	// PatternLocks is the lockset common to the pattern step's two
+	// accesses; InterleaverLocks is the interleaver's lockset at its
+	// access. Entries are versioned acquisition tokens (lock renaming,
+	// Section 3.3): decode with sched.LockIdentity/LockAcquisition. The
+	// two sets are disjoint by identity — that is what makes the triple
+	// reportable.
+	PatternLocks     []uint64 `json:"pattern_locks,omitempty"`
+	InterleaverLocks []uint64 `json:"interleaver_locks,omitempty"`
+	// Observed reports whether the unserializable order (first, middle,
+	// last) actually occurred in this schedule; false means the middle
+	// access was seen before the pattern completed (or symmetric), and
+	// the violation manifests only under another schedule of the same
+	// DPST.
+	Observed bool `json:"observed"`
+}
+
+// formatLocks renders a lockset as "lock 2(v7)+lock 3(v1)" or "no lock".
+func formatLocks(locks []uint64) string {
+	if len(locks) == 0 {
+		return "no lock"
+	}
+	var b strings.Builder
+	for i, tok := range locks {
+		if i > 0 {
+			b.WriteByte('+')
+		}
+		fmt.Fprintf(&b, "lock %d(v%d)", sched.LockIdentity(tok), sched.LockAcquisition(tok))
+	}
+	return b.String()
+}
+
+// verb renders an access type as a past-tense verb.
+func verb(a AccessType) string {
+	if a == Write {
+		return "wrote"
+	}
+	return "read"
+}
+
+// Explain renders a human-readable account of the violation:
+//
+//	step S5 (task 1, F0.A2.S5) read loc 3 holding no lock, parallel step
+//	S9 (task 2, F0.A4.S9) wrote loc 3 holding lock 1(v2), then step S5
+//	wrote loc 3 — pattern RWW, observed in this schedule
+//
+// It degrades gracefully when no provenance was captured.
+func (v Violation) Explain() string {
+	var b strings.Builder
+	p := v.Prov
+	pat := fmt.Sprintf("step S%d (task %d", v.PatternStep, v.PatternTask)
+	inter := fmt.Sprintf("parallel step S%d (task %d", v.InterleaverStep, v.InterleaverTask)
+	if p != nil {
+		pat += ", " + p.PatternPath
+		inter += ", " + p.InterleaverPath
+	}
+	pat += ")"
+	inter += ")"
+
+	fmt.Fprintf(&b, "%s %s loc %d", pat, verb(v.First), v.Loc)
+	if p != nil {
+		fmt.Fprintf(&b, " holding %s", formatLocks(p.PatternLocks))
+	}
+	fmt.Fprintf(&b, ", %s %s loc %d", inter, verb(v.Middle), v.Loc)
+	if p != nil {
+		fmt.Fprintf(&b, " holding %s", formatLocks(p.InterleaverLocks))
+	}
+	fmt.Fprintf(&b, ", then step S%d %s loc %d — pattern %s", v.PatternStep, verb(v.Last), v.Loc, v.PatternName())
+	if p != nil {
+		if p.Observed {
+			b.WriteString(", observed in this schedule")
+		} else {
+			b.WriteString(", inferred for another schedule")
+		}
+	}
+	return b.String()
+}
+
+// buildProvenance assembles a Provenance for a newly reported triple.
+// Locksets are cloned (copyLocks) because the caller's slices may live
+// in task-owned scratch storage that is reused after the call.
+// tree is consulted only through published immutable node fields.
+func buildProvenance(tree dpst.Tree, patStep, interStep dpst.NodeID, patLocks, interLocks []uint64, observed bool) *Provenance {
+	return &Provenance{
+		PatternPath:      dpst.PathString(tree, patStep),
+		InterleaverPath:  dpst.PathString(tree, interStep),
+		PatternLocks:     copyLocks(patLocks),
+		InterleaverLocks: copyLocks(interLocks),
+		Observed:         observed,
+	}
+}

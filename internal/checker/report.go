@@ -24,11 +24,40 @@ type Violation struct {
 	Last            AccessType
 	PatternTask     int32
 	InterleaverTask int32
+
+	// Prov carries the violation's provenance — DPST paths, locksets,
+	// and observed/inferred classification — when the detecting checker
+	// captured it. Kept behind a pointer so Violation stays comparable
+	// and the triple identity (the key fields above) is unaffected.
+	Prov *Provenance
+}
+
+// violationKey is the dedup identity of a violation: the triple fields
+// only, never the provenance, so the first capture of a triple wins and
+// later re-detections (possibly with different provenance) are
+// duplicates.
+type violationKey struct {
+	Loc             sched.Loc
+	PatternStep     dpst.NodeID
+	InterleaverStep dpst.NodeID
+	First           AccessType
+	Middle          AccessType
+	Last            AccessType
+}
+
+func (v Violation) key() violationKey {
+	return violationKey{v.Loc, v.PatternStep, v.InterleaverStep, v.First, v.Middle, v.Last}
 }
 
 // Kind returns the triple pattern, e.g. "W-R-W".
 func (v Violation) Kind() string {
 	return v.First.String() + "-" + v.Middle.String() + "-" + v.Last.String()
+}
+
+// PatternName returns the compact unserializable-pattern name from the
+// paper's Figure 4 taxonomy: one of RWR, RWW, WRW, WWR, WWW.
+func (v Violation) PatternName() string {
+	return v.First.String() + v.Middle.String() + v.Last.String()
 }
 
 // String renders a one-line diagnostic.
@@ -63,7 +92,25 @@ type Reporter struct {
 	max      int64
 	admitted atomic.Int64
 	dropped  atomic.Int64
+
+	// onViolation, when set, is invoked outside the buffer lock for every
+	// locally-new admitted violation; onDrop for every violation refused
+	// by the MaxViolations cap. Both must be installed before reporting
+	// begins. A violation reported concurrently by several tasks may
+	// invoke onViolation once per reporting task (the same conservative
+	// granularity as the admission counter).
+	onViolation func(Violation)
+	onDrop      func()
 }
+
+// SetObserver installs the new-violation callback. The callback runs on
+// the reporting task's goroutine with no reporter locks held; it must
+// not call back into the checker or the owning session.
+func (r *Reporter) SetObserver(fn func(Violation)) { r.onViolation = fn }
+
+// SetDropObserver installs the violation-drop callback, invoked each
+// time the MaxViolations cap refuses a violation.
+func (r *Reporter) SetDropObserver(fn func()) { r.onDrop = fn }
 
 // reportBuffer is one producer's private dedup buffer. The mutex is
 // owned by a single reporting task in practice; it exists so merges can
@@ -71,29 +118,52 @@ type Reporter struct {
 type reportBuffer struct {
 	mu    sync.Mutex
 	rep   *Reporter
-	seen  map[Violation]struct{}
+	seen  map[violationKey]struct{}
 	list  []Violation
 	extra int64 // reports beyond the local retention cap (not deduped)
 	limit int
 }
 
-// report records a violation in the buffer, ignoring local duplicates.
-func (b *reportBuffer) report(v Violation) {
+// isDup reports whether the triple is already recorded locally. The hot
+// path probes before building provenance: a buffer is owned by one
+// reporting task, so a false answer stays false until that same task
+// reports (merges only read), and the probe allocates nothing.
+func (b *reportBuffer) isDup(k violationKey) bool {
 	b.mu.Lock()
-	if _, dup := b.seen[v]; !dup {
+	_, dup := b.seen[k]
+	b.mu.Unlock()
+	return dup
+}
+
+// report records a violation in the buffer, ignoring local duplicates.
+// Observer callbacks fire after the buffer lock is released.
+func (b *reportBuffer) report(v Violation) {
+	admitted := false
+	b.mu.Lock()
+	k := v.key()
+	if _, dup := b.seen[k]; !dup {
 		if max := b.rep.max; max > 0 && b.rep.admitted.Add(1) > max {
 			b.rep.dropped.Add(1)
 			b.mu.Unlock()
+			if fn := b.rep.onDrop; fn != nil {
+				fn()
+			}
 			return
 		}
+		admitted = true
 		if len(b.seen) < b.limit {
-			b.seen[v] = struct{}{}
+			b.seen[k] = struct{}{}
 			b.list = append(b.list, v)
 		} else {
 			b.extra++
 		}
 	}
 	b.mu.Unlock()
+	if admitted {
+		if fn := b.rep.onViolation; fn != nil {
+			fn(v)
+		}
+	}
 }
 
 // NewReporter creates a reporter retaining at most limit distinct
@@ -119,7 +189,7 @@ func (r *Reporter) Saturated() bool { return r.dropped.Load() > 0 }
 // buffer registers and returns a fresh private buffer. Called once per
 // reporting task, on its first violation.
 func (r *Reporter) buffer() *reportBuffer {
-	b := &reportBuffer{rep: r, seen: make(map[Violation]struct{}), limit: r.limit}
+	b := &reportBuffer{rep: r, seen: make(map[violationKey]struct{}), limit: r.limit}
 	r.mu.Lock()
 	r.bufs = append(r.bufs, b)
 	r.mu.Unlock()
@@ -130,7 +200,7 @@ func (r *Reporter) buffer() *reportBuffer {
 func (r *Reporter) Report(v Violation) {
 	r.mu.Lock()
 	if r.own == nil {
-		b := &reportBuffer{rep: r, seen: make(map[Violation]struct{}), limit: r.limit}
+		b := &reportBuffer{rep: r, seen: make(map[violationKey]struct{}), limit: r.limit}
 		r.bufs = append(r.bufs, b)
 		r.own = b
 	}
@@ -146,16 +216,17 @@ func (r *Reporter) merge() ([]Violation, int64) {
 	r.mu.Lock()
 	bufs := append([]*reportBuffer(nil), r.bufs...)
 	r.mu.Unlock()
-	seen := make(map[Violation]struct{})
+	seen := make(map[violationKey]struct{})
 	var list []Violation
 	var extra int64
 	for _, b := range bufs {
 		b.mu.Lock()
 		for _, v := range b.list {
-			if _, dup := seen[v]; dup {
+			k := v.key()
+			if _, dup := seen[k]; dup {
 				continue
 			}
-			seen[v] = struct{}{}
+			seen[k] = struct{}{}
 			if len(list) < r.limit {
 				list = append(list, v)
 			}

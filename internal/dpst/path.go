@@ -1,0 +1,42 @@
+package dpst
+
+import "strconv"
+
+// kindLetter is the conventional one-letter node-kind prefix used in
+// rendered paths (and in the paper's figures): F(inish), A(sync),
+// S(tep).
+func kindLetter(k Kind) byte {
+	switch k {
+	case Step:
+		return 'S'
+	case Async:
+		return 'A'
+	default:
+		return 'F'
+	}
+}
+
+// PathString renders the root path of a node as dotted kind+ID
+// components, e.g. "F0.A3.S7": the finish root, an async child, the
+// step that performed an access. It reads only published, immutable
+// node fields, so it is safe to call concurrently with tree growth.
+// The absent node renders as "-".
+func PathString(t Tree, id NodeID) string {
+	if id == None {
+		return "-"
+	}
+	ids := make([]NodeID, 0, t.Depth(id)+1)
+	for n := id; n != None; n = t.Parent(n) {
+		ids = append(ids, n)
+	}
+	var b []byte
+	for i := len(ids) - 1; i >= 0; i-- {
+		n := ids[i]
+		b = append(b, kindLetter(t.Kind(n)))
+		b = strconv.AppendInt(b, int64(n), 10)
+		if i > 0 {
+			b = append(b, '.')
+		}
+	}
+	return string(b)
+}

@@ -129,10 +129,12 @@ func Measure(k bench.Kernel, cfg Config, n, reps int) (Measurement, error) {
 	for i := 0; i <= reps; i++ {
 		runtime.GC() // don't charge this run with the previous config's garbage
 		s := avd.NewSession(cfg.Opts)
+		setLive(s)
 		start := time.Now()
 		sum := k.Run(s, n)
 		elapsed := time.Since(start).Seconds()
 		rep = s.Report()
+		setLive(nil)
 		s.Close()
 		if err := k.Check(n, sum); err != nil {
 			return Measurement{}, fmt.Errorf("%s under %s: %w", k.Name, cfg.Name, err)
@@ -215,29 +217,140 @@ func Sizes(scale float64) map[string]int {
 	return out
 }
 
-// Table1 measures every kernel under the prototype checker and renders
-// the paper's Table 1: unique locations, DPST nodes, LCA queries, and
-// the unique-LCA percentage.
-func Table1(w io.Writer, workers int, scale float64, reps int) error {
+// ViolationRecord is the machine-readable form of one detected
+// violation, provenance included (see avd.Provenance).
+type ViolationRecord struct {
+	Loc             uint64 `json:"loc"`
+	Pattern         string `json:"pattern"`
+	PatternStep     int32  `json:"pattern_step"`
+	InterleaverStep int32  `json:"interleaver_step"`
+	PatternTask     int32  `json:"pattern_task"`
+	InterleaverTask int32  `json:"interleaver_task"`
+	// Provenance fields; empty/zero when the checker captured none.
+	PatternPath      string   `json:"pattern_path,omitempty"`
+	InterleaverPath  string   `json:"interleaver_path,omitempty"`
+	PatternLocks     []uint64 `json:"pattern_locks,omitempty"`
+	InterleaverLocks []uint64 `json:"interleaver_locks,omitempty"`
+	Observed         bool     `json:"observed"`
+	Explanation      string   `json:"explanation"`
+}
+
+// violationRecord flattens an avd.Violation and its provenance.
+func violationRecord(v avd.Violation) ViolationRecord {
+	r := ViolationRecord{
+		Loc:             uint64(v.Loc),
+		Pattern:         v.PatternName(),
+		PatternStep:     int32(v.PatternStep),
+		InterleaverStep: int32(v.InterleaverStep),
+		PatternTask:     v.PatternTask,
+		InterleaverTask: v.InterleaverTask,
+		Explanation:     v.Explain(),
+	}
+	if p := v.Prov; p != nil {
+		r.PatternPath = p.PatternPath
+		r.InterleaverPath = p.InterleaverPath
+		r.PatternLocks = p.PatternLocks
+		r.InterleaverLocks = p.InterleaverLocks
+		r.Observed = p.Observed
+	}
+	return r
+}
+
+// Table1Row is one benchmark's Table 1 measurements, plus the detected
+// violations with provenance (capped at maxTable1Violations records;
+// ViolationCount is the uncapped total).
+type Table1Row struct {
+	Kernel         string            `json:"kernel"`
+	N              int               `json:"n"`
+	Locations      int64             `json:"locations"`
+	DPSTNodes      int               `json:"dpst_nodes"`
+	LCAQueries     int64             `json:"lca_queries"`
+	UniquePercent  float64           `json:"unique_percent"`
+	ViolationCount int64             `json:"violation_count"`
+	Violations     []ViolationRecord `json:"violations,omitempty"`
+}
+
+// maxTable1Violations caps the per-kernel violation records embedded in
+// Table1Data; the count field stays exact.
+const maxTable1Violations = 20
+
+// Table1Data is the machine-readable form of Table 1 (avd-stats -json).
+type Table1Data struct {
+	Workers   int         `json:"workers"`
+	GoVersion string      `json:"go_version"`
+	Scale     float64     `json:"scale"`
+	Reps      int         `json:"reps"`
+	Rows      []Table1Row `json:"rows"`
+}
+
+// CollectTable1 measures every kernel under the prototype checker and
+// assembles the paper's Table 1 characteristics: unique locations, DPST
+// nodes, LCA queries, the unique-LCA percentage, and the detected
+// violations with provenance.
+func CollectTable1(workers int, scale float64, reps int) (*Table1Data, error) {
 	sizes := Sizes(scale)
 	// The cached-walk configuration is the one whose unique-LCA column is
 	// meaningful; the default label mode consults no cache.
 	cfg := PrototypeCachedLCA(workers)
-	fmt.Fprintf(w, "Table 1: benchmark characteristics under the atomicity checker\n")
-	fmt.Fprintf(w, "%-14s %12s %12s %12s %10s\n", "Benchmark", "Locations", "DPST nodes", "LCA queries", "% unique")
+	resolved := workers
+	if resolved <= 0 {
+		resolved = runtime.GOMAXPROCS(0)
+	}
+	d := &Table1Data{
+		Workers:   resolved,
+		GoVersion: runtime.Version(),
+		Scale:     scale,
+		Reps:      reps,
+	}
 	for _, k := range bench.All() {
 		m, err := Measure(k, cfg, sizes[k.Name], reps)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		st := m.Report.Stats
+		row := Table1Row{
+			Kernel:         k.Name,
+			N:              m.N,
+			Locations:      st.Locations,
+			DPSTNodes:      st.DPSTNodes,
+			LCAQueries:     st.LCAQueries,
+			UniquePercent:  st.UniquePercent(),
+			ViolationCount: m.Report.ViolationCount,
+		}
+		for i, v := range m.Report.Violations {
+			if i == maxTable1Violations {
+				break
+			}
+			row.Violations = append(row.Violations, violationRecord(v))
+		}
+		d.Rows = append(d.Rows, row)
+	}
+	return d, nil
+}
+
+// RenderTable1 writes the text rendering of Table 1.
+func RenderTable1(w io.Writer, d *Table1Data) {
+	fmt.Fprintf(w, "Table 1: benchmark characteristics under the atomicity checker\n")
+	fmt.Fprintf(w, "%-14s %12s %12s %12s %10s\n", "Benchmark", "Locations", "DPST nodes", "LCA queries", "% unique")
+	for _, row := range d.Rows {
 		unique := "-NA-"
-		if st.LCAQueries > 0 {
-			unique = fmt.Sprintf("%.2f", st.UniquePercent())
+		if row.LCAQueries > 0 {
+			unique = fmt.Sprintf("%.2f", row.UniquePercent)
 		}
 		fmt.Fprintf(w, "%-14s %12s %12s %12s %10s\n",
-			k.Name, human(st.Locations), human(int64(st.DPSTNodes)), human(st.LCAQueries), unique)
+			row.Kernel, human(row.Locations), human(int64(row.DPSTNodes)), human(row.LCAQueries), unique)
 	}
+}
+
+// Table1 measures every kernel under the prototype checker and renders
+// the paper's Table 1: unique locations, DPST nodes, LCA queries, and
+// the unique-LCA percentage.
+func Table1(w io.Writer, workers int, scale float64, reps int) error {
+	d, err := CollectTable1(workers, scale, reps)
+	if err != nil {
+		return err
+	}
+	RenderTable1(w, d)
 	return nil
 }
 

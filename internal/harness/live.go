@@ -1,0 +1,23 @@
+package harness
+
+import (
+	"sync/atomic"
+
+	avd "github.com/taskpar/avd"
+)
+
+// live points at the session currently being measured, so external
+// pollers (the avd-bench debug endpoint) can snapshot a run in flight.
+var live atomic.Pointer[avd.Session]
+
+// LiveSession returns the session the harness is currently measuring,
+// or nil between runs. The session is unregistered before it is closed,
+// so a non-nil result is always safe to Snapshot.
+func LiveSession() *avd.Session {
+	return live.Load()
+}
+
+// setLive publishes (or, with nil, withdraws) the measured session.
+func setLive(s *avd.Session) {
+	live.Store(s)
+}

@@ -1,0 +1,149 @@
+// Package obs is the observability fabric of the checker: sharded,
+// cache-line-padded event counters that many tasks bump concurrently
+// without contending, and a Hub that aggregates them into on-demand
+// snapshots while the analyzed program is still running.
+//
+// The package sits below every other layer (it imports only the
+// standard library), mirroring how the chaos plane is shared: the
+// reporter, the allocation gate, and the scheduler all note their
+// events through one Hub, and Session.Snapshot reads a consistent view
+// from it at any time. All operations are lock-free; noting an event is
+// one atomic add on a shard picked by the caller's identity, and a
+// snapshot is a sum over the shards — reads may race with writers, so a
+// snapshot is a monotone lower bound of the true counts, exact once the
+// writers have joined.
+package obs
+
+import "sync/atomic"
+
+// stripes is the shard count of a Striped counter. Power of two so the
+// shard pick is a mask; 16 shards keep the fabric at one cache line per
+// shard without bloating per-session memory.
+const stripes = 16
+
+// pad is one cache-line-sized shard, padded so neighboring shards never
+// false-share.
+type pad struct {
+	v atomic.Int64
+	_ [56]byte
+}
+
+// Striped is a sharded event counter: concurrent writers spread over
+// cache-line-padded shards, readers sum on demand. The zero value is
+// ready to use.
+type Striped struct {
+	shards [stripes]pad
+}
+
+// Add adds delta on the shard selected by the caller's identity hint
+// (typically a task or worker ID); identical hints share a shard, so
+// per-task hot loops stay on one line.
+func (c *Striped) Add(hint uint64, delta int64) {
+	c.shards[hint&(stripes-1)].v.Add(delta)
+}
+
+// Load returns the sum over all shards. Concurrent with writers it is a
+// monotone lower bound; after writers join it is exact.
+func (c *Striped) Load() int64 {
+	var total int64
+	for i := range c.shards {
+		total += c.shards[i].v.Load()
+	}
+	return total
+}
+
+// Event enumerates the observable event kinds of a session.
+type Event uint8
+
+// Observable events.
+const (
+	// EventViolation is a newly admitted distinct atomicity violation.
+	EventViolation Event = iota
+	// EventDrop is metadata or a result shed under resource pressure (a
+	// gated allocation denial or a violation refused by MaxViolations).
+	EventDrop
+	// EventSaturation is the first drop of a session: the latched
+	// transition from complete to degraded results.
+	EventSaturation
+	// EventTaskPanic is a recovered task panic.
+	EventTaskPanic
+	// NumEvents bounds the event kinds.
+	NumEvents
+)
+
+// String names the event kind.
+func (e Event) String() string {
+	switch e {
+	case EventViolation:
+		return "violation"
+	case EventDrop:
+		return "drop"
+	case EventSaturation:
+		return "saturation"
+	case EventTaskPanic:
+		return "task-panic"
+	default:
+		return "event(?)"
+	}
+}
+
+// Counts is one snapshot of a hub's per-kind event totals.
+type Counts struct {
+	Violations int64 `json:"violations"`
+	Drops      int64 `json:"drops"`
+	TaskPanics int64 `json:"task_panics"`
+	// Saturated reports whether the saturation event has fired.
+	Saturated bool `json:"saturated"`
+}
+
+// Hub aggregates a session's observable events: striped per-kind
+// counters and a once-latched saturation flag. The zero value is ready
+// to use, and a nil *Hub ignores everything, so layers can note events
+// unconditionally.
+type Hub struct {
+	counts [NumEvents]Striped
+	sat    atomic.Bool
+}
+
+// Note counts one event. hint spreads concurrent writers over shards
+// (use a task or worker ID); nil hubs ignore the event.
+func (h *Hub) Note(e Event, hint uint64) {
+	if h == nil {
+		return
+	}
+	h.counts[e].Add(hint, 1)
+}
+
+// LatchSaturation marks the hub saturated, counting the saturation
+// event only on the first call. It returns true exactly once, so the
+// caller can fire a user-facing saturation callback without its own
+// latch.
+func (h *Hub) LatchSaturation(hint uint64) bool {
+	if h == nil || !h.sat.CompareAndSwap(false, true) {
+		return false
+	}
+	h.counts[EventSaturation].Add(hint, 1)
+	return true
+}
+
+// Count returns the running total of one event kind.
+func (h *Hub) Count(e Event) int64 {
+	if h == nil {
+		return 0
+	}
+	return h.counts[e].Load()
+}
+
+// Snapshot returns the per-kind totals. Concurrent with writers each
+// total is a monotone lower bound.
+func (h *Hub) Snapshot() Counts {
+	if h == nil {
+		return Counts{}
+	}
+	return Counts{
+		Violations: h.counts[EventViolation].Load(),
+		Drops:      h.counts[EventDrop].Load(),
+		TaskPanics: h.counts[EventTaskPanic].Load(),
+		Saturated:  h.sat.Load(),
+	}
+}

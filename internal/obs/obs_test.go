@@ -1,0 +1,91 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestStripedConcurrentSum(t *testing.T) {
+	var c Striped
+	const goroutines = 8
+	const per = 10000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Add(uint64(g), 1)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := c.Load(); got != goroutines*per {
+		t.Fatalf("Load() = %d, want %d", got, goroutines*per)
+	}
+}
+
+func TestHubCountsAndSaturationLatch(t *testing.T) {
+	var h Hub
+	for i := 0; i < 5; i++ {
+		h.Note(EventViolation, uint64(i))
+	}
+	h.Note(EventDrop, 1)
+	h.Note(EventTaskPanic, 2)
+
+	if !h.LatchSaturation(0) {
+		t.Fatalf("first LatchSaturation returned false")
+	}
+	if h.LatchSaturation(1) {
+		t.Fatalf("second LatchSaturation returned true; latch must fire once")
+	}
+
+	snap := h.Snapshot()
+	want := Counts{Violations: 5, Drops: 1, TaskPanics: 1, Saturated: true}
+	if snap != want {
+		t.Fatalf("Snapshot() = %+v, want %+v", snap, want)
+	}
+	if got := h.Count(EventSaturation); got != 1 {
+		t.Fatalf("Count(EventSaturation) = %d, want 1", got)
+	}
+}
+
+func TestNilHubIsInert(t *testing.T) {
+	var h *Hub
+	h.Note(EventViolation, 0)
+	if h.LatchSaturation(0) {
+		t.Fatalf("nil hub latched")
+	}
+	if got := h.Snapshot(); got != (Counts{}) {
+		t.Fatalf("nil hub Snapshot() = %+v, want zero", got)
+	}
+	if got := h.Count(EventDrop); got != 0 {
+		t.Fatalf("nil hub Count = %d, want 0", got)
+	}
+}
+
+func TestEventString(t *testing.T) {
+	cases := map[Event]string{
+		EventViolation:  "violation",
+		EventDrop:       "drop",
+		EventSaturation: "saturation",
+		EventTaskPanic:  "task-panic",
+		Event(200):      "event(?)",
+	}
+	for e, want := range cases {
+		if got := e.String(); got != want {
+			t.Errorf("Event(%d).String() = %q, want %q", e, got, want)
+		}
+	}
+}
+
+// The hot path of the fabric must not allocate: counting an event is a
+// single atomic add.
+func TestNoteZeroAllocs(t *testing.T) {
+	var h Hub
+	if n := testing.AllocsPerRun(1000, func() {
+		h.Note(EventViolation, 7)
+	}); n != 0 {
+		t.Fatalf("Note allocates %v bytes/op, want 0", n)
+	}
+}

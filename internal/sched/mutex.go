@@ -18,6 +18,11 @@ func MakeLockToken(lockID uint32, acquisition uint64) uint64 {
 // LockIdentity extracts the lock identity from an acquisition token.
 func LockIdentity(token uint64) uint64 { return token >> 40 }
 
+// LockAcquisition extracts the dynamic acquisition ordinal from an
+// acquisition token — the version the paper's lock renaming assigns on
+// every re-acquisition.
+func LockAcquisition(token uint64) uint64 { return token & (1<<40 - 1) }
+
 // Mutex is an instrumented lock. Lock and Unlock take the acquiring task
 // so the runtime can maintain the task's lockset and version the
 // acquisition: every dynamic acquisition receives a globally unique

@@ -12,9 +12,12 @@
 package sched
 
 import (
+	"context"
 	"math/rand"
 	"runtime"
 	"runtime/debug"
+	"runtime/pprof"
+	"strconv"
 	"sync"
 	"sync/atomic"
 
@@ -38,6 +41,19 @@ type Monitor interface {
 	OnAcquire(t *Task, m *Mutex)
 	// OnRelease is called before the task releases an instrumented lock.
 	OnRelease(t *Task, m *Mutex)
+}
+
+// InjectObserver is an optional extension of Monitor for observers that
+// want the chaos plane's scheduler-level injections as events (e.g. the
+// trace recorder overlaying them on a timeline): forced steals, injected
+// delays, injected panics. The runtime checks for it with a type
+// assertion on the Monitor, like StructureObserver.
+type InjectObserver interface {
+	// OnInject is called when the chaos plane injects fault against task.
+	// For FaultSteal it runs on the spawning task's goroutine before the
+	// stolen child executes; for FaultDelay and FaultPanic on the
+	// affected task's goroutine as it starts.
+	OnInject(task int32, fault chaos.Fault)
 }
 
 // StructureObserver is an optional extension of Monitor for analyses
@@ -71,6 +87,10 @@ type Options struct {
 	// are recorded (see TaskPanics) and the computation's surviving
 	// tasks still join, preserving partial analysis results.
 	RecoverPanics bool
+	// OnPanic, when set, is invoked for every recovered task panic, on
+	// the panicking task's goroutine while it unwinds. It must be cheap
+	// and must not call back into the scheduler.
+	OnPanic func(TaskPanic)
 }
 
 // Scheduler runs fork-join task programs on a pool of work-stealing
@@ -79,7 +99,9 @@ type Scheduler struct {
 	tree       dpst.Tree
 	mon        Monitor
 	so         StructureObserver // mon's optional extension, or nil
+	io         InjectObserver    // mon's optional extension, or nil
 	chaos      *chaos.Plane
+	onPanic    func(TaskPanic)
 	workers    []*worker
 	inject     chan *Task
 	nextTask   atomic.Int32
@@ -117,6 +139,8 @@ func New(opts Options) *Scheduler {
 		inject:        make(chan *Task, 1),
 	}
 	s.so, _ = opts.Monitor.(StructureObserver)
+	s.io, _ = opts.Monitor.(InjectObserver)
+	s.onPanic = opts.OnPanic
 	s.idleCond = sync.NewCond(&s.idleMu)
 	s.workers = make([]*worker, n)
 	for i := range s.workers {
@@ -195,9 +219,14 @@ func (s *Scheduler) Run(body func(*Task)) {
 	}
 }
 
-// recordPanic appends one recovered task panic to the bounded panic log.
+// recordPanic appends one recovered task panic to the bounded panic log
+// and notifies the OnPanic observer.
 func (s *Scheduler) recordPanic(task int32, v any) {
-	s.panics.record(TaskPanic{Task: task, Value: v, Stack: string(debug.Stack())})
+	p := TaskPanic{Task: task, Value: v, Stack: string(debug.Stack())}
+	s.panics.record(p)
+	if s.onPanic != nil {
+		s.onPanic(p)
+	}
 }
 
 // TaskPanics returns the recovered task panics (detail bounded at
@@ -253,6 +282,15 @@ type worker struct {
 
 func (w *worker) loop() {
 	defer w.s.wg.Done()
+	// Label the worker goroutine so CPU and goroutine profiles attribute
+	// samples per scheduler worker (runtime/pprof.Do keeps the label set
+	// for the whole loop).
+	pprof.Do(context.Background(), pprof.Labels("avd_worker", strconv.Itoa(w.id)), func(context.Context) {
+		w.run()
+	})
+}
+
+func (w *worker) run() {
 	idleSpins := 0
 	for {
 		if w.s.stop.Load() {
@@ -340,10 +378,18 @@ func (w *worker) runTask(t *Task) {
 			t.recoverInto(recover(), t.scope)
 		}()
 		if pl := w.s.chaos; pl != nil {
-			for i, n := 0, pl.DelaySpins(t.id); i < n; i++ {
-				runtime.Gosched()
+			if n := pl.DelaySpins(t.id); n > 0 {
+				if io := w.s.io; io != nil {
+					io.OnInject(t.id, chaos.FaultDelay)
+				}
+				for i := 0; i < n; i++ {
+					runtime.Gosched()
+				}
 			}
 			if pl.PanicTask(t.id) {
+				if io := w.s.io; io != nil {
+					io.OnInject(t.id, chaos.FaultPanic)
+				}
 				panic(chaos.InjectedPanic{Task: t.id})
 			}
 		}

@@ -3,6 +3,7 @@ package sched
 import (
 	"sync/atomic"
 
+	"github.com/taskpar/avd/internal/chaos"
 	"github.com/taskpar/avd/internal/dpst"
 )
 
@@ -79,6 +80,17 @@ type Task struct {
 
 // ID returns the dense ID of the task.
 func (t *Task) ID() int32 { return t.id }
+
+// WorkerID returns the scheduler worker currently executing the task,
+// or -1 when the task has not been dispatched to a worker yet. Valid
+// only on the task's own goroutine (or before the task runs); work
+// stealing migrates tasks between workers across dispatches.
+func (t *Task) WorkerID() int {
+	if t.worker == nil {
+		return -1
+	}
+	return t.worker.id
+}
 
 // LocalSlot returns a pointer to the monitor scratch storage, satisfying
 // the checker's TaskState interface.
@@ -199,6 +211,9 @@ func (t *Task) Spawn(body func(*Task)) {
 	if pl := t.sch.chaos; pl != nil && pl.ForceSteal(t.id, seq) {
 		// Forced steal: divert the child to the shared overflow queue so
 		// another worker (not the spawner's LIFO pop) picks it up.
+		if io := t.sch.io; io != nil {
+			io.OnInject(child.id, chaos.FaultSteal)
+		}
 		t.sch.pushOverflow(child)
 	} else {
 		t.worker.dq.push(child)

@@ -2,7 +2,9 @@ package trace
 
 import (
 	"sync"
+	"time"
 
+	"github.com/taskpar/avd/internal/chaos"
 	"github.com/taskpar/avd/internal/sched"
 )
 
@@ -23,6 +25,7 @@ type Recorder struct {
 	ids    map[int32]int32
 	locks  map[*sched.Mutex]uint32
 	acq    uint64
+	start  time.Time
 }
 
 // NewRecorder creates an empty recorder.
@@ -30,8 +33,18 @@ func NewRecorder() *Recorder {
 	return &Recorder{
 		ids:   make(map[int32]int32),
 		locks: make(map[*sched.Mutex]uint32),
+		start: time.Now(),
 	}
 }
+
+// ts stamps an event with nanoseconds since the recorder was created.
+// Must be called with mu held, so timestamps are monotone in event
+// order.
+func (r *Recorder) ts() int64 { return int64(time.Since(r.start)) }
+
+// wk encodes a task's current worker for the event's W field (+1 so the
+// zero value still means unknown).
+func wk(t *sched.Task) int32 { return int32(t.WorkerID()) + 1 }
 
 // id maps a scheduler task ID to a dense trace task ID; the first task
 // observed (necessarily the root, since all events of descendants happen
@@ -57,7 +70,7 @@ func (r *Recorder) lockID(m *sched.Mutex) uint32 {
 // OnAccess implements sched.Monitor.
 func (r *Recorder) OnAccess(t *sched.Task, loc sched.Loc, write bool) {
 	r.mu.Lock()
-	r.events = append(r.events, Event{Kind: KAccess, Task: r.id(t.ID()), Loc: loc, Write: write})
+	r.events = append(r.events, Event{Kind: KAccess, Task: r.id(t.ID()), Loc: loc, Write: write, Ts: r.ts(), W: wk(t)})
 	r.mu.Unlock()
 }
 
@@ -65,42 +78,50 @@ func (r *Recorder) OnAccess(t *sched.Task, loc sched.Loc, write bool) {
 func (r *Recorder) OnAcquire(t *sched.Task, m *sched.Mutex) {
 	r.mu.Lock()
 	r.acq++
-	r.events = append(r.events, Event{Kind: KAcquire, Task: r.id(t.ID()), Lock: r.lockID(m), CS: r.acq})
+	r.events = append(r.events, Event{Kind: KAcquire, Task: r.id(t.ID()), Lock: r.lockID(m), CS: r.acq, Ts: r.ts(), W: wk(t)})
 	r.mu.Unlock()
 }
 
 // OnRelease implements sched.Monitor.
 func (r *Recorder) OnRelease(t *sched.Task, m *sched.Mutex) {
 	r.mu.Lock()
-	r.events = append(r.events, Event{Kind: KRelease, Task: r.id(t.ID()), Lock: r.lockID(m)})
+	r.events = append(r.events, Event{Kind: KRelease, Task: r.id(t.ID()), Lock: r.lockID(m), Ts: r.ts(), W: wk(t)})
 	r.mu.Unlock()
 }
 
 // OnSpawn implements sched.StructureObserver.
 func (r *Recorder) OnSpawn(parent *sched.Task, child int32) {
 	r.mu.Lock()
-	r.events = append(r.events, Event{Kind: KSpawn, Task: r.id(parent.ID()), Child: r.id(child)})
+	r.events = append(r.events, Event{Kind: KSpawn, Task: r.id(parent.ID()), Child: r.id(child), Ts: r.ts(), W: wk(parent)})
 	r.mu.Unlock()
 }
 
 // OnFinishBegin implements sched.StructureObserver.
 func (r *Recorder) OnFinishBegin(t *sched.Task) {
 	r.mu.Lock()
-	r.events = append(r.events, Event{Kind: KFinishBegin, Task: r.id(t.ID())})
+	r.events = append(r.events, Event{Kind: KFinishBegin, Task: r.id(t.ID()), Ts: r.ts(), W: wk(t)})
 	r.mu.Unlock()
 }
 
 // OnFinishEnd implements sched.StructureObserver.
 func (r *Recorder) OnFinishEnd(t *sched.Task) {
 	r.mu.Lock()
-	r.events = append(r.events, Event{Kind: KFinishEnd, Task: r.id(t.ID())})
+	r.events = append(r.events, Event{Kind: KFinishEnd, Task: r.id(t.ID()), Ts: r.ts(), W: wk(t)})
 	r.mu.Unlock()
 }
 
 // OnTaskEnd implements sched.StructureObserver.
 func (r *Recorder) OnTaskEnd(t *sched.Task) {
 	r.mu.Lock()
-	r.events = append(r.events, Event{Kind: KTaskEnd, Task: r.id(t.ID())})
+	r.events = append(r.events, Event{Kind: KTaskEnd, Task: r.id(t.ID()), Ts: r.ts(), W: wk(t)})
+	r.mu.Unlock()
+}
+
+// OnInject implements sched.InjectObserver: chaos injections become
+// KInject annotations so exporters can overlay them on the timeline.
+func (r *Recorder) OnInject(task int32, fault chaos.Fault) {
+	r.mu.Lock()
+	r.events = append(r.events, Event{Kind: KInject, Task: r.id(task), Fault: uint8(fault), Ts: r.ts()})
 	r.mu.Unlock()
 }
 

@@ -132,6 +132,8 @@ func Replay(tr *Trace, tree dpst.Tree, sink Sink, lockSink LockSink) error {
 			}
 		case KTaskEnd:
 			// No DPST effect; the join is captured by finish scopes.
+		case KInject:
+			// Observability annotation only; no structural effect.
 		}
 	}
 	return nil

@@ -35,6 +35,10 @@ const (
 	KRelease
 	// KTaskEnd marks the completion of task Task.
 	KTaskEnd
+	// KInject records a chaos-plane fault injection against task Task
+	// (Fault distinguishes steal/delay/panic). Purely an annotation for
+	// observability overlays: replay ignores it.
+	KInject
 )
 
 // String names the event kind.
@@ -54,13 +58,19 @@ func (k Kind) String() string {
 		return "release"
 	case KTaskEnd:
 		return "task-end"
+	case KInject:
+		return "inject"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}
 }
 
 // Event is one trace record. Field use depends on Kind: Child for
-// KSpawn; Loc and Write for KAccess; Lock and CS for KAcquire/KRelease.
+// KSpawn; Loc and Write for KAccess; Lock and CS for KAcquire/KRelease;
+// Fault for KInject. Ts and W annotate any event with wall-clock time
+// and the recording worker; both are optional (zero when the trace was
+// generated rather than recorded) and ignored by replay, so traces from
+// older recordings decode unchanged.
 type Event struct {
 	Kind  Kind      `json:"k"`
 	Task  int32     `json:"t"`
@@ -69,7 +79,19 @@ type Event struct {
 	Write bool      `json:"w,omitempty"`
 	Lock  uint32    `json:"m,omitempty"`
 	CS    uint64    `json:"cs,omitempty"`
+	// Ts is nanoseconds since the start of the recording (0 = unknown).
+	Ts int64 `json:"ts,omitempty"`
+	// W is the recording scheduler worker plus one, so that 0 still
+	// means unknown under omitempty; use Worker to decode.
+	W int32 `json:"wk,omitempty"`
+	// Fault is the injected fault kind of a KInject event (the integer
+	// value of chaos.Fault).
+	Fault uint8 `json:"f,omitempty"`
 }
+
+// Worker returns the scheduler worker that emitted the event, or -1
+// when unknown.
+func (e Event) Worker() int { return int(e.W) - 1 }
 
 // Trace is one observed schedule of a task parallel execution. Task 0 is
 // the root task and is implicitly started; every other task appears in a
@@ -143,7 +165,7 @@ func (tr *Trace) Validate() error {
 				return fmt.Errorf("trace: event %d: lock %d not held by task %d", i, e.Lock, e.Task)
 			}
 			delete(holder, e.Lock)
-		case KAccess, KTaskEnd:
+		case KAccess, KTaskEnd, KInject:
 		default:
 			return fmt.Errorf("trace: event %d: unknown kind %d", i, e.Kind)
 		}

@@ -1,0 +1,195 @@
+package avd_test
+
+import (
+	"sync/atomic"
+	"testing"
+
+	avd "github.com/taskpar/avd"
+)
+
+// TestObserverUnsetZeroAllocs pins the live-observability contract from
+// DESIGN.md: leaving Options.Observer nil must keep the warm
+// instrumented hot path allocation-free, including on accesses that
+// re-detect already-reported violations (the provenance capture and
+// observer dispatch must both sit behind the duplicate probe).
+func TestObserverUnsetZeroAllocs(t *testing.T) {
+	s := avd.NewSession(avd.Options{Workers: 1})
+	defer s.Close()
+	x := s.NewIntVar("X")
+	var allocs float64
+	s.Run(func(tk *avd.Task) {
+		// Manufacture a violation so the measured accesses repeatedly
+		// rediscover a known triple: parallel read-modify-writes of X.
+		tk.Finish(func(tk *avd.Task) {
+			tk.Spawn(func(tk *avd.Task) { x.Add(tk, 1) })
+			tk.Spawn(func(tk *avd.Task) { x.Add(tk, 1) })
+		})
+		for i := 0; i < 96; i++ {
+			x.Store(tk, x.Load(tk)+1)
+		}
+		allocs = testing.AllocsPerRun(200, func() {
+			x.Store(tk, x.Load(tk)+1)
+		})
+	})
+	if allocs != 0 {
+		t.Errorf("warm load+store allocates %.1f objects per op with no observer, want 0", allocs)
+	}
+	if n := s.Report().ViolationCount; n == 0 {
+		t.Fatal("expected the parallel increments to produce a violation")
+	}
+}
+
+// TestObserverCallbacks drives every observer event class: violations
+// from parallel conflicting accesses, drops + saturation from a
+// MaxViolations cap of 1, and a recovered panic.
+func TestObserverCallbacks(t *testing.T) {
+	var violations, drops, saturations, panics atomic.Int64
+	s := avd.NewSession(avd.Options{
+		Workers:       2,
+		MaxViolations: 1,
+		RecoverPanics: true,
+		Observer: &avd.Observer{
+			OnViolation:  func(avd.Violation) { violations.Add(1) },
+			OnDrop:       func(avd.DropEvent) { drops.Add(1) },
+			OnSaturation: func() { saturations.Add(1) },
+			OnTaskPanic:  func(avd.TaskPanic) { panics.Add(1) },
+		},
+	})
+	defer s.Close()
+	x := s.NewIntVar("X")
+	y := s.NewIntVar("Y")
+	s.Run(func(tk *avd.Task) {
+		tk.Finish(func(tk *avd.Task) {
+			tk.Spawn(func(tk *avd.Task) { x.Add(tk, 1); y.Add(tk, 1) })
+			tk.Spawn(func(tk *avd.Task) { x.Add(tk, 1); y.Add(tk, 1) })
+			tk.Spawn(func(tk *avd.Task) { panic("boom") })
+		})
+	})
+	rep := s.Report()
+	if violations.Load() == 0 {
+		t.Error("OnViolation never fired")
+	}
+	if rep.Drops.Violations > 0 && drops.Load() == 0 {
+		t.Errorf("reporter dropped %d violations but OnDrop never fired", rep.Drops.Violations)
+	}
+	if rep.Saturated && saturations.Load() != 1 {
+		t.Errorf("OnSaturation fired %d times on a saturated session, want exactly 1", saturations.Load())
+	}
+	if panics.Load() != 1 {
+		t.Errorf("OnTaskPanic fired %d times, want 1", panics.Load())
+	}
+	if rep.PanicCount != 1 {
+		t.Fatalf("PanicCount = %d, want 1", rep.PanicCount)
+	}
+	snap := s.Snapshot()
+	if snap.Events.TaskPanics != 1 {
+		t.Errorf("snapshot Events.TaskPanics = %d, want 1", snap.Events.TaskPanics)
+	}
+	if snap.Events.Violations != violations.Load() {
+		t.Errorf("snapshot Events.Violations = %d, observer saw %d", snap.Events.Violations, violations.Load())
+	}
+}
+
+// TestSnapshotConsistency polls Snapshot concurrently with a running
+// parallel workload (run under -race in CI): counters must be monotone
+// from poll to poll, and the snapshot taken after Run must agree with
+// the final Report.
+func TestSnapshotConsistency(t *testing.T) {
+	s := avd.NewSession(avd.Options{Workers: 4})
+	defer s.Close()
+	x := s.NewIntVar("X")
+	a := s.NewIntArray("A", 64)
+
+	done := make(chan struct{})
+	polls := 0
+	var prev avd.Snapshot
+	go func() {
+		defer close(done)
+		for polls < 2000 {
+			snap := s.Snapshot()
+			polls++
+			if snap.ViolationCount < prev.ViolationCount {
+				t.Errorf("ViolationCount went backwards: %d -> %d", prev.ViolationCount, snap.ViolationCount)
+				return
+			}
+			if snap.Stats.LCAQueries < prev.Stats.LCAQueries {
+				t.Errorf("LCAQueries went backwards: %d -> %d", prev.Stats.LCAQueries, snap.Stats.LCAQueries)
+				return
+			}
+			if snap.Stats.DPSTNodes < prev.Stats.DPSTNodes {
+				t.Errorf("DPSTNodes went backwards: %d -> %d", prev.Stats.DPSTNodes, snap.Stats.DPSTNodes)
+				return
+			}
+			if snap.Events.Violations < prev.Events.Violations {
+				t.Errorf("Events.Violations went backwards: %d -> %d", prev.Events.Violations, snap.Events.Violations)
+				return
+			}
+			prev = snap
+		}
+	}()
+
+	s.Run(func(tk *avd.Task) {
+		avd.ParallelFor(tk, 0, 256, 8, func(tk *avd.Task, i int) {
+			x.Add(tk, 1)
+			a.Store(tk, i%64, int64(i))
+			_ = a.Load(tk, (i+1)%64)
+		})
+	})
+	<-done
+
+	final := s.Snapshot()
+	rep := s.Report()
+	if final.ViolationCount != rep.ViolationCount {
+		t.Errorf("final snapshot ViolationCount = %d, Report = %d", final.ViolationCount, rep.ViolationCount)
+	}
+	if final.Stats != rep.Stats {
+		t.Errorf("final snapshot Stats = %+v, Report = %+v", final.Stats, rep.Stats)
+	}
+	if final.Drops != rep.Drops {
+		t.Errorf("final snapshot Drops = %+v, Report = %+v", final.Drops, rep.Drops)
+	}
+	if final.MemoryUsed != rep.MemoryUsed {
+		t.Errorf("final snapshot MemoryUsed = %d, Report = %d", final.MemoryUsed, rep.MemoryUsed)
+	}
+	if polls == 0 {
+		t.Fatal("snapshot poller never ran")
+	}
+}
+
+// TestSnapshotChaosCounters checks the chaos plane's live counters and
+// the inject annotations recorded into traces.
+func TestSnapshotChaosCounters(t *testing.T) {
+	s := avd.NewSession(avd.Options{
+		Workers:       2,
+		RecordTrace:   true,
+		RecoverPanics: true,
+		Chaos:         &avd.ChaosConfig{Seed: 42, StealProb: 0.5, PanicProb: 0.2},
+	})
+	defer s.Close()
+	x := s.NewIntVar("X")
+	s.Run(func(tk *avd.Task) {
+		tk.Finish(func(tk *avd.Task) {
+			for i := 0; i < 32; i++ {
+				tk.Spawn(func(tk *avd.Task) { x.Add(tk, 1) })
+			}
+		})
+	})
+	snap := s.Snapshot()
+	injected := snap.Chaos.ForcedSteals + snap.Chaos.InjectedPanics
+	if injected == 0 {
+		t.Skip("chaos injected nothing at this seed; counters untestable")
+	}
+	if got := s.ChaosStats(); got != snap.Chaos {
+		t.Errorf("snapshot Chaos = %+v, ChaosStats = %+v", snap.Chaos, got)
+	}
+	tr := s.RecordedTrace()
+	injects := 0
+	for _, e := range tr.Events {
+		if e.Kind.String() == "inject" {
+			injects++
+		}
+	}
+	if int64(injects) != injected {
+		t.Errorf("trace has %d inject annotations, chaos plane injected %d", injects, injected)
+	}
+}
