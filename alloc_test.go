@@ -40,6 +40,57 @@ func TestSteadyStateZeroAllocs(t *testing.T) {
 	}
 }
 
+// TestBatchedLockedRepeatZeroAllocs mirrors TestLockedRepeatZeroAllocs
+// with the step-granular access coalescer in front of the checker: a
+// warm lock/load/store/unlock round must stay allocation-free even
+// though each lock transition drains the batch through the full
+// dispatch path. The batch buffer, dedup table, and counters are all
+// fixed-size per-task state allocated before the measurement.
+func TestBatchedLockedRepeatZeroAllocs(t *testing.T) {
+	for _, disable := range []bool{false, true} {
+		name := "dedup"
+		if disable {
+			name = "nodedup"
+		}
+		t.Run(name, func(t *testing.T) {
+			s := avd.NewSession(avd.Options{Workers: 1, Batch: true, DisableAccessFilter: disable})
+			defer s.Close()
+			x := s.NewIntVar("X")
+			mu := s.NewMutex("L")
+			var allocs float64
+			s.Run(func(tk *avd.Task) {
+				// Warm: allocate the batch space, shadow cell, local
+				// entry, and lockset arenas.
+				for i := 0; i < 96; i++ {
+					mu.Lock(tk)
+					x.Store(tk, x.Load(tk)+1)
+					mu.Unlock(tk)
+				}
+				allocs = testing.AllocsPerRun(200, func() {
+					mu.Lock(tk)
+					x.Store(tk, x.Load(tk)+1)
+					mu.Unlock(tk)
+				})
+			})
+			if allocs != 0 {
+				t.Errorf("batched locked load+store round allocates %.1f objects per op on a warm location, want 0", allocs)
+			}
+			rep := s.Report()
+			if rep.Stats.BatchFlushes == 0 || rep.Stats.BatchedAccesses == 0 {
+				t.Errorf("coalescer never engaged: %d flushes of %d accesses",
+					rep.Stats.BatchFlushes, rep.Stats.BatchedAccesses)
+			}
+			if disable && (rep.Stats.FilterHits != 0 || rep.Stats.FilterMisses != 0) {
+				t.Errorf("disabled dedup reported counters %d/%d",
+					rep.Stats.FilterHits, rep.Stats.FilterMisses)
+			}
+			if !disable && rep.Stats.FilterMisses == 0 {
+				t.Errorf("batched dispatch reported no misses: the dedup engine cannot have run")
+			}
+		})
+	}
+}
+
 // TestLockedRepeatZeroAllocs extends the steady-state pin to the locked
 // hot path, with the redundant-access filter both enabled and disabled:
 // once a task is past the filter warm-up (its cache, counters, and

@@ -232,8 +232,18 @@ type Options struct {
 	// accesses before the full dispatch (see DESIGN.md, "Redundant-
 	// access filtering"). On by default; disable for ablation
 	// measurements and differential testing. The detected violation
-	// locations are identical either way.
+	// locations are identical either way. Under Batch the flag disables
+	// the batch deduplicator instead (every buffered access dispatches).
 	DisableAccessFilter bool
+	// Batch enables step-granular batched dispatch (DESIGN.md §4.2): the
+	// optimized checker coalesces each task's accesses in a fixed-size
+	// per-task buffer, deduplicates provable repeats, and drains the
+	// batch at step and lock boundaries with the step node, lockset, and
+	// filter state read once per batch instead of once per access.
+	// Reported violations are identical to unbatched operation; on a
+	// serial schedule the reports are byte-identical. Only meaningful
+	// with CheckerOptimized; other checkers ignore it.
+	Batch bool
 	// ReporterLimit caps retained violation details (0 = default).
 	ReporterLimit int
 	// RecordTrace additionally captures the execution into a trace
@@ -387,6 +397,8 @@ func NewSession(opts Options) *Session {
 			Reporter:            rep,
 			StrictLockChecks:    opts.StrictLockChecks,
 			DisableAccessFilter: opts.DisableAccessFilter,
+			Batch:               opts.Batch && alg == checker.AlgOptimized,
+			Hub:                 s.hub,
 			Gate:                s.gate,
 		})
 		mon = s.chk
@@ -553,6 +565,7 @@ func ReplayTrace(tr *Trace, opts Options) (Report, error) {
 			Reporter:            r,
 			StrictLockChecks:    opts.StrictLockChecks,
 			DisableAccessFilter: opts.DisableAccessFilter,
+			Batch:               opts.Batch && alg == checker.AlgOptimized,
 			Gate:                gate,
 		})
 		if err := trace.Replay(tr, tree, c, nil); err != nil {
@@ -584,6 +597,8 @@ func fillStats(r *Report, chk checker.Checker, velo *velodrome.Checker, tree dps
 		r.Stats.Locations = cs.Locations
 		r.Stats.FilterHits = cs.FilterHits
 		r.Stats.FilterMisses = cs.FilterMisses
+		r.Stats.BatchFlushes = cs.BatchFlushes
+		r.Stats.BatchedAccesses = cs.BatchedAccesses
 	}
 	if velo != nil {
 		r.Cycles = velo.Count()
@@ -636,8 +651,15 @@ type Stats struct {
 	// redundant-access filter; FilterMisses counts accesses that fell
 	// through to the full dispatch. Both are zero when the filter is
 	// disabled (Options.DisableAccessFilter) or for other checkers.
+	// Under Options.Batch the pair counts the batch deduplicator's skips
+	// and full dispatches instead.
 	FilterHits   int64
 	FilterMisses int64
+	// BatchFlushes counts drained per-task access batches and
+	// BatchedAccesses the accesses dispatched through them; both are
+	// zero unless Options.Batch is enabled.
+	BatchFlushes    int64
+	BatchedAccesses int64
 }
 
 // UniquePercent is the percentage of LCA queries that were unique, or 0

@@ -1,0 +1,136 @@
+package avd_test
+
+import (
+	"testing"
+
+	avd "github.com/taskpar/avd"
+)
+
+// These tests pin the coalescer's flush points to the scheduler's step
+// and lock boundaries with exact counter arithmetic: BatchFlushes
+// counts only non-empty drains, BatchedAccesses counts the accesses
+// they carried, and FilterHits counts accesses the dedup engine proved
+// redundant before buffering. Single-worker sessions make the counts
+// deterministic.
+
+// batchStats runs body in a batched single-worker session and returns
+// the final stats.
+func batchStats(t *testing.T, body func(*avd.Session, *avd.Task)) avd.Stats {
+	t.Helper()
+	s := avd.NewSession(avd.Options{Workers: 1, Batch: true})
+	defer s.Close()
+	s.Run(func(tk *avd.Task) { body(s, tk) })
+	return s.Report().Stats
+}
+
+// TestBatchFlushAtSpawnAndFinish: one access buffered before Finish is
+// flushed by the finish-begin boundary, one buffered inside the finish
+// body is flushed by Spawn, and the spawned child's access is flushed
+// at its task end. Three accesses, three non-empty flushes.
+func TestBatchFlushAtSpawnAndFinish(t *testing.T) {
+	st := batchStats(t, func(s *avd.Session, tk *avd.Task) {
+		v := s.NewIntVar("V")
+		w := s.NewIntVar("W")
+		u := s.NewIntVar("U")
+		v.Store(tk, 1) // flushed by OnFinishBegin
+		tk.Finish(func(tk *avd.Task) {
+			w.Store(tk, 1) // flushed by OnSpawn
+			tk.Spawn(func(tk *avd.Task) {
+				u.Store(tk, 1) // flushed at child task end
+			})
+		})
+	})
+	if st.BatchFlushes != 3 || st.BatchedAccesses != 3 {
+		t.Errorf("spawn/finish boundaries: got %d flushes of %d accesses, want 3 of 3",
+			st.BatchFlushes, st.BatchedAccesses)
+	}
+	if st.FilterHits != 0 || st.FilterMisses != 3 {
+		t.Errorf("spawn/finish boundaries: got %d/%d dedup hits/misses, want 0/3",
+			st.FilterHits, st.FilterMisses)
+	}
+}
+
+// TestBatchFlushAtSync: a CilkSpawn opens the implicit finish scope
+// (flushing the access buffered before it), the child flushes at its
+// end, and the access after Sync flushes at the root's task end. The
+// Sync boundary itself drains an empty buffer, which must not count.
+func TestBatchFlushAtSync(t *testing.T) {
+	st := batchStats(t, func(s *avd.Session, tk *avd.Task) {
+		v := s.NewIntVar("V")
+		w := s.NewIntVar("W")
+		u := s.NewIntVar("U")
+		v.Store(tk, 1) // flushed by the implicit finish open of CilkSpawn
+		tk.CilkSpawn(func(tk *avd.Task) {
+			w.Store(tk, 1) // flushed at child task end
+		})
+		tk.Sync()      // drains an empty buffer: no flush counted
+		u.Store(tk, 1) // flushed at root task end
+	})
+	if st.BatchFlushes != 3 || st.BatchedAccesses != 3 {
+		t.Errorf("sync boundaries: got %d flushes of %d accesses, want 3 of 3",
+			st.BatchFlushes, st.BatchedAccesses)
+	}
+}
+
+// TestBatchFlushAtLockBoundaries: lock acquisition and release each
+// close the open batch, so a store before, inside, and after a critical
+// section lands in three separate flushes even though the step never
+// changes. The dedup engine must not skip any of them — each runs under
+// a different lockset, and skipping one would lose a lock-transition
+// pattern.
+func TestBatchFlushAtLockBoundaries(t *testing.T) {
+	st := batchStats(t, func(s *avd.Session, tk *avd.Task) {
+		v := s.NewIntVar("V")
+		m := s.NewMutex("L")
+		v.Store(tk, 1) // flushed by OnAcquire
+		m.Lock(tk)
+		v.Store(tk, 2) // flushed by OnRelease
+		m.Unlock(tk)
+		v.Store(tk, 3) // flushed at task end
+	})
+	if st.BatchFlushes != 3 || st.BatchedAccesses != 3 {
+		t.Errorf("lock boundaries: got %d flushes of %d accesses, want 3 of 3",
+			st.BatchFlushes, st.BatchedAccesses)
+	}
+	if st.FilterHits != 0 {
+		t.Errorf("lock boundaries: %d accesses deduplicated across lock transitions, want 0", st.FilterHits)
+	}
+}
+
+// TestBatchFlushAtOverflow: a single step touching more distinct
+// locations than the batch holds must flush mid-step on buffer
+// overflow, then drain the remainder at task end.
+func TestBatchFlushAtOverflow(t *testing.T) {
+	const n = 300 // > batchCap (256), < 2*batchCap
+	st := batchStats(t, func(s *avd.Session, tk *avd.Task) {
+		a := s.NewIntArray("A", n)
+		for i := 0; i < n; i++ {
+			a.Store(tk, i, int64(i))
+		}
+	})
+	if st.BatchFlushes != 2 || st.BatchedAccesses != int64(n) {
+		t.Errorf("overflow: got %d flushes of %d accesses, want 2 of %d",
+			st.BatchFlushes, st.BatchedAccesses, n)
+	}
+}
+
+// TestBatchDedupRepeatReads: repeat reads of one location inside one
+// step buffer exactly twice (the first offers the location, the second
+// proves the read-repeat pattern reachable) and every further read is
+// answered by the dedup word without touching the buffer.
+func TestBatchDedupRepeatReads(t *testing.T) {
+	st := batchStats(t, func(s *avd.Session, tk *avd.Task) {
+		v := s.NewIntVar("V")
+		for i := 0; i < 10; i++ {
+			v.Load(tk)
+		}
+	})
+	if st.BatchFlushes != 1 || st.BatchedAccesses != 2 {
+		t.Errorf("repeat reads: got %d flushes of %d accesses, want 1 of 2",
+			st.BatchFlushes, st.BatchedAccesses)
+	}
+	if st.FilterHits != 8 || st.FilterMisses != 2 {
+		t.Errorf("repeat reads: got %d/%d dedup hits/misses, want 8/2",
+			st.FilterHits, st.FilterMisses)
+	}
+}

@@ -1,0 +1,172 @@
+package avd_test
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	avd "github.com/taskpar/avd"
+	"github.com/taskpar/avd/internal/dpst"
+	"github.com/taskpar/avd/internal/oracle"
+	"github.com/taskpar/avd/internal/sptest"
+	"github.com/taskpar/avd/internal/trace"
+)
+
+// The step-granular access coalescer must be invisible in the checker's
+// output: buffering a step's accesses and dispatching them at the next
+// step or lock boundary reorders nothing (flush order is buffer order)
+// and drops only accesses the dedup engine proves are no-op repeats of
+// ones already buffered for the same step and lockset. The tests in
+// this file compare a batched checker against an unbatched one on the
+// same inputs, at the same three strengths as the filter differential:
+// byte-identical violation reports on serial traces, identical violated
+// location sets on random interleavings, and identical location sets
+// between live scheduler runs — plus the oracle anchor.
+
+// replayBatchPair replays tr under opts with batching on and off and
+// returns both reports.
+func replayBatchPair(t *testing.T, tr *avd.Trace, opts avd.Options) (on, off avd.Report) {
+	t.Helper()
+	opts.Batch = true
+	on, err := avd.ReplayTrace(tr, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Batch = false
+	off, err = avd.ReplayTrace(tr, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return on, off
+}
+
+// TestBatchDifferentialExactReports is the strongest form of the
+// output-invisibility property: on a serial (depth-first, one-worker)
+// schedule, where every step's accesses are contiguous, the batched and
+// unbatched checkers must produce byte-identical violation reports —
+// same violations, same order, same steps and locksets — in paper mode,
+// strict-lock mode, and under injected allocation failures. It also
+// covers the batch+no-filter corner: with the dedup engine disabled,
+// every buffered access must dispatch, matching the unbatched
+// filter-off checker exactly.
+func TestBatchDifferentialExactReports(t *testing.T) {
+	r := rand.New(rand.NewSource(7801))
+	var batched, hits int64
+	programs := []*sptest.Program{hammerProgram()}
+	for trial := 0; trial < 120; trial++ {
+		programs = append(programs, sptest.Random(r, filterCfg()))
+	}
+	for i, p := range programs {
+		tr, err := trace.Compile(p).ScheduleSerial()
+		if err != nil {
+			t.Fatalf("program %d: %v", i, err)
+		}
+		for _, opts := range []avd.Options{
+			{},
+			{StrictLockChecks: true},
+			{Chaos: &avd.ChaosConfig{Seed: int64(i), AllocFailProb: 0.05}},
+			{DisableAccessFilter: true},
+		} {
+			on, off := replayBatchPair(t, tr, opts)
+			if on.ViolationCount != off.ViolationCount ||
+				!reflect.DeepEqual(on.Violations, off.Violations) {
+				t.Fatalf("program %d opts %+v: batched report differs\nbatched:   %v\nunbatched: %v\nprogram:\n%s",
+					i, opts, on.Violations, off.Violations, p)
+			}
+			if on.Stats.BatchedAccesses == 0 && on.Stats.BatchFlushes != 0 {
+				t.Fatalf("program %d: flushes without batched accesses", i)
+			}
+			if off.Stats.BatchFlushes != 0 || off.Stats.BatchedAccesses != 0 {
+				t.Fatalf("program %d: unbatched checker reported batch counters %d/%d",
+					i, off.Stats.BatchFlushes, off.Stats.BatchedAccesses)
+			}
+			if opts.DisableAccessFilter &&
+				(on.Stats.FilterHits != 0 || on.Stats.FilterMisses != 0) {
+				t.Fatalf("program %d: batched filter-off run reported dedup counters %d/%d",
+					i, on.Stats.FilterHits, on.Stats.FilterMisses)
+			}
+			batched += on.Stats.BatchedAccesses
+			hits += on.Stats.FilterHits
+		}
+	}
+	if batched == 0 {
+		t.Fatal("no accesses were ever batched across all trials; the differential test is vacuous")
+	}
+	if hits == 0 {
+		t.Fatal("the batch dedup engine never engaged across all trials; the differential test is vacuous")
+	}
+}
+
+// TestBatchDifferentialRandomSchedules replays random interleavings of
+// the same compiled programs: step accesses are no longer contiguous,
+// so the metadata evolution may differ slot-by-slot, but the set of
+// violated locations must not.
+func TestBatchDifferentialRandomSchedules(t *testing.T) {
+	r := rand.New(rand.NewSource(7802))
+	for trial := 0; trial < 100; trial++ {
+		p := sptest.Random(r, filterCfg())
+		tr, err := trace.FromProgram(p, r)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		on, off := replayBatchPair(t, tr, avd.Options{})
+		if !reflect.DeepEqual(violLocs(on), violLocs(off)) {
+			t.Fatalf("trial %d: batched locations %v, unbatched %v\nprogram:\n%s",
+				trial, violLocs(on), violLocs(off), p)
+		}
+	}
+}
+
+// TestBatchDifferentialLive runs programs on the real work-stealing
+// scheduler with batching on and off (including chaos-perturbed
+// schedules): by the checker's schedule-independence, both sessions
+// must report the same violated locations.
+func TestBatchDifferentialLive(t *testing.T) {
+	r := rand.New(rand.NewSource(7803))
+	cfg := filterCfg()
+	for trial := 0; trial < 40; trial++ {
+		p := sptest.Random(r, cfg)
+		var chaos *avd.ChaosConfig
+		if trial%2 == 1 {
+			chaos = &avd.ChaosConfig{Seed: int64(trial), StealProb: 0.3, DelayProb: 0.2, MaxDelaySpins: 8}
+		}
+		on := execProgram(p, cfg, avd.Options{Workers: 4, Chaos: chaos, Batch: true})
+		off := execProgram(p, cfg, avd.Options{Workers: 4, Chaos: chaos})
+		if !sameLocs(on, off) {
+			t.Fatalf("trial %d: batched live run detected %v, unbatched %v\nprogram:\n%s",
+				trial, on, off, p)
+		}
+	}
+}
+
+// TestBatchSerialReplayMatchesOracle anchors the serial-schedule
+// differential in ground truth: on programs small enough for the
+// all-schedules oracle, the batched serial replay detects exactly the
+// violating locations the oracle predicts.
+func TestBatchSerialReplayMatchesOracle(t *testing.T) {
+	r := rand.New(rand.NewSource(7804))
+	for trial := 0; trial < 60; trial++ {
+		cfg := sptest.GenConfig{
+			MaxItems: 4, MaxDepth: 3, MaxSteps: 10,
+			Locations: 2, MaxAccess: 6, Locks: 1, LockProb: 0.25,
+		}
+		p := sptest.Random(r, cfg)
+		tr, err := trace.Compile(p).ScheduleSerial()
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		rep, err := avd.ReplayTrace(tr, avd.Options{Batch: true})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		got := make(map[int]bool)
+		for _, v := range rep.Violations {
+			got[int(v.Loc-trace.LocBase)] = true
+		}
+		want := oracle.Violations(sptest.Build(dpst.ArrayLayout, p), oracle.ModePaper)
+		if !sameLocs(got, want) {
+			t.Fatalf("trial %d: serial batched replay %v, oracle %v\nprogram:\n%s",
+				trial, got, want, p)
+		}
+	}
+}

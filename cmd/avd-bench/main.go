@@ -17,8 +17,10 @@
 //
 // -cpuprofile and -memprofile write pprof profiles of the measurement
 // run. -require-filter-hits exits nonzero when the avd-filter
-// configuration reports zero redundant-access filter hits — the CI
-// guard against the filter silently wedging open.
+// configuration reports zero redundant-access filter hits, or when the
+// avd-batch configuration (Figure 13) reports zero batch flushes,
+// batched accesses, or dedup hits — the CI guard against the filter or
+// the coalescer silently wedging open.
 //
 // -debug-addr serves expvar on the given address while the benchmarks
 // run: GET /debug/vars carries an "avd" variable with a live Snapshot
@@ -131,19 +133,49 @@ func main() {
 
 	if *requireHits {
 		var hits, misses int64
+		var batchHits, batchFlushes, batchedAccesses int64
 		for _, r := range jsonData.Results {
-			if r.Config == "avd-filter" {
+			switch r.Config {
+			case "avd-filter":
 				hits += r.FilterHits
 				misses += r.FilterMisses
+			case "avd-batch":
+				batchHits += r.FilterHits
+				batchFlushes += r.BatchFlushes
+				batchedAccesses += r.BatchedAccesses
 			}
 		}
 		fmt.Printf("\navd-filter: %d filter hits, %d misses\n", hits, misses)
 		if hits == 0 {
 			log.Fatal("avd-bench: -require-filter-hits: the avd-filter configuration reported zero filter hits")
 		}
+		if batchFlushes > 0 || batchedAccesses > 0 || batchHits > 0 {
+			fmt.Printf("avd-batch: %d dedup hits, %d flushes, %d batched accesses\n",
+				batchHits, batchFlushes, batchedAccesses)
+			if batchFlushes == 0 || batchedAccesses == 0 {
+				log.Fatal("avd-bench: -require-filter-hits: the avd-batch configuration never flushed a batch")
+			}
+			if batchHits == 0 {
+				log.Fatal("avd-bench: -require-filter-hits: the avd-batch dedup engine reported zero hits")
+			}
+		} else if figureHasConfig(jsonData, "avd-batch") {
+			log.Fatal("avd-bench: -require-filter-hits: the avd-batch configuration recorded no batching activity")
+		}
 	}
 
 	writeMemProfile(*memProfile)
+}
+
+// figureHasConfig reports whether the measured figure included the
+// named configuration (Figure 14 has no avd-batch column, so the batch
+// guard must not fire on it).
+func figureHasConfig(d *harness.FigureData, name string) bool {
+	for _, c := range d.Configs {
+		if c == name {
+			return true
+		}
+	}
+	return false
 }
 
 // writeMemProfile dumps a heap profile after a final GC so the profile

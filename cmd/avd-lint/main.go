@@ -14,7 +14,7 @@
 //
 // Usage:
 //
-//	go run ./cmd/avd-lint [-json] [packages...]
+//	go run ./cmd/avd-lint [-json] [-fix] [packages...]
 //	go vet -vettool=$(which avd-lint) ./...
 //
 // Packages default to ./... resolved against the enclosing module.
@@ -22,6 +22,14 @@
 // emits a machine-readable {package: {analyzer: [finding]}} tree for
 // diffing lint results across revisions. Exit status: 0 clean (info
 // findings do not fail the run), 1 operational error, 2 findings.
+//
+// -fix applies every suggested fix to the source files in place. Today
+// the only fix producer is the elision analyzer: a handle proven to be
+// touched by a single step has its Load/Store/Add calls rewritten to
+// the uninstrumented Value/SetValue/AddValue accessors, removing its
+// checker events without changing program behavior or analysis
+// results. -fix is a standalone-mode feature (not available under go
+// vet, whose protocol has no rewrite channel).
 //
 // When invoked by go vet (a single *.cfg argument), avd-lint speaks
 // the vet unitchecker protocol: it type-checks from the compiler's
@@ -35,6 +43,7 @@ import (
 	"go/token"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 
 	"github.com/taskpar/avd/internal/analysis"
@@ -44,6 +53,7 @@ import (
 
 var (
 	jsonFlag = flag.Bool("json", false, "emit machine-readable JSON diagnostics on stdout")
+	fixFlag  = flag.Bool("fix", false, "apply suggested fixes to source files in place (standalone mode only)")
 	versFlag = flag.String("V", "", "if 'full', print tool version and exit (go vet protocol)")
 )
 
@@ -65,7 +75,7 @@ func run() int {
 	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
 		return unitcheck(args[0], *jsonFlag)
 	}
-	return standalone(args, *jsonFlag)
+	return standalone(args, *jsonFlag, *fixFlag)
 }
 
 // jsonFinding is one diagnostic in -json output.
@@ -77,7 +87,7 @@ type jsonFinding struct {
 }
 
 // standalone loads the requested packages from source and lints them.
-func standalone(patterns []string, asJSON bool) int {
+func standalone(patterns []string, asJSON, applyFixes bool) int {
 	wd, err := os.Getwd()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "avd-lint:", err)
@@ -109,6 +119,12 @@ func standalone(patterns []string, asJSON bool) int {
 			fmt.Fprintln(os.Stderr, "avd-lint:", err)
 			exit = 1
 			continue
+		}
+		if applyFixes {
+			if err := applyDiagnosticFixes(loader.Fset, wd, diags); err != nil {
+				fmt.Fprintln(os.Stderr, "avd-lint:", err)
+				exit = 1
+			}
 		}
 		for _, d := range diags {
 			if d.Severity != analysis.SeverityInfo {
@@ -150,6 +166,46 @@ func standalone(patterns []string, asJSON bool) int {
 		return 2
 	}
 	return 0
+}
+
+// applyDiagnosticFixes groups every suggested fix's edits by file and
+// rewrites each file in place. Edits from distinct diagnostics never
+// overlap (each fix touches only its own handle's call sites), so one
+// splice pass per file suffices.
+func applyDiagnosticFixes(fset *token.FileSet, base string, diags []analysis.Diagnostic) error {
+	edits := make(map[string][]analysis.TextEdit)
+	for _, d := range diags {
+		for _, fix := range d.SuggestedFixes {
+			for _, e := range fix.TextEdits {
+				file := fset.Position(e.Pos).Filename
+				edits[file] = append(edits[file], e)
+			}
+		}
+	}
+	var files []string
+	for file := range edits {
+		files = append(files, file)
+	}
+	sort.Strings(files)
+	for _, file := range files {
+		src, err := os.ReadFile(file)
+		if err != nil {
+			return err
+		}
+		fixed := analysis.ApplyEdits(fset, src, edits[file])
+		if string(fixed) == string(src) {
+			continue
+		}
+		if err := os.WriteFile(file, fixed, 0o644); err != nil {
+			return err
+		}
+		rel := file
+		if r, err := filepath.Rel(base, file); err == nil && !strings.HasPrefix(r, "..") {
+			rel = r
+		}
+		fmt.Fprintf(os.Stderr, "avd-lint: fixed %s (%d edits)\n", rel, len(edits[file]))
+	}
+	return nil
 }
 
 // relPosn renders a position with the file path relative to base.

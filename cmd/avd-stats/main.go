@@ -4,7 +4,12 @@
 //
 // Usage:
 //
-//	avd-stats [-workers N] [-scale F] [-reps N] [-json]
+//	avd-stats [-workers N] [-scale F] [-reps N] [-batch] [-json]
+//
+// -batch measures with the step-granular access coalescer in front of
+// the checker; the characteristic columns are identical by construction
+// (batching is output-invisible) and the JSON rows additionally carry
+// batch_flushes and batched_accesses.
 //
 // With -json the full machine-readable Table1Data is written to stdout
 // instead of the text table, including each kernel's detected
@@ -27,16 +32,19 @@ func main() {
 	scale := flag.Float64("scale", 1, "problem-size multiplier")
 	reps := flag.Int("reps", 1, "repetitions per benchmark")
 	asJSON := flag.Bool("json", false, "emit machine-readable JSON with violation provenance")
+	batch := flag.Bool("batch", false, "measure with the step-granular access coalescer (adds batch counters to -json rows)")
 	flag.Parse()
-	if !*asJSON {
-		if err := harness.Table1(os.Stdout, *workers, *scale, *reps); err != nil {
-			log.Fatal(err)
-		}
-		return
+	collect := harness.CollectTable1
+	if *batch {
+		collect = harness.CollectTable1Batched
 	}
-	d, err := harness.CollectTable1(*workers, *scale, *reps)
+	d, err := collect(*workers, *scale, *reps)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if !*asJSON {
+		harness.RenderTable1(os.Stdout, d)
+		return
 	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")

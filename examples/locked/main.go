@@ -51,7 +51,7 @@ func run(splitCriticalSection bool) {
 			})
 			t.Spawn(func(t *avd.Task) { // T3
 				l.Lock(t)
-				x.Store(t, y.Load(t))
+				x.Store(t, y.Value())
 				l.Unlock(t)
 			})
 		})

@@ -32,7 +32,7 @@ func main() {
 				x.Store(t, a+1)
 			})
 			t.Spawn(func(t *avd.Task) { // T3: X = Y
-				x.Store(t, y.Load(t))
+				x.Store(t, y.Value())
 			})
 		})
 	})

@@ -12,7 +12,6 @@ import (
 	"os"
 	"path/filepath"
 	"regexp"
-	"sort"
 	"strconv"
 	"strings"
 	"testing"
@@ -198,25 +197,8 @@ func checkGolden(t *testing.T, fset *token.FileSet, pkg *load.Package, diags []a
 }
 
 // ApplyEdits applies non-overlapping text edits to src, resolving
-// positions through fset.
+// positions through fset. It forwards to analysis.ApplyEdits, the same
+// engine avd-lint -fix uses to rewrite files on disk.
 func ApplyEdits(fset *token.FileSet, src []byte, edits []analysis.TextEdit) []byte {
-	type span struct {
-		start, end int
-		text       []byte
-	}
-	var spans []span
-	for _, e := range edits {
-		start := fset.Position(e.Pos).Offset
-		end := start
-		if e.End.IsValid() {
-			end = fset.Position(e.End).Offset
-		}
-		spans = append(spans, span{start: start, end: end, text: e.NewText})
-	}
-	sort.Slice(spans, func(i, j int) bool { return spans[i].start > spans[j].start })
-	out := append([]byte(nil), src...)
-	for _, s := range spans {
-		out = append(out[:s.start], append(append([]byte(nil), s.text...), out[s.end:]...)...)
-	}
-	return out
+	return analysis.ApplyEdits(fset, src, edits)
 }

@@ -1,0 +1,33 @@
+package analysis
+
+import (
+	"go/token"
+	"sort"
+)
+
+// ApplyEdits applies non-overlapping text edits to src, resolving
+// positions through fset. It is the engine behind both the
+// analysistest golden comparison and avd-lint's -fix mode, so the
+// rewrite a test pins down is byte-for-byte the rewrite the tool
+// writes to disk.
+func ApplyEdits(fset *token.FileSet, src []byte, edits []TextEdit) []byte {
+	type span struct {
+		start, end int
+		text       []byte
+	}
+	var spans []span
+	for _, e := range edits {
+		start := fset.Position(e.Pos).Offset
+		end := start
+		if e.End.IsValid() {
+			end = fset.Position(e.End).Offset
+		}
+		spans = append(spans, span{start: start, end: end, text: e.NewText})
+	}
+	sort.Slice(spans, func(i, j int) bool { return spans[i].start > spans[j].start })
+	out := append([]byte(nil), src...)
+	for _, s := range spans {
+		out = append(out[:s.start], append(append([]byte(nil), s.text...), out[s.end:]...)...)
+	}
+	return out
+}

@@ -26,6 +26,7 @@
 package elision
 
 import (
+	"fmt"
 	"go/ast"
 	"go/token"
 	"go/types"
@@ -45,7 +46,14 @@ var Analyzer = &analysis.Analyzer{
 
 // neutralMethods are handle methods that emit no checker event.
 var neutralMethods = map[string]bool{
-	"Value": true, "Name": true, "Loc": true, "Len": true, "LocAt": true,
+	"Value": true, "SetValue": true, "AddValue": true,
+	"Name": true, "Loc": true, "Len": true, "LocAt": true,
+}
+
+// uninstrumented maps each instrumented access method to its
+// event-free counterpart — the rewrite applied by avd-lint -fix.
+var uninstrumented = map[string]string{
+	"Load": "Value", "Store": "SetValue", "Add": "AddValue",
 }
 
 // handle tracks one candidate instrumented variable.
@@ -56,6 +64,9 @@ type handle struct {
 	// the key is the innermost enclosing task closure (nil = the
 	// declaring function's serial body).
 	contexts map[*ast.FuncLit]bool
+	// accesses are the instrumented call sites, in visit order; they
+	// seed the suggested rewrite when the handle proves single-step.
+	accesses []*ast.CallExpr
 	bad      bool // escaped, grouped, or otherwise unprovable
 }
 
@@ -84,11 +95,51 @@ func run(pass *analysis.Pass) error {
 		if !singleStepContext(pass, index, ctx, obj) {
 			continue
 		}
-		pass.Reportf(obj.Pos(),
-			"%s %s is only ever accessed by a single step; its instrumentation can be elided safely (use a plain local, or keep it for documentation)",
-			h.kind, obj.Name())
+		pass.Report(analysis.Diagnostic{
+			Pos: obj.Pos(),
+			Message: fmt.Sprintf(
+				"%s %s is only ever accessed by a single step; its instrumentation can be elided safely (use a plain local, or keep it for documentation)",
+				h.kind, obj.Name()),
+			SuggestedFixes: elisionFix(h),
+		})
 	}
 	return nil
+}
+
+// elisionFix rewrites every instrumented access of a proven handle to
+// its uninstrumented accessor: Load→Value, Store→SetValue,
+// Add→AddValue, each dropping the task argument. The rewrite is
+// behavior-preserving (same atomics underneath) and analysis-
+// preserving (a single-step handle emits only events the checker would
+// never pair into a violation).
+func elisionFix(h *handle) []analysis.SuggestedFix {
+	fix := analysis.SuggestedFix{
+		Message: fmt.Sprintf("use uninstrumented accessors on %s", h.obj.Name()),
+	}
+	for _, call := range h.accesses {
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return nil
+		}
+		repl, ok := uninstrumented[sel.Sel.Name]
+		if !ok || len(call.Args) == 0 {
+			return nil
+		}
+		fix.TextEdits = append(fix.TextEdits, analysis.TextEdit{
+			Pos: sel.Sel.Pos(), End: sel.Sel.End(), NewText: []byte(repl),
+		})
+		// Drop the task argument (always Args[0] on instrumented ops),
+		// including the separating comma when more arguments follow.
+		del := analysis.TextEdit{Pos: call.Args[0].Pos(), End: call.Args[0].End()}
+		if len(call.Args) > 1 {
+			del.End = call.Args[1].Pos()
+		}
+		fix.TextEdits = append(fix.TextEdits, del)
+	}
+	if len(fix.TextEdits) == 0 {
+		return nil
+	}
+	return []analysis.SuggestedFix{fix}
 }
 
 // collectHandles finds x := s.New*Var(...) bindings.
@@ -154,6 +205,7 @@ func classifyUses(pass *analysis.Pass, index map[*ast.FuncLit]*avdapi.ClosureInf
 							return
 						}
 						h.contexts[ctx] = true
+						h.accesses = append(h.accesses, call)
 						return
 					}
 					if neutralMethods[sel.Sel.Name] {

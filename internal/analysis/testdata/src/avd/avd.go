@@ -109,6 +109,12 @@ func (v *IntVar) Add(t *Task, d int64) int64 { return 0 }
 // Value stubs IntVar.Value.
 func (v *IntVar) Value() int64 { return 0 }
 
+// SetValue stubs IntVar.SetValue.
+func (v *IntVar) SetValue(x int64) {}
+
+// AddValue stubs IntVar.AddValue.
+func (v *IntVar) AddValue(d int64) int64 { return 0 }
+
 // Name stubs IntVar.Name.
 func (v *IntVar) Name() string { return "" }
 
@@ -127,6 +133,12 @@ func (v *FloatVar) Add(t *Task, d float64) float64 { return 0 }
 // Value stubs FloatVar.Value.
 func (v *FloatVar) Value() float64 { return 0 }
 
+// SetValue stubs FloatVar.SetValue.
+func (v *FloatVar) SetValue(x float64) {}
+
+// AddValue stubs FloatVar.AddValue.
+func (v *FloatVar) AddValue(d float64) float64 { return 0 }
+
 // IntArray stubs the instrumented integer array.
 type IntArray struct{ _ int }
 
@@ -141,6 +153,12 @@ func (a *IntArray) Add(t *Task, i int, d int64) int64 { return 0 }
 
 // Value stubs IntArray.Value.
 func (a *IntArray) Value(i int) int64 { return 0 }
+
+// SetValue stubs IntArray.SetValue.
+func (a *IntArray) SetValue(i int, x int64) {}
+
+// AddValue stubs IntArray.AddValue.
+func (a *IntArray) AddValue(i int, d int64) int64 { return 0 }
 
 // Len stubs IntArray.Len.
 func (a *IntArray) Len() int { return 0 }
@@ -159,6 +177,12 @@ func (a *FloatArray) Add(t *Task, i int, d float64) float64 { return 0 }
 
 // Value stubs FloatArray.Value.
 func (a *FloatArray) Value(i int) float64 { return 0 }
+
+// SetValue stubs FloatArray.SetValue.
+func (a *FloatArray) SetValue(i int, x float64) {}
+
+// AddValue stubs FloatArray.AddValue.
+func (a *FloatArray) AddValue(i int, d float64) float64 { return 0 }
 
 // Mutex stubs the instrumented mutex.
 type Mutex struct{ _ int }

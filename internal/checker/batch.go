@@ -1,0 +1,416 @@
+package checker
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"github.com/taskpar/avd/internal/dpst"
+	"github.com/taskpar/avd/internal/obs"
+	"github.com/taskpar/avd/internal/sched"
+)
+
+// The step-granular access coalescer ("batched dispatch", see DESIGN.md
+// §4.2). Instead of walking the epoch/lockset/filter machinery on every
+// instrumented access, each task buffers its accesses in a fixed-size
+// batch and drains them through the optimized checker's dispatch core at
+// step and lock boundaries. The per-access cost collapses to a buffer
+// append plus a direct-mapped dedup probe; the task state (step node,
+// lockset) is read once per batch window, and same-location repeats are
+// deduplicated before they ever touch the shadow table.
+//
+// Correctness rests on two invariants:
+//
+//  1. Every access buffered in one batch window shares one step node and
+//     one lockset. The window is closed — the batch flushed — on every
+//     event that can change either: Spawn, Finish begin/end, Sync, task
+//     end (step transitions) and Lock/Unlock (lockset transitions). The
+//     live scheduler delivers these through sched.StructureObserver and
+//     sched.Monitor; the trace replayer calls the BatchFlusher hooks at
+//     the same points. Buffer overflow also flushes, without closing the
+//     window (the regime is unchanged).
+//
+//  2. The deduplicator skips an access only when the per-access filter
+//     of Access would have skipped it: an access of type T is dropped
+//     only after an earlier access of type T in the same window ran (or
+//     will run, earlier in this batch) as a repeat of its own type, and
+//     a first write re-enables reads (and vice versa) exactly like the
+//     filter word's bit-clearing rule. The soundness argument is
+//     therefore the filter's own (DESIGN.md): every skipped access is a
+//     re-run whose offers and checks have all already been made under an
+//     identical (step, lockset) regime.
+//
+// Flushing at the boundary also preserves per-task dispatch order, and
+// on a serial schedule every step's accesses are contiguous in the
+// trace, so batched dispatch order equals trace order minus the skipped
+// no-ops — reports are byte-identical to unbatched dispatch there (the
+// batch differential suite asserts this, including provenance).
+
+const (
+	// batchCap is the per-task access buffer: big enough to cover a
+	// typical step's burst, small enough that per-task state stays a few
+	// KiB (buffers are pooled across tasks, so short-lived tasks do not
+	// churn the allocator).
+	batchCap = 256
+
+	// The dedup table mirrors the per-access filter cache's geometry.
+	batchDedupBits = 6
+	batchDedupSize = 1 << batchDedupBits
+	batchDedupMask = batchDedupSize - 1
+)
+
+// batchAccess is one buffered access: the resolved local entry plus the
+// location and kind packed in one word.
+type batchAccess struct {
+	e    *localEntry
+	locW uint64 // loc<<1 | write
+}
+
+// batchDedupEntry is one direct-mapped dedup slot. bits is the epoch-
+// scoped redundancy word (same semantics as filterEntry.bits), seen the
+// step-scoped "this step already dispatched a read/write here" pair that
+// decides whether the next dispatch runs as a repeat of its type. Both
+// are invalidated lazily by generation stamps so neither flushes nor
+// task reuse ever sweep the table: egen advances on every lockset or
+// step transition, sgen only on step transitions (a step's repeat facts
+// survive its lock transitions, exactly as localEntry.readStep/
+// writeStep do). The cached e pointer stays valid across pooled task
+// reuse because the batchSpace keeps its localSpace for life — see
+// reset.
+type batchDedupEntry struct {
+	loc  sched.Loc // 0 = empty (location IDs start at 1)
+	e    *localEntry
+	egen uint64
+	sgen uint64
+	bits uint8
+	seen uint8
+}
+
+// seen bits of batchDedupEntry (distinct from filtR/filtW only in role).
+const (
+	seenR uint8 = 1 << iota
+	seenW
+)
+
+// batchSpace is one task's coalescer state, kept in Task.Local. It owns
+// the task's inner localSpace, so the optimized dispatch core sees
+// exactly the per-task metadata it would under unbatched operation.
+type batchSpace struct {
+	sp   *localSpace
+	ctr  *filterCounters
+	hint uint64 // shard hint for the checker-wide striped counters
+
+	n        int
+	step     dpst.NodeID // captured at the window's first buffered access
+	locks    []uint64
+	captured bool
+
+	egen, sgen           uint64
+	pendHits, pendMisses int64
+
+	buf   [batchCap]batchAccess
+	dedup [batchDedupSize]batchDedupEntry
+}
+
+// reset prepares a pooled batchSpace for a new task. Task churn is O(1):
+// the buffer needs no clearing (n gates it), the dedup table none (the
+// task-end flush bumped egen and sgen, so every slot's seen/bits words
+// are already generation-stale), and the localSpace is kept for life.
+//
+// Keeping the localSpace — the location table, entry arena, and lockset
+// arenas — across tasks is the heart of the coalescer's task-churn
+// amortization: recursive kernels spawn far more tasks than they touch
+// distinct locations, and rebuilding loc → entry metadata per task was
+// the dominant cost of checking them. Reuse is output-invisible because
+// a local entry is self-invalidating across tasks: step node IDs are
+// never reused, so dispatchEntry's readStep/writeStep == si tests see a
+// previous task's entry exactly as a fresh one (the per-step locksets
+// and ticks are only consulted under those same tests), the report
+// buffer dedups by a global key the reporter re-dedups anyway, and the
+// Par front cache is keyed by global node pairs.
+func (bs *batchSpace) reset() {
+	bs.n = 0
+	bs.captured = false
+	bs.pendHits, bs.pendMisses = 0, 0
+}
+
+// Batched wraps the optimized checker in the step-granular coalescer.
+// It implements Checker, and its structure-observer callbacks are the
+// flush points; constructing it without wiring those callbacks (see
+// Options.Batch) would silently dispatch accesses under stale state.
+type Batched struct {
+	inner *Optimized
+	hub   *obs.Hub
+	// dedupOff disables the batch deduplicator (every buffered access
+	// dispatches), mirroring Options.DisableAccessFilter for ablations
+	// and differential tests of pure batching.
+	dedupOff bool
+
+	nextHint atomic.Uint64
+	pool     sync.Pool
+
+	flushes  obs.Striped
+	accesses obs.Striped
+}
+
+// newBatched builds the batched dispatcher over a fresh optimized
+// checker. The inner per-access filter stays off: the deduplicator
+// subsumes it (with no warm-up window, which short-lived tasks never
+// finished), and the inner Access path is not used while batching.
+func newBatched(opts Options) *Batched {
+	inner := newOptimized(opts)
+	inner.noFilter = true
+	return &Batched{inner: inner, hub: opts.Hub, dedupOff: opts.DisableAccessFilter}
+}
+
+// Reporter implements Checker.
+func (b *Batched) Reporter() *Reporter { return b.inner.Reporter() }
+
+// Stats implements Checker. The flush counts live in the hub when the
+// session wired one (flush counts each drain into a single sink) and in
+// the checker-local striped counters otherwise (hub-less replay).
+func (b *Batched) Stats() Stats {
+	st := b.inner.Stats()
+	if b.hub != nil {
+		st.BatchFlushes = b.hub.Count(obs.EventBatchFlush)
+		st.BatchedAccesses = b.hub.Count(obs.EventBatchedAccess)
+	} else {
+		st.BatchFlushes = b.flushes.Load()
+		st.BatchedAccesses = b.accesses.Load()
+	}
+	return st
+}
+
+// space returns the task's batch state, creating (or recycling) it on
+// the task's first access.
+func (b *Batched) space(slot *any) *batchSpace {
+	if bs, ok := (*slot).(*batchSpace); ok {
+		return bs
+	}
+	return b.newSpace(slot)
+}
+
+func (b *Batched) newSpace(slot *any) *batchSpace {
+	bs, _ := b.pool.Get().(*batchSpace)
+	if bs == nil {
+		bs = &batchSpace{ctr: &filterCounters{}}
+		b.inner.registerCounters(bs.ctr)
+		bs.sp = b.inner.makeSpace()
+		// The counter-shard hint is per-space, not per-task: a pooled
+		// space keeps its shard, which spreads concurrent flushers just
+		// as well without an atomic per task.
+		bs.hint = b.nextHint.Add(1)
+	} else {
+		bs.reset()
+	}
+	*slot = bs
+	return bs
+}
+
+// Access implements Checker: it buffers the access, deduplicating
+// provable repeats, and flushes on overflow. ts is consulted for the
+// task slot on every call but for the step node and lockset only once
+// per batch window — the amortization this whole layer exists for.
+func (b *Batched) Access(ts TaskState, loc sched.Loc, write bool) {
+	slot := ts.LocalSlot()
+	bs, ok := (*slot).(*batchSpace)
+	if !ok {
+		bs = b.newSpace(slot)
+	}
+	de := &bs.dedup[uint64(loc)&batchDedupMask]
+	var ls *localEntry
+	if de.loc == loc {
+		if de.sgen != bs.sgen {
+			de.sgen, de.egen = bs.sgen, bs.egen
+			de.seen, de.bits = 0, 0
+		} else if de.egen != bs.egen {
+			de.egen = bs.egen
+			de.bits = 0
+		}
+		ls = de.e
+	} else {
+		// Install (evicting any conflicting location: its facts are lost,
+		// which only costs extra dispatches, never soundness).
+		if ls = bs.sp.m.get(loc); ls == nil {
+			ls = b.inner.newEntry(bs.sp, loc)
+		}
+		*de = batchDedupEntry{loc: loc, e: ls, egen: bs.egen, sgen: bs.sgen}
+	}
+	if !b.dedupOff {
+		bit, sbit := filtR, seenR
+		if write {
+			bit, sbit = filtW, seenW
+		}
+		if de.bits&bit != 0 {
+			bs.pendHits++
+			return
+		}
+		// Maintain the redundancy word at buffer time: dispatch order
+		// equals buffer order, so "the earlier same-type access will have
+		// run as a repeat" is decidable here. A repeat of its own type
+		// makes the type redundant for the rest of the epoch; a first
+		// access of a type re-enables the other type (it newly forms an
+		// RW/WR pattern), mirroring Access's filter-word update.
+		if de.seen&sbit != 0 {
+			de.bits |= bit
+		} else {
+			de.seen |= sbit
+			if write {
+				de.bits &^= filtR
+			} else {
+				de.bits &^= filtW
+			}
+		}
+	}
+	if !bs.captured {
+		_, bs.step, _, bs.locks = ts.AccessState()
+		bs.captured = true
+	}
+	bs.buf[bs.n] = batchAccess{e: ls, locW: uint64(loc)<<1 | b2u(write)}
+	bs.n++
+	if bs.n == batchCap {
+		b.flush(bs, flushOverflow)
+	}
+}
+
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// Flush kinds: what regime boundary closed the window.
+const (
+	// flushOverflow drains a full buffer mid-window: the (step, lockset)
+	// regime is unchanged, so dedup facts stay valid.
+	flushOverflow = iota
+	// flushLocks is a lockset transition: epoch-scoped redundancy dies,
+	// the step's repeat facts survive.
+	flushLocks
+	// flushStep is a step transition: everything dies.
+	flushStep
+)
+
+// flush drains the buffer through the optimized dispatch core under the
+// window's captured state, folds the pending dedup counters into the
+// live-readable atomics, and advances the dedup generations.
+func (b *Batched) flush(bs *batchSpace, kind int) {
+	if bs.n > 0 {
+		sp, si, locks := bs.sp, bs.step, bs.locks
+		for i := 0; i < bs.n; i++ {
+			a := &bs.buf[i]
+			_, _, outcome := b.inner.dispatchEntry(sp, a.e, sched.Loc(a.locW>>1), si, locks, a.locW&1 != 0)
+			if !b.dedupOff {
+				switch outcome {
+				case dispatchRan:
+					bs.pendMisses++
+				case dispatchSkipped:
+					bs.pendHits++
+				}
+			}
+		}
+		if b.hub != nil {
+			b.hub.Note(obs.EventBatchFlush, bs.hint)
+			b.hub.NoteN(obs.EventBatchedAccess, bs.hint, int64(bs.n))
+		} else {
+			b.flushes.Add(bs.hint, 1)
+			b.accesses.Add(bs.hint, int64(bs.n))
+		}
+		bs.n = 0
+		bs.captured = false
+	}
+	switch kind {
+	case flushLocks:
+		bs.egen++
+	case flushStep:
+		bs.egen++
+		bs.sgen++
+	}
+	if bs.pendHits != 0 {
+		bs.ctr.hits.Add(bs.pendHits)
+		bs.pendHits = 0
+	}
+	if bs.pendMisses != 0 {
+		bs.ctr.misses.Add(bs.pendMisses)
+		bs.pendMisses = 0
+	}
+}
+
+// FlushStep drains ts's batch at a step transition. Exported for the
+// trace replayer (the BatchFlusher hooks); the live scheduler reaches it
+// through the StructureObserver callbacks below.
+func (b *Batched) FlushStep(ts TaskState) {
+	if bs, ok := (*ts.LocalSlot()).(*batchSpace); ok {
+		b.flush(bs, flushStep)
+	}
+}
+
+// FlushLockChange drains ts's batch at a lockset transition.
+func (b *Batched) FlushLockChange(ts TaskState) {
+	if bs, ok := (*ts.LocalSlot()).(*batchSpace); ok {
+		b.flush(bs, flushLocks)
+	}
+}
+
+// BatchFlusher is the hook interface an offline event source (the trace
+// replayer) uses to close batch windows at the boundaries the live
+// scheduler signals through sched.Monitor/StructureObserver. FlushStep
+// must be called before any event that moves the task to a new step
+// region, FlushLockChange before any lockset mutation — in particular
+// before a release pops the lockset slice the window captured.
+type BatchFlusher interface {
+	FlushStep(ts TaskState)
+	FlushLockChange(ts TaskState)
+}
+
+// OnAccess implements sched.Monitor.
+func (b *Batched) OnAccess(t *sched.Task, loc sched.Loc, write bool) {
+	b.Access(t, loc, write)
+}
+
+// OnAcquire implements sched.Monitor: Lock has already pushed the new
+// token (appending never disturbs the window's captured lockset
+// prefix), so the batch drains under the pre-acquisition regime here.
+func (b *Batched) OnAcquire(t *sched.Task, _ *sched.Mutex) {
+	b.FlushLockChange(t)
+}
+
+// OnRelease implements sched.Monitor. Unlock notifies before popping the
+// token in place — the one mutation that would corrupt the captured
+// lockset — so the flush must (and does) complete here, synchronously.
+func (b *Batched) OnRelease(t *sched.Task, _ *sched.Mutex) {
+	b.FlushLockChange(t)
+}
+
+// OnSpawn implements sched.StructureObserver: the parent has entered a
+// new step region; its buffered accesses belong to the captured
+// pre-spawn step and drain before the child can run.
+func (b *Batched) OnSpawn(parent *sched.Task, _ int32) {
+	b.FlushStep(parent)
+}
+
+// OnFinishBegin implements sched.StructureObserver.
+func (b *Batched) OnFinishBegin(t *sched.Task) {
+	b.FlushStep(t)
+}
+
+// OnFinishEnd implements sched.StructureObserver (Finish and Sync both
+// signal it after the join).
+func (b *Batched) OnFinishEnd(t *sched.Task) {
+	b.FlushStep(t)
+}
+
+// OnTaskEnd implements sched.StructureObserver: the task's final flush.
+// The drained batchSpace is recycled for future tasks, localSpace and
+// all — the per-task metadata it holds needs no sweeping because it is
+// step-stamped, and step IDs die with their task (see reset).
+func (b *Batched) OnTaskEnd(t *sched.Task) {
+	slot := t.LocalSlot()
+	bs, ok := (*slot).(*batchSpace)
+	if !ok {
+		return
+	}
+	b.flush(bs, flushStep)
+	*slot = nil
+	b.pool.Put(bs)
+}

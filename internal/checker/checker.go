@@ -35,6 +35,7 @@ import (
 
 	"github.com/taskpar/avd/internal/chaos"
 	"github.com/taskpar/avd/internal/dpst"
+	"github.com/taskpar/avd/internal/obs"
 	"github.com/taskpar/avd/internal/sched"
 )
 
@@ -148,6 +149,15 @@ type Options struct {
 	// gracefully: that location is no longer admitted to the analysis and
 	// its accesses are ignored, counted as drops on the gate.
 	Gate *chaos.Gate
+	// Batch wraps the optimized checker in the step-granular batched
+	// dispatcher: accesses are coalesced per task, deduplicated, and
+	// dispatched at step/lock boundaries with the epoch, lockset, and
+	// filter state read once per batch. Requires the event source to
+	// deliver the structure and lock callbacks (the live scheduler and
+	// the trace replayer both do). Ignored by the basic checker.
+	Batch bool
+	// Hub receives batch-flush observability events; nil is ignored.
+	Hub *obs.Hub
 }
 
 // TaskState is the per-task view the checkers consume: the current step
@@ -195,9 +205,15 @@ type Stats struct {
 	// (epoch-word hits plus offer-once fast-path skips); FilterMisses
 	// counts accesses that consulted the filter and fell through to the
 	// full dispatch. Both are zero when the filter is disabled or for
-	// the basic checker.
+	// the basic checker. Under batched dispatch the same pair counts the
+	// batch deduplicator's skips and full dispatches.
 	FilterHits   int64
 	FilterMisses int64
+	// BatchFlushes counts drained per-task access batches and
+	// BatchedAccesses the accesses dispatched through them; both are zero
+	// unless batched dispatch is enabled.
+	BatchFlushes    int64
+	BatchedAccesses int64
 }
 
 // New creates a checker.
@@ -210,6 +226,9 @@ func New(opts Options) Checker {
 	}
 	if opts.Algorithm == AlgBasic {
 		return newBasic(opts)
+	}
+	if opts.Batch {
+		return newBatched(opts)
 	}
 	return newOptimized(opts)
 }

@@ -456,6 +456,14 @@ func (c *Optimized) space(ts TaskState) *localSpace {
 // newSpace creates a task's local space (the slow path of space, kept
 // out of the Access hot path's inlining footprint).
 func (c *Optimized) newSpace(slot *any) *localSpace {
+	sp := c.makeSpace()
+	*slot = sp
+	return sp
+}
+
+// makeSpace builds a local space without publishing it to a task slot;
+// the batched dispatcher embeds the space in its own per-task state.
+func (c *Optimized) makeSpace() *localSpace {
 	sp := &localSpace{}
 	sp.m.init()
 	if c.noFilter {
@@ -464,8 +472,15 @@ func (c *Optimized) newSpace(slot *any) *localSpace {
 	if c.q.Caching() {
 		sp.par = make(map[uint64]int8)
 	}
-	*slot = sp
 	return sp
+}
+
+// registerCounters adds one task's filter counters to the checker-wide
+// registry summed by Stats. Called once per task (cold).
+func (c *Optimized) registerCounters(ctr *filterCounters) {
+	c.countersMu.Lock()
+	c.counters = append(c.counters, ctr)
+	c.countersMu.Unlock()
 }
 
 // enableFilter ends a task's warm-up: it allocates the filter cache and
@@ -473,9 +488,7 @@ func (c *Optimized) newSpace(slot *any) *localSpace {
 func (c *Optimized) enableFilter(sp *localSpace) {
 	sp.cache = new(filterCache)
 	sp.ctr = &filterCounters{}
-	c.countersMu.Lock()
-	c.counters = append(c.counters, sp.ctr)
-	c.countersMu.Unlock()
+	c.registerCounters(sp.ctr)
 }
 
 // newEntry creates the task's local entry for loc, resolving the
@@ -751,52 +764,27 @@ func (c *Optimized) Access(ts TaskState, loc sched.Loc, write bool) {
 			fe.loc, fe.e, fe.ver, fe.bits, fe.hot = loc, ls, ver, 0, 0
 		}
 	}
-	cell := ls.cell
-	if cell == nil {
-		// The gate refused this location's metadata: the location is not
-		// part of the analysis (graceful degradation). The nil cell is
-		// cached in the local entry, so the refusal costs one shadow
-		// lookup per task, not per access.
+	localRead, localWrite, outcome := c.dispatchEntry(sp, ls, loc, si, locks, write)
+	switch outcome {
+	case dispatchDenied:
 		return
-	}
-
-	localRead := ls.readStep == si
-	localWrite := ls.writeStep == si
-	// Offer-once fast path: a lock-free repeat whose offers and checks
-	// have all happened is a no-op (see the flag documentation). It
-	// backstops the filter on cache collisions and when the filter is
-	// disabled; a skip here also primes the filter word so the next
-	// repeat is answered by the epoch check alone.
-	if len(locks) == 0 {
-		if write {
-			if localWrite && ls.flags&fW != 0 && ls.flags&fWW != 0 &&
-				(!localRead || ls.flags&fRW != 0) {
-				if sp.cache != nil {
-					sp.ctr.hits.Add(1)
-					if fe != nil {
-						if fe.ver != ver {
-							fe.ver, fe.bits = ver, 0
-						}
-						fe.bits |= filtW
-					}
+	case dispatchSkipped:
+		// A fast-path skip also primes the filter word so the next repeat
+		// is answered by the epoch check alone.
+		if sp.cache != nil {
+			sp.ctr.hits.Add(1)
+			if fe != nil {
+				if fe.ver != ver {
+					fe.ver, fe.bits = ver, 0
 				}
-				return
-			}
-		} else {
-			if localRead && ls.flags&fR != 0 && ls.flags&fRR != 0 &&
-				(!localWrite || ls.flags&fWR != 0) {
-				if sp.cache != nil {
-					sp.ctr.hits.Add(1)
-					if fe != nil {
-						if fe.ver != ver {
-							fe.ver, fe.bits = ver, 0
-						}
-						fe.bits |= filtR
-					}
+				if write {
+					fe.bits |= filtW
+				} else {
+					fe.bits |= filtR
 				}
-				return
 			}
 		}
+		return
 	}
 	if sp.cache != nil {
 		sp.ctr.misses.Add(1)
@@ -808,20 +796,6 @@ func (c *Optimized) Access(ts TaskState, loc sched.Loc, write bool) {
 			sp.cache, sp.fstate = nil, filterOff
 		}
 	}
-	// The Figure 6 dispatch, under the cell lock. Each dispatch advances
-	// the cell's provenance clock exactly once.
-	cell.mu.lock()
-	cell.tick++
-	if !localRead && !localWrite {
-		if cell.single[sR1] == dpst.None && cell.single[sW1] == dpst.None {
-			c.handleFirstAccess(sp, cell, ls, si, write, locks)
-		} else {
-			c.handleFirstAccessCurrentTask(sp, loc, cell, ls, si, write, locks)
-		}
-	} else {
-		c.handleNonFirstAccess(sp, loc, cell, ls, si, write, locks, localRead, localWrite)
-	}
-	cell.mu.unlock()
 	if fe == nil {
 		return
 	}
@@ -847,6 +821,71 @@ func (c *Optimized) Access(ts TaskState, loc sched.Loc, write bool) {
 			fe.bits &^= filtW
 		}
 	}
+}
+
+// dispatchEntry outcomes.
+const (
+	// dispatchRan: the full Figure 6 dispatch ran under the cell lock.
+	dispatchRan = iota
+	// dispatchSkipped: the offer-once fast path proved the access a no-op.
+	dispatchSkipped
+	// dispatchDenied: the gate refused the location's metadata; the access
+	// is not part of the analysis.
+	dispatchDenied
+)
+
+// dispatchEntry runs the core of one access — the offer-once fast path
+// and the Figure 6 dispatch — against an already resolved local entry,
+// with the caller supplying the step node and lockset. It is shared by
+// the per-access path (Access, which layers the redundant-access filter
+// on top) and by the batched dispatcher (which replays a step's
+// coalesced accesses under the batch's captured state). localRead and
+// localWrite report whether the access was a repeat of its own type at
+// entry — the fact the filter word and the batch deduplicator key on.
+func (c *Optimized) dispatchEntry(sp *localSpace, ls *localEntry, loc sched.Loc, si dpst.NodeID, locks []uint64, write bool) (localRead, localWrite bool, outcome int) {
+	cell := ls.cell
+	if cell == nil {
+		// The gate refused this location's metadata: the location is not
+		// part of the analysis (graceful degradation). The nil cell is
+		// cached in the local entry, so the refusal costs one shadow
+		// lookup per task, not per access.
+		return false, false, dispatchDenied
+	}
+
+	localRead = ls.readStep == si
+	localWrite = ls.writeStep == si
+	// Offer-once fast path: a lock-free repeat whose offers and checks
+	// have all happened is a no-op (see the flag documentation). It
+	// backstops the filter on cache collisions and when the filter is
+	// disabled.
+	if len(locks) == 0 {
+		if write {
+			if localWrite && ls.flags&fW != 0 && ls.flags&fWW != 0 &&
+				(!localRead || ls.flags&fRW != 0) {
+				return localRead, localWrite, dispatchSkipped
+			}
+		} else {
+			if localRead && ls.flags&fR != 0 && ls.flags&fRR != 0 &&
+				(!localWrite || ls.flags&fWR != 0) {
+				return localRead, localWrite, dispatchSkipped
+			}
+		}
+	}
+	// The Figure 6 dispatch, under the cell lock. Each dispatch advances
+	// the cell's provenance clock exactly once.
+	cell.mu.lock()
+	cell.tick++
+	if !localRead && !localWrite {
+		if cell.single[sR1] == dpst.None && cell.single[sW1] == dpst.None {
+			c.handleFirstAccess(sp, cell, ls, si, write, locks)
+		} else {
+			c.handleFirstAccessCurrentTask(sp, loc, cell, ls, si, write, locks)
+		}
+	} else {
+		c.handleNonFirstAccess(sp, loc, cell, ls, si, write, locks, localRead, localWrite)
+	}
+	cell.mu.unlock()
+	return localRead, localWrite, dispatchRan
 }
 
 // setLocalRead records the step's first read in the local space,

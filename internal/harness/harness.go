@@ -44,6 +44,15 @@ func PrototypeFilter(workers int) Config {
 	return Config{Name: "avd-filter", Opts: avd.Options{Workers: workers, MHP: avd.MHPLabels}}
 }
 
+// PrototypeBatch is the step-granular batching configuration: the
+// filtered label-MHP checker behind the per-task access coalescer,
+// which buffers each step's accesses and dispatches them in one pass
+// per batch — epoch, lockset, and filter state read once per flush
+// instead of once per access.
+func PrototypeBatch(workers int) Config {
+	return Config{Name: "avd-batch", Opts: avd.Options{Workers: workers, MHP: avd.MHPLabels, Batch: true}}
+}
+
 // PrototypeLabels is the label-MHP configuration with the
 // redundant-access filter disabled — the PR 1 baseline, kept as the
 // filter ablation column.
@@ -267,7 +276,11 @@ type Table1Row struct {
 	LCAQueries     int64             `json:"lca_queries"`
 	UniquePercent  float64           `json:"unique_percent"`
 	ViolationCount int64             `json:"violation_count"`
-	Violations     []ViolationRecord `json:"violations,omitempty"`
+	// BatchFlushes/BatchedAccesses describe the access coalescer when
+	// the measurement ran batched (zero and omitted otherwise).
+	BatchFlushes    int64             `json:"batch_flushes,omitempty"`
+	BatchedAccesses int64             `json:"batched_accesses,omitempty"`
+	Violations      []ViolationRecord `json:"violations,omitempty"`
 }
 
 // maxTable1Violations caps the per-kernel violation records embedded in
@@ -288,10 +301,24 @@ type Table1Data struct {
 // nodes, LCA queries, the unique-LCA percentage, and the detected
 // violations with provenance.
 func CollectTable1(workers int, scale float64, reps int) (*Table1Data, error) {
-	sizes := Sizes(scale)
 	// The cached-walk configuration is the one whose unique-LCA column is
 	// meaningful; the default label mode consults no cache.
+	return collectTable1(PrototypeCachedLCA(workers), workers, scale, reps)
+}
+
+// CollectTable1Batched measures Table 1 with the step-granular access
+// coalescer in front of the checker; the characteristic columns must
+// come out identical to CollectTable1 (batching is output-invisible),
+// and the rows additionally carry the flush and batched-access counts.
+func CollectTable1Batched(workers int, scale float64, reps int) (*Table1Data, error) {
 	cfg := PrototypeCachedLCA(workers)
+	cfg.Name += "+batch"
+	cfg.Opts.Batch = true
+	return collectTable1(cfg, workers, scale, reps)
+}
+
+func collectTable1(cfg Config, workers int, scale float64, reps int) (*Table1Data, error) {
+	sizes := Sizes(scale)
 	resolved := workers
 	if resolved <= 0 {
 		resolved = runtime.GOMAXPROCS(0)
@@ -309,13 +336,15 @@ func CollectTable1(workers int, scale float64, reps int) (*Table1Data, error) {
 		}
 		st := m.Report.Stats
 		row := Table1Row{
-			Kernel:         k.Name,
-			N:              m.N,
-			Locations:      st.Locations,
-			DPSTNodes:      st.DPSTNodes,
-			LCAQueries:     st.LCAQueries,
-			UniquePercent:  st.UniquePercent(),
-			ViolationCount: m.Report.ViolationCount,
+			Kernel:          k.Name,
+			N:               m.N,
+			Locations:       st.Locations,
+			DPSTNodes:       st.DPSTNodes,
+			LCAQueries:      st.LCAQueries,
+			UniquePercent:   st.UniquePercent(),
+			ViolationCount:  m.Report.ViolationCount,
+			BatchFlushes:    st.BatchFlushes,
+			BatchedAccesses: st.BatchedAccesses,
 		}
 		for i, v := range m.Report.Violations {
 			if i == maxTable1Violations {
@@ -364,9 +393,16 @@ type FigureResult struct {
 	Slowdown float64 `json:"slowdown"`
 	// FilterHits/FilterMisses are the redundant-access filter counters
 	// of the measured run (omitted for configurations without the
-	// filter).
-	FilterHits   int64 `json:"filter_hits,omitempty"`
-	FilterMisses int64 `json:"filter_misses,omitempty"`
+	// filter), and FilterHitRate is hits/(hits+misses) precomputed for
+	// cross-revision diffing.
+	FilterHits    int64   `json:"filter_hits,omitempty"`
+	FilterMisses  int64   `json:"filter_misses,omitempty"`
+	FilterHitRate float64 `json:"filter_hit_rate,omitempty"`
+	// BatchFlushes/BatchedAccesses describe the access coalescer of the
+	// measured run (omitted for unbatched configurations): drained
+	// batches and the accesses they carried.
+	BatchFlushes    int64 `json:"batch_flushes,omitempty"`
+	BatchedAccesses int64 `json:"batched_accesses,omitempty"`
 }
 
 // FigureData is the machine-readable form of a slowdown figure, suitable
@@ -432,12 +468,19 @@ func figureData(figure int, configs []Config, workers int, scale float64, reps i
 			}
 			sl := m.Seconds / mb.Seconds
 			slowdowns[cfg.Name] = append(slowdowns[cfg.Name], sl)
-			d.Results = append(d.Results, FigureResult{
+			st := m.Report.Stats
+			r := FigureResult{
 				Kernel: k.Name, Config: cfg.Name, N: n,
 				WallNS: int64(m.Seconds * 1e9), Slowdown: sl,
-				FilterHits:   m.Report.Stats.FilterHits,
-				FilterMisses: m.Report.Stats.FilterMisses,
-			})
+				FilterHits:      st.FilterHits,
+				FilterMisses:    st.FilterMisses,
+				BatchFlushes:    st.BatchFlushes,
+				BatchedAccesses: st.BatchedAccesses,
+			}
+			if total := st.FilterHits + st.FilterMisses; total > 0 {
+				r.FilterHitRate = float64(st.FilterHits) / float64(total)
+			}
+			d.Results = append(d.Results, r)
 		}
 	}
 	for name, xs := range slowdowns {
@@ -487,11 +530,13 @@ func RenderFigure(w io.Writer, title string, d *FigureData) {
 	fmt.Fprintln(w)
 }
 
-// Figure13Data measures the filtered prototype, the no-filter and
-// cached-walk ablations, and Velodrome against the baseline.
+// Figure13Data measures the filtered prototype, the batched coalescer,
+// the no-filter and cached-walk ablations, and Velodrome against the
+// baseline.
 func Figure13Data(workers int, scale float64, reps int) (*FigureData, error) {
 	return figureData(13, []Config{
 		PrototypeFilter(workers),
+		PrototypeBatch(workers),
 		PrototypeLabels(workers),
 		PrototypeCachedLCA(workers),
 		Velodrome(workers),

@@ -67,6 +67,12 @@ const (
 	EventSaturation
 	// EventTaskPanic is a recovered task panic.
 	EventTaskPanic
+	// EventBatchFlush is one drained per-task access batch: the batched
+	// dispatcher emptied a step's coalesced accesses into the checker.
+	EventBatchFlush
+	// EventBatchedAccess is one access dispatched through a batch (the
+	// flush's payload size; noted with the batch's delta, not per access).
+	EventBatchedAccess
 	// NumEvents bounds the event kinds.
 	NumEvents
 )
@@ -82,6 +88,10 @@ func (e Event) String() string {
 		return "saturation"
 	case EventTaskPanic:
 		return "task-panic"
+	case EventBatchFlush:
+		return "batch-flush"
+	case EventBatchedAccess:
+		return "batched-access"
 	default:
 		return "event(?)"
 	}
@@ -92,6 +102,10 @@ type Counts struct {
 	Violations int64 `json:"violations"`
 	Drops      int64 `json:"drops"`
 	TaskPanics int64 `json:"task_panics"`
+	// BatchFlushes counts drained per-task access batches.
+	BatchFlushes int64 `json:"batch_flushes"`
+	// BatchedAccesses counts accesses dispatched through batches.
+	BatchedAccesses int64 `json:"batched_accesses"`
 	// Saturated reports whether the saturation event has fired.
 	Saturated bool `json:"saturated"`
 }
@@ -112,6 +126,16 @@ func (h *Hub) Note(e Event, hint uint64) {
 		return
 	}
 	h.counts[e].Add(hint, 1)
+}
+
+// NoteN counts delta occurrences of an event in one atomic add, for
+// producers that amortize their bookkeeping (the batched dispatcher
+// notes a whole flush at once); nil hubs ignore the events.
+func (h *Hub) NoteN(e Event, hint uint64, delta int64) {
+	if h == nil || delta == 0 {
+		return
+	}
+	h.counts[e].Add(hint, delta)
 }
 
 // LatchSaturation marks the hub saturated, counting the saturation
@@ -141,9 +165,11 @@ func (h *Hub) Snapshot() Counts {
 		return Counts{}
 	}
 	return Counts{
-		Violations: h.counts[EventViolation].Load(),
-		Drops:      h.counts[EventDrop].Load(),
-		TaskPanics: h.counts[EventTaskPanic].Load(),
-		Saturated:  h.sat.Load(),
+		Violations:      h.counts[EventViolation].Load(),
+		Drops:           h.counts[EventDrop].Load(),
+		TaskPanics:      h.counts[EventTaskPanic].Load(),
+		BatchFlushes:    h.counts[EventBatchFlush].Load(),
+		BatchedAccesses: h.counts[EventBatchedAccess].Load(),
+		Saturated:       h.sat.Load(),
 	}
 }

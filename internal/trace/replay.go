@@ -86,26 +86,43 @@ func Replay(tr *Trace, tree dpst.Tree, sink Sink, lockSink LockSink) error {
 	root := tree.NewNode(dpst.None, dpst.Finish, 0)
 	tasks := make([]*replayTask, tr.Tasks)
 	tasks[0] = &replayTask{id: 0, tree: tree, parents: []dpst.NodeID{root}, step: dpst.None}
+	// A batching sink needs its windows closed at the same boundaries the
+	// live scheduler signals. Every flush runs before the corresponding
+	// state mutation — in particular before a release pops the lockset
+	// slice in place, which would corrupt the window's captured snapshot.
+	bf, _ := sink.(checker.BatchFlusher)
 	var acq uint64
 	for i, e := range tr.Events {
 		t := tasks[e.Task]
 		switch e.Kind {
 		case KSpawn:
+			if bf != nil {
+				bf.FlushStep(t)
+			}
 			a := tree.NewNode(t.parents[len(t.parents)-1], dpst.Async, t.id)
 			t.newStepRegion()
 			tasks[e.Child] = &replayTask{
 				id: e.Child, tree: tree, parents: []dpst.NodeID{a}, step: dpst.None,
 			}
 		case KFinishBegin:
+			if bf != nil {
+				bf.FlushStep(t)
+			}
 			f := tree.NewNode(t.parents[len(t.parents)-1], dpst.Finish, t.id)
 			t.parents = append(t.parents, f)
 			t.newStepRegion()
 		case KFinishEnd:
+			if bf != nil {
+				bf.FlushStep(t)
+			}
 			t.parents = t.parents[:len(t.parents)-1]
 			t.newStepRegion()
 		case KAccess:
 			sink.Access(t, e.Loc, e.Write)
 		case KAcquire:
+			if bf != nil {
+				bf.FlushLockChange(t)
+			}
 			acq++
 			t.locks = append(t.locks, sched.MakeLockToken(e.Lock, acq))
 			t.lockIDs = append(t.lockIDs, e.Lock)
@@ -114,6 +131,9 @@ func Replay(tr *Trace, tree dpst.Tree, sink Sink, lockSink LockSink) error {
 				lockSink.Acquire(t, LockLoc(e.Lock))
 			}
 		case KRelease:
+			if bf != nil {
+				bf.FlushLockChange(t)
+			}
 			if lockSink != nil {
 				lockSink.Release(t, LockLoc(e.Lock))
 			}
@@ -132,8 +152,20 @@ func Replay(tr *Trace, tree dpst.Tree, sink Sink, lockSink LockSink) error {
 			}
 		case KTaskEnd:
 			// No DPST effect; the join is captured by finish scopes.
+			if bf != nil {
+				bf.FlushStep(t)
+			}
 		case KInject:
 			// Observability annotation only; no structural effect.
+		}
+	}
+	if bf != nil {
+		// Traces need not end every task with KTaskEnd (generated traces
+		// may stop mid-stream); drain whatever is still buffered.
+		for _, t := range tasks {
+			if t != nil {
+				bf.FlushStep(t)
+			}
 		}
 	}
 	return nil

@@ -193,3 +193,30 @@ func TestSnapshotChaosCounters(t *testing.T) {
 		t.Errorf("trace has %d inject annotations, chaos plane injected %d", injects, injected)
 	}
 }
+
+// TestSnapshotBatchCounters checks that the coalescer's flush and
+// batched-access events flow through the live observability fabric: a
+// batched session's Snapshot carries the same totals the final Report
+// computes from the checker's striped counters.
+func TestSnapshotBatchCounters(t *testing.T) {
+	s := avd.NewSession(avd.Options{Workers: 2, Batch: true})
+	defer s.Close()
+	x := s.NewIntVar("X")
+	s.Run(func(tk *avd.Task) {
+		avd.ParallelFor(tk, 0, 64, 4, func(tk *avd.Task, i int) {
+			x.Add(tk, 1)
+		})
+	})
+	snap := s.Snapshot()
+	rep := s.Report()
+	if rep.Stats.BatchFlushes == 0 || rep.Stats.BatchedAccesses == 0 {
+		t.Fatalf("batched run recorded no coalescer activity: %d flushes of %d accesses",
+			rep.Stats.BatchFlushes, rep.Stats.BatchedAccesses)
+	}
+	if snap.Events.BatchFlushes != rep.Stats.BatchFlushes {
+		t.Errorf("snapshot BatchFlushes = %d, Report = %d", snap.Events.BatchFlushes, rep.Stats.BatchFlushes)
+	}
+	if snap.Events.BatchedAccesses != rep.Stats.BatchedAccesses {
+		t.Errorf("snapshot BatchedAccesses = %d, Report = %d", snap.Events.BatchedAccesses, rep.Stats.BatchedAccesses)
+	}
+}

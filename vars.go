@@ -91,6 +91,17 @@ func (v *IntVar) Add(t *Task, d int64) int64 {
 // outside Run, e.g. in assertions).
 func (v *IntVar) Value() int64 { return v.v.Load() }
 
+// SetValue writes the variable without instrumentation. Together with
+// Value and AddValue it is the rewrite target of avd-lint's elision
+// auto-fix: a handle the elision analyzer proves single-step can use
+// these accessors, skipping the checker entirely, without changing the
+// analysis outcome (a single-step handle can never be part of a
+// violation).
+func (v *IntVar) SetValue(x int64) { v.v.Store(x) }
+
+// AddValue performs v = v + d without instrumentation; see SetValue.
+func (v *IntVar) AddValue(d int64) int64 { return v.v.Add(d) }
+
 // FloatVar is an instrumented shared float64.
 type FloatVar struct {
 	loc  Loc
@@ -135,6 +146,18 @@ func (v *FloatVar) Add(t *Task, d float64) float64 {
 
 // Value returns the current value without instrumentation.
 func (v *FloatVar) Value() float64 { return math.Float64frombits(v.v.Load()) }
+
+// SetValue writes the variable without instrumentation (the elision
+// auto-fix target; see IntVar.SetValue).
+func (v *FloatVar) SetValue(x float64) { v.v.Store(math.Float64bits(x)) }
+
+// AddValue performs v = v + d without instrumentation. Like Add it is a
+// load-modify-store, fine for the single-step handles it is meant for.
+func (v *FloatVar) AddValue(d float64) float64 {
+	x := math.Float64frombits(v.v.Load()) + d
+	v.v.Store(math.Float64bits(x))
+	return x
+}
 
 // IntArray is an instrumented array of shared integers; each element is
 // its own location.
@@ -184,6 +207,13 @@ func (a *IntArray) Add(t *Task, i int, d int64) int64 {
 // Value returns element i without instrumentation.
 func (a *IntArray) Value(i int) int64 { return a.data[i].Load() }
 
+// SetValue writes element i without instrumentation (the elision
+// auto-fix target; see IntVar.SetValue).
+func (a *IntArray) SetValue(i int, x int64) { a.data[i].Store(x) }
+
+// AddValue performs element i's v = v + d without instrumentation.
+func (a *IntArray) AddValue(i int, d int64) int64 { return a.data[i].Add(d) }
+
 // FloatArray is an instrumented array of shared float64 values.
 type FloatArray struct {
 	loc0 Loc
@@ -229,3 +259,15 @@ func (a *FloatArray) Add(t *Task, i int, d float64) float64 {
 
 // Value returns element i without instrumentation.
 func (a *FloatArray) Value(i int) float64 { return math.Float64frombits(a.data[i].Load()) }
+
+// SetValue writes element i without instrumentation (the elision
+// auto-fix target; see IntVar.SetValue).
+func (a *FloatArray) SetValue(i int, x float64) { a.data[i].Store(math.Float64bits(x)) }
+
+// AddValue performs element i's v = v + d without instrumentation (a
+// load-modify-store, fine for single-step handles).
+func (a *FloatArray) AddValue(i int, d float64) float64 {
+	x := math.Float64frombits(a.data[i].Load()) + d
+	a.data[i].Store(math.Float64bits(x))
+	return x
+}
