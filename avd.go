@@ -31,7 +31,9 @@
 package avd
 
 import (
+	"context"
 	"fmt"
+	"sync"
 
 	"github.com/taskpar/avd/internal/chaos"
 	"github.com/taskpar/avd/internal/checker"
@@ -532,52 +534,162 @@ func (s *Session) RecordedTrace() *Trace {
 	return s.rec.Trace()
 }
 
+// Typed interruption errors of a context-aware replay
+// (ReplayTraceContext, Replayer.Replay). Both also satisfy errors.Is
+// against the context sentinel they correspond to.
+var (
+	// ErrCanceled reports a replay stopped by caller cancellation; the
+	// Report returned alongside it covers the analyzed prefix.
+	ErrCanceled = trace.ErrCanceled
+	// ErrDeadline reports a replay stopped by its context deadline; the
+	// Report returned alongside it covers the analyzed prefix.
+	ErrDeadline = trace.ErrDeadline
+)
+
 // ReplayTrace re-analyzes a recorded (or generated) trace offline with
 // the checker selected by opts: the DPST is rebuilt from the trace's
 // structural events and every access is fed to the analysis exactly as
 // during a live run. CheckerNone is rejected — there is nothing to
 // replay into.
 func ReplayTrace(tr *Trace, opts Options) (Report, error) {
-	var rep Report
-	tree := dpst.New(opts.Layout)
-	plane := opts.Chaos.plane()
-	gate := opts.gate(plane)
-	setTreeGate(tree, gate)
+	return ReplayTraceContext(context.Background(), tr, opts)
+}
+
+// ReplayTraceContext is ReplayTrace under a context: the replay polls
+// ctx between event batches and stops with ErrCanceled or ErrDeadline
+// when the caller cancels or the deadline passes. On interruption the
+// returned Report still carries the statistics and violations of the
+// analyzed prefix, so deadline-bounded checking degrades to a partial
+// result instead of nothing.
+func ReplayTraceContext(ctx context.Context, tr *Trace, opts Options) (Report, error) {
+	r, err := NewReplayer(opts)
+	if err != nil {
+		return Report{}, err
+	}
+	return r.Replay(ctx, tr)
+}
+
+// Replayer is one offline analysis instance: the DPST, checker, budget
+// gate, and observability hub that ReplayTrace wires internally, held
+// open so a long replay can be watched while it runs. Snapshot is safe
+// to call from any goroutine concurrently with Replay; avd-serverd
+// polls it to serve live per-run statistics. A Replayer analyzes one
+// trace: create a fresh one per replay.
+type Replayer struct {
+	opts   Options
+	tree   dpst.Tree
+	q      *dpst.Query
+	chk    checker.Checker
+	velo   *velodrome.Checker
+	plane  *chaos.Plane
+	gate   *chaos.Gate
+	hub    *obs.Hub
+	used   bool
+	usedMu sync.Mutex
+}
+
+// NewReplayer builds the offline analysis selected by opts without
+// running it. CheckerNone is rejected — there is nothing to replay into.
+func NewReplayer(opts Options) (*Replayer, error) {
+	r := &Replayer{opts: opts, hub: &obs.Hub{}}
+	r.tree = dpst.New(opts.Layout)
+	r.plane = opts.Chaos.plane()
+	r.gate = opts.gate(r.plane)
+	setTreeGate(r.tree, r.gate)
 	switch opts.Checker {
 	case CheckerVelodrome:
-		v := velodrome.New()
-		if err := trace.Replay(tr, tree, v, v); err != nil {
-			return rep, err
-		}
-		fillStats(&rep, nil, v, tree, nil)
+		r.velo = velodrome.New()
 	case CheckerOptimized, CheckerBasic:
 		alg := checker.AlgOptimized
 		if opts.Checker == CheckerBasic {
 			alg = checker.AlgBasic
 		}
-		q := dpst.NewQueryMode(tree, opts.queryMode())
-		q.SetGate(gate)
-		r := checker.NewReporter(opts.ReporterLimit)
-		r.SetMaxViolations(opts.MaxViolations)
-		c := checker.New(checker.Options{
+		r.q = dpst.NewQueryMode(r.tree, opts.queryMode())
+		r.q.SetGate(r.gate)
+		rep := checker.NewReporter(opts.ReporterLimit)
+		rep.SetMaxViolations(opts.MaxViolations)
+		r.chk = checker.New(checker.Options{
 			Algorithm:           alg,
-			Query:               q,
-			Reporter:            r,
+			Query:               r.q,
+			Reporter:            rep,
 			StrictLockChecks:    opts.StrictLockChecks,
 			DisableAccessFilter: opts.DisableAccessFilter,
 			Batch:               opts.Batch && alg == checker.AlgOptimized,
-			Gate:                gate,
+			Hub:                 r.hub,
+			Gate:                r.gate,
 		})
-		if err := trace.Replay(tr, tree, c, nil); err != nil {
-			return rep, err
-		}
-		fillStats(&rep, c, nil, tree, q)
-		rep.Violations = c.Reporter().Violations()
+		rep.SetObserver(func(v Violation) { r.hub.Note(obs.EventViolation, uint64(v.Loc)) })
+		rep.SetDropObserver(func() {
+			r.hub.Note(obs.EventDrop, 0)
+			r.hub.LatchSaturation(0)
+		})
 	default:
-		return rep, fmt.Errorf("avd: ReplayTrace requires an analyzing checker, got %v", opts.Checker)
+		return nil, fmt.Errorf("avd: ReplayTrace requires an analyzing checker, got %v", opts.Checker)
 	}
-	fillGateReport(&rep, gate)
-	return rep, nil
+	if r.gate != nil {
+		r.gate.SetDropObserver(func(site chaos.Site, n int64) {
+			r.hub.Note(obs.EventDrop, uint64(site))
+			r.hub.LatchSaturation(0)
+		})
+	}
+	return r, nil
+}
+
+// Replay feeds tr through the analysis and returns its Report. It may
+// be called once per Replayer; ctx cancellation and deadlines interrupt
+// the replay with ErrCanceled/ErrDeadline while still returning the
+// partial Report of the analyzed prefix.
+func (r *Replayer) Replay(ctx context.Context, tr *Trace) (Report, error) {
+	r.usedMu.Lock()
+	if r.used {
+		r.usedMu.Unlock()
+		return Report{}, fmt.Errorf("avd: Replayer.Replay called twice (a Replayer analyzes one trace)")
+	}
+	r.used = true
+	r.usedMu.Unlock()
+	var err error
+	if r.velo != nil {
+		err = trace.ReplayContext(ctx, tr, r.tree, r.velo, r.velo)
+	} else {
+		err = trace.ReplayContext(ctx, tr, r.tree, r.chk, nil)
+	}
+	rep := r.report()
+	return rep, err
+}
+
+// report assembles the current Report of the analysis (final after
+// Replay returns, partial while it runs).
+func (r *Replayer) report() Report {
+	var rep Report
+	fillStats(&rep, r.chk, r.velo, r.tree, r.q)
+	if r.chk != nil {
+		rep.Violations = r.chk.Reporter().Violations()
+	}
+	fillGateReport(&rep, r.gate)
+	return rep
+}
+
+// Snapshot returns the live analysis view of the replay, with the same
+// concurrency guarantees as Session.Snapshot: safe from any goroutine
+// while Replay runs, counters monotone snapshot to snapshot.
+func (r *Replayer) Snapshot() Snapshot {
+	var rep Report
+	fillStats(&rep, r.chk, r.velo, r.tree, r.q)
+	fillGateReport(&rep, r.gate)
+	ev := r.hub.Snapshot()
+	if ev.Saturated {
+		rep.Saturated = true
+	}
+	return Snapshot{
+		Stats:          rep.Stats,
+		ViolationCount: rep.ViolationCount,
+		Cycles:         rep.Cycles,
+		Saturated:      rep.Saturated,
+		Drops:          rep.Drops,
+		MemoryUsed:     rep.MemoryUsed,
+		Chaos:          r.plane.Stats(),
+		Events:         ev,
+	}
 }
 
 // fillStats assembles the numeric analysis statistics shared by Report,

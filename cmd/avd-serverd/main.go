@@ -1,0 +1,121 @@
+// Command avd-serverd is the long-running trace-checking service: it
+// ingests recorded execution traces over HTTP, checks each one on a
+// sharded worker pool under per-run deadlines and memory budgets, and
+// serves the results through a check-run lifecycle API (SUBMITTED →
+// RUNNING → DONE/FAILED/CANCELED).
+//
+// Usage:
+//
+//	avd-serverd [-addr :8056] [-shards N] [-queue-depth N]
+//	            [-max-body-bytes N] [-deadline D] [-max-deadline D]
+//	            [-attempts N] [-backoff D] [-budget N] [-max-violations N]
+//	            [-max-runs N] [-drain-timeout D]
+//	            [-chaos-seed N] [-chaos-worker-crash P] [-chaos-admit-reject P]
+//
+// Submit a trace and poll its lifecycle:
+//
+//	curl -s -XPOST --data-binary @trace.json localhost:8056/v1/checkruns
+//	curl -s localhost:8056/v1/checkruns/1
+//	curl -s localhost:8056/v1/checkruns/1/report
+//
+// SIGINT/SIGTERM drain gracefully: admission stops with 503, in-flight
+// runs get -drain-timeout to finish, stragglers are canceled, and the
+// process exits with every run in a terminal state. /debug/avd carries
+// live server gauges and per-run analysis snapshots; /debug/vars the
+// standard expvar view of the same metrics.
+package main
+
+import (
+	"context"
+	"expvar"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/taskpar/avd/internal/chaos"
+	"github.com/taskpar/avd/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8056", "listen address")
+	shards := flag.Int("shards", 0, "worker shards (0 = min(GOMAXPROCS, 8))")
+	queueDepth := flag.Int("queue-depth", 0, "pending runs per shard before 429 (0 = 64)")
+	maxBody := flag.Int64("max-body-bytes", 0, "max upload size in bytes (0 = 32 MiB)")
+	deadline := flag.Duration("deadline", 0, "default per-run deadline (0 = 30s)")
+	maxDeadline := flag.Duration("max-deadline", 0, "cap on client-requested deadlines (0 = 5m)")
+	attempts := flag.Int("attempts", 0, "max executions of a run under transient failures (0 = 3)")
+	backoff := flag.Duration("backoff", 0, "base retry backoff (0 = 25ms)")
+	budget := flag.Int64("budget", 0, "per-run analysis memory budget in bytes (0 = unlimited)")
+	maxViolations := flag.Int64("max-violations", 0, "per-run violation cap (0 = uncapped)")
+	maxRuns := flag.Int("max-runs", 0, "retained-run registry bound (0 = 4096)")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful-drain deadline on SIGTERM")
+	chaosSeed := flag.Int64("chaos-seed", 1, "chaos decision-stream seed")
+	chaosCrash := flag.Float64("chaos-worker-crash", 0, "probability a run attempt's worker crashes (testing)")
+	chaosReject := flag.Float64("chaos-admit-reject", 0, "probability an admission is rejected as overflow (testing)")
+	flag.Parse()
+
+	svc := server.New(server.Config{
+		Shards:          *shards,
+		QueueDepth:      *queueDepth,
+		MaxBodyBytes:    *maxBody,
+		DefaultDeadline: *deadline,
+		MaxDeadline:     *maxDeadline,
+		MaxAttempts:     *attempts,
+		RetryBackoff:    *backoff,
+		MemoryBudget:    *budget,
+		MaxViolations:   *maxViolations,
+		MaxRuns:         *maxRuns,
+		Chaos: chaos.Config{
+			Seed:            *chaosSeed,
+			WorkerCrashProb: *chaosCrash,
+			AdmitRejectProb: *chaosReject,
+		},
+	})
+	expvar.Publish("avd-serverd", expvar.Func(func() any { return svc.Metrics() }))
+
+	mux := http.NewServeMux()
+	mux.Handle("/", svc.Handler())
+	mux.Handle("GET /debug/vars", expvar.Handler())
+	srv := &http.Server{
+		Addr:    *addr,
+		Handler: mux,
+		// Header reads are bounded independently of uploads, so a client
+		// that never finishes its request line cannot pin a connection.
+		ReadHeaderTimeout: 5 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	log.Printf("avd-serverd: listening on %s", *addr)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		log.Fatalf("avd-serverd: %v", err)
+	case sig := <-sigc:
+		log.Printf("avd-serverd: %v: draining (deadline %v)", sig, *drainTimeout)
+	}
+
+	// Drain the run pipeline first — clients can still poll statuses —
+	// then stop the HTTP listener.
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := svc.Shutdown(ctx); err != nil {
+		log.Printf("avd-serverd: drain deadline passed, stragglers canceled (%v)", err)
+	}
+	hctx, hcancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer hcancel()
+	if err := srv.Shutdown(hctx); err != nil {
+		log.Printf("avd-serverd: http shutdown: %v", err)
+	}
+	m := svc.Metrics()
+	fmt.Printf("avd-serverd: drained: %d done, %d failed, %d canceled (%d admitted)\n",
+		m.Done, m.Failed, m.Canceled, m.Admitted)
+}

@@ -7,7 +7,7 @@
 // Usage:
 //
 //	avd-trace -gen [-steps N] [-locations N] [-locks N] [-seed N] [-o file]
-//	avd-trace -check [-algorithm optimized|basic|velodrome] [-i file]
+//	avd-trace -check [-algorithm optimized|basic|velodrome] [-i file] [-max-trace-bytes N]
 //	avd-trace -selfcheck [-trials N] [-seed N]
 package main
 
@@ -40,6 +40,7 @@ func main() {
 	strict := flag.Bool("strict", false, "enable the strict-lock extension (and compare against the full oracle in -selfcheck)")
 	in := flag.String("i", "-", "input trace file (- = stdin)")
 	out := flag.String("o", "-", "output trace file (- = stdout)")
+	maxBytes := flag.Int64("max-trace-bytes", 256<<20, "refuse input traces larger than this many encoded bytes (0 = unlimited)")
 	flag.Parse()
 
 	var err error
@@ -47,7 +48,7 @@ func main() {
 	case *gen:
 		err = runGen(*steps, *locations, *locks, *lockProb, *seed, *out)
 	case *check:
-		err = runCheck(*algorithm, *in, *strict)
+		err = runCheck(*algorithm, *in, *strict, *maxBytes)
 	case *selfcheck:
 		err = runSelfcheck(*trials, *steps, *locations, *locks, *lockProb, *seed, *strict)
 	default:
@@ -88,7 +89,7 @@ func runGen(steps, locations, locks int, lockProb float64, seed int64, out strin
 	return tr.Encode(w)
 }
 
-func runCheck(algorithm, in string, strict bool) error {
+func runCheck(algorithm, in string, strict bool, maxBytes int64) error {
 	r := io.Reader(os.Stdin)
 	if in != "-" {
 		f, err := os.Open(in)
@@ -98,7 +99,10 @@ func runCheck(algorithm, in string, strict bool) error {
 		defer f.Close()
 		r = f
 	}
-	tr, err := trace.Decode(r)
+	// The input is untrusted: the size cap rejects oversized files
+	// before the decoder allocates for their claimed contents, and
+	// truncated files fail with a clean diagnostic instead of a panic.
+	tr, err := trace.DecodeLimited(r, maxBytes)
 	if err != nil {
 		return err
 	}

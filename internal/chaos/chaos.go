@@ -74,6 +74,12 @@ const (
 	FaultDelay
 	// FaultPanic is an injected task panic.
 	FaultPanic
+	// FaultWorkerCrash is an injected crash of a service worker mid
+	// check-run (avd-serverd's retry path).
+	FaultWorkerCrash
+	// FaultAdmitReject is an injected admission rejection: a service
+	// queue behaving as if it had overflowed.
+	FaultAdmitReject
 )
 
 // String names the fault.
@@ -85,6 +91,10 @@ func (f Fault) String() string {
 		return "delay"
 	case FaultPanic:
 		return "panic"
+	case FaultWorkerCrash:
+		return "worker-crash"
+	case FaultAdmitReject:
+		return "admit-reject"
 	default:
 		return fmt.Sprintf("fault(%d)", uint8(f))
 	}
@@ -110,6 +120,15 @@ type Config struct {
 	PanicProb float64
 	// AllocFailProb is the probability a gated allocation is denied.
 	AllocFailProb float64
+	// WorkerCrashProb is the probability a service worker crashes while
+	// executing one check-run attempt (avd-serverd). The decision is
+	// deterministic in (seed, run, attempt), so a crashed attempt's
+	// retry draws afresh and a bounded retry loop converges.
+	WorkerCrashProb float64
+	// AdmitRejectProb is the probability a service admission is rejected
+	// as if the queue had overflowed, exercising the client-visible
+	// backpressure path without needing real overload.
+	AdmitRejectProb float64
 }
 
 // InjectedPanic is the value carried by a chaos-injected task panic, so
@@ -134,12 +153,17 @@ type Plane struct {
 	delayThr   uint64
 	panicThr   uint64
 	allocThr   uint64
+	crashThr   uint64
+	rejectThr  uint64
 	maxDelay   int
 	allocSeq   [numSites]atomic.Uint64
+	rejectSeq  atomic.Uint64
 	steals     atomic.Int64
 	delays     atomic.Int64
 	panics     atomic.Int64
 	allocFails atomic.Int64
+	crashes    atomic.Int64
+	rejects    atomic.Int64
 }
 
 // PlaneStats counts the faults a plane has injected so far.
@@ -148,12 +172,15 @@ type PlaneStats struct {
 	InjectedDelays int64
 	InjectedPanics int64
 	FailedAllocs   int64
+	WorkerCrashes  int64
+	AdmitRejects   int64
 }
 
 // New creates a plane from cfg; nil is returned for the zero Config so
 // an unset configuration costs nothing at the hook sites.
 func New(cfg Config) *Plane {
-	if cfg.StealProb == 0 && cfg.DelayProb == 0 && cfg.PanicProb == 0 && cfg.AllocFailProb == 0 {
+	if cfg.StealProb == 0 && cfg.DelayProb == 0 && cfg.PanicProb == 0 &&
+		cfg.AllocFailProb == 0 && cfg.WorkerCrashProb == 0 && cfg.AdmitRejectProb == 0 {
 		return nil
 	}
 	maxDelay := cfg.MaxDelaySpins
@@ -161,12 +188,14 @@ func New(cfg Config) *Plane {
 		maxDelay = 64
 	}
 	return &Plane{
-		seed:     mix(uint64(cfg.Seed) ^ 0x9e3779b97f4a7c15),
-		stealThr: threshold(cfg.StealProb),
-		delayThr: threshold(cfg.DelayProb),
-		panicThr: threshold(cfg.PanicProb),
-		allocThr: threshold(cfg.AllocFailProb),
-		maxDelay: maxDelay,
+		seed:      mix(uint64(cfg.Seed) ^ 0x9e3779b97f4a7c15),
+		stealThr:  threshold(cfg.StealProb),
+		delayThr:  threshold(cfg.DelayProb),
+		panicThr:  threshold(cfg.PanicProb),
+		allocThr:  threshold(cfg.AllocFailProb),
+		crashThr:  threshold(cfg.WorkerCrashProb),
+		rejectThr: threshold(cfg.AdmitRejectProb),
+		maxDelay:  maxDelay,
 	}
 }
 
@@ -202,10 +231,12 @@ func (p *Plane) decide(salt, ident uint64, thr uint64) bool {
 
 // Decision-stream salts, arbitrary distinct constants.
 const (
-	saltSteal uint64 = 0x5354454154
-	saltDelay uint64 = 0x44454c4159
-	saltPanic uint64 = 0x50414e4943
-	saltAlloc uint64 = 0x414c4c4f43
+	saltSteal  uint64 = 0x5354454154
+	saltDelay  uint64 = 0x44454c4159
+	saltPanic  uint64 = 0x50414e4943
+	saltAlloc  uint64 = 0x414c4c4f43
+	saltCrash  uint64 = 0x4352415348
+	saltReject uint64 = 0x52454a4354
 )
 
 // ForceSteal decides whether the seq-th spawn of the given task is
@@ -263,6 +294,36 @@ func (p *Plane) AllocFail(site Site) bool {
 	return false
 }
 
+// CrashWorker decides whether the attempt-th execution of the given
+// check-run crashes its service worker. Pure in (seed, run, attempt):
+// the same run retried on a later attempt draws a fresh decision, so a
+// retry loop with enough attempts converges deterministically.
+func (p *Plane) CrashWorker(run int64, attempt int) bool {
+	if p == nil {
+		return false
+	}
+	if p.decide(saltCrash, uint64(run)<<16^uint64(uint32(attempt)), p.crashThr) {
+		p.crashes.Add(1)
+		return true
+	}
+	return false
+}
+
+// RejectAdmit decides whether the next service admission is rejected as
+// if the queue had overflowed. The decision stream is deterministic in
+// (seed, n) where n is the admission ordinal.
+func (p *Plane) RejectAdmit() bool {
+	if p == nil || p.rejectThr == 0 {
+		return false
+	}
+	n := p.rejectSeq.Add(1)
+	if p.decide(saltReject, n, p.rejectThr) {
+		p.rejects.Add(1)
+		return true
+	}
+	return false
+}
+
 // Stats returns the injected-fault counters.
 func (p *Plane) Stats() PlaneStats {
 	if p == nil {
@@ -273,5 +334,7 @@ func (p *Plane) Stats() PlaneStats {
 		InjectedDelays: p.delays.Load(),
 		InjectedPanics: p.panics.Load(),
 		FailedAllocs:   p.allocFails.Load(),
+		WorkerCrashes:  p.crashes.Load(),
+		AdmitRejects:   p.rejects.Load(),
 	}
 }

@@ -1,0 +1,88 @@
+package chaos
+
+import "testing"
+
+// TestCrashWorkerDeterministic: the worker-crash stream is a pure
+// function of (seed, run, attempt) — two planes with the same seed
+// agree on every decision, and a different seed diverges somewhere.
+func TestCrashWorkerDeterministic(t *testing.T) {
+	a := New(Config{Seed: 9, WorkerCrashProb: 0.5})
+	b := New(Config{Seed: 9, WorkerCrashProb: 0.5})
+	c := New(Config{Seed: 10, WorkerCrashProb: 0.5})
+	diverged := false
+	for run := int64(1); run <= 64; run++ {
+		for attempt := 1; attempt <= 4; attempt++ {
+			if a.CrashWorker(run, attempt) != b.CrashWorker(run, attempt) {
+				t.Fatalf("same seed diverged at run %d attempt %d", run, attempt)
+			}
+			if a.CrashWorker(run, attempt) != c.CrashWorker(run, attempt) {
+				diverged = true
+			}
+		}
+	}
+	if !diverged {
+		t.Fatalf("seeds 9 and 10 agree on all 256 crash decisions")
+	}
+	if a.Stats().WorkerCrashes == 0 {
+		t.Fatalf("p=0.5 injected no crashes over 512 draws")
+	}
+}
+
+// TestCrashWorkerFreshDrawPerAttempt: at p<1, a run that crashed on one
+// attempt must not be doomed on all of them — some run in the window
+// crashes first and then passes, so retries can converge.
+func TestCrashWorkerFreshDrawPerAttempt(t *testing.T) {
+	p := New(Config{Seed: 1, WorkerCrashProb: 0.5})
+	recovered := false
+	for run := int64(1); run <= 128; run++ {
+		if p.CrashWorker(run, 1) && !p.CrashWorker(run, 2) {
+			recovered = true
+			break
+		}
+	}
+	if !recovered {
+		t.Fatalf("no run recovered on its second attempt at p=0.5")
+	}
+}
+
+// TestCrashWorkerExtremes: p=1 always crashes, p=0 (and the nil plane)
+// never does.
+func TestCrashWorkerExtremes(t *testing.T) {
+	always := New(Config{Seed: 3, WorkerCrashProb: 1})
+	never := New(Config{Seed: 3, DelayProb: 0.5}) // non-nil plane, crash off
+	var nilPlane *Plane
+	for run := int64(1); run <= 32; run++ {
+		if !always.CrashWorker(run, 1) {
+			t.Fatalf("p=1 spared run %d", run)
+		}
+		if never.CrashWorker(run, 1) || nilPlane.CrashWorker(run, 1) {
+			t.Fatalf("crash injected with the fault disabled")
+		}
+	}
+	if nilPlane.RejectAdmit() {
+		t.Fatalf("nil plane rejected an admission")
+	}
+}
+
+// TestRejectAdmitOrdinalStream: admissions draw an ordinal stream — a
+// fresh same-seeded plane replays the identical accept/reject sequence.
+func TestRejectAdmitOrdinalStream(t *testing.T) {
+	a := New(Config{Seed: 5, AdmitRejectProb: 0.5})
+	b := New(Config{Seed: 5, AdmitRejectProb: 0.5})
+	rejects := 0
+	for i := 0; i < 256; i++ {
+		ra, rb := a.RejectAdmit(), b.RejectAdmit()
+		if ra != rb {
+			t.Fatalf("same seed diverged at admission %d", i)
+		}
+		if ra {
+			rejects++
+		}
+	}
+	if rejects == 0 || rejects == 256 {
+		t.Fatalf("p=0.5 rejected %d/256 admissions", rejects)
+	}
+	if got := a.Stats().AdmitRejects; got != int64(rejects) {
+		t.Fatalf("stats counted %d rejects, saw %d", got, rejects)
+	}
+}

@@ -1,0 +1,34 @@
+package harness
+
+import (
+	"fmt"
+
+	avd "github.com/taskpar/avd"
+	"github.com/taskpar/avd/internal/bench"
+)
+
+// RecordKernelTrace runs kernel k once at size n under the prototype
+// configuration with trace recording enabled and returns the recorded
+// trace. This is the service-shaped workload generator: where the
+// sptest generator produces small synthetic programs, a recorded
+// kernel run is a realistic avd-serverd payload — thousands of events,
+// parallel-for structure, real lock traffic — for integration tests
+// and demos of the trace-checking service.
+func RecordKernelTrace(k bench.Kernel, workers, n int) (*avd.Trace, error) {
+	opts := Prototype(workers).Opts
+	opts.RecordTrace = true
+	s := avd.NewSession(opts)
+	defer s.Close()
+	sum := k.Run(s, n)
+	if err := k.Check(n, sum); err != nil {
+		return nil, fmt.Errorf("%s while recording: %w", k.Name, err)
+	}
+	tr := s.RecordedTrace()
+	if tr == nil {
+		return nil, fmt.Errorf("%s: no trace recorded", k.Name)
+	}
+	if err := tr.Validate(); err != nil {
+		return nil, fmt.Errorf("%s: recorded trace invalid: %w", k.Name, err)
+	}
+	return tr, nil
+}

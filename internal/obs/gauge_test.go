@@ -1,0 +1,51 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestGaugeLevelAndWatermark(t *testing.T) {
+	var g Gauge
+	g.Add(3)
+	g.Add(2)
+	g.Add(-4)
+	if got := g.Load(); got != 1 {
+		t.Fatalf("level %d, want 1", got)
+	}
+	if got := g.Max(); got != 5 {
+		t.Fatalf("watermark %d, want 5", got)
+	}
+	// The watermark never moves down.
+	g.Add(-1)
+	if got := g.Max(); got != 5 {
+		t.Fatalf("watermark dropped to %d", got)
+	}
+}
+
+// TestGaugeConcurrent hammers one gauge from many goroutines: the level
+// returns to zero when every Add is balanced, and the watermark is at
+// least any single goroutine's peak and at most the theoretical sum.
+func TestGaugeConcurrent(t *testing.T) {
+	var g Gauge
+	const goroutines = 8
+	const per = 1000
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < per; j++ {
+				g.Add(1)
+				g.Add(-1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := g.Load(); got != 0 {
+		t.Fatalf("balanced adds left level %d", got)
+	}
+	if max := g.Max(); max < 1 || max > goroutines {
+		t.Fatalf("watermark %d outside [1, %d]", max, goroutines)
+	}
+}

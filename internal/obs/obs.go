@@ -52,6 +52,35 @@ func (c *Striped) Load() int64 {
 	return total
 }
 
+// Gauge is a level rather than a count: a value that rises and falls
+// (queue depth, in-flight runs) with a latched high watermark. Unlike
+// Striped it is a single atomic word — gauges are bumped on admission
+// and completion paths, not per-access hot loops, so contention is not
+// a concern and an exact instantaneous read is worth more than shards.
+// The zero value is ready to use.
+type Gauge struct {
+	v   atomic.Int64
+	max atomic.Int64
+}
+
+// Add moves the gauge by delta and returns the new level, updating the
+// high watermark when the level rises past it.
+func (g *Gauge) Add(delta int64) int64 {
+	n := g.v.Add(delta)
+	for {
+		m := g.max.Load()
+		if n <= m || g.max.CompareAndSwap(m, n) {
+			return n
+		}
+	}
+}
+
+// Load returns the current level.
+func (g *Gauge) Load() int64 { return g.v.Load() }
+
+// Max returns the high watermark of the level.
+func (g *Gauge) Max() int64 { return g.max.Load() }
+
 // Event enumerates the observable event kinds of a session.
 type Event uint8
 

@@ -1,0 +1,139 @@
+package server_test
+
+import (
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/taskpar/avd/internal/chaos"
+	"github.com/taskpar/avd/internal/server"
+)
+
+// TestChaosWorkerCrashRetriesToDone runs a fleet of submissions under a
+// heavy (but sub-certain) injected crash rate and verifies the core
+// robustness invariants: the server never dies, every admitted run
+// reaches a terminal state, crashes are retried (some runs succeed
+// after retries), and runs that exhaust their attempts FAIL with the
+// worker-crash finding rather than hanging.
+func TestChaosWorkerCrashRetriesToDone(t *testing.T) {
+	_, body := genTrace(t, 4)
+	svc, ts := testServer(t, server.Config{
+		Shards:       2,
+		QueueDepth:   64,
+		MaxAttempts:  3,
+		RetryBackoff: time.Millisecond,
+		Chaos:        chaos.Config{Seed: 7, WorkerCrashProb: 0.5},
+	})
+
+	const n = 32
+	var ids []int64
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, resp := submit(t, ts, body, "")
+			if resp.StatusCode != http.StatusAccepted {
+				t.Errorf("submit: status %d", resp.StatusCode)
+				return
+			}
+			mu.Lock()
+			ids = append(ids, v.ID)
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+
+	done, failed := 0, 0
+	for _, id := range ids {
+		v := poll(t, ts, id, 30*time.Second)
+		switch v.Status {
+		case server.StatusDone:
+			done++
+		case server.StatusFailed:
+			failed++
+			found := false
+			for _, r := range v.Results {
+				if r.Code == server.CodeWorkerCrash && r.Status == server.ResultError {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("run %d FAILED without worker-crash finding: %+v", id, v.Results)
+			}
+		default:
+			t.Errorf("run %d terminal state %s", id, v.Status)
+		}
+	}
+	// At p=0.5 and 3 attempts, P(all fail) = 1/8 per run: among 32 runs
+	// both outcomes occur with near-certainty, and the seed is fixed.
+	if done == 0 {
+		t.Fatalf("no run survived the crash storm (%d failed)", failed)
+	}
+	m := svc.Metrics()
+	if m.WorkerPanics == 0 || m.Retries == 0 {
+		t.Fatalf("no crashes/retries recorded under WorkerCrashProb=0.5: %+v", m)
+	}
+	if m.Done+m.Failed != int64(len(ids)) {
+		t.Fatalf("terminal accounting off: %+v vs %d runs", m, len(ids))
+	}
+	if cs := svc.ChaosStats(); cs.WorkerCrashes != m.WorkerPanics {
+		t.Fatalf("chaos plane counted %d crashes, metrics %d", cs.WorkerCrashes, m.WorkerPanics)
+	}
+}
+
+// TestChaosAdmitReject: with injected queue overflow at p=1 every
+// admission answers 429 with Retry-After, nothing is registered, and
+// the injected rejections are distinguishable in the metrics.
+func TestChaosAdmitReject(t *testing.T) {
+	_, body := genTrace(t, 4)
+	svc, ts := testServer(t, server.Config{
+		Chaos: chaos.Config{Seed: 3, AdmitRejectProb: 1},
+	})
+	for i := 0; i < 3; i++ {
+		_, resp := submit(t, ts, body, "")
+		if resp.StatusCode != http.StatusTooManyRequests {
+			t.Fatalf("submit %d: status %d, want 429", i, resp.StatusCode)
+		}
+		if resp.Header.Get("Retry-After") == "" {
+			t.Fatalf("injected 429 without Retry-After")
+		}
+	}
+	m := svc.Metrics()
+	if m.Admitted != 0 {
+		t.Fatalf("injected rejection admitted runs: %+v", m)
+	}
+	if m.RejectedInjected != 3 || m.RejectedQueueFull != 3 {
+		t.Fatalf("rejection accounting: %+v", m)
+	}
+	if cs := svc.ChaosStats(); cs.AdmitRejects != 3 {
+		t.Fatalf("chaos plane counted %d admit rejects", cs.AdmitRejects)
+	}
+}
+
+// TestPoisonedRunContained: a run whose analysis panics must fail alone;
+// the worker survives to run the next trace on the same shard.
+func TestPoisonedRunContained(t *testing.T) {
+	_, body := genTrace(t, 4)
+	_, ts := testServer(t, server.Config{
+		Shards:       1,
+		MaxAttempts:  2,
+		RetryBackoff: time.Millisecond,
+		Chaos:        chaosAllCrash(),
+	})
+	v1, _ := submit(t, ts, body, "")
+	if got := poll(t, ts, v1.ID, 10*time.Second); got.Status != server.StatusFailed {
+		t.Fatalf("crash-looped run finished %s, want FAILED", got.Status)
+	}
+	// Same shard, same worker goroutine — the next run must still be
+	// picked up (it too will fail under p=1, but it must terminate).
+	v2, resp := submit(t, ts, body, "")
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("post-poison submit: %d", resp.StatusCode)
+	}
+	if got := poll(t, ts, v2.ID, 10*time.Second); !got.Status.Terminal() {
+		t.Fatalf("worker died after poisoned run: %s", got.Status)
+	}
+}

@@ -1,0 +1,127 @@
+package server_test
+
+import (
+	"context"
+	"net/http"
+	"testing"
+	"time"
+
+	"github.com/taskpar/avd/internal/server"
+)
+
+// TestGracefulDrain checks the clean half of shutdown: with time on the
+// clock, queued and running work is allowed to finish, and after
+// Shutdown returns no run is left SUBMITTED or RUNNING.
+func TestGracefulDrain(t *testing.T) {
+	_, body := genTrace(t, 4)
+	svc, ts := testServer(t, server.Config{Shards: 2})
+
+	var ids []int64
+	for i := 0; i < 6; i++ {
+		v, resp := submit(t, ts, body, "")
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("submit %d: status %d", i, resp.StatusCode)
+		}
+		ids = append(ids, v.ID)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := svc.Shutdown(ctx); err != nil {
+		t.Fatalf("drain within deadline returned %v", err)
+	}
+	for _, id := range ids {
+		run, ok := svc.Get(id)
+		if !ok {
+			t.Fatalf("run %d vanished", id)
+		}
+		if st := run.Status(); st != server.StatusDone {
+			t.Fatalf("run %d drained to %s, want DONE", id, st)
+		}
+	}
+
+	// Admission after drain begins is refused with 503 + Retry-After.
+	_, resp := submit(t, ts, body, "")
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("submit while draining: status %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatalf("503 without Retry-After")
+	}
+	if code, _ := getBody(t, ts.URL+"/healthz"); code != http.StatusServiceUnavailable {
+		t.Fatalf("healthz while draining: %d", code)
+	}
+	// Polling still works after drain: lifecycle state stays queryable.
+	if got := poll(t, ts, ids[0], time.Second); got.Status != server.StatusDone {
+		t.Fatalf("post-drain poll: %s", got.Status)
+	}
+}
+
+// TestDrainDeadlineCancelsStragglers checks the forced half: when the
+// drain deadline passes with runs still queued behind a crash-looping
+// worker, every one of them is canceled — none left SUBMITTED or
+// RUNNING — and Shutdown still returns.
+func TestDrainDeadlineCancelsStragglers(t *testing.T) {
+	_, body := genTrace(t, 4)
+	svc, ts := testServer(t, server.Config{
+		Shards:       1,
+		QueueDepth:   8,
+		MaxAttempts:  1 << 20,
+		RetryBackoff: 50 * time.Millisecond,
+		Chaos:        chaosAllCrash(),
+	})
+
+	var ids []int64
+	for i := 0; i < 4; i++ {
+		v, resp := submit(t, ts, body, "")
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("submit %d: status %d", i, resp.StatusCode)
+		}
+		ids = append(ids, v.ID)
+	}
+	waitStatus(t, ts, ids[0], server.StatusRunning, 5*time.Second)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 150*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err := svc.Shutdown(ctx)
+	if err == nil {
+		t.Fatalf("crash-looping drain finished cleanly?")
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("shutdown took %v after its 150ms deadline", elapsed)
+	}
+	for _, id := range ids {
+		run, ok := svc.Get(id)
+		if !ok {
+			t.Fatalf("run %d vanished", id)
+		}
+		st := run.Status()
+		if !st.Terminal() {
+			t.Fatalf("run %d left %s after drain", id, st)
+		}
+		if st != server.StatusCanceled {
+			t.Fatalf("run %d drained to %s, want CANCELED", id, st)
+		}
+	}
+	if m := svc.Metrics(); m.Canceled != int64(len(ids)) {
+		t.Fatalf("canceled metric %d, want %d", m.Canceled, len(ids))
+	}
+}
+
+// TestShutdownIdempotent: a second Shutdown (the signal handler may race
+// the listener error path) must not panic on re-closing queues.
+func TestShutdownIdempotent(t *testing.T) {
+	svc := server.New(server.Config{})
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	if err := svc.Shutdown(ctx); err != nil {
+		t.Fatalf("first shutdown: %v", err)
+	}
+	if err := svc.Shutdown(ctx); err != nil {
+		t.Fatalf("second shutdown: %v", err)
+	}
+	if !svc.Draining() {
+		t.Fatalf("not draining after shutdown")
+	}
+}

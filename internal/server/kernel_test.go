@@ -1,0 +1,54 @@
+package server_test
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"testing"
+	"time"
+
+	avd "github.com/taskpar/avd"
+	"github.com/taskpar/avd/internal/bench"
+	"github.com/taskpar/avd/internal/harness"
+	"github.com/taskpar/avd/internal/server"
+)
+
+// TestKernelTraceThroughService pushes a realistic payload — a recorded
+// benchmark-kernel run, thousands of events with parallel-for structure
+// — through the full service path and holds the acceptance anchor: the
+// served report is byte-identical to offline replay of the same trace.
+func TestKernelTraceThroughService(t *testing.T) {
+	k, err := bench.ByName("sort")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := harness.RecordKernelTrace(k, 2, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tr.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	_, ts := testServer(t, server.Config{})
+	v, resp := submit(t, ts, buf.Bytes(), "")
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: status %d", resp.StatusCode)
+	}
+	final := poll(t, ts, v.ID, 30*time.Second)
+	if final.Status != server.StatusDone {
+		t.Fatalf("kernel run finished %s (err %q)", final.Status, final.Error)
+	}
+
+	_, got := getBody(t, fmt.Sprintf("%s/v1/checkruns/%d/report", ts.URL, v.ID))
+	rep, err := avd.ReplayTrace(tr, avd.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want bytes.Buffer
+	server.RenderReport(&want, rep)
+	if got != want.String() {
+		t.Fatalf("kernel trace: server report differs from offline replay")
+	}
+}

@@ -1,0 +1,20 @@
+package server
+
+import (
+	"fmt"
+	"io"
+
+	avd "github.com/taskpar/avd"
+)
+
+// RenderReport writes the canonical text violation report of a Report:
+// one line per distinct violation in the reporter's deterministic
+// order. Offline replay and the service's report endpoint both render
+// through this function, so for the same trace and options the two are
+// byte-identical — the differential anchor of the serverd test suite
+// and CI smoke job.
+func RenderReport(w io.Writer, rep avd.Report) {
+	for _, v := range rep.Violations {
+		fmt.Fprintln(w, v)
+	}
+}

@@ -1,12 +1,37 @@
 package trace
 
 import (
+	"context"
+	"errors"
 	"fmt"
 
 	"github.com/taskpar/avd/internal/checker"
 	"github.com/taskpar/avd/internal/dpst"
 	"github.com/taskpar/avd/internal/sched"
 )
+
+// Typed interruption errors of a context-aware replay. Both satisfy
+// errors.Is against the context sentinel they wrap, so callers can
+// branch either on the replay-level type or the context cause.
+var (
+	// ErrCanceled reports a replay stopped by caller cancellation.
+	ErrCanceled = fmt.Errorf("trace: replay canceled: %w", context.Canceled)
+	// ErrDeadline reports a replay stopped by a deadline.
+	ErrDeadline = fmt.Errorf("trace: replay deadline exceeded: %w", context.DeadlineExceeded)
+)
+
+// ctxBatch is how many events replay processes between context polls: a
+// few thousand events amortize the atomic load in ctx.Err while keeping
+// cancellation latency far below any realistic deadline granularity.
+const ctxBatch = 4096
+
+// ctxErr maps a context error to the replay's typed sentinel.
+func ctxErr(err error) error {
+	if errors.Is(err, context.DeadlineExceeded) {
+		return ErrDeadline
+	}
+	return ErrCanceled
+}
 
 // Sink consumes replayed memory accesses; both checker.Checker and the
 // Velodrome baseline satisfy it.
@@ -80,6 +105,18 @@ func (t *replayTask) AccessState() (*any, dpst.NodeID, uint64, []uint64) {
 // rebuilding the DPST on tree exactly as the live runtime would. It
 // returns an error on structurally invalid traces.
 func Replay(tr *Trace, tree dpst.Tree, sink Sink, lockSink LockSink) error {
+	return ReplayContext(context.Background(), tr, tree, sink, lockSink)
+}
+
+// ReplayContext is Replay under a context: between event batches it
+// polls ctx and stops with ErrCanceled or ErrDeadline when the caller
+// cancels or the deadline passes. An interrupted replay leaves the sink
+// with a valid prefix of the trace analyzed (batched sinks are drained
+// before returning), so partial results remain readable.
+func ReplayContext(ctx context.Context, tr *Trace, tree dpst.Tree, sink Sink, lockSink LockSink) error {
+	if err := ctx.Err(); err != nil {
+		return ctxErr(err)
+	}
 	if err := tr.Validate(); err != nil {
 		return err
 	}
@@ -91,8 +128,24 @@ func Replay(tr *Trace, tree dpst.Tree, sink Sink, lockSink LockSink) error {
 	// state mutation — in particular before a release pops the lockset
 	// slice in place, which would corrupt the window's captured snapshot.
 	bf, _ := sink.(checker.BatchFlusher)
+	drain := func() {
+		if bf == nil {
+			return
+		}
+		for _, t := range tasks {
+			if t != nil {
+				bf.FlushStep(t)
+			}
+		}
+	}
 	var acq uint64
 	for i, e := range tr.Events {
+		if i%ctxBatch == 0 && i > 0 {
+			if err := ctx.Err(); err != nil {
+				drain()
+				return ctxErr(err)
+			}
+		}
 		t := tasks[e.Task]
 		switch e.Kind {
 		case KSpawn:
@@ -159,14 +212,8 @@ func Replay(tr *Trace, tree dpst.Tree, sink Sink, lockSink LockSink) error {
 			// Observability annotation only; no structural effect.
 		}
 	}
-	if bf != nil {
-		// Traces need not end every task with KTaskEnd (generated traces
-		// may stop mid-stream); drain whatever is still buffered.
-		for _, t := range tasks {
-			if t != nil {
-				bf.FlushStep(t)
-			}
-		}
-	}
+	// Traces need not end every task with KTaskEnd (generated traces
+	// may stop mid-stream); drain whatever is still buffered.
+	drain()
 	return nil
 }

@@ -9,6 +9,7 @@ package trace
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 
@@ -107,11 +108,52 @@ func (tr *Trace) Encode(w io.Writer) error {
 	return enc.Encode(tr)
 }
 
+// ErrTooLarge reports an encoded trace rejected by a size limit before
+// any allocation proportional to its claimed contents.
+var ErrTooLarge = errors.New("trace: encoded trace exceeds size limit")
+
+// ErrTruncated reports an encoded trace that ends mid-stream (a partial
+// upload or a cut-off file).
+var ErrTruncated = errors.New("trace: truncated input")
+
 // Decode reads a JSON trace from r.
 func Decode(r io.Reader) (*Trace, error) {
+	return DecodeLimited(r, 0)
+}
+
+// DecodeLimited reads a JSON trace from r, refusing inputs whose
+// encoding exceeds maxBytes (0 = unlimited) with ErrTooLarge before the
+// decoder allocates storage proportional to the excess, and mapping
+// mid-stream EOF to ErrTruncated. It is the only decode path meant for
+// untrusted input: the byte cap bounds the event slice (each encoded
+// event costs >= several bytes), and Validate's task-count bound runs
+// before any allocation sized by the header.
+func DecodeLimited(r io.Reader, maxBytes int64) (*Trace, error) {
+	var lr *io.LimitedReader
+	if maxBytes > 0 {
+		// One sentinel byte past the cap distinguishes "exactly at the
+		// limit" from "over it" without reading the whole excess.
+		lr = &io.LimitedReader{R: r, N: maxBytes + 1}
+		r = lr
+	}
 	var tr Trace
-	if err := json.NewDecoder(r).Decode(&tr); err != nil {
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&tr); err != nil {
+		if lr != nil && lr.N <= 0 {
+			return nil, fmt.Errorf("trace: decode: %w (limit %d bytes)", ErrTooLarge, maxBytes)
+		}
+		if errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, io.EOF) {
+			return nil, fmt.Errorf("trace: decode: %w: %v", ErrTruncated, err)
+		}
 		return nil, fmt.Errorf("trace: decode: %w", err)
+	}
+	if lr != nil {
+		// The decoder reads ahead, so subtract what it buffered past the
+		// decoded value before judging the value's own size.
+		buffered, _ := io.Copy(io.Discard, dec.Buffered())
+		if maxBytes+1-lr.N-buffered > maxBytes {
+			return nil, fmt.Errorf("trace: decode: %w (limit %d bytes)", ErrTooLarge, maxBytes)
+		}
 	}
 	if err := tr.Validate(); err != nil {
 		return nil, err

@@ -1,0 +1,128 @@
+package avd_test
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	avd "github.com/taskpar/avd"
+)
+
+// bigTrace records a run with enough events that the replay's periodic
+// context poll (every few thousand events) fires at least once.
+func bigTrace(t *testing.T) *avd.Trace {
+	t.Helper()
+	s := avd.NewSession(avd.Options{Workers: 2, RecordTrace: true})
+	defer s.Close()
+	x := s.NewIntVar("X")
+	s.Run(func(tk *avd.Task) {
+		avd.ParallelFor(tk, 0, 10000, 64, func(t2 *avd.Task, i int) {
+			x.Add(t2, 1)
+		})
+	})
+	tr := s.RecordedTrace()
+	if tr == nil || len(tr.Events) < 10000 {
+		t.Fatalf("recorded trace too small: %d events", len(tr.Events))
+	}
+	return tr
+}
+
+// countdownCtx is a deterministic cancellation source: Err() stays nil
+// for the first n calls, then reports context.Canceled — so a test can
+// pin exactly which context poll interrupts the replay, independent of
+// timing.
+type countdownCtx struct {
+	context.Context
+	n atomic.Int64
+}
+
+func (c *countdownCtx) Err() error {
+	if c.n.Add(-1) < 0 {
+		return context.Canceled
+	}
+	return nil
+}
+
+func TestReplayContextCanceledUpFront(t *testing.T) {
+	tr := bigTrace(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	rep, err := avd.ReplayTraceContext(ctx, tr, avd.Options{})
+	if !errors.Is(err, avd.ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+	// The typed sentinel still satisfies errors.Is on the stdlib cause,
+	// so callers can branch on either.
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("ErrCanceled does not wrap context.Canceled")
+	}
+	if rep.ViolationCount != 0 || rep.Stats.DPSTNodes != 0 {
+		t.Fatalf("pre-canceled replay produced work: %+v", rep.Stats)
+	}
+}
+
+func TestReplayContextCanceledMidReplay(t *testing.T) {
+	tr := bigTrace(t)
+	// Let the entry check and the first periodic poll pass, cancel on a
+	// later one: the replay stops partway with a partial report.
+	ctx := &countdownCtx{Context: context.Background()}
+	ctx.n.Store(2)
+	rep, err := avd.ReplayTraceContext(ctx, tr, avd.Options{})
+	if !errors.Is(err, avd.ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+	if rep.Stats.DPSTNodes == 0 {
+		t.Fatalf("mid-replay cancel returned no partial analysis state")
+	}
+	full, err := avd.ReplayTrace(tr, avd.Options{})
+	if err != nil {
+		t.Fatalf("full replay: %v", err)
+	}
+	if rep.Stats.DPSTNodes >= full.Stats.DPSTNodes {
+		t.Fatalf("canceled replay analyzed the whole trace (%d vs %d nodes)",
+			rep.Stats.DPSTNodes, full.Stats.DPSTNodes)
+	}
+}
+
+func TestReplayContextDeadline(t *testing.T) {
+	tr := bigTrace(t)
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	_, err := avd.ReplayTraceContext(ctx, tr, avd.Options{})
+	if !errors.Is(err, avd.ErrDeadline) {
+		t.Fatalf("err = %v, want ErrDeadline", err)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("ErrDeadline does not wrap context.DeadlineExceeded")
+	}
+}
+
+// TestReplayerOneShotAndSnapshot pins the Replayer contract: Snapshot
+// is usable before, during (exercised by the server tests), and after
+// Replay; a second Replay refuses.
+func TestReplayerOneShotAndSnapshot(t *testing.T) {
+	tr := bigTrace(t)
+	rp, err := avd.NewReplayer(avd.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap := rp.Snapshot(); snap.Stats.DPSTNodes != 0 {
+		t.Fatalf("fresh replayer snapshot not empty: %+v", snap.Stats)
+	}
+	rep, err := rp.Replay(context.Background(), tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := rp.Snapshot()
+	if snap.Stats.DPSTNodes != rep.Stats.DPSTNodes || snap.ViolationCount != rep.ViolationCount {
+		t.Fatalf("post-replay snapshot disagrees with report: %+v vs %+v", snap.Stats, rep.Stats)
+	}
+	if _, err := rp.Replay(context.Background(), tr); err == nil {
+		t.Fatalf("second Replay on one Replayer succeeded")
+	}
+	if _, err := avd.NewReplayer(avd.Options{Checker: avd.CheckerNone}); err == nil {
+		t.Fatalf("NewReplayer accepted CheckerNone")
+	}
+}
