@@ -139,3 +139,59 @@ func TestLockedRepeatZeroAllocs(t *testing.T) {
 		})
 	}
 }
+
+// TestWindowElisionZeroAllocs pins the saturated-window fast path on
+// both handle shapes: once a window has proven read and write repeats
+// redundant for the touched locations, the measured accesses are
+// answered entirely inside Task.Access by the per-task elision cache —
+// no batch buffer traffic, no dedup probe, and certainly no allocation.
+// Unlike TestBatchedLockedRepeatZeroAllocs, the loop holds no lock, so
+// the window (and with it the saturation facts) survives across the
+// whole measurement.
+func TestWindowElisionZeroAllocs(t *testing.T) {
+	t.Run("scalar", func(t *testing.T) {
+		s := avd.NewSession(avd.Options{Workers: 1, Batch: true})
+		defer s.Close()
+		x := s.NewIntVar("X")
+		var allocs float64
+		s.Run(func(tk *avd.Task) {
+			// Warm: saturate both access types for the window.
+			for i := 0; i < 96; i++ {
+				x.Store(tk, x.Load(tk)+1)
+			}
+			allocs = testing.AllocsPerRun(200, func() {
+				x.Store(tk, x.Load(tk)+1)
+			})
+		})
+		if allocs != 0 {
+			t.Errorf("saturated scalar load+store allocates %.1f objects per op, want 0", allocs)
+		}
+		rep := s.Report()
+		if rep.Stats.WindowElisions == 0 {
+			t.Error("the window-elision cache never engaged on the scalar handle")
+		}
+	})
+	t.Run("array", func(t *testing.T) {
+		s := avd.NewSession(avd.Options{Workers: 1, Batch: true})
+		defer s.Close()
+		a := s.NewIntArray("A", 8)
+		var allocs float64
+		s.Run(func(tk *avd.Task) {
+			for i := 0; i < 96; i++ {
+				a.Store(tk, i%8, a.Load(tk, i%8)+1)
+			}
+			i := 0
+			allocs = testing.AllocsPerRun(200, func() {
+				a.Store(tk, i%8, a.Load(tk, i%8)+1)
+				i++
+			})
+		})
+		if allocs != 0 {
+			t.Errorf("saturated array load+store allocates %.1f objects per op, want 0", allocs)
+		}
+		rep := s.Report()
+		if rep.Stats.WindowElisions == 0 {
+			t.Error("the window-elision cache never engaged on the array handle")
+		}
+	})
+}

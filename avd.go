@@ -246,6 +246,16 @@ type Options struct {
 	// serial schedule the reports are byte-identical. Only meaningful
 	// with CheckerOptimized; other checkers ignore it.
 	Batch bool
+	// DisableWindowElision turns off the handle layer's window-elision
+	// front end under Batch (DESIGN.md §4.3): the per-task cache that
+	// answers window-saturated repeat accesses before they touch the
+	// batch buffer or dedup table. On by default with Batch; disable for
+	// ablation measurements and differential testing. Reported
+	// violations are identical either way. Sessions that record a trace
+	// (RecordTrace) force it off so the recorder observes every access —
+	// replaying such a trace with Batch re-enables elision and still
+	// reproduces the live report, because elision is output-invisible.
+	DisableWindowElision bool
 	// ReporterLimit caps retained violation details (0 = default).
 	ReporterLimit int
 	// RecordTrace additionally captures the execution into a trace
@@ -400,8 +410,12 @@ func NewSession(opts Options) *Session {
 			StrictLockChecks:    opts.StrictLockChecks,
 			DisableAccessFilter: opts.DisableAccessFilter,
 			Batch:               opts.Batch && alg == checker.AlgOptimized,
-			Hub:                 s.hub,
-			Gate:                s.gate,
+			// The recorder tees off the same Monitor the checker serves, so
+			// a session that records must not elide: an access skipped in
+			// the handle layer would vanish from the trace.
+			DisableWindowElision: opts.DisableWindowElision || opts.RecordTrace,
+			Hub:                  s.hub,
+			Gate:                 s.gate,
 		})
 		mon = s.chk
 		// The reporter callbacks only fire on locally-new violations and
@@ -612,11 +626,12 @@ func NewReplayer(opts Options) (*Replayer, error) {
 			Algorithm:           alg,
 			Query:               r.q,
 			Reporter:            rep,
-			StrictLockChecks:    opts.StrictLockChecks,
-			DisableAccessFilter: opts.DisableAccessFilter,
-			Batch:               opts.Batch && alg == checker.AlgOptimized,
-			Hub:                 r.hub,
-			Gate:                r.gate,
+			StrictLockChecks:     opts.StrictLockChecks,
+			DisableAccessFilter:  opts.DisableAccessFilter,
+			Batch:                opts.Batch && alg == checker.AlgOptimized,
+			DisableWindowElision: opts.DisableWindowElision,
+			Hub:                  r.hub,
+			Gate:                 r.gate,
 		})
 		rep.SetObserver(func(v Violation) { r.hub.Note(obs.EventViolation, uint64(v.Loc)) })
 		rep.SetDropObserver(func() {
@@ -711,6 +726,7 @@ func fillStats(r *Report, chk checker.Checker, velo *velodrome.Checker, tree dps
 		r.Stats.FilterMisses = cs.FilterMisses
 		r.Stats.BatchFlushes = cs.BatchFlushes
 		r.Stats.BatchedAccesses = cs.BatchedAccesses
+		r.Stats.WindowElisions = cs.WindowElisions
 	}
 	if velo != nil {
 		r.Cycles = velo.Count()
@@ -772,6 +788,11 @@ type Stats struct {
 	// zero unless Options.Batch is enabled.
 	BatchFlushes    int64
 	BatchedAccesses int64
+	// WindowElisions counts accesses the handle layer answered from the
+	// window-saturation cache without touching the batch buffer or dedup
+	// table (DESIGN.md §4.3). Zero unless Options.Batch is enabled with
+	// window elision on.
+	WindowElisions int64
 }
 
 // UniquePercent is the percentage of LCA queries that were unique, or 0

@@ -17,7 +17,12 @@ import (
 // the final stats.
 func batchStats(t *testing.T, body func(*avd.Session, *avd.Task)) avd.Stats {
 	t.Helper()
-	s := avd.NewSession(avd.Options{Workers: 1, Batch: true})
+	return batchStatsOpts(t, avd.Options{Workers: 1, Batch: true}, body)
+}
+
+func batchStatsOpts(t *testing.T, opts avd.Options, body func(*avd.Session, *avd.Task)) avd.Stats {
+	t.Helper()
+	s := avd.NewSession(opts)
 	defer s.Close()
 	s.Run(func(tk *avd.Task) { body(s, tk) })
 	return s.Report().Stats
@@ -116,21 +121,78 @@ func TestBatchFlushAtOverflow(t *testing.T) {
 
 // TestBatchDedupRepeatReads: repeat reads of one location inside one
 // step buffer exactly twice (the first offers the location, the second
-// proves the read-repeat pattern reachable) and every further read is
-// answered by the dedup word without touching the buffer.
+// proves the read-repeat pattern reachable). With window elision on
+// (the default), the second read's dedup update mirrors the saturated
+// word into the handle layer, so every further read is answered there —
+// counted as a window elision — without consulting the dedup table at
+// all. With elision disabled, the same repeats are answered by the
+// dedup word and counted as filter hits.
 func TestBatchDedupRepeatReads(t *testing.T) {
-	st := batchStats(t, func(s *avd.Session, tk *avd.Task) {
+	repeatReads := func(s *avd.Session, tk *avd.Task) {
 		v := s.NewIntVar("V")
 		for i := 0; i < 10; i++ {
 			v.Load(tk)
 		}
-	})
-	if st.BatchFlushes != 1 || st.BatchedAccesses != 2 {
-		t.Errorf("repeat reads: got %d flushes of %d accesses, want 1 of 2",
-			st.BatchFlushes, st.BatchedAccesses)
 	}
-	if st.FilterHits != 8 || st.FilterMisses != 2 {
-		t.Errorf("repeat reads: got %d/%d dedup hits/misses, want 8/2",
-			st.FilterHits, st.FilterMisses)
+	t.Run("elision", func(t *testing.T) {
+		st := batchStats(t, repeatReads)
+		if st.BatchFlushes != 1 || st.BatchedAccesses != 2 {
+			t.Errorf("repeat reads: got %d flushes of %d accesses, want 1 of 2",
+				st.BatchFlushes, st.BatchedAccesses)
+		}
+		if st.WindowElisions != 8 || st.FilterHits != 0 || st.FilterMisses != 2 {
+			t.Errorf("repeat reads: got %d elisions, %d/%d dedup hits/misses, want 8, 0/2",
+				st.WindowElisions, st.FilterHits, st.FilterMisses)
+		}
+	})
+	t.Run("no-elision", func(t *testing.T) {
+		st := batchStatsOpts(t, avd.Options{Workers: 1, Batch: true, DisableWindowElision: true}, repeatReads)
+		if st.BatchFlushes != 1 || st.BatchedAccesses != 2 {
+			t.Errorf("repeat reads: got %d flushes of %d accesses, want 1 of 2",
+				st.BatchFlushes, st.BatchedAccesses)
+		}
+		if st.WindowElisions != 0 || st.FilterHits != 8 || st.FilterMisses != 2 {
+			t.Errorf("repeat reads: got %d elisions, %d/%d dedup hits/misses, want 0, 8/2",
+				st.WindowElisions, st.FilterHits, st.FilterMisses)
+		}
+	})
+}
+
+// TestWindowElisionRespectsBoundaries: the elision cache dies at every
+// window boundary, so it can never skip an access the deduplicator
+// itself would buffer. Ten read-read pairs separated by lock
+// round-trips: every window's FIRST read must reach the buffer (it
+// offers the location under the new lockset), and only the repeat
+// within the same locked window is elided — the first pair's repeat is
+// the in-window second offer, so nine of the twenty reads elide,
+// exactly the nine the deduplicator counted as filter hits before the
+// front end existed (the step-scoped seen word survives lock
+// transitions, so later windows saturate on their first read).
+func TestWindowElisionRespectsBoundaries(t *testing.T) {
+	st := batchStats(t, func(s *avd.Session, tk *avd.Task) {
+		v := s.NewIntVar("V")
+		m := s.NewMutex("L")
+		for i := 0; i < 10; i++ {
+			m.Lock(tk)
+			v.Load(tk)
+			v.Load(tk)
+			m.Unlock(tk)
+		}
+	})
+	if st.WindowElisions != 9 || st.FilterHits != 0 || st.BatchedAccesses != 11 {
+		t.Errorf("lock-separated read pairs: got %d elisions, %d dedup hits, %d buffered; want 9, 0, 11",
+			st.WindowElisions, st.FilterHits, st.BatchedAccesses)
+	}
+	st = batchStats(t, func(s *avd.Session, tk *avd.Task) {
+		v := s.NewIntVar("V")
+		m := s.NewMutex("L")
+		m.Lock(tk)
+		for i := 0; i < 10; i++ {
+			v.Load(tk)
+		}
+		m.Unlock(tk)
+	})
+	if st.WindowElisions != 8 {
+		t.Errorf("locked repeat reads: %d window elisions, want 8", st.WindowElisions)
 	}
 }

@@ -170,3 +170,154 @@ func TestBatchSerialReplayMatchesOracle(t *testing.T) {
 		}
 	}
 }
+
+// The window-elision front end (DESIGN.md §4.3) must be just as
+// invisible as the coalescer it fronts: an access the handle layer
+// elides is one the batch deduplicator would have skipped, so enabling
+// or disabling elision may shift counter attribution (dedup hits become
+// window elisions) but never the violation report. The tests below
+// mirror the batch differential at the same strengths, comparing a
+// batched checker with elision on against one with
+// Options.DisableWindowElision.
+
+// replayElisionPair replays tr batched with window elision on and off
+// and returns both reports.
+func replayElisionPair(t *testing.T, tr *avd.Trace, opts avd.Options) (on, off avd.Report) {
+	t.Helper()
+	opts.Batch = true
+	opts.DisableWindowElision = false
+	on, err := avd.ReplayTrace(tr, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.DisableWindowElision = true
+	off, err = avd.ReplayTrace(tr, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return on, off
+}
+
+// TestElisionDifferentialExactReports: on serial schedules the two runs
+// must produce byte-identical violation reports in paper mode, strict
+// mode, under injected allocation failures, and in the filter-off
+// corner — where disabling the deduplicator implies no elision either,
+// so the reports must still agree while both elision counters stay zero.
+func TestElisionDifferentialExactReports(t *testing.T) {
+	r := rand.New(rand.NewSource(7901))
+	var elided int64
+	programs := []*sptest.Program{hammerProgram()}
+	for trial := 0; trial < 120; trial++ {
+		programs = append(programs, sptest.Random(r, filterCfg()))
+	}
+	for i, p := range programs {
+		tr, err := trace.Compile(p).ScheduleSerial()
+		if err != nil {
+			t.Fatalf("program %d: %v", i, err)
+		}
+		for _, opts := range []avd.Options{
+			{},
+			{StrictLockChecks: true},
+			{Chaos: &avd.ChaosConfig{Seed: int64(i), AllocFailProb: 0.05}},
+			{DisableAccessFilter: true},
+		} {
+			on, off := replayElisionPair(t, tr, opts)
+			if on.ViolationCount != off.ViolationCount ||
+				!reflect.DeepEqual(on.Violations, off.Violations) {
+				t.Fatalf("program %d opts %+v: elision report differs\nelision:    %v\nno elision: %v\nprogram:\n%s",
+					i, opts, on.Violations, off.Violations, p)
+			}
+			if off.Stats.WindowElisions != 0 {
+				t.Fatalf("program %d: elision-off run reported %d window elisions",
+					i, off.Stats.WindowElisions)
+			}
+			if opts.DisableAccessFilter && on.Stats.WindowElisions != 0 {
+				t.Fatalf("program %d: filter-off run reported %d window elisions (dedup off implies elision off)",
+					i, on.Stats.WindowElisions)
+			}
+			// Attribution may shift between the two counters, but the total
+			// skipped+dispatched work is conserved: every access is elided,
+			// deduplicated, or dispatched under both configurations.
+			if onTot, offTot := on.Stats.WindowElisions+on.Stats.FilterHits+on.Stats.FilterMisses,
+				off.Stats.FilterHits+off.Stats.FilterMisses; onTot != offTot {
+				t.Fatalf("program %d opts %+v: access accounting differs: %d with elision, %d without",
+					i, opts, onTot, offTot)
+			}
+			elided += on.Stats.WindowElisions
+		}
+	}
+	if elided == 0 {
+		t.Fatal("the window-elision cache never engaged across all trials; the differential test is vacuous")
+	}
+}
+
+// TestElisionDifferentialRandomSchedules replays random interleavings:
+// the violated location sets must agree.
+func TestElisionDifferentialRandomSchedules(t *testing.T) {
+	r := rand.New(rand.NewSource(7902))
+	for trial := 0; trial < 100; trial++ {
+		p := sptest.Random(r, filterCfg())
+		tr, err := trace.FromProgram(p, r)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		on, off := replayElisionPair(t, tr, avd.Options{})
+		if !reflect.DeepEqual(violLocs(on), violLocs(off)) {
+			t.Fatalf("trial %d: elision locations %v, no-elision %v\nprogram:\n%s",
+				trial, violLocs(on), violLocs(off), p)
+		}
+	}
+}
+
+// TestElisionDifferentialLive runs programs on the real work-stealing
+// scheduler (including chaos-perturbed schedules): the handle layer's
+// elision probe in sched.Task.Access must not change the detected
+// location set.
+func TestElisionDifferentialLive(t *testing.T) {
+	r := rand.New(rand.NewSource(7903))
+	cfg := filterCfg()
+	for trial := 0; trial < 40; trial++ {
+		p := sptest.Random(r, cfg)
+		var chaos *avd.ChaosConfig
+		if trial%2 == 1 {
+			chaos = &avd.ChaosConfig{Seed: int64(trial), StealProb: 0.3, DelayProb: 0.2, MaxDelaySpins: 8}
+		}
+		on := execProgram(p, cfg, avd.Options{Workers: 4, Chaos: chaos, Batch: true})
+		off := execProgram(p, cfg, avd.Options{Workers: 4, Chaos: chaos, Batch: true, DisableWindowElision: true})
+		if !sameLocs(on, off) {
+			t.Fatalf("trial %d: elision live run detected %v, no-elision %v\nprogram:\n%s",
+				trial, on, off, p)
+		}
+	}
+}
+
+// TestElisionSerialReplayMatchesOracle anchors the elision differential
+// in ground truth: the batched, eliding serial replay detects exactly
+// the violating locations the all-schedules oracle predicts.
+func TestElisionSerialReplayMatchesOracle(t *testing.T) {
+	r := rand.New(rand.NewSource(7904))
+	for trial := 0; trial < 60; trial++ {
+		cfg := sptest.GenConfig{
+			MaxItems: 4, MaxDepth: 3, MaxSteps: 10,
+			Locations: 2, MaxAccess: 6, Locks: 1, LockProb: 0.25,
+		}
+		p := sptest.Random(r, cfg)
+		tr, err := trace.Compile(p).ScheduleSerial()
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		rep, err := avd.ReplayTrace(tr, avd.Options{Batch: true})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		got := make(map[int]bool)
+		for _, v := range rep.Violations {
+			got[int(v.Loc-trace.LocBase)] = true
+		}
+		want := oracle.Violations(sptest.Build(dpst.ArrayLayout, p), oracle.ModePaper)
+		if !sameLocs(got, want) {
+			t.Fatalf("trial %d: serial eliding replay %v, oracle %v\nprogram:\n%s",
+				trial, got, want, p)
+		}
+	}
+}

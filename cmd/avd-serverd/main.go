@@ -9,7 +9,7 @@
 //	avd-serverd [-addr :8056] [-shards N] [-queue-depth N]
 //	            [-max-body-bytes N] [-deadline D] [-max-deadline D]
 //	            [-attempts N] [-backoff D] [-budget N] [-max-violations N]
-//	            [-max-runs N] [-drain-timeout D]
+//	            [-max-runs N] [-report-cache N] [-drain-timeout D]
 //	            [-chaos-seed N] [-chaos-worker-crash P] [-chaos-admit-reject P]
 //
 // Submit a trace and poll its lifecycle:
@@ -53,6 +53,7 @@ func main() {
 	budget := flag.Int64("budget", 0, "per-run analysis memory budget in bytes (0 = unlimited)")
 	maxViolations := flag.Int64("max-violations", 0, "per-run violation cap (0 = uncapped)")
 	maxRuns := flag.Int("max-runs", 0, "retained-run registry bound (0 = 4096)")
+	reportCache := flag.Int("report-cache", 0, "cross-run report cache entries (0 = 256, negative disables)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful-drain deadline on SIGTERM")
 	chaosSeed := flag.Int64("chaos-seed", 1, "chaos decision-stream seed")
 	chaosCrash := flag.Float64("chaos-worker-crash", 0, "probability a run attempt's worker crashes (testing)")
@@ -70,6 +71,7 @@ func main() {
 		MemoryBudget:    *budget,
 		MaxViolations:   *maxViolations,
 		MaxRuns:         *maxRuns,
+		ReportCacheSize: *reportCache,
 		Chaos: chaos.Config{
 			Seed:            *chaosSeed,
 			WorkerCrashProb: *chaosCrash,

@@ -39,6 +39,16 @@ import (
 //     re-run whose offers and checks have all already been made under an
 //     identical (step, lockset) regime.
 //
+//  3. The handle layer's window-elision cache (sched.Elide, installed
+//     through the optional ElideHost interface) only ever holds facts
+//     the deduplicator published through Mirror under the current
+//     window generation, and the generation is advanced at exactly the
+//     boundaries that invalidate the deduplicator's epoch-scoped
+//     redundancy words (lock and step flushes; overflow flushes leave
+//     both alive). An elided access is therefore one the deduplicator
+//     itself would have skipped — DESIGN.md §4.3 gives the full
+//     argument.
+//
 // Flushing at the boundary also preserves per-task dispatch order, and
 // on a serial schedule every step's accesses are contiguous in the
 // trace, so batched dispatch order equals trace order minus the skipped
@@ -52,10 +62,35 @@ const (
 	// churn the allocator).
 	batchCap = 256
 
-	// The dedup table mirrors the per-access filter cache's geometry.
-	batchDedupBits = 6
+	// The dedup table shares the handle layer's elision-cache geometry
+	// (both direct-mapped by loc&mask with the same mask), which is what
+	// makes the mirror invariant per-slot: slot i of the elision cache
+	// only ever describes the location resident in dedup slot i, so a
+	// dedup eviction and the colliding tenant's first publish overwrite
+	// the same elision slot. See invariant 3 above and DESIGN.md §4.3.
+	batchDedupBits = sched.ElideBits
 	batchDedupSize = 1 << batchDedupBits
 	batchDedupMask = batchDedupSize - 1
+
+	// Adaptive retirement of the redundancy layer, the batch analog of
+	// the per-access filter's self-retirement (opt.go): once the
+	// current step has fronted batchRetireMin accesses, the redundancy
+	// words and the elision cache are retired for the rest of the step
+	// if they saved fewer than 1/batchRetireRatio of them. The scope is
+	// the step because that is where access mixes are homogeneous — an
+	// initialization loop streams, a merge pass repeats — and a long
+	// streaming step must neither pay the maintenance forever nor
+	// disable the layer for the repeat-heavy steps after it (the step
+	// flush re-arms everything). The ratio is calibrated far lower than
+	// the unbatched filterProbeRatio because the economics differ: a
+	// front-end save here skips a full dispatchEntry walk (tens of ns)
+	// while the per-access maintenance costs a few, so the layer pays
+	// for itself down to a few-percent yield. The entry cache half of
+	// the dedup table (loc → localEntry) is never retired: it replaces
+	// a hash probe with one compare and stays profitable regardless of
+	// repeat rate.
+	batchRetireMin   = 1 << 12
+	batchRetireRatio = 32
 )
 
 // batchAccess is one buffered access: the resolved local entry plus the
@@ -107,6 +142,27 @@ type batchSpace struct {
 	egen, sgen           uint64
 	pendHits, pendMisses int64
 
+	// Retirement bookkeeping (see batchRetireMin): probeTotal counts
+	// accesses fronted by the current step, probeSaved the ones the
+	// redundancy words or the elision cache answered. Step flushes (and
+	// reset) clear all three — retirement never outlives the step that
+	// earned it.
+	retired              bool
+	probeTotal           int64
+	probeSaved           int64
+	// nDirect counts retired-mode accesses dispatched around the buffer,
+	// folded into the batched-access counter at the next flush.
+	nDirect int64
+
+	// elide is the window-saturation cache mirrored into the owning
+	// task's handle layer (see the mirror invariant in Access); eslot is
+	// where it was installed, nil when the task state is no ElideHost or
+	// elision is off. Living inside the pooled batchSpace, the cache
+	// costs no per-task allocation; Invalidate on reuse kills the
+	// previous task's facts.
+	elide sched.Elide
+	eslot **sched.Elide
+
 	buf   [batchCap]batchAccess
 	dedup [batchDedupSize]batchDedupEntry
 }
@@ -131,6 +187,9 @@ func (bs *batchSpace) reset() {
 	bs.n = 0
 	bs.captured = false
 	bs.pendHits, bs.pendMisses = 0, 0
+	bs.retired = false
+	bs.probeTotal, bs.probeSaved = 0, 0
+	bs.nDirect = 0
 }
 
 // Batched wraps the optimized checker in the step-granular coalescer.
@@ -144,12 +203,18 @@ type Batched struct {
 	// dispatches), mirroring Options.DisableAccessFilter for ablations
 	// and differential tests of pure batching.
 	dedupOff bool
+	// elideOff keeps the window-saturation cache out of tasks: set by
+	// Options.DisableWindowElision, and implied by dedupOff (with the
+	// deduplicator off no redundancy word ever saturates, so the cache
+	// could never hit — installing it would only cost the probe).
+	elideOff bool
 
 	nextHint atomic.Uint64
 	pool     sync.Pool
 
 	flushes  obs.Striped
 	accesses obs.Striped
+	elisions obs.Striped
 }
 
 // newBatched builds the batched dispatcher over a fresh optimized
@@ -159,7 +224,12 @@ type Batched struct {
 func newBatched(opts Options) *Batched {
 	inner := newOptimized(opts)
 	inner.noFilter = true
-	return &Batched{inner: inner, hub: opts.Hub, dedupOff: opts.DisableAccessFilter}
+	return &Batched{
+		inner:    inner,
+		hub:      opts.Hub,
+		dedupOff: opts.DisableAccessFilter,
+		elideOff: opts.DisableWindowElision || opts.DisableAccessFilter,
+	}
 }
 
 // Reporter implements Checker.
@@ -173,23 +243,22 @@ func (b *Batched) Stats() Stats {
 	if b.hub != nil {
 		st.BatchFlushes = b.hub.Count(obs.EventBatchFlush)
 		st.BatchedAccesses = b.hub.Count(obs.EventBatchedAccess)
+		st.WindowElisions = b.hub.Count(obs.EventWindowElision)
 	} else {
 		st.BatchFlushes = b.flushes.Load()
 		st.BatchedAccesses = b.accesses.Load()
+		st.WindowElisions = b.elisions.Load()
 	}
 	return st
 }
 
-// space returns the task's batch state, creating (or recycling) it on
-// the task's first access.
-func (b *Batched) space(slot *any) *batchSpace {
-	if bs, ok := (*slot).(*batchSpace); ok {
-		return bs
-	}
-	return b.newSpace(slot)
-}
-
-func (b *Batched) newSpace(slot *any) *batchSpace {
+// newSpace creates (or recycles) the task's batch state on the task's
+// first access. This is also where the window-elision front end is
+// wired: when ts's handle layer hosts an elision cache and elision is
+// on, the space's cache — its previous owner's facts freshly
+// invalidated — is installed into the task, and from then on saturated
+// repeats never reach Access at all.
+func (b *Batched) newSpace(ts TaskState, slot *any) *batchSpace {
 	bs, _ := b.pool.Get().(*batchSpace)
 	if bs == nil {
 		bs = &batchSpace{ctr: &filterCounters{}}
@@ -201,6 +270,14 @@ func (b *Batched) newSpace(slot *any) *batchSpace {
 		bs.hint = b.nextHint.Add(1)
 	} else {
 		bs.reset()
+	}
+	bs.eslot = nil
+	if !b.elideOff {
+		if host, ok := ts.(ElideHost); ok {
+			bs.elide.Invalidate()
+			bs.eslot = host.ElideSlot()
+			*bs.eslot = &bs.elide
+		}
 	}
 	*slot = bs
 	return bs
@@ -214,10 +291,11 @@ func (b *Batched) Access(ts TaskState, loc sched.Loc, write bool) {
 	slot := ts.LocalSlot()
 	bs, ok := (*slot).(*batchSpace)
 	if !ok {
-		bs = b.newSpace(slot)
+		bs = b.newSpace(ts, slot)
 	}
 	de := &bs.dedup[uint64(loc)&batchDedupMask]
 	var ls *localEntry
+	var fresh bool
 	if de.loc == loc {
 		if de.sgen != bs.sgen {
 			de.sgen, de.egen = bs.sgen, bs.egen
@@ -234,6 +312,22 @@ func (b *Batched) Access(ts TaskState, loc sched.Loc, write bool) {
 			ls = b.inner.newEntry(bs.sp, loc)
 		}
 		*de = batchDedupEntry{loc: loc, e: ls, egen: bs.egen, sgen: bs.sgen}
+		fresh = true
+	}
+	if bs.retired {
+		// The current step retired the redundancy layer: it is streaming,
+		// so nearly every access would buffer only to dispatch at the next
+		// drain anyway. Dispatch it now, around the buffer — the buffer is
+		// empty (retirement is decided during a drain) and stays empty
+		// until the step flush re-arms buffering, so dispatch order is
+		// preserved; a one-access window is just the smallest legal batch.
+		if !bs.captured {
+			_, bs.step, _, bs.locks = ts.AccessState()
+			bs.captured = true
+		}
+		b.inner.dispatchEntry(bs.sp, ls, loc, bs.step, bs.locks, write)
+		bs.nDirect++
+		return
 	}
 	if !b.dedupOff {
 		bit, sbit := filtR, seenR
@@ -242,6 +336,15 @@ func (b *Batched) Access(ts TaskState, loc sched.Loc, write bool) {
 		}
 		if de.bits&bit != 0 {
 			bs.pendHits++
+			// Mirror invariant, re-priming arm: the handle layer's elision
+			// cache holds a (loc, gen, bits) fact only when the dedup slot
+			// holds the same fact under the current window. A dedup hit
+			// that still reached us means the elision entry was lost (a
+			// colliding location overwrote it) — restore it so further
+			// repeats stop in the handle layer instead.
+			if bs.eslot != nil {
+				bs.elide.Mirror(loc, de.bits)
+			}
 			return
 		}
 		// Maintain the redundancy word at buffer time: dispatch order
@@ -250,14 +353,33 @@ func (b *Batched) Access(ts TaskState, loc sched.Loc, write bool) {
 		// makes the type redundant for the rest of the epoch; a first
 		// access of a type re-enables the other type (it newly forms an
 		// RW/WR pattern), mirroring Access's filter-word update.
+		//
+		// Mirror invariant, tracking arm: publish the word whenever it
+		// changes — downward moves included, because a first write
+		// re-enables reads (and vice versa) and a stale saturated bit in
+		// the handle layer would elide an access that newly forms an
+		// RW/WR pattern. An unchanged word needs no publish, with one
+		// exception: a fresh (re)install publishes its zero word so that
+		// a fact the evicted-and-returned location saturated earlier in
+		// this window (still resident in the cache, whose slot the
+		// colliding tenant never overwrote) cannot outlive the re-enabling
+		// access that just reset the slot. Mirror's resident-only guard
+		// makes that publish free for the common first touch.
 		if de.seen&sbit != 0 {
-			de.bits |= bit
+			de.bits |= bit // always a change: bit was clear or we'd have hit
+			if bs.eslot != nil {
+				bs.elide.Mirror(loc, de.bits)
+			}
 		} else {
 			de.seen |= sbit
+			old := de.bits
 			if write {
 				de.bits &^= filtR
 			} else {
 				de.bits &^= filtW
+			}
+			if bs.eslot != nil && (de.bits != old || fresh) {
+				bs.elide.Mirror(loc, de.bits)
 			}
 		}
 	}
@@ -295,12 +417,19 @@ const (
 // window's captured state, folds the pending dedup counters into the
 // live-readable atomics, and advances the dedup generations.
 func (b *Batched) flush(bs *batchSpace, kind int) {
+	// pendHits at entry are the front-end dedup hits of the closing
+	// window (the dispatch loop below adds fast-path skips to the same
+	// counter, which belong to the inner checker, not the front end);
+	// drained is what actually dispatched. Both feed the retirement
+	// yield accounting after the drain.
+	frontHits := bs.pendHits
+	drained := int64(bs.n)
 	if bs.n > 0 {
 		sp, si, locks := bs.sp, bs.step, bs.locks
 		for i := 0; i < bs.n; i++ {
 			a := &bs.buf[i]
 			_, _, outcome := b.inner.dispatchEntry(sp, a.e, sched.Loc(a.locW>>1), si, locks, a.locW&1 != 0)
-			if !b.dedupOff {
+			if !b.dedupOff && !bs.retired {
 				switch outcome {
 				case dispatchRan:
 					bs.pendMisses++
@@ -317,14 +446,69 @@ func (b *Batched) flush(bs *batchSpace, kind int) {
 			b.accesses.Add(bs.hint, int64(bs.n))
 		}
 		bs.n = 0
-		bs.captured = false
+	}
+	// The captured (step, lockset) regime is re-read on the next access:
+	// boundary flushes change it, and a retired step's direct dispatches
+	// rely on it without ever filling the buffer.
+	bs.captured = false
+	if bs.nDirect != 0 {
+		if b.hub != nil {
+			b.hub.NoteN(obs.EventBatchedAccess, bs.hint, bs.nDirect)
+		} else {
+			b.accesses.Add(bs.hint, bs.nDirect)
+		}
+		bs.nDirect = 0
 	}
 	switch kind {
 	case flushLocks:
 		bs.egen++
+		// The handle layer's cache mirrors epoch-scoped redundancy words,
+		// so it dies exactly when they do: on lock and step boundaries,
+		// never on overflow (an overflow leaves the regime — and thus
+		// every mirrored fact — intact, which is what lets elision keep
+		// working through the long windows it exists for).
+		bs.elide.Invalidate()
 	case flushStep:
 		bs.egen++
 		bs.sgen++
+		bs.elide.Invalidate()
+	}
+	elided := int64(bs.elide.TakeHits())
+	if elided != 0 {
+		if b.hub != nil {
+			b.hub.NoteN(obs.EventWindowElision, bs.hint, elided)
+		} else {
+			b.elisions.Add(bs.hint, elided)
+		}
+	}
+	if !b.dedupOff {
+		if !bs.retired {
+			bs.probeTotal += drained + frontHits + elided
+			bs.probeSaved += frontHits + elided
+			if bs.probeTotal >= batchRetireMin && bs.probeSaved < bs.probeTotal/batchRetireRatio {
+				// The step this space is fronting is streaming: the
+				// redundancy words and the elision cache cost every access
+				// and almost never pay. Retire both for the rest of the
+				// step; uninstalling the elision cache from the handle
+				// layer stops even its probe (bs.eslot keeps the slot so
+				// the step flush can re-arm it).
+				bs.retired = true
+				if bs.eslot != nil {
+					*bs.eslot = nil
+				}
+			}
+		}
+		if kind == flushStep {
+			// A new step is a new mix: re-arm the layer and restart the
+			// yield measurement.
+			if bs.retired {
+				bs.retired = false
+				if bs.eslot != nil {
+					*bs.eslot = &bs.elide
+				}
+			}
+			bs.probeTotal, bs.probeSaved = 0, 0
+		}
 	}
 	if bs.pendHits != 0 {
 		bs.ctr.hits.Add(bs.pendHits)
@@ -411,6 +595,10 @@ func (b *Batched) OnTaskEnd(t *sched.Task) {
 		return
 	}
 	b.flush(bs, flushStep)
+	if bs.eslot != nil {
+		*bs.eslot = nil
+		bs.eslot = nil
+	}
 	*slot = nil
 	b.pool.Put(bs)
 }

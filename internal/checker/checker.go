@@ -156,6 +156,13 @@ type Options struct {
 	// deliver the structure and lock callbacks (the live scheduler and
 	// the trace replayer both do). Ignored by the basic checker.
 	Batch bool
+	// DisableWindowElision keeps the batched dispatcher from installing
+	// the handle-layer window-saturation cache (sched.Elide) into tasks:
+	// every access then reaches the batch buffer and dedup table, for
+	// ablation benchmarks and differential tests. It is also forced on
+	// by event sources that must observe every access themselves (the
+	// trace recorder). Meaningless outside batched dispatch.
+	DisableWindowElision bool
 	// Hub receives batch-flush observability events; nil is ignored.
 	Hub *obs.Hub
 }
@@ -182,6 +189,16 @@ type TaskState interface {
 	// exactly what the individual getters would have returned, in order
 	// (LocalSlot, StepNode, FilterEpoch, Lockset).
 	AccessState() (slot *any, step dpst.NodeID, epoch uint64, locks []uint64)
+}
+
+// ElideHost is the optional TaskState extension of event sources whose
+// handle layer carries a window-elision cache (*sched.Task and the
+// trace replayer's task state both implement it). The batched checker
+// type-asserts it once per task and installs a sched.Elide through the
+// returned slot; task states without the interface simply never elide.
+type ElideHost interface {
+	// ElideSlot returns the address of the task's elision-cache pointer.
+	ElideSlot() **sched.Elide
 }
 
 // Checker is the common interface of both algorithms; it extends
@@ -214,6 +231,10 @@ type Stats struct {
 	// unless batched dispatch is enabled.
 	BatchFlushes    int64
 	BatchedAccesses int64
+	// WindowElisions counts accesses the handle layer elided through the
+	// window-saturation cache — they never reached the batch buffer.
+	// Zero unless batched dispatch is enabled with elision on.
+	WindowElisions int64
 }
 
 // New creates a checker.

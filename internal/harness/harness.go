@@ -277,9 +277,12 @@ type Table1Row struct {
 	UniquePercent  float64           `json:"unique_percent"`
 	ViolationCount int64             `json:"violation_count"`
 	// BatchFlushes/BatchedAccesses describe the access coalescer when
-	// the measurement ran batched (zero and omitted otherwise).
+	// the measurement ran batched (zero and omitted otherwise), and
+	// WindowElisions counts the accesses its handle-layer front end
+	// answered without dispatching.
 	BatchFlushes    int64             `json:"batch_flushes,omitempty"`
 	BatchedAccesses int64             `json:"batched_accesses,omitempty"`
+	WindowElisions  int64             `json:"window_elisions,omitempty"`
 	Violations      []ViolationRecord `json:"violations,omitempty"`
 }
 
@@ -345,6 +348,7 @@ func collectTable1(cfg Config, workers int, scale float64, reps int) (*Table1Dat
 			ViolationCount:  m.Report.ViolationCount,
 			BatchFlushes:    st.BatchFlushes,
 			BatchedAccesses: st.BatchedAccesses,
+			WindowElisions:  st.WindowElisions,
 		}
 		for i, v := range m.Report.Violations {
 			if i == maxTable1Violations {
@@ -400,9 +404,12 @@ type FigureResult struct {
 	FilterHitRate float64 `json:"filter_hit_rate,omitempty"`
 	// BatchFlushes/BatchedAccesses describe the access coalescer of the
 	// measured run (omitted for unbatched configurations): drained
-	// batches and the accesses they carried.
+	// batches and the accesses they carried. WindowElisions counts the
+	// accesses the coalescer's handle-layer front end answered without
+	// dispatching at all.
 	BatchFlushes    int64 `json:"batch_flushes,omitempty"`
 	BatchedAccesses int64 `json:"batched_accesses,omitempty"`
+	WindowElisions  int64 `json:"window_elisions,omitempty"`
 }
 
 // FigureData is the machine-readable form of a slowdown figure, suitable
@@ -431,8 +438,10 @@ func (d *FigureData) WriteJSON(path string) error {
 
 // figureData measures every kernel under each configuration (plus the
 // uninstrumented baseline all slowdowns are relative to) and collects
-// the results.
-func figureData(figure int, configs []Config, workers int, scale float64, reps int) (*FigureData, error) {
+// the results. A non-empty kernels list restricts the sweep to the
+// named kernels, for targeted CI gates that need more reps or scale
+// than a full figure run affords.
+func figureData(figure int, configs []Config, workers int, scale float64, reps int, kernels ...string) (*FigureData, error) {
 	sizes := Sizes(scale)
 	base := Baseline(workers)
 	resolved := workers
@@ -450,8 +459,31 @@ func figureData(figure int, configs []Config, workers int, scale float64, reps i
 	for _, cfg := range configs {
 		d.Configs = append(d.Configs, cfg.Name)
 	}
+	want := make(map[string]bool, len(kernels))
+	for _, name := range kernels {
+		want[name] = true
+	}
+	for _, k := range bench.All() {
+		delete(want, k.Name)
+	}
+	if len(want) > 0 {
+		unknown := make([]string, 0, len(want))
+		for name := range want {
+			unknown = append(unknown, name)
+		}
+		sort.Strings(unknown)
+		return nil, fmt.Errorf("unknown kernel(s) %s (see bench.All for the figure's kernel names)",
+			strings.Join(unknown, ", "))
+	}
+	want = make(map[string]bool, len(kernels))
+	for _, name := range kernels {
+		want[name] = true
+	}
 	slowdowns := make(map[string][]float64)
 	for _, k := range bench.All() {
+		if len(want) > 0 && !want[k.Name] {
+			continue
+		}
 		n := sizes[k.Name]
 		mb, err := Measure(k, base, n, reps)
 		if err != nil {
@@ -476,6 +508,7 @@ func figureData(figure int, configs []Config, workers int, scale float64, reps i
 				FilterMisses:    st.FilterMisses,
 				BatchFlushes:    st.BatchFlushes,
 				BatchedAccesses: st.BatchedAccesses,
+				WindowElisions:  st.WindowElisions,
 			}
 			if total := st.FilterHits + st.FilterMisses; total > 0 {
 				r.FilterHitRate = float64(st.FilterHits) / float64(total)
@@ -532,15 +565,16 @@ func RenderFigure(w io.Writer, title string, d *FigureData) {
 
 // Figure13Data measures the filtered prototype, the batched coalescer,
 // the no-filter and cached-walk ablations, and Velodrome against the
-// baseline.
-func Figure13Data(workers int, scale float64, reps int) (*FigureData, error) {
+// baseline. An optional kernel list restricts the sweep (see
+// figureData).
+func Figure13Data(workers int, scale float64, reps int, kernels ...string) (*FigureData, error) {
 	return figureData(13, []Config{
 		PrototypeFilter(workers),
 		PrototypeBatch(workers),
 		PrototypeLabels(workers),
 		PrototypeCachedLCA(workers),
 		Velodrome(workers),
-	}, workers, scale, reps)
+	}, workers, scale, reps, kernels...)
 }
 
 // Figure13 measures the prototype configurations and Velodrome against
@@ -558,14 +592,14 @@ func Figure13(w io.Writer, workers int, scale float64, reps int) error {
 // alongside the array and linked layouts under the cached tree walk (the
 // paper's configuration) and the uncached walk (every query traverses
 // the tree, isolating the layout cost).
-func Figure14Data(workers int, scale float64, reps int) (*FigureData, error) {
+func Figure14Data(workers int, scale float64, reps int, kernels ...string) (*FigureData, error) {
 	return figureData(14, []Config{
 		PrototypeLabels(workers),
 		PrototypeCachedLCA(workers),
 		PrototypeLinked(workers),
 		PrototypeNoCache(workers),
 		PrototypeLinkedNoCache(workers),
-	}, workers, scale, reps)
+	}, workers, scale, reps, kernels...)
 }
 
 // Figure14 compares the array and linked DPST layouts, with the LCA

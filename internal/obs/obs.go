@@ -102,6 +102,10 @@ const (
 	// EventBatchedAccess is one access dispatched through a batch (the
 	// flush's payload size; noted with the batch's delta, not per access).
 	EventBatchedAccess
+	// EventWindowElision is one instrumented access elided by the handle
+	// layer's window-saturation cache before it reached the batch buffer
+	// (noted per flush with the window's accumulated delta).
+	EventWindowElision
 	// NumEvents bounds the event kinds.
 	NumEvents
 )
@@ -121,6 +125,8 @@ func (e Event) String() string {
 		return "batch-flush"
 	case EventBatchedAccess:
 		return "batched-access"
+	case EventWindowElision:
+		return "window-elision"
 	default:
 		return "event(?)"
 	}
@@ -135,6 +141,9 @@ type Counts struct {
 	BatchFlushes int64 `json:"batch_flushes"`
 	// BatchedAccesses counts accesses dispatched through batches.
 	BatchedAccesses int64 `json:"batched_accesses"`
+	// WindowElisions counts accesses elided by the handle layer's
+	// window-saturation cache before reaching the batch buffer.
+	WindowElisions int64 `json:"window_elisions"`
 	// Saturated reports whether the saturation event has fired.
 	Saturated bool `json:"saturated"`
 }
@@ -199,6 +208,7 @@ func (h *Hub) Snapshot() Counts {
 		TaskPanics:      h.counts[EventTaskPanic].Load(),
 		BatchFlushes:    h.counts[EventBatchFlush].Load(),
 		BatchedAccesses: h.counts[EventBatchedAccess].Load(),
+		WindowElisions:  h.counts[EventWindowElision].Load(),
 		Saturated:       h.sat.Load(),
 	}
 }

@@ -108,6 +108,7 @@ type Scheduler struct {
 	lockTok    atomic.Uint64
 	nextLockID atomic.Uint32
 	nextLoc    atomic.Uint64
+	stripes    atomic.Uint64
 
 	recoverPanics bool
 	panics        panicLog
@@ -173,6 +174,30 @@ func (s *Scheduler) AllocLoc() Loc { return Loc(s.nextLoc.Add(1)) }
 func (s *Scheduler) AllocLocs(n int) Loc {
 	last := s.nextLoc.Add(uint64(n))
 	return Loc(last - uint64(n) + 1)
+}
+
+// AllocLocsStriped allocates n consecutive location identifiers whose
+// base is padded onto a per-aggregate phase of the ElideSize-slot
+// direct-mapped caches (the access filter, the batch deduplicator, and
+// the window-elision cache all index by loc&ElideMask). Without the
+// padding, two arrays whose lengths are multiples of the cache size —
+// the power-of-two source and destination of a merge, say — land on the
+// same phase, so a[i] and b[i] collide in every direct-mapped slot for
+// every i and evict each other's redundancy facts all window long. The
+// phase schedule is deterministic (the k-th striped allocation of a
+// scheduler gets phase (17k+1)&ElideMask, a full cycle of the 64
+// residues), so replayed and repeated runs see identical location IDs.
+func (s *Scheduler) AllocLocsStriped(n int) Loc {
+	k := s.stripes.Add(1) - 1
+	phase := (17*k + 1) & ElideMask
+	for {
+		cur := s.nextLoc.Load()
+		base := cur + 1
+		pad := (phase - base) & ElideMask
+		if s.nextLoc.CompareAndSwap(cur, cur+pad+uint64(n)) {
+			return Loc(base + pad)
+		}
+	}
 }
 
 // Run executes body as the root task and blocks until the whole

@@ -76,6 +76,11 @@ type Task struct {
 	// keeps its per-task local metadata space here. The field is only
 	// touched from the task's own goroutine.
 	Local any
+
+	// elide is the window-saturation cache the batched checker installs
+	// through ElideSlot; nil keeps Access on the plain monitor path. Like
+	// Local, it is only touched from the task's own goroutine.
+	elide *Elide
 }
 
 // ID returns the dense ID of the task.
@@ -95,6 +100,12 @@ func (t *Task) WorkerID() int {
 // LocalSlot returns a pointer to the monitor scratch storage, satisfying
 // the checker's TaskState interface.
 func (t *Task) LocalSlot() *any { return &t.Local }
+
+// ElideSlot returns the address of the task's window-elision cache
+// pointer, satisfying the checker's optional ElideHost interface. The
+// batched checker installs an Elide here when window elision is
+// enabled and clears it at task end.
+func (t *Task) ElideSlot() **Elide { return &t.elide }
 
 // Scheduler returns the scheduler running this task.
 func (t *Task) Scheduler() *Scheduler { return t.sch }
@@ -149,8 +160,14 @@ func (t *Task) Lockset() []uint64 { return t.locks }
 
 // Access reports an instrumented read (write=false) or write to loc. It
 // is the single entry point through which instrumented shared variables
-// notify the attached monitor.
+// notify the attached monitor. When the batched checker has installed a
+// window-elision cache and the access type is already saturated for loc
+// in the current batch window, the access is provably a checker no-op
+// and returns here, before the monitor sees it.
 func (t *Task) Access(loc Loc, write bool) {
+	if e := t.elide; e != nil && e.Hit(loc, write) {
+		return
+	}
 	if mon := t.sch.mon; mon != nil {
 		mon.OnAccess(t, loc, write)
 	}

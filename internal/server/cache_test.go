@@ -1,0 +1,174 @@
+package server_test
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"github.com/taskpar/avd/internal/server"
+)
+
+// reportOf fetches a terminal run's canonical text report.
+func reportOf(t *testing.T, ts *httptest.Server, id int64) string {
+	t.Helper()
+	code, body := getBody(t, fmt.Sprintf("%s/v1/checkruns/%d/report", ts.URL, id))
+	if code != http.StatusOK {
+		t.Fatalf("report for run %d: status %d", id, code)
+	}
+	return body
+}
+
+// TestReportCacheHitServesIdenticalReport: re-submitting a
+// byte-identical trace with the same options completes instantly as
+// DONE — no queueing, no re-analysis — and serves the byte-identical
+// /report and findings of the original run.
+func TestReportCacheHitServesIdenticalReport(t *testing.T) {
+	_, body := genTrace(t, 4)
+	svc, ts := testServer(t, server.Config{})
+
+	v1, resp := submit(t, ts, body, "")
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit 1: status %d", resp.StatusCode)
+	}
+	first := poll(t, ts, v1.ID, 10*time.Second)
+	if first.Status != server.StatusDone {
+		t.Fatalf("run 1 finished %s", first.Status)
+	}
+
+	v2, resp := submit(t, ts, body, "")
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit 2: status %d", resp.StatusCode)
+	}
+	// The hit is resolved at admission: the submit response itself is
+	// already terminal.
+	if v2.Status != server.StatusDone {
+		t.Fatalf("cache-hit run admitted as %s, want DONE", v2.Status)
+	}
+	if v2.Violations != first.Violations {
+		t.Fatalf("cache-hit run reports %d violations, original %d", v2.Violations, first.Violations)
+	}
+	if got, want := reportOf(t, ts, v2.ID), reportOf(t, ts, v1.ID); got != want {
+		t.Fatalf("cached report differs:\n--- cached ---\n%s--- original ---\n%s", got, want)
+	}
+
+	m := svc.Metrics()
+	if m.ReportCacheHits != 1 || m.ReportCacheMisses != 1 || m.ReportCacheEntries != 1 {
+		t.Fatalf("cache gauges: hits=%d misses=%d entries=%d, want 1/1/1",
+			m.ReportCacheHits, m.ReportCacheMisses, m.ReportCacheEntries)
+	}
+	if m.Done != 2 || m.Admitted != 2 {
+		t.Fatalf("lifecycle accounting: %+v", m)
+	}
+}
+
+// TestReportCacheKeyedByOptions: the same trace under different
+// analysis options is a different analysis — strict mode and a
+// different checker must both miss.
+func TestReportCacheKeyedByOptions(t *testing.T) {
+	_, body := genTrace(t, 4)
+	svc, ts := testServer(t, server.Config{})
+
+	v1, _ := submit(t, ts, body, "")
+	poll(t, ts, v1.ID, 10*time.Second)
+
+	for _, query := range []string{"?strict=true", "?checker=velodrome"} {
+		v, resp := submit(t, ts, body, query)
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("submit %s: status %d", query, resp.StatusCode)
+		}
+		if v.Status == server.StatusDone {
+			t.Fatalf("submit %s hit the cache of a different analysis", query)
+		}
+		poll(t, ts, v.ID, 10*time.Second)
+	}
+	// The explicit default checker name aliases the implicit one.
+	v, _ := submit(t, ts, body, "?checker=optimized")
+	if v.Status != server.StatusDone {
+		t.Fatalf("explicit default checker missed the cache (status %s)", v.Status)
+	}
+	if m := svc.Metrics(); m.ReportCacheHits != 1 || m.ReportCacheEntries != 3 {
+		t.Fatalf("cache gauges: hits=%d entries=%d, want 1/3", m.ReportCacheHits, m.ReportCacheEntries)
+	}
+}
+
+// TestReportCacheSurvivesRegistryEviction: the cache is independent of
+// the run registry, so a report stays servable for re-submissions even
+// after its original run was evicted to admit new work.
+func TestReportCacheSurvivesRegistryEviction(t *testing.T) {
+	_, bodyA := genTrace(t, 4)
+	_, bodyB := genTrace(t, 5)
+	svc, ts := testServer(t, server.Config{MaxRuns: 1})
+
+	vA, _ := submit(t, ts, bodyA, "")
+	poll(t, ts, vA.ID, 10*time.Second)
+	reportA := reportOf(t, ts, vA.ID)
+
+	// Admitting B evicts A's terminal run from the one-slot registry.
+	vB, _ := submit(t, ts, bodyB, "")
+	poll(t, ts, vB.ID, 10*time.Second)
+	if _, ok := svc.Get(vA.ID); ok {
+		t.Fatalf("run A still registered in a one-slot registry")
+	}
+
+	// Re-submitting A still hits the cache and serves the same bytes.
+	vA2, _ := submit(t, ts, bodyA, "")
+	if vA2.Status != server.StatusDone {
+		t.Fatalf("post-eviction resubmit admitted as %s, want DONE", vA2.Status)
+	}
+	if got := reportOf(t, ts, vA2.ID); got != reportA {
+		t.Fatalf("post-eviction cached report differs from the original")
+	}
+	if m := svc.Metrics(); m.ReportCacheHits != 1 {
+		t.Fatalf("cache hits %d, want 1", m.ReportCacheHits)
+	}
+}
+
+// TestReportCacheFIFOBound: the cache itself is bounded; inserting past
+// capacity evicts the oldest entry, whose re-submission then runs
+// again.
+func TestReportCacheFIFOBound(t *testing.T) {
+	_, bodyA := genTrace(t, 4)
+	_, bodyB := genTrace(t, 5)
+	svc, ts := testServer(t, server.Config{ReportCacheSize: 1})
+
+	vA, _ := submit(t, ts, bodyA, "")
+	poll(t, ts, vA.ID, 10*time.Second)
+	vB, _ := submit(t, ts, bodyB, "")
+	poll(t, ts, vB.ID, 10*time.Second) // evicts A's entry
+
+	vA2, _ := submit(t, ts, bodyA, "")
+	if vA2.Status == server.StatusDone {
+		t.Fatalf("evicted cache entry still hit")
+	}
+	if got := poll(t, ts, vA2.ID, 10*time.Second); got.Status != server.StatusDone {
+		t.Fatalf("re-run after cache eviction finished %s", got.Status)
+	}
+	m := svc.Metrics()
+	if m.ReportCacheEntries != 1 {
+		t.Fatalf("cache holds %d entries, bound is 1", m.ReportCacheEntries)
+	}
+	if m.ReportCacheHits != 0 || m.ReportCacheMisses != 3 {
+		t.Fatalf("cache gauges: hits=%d misses=%d, want 0/3", m.ReportCacheHits, m.ReportCacheMisses)
+	}
+}
+
+// TestReportCacheDisabled: a negative size turns the cache off —
+// identical re-submissions always execute and the gauges stay zero.
+func TestReportCacheDisabled(t *testing.T) {
+	_, body := genTrace(t, 4)
+	svc, ts := testServer(t, server.Config{ReportCacheSize: -1})
+
+	for i := 0; i < 2; i++ {
+		v, _ := submit(t, ts, body, "")
+		if v.Status == server.StatusDone {
+			t.Fatalf("submit %d completed at admission with the cache disabled", i)
+		}
+		poll(t, ts, v.ID, 10*time.Second)
+	}
+	m := svc.Metrics()
+	if m.ReportCacheHits != 0 || m.ReportCacheMisses != 0 || m.ReportCacheEntries != 0 {
+		t.Fatalf("disabled cache moved its gauges: %+v", m)
+	}
+}

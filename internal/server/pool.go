@@ -159,6 +159,11 @@ func (s *Service) finishWith(run *Run, st Status, rep avd.Report, errMsg string,
 	run.mu.Unlock()
 	switch st {
 	case StatusDone:
+		// Only a fully completed analysis is memoized: failed and
+		// canceled runs describe an interruption, not the trace.
+		if run.cacheOK {
+			s.cache.put(run.ckey, rep, results)
+		}
 		s.metrics.done.Add(1)
 	case StatusFailed:
 		s.metrics.failed.Add(1)

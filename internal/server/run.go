@@ -169,6 +169,12 @@ type Run struct {
 
 	// replayer is the live analysis while RUNNING, for debug snapshots.
 	replayer *avd.Replayer
+
+	// ckey identifies this run in the cross-run report cache; cacheOK
+	// marks it eligible (the cache is enabled and the run was not itself
+	// served from it).
+	ckey    cacheKey
+	cacheOK bool
 }
 
 // ID returns the run's identifier.

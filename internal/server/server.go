@@ -51,6 +51,11 @@ type Config struct {
 	// evicts the oldest terminal runs, and if none are evictable the
 	// admission is rejected. 0 means 4096.
 	MaxRuns int
+	// ReportCacheSize bounds the cross-run report cache: re-submitting
+	// a byte-identical trace with the same analysis options completes
+	// instantly with the memoized report instead of re-running the
+	// analysis. 0 means 256; negative disables the cache.
+	ReportCacheSize int
 	// Chaos enables deterministic fault injection in the service layer
 	// (worker crashes, admission rejections); the zero value disables
 	// it.
@@ -89,6 +94,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxRuns <= 0 {
 		c.MaxRuns = 4096
 	}
+	if c.ReportCacheSize == 0 {
+		c.ReportCacheSize = 256
+	}
 	return c
 }
 
@@ -103,6 +111,8 @@ type Metrics struct {
 	rejectedChaos  atomic.Int64 // injected subset of rejectedQueue
 	retries        atomic.Int64
 	workerPanics   atomic.Int64
+	cacheHits      atomic.Int64 // admissions served from the report cache
+	cacheMisses    atomic.Int64 // cacheable admissions that had to run
 	done           atomic.Int64
 	failed         atomic.Int64
 	canceled       atomic.Int64
@@ -128,6 +138,12 @@ type MetricsView struct {
 	Queued            int64   `json:"queued"`
 	QueuedMax         int64   `json:"queued_max"`
 	QueuedPerShard    []int64 `json:"queued_per_shard"`
+	// Report-cache gauges: hits are admissions answered from the
+	// memoized report of an earlier identical run, misses are cacheable
+	// admissions that had to execute, entries the current cache size.
+	ReportCacheHits    int64 `json:"report_cache_hits"`
+	ReportCacheMisses  int64 `json:"report_cache_misses"`
+	ReportCacheEntries int64 `json:"report_cache_entries"`
 }
 
 // view snapshots the metrics.
@@ -152,6 +168,8 @@ func (m *Metrics) view() MetricsView {
 		Queued:            m.queued.Load(),
 		QueuedMax:         m.queued.Max(),
 		QueuedPerShard:    per,
+		ReportCacheHits:   m.cacheHits.Load(),
+		ReportCacheMisses: m.cacheMisses.Load(),
 	}
 }
 
@@ -162,6 +180,7 @@ func (m *Metrics) view() MetricsView {
 type Service struct {
 	cfg   Config
 	plane *chaos.Plane
+	cache *reportCache
 
 	mu     sync.Mutex
 	runs   map[int64]*Run
@@ -184,6 +203,7 @@ func New(cfg Config) *Service {
 	s := &Service{
 		cfg:    cfg,
 		plane:  chaos.New(cfg.Chaos),
+		cache:  newReportCache(cfg.ReportCacheSize),
 		runs:   make(map[int64]*Run),
 		shards: make([]chan *Run, cfg.Shards),
 	}
@@ -197,7 +217,11 @@ func New(cfg Config) *Service {
 }
 
 // Metrics returns the current server-level metrics snapshot.
-func (s *Service) Metrics() MetricsView { return s.metrics.view() }
+func (s *Service) Metrics() MetricsView {
+	v := s.metrics.view()
+	v.ReportCacheEntries = int64(s.cache.size())
+	return v
+}
 
 // ChaosStats returns the injected-fault counters of the service's chaos
 // plane (zero when chaos is not configured).
@@ -246,6 +270,14 @@ func (s *Service) Admit(tr *avd.Trace, body []byte, opts RunOptions) (*Run, erro
 		return nil, &AdmitError{Status: 429, Msg: "queue overflow (injected)", RetryAfter: time.Second}
 	}
 	shard := s.shardOf(body)
+	// The cache probe runs after the chaos draw so fault-injection
+	// decision streams see the same admission ordinals whether or not
+	// earlier identical traces were cached.
+	cacheable := s.cfg.ReportCacheSize > 0
+	var key cacheKey
+	if cacheable {
+		key = keyFor(body, opts)
+	}
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -257,6 +289,36 @@ func (s *Service) Admit(tr *avd.Trace, body []byte, opts RunOptions) (*Run, erro
 		s.metrics.rejectedQueue.Add(1)
 		return nil, &AdmitError{Status: 429, Msg: "run registry full", RetryAfter: time.Second}
 	}
+	if cacheable {
+		if e, ok := s.cache.get(key); ok {
+			// An identical trace with identical options already completed:
+			// register the run directly in its terminal state, findings
+			// and report copied from the memoized analysis. It never
+			// touches a shard queue.
+			s.nextID++
+			now := time.Now()
+			run := &Run{
+				id:       s.nextID,
+				shard:    shard,
+				status:   StatusDone,
+				tr:       tr,
+				traceSz:  int64(len(body)),
+				opts:     opts,
+				created:  now,
+				started:  now,
+				finished: now,
+				report:   e.report,
+				results:  append([]Result(nil), e.results...),
+			}
+			s.runs[run.id] = run
+			s.order = append(s.order, run.id)
+			s.mu.Unlock()
+			s.metrics.admitted.Add(1)
+			s.metrics.cacheHits.Add(1)
+			s.metrics.done.Add(1)
+			return run, nil
+		}
+	}
 	s.nextID++
 	run := &Run{
 		id:      s.nextID,
@@ -266,6 +328,8 @@ func (s *Service) Admit(tr *avd.Trace, body []byte, opts RunOptions) (*Run, erro
 		traceSz: int64(len(body)),
 		opts:    opts,
 		created: time.Now(),
+		ckey:    key,
+		cacheOK: cacheable,
 	}
 	// Enqueue under the registry lock so drain's queue close cannot race
 	// the send; the channel send is non-blocking either way.
@@ -280,6 +344,9 @@ func (s *Service) Admit(tr *avd.Trace, body []byte, opts RunOptions) (*Run, erro
 	s.order = append(s.order, run.id)
 	s.mu.Unlock()
 	s.metrics.admitted.Add(1)
+	if cacheable {
+		s.metrics.cacheMisses.Add(1)
+	}
 	s.metrics.queued.Add(1)
 	s.metrics.perShardQueued[shard].Add(1)
 	return run, nil

@@ -69,6 +69,12 @@ type replayTask struct {
 	// lock operations each advance the epoch word.
 	stepEpoch uint64
 	lockVer   uint64
+
+	// elide is the window-elision cache a batched sink installs through
+	// ElideSlot, mirroring the live runtime's handle layer: the replayer
+	// runs the same front end, so recorded and live runs of one program
+	// elide — and therefore dispatch — identically.
+	elide *sched.Elide
 }
 
 // newStepRegion invalidates the current step and advances the epoch.
@@ -90,6 +96,9 @@ func (t *replayTask) Lockset() []uint64 { return t.locks }
 
 // LocalSlot implements checker.TaskState.
 func (t *replayTask) LocalSlot() *any { return &t.local }
+
+// ElideSlot implements checker.ElideHost.
+func (t *replayTask) ElideSlot() **sched.Elide { return &t.elide }
 
 // FilterEpoch implements checker.TaskState.
 func (t *replayTask) FilterEpoch() uint64 {
@@ -171,6 +180,12 @@ func ReplayContext(ctx context.Context, tr *Trace, tree dpst.Tree, sink Sink, lo
 			t.parents = t.parents[:len(t.parents)-1]
 			t.newStepRegion()
 		case KAccess:
+			// The same elision front end as the live handle layer
+			// (sched.Task.Access): a window-saturated access never reaches
+			// the sink.
+			if el := t.elide; el != nil && el.Hit(e.Loc, e.Write) {
+				continue
+			}
 			sink.Access(t, e.Loc, e.Write)
 		case KAcquire:
 			if bf != nil {

@@ -168,9 +168,13 @@ type IntArray struct {
 	data []atomic.Int64
 }
 
-// NewIntArray creates an instrumented integer array of length n.
+// NewIntArray creates an instrumented integer array of length n. Array
+// locations are index-striped: each array's base lands on a distinct
+// phase of the checker's direct-mapped caches, so equal indices of two
+// power-of-two arrays (a merge's source and destination frontier, say)
+// stop colliding in every filter, dedup, and window-elision slot.
 func (s *Session) NewIntArray(name string, n int) *IntArray {
-	return &IntArray{loc0: s.sch.AllocLocs(n), sch: s.sch, name: name, data: make([]atomic.Int64, n)}
+	return &IntArray{loc0: s.sch.AllocLocsStriped(n), sch: s.sch, name: name, data: make([]atomic.Int64, n)}
 }
 
 // Name returns the diagnostic name.
@@ -222,9 +226,11 @@ type FloatArray struct {
 	data []atomic.Uint64
 }
 
-// NewFloatArray creates an instrumented float array of length n.
+// NewFloatArray creates an instrumented float array of length n. Like
+// NewIntArray, the locations are index-striped across the checker's
+// direct-mapped cache phases.
 func (s *Session) NewFloatArray(name string, n int) *FloatArray {
-	return &FloatArray{loc0: s.sch.AllocLocs(n), sch: s.sch, name: name, data: make([]atomic.Uint64, n)}
+	return &FloatArray{loc0: s.sch.AllocLocsStriped(n), sch: s.sch, name: name, data: make([]atomic.Uint64, n)}
 }
 
 // Name returns the diagnostic name.
