@@ -4,13 +4,15 @@
 // shared access reaches it through instrumented handles on the right
 // task, and avd-lint verifies exactly that discipline.
 //
-// The suite (see internal/analysis/suite) ships five analyzers:
+// The suite (see internal/analysis/suite) ships seven analyzers:
 //
-//	taskcapture    closures must use their own *Task parameter
+//	taskcapture    closures must use their own *Task parameter; pre-go1.22 loop-variable captures
 //	sharedescape   parallel-written plain variables are invisible to the checker
 //	lockdiscipline unlock-without-lock, double-lock, critical sections spanning Spawn/Finish
 //	sessionhandle  cross-session handles and use-after-Close
-//	elision        variables provably touched by one step (info: instrumentation removable)
+//	elision        handles provably serial (info: instrumentation removable)
+//	observer       observer registrations that outlive their session
+//	staticavd      compile-time atomicity-violation candidates over static MHP facts (info)
 //
 // Usage:
 //
@@ -19,17 +21,23 @@
 //
 // Packages default to ./... resolved against the enclosing module.
 // Findings print vet-style (file:line:col: [analyzer] message); -json
-// emits a machine-readable {package: {analyzer: [finding]}} tree for
-// diffing lint results across revisions. Exit status: 0 clean (info
-// findings do not fail the run), 1 operational error, 2 findings.
+// emits a machine-readable tree for diffing lint results across
+// revisions: {package: {"findings": {analyzer: [finding]},
+// "suppressed": N}}, where each finding carries its severity, message,
+// and any suggested_fixes with exact edit spans, and suppressed counts
+// the diagnostics silenced by //avdlint:ignore directives. Exit
+// status: 0 clean (info findings do not fail the run), 1 operational
+// error, 2 findings.
 //
-// -fix applies every suggested fix to the source files in place. Today
-// the only fix producer is the elision analyzer: a handle proven to be
-// touched by a single step has its Load/Store/Add calls rewritten to
-// the uninstrumented Value/SetValue/AddValue accessors, removing its
-// checker events without changing program behavior or analysis
-// results. -fix is a standalone-mode feature (not available under go
-// vet, whose protocol has no rewrite channel).
+// -fix applies every suggested fix to the source files in place. Fix
+// producers today are the elision analyzer (handles proven serial —
+// by the single-step rule or the static MHP proof — have their
+// Load/Store/Add calls rewritten to the uninstrumented
+// Value/SetValue/AddValue accessors, removing their checker events
+// without changing program behavior or analysis results) and
+// taskcapture's captured-task rename. -fix is a standalone-mode
+// feature (not available under go vet, whose protocol has no rewrite
+// channel).
 //
 // When invoked by go vet (a single *.cfg argument), avd-lint speaks
 // the vet unitchecker protocol: it type-checks from the compiler's
@@ -80,10 +88,33 @@ func run() int {
 
 // jsonFinding is one diagnostic in -json output.
 type jsonFinding struct {
-	Posn     string `json:"posn"`
-	End      string `json:"end,omitempty"`
-	Severity string `json:"severity"`
-	Message  string `json:"message"`
+	Posn           string    `json:"posn"`
+	End            string    `json:"end,omitempty"`
+	Severity       string    `json:"severity"`
+	Message        string    `json:"message"`
+	SuggestedFixes []jsonFix `json:"suggested_fixes,omitempty"`
+}
+
+// jsonFix is one mechanical rewrite attached to a finding.
+type jsonFix struct {
+	Message string     `json:"message"`
+	Edits   []jsonEdit `json:"edits"`
+}
+
+// jsonEdit replaces the source span [posn, end) with new_text.
+type jsonEdit struct {
+	Posn    string `json:"posn"`
+	End     string `json:"end"`
+	NewText string `json:"new_text"`
+}
+
+// jsonPackage is one package's lint result in -json output: findings
+// grouped by analyzer, plus the count of diagnostics silenced by
+// //avdlint:ignore directives (so suppression debt stays visible when
+// diffing lint output across revisions).
+type jsonPackage struct {
+	Findings   map[string][]jsonFinding `json:"findings,omitempty"`
+	Suppressed int                      `json:"suppressed,omitempty"`
 }
 
 // standalone loads the requested packages from source and lints them.
@@ -104,7 +135,7 @@ func standalone(patterns []string, asJSON, applyFixes bool) int {
 		return 1
 	}
 	analyzers := suite.All()
-	tree := make(map[string]map[string][]jsonFinding)
+	tree := make(map[string]*jsonPackage)
 	failures := 0
 	exit := 0
 	for _, dir := range dirs {
@@ -114,33 +145,47 @@ func standalone(patterns []string, asJSON, applyFixes bool) int {
 			exit = 1
 			continue
 		}
-		diags, err := analysis.Run(loader.Fset, pkg.Files, pkg.Types, pkg.Info, analyzers)
+		res, err := analysis.RunDetailed(loader.Fset, pkg.Files, pkg.Types, pkg.Info, analyzers,
+			analysis.Options{GoVersion: pkg.GoVersion})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "avd-lint:", err)
 			exit = 1
 			continue
 		}
+		diags := res.Diags
 		if applyFixes {
 			if err := applyDiagnosticFixes(loader.Fset, wd, diags); err != nil {
 				fmt.Fprintln(os.Stderr, "avd-lint:", err)
 				exit = 1
 			}
 		}
+		if asJSON && len(res.Suppressed) > 0 {
+			jp := tree[pkg.Path]
+			if jp == nil {
+				jp = &jsonPackage{}
+				tree[pkg.Path] = jp
+			}
+			jp.Suppressed = len(res.Suppressed)
+		}
 		for _, d := range diags {
 			if d.Severity != analysis.SeverityInfo {
 				failures++
 			}
 			if asJSON {
-				byAnalyzer := tree[pkg.Path]
-				if byAnalyzer == nil {
-					byAnalyzer = make(map[string][]jsonFinding)
-					tree[pkg.Path] = byAnalyzer
+				jp := tree[pkg.Path]
+				if jp == nil {
+					jp = &jsonPackage{}
+					tree[pkg.Path] = jp
 				}
-				byAnalyzer[d.Analyzer] = append(byAnalyzer[d.Analyzer], jsonFinding{
-					Posn:     relPosn(loader.Fset, wd, d.Pos),
-					End:      relPosn(loader.Fset, wd, d.End),
-					Severity: string(d.Severity),
-					Message:  d.Message,
+				if jp.Findings == nil {
+					jp.Findings = make(map[string][]jsonFinding)
+				}
+				jp.Findings[d.Analyzer] = append(jp.Findings[d.Analyzer], jsonFinding{
+					Posn:           relPosn(loader.Fset, wd, d.Pos),
+					End:            relPosn(loader.Fset, wd, d.End),
+					Severity:       string(d.Severity),
+					Message:        d.Message,
+					SuggestedFixes: jsonFixes(loader.Fset, wd, d.SuggestedFixes),
 				})
 			} else {
 				prefix := ""
@@ -166,6 +211,23 @@ func standalone(patterns []string, asJSON, applyFixes bool) int {
 		return 2
 	}
 	return 0
+}
+
+// jsonFixes renders suggested fixes with their edit spans.
+func jsonFixes(fset *token.FileSet, base string, fixes []analysis.SuggestedFix) []jsonFix {
+	var out []jsonFix
+	for _, fix := range fixes {
+		jf := jsonFix{Message: fix.Message}
+		for _, e := range fix.TextEdits {
+			jf.Edits = append(jf.Edits, jsonEdit{
+				Posn:    relPosn(fset, base, e.Pos),
+				End:     relPosn(fset, base, e.End),
+				NewText: string(e.NewText),
+			})
+		}
+		out = append(out, jf)
+	}
+	return out
 }
 
 // applyDiagnosticFixes groups every suggested fix's edits by file and

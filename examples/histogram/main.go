@@ -32,7 +32,14 @@ func main() {
 		locks[i] = s.NewMutex(fmt.Sprintf("bucket-%d", i))
 	}
 
+	// expected is written before the parallel region and read after the
+	// join: two steps, never in parallel. The static MHP engine proves
+	// it serial, so `avd-lint -fix` rewrites these accesses to the
+	// uninstrumented SetValue/Value accessors.
+	expected := s.NewIntVar("expected")
+
 	s.Run(func(t *avd.Task) {
+		expected.Store(t, items)
 		avd.ParallelRange(t, 0, items, 256, func(t *avd.Task, lo, hi int) {
 			var local [buckets]int64
 			for i := lo; i < hi; i++ {
@@ -48,6 +55,9 @@ func main() {
 				locks[b].Unlock(t)
 			}
 		})
+		if got := expected.Load(t); got != items {
+			fmt.Printf("unexpected item count %d\n", got)
+		}
 	})
 
 	var total int64

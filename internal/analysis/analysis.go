@@ -66,6 +66,9 @@ type Pass struct {
 	Inspector *Inspector
 	// API recognizes the avd instrumentation surface.
 	API *avdapi.Facts
+	// GoVersion is the package's declared language version ("go1.21");
+	// empty when unknown, which analyzers must treat as current.
+	GoVersion string
 
 	report func(Diagnostic)
 }
@@ -126,6 +129,34 @@ type TextEdit struct {
 // escape hatch for code that misuses the API on purpose, such as tests
 // of the runtime's own UsageError paths.
 func Run(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, analyzers []*Analyzer) ([]Diagnostic, error) {
+	res, err := RunDetailed(fset, files, pkg, info, analyzers, Options{})
+	if err != nil {
+		return nil, err
+	}
+	return res.Diags, nil
+}
+
+// Options configures a detailed run.
+type Options struct {
+	// GoVersion is the package's declared language version ("go1.21" or
+	// "1.21"); empty means unknown/current.
+	GoVersion string
+}
+
+// Result is the full outcome of a suite run: the surviving diagnostics
+// plus the ones an //avdlint:ignore directive suppressed (kept so
+// callers can count or audit suppressions — the differential gate reads
+// proofs off suppressed advisory findings without un-silencing them).
+type Result struct {
+	// Diags are the reported diagnostics in source order.
+	Diags []Diagnostic
+	// Suppressed are the diagnostics dropped by ignore directives, in
+	// source order.
+	Suppressed []Diagnostic
+}
+
+// RunDetailed is Run with configuration and a full Result.
+func RunDetailed(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, analyzers []*Analyzer, opts Options) (*Result, error) {
 	insp := NewInspector(files)
 	api := avdapi.NewFacts(pkg, info)
 	var diags []Diagnostic
@@ -138,15 +169,37 @@ func Run(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types
 			TypesInfo: info,
 			Inspector: insp,
 			API:       api,
+			GoVersion: opts.GoVersion,
 			report:    func(d Diagnostic) { diags = append(diags, d) },
 		}
 		if err := a.Run(pass); err != nil {
 			return nil, fmt.Errorf("%s: %w", a.Name, err)
 		}
 	}
-	diags = suppressIgnored(fset, files, diags)
-	sortDiagnostics(diags)
-	return diags, nil
+	kept, suppressed := suppressIgnored(fset, files, diags)
+	sortDiagnostics(kept)
+	sortDiagnostics(suppressed)
+	return &Result{Diags: kept, Suppressed: suppressed}, nil
+}
+
+// GoVersionBefore reports whether the declared language version v is
+// known and strictly lower than major.minor. Both "go1.21" and "1.21"
+// (with optional patch suffix) parse; an empty or malformed version is
+// treated as current, so version-gated checks stay silent when the
+// version is unknown.
+func GoVersionBefore(v string, major, minor int) bool {
+	v = strings.TrimPrefix(strings.TrimSpace(v), "go")
+	if v == "" {
+		return false
+	}
+	var maj, min int
+	if _, err := fmt.Sscanf(v+".", "%d.%d.", &maj, &min); err != nil {
+		return false
+	}
+	if maj != major {
+		return maj < major
+	}
+	return min < minor
 }
 
 // ignoreDirective is the suppression marker: a comment containing it
@@ -154,10 +207,11 @@ func Run(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types
 // immediately following it.
 const ignoreDirective = "avdlint:ignore"
 
-// suppressIgnored drops diagnostics covered by an ignore directive.
-func suppressIgnored(fset *token.FileSet, files []*ast.File, diags []Diagnostic) []Diagnostic {
+// suppressIgnored partitions diagnostics into those kept and those
+// covered by an ignore directive.
+func suppressIgnored(fset *token.FileSet, files []*ast.File, diags []Diagnostic) (kept, suppressed []Diagnostic) {
 	if len(diags) == 0 {
-		return diags
+		return diags, nil
 	}
 	ignored := make(map[string]map[int]bool)
 	for _, f := range files {
@@ -178,16 +232,17 @@ func suppressIgnored(fset *token.FileSet, files []*ast.File, diags []Diagnostic)
 		}
 	}
 	if len(ignored) == 0 {
-		return diags
+		return diags, nil
 	}
-	kept := diags[:0]
 	for _, d := range diags {
 		posn := fset.Position(d.Pos)
-		if !ignored[posn.Filename][posn.Line] {
+		if ignored[posn.Filename][posn.Line] {
+			suppressed = append(suppressed, d)
+		} else {
 			kept = append(kept, d)
 		}
 	}
-	return kept
+	return kept, suppressed
 }
 
 // sortDiagnostics orders findings by position then analyzer name.

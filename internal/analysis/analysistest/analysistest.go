@@ -34,6 +34,14 @@ type expectation struct {
 // corpus's // want comments through t.
 func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgs ...string) {
 	t.Helper()
+	RunWithVersion(t, testdata, a, "", pkgs...)
+}
+
+// RunWithVersion is Run with an explicit declared language version
+// ("go1.21"), for corpora exercising version-gated checks; the empty
+// version means unknown/current.
+func RunWithVersion(t *testing.T, testdata string, a *analysis.Analyzer, goVersion string, pkgs ...string) {
+	t.Helper()
 	l := load.NewGOPATH(testdata)
 	for _, path := range pkgs {
 		pkg, err := l.Load(path)
@@ -41,13 +49,14 @@ func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgs ...string) {
 			t.Errorf("loading %s: %v", path, err)
 			continue
 		}
-		diags, err := analysis.Run(l.Fset, pkg.Files, pkg.Types, pkg.Info, []*analysis.Analyzer{a})
+		res, err := analysis.RunDetailed(l.Fset, pkg.Files, pkg.Types, pkg.Info,
+			[]*analysis.Analyzer{a}, analysis.Options{GoVersion: goVersion})
 		if err != nil {
 			t.Errorf("running %s on %s: %v", a.Name, path, err)
 			continue
 		}
-		checkDiagnostics(t, l.Fset, pkg, diags)
-		checkGolden(t, l.Fset, pkg, diags)
+		checkDiagnostics(t, l.Fset, pkg, res.Diags)
+		checkGolden(t, l.Fset, pkg, res.Diags)
 	}
 }
 

@@ -87,11 +87,29 @@ type Facts struct {
 	Pkg *types.Package
 	// Info is its type information.
 	Info *types.Info
+
+	memo map[string]any
 }
 
 // NewFacts builds the facts layer for one package.
 func NewFacts(pkg *types.Package, info *types.Info) *Facts {
-	return &Facts{Pkg: pkg, Info: info}
+	return &Facts{Pkg: pkg, Info: info, memo: make(map[string]any)}
+}
+
+// Memo caches an expensive derived structure on the facts layer so
+// analyzers sharing one Facts (the whole suite, per package) also share
+// the structure — the static MHP engine is built once and consumed by
+// both staticavd and elision.
+func (f *Facts) Memo(key string, build func() any) any {
+	if f.memo == nil {
+		f.memo = make(map[string]any)
+	}
+	if v, ok := f.memo[key]; ok {
+		return v
+	}
+	v := build()
+	f.memo[key] = v
+	return v
 }
 
 // namedInAVD reports whether t (after stripping one pointer) is the

@@ -1,0 +1,831 @@
+// Interprocedural task-structure summaries.
+//
+// The dynamic checker sees the program as a stream of structure events
+// (spawn, finish, sync) and handle accesses, attributed to DPST nodes
+// as they happen. This file computes the static counterpart: for every
+// function and closure of a package, a linearized *effect stream*
+// describing the net spawn/finish/sync behavior and the instrumented
+// accesses the body performs, with in-package calls left symbolic
+// (EffCall) so a consumer can inline them on demand. The staticmhp
+// package interprets these streams to grow a static DPST approximation
+// per entry point; recursion is detected at interpretation time and
+// widened through the transitive Summary of the cycle.
+//
+// The extraction is deliberately syntactic and local: one pass per
+// function body, no fixpoint. All interprocedural reasoning —
+// inlining, parameter-to-argument handle substitution, recursion
+// widening — happens in the consumer, where a substitution environment
+// exists. Task bodies are resolved through the same machinery the
+// closure index uses, extended with the shapes the corpus exercises:
+// named functions, method values (t.Spawn(w.step)), and closures
+// returned from in-package helpers (t.Spawn(makeWorker(x))).
+package avdapi
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// HandleKey names one instrumented handle or mutex for static
+// reasoning. Ident-rooted receivers carry the variable object (plus an
+// inline-instance number, so a handle declared inside a function that
+// is inlined twice does not alias itself across calls); anything else
+// falls back to the receiver's expression text, which conservatively
+// aliases structurally identical expressions.
+type HandleKey struct {
+	// Obj is the receiver variable for ident-rooted receivers.
+	Obj *types.Var
+	// Inst distinguishes dynamic instances of a handle declared inside
+	// an inlined or replicated frame (0 for top-level declarations).
+	Inst int
+	// Expr is the receiver expression text when Obj is nil.
+	Expr string
+}
+
+// Name renders the handle for diagnostics.
+func (k HandleKey) Name() string {
+	if k.Obj != nil {
+		return k.Obj.Name()
+	}
+	return k.Expr
+}
+
+// Zero reports whether the key is empty (unresolvable receiver).
+func (k HandleKey) Zero() bool { return k.Obj == nil && k.Expr == "" }
+
+// Effect is one element of a function's effect stream, in program
+// order. Branch alternatives and loop bodies nest.
+type Effect interface {
+	// EffectPos is the source position the effect is anchored to.
+	EffectPos() token.Pos
+}
+
+// EffAccess is one instrumented variable access (an Add contributes a
+// read effect followed by a write effect, mirroring the runtime).
+type EffAccess struct {
+	// RecvVar is the receiver variable for ident-rooted receivers.
+	RecvVar *types.Var
+	// RecvExpr is the receiver text when RecvVar is nil.
+	RecvExpr string
+	// Write distinguishes the access kind.
+	Write bool
+	// Pos is the call position.
+	Pos token.Pos
+}
+
+// EffLock is a mutex Lock or Unlock.
+type EffLock struct {
+	RecvVar  *types.Var
+	RecvExpr string
+	// Unlock distinguishes release from acquire.
+	Unlock bool
+	Pos    token.Pos
+}
+
+// EffDecl records a handle binding x := s.New*Var(...), anchoring the
+// handle's declaration scope in the static tree.
+type EffDecl struct {
+	// Obj is the bound variable.
+	Obj *types.Var
+	// Kind is the handle kind ("IntVar", "FloatVar", ...).
+	Kind string
+	Pos  token.Pos
+}
+
+// EffSpawn forks a child task (Spawn or CilkSpawn).
+type EffSpawn struct {
+	Kind StructureKind
+	Body *BodyRef
+	Pos  token.Pos
+}
+
+// EffFinish runs a body inline under a new finish scope (Finish or
+// Session.Run).
+type EffFinish struct {
+	Kind StructureKind
+	Body *BodyRef
+	Pos  token.Pos
+}
+
+// EffParallel is Task.Parallel: a finish scope forking every body but
+// the first, which runs inline.
+type EffParallel struct {
+	Bodies []*BodyRef
+	Pos    token.Pos
+}
+
+// EffParLoop is ParallelFor/ParallelRange: a finish scope over a
+// replicated forked body.
+type EffParLoop struct {
+	Kind StructureKind
+	Body *BodyRef
+	Pos  token.Pos
+}
+
+// EffSync is Task.Sync.
+type EffSync struct{ Pos token.Pos }
+
+// EffCall is a call to an in-package function or directly-invoked
+// closure, left symbolic for the consumer to inline.
+type EffCall struct {
+	// Decl is the callee declaration (nil when Lit is set).
+	Decl *ast.FuncDecl
+	// Lit is a directly invoked function literal.
+	Lit *ast.FuncLit
+	// Recv is the receiver expression for method calls.
+	Recv ast.Expr
+	// Args are the call's argument expressions (caller context).
+	Args []ast.Expr
+	Pos  token.Pos
+}
+
+// EffGo is a go statement with a resolvable body; its accesses run on
+// a goroutine outside the DPST and may happen in parallel with
+// everything.
+type EffGo struct {
+	Body *BodyRef
+	Pos  token.Pos
+}
+
+// EffBranch is a set of alternative effect streams (if/else, switch,
+// select) of which at most one executes.
+type EffBranch struct {
+	Alts [][]Effect
+	Pos  token.Pos
+}
+
+// EffLoop is a serial loop body; it may execute any number of times.
+type EffLoop struct {
+	Body []Effect
+	Pos  token.Pos
+}
+
+// EffOpaque marks a point where the task escapes to unresolvable code.
+// Unknown callees cannot touch handles that never escape (the only
+// ones the static passes reason about), and the structure they add
+// cannot re-parent modeled steps, so consumers treat this as a no-op
+// for MHP between modeled sites; it is recorded for transparency.
+type EffOpaque struct{ Pos token.Pos }
+
+// EffectPos implementations.
+func (e EffAccess) EffectPos() token.Pos   { return e.Pos }
+func (e EffLock) EffectPos() token.Pos     { return e.Pos }
+func (e EffDecl) EffectPos() token.Pos     { return e.Pos }
+func (e EffSpawn) EffectPos() token.Pos    { return e.Pos }
+func (e EffFinish) EffectPos() token.Pos   { return e.Pos }
+func (e EffParallel) EffectPos() token.Pos { return e.Pos }
+func (e EffParLoop) EffectPos() token.Pos  { return e.Pos }
+func (e EffSync) EffectPos() token.Pos     { return e.Pos }
+func (e EffCall) EffectPos() token.Pos     { return e.Pos }
+func (e EffGo) EffectPos() token.Pos       { return e.Pos }
+func (e EffBranch) EffectPos() token.Pos   { return e.Pos }
+func (e EffLoop) EffectPos() token.Pos     { return e.Pos }
+func (e EffOpaque) EffectPos() token.Pos   { return e.Pos }
+
+// BodyRef is the resolution of a task-body (or goroutine-body)
+// argument.
+type BodyRef struct {
+	// Lit is a function literal body.
+	Lit *ast.FuncLit
+	// Decl is a named function or method body (method values included).
+	Decl *ast.FuncDecl
+	// BindVars/BindArgs carry extra variable bindings established at
+	// body creation: the helper's parameters for closures returned from
+	// in-package helpers, or the receiver variable for method values.
+	// The arguments are caller-context expressions, to be resolved in
+	// the consumer's substitution environment at the spawn point.
+	BindVars []*types.Var
+	BindArgs []ast.Expr
+	// Unknown marks an unresolvable body (e.g. a function variable).
+	Unknown bool
+	Pos     token.Pos
+}
+
+// Summary is the transitive net effect of one function: whether it (or
+// anything it reaches, including bodies it spawns) forks, syncs,
+// escapes to goroutines, and which handle accesses the subtree
+// performs. It is the widening used when the consumer's inlining hits
+// recursion.
+type Summary struct {
+	// MayFork reports a reachable forking structure operation.
+	MayFork bool
+	// MaySync reports a reachable Sync.
+	MaySync bool
+	// HasGo reports a reachable go-statement escape.
+	HasGo bool
+	// HasRun reports a reachable Session.Run (marks analysis entry
+	// points).
+	HasRun bool
+	// Opaque reports a reachable task escape to unknown code.
+	Opaque bool
+	// Accesses are the reachable handle accesses (capped).
+	Accesses []EffAccess
+}
+
+// summaryAccessCap bounds the widened access set carried by one
+// Summary; recursion widening only needs a representative set.
+const summaryAccessCap = 256
+
+// Summarizer computes per-function effect streams and transitive
+// summaries for one package. Build it once (it is cached on the Facts
+// layer via Memo) and share it between the static passes.
+type Summarizer struct {
+	api   *Facts
+	files []*ast.File
+
+	decls     map[*types.Func]*ast.FuncDecl
+	effects   map[ast.Node][]Effect
+	summaries map[ast.Node]*Summary
+	roots     []*ast.FuncDecl
+	rootsDone bool
+}
+
+// NewSummarizer indexes the package's function declarations.
+func NewSummarizer(api *Facts, files []*ast.File) *Summarizer {
+	s := &Summarizer{
+		api:       api,
+		files:     files,
+		decls:     make(map[*types.Func]*ast.FuncDecl),
+		effects:   make(map[ast.Node][]Effect),
+		summaries: make(map[ast.Node]*Summary),
+	}
+	for _, f := range files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fn, ok := api.Info.Defs[fd.Name].(*types.Func); ok {
+				s.decls[fn] = fd
+			}
+		}
+	}
+	return s
+}
+
+// DeclOf resolves an in-package function object to its declaration.
+func (s *Summarizer) DeclOf(fn *types.Func) *ast.FuncDecl {
+	if fn == nil {
+		return nil
+	}
+	return s.decls[fn]
+}
+
+// Decls returns every indexed function declaration.
+func (s *Summarizer) Decls() map[*types.Func]*ast.FuncDecl { return s.decls }
+
+// Effects returns the effect stream of a function node (*ast.FuncDecl
+// or *ast.FuncLit), extracting and memoizing it on first use.
+func (s *Summarizer) Effects(fn ast.Node) []Effect {
+	if effs, ok := s.effects[fn]; ok {
+		return effs
+	}
+	var body *ast.BlockStmt
+	switch n := fn.(type) {
+	case *ast.FuncDecl:
+		body = n.Body
+	case *ast.FuncLit:
+		body = n.Body
+	}
+	if body == nil {
+		return nil
+	}
+	x := &extractor{s: s}
+	effs := x.block(body)
+	// Deferred calls run at frame exit, whatever the registration
+	// branch; appending them at the end matches the release-at-return
+	// semantics the lockdiscipline pass models.
+	effs = append(effs, x.deferred...)
+	s.effects[fn] = effs
+	return effs
+}
+
+// Summary returns the transitive net effect of a function node. The
+// result is complete even for (mutually) recursive functions: the
+// accumulation walks effect streams directly with its own visited set,
+// so cycles back to any node already folded in contribute nothing new.
+func (s *Summarizer) Summary(fn ast.Node) *Summary {
+	if sum, ok := s.summaries[fn]; ok {
+		return sum
+	}
+	sum := &Summary{}
+	s.accumulate(sum, s.Effects(fn), map[ast.Node]bool{fn: true})
+	s.summaries[fn] = sum
+	return sum
+}
+
+// Roots returns the analysis entry points: function declarations whose
+// subtree reaches a Session.Run and that no other declaration's body
+// calls or references (a function inlined into a larger root would
+// otherwise be analyzed twice). References from top-level variable
+// declarations — registry tables — do not disqualify a root.
+func (s *Summarizer) Roots() []*ast.FuncDecl {
+	if s.rootsDone {
+		return s.roots
+	}
+	s.rootsDone = true
+	referenced := make(map[*ast.FuncDecl]bool)
+	for fn, decl := range s.decls {
+		self := fn
+		ast.Inspect(decl.Body, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			used, ok := s.api.Info.Uses[id].(*types.Func)
+			if !ok || used == self {
+				return true
+			}
+			if d := s.decls[used]; d != nil {
+				referenced[d] = true
+			}
+			return true
+		})
+	}
+	for _, f := range s.files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || referenced[fd] {
+				continue
+			}
+			if s.Summary(fd).HasRun {
+				s.roots = append(s.roots, fd)
+			}
+		}
+	}
+	return s.roots
+}
+
+// accumulate folds an effect stream (and everything reachable from it)
+// into sum.
+func (s *Summarizer) accumulate(sum *Summary, effs []Effect, seen map[ast.Node]bool) {
+	body := func(b *BodyRef) {
+		if b == nil || b.Unknown {
+			return
+		}
+		var n ast.Node
+		if b.Lit != nil {
+			n = b.Lit
+		} else if b.Decl != nil {
+			n = b.Decl
+		}
+		if n == nil || seen[n] {
+			return
+		}
+		seen[n] = true
+		s.accumulate(sum, s.Effects(n), seen)
+	}
+	for _, e := range effs {
+		switch e := e.(type) {
+		case EffAccess:
+			if len(sum.Accesses) < summaryAccessCap {
+				sum.Accesses = append(sum.Accesses, e)
+			}
+		case EffSpawn:
+			sum.MayFork = true
+			body(e.Body)
+		case EffFinish:
+			if e.Kind == KindRun {
+				sum.HasRun = true
+			}
+			body(e.Body)
+		case EffParallel:
+			sum.MayFork = true
+			for _, b := range e.Bodies {
+				body(b)
+			}
+		case EffParLoop:
+			sum.MayFork = true
+			body(e.Body)
+		case EffSync:
+			sum.MaySync = true
+		case EffGo:
+			sum.HasGo = true
+			body(e.Body)
+		case EffOpaque:
+			sum.Opaque = true
+		case EffCall:
+			var n ast.Node
+			if e.Lit != nil {
+				n = e.Lit
+			} else if e.Decl != nil {
+				n = e.Decl
+			}
+			if n != nil && !seen[n] {
+				seen[n] = true
+				s.accumulate(sum, s.Effects(n), seen)
+			}
+		case EffBranch:
+			for _, alt := range e.Alts {
+				s.accumulate(sum, alt, seen)
+			}
+		case EffLoop:
+			s.accumulate(sum, e.Body, seen)
+		}
+	}
+}
+
+// extractor linearizes one function body into effects.
+type extractor struct {
+	s        *Summarizer
+	deferred []Effect
+}
+
+// block extracts a statement list.
+func (x *extractor) block(b *ast.BlockStmt) []Effect {
+	if b == nil {
+		return nil
+	}
+	return x.stmts(b.List)
+}
+
+func (x *extractor) stmts(list []ast.Stmt) []Effect {
+	var effs []Effect
+	for _, st := range list {
+		effs = append(effs, x.stmt(st)...)
+	}
+	return effs
+}
+
+func (x *extractor) stmt(st ast.Stmt) []Effect {
+	switch st := st.(type) {
+	case nil:
+		return nil
+	case *ast.BlockStmt:
+		return x.block(st)
+	case *ast.ExprStmt:
+		return x.expr(st.X)
+	case *ast.AssignStmt:
+		var effs []Effect
+		for _, e := range st.Rhs {
+			effs = append(effs, x.expr(e)...)
+		}
+		for _, e := range st.Lhs {
+			effs = append(effs, x.expr(e)...)
+		}
+		effs = append(effs, x.handleDecls(st)...)
+		return effs
+	case *ast.IfStmt:
+		effs := x.stmt(st.Init)
+		effs = append(effs, x.expr(st.Cond)...)
+		alts := [][]Effect{x.block(st.Body), x.stmt(st.Else)}
+		return append(effs, EffBranch{Alts: alts, Pos: st.Pos()})
+	case *ast.ForStmt:
+		effs := x.stmt(st.Init)
+		effs = append(effs, x.expr(st.Cond)...)
+		body := x.block(st.Body)
+		body = append(body, x.stmt(st.Post)...)
+		return append(effs, EffLoop{Body: body, Pos: st.Pos()})
+	case *ast.RangeStmt:
+		effs := x.expr(st.X)
+		return append(effs, EffLoop{Body: x.block(st.Body), Pos: st.Pos()})
+	case *ast.SwitchStmt:
+		effs := x.stmt(st.Init)
+		effs = append(effs, x.expr(st.Tag)...)
+		return append(effs, x.caseBranch(st.Body)...)
+	case *ast.TypeSwitchStmt:
+		effs := x.stmt(st.Init)
+		effs = append(effs, x.stmt(st.Assign)...)
+		return append(effs, x.caseBranch(st.Body)...)
+	case *ast.SelectStmt:
+		return x.caseBranch(st.Body)
+	case *ast.ReturnStmt:
+		var effs []Effect
+		for _, e := range st.Results {
+			effs = append(effs, x.expr(e)...)
+		}
+		return effs
+	case *ast.DeferStmt:
+		// Argument expressions evaluate at defer time; the call itself
+		// runs at frame exit.
+		var effs []Effect
+		for _, a := range st.Call.Args {
+			effs = append(effs, x.expr(a)...)
+		}
+		x.deferred = append(x.deferred, x.call(st.Call, false)...)
+		return effs
+	case *ast.GoStmt:
+		return x.goStmt(st)
+	case *ast.DeclStmt:
+		var effs []Effect
+		if gd, ok := st.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						effs = append(effs, x.expr(v)...)
+					}
+				}
+			}
+		}
+		return effs
+	case *ast.LabeledStmt:
+		return x.stmt(st.Stmt)
+	case *ast.IncDecStmt:
+		return x.expr(st.X)
+	case *ast.SendStmt:
+		effs := x.expr(st.Chan)
+		return append(effs, x.expr(st.Value)...)
+	default:
+		return nil
+	}
+}
+
+// caseBranch folds a switch/select body into one EffBranch with an
+// implicit empty alternative (no case may match).
+func (x *extractor) caseBranch(body *ast.BlockStmt) []Effect {
+	alts := [][]Effect{nil}
+	for _, c := range body.List {
+		switch c := c.(type) {
+		case *ast.CaseClause:
+			var alt []Effect
+			for _, e := range c.List {
+				alt = append(alt, x.expr(e)...)
+			}
+			alts = append(alts, append(alt, x.stmts(c.Body)...))
+		case *ast.CommClause:
+			alt := x.stmt(c.Comm)
+			alts = append(alts, append(alt, x.stmts(c.Body)...))
+		}
+	}
+	return []Effect{EffBranch{Alts: alts, Pos: body.Pos()}}
+}
+
+// handleDecls emits EffDecl for x := s.New*Var(...) bindings.
+func (x *extractor) handleDecls(as *ast.AssignStmt) []Effect {
+	if len(as.Lhs) != len(as.Rhs) {
+		return nil
+	}
+	var effs []Effect
+	for i := range as.Lhs {
+		call, ok := ast.Unparen(as.Rhs[i]).(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		name, _, ok := x.s.api.SessionOp(call)
+		if !ok {
+			continue
+		}
+		switch name {
+		case "NewIntVar", "NewFloatVar", "NewIntArray", "NewFloatArray":
+		default:
+			continue
+		}
+		id, ok := ast.Unparen(as.Lhs[i]).(*ast.Ident)
+		if !ok {
+			continue
+		}
+		if obj, ok := x.s.api.Info.Defs[id].(*types.Var); ok {
+			effs = append(effs, EffDecl{Obj: obj, Kind: name[3:], Pos: id.Pos()})
+		}
+	}
+	return effs
+}
+
+// expr extracts the effects of an expression, classifying calls and
+// skipping function literals (their effects belong to whoever runs
+// them).
+func (x *extractor) expr(e ast.Expr) []Effect {
+	if e == nil {
+		return nil
+	}
+	var effs []Effect
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.CallExpr:
+			effs = append(effs, x.call(n, false)...)
+			return false
+		}
+		return true
+	})
+	return effs
+}
+
+// receiverOf splits a receiver expression into (variable, text).
+func (x *extractor) receiverOf(recv ast.Expr) (*types.Var, string) {
+	if v := x.s.api.ObjectOf(recv); v != nil {
+		return v, ""
+	}
+	return nil, types.ExprString(recv)
+}
+
+// call classifies one call expression. goBody requests the body
+// resolution of a go statement's call instead of its inline effects.
+func (x *extractor) call(call *ast.CallExpr, goBody bool) []Effect {
+	api := x.s.api
+	pos := call.Pos()
+
+	// Instrumented handle access or mutex operation.
+	if acc, ok := api.InstrumentedOp(call); ok {
+		effs := x.callArgs(call)
+		rv, re := x.receiverOf(acc.Recv)
+		if acc.Mutex {
+			return append(effs, EffLock{RecvVar: rv, RecvExpr: re, Unlock: acc.Kind == "Unlock", Pos: pos})
+		}
+		switch acc.Kind {
+		case "Load":
+			effs = append(effs, EffAccess{RecvVar: rv, RecvExpr: re, Pos: pos})
+		case "Store":
+			effs = append(effs, EffAccess{RecvVar: rv, RecvExpr: re, Write: true, Pos: pos})
+		case "Add":
+			effs = append(effs,
+				EffAccess{RecvVar: rv, RecvExpr: re, Pos: pos},
+				EffAccess{RecvVar: rv, RecvExpr: re, Write: true, Pos: pos})
+		}
+		return effs
+	}
+
+	// Structure operations.
+	switch kind := api.Structure(call); kind {
+	case KindSpawn, KindCilkSpawn:
+		if len(call.Args) < 1 {
+			return nil
+		}
+		return []Effect{EffSpawn{Kind: kind, Body: x.resolveBody(call.Args[0]), Pos: pos}}
+	case KindFinish, KindRun:
+		if len(call.Args) < 1 {
+			return nil
+		}
+		return []Effect{EffFinish{Kind: kind, Body: x.resolveBody(call.Args[0]), Pos: pos}}
+	case KindSync:
+		return []Effect{EffSync{Pos: pos}}
+	case KindParallel:
+		var bodies []*BodyRef
+		for _, a := range call.Args {
+			bodies = append(bodies, x.resolveBody(a))
+		}
+		return []Effect{EffParallel{Bodies: bodies, Pos: pos}}
+	case KindParallelFor, KindParallelRange:
+		n := len(call.Args)
+		if n < 1 {
+			return nil
+		}
+		var effs []Effect
+		for _, a := range call.Args[:n-1] {
+			effs = append(effs, x.expr(a)...)
+		}
+		return append(effs, EffParLoop{Kind: kind, Body: x.resolveBody(call.Args[n-1]), Pos: pos})
+	}
+
+	// Remaining avd API calls (constructors, neutral accessors, session
+	// methods) have no structure effect of their own.
+	if fn := api.Callee(call); fn != nil {
+		if avdFunc(fn) {
+			return x.callArgs(call)
+		}
+		// In-package function or method: leave symbolic.
+		if decl := x.s.DeclOf(fn); decl != nil {
+			effs := x.callArgs(call)
+			if goBody {
+				ref := &BodyRef{Decl: decl, Pos: pos, BindVars: x.paramVars(decl), BindArgs: call.Args}
+				return append(effs, EffGo{Body: ref, Pos: pos})
+			}
+			eff := EffCall{Decl: decl, Args: call.Args, Pos: pos}
+			if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && decl.Recv != nil {
+				eff.Recv = sel.X
+			}
+			return append(effs, eff)
+		}
+	} else if lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+		// Directly invoked closure: func(){...}().
+		effs := x.callArgs(call)
+		if goBody {
+			return append(effs, EffGo{Body: &BodyRef{Lit: lit, Pos: pos}, Pos: pos})
+		}
+		return append(effs, EffCall{Lit: lit, Args: call.Args, Pos: pos})
+	}
+
+	// Unknown callee: opaque when the task (or the call target itself)
+	// escapes into it.
+	effs := x.callArgs(call)
+	if goBody {
+		return append(effs, EffGo{Body: &BodyRef{Unknown: true, Pos: pos}, Pos: pos})
+	}
+	if x.passesTask(call) {
+		effs = append(effs, EffOpaque{Pos: pos})
+	}
+	return effs
+}
+
+// callArgs extracts nested effects from a call's arguments (and its
+// function expression, for chained calls like f(x)(t)).
+func (x *extractor) callArgs(call *ast.CallExpr) []Effect {
+	var effs []Effect
+	if inner, ok := ast.Unparen(call.Fun).(*ast.CallExpr); ok {
+		effs = append(effs, x.call(inner, false)...)
+	}
+	for _, a := range call.Args {
+		effs = append(effs, x.expr(a)...)
+	}
+	return effs
+}
+
+// passesTask reports whether the call hands a *Task to its callee.
+func (x *extractor) passesTask(call *ast.CallExpr) bool {
+	for _, arg := range call.Args {
+		if tv, ok := x.s.api.Info.Types[arg]; ok && IsTaskPtr(tv.Type) {
+			return true
+		}
+	}
+	return false
+}
+
+// goStmt resolves a go statement into an escape effect.
+func (x *extractor) goStmt(st *ast.GoStmt) []Effect {
+	return x.call(st.Call, true)
+}
+
+// resolveBody resolves a task-body argument to its function body.
+func (x *extractor) resolveBody(arg ast.Expr) *BodyRef {
+	arg = ast.Unparen(arg)
+	pos := arg.Pos()
+	switch e := arg.(type) {
+	case *ast.FuncLit:
+		return &BodyRef{Lit: e, Pos: pos}
+	case *ast.Ident:
+		// Named in-package function used as a task body.
+		if fn, ok := x.s.api.Info.Uses[e].(*types.Func); ok {
+			if decl := x.s.DeclOf(fn); decl != nil {
+				return &BodyRef{Decl: decl, Pos: pos}
+			}
+		}
+	case *ast.SelectorExpr:
+		// Method value: t.Spawn(w.step) binds the receiver.
+		if sel, ok := x.s.api.Info.Selections[e]; ok {
+			if fn, ok := sel.Obj().(*types.Func); ok {
+				if decl := x.s.DeclOf(fn); decl != nil {
+					ref := &BodyRef{Decl: decl, Pos: pos}
+					if recv := x.recvParam(decl); recv != nil {
+						ref.BindVars = []*types.Var{recv}
+						ref.BindArgs = []ast.Expr{e.X}
+					}
+					return ref
+				}
+			}
+		}
+		// Package-qualified function used as a body (pkg.Fn): only
+		// in-package decls resolve; anything else is unknown.
+		if fn, ok := x.s.api.Info.Uses[e.Sel].(*types.Func); ok {
+			if decl := x.s.DeclOf(fn); decl != nil {
+				return &BodyRef{Decl: decl, Pos: pos}
+			}
+		}
+	case *ast.CallExpr:
+		// Closure returned from an in-package helper:
+		// t.Spawn(makeWorker(x)). Resolve when the helper's body is a
+		// single return of a function literal, binding the helper's
+		// parameters to the call's arguments.
+		if fn := x.s.api.Callee(e); fn != nil {
+			if decl := x.s.DeclOf(fn); decl != nil {
+				if lit := returnedLit(decl); lit != nil {
+					ref := &BodyRef{Lit: lit, Pos: pos}
+					ref.BindVars = x.paramVars(decl)
+					ref.BindArgs = e.Args
+					return ref
+				}
+			}
+		}
+	}
+	return &BodyRef{Unknown: true, Pos: pos}
+}
+
+// recvParam returns the declared receiver variable of a method.
+func (x *extractor) recvParam(decl *ast.FuncDecl) *types.Var {
+	if decl.Recv == nil || len(decl.Recv.List) == 0 || len(decl.Recv.List[0].Names) == 0 {
+		return nil
+	}
+	v, _ := x.s.api.Info.Defs[decl.Recv.List[0].Names[0]].(*types.Var)
+	return v
+}
+
+// paramVars returns the declared parameter variables of a function.
+func (x *extractor) paramVars(decl *ast.FuncDecl) []*types.Var {
+	var vars []*types.Var
+	if decl.Type.Params == nil {
+		return nil
+	}
+	for _, field := range decl.Type.Params.List {
+		for _, name := range field.Names {
+			if v, ok := x.s.api.Info.Defs[name].(*types.Var); ok {
+				vars = append(vars, v)
+			}
+		}
+	}
+	return vars
+}
+
+// returnedLit matches a helper whose body is a single
+// `return func(...){...}` statement.
+func returnedLit(decl *ast.FuncDecl) *ast.FuncLit {
+	if decl.Body == nil || len(decl.Body.List) != 1 {
+		return nil
+	}
+	ret, ok := decl.Body.List[0].(*ast.ReturnStmt)
+	if !ok || len(ret.Results) != 1 {
+		return nil
+	}
+	lit, _ := ast.Unparen(ret.Results[0]).(*ast.FuncLit)
+	return lit
+}

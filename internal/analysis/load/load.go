@@ -31,6 +31,10 @@ type Package struct {
 	Types *types.Package
 	// Info is the type-checker's per-expression results.
 	Info *types.Info
+	// GoVersion is the declared language version governing the package
+	// (the enclosing module's go directive, "go1.22"); empty when the
+	// loader has no module context.
+	GoVersion string
 }
 
 // Loader resolves and type-checks packages. A loader is either in
@@ -43,6 +47,7 @@ type Loader struct {
 
 	modulePath string
 	moduleDir  string
+	goVersion  string // module's go directive as "go1.NN", or ""
 	srcRoot    string // GOPATH-style src root, or ""
 
 	source  types.Importer
@@ -73,6 +78,9 @@ func NewModule(dir string) (*Loader, error) {
 	l := newLoader()
 	l.moduleDir = modDir
 	l.modulePath = modPath
+	if data, err := os.ReadFile(filepath.Join(modDir, "go.mod")); err == nil {
+		l.goVersion = goVersionOf(string(data))
+	}
 	return l, nil
 }
 
@@ -110,6 +118,22 @@ func modulePathOf(gomod string) string {
 		line = strings.TrimSpace(line)
 		if rest, ok := strings.CutPrefix(line, "module "); ok {
 			return strings.Trim(strings.TrimSpace(rest), `"`)
+		}
+	}
+	return ""
+}
+
+// goVersionOf extracts the go directive from go.mod text, normalized
+// to the "go1.NN" form the type checker and analyzers expect.
+func goVersionOf(gomod string) string {
+	for _, line := range strings.Split(gomod, "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "go "); ok {
+			v := strings.TrimSpace(rest)
+			if v != "" && !strings.HasPrefix(v, "go") {
+				v = "go" + v
+			}
+			return v
 		}
 	}
 	return ""
@@ -241,7 +265,7 @@ func (l *Loader) load(path, dir string) (*Package, error) {
 	if len(typeErrs) > 0 {
 		return nil, fmt.Errorf("load %s: %s", path, strings.Join(typeErrs, "\n\t"))
 	}
-	pkg := &Package{Path: path, Dir: dir, Files: files, Types: tpkg, Info: info}
+	pkg := &Package{Path: path, Dir: dir, Files: files, Types: tpkg, Info: info, GoVersion: l.goVersion}
 	l.pkgs[path] = pkg
 	return pkg, nil
 }

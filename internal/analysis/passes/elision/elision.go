@@ -12,14 +12,21 @@
 // skips repeat accesses at runtime, elision removes the handle's
 // events altogether.
 //
-// The proof obligations are purely local: the handle is bound once by
-// x := s.New*Var(...), never escapes (no aliasing, no calls other than
-// its own access methods, no Atomic grouping), all checker-visible
-// accesses share one closure context, that context contains no
-// structure operations and never hands its task to non-avd code (the
-// callee could spawn), and no enclosing closure replicates it (no
-// ParallelFor body, no spawn-in-loop). Anything unprovable stays
-// silent — the analyzer only speaks when elision is certain.
+// Two proofs are attempted, cheapest first. The single-step proof is
+// purely local: the handle is bound once by x := s.New*Var(...), never
+// escapes (no aliasing, no calls other than its own access methods, no
+// Atomic grouping), all checker-visible accesses share one closure
+// context, that context contains no structure operations and never
+// hands its task to non-avd code (the callee could spawn), and no
+// enclosing closure replicates it or re-instantiates it in a loop.
+// When that fails, the static-MHP
+// proof takes over: the staticmhp engine grows a static DPST per entry
+// point, and a handle whose modeled access sites cover every
+// instrumented access and are pairwise never-may-happen-in-parallel is
+// serial even across steps — stores in a spawned child and loads after
+// the join elide, which the single-step proof can never conclude.
+// Either way, anything unprovable stays silent — the analyzer only
+// speaks when elision is certain.
 //
 // Findings are informational (Severity info): they are a performance
 // lever, not a contract violation, and never fail a lint run.
@@ -34,6 +41,7 @@ import (
 
 	"github.com/taskpar/avd/internal/analysis"
 	"github.com/taskpar/avd/internal/analysis/avdapi"
+	"github.com/taskpar/avd/internal/analysis/staticmhp"
 )
 
 // Analyzer is the elision pass.
@@ -85,25 +93,97 @@ func run(pass *analysis.Pass) error {
 	sort.Slice(objs, func(i, j int) bool { return objs[i].Pos() < objs[j].Pos() })
 	for _, obj := range objs {
 		h := handles[obj]
-		if h.bad || len(h.contexts) != 1 {
+		if h.bad || len(h.accesses) == 0 {
 			continue
 		}
-		var ctx *ast.FuncLit
-		for c := range h.contexts {
-			ctx = c
+		if len(h.contexts) == 1 {
+			var ctx *ast.FuncLit
+			for c := range h.contexts {
+				ctx = c
+			}
+			if singleStepContext(pass, index, ctx, obj) {
+				pass.Report(analysis.Diagnostic{
+					Pos: obj.Pos(),
+					Message: fmt.Sprintf(
+						"%s %s is only ever accessed by a single step; its instrumentation can be elided safely (use a plain local, or keep it for documentation)",
+						h.kind, obj.Name()),
+					SuggestedFixes: elisionFix(h),
+				})
+				continue
+			}
 		}
-		if !singleStepContext(pass, index, ctx, obj) {
-			continue
+		if staticallySerial(pass, h) {
+			pass.Report(analysis.Diagnostic{
+				Pos: obj.Pos(),
+				Message: fmt.Sprintf(
+					"%s %s is statically proven serial (no two accesses may happen in parallel); its instrumentation can be elided safely",
+					h.kind, obj.Name()),
+				SuggestedFixes: elisionFix(h),
+			})
 		}
-		pass.Report(analysis.Diagnostic{
-			Pos: obj.Pos(),
-			Message: fmt.Sprintf(
-				"%s %s is only ever accessed by a single step; its instrumentation can be elided safely (use a plain local, or keep it for documentation)",
-				h.kind, obj.Name()),
-			SuggestedFixes: elisionFix(h),
-		})
 	}
 	return nil
+}
+
+// staticallySerial proves a handle serial through the static DPST: the
+// trees of the package's entry points must model every one of the
+// handle's instrumented accesses (same position set — a handle with
+// accesses the trees never reach stays unproven), and within each tree
+// the sites of each handle instance must be pairwise never-MHP,
+// including against themselves (a site inside a replicated region
+// sharing its instance may race with its own copies). Instances are
+// checked independently: two inlinings of the declaring function bind
+// two distinct runtime handles, and sites on different instances can
+// never form a pattern on one location.
+func staticallySerial(pass *analysis.Pass, h *handle) bool {
+	eng := staticmhp.Shared(pass.API, pass.Files)
+	want := make(map[token.Pos]bool, len(h.accesses))
+	for _, call := range h.accesses {
+		want[call.Pos()] = true
+	}
+	got := make(map[token.Pos]bool)
+	for _, root := range eng.Roots() {
+		tree := eng.Tree(root)
+		var mine []*staticmhp.Site
+		for _, s := range tree.Sites {
+			if s.Key.Obj == h.obj {
+				mine = append(mine, s)
+			}
+		}
+		if len(mine) == 0 {
+			continue
+		}
+		if tree.Truncated {
+			return false
+		}
+		byInst := make(map[int][]*staticmhp.Site)
+		for _, s := range mine {
+			got[s.Pos] = true
+			byInst[s.Key.Inst] = append(byInst[s.Key.Inst], s)
+		}
+		for _, sites := range byInst {
+			scope := tree.Scope[sites[0].Key]
+			for i, a := range sites {
+				if tree.Par(a, a, scope) {
+					return false
+				}
+				for _, b := range sites[i+1:] {
+					if tree.Par(a, b, scope) {
+						return false
+					}
+				}
+			}
+		}
+	}
+	if len(got) == 0 || len(got) != len(want) {
+		return false
+	}
+	for p := range want {
+		if !got[p] {
+			return false
+		}
+	}
+	return true
 }
 
 // elisionFix rewrites every instrumented access of a proven handle to
@@ -268,7 +348,11 @@ func singleStepContext(pass *analysis.Pass, index map[*ast.FuncLit]*avdapi.Closu
 		if !ok {
 			return false
 		}
-		if info.Replicated {
+		// Replication means parallel copies; a structure call in a loop
+		// means the closure is re-instantiated per iteration — many
+		// dynamic steps either way, so the single-step claim is false
+		// (the static proof may still show the steps are serial).
+		if info.Replicated || info.InLoop {
 			return false
 		}
 		lit = info.Frame

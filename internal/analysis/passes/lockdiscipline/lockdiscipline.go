@@ -349,4 +349,49 @@ func (f *frame) applyCall(call *ast.CallExpr, st *state) {
 	f.reportOnce(call, "span:"+held[0],
 		"critical section of mutex %s spans %s; the lock is held across the task boundary, which breaks the checker's critical-section scoping (and panics at runtime for Finish/Sync)",
 		held[0], kind)
+	heldSet := make(map[string]bool, len(held))
+	for _, k := range held {
+		heldSet[k] = true
+	}
+	for _, arg := range call.Args {
+		if lit, ok := ast.Unparen(arg).(*ast.FuncLit); ok {
+			f.checkOrphanPair(lit, kind, heldSet)
+		}
+	}
+}
+
+// checkOrphanPair scans a task closure handed to a structure call made
+// while holding locks: an Unlock of a held mutex inside the closure,
+// without the closure's own prior Lock, splits the lock/unlock pair
+// across two tasks. The child's unlock is attributed to the child's
+// step while the runtime's hold belongs to the parent, so the
+// critical-section versioning no longer describes either task (and the
+// runtime raises a UsageError when the child unlocks a mutex it never
+// locked).
+func (f *frame) checkOrphanPair(lit *ast.FuncLit, kind avdapi.StructureKind, held map[string]bool) {
+	local := make(map[string]bool)
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // deeper closures run on yet another task
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		acc, ok := f.pass.API.InstrumentedOp(call)
+		if !ok || !acc.Mutex {
+			return true
+		}
+		key := f.lockKey(acc.Recv)
+		switch acc.Kind {
+		case "Lock":
+			local[key] = true
+		case "Unlock":
+			if held[key] && !local[key] {
+				f.reportOnce(call, "xclosure:"+key,
+					"mutex %s is unlocked in the task closure of %s but locked by the spawning task; the lock/unlock pair spans two tasks, so neither task's critical section is properly scoped", key, kind)
+			}
+		}
+		return true
+	})
 }

@@ -1,0 +1,286 @@
+// Package staticavd reports compile-time atomicity-violation
+// candidates: the paper's three-access patterns (R-W-R, W-R-W, W-W-R,
+// W-W-W, R-W-W) found over the static DPST instead of a runtime
+// schedule.
+//
+// The dynamic checker flags two accesses of one step to a location ℓ
+// when a third access to ℓ from a parallel step could interleave them
+// unserializably. This analyzer runs the same pattern automaton over
+// staticmhp facts: pattern pairs are same-static-step access pairs
+// (plus reversed and self pairs inside loops, where one static site
+// stands for many dynamic accesses), the interleaver is any site on
+// the same location that may happen in parallel, and the paper's
+// non-strict mode is honored by skipping pairs whose two accesses sit
+// in the same critical section of a common mutex. Locations are
+// handle instances, with Session.Atomic groups collapsed to one
+// location exactly as the runtime maps grouped variables to their
+// first member.
+//
+// Candidates are advisory (info severity): the static schedule
+// over-approximates — branch alternatives look sequential, loops run
+// once with replication marks — so a candidate means "a schedule the
+// static tree admits violates atomicity", not "this run will". The CI
+// differential gate anchors the direction that must be exact: every
+// seeded violation the dynamic checker reports is at least a static
+// candidate here.
+package staticavd
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+
+	"github.com/taskpar/avd/internal/analysis"
+	"github.com/taskpar/avd/internal/analysis/avdapi"
+	"github.com/taskpar/avd/internal/analysis/staticmhp"
+)
+
+// Analyzer reports static atomicity-violation candidates.
+var Analyzer = &analysis.Analyzer{
+	Name:            "staticavd",
+	Doc:             "report compile-time atomicity-violation candidates (unserializable three-access patterns over statically may-happen-in-parallel accesses)",
+	DefaultSeverity: analysis.SeverityInfo,
+	Run:             run,
+}
+
+// maxGroupSites bounds per-location pair enumeration.
+const maxGroupSites = 64
+
+// maxPerLocation caps reports per location so one hot handle does not
+// flood the output.
+const maxPerLocation = 4
+
+func run(pass *analysis.Pass) error {
+	eng := staticmhp.Shared(pass.API, pass.Files)
+	groups := atomicGroups(pass)
+	seen := make(map[string]bool)
+	for _, root := range eng.Roots() {
+		tree := eng.Tree(root)
+		if tree.Truncated {
+			continue
+		}
+		checkTree(pass, tree, groups, seen)
+	}
+	return nil
+}
+
+// atomicGroups resolves Session.Atomic calls to a union-find over
+// handle variables: grouped handles form one location, mirroring the
+// runtime's mapping of every group member to the first variable's Loc.
+func atomicGroups(pass *analysis.Pass) map[*types.Var]*types.Var {
+	parent := make(map[*types.Var]*types.Var)
+	var find func(v *types.Var) *types.Var
+	find = func(v *types.Var) *types.Var {
+		p, ok := parent[v]
+		if !ok || p == v {
+			return v
+		}
+		r := find(p)
+		parent[v] = r
+		return r
+	}
+	pass.Inspector.Preorder([]ast.Node{(*ast.CallExpr)(nil)}, func(n ast.Node) {
+		call := n.(*ast.CallExpr)
+		name, _, ok := pass.API.SessionOp(call)
+		if !ok || name != "Atomic" {
+			return
+		}
+		var vars []*types.Var
+		for _, arg := range call.Args {
+			if v := pass.API.ObjectOf(arg); v != nil {
+				vars = append(vars, v)
+			}
+		}
+		if len(vars) == 0 {
+			return
+		}
+		for _, v := range vars {
+			if _, ok := parent[v]; !ok {
+				parent[v] = v
+			}
+		}
+		for _, v := range vars[1:] {
+			ra, rb := find(vars[0]), find(v)
+			if ra != rb {
+				parent[rb] = ra
+			}
+		}
+	})
+	roots := make(map[*types.Var]*types.Var, len(parent))
+	for v := range parent {
+		roots[v] = find(v)
+	}
+	return roots
+}
+
+// location is the canonical pattern location of a site.
+type location struct {
+	key     avdapi.HandleKey
+	grouped bool
+}
+
+// canonical collapses Atomic-grouped handles to their representative
+// variable. The instance number is dropped for grouped handles: the
+// group declaration ties the instances together anyway.
+func canonical(s *staticmhp.Site, groups map[*types.Var]*types.Var) location {
+	if s.Key.Obj != nil {
+		if rep, ok := groups[s.Key.Obj]; ok {
+			return location{key: avdapi.HandleKey{Obj: rep}, grouped: true}
+		}
+	}
+	return location{key: s.Key}
+}
+
+func checkTree(pass *analysis.Pass, tree *staticmhp.Tree, groups map[*types.Var]*types.Var, seen map[string]bool) {
+	byLoc := make(map[location][]*staticmhp.Site)
+	var order []location
+	for _, s := range tree.Sites {
+		loc := canonical(s, groups)
+		if len(byLoc[loc]) == 0 {
+			order = append(order, loc)
+		}
+		byLoc[loc] = append(byLoc[loc], s)
+	}
+	for _, loc := range order {
+		sites := byLoc[loc]
+		if len(sites) < 2 || len(sites) > maxGroupSites {
+			continue
+		}
+		checkLocation(pass, tree, loc, sites, seen)
+	}
+}
+
+// checkLocation enumerates pattern pairs and interleavers for one
+// location.
+func checkLocation(pass *analysis.Pass, tree *staticmhp.Tree, loc location, sites []*staticmhp.Site, seen map[string]bool) {
+	reported := 0
+	local := make(map[string]bool)
+	emit := func(a1, c, a2 *staticmhp.Site) {
+		if reported >= maxPerLocation {
+			return
+		}
+		pattern := accessLetter(a1) + "-" + accessLetter(c) + "-" + accessLetter(a2)
+		prov := "the entry task"
+		if sp := tree.SpawnSite(c); sp.IsValid() {
+			prov = "task spawned at " + shortPos(pass, sp)
+		}
+		dedupe := fmt.Sprintf("%d|%s|%s", a1.Pos, pattern, prov)
+		if local[dedupe] {
+			return
+		}
+		local[dedupe] = true
+		msg := fmt.Sprintf(
+			"atomicity-violation candidate on %s %s: pattern %s — pair %s then %s may be interleaved by the %s at %s (%s)",
+			kindOf(tree, a1), loc.key.Name(), pattern,
+			shortPos(pass, a1.Pos), shortPos(pass, a2.Pos),
+			accessWord(c), shortPos(pass, c.Pos), prov)
+		global := fmt.Sprintf("%d|%s", a1.Pos, msg)
+		if seen[global] {
+			return
+		}
+		seen[global] = true
+		reported++
+		pass.Report(analysis.Diagnostic{Pos: a1.Pos, Message: msg})
+	}
+
+	pairs := patternPairs(sites)
+	for _, p := range pairs {
+		a1, a2 := p[0], p[1]
+		if sameSection(a1, a2) || staticmhp.Exclusive(a1, a2) {
+			continue
+		}
+		scope := tree.Scope[a1.Key]
+		for _, c := range sites {
+			if c == a1 || c == a2 {
+				// A site interleaves its own pair only across dynamic
+				// copies of a replicated region.
+				if !tree.Par(c, c, scope) {
+					continue
+				}
+			} else if !tree.Par(c, a1, scope) ||
+				staticmhp.Exclusive(c, a1) || staticmhp.Exclusive(c, a2) {
+				continue
+			}
+			if serializable(a1, c, a2) {
+				continue
+			}
+			emit(a1, c, a2)
+		}
+	}
+}
+
+// patternPairs returns the ordered same-step access pairs: (earlier,
+// later) by abstract execution order, both directions and self-pairs
+// for loop sites (a loop's static site stands for many accesses of
+// one dynamic step, in both relative orders).
+func patternPairs(sites []*staticmhp.Site) [][2]*staticmhp.Site {
+	var pairs [][2]*staticmhp.Site
+	for i, a := range sites {
+		if a.InLoop {
+			pairs = append(pairs, [2]*staticmhp.Site{a, a})
+		}
+		for _, b := range sites[i+1:] {
+			if a.Step != b.Step {
+				continue
+			}
+			a1, a2 := a, b
+			if b.Seq < a.Seq {
+				a1, a2 = b, a
+			}
+			pairs = append(pairs, [2]*staticmhp.Site{a1, a2})
+			if a.InLoop && b.InLoop {
+				pairs = append(pairs, [2]*staticmhp.Site{a2, a1})
+			}
+		}
+	}
+	return pairs
+}
+
+// sameSection reports whether two accesses share a critical section of
+// any common mutex (the paper's non-strict suppression).
+func sameSection(a, b *staticmhp.Site) bool {
+	for key, id := range a.Locks {
+		if id2, ok := b.Locks[key]; ok && id == id2 {
+			return true
+		}
+	}
+	return false
+}
+
+// serializable applies the paper's serializability rule to the pattern
+// (a1, c, a2): the interleaving is harmless iff the middle access is a
+// read and at least one pair access is a read.
+func serializable(a1, c, a2 *staticmhp.Site) bool {
+	return !c.Write && (!a1.Write || !a2.Write)
+}
+
+func accessLetter(s *staticmhp.Site) string {
+	if s.Write {
+		return "W"
+	}
+	return "R"
+}
+
+func accessWord(s *staticmhp.Site) string {
+	if s.Write {
+		return "write"
+	}
+	return "read"
+}
+
+// kindOf names the handle kind of a site's instance when the tree saw
+// its declaration.
+func kindOf(tree *staticmhp.Tree, s *staticmhp.Site) string {
+	if k, ok := tree.DeclKind[s.Key]; ok {
+		return k
+	}
+	return "handle"
+}
+
+// shortPos renders a position as base-filename:line:col.
+func shortPos(pass *analysis.Pass, pos token.Pos) string {
+	p := pass.Fset.Position(pos)
+	return fmt.Sprintf("%s:%d:%d", filepath.Base(p.Filename), p.Line, p.Column)
+}

@@ -1,0 +1,12 @@
+package staticavd_test
+
+import (
+	"testing"
+
+	"github.com/taskpar/avd/internal/analysis/analysistest"
+	"github.com/taskpar/avd/internal/analysis/passes/staticavd"
+)
+
+func TestStaticAVD(t *testing.T) {
+	analysistest.Run(t, "../../testdata", staticavd.Analyzer, "staticavd")
+}

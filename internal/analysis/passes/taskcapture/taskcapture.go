@@ -15,10 +15,19 @@
 // the first function of Parallel) may reference the receiver variable
 // itself, since it aliases the closure parameter; any other captured
 // task is flagged there too.
+//
+// For packages declaring a language version before go1.22, the pass
+// additionally flags spawned closures that capture an enclosing loop
+// variable: under the old semantics every iteration shares one
+// variable, so a task that outlives its iteration races on the
+// variable and may observe a later iteration's value. The `i := i`
+// rebinding idiom silences the check naturally (the rebound variable
+// is per-iteration), and packages on go1.22+ are never flagged.
 package taskcapture
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
 
 	"github.com/taskpar/avd/internal/analysis"
@@ -37,7 +46,115 @@ func run(pass *analysis.Pass) error {
 	for lit, info := range index {
 		checkClosure(pass, index, lit, info)
 	}
+	if analysis.GoVersionBefore(pass.GoVersion, 1, 22) {
+		checkLoopCaptures(pass, index)
+	}
 	return nil
+}
+
+// escapesIteration reports whether a task closure of the given kind may
+// still be running after its spawn statement completes: Spawn and
+// CilkSpawn children join at the enclosing finish scope, which can lie
+// outside the loop; every other structure operation joins before
+// returning.
+func escapesIteration(kind avdapi.StructureKind) bool {
+	return kind == avdapi.KindSpawn || kind == avdapi.KindCilkSpawn
+}
+
+// checkLoopCaptures flags pre-go1.22 loop-variable captures in spawned
+// task closures.
+func checkLoopCaptures(pass *analysis.Pass, index map[*ast.FuncLit]*avdapi.ClosureInfo) {
+	for _, file := range pass.Files {
+		var stack []ast.Node
+		ast.Inspect(file, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			stack = append(stack, n)
+			if lit, ok := n.(*ast.FuncLit); ok {
+				if info := index[lit]; info != nil && escapesIteration(info.Kind) {
+					checkLoopCapture(pass, index, lit, info, stack[:len(stack)-1])
+				}
+			}
+			return true
+		})
+	}
+}
+
+// checkLoopCapture inspects one spawned closure against the loop
+// variables of its enclosing loops. Walking outward from the closure,
+// loops stay relevant until a frame that joins its children (a Finish
+// or Run body, a Parallel/ParallelFor/ParallelRange function, a plain
+// closure) or the function declaration is reached; nested Spawn bodies
+// are traversed, since they keep the capture asynchronous.
+func checkLoopCapture(pass *analysis.Pass, index map[*ast.FuncLit]*avdapi.ClosureInfo, lit *ast.FuncLit, info *avdapi.ClosureInfo, outer []ast.Node) {
+	loops := make(map[*types.Var]string)
+	record := func(id *ast.Ident, word string) {
+		if id == nil {
+			return
+		}
+		if v, ok := pass.TypesInfo.Defs[id].(*types.Var); ok && v != nil {
+			loops[v] = word
+		}
+	}
+scan:
+	for i := len(outer) - 1; i >= 0; i-- {
+		switch n := outer[i].(type) {
+		case *ast.ForStmt:
+			if init, ok := n.Init.(*ast.AssignStmt); ok && init.Tok == token.DEFINE {
+				for _, lhs := range init.Lhs {
+					if id, ok := lhs.(*ast.Ident); ok {
+						record(id, "for")
+					}
+				}
+			}
+		case *ast.RangeStmt:
+			if id, ok := n.Key.(*ast.Ident); ok {
+				record(id, "range")
+			}
+			if id, ok := n.Value.(*ast.Ident); ok {
+				record(id, "range")
+			}
+		case *ast.FuncLit:
+			if ni := index[n]; ni == nil || !escapesIteration(ni.Kind) {
+				break scan
+			}
+		case *ast.FuncDecl:
+			break scan
+		}
+	}
+	if len(loops) == 0 {
+		return
+	}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if nested, ok := n.(*ast.FuncLit); ok {
+			if ni := index[nested]; ni != nil && escapesIteration(ni.Kind) {
+				return false // it gets its own check with the same loops in scope
+			}
+			return true
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := pass.TypesInfo.Uses[id].(*types.Var)
+		if !ok {
+			return true
+		}
+		word, isLoopVar := loops[v]
+		if !isLoopVar {
+			return true
+		}
+		pass.Report(analysis.Diagnostic{
+			Pos: id.Pos(),
+			End: id.End(),
+			Message: "task closure of " + info.Kind.String() + " captures " + word + "-loop variable " + id.Name +
+				"; before go1.22 every iteration shares one variable, so the spawned task races on it and may observe a later iteration's value (rebind it in the loop body: " +
+				id.Name + " := " + id.Name + ")",
+		})
+		return true
+	})
 }
 
 // checkClosure walks one task closure body and reports uses of task

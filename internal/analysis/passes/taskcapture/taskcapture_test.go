@@ -1,12 +1,45 @@
 package taskcapture_test
 
 import (
+	"strings"
 	"testing"
 
+	"github.com/taskpar/avd/internal/analysis"
 	"github.com/taskpar/avd/internal/analysis/analysistest"
+	"github.com/taskpar/avd/internal/analysis/load"
 	"github.com/taskpar/avd/internal/analysis/passes/taskcapture"
 )
 
 func TestTaskCapture(t *testing.T) {
 	analysistest.Run(t, "../../testdata", taskcapture.Analyzer, "taskcapture")
+}
+
+// TestLoopVar runs the loop-variable corpus under pre-go1.22 semantics,
+// where the captures must be flagged.
+func TestLoopVar(t *testing.T) {
+	analysistest.RunWithVersion(t, "../../testdata", taskcapture.Analyzer, "go1.21", "loopvar")
+}
+
+// TestLoopVarModern runs the same corpus as a go1.22 package: loop
+// variables are per-iteration there, so the check must be gated off
+// entirely (want comments cannot express "no diagnostics", so this
+// asserts directly).
+func TestLoopVarModern(t *testing.T) {
+	for _, version := range []string{"go1.22", ""} {
+		l := load.NewGOPATH("../../testdata")
+		pkg, err := l.Load("loopvar")
+		if err != nil {
+			t.Fatalf("loading loopvar corpus: %v", err)
+		}
+		res, err := analysis.RunDetailed(l.Fset, pkg.Files, pkg.Types, pkg.Info,
+			[]*analysis.Analyzer{taskcapture.Analyzer}, analysis.Options{GoVersion: version})
+		if err != nil {
+			t.Fatalf("running taskcapture (version %q): %v", version, err)
+		}
+		for _, d := range res.Diags {
+			if strings.Contains(d.Message, "loop variable") {
+				t.Errorf("version %q: loop-variable capture flagged on a modern package: %s", version, d.Message)
+			}
+		}
+	}
 }

@@ -1,0 +1,548 @@
+package staticmhp
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"github.com/taskpar/avd/internal/analysis/avdapi"
+)
+
+// builder grows one static tree by abstract execution of effect
+// streams.
+type builder struct {
+	eng  *Engine
+	tree *Tree
+
+	// inst numbers dynamic instances of each declared handle variable:
+	// a declaration executed twice (inlined from two call sites) binds
+	// two distinct keys.
+	inst map[*types.Var]int
+
+	nodes     int
+	structSeq int
+	seq       int
+	sectionID int
+	branchID  int
+	// branchStack is the current branch-arm context; abstract execution
+	// is synchronous, so one stack serves all frames.
+	branchStack []BranchArm
+	truncated   bool
+}
+
+// frame is one abstract activation: the serial attach point, the lazy
+// current step, the handle substitution environment, and the held
+// lock sections. Inlined calls mutate the caller's frame (extending
+// env for the call's duration) so step and lock continuity across the
+// call boundary matches the runtime, where an inlined call does not
+// advance the DPST.
+type frame struct {
+	parent *Node
+	step   *Node
+	// implicit is the open implicit-finish scope a CilkSpawn creates;
+	// Sync or frame exit closes it.
+	implicit *Node
+	env      map[*types.Var]avdapi.HandleKey
+	locks    map[avdapi.HandleKey]int
+	// loopDepth > 0 inside serial loop bodies.
+	loopDepth int
+	// scopeLoop counts loops entered since the current join scope (the
+	// nearest enclosing explicit finish on this activation). A spawn is
+	// replicated only when a loop sits between it and the finish that
+	// joins it: iterations of an outer loop re-execute the finish too,
+	// so their children never coexist.
+	scopeLoop int
+	// free marks frames on escaped goroutines.
+	free bool
+	// stack is the inline call chain, for recursion detection.
+	stack []*ast.FuncDecl
+}
+
+// curParent is the node new children attach to.
+func (f *frame) curParent() *Node {
+	if f.implicit != nil {
+		return f.implicit
+	}
+	return f.parent
+}
+
+// newNode appends a child node, enforcing the budget.
+func (b *builder) newNode(kind NodeKind, parent *Node) *Node {
+	b.nodes++
+	if b.nodes > nodeBudget {
+		b.truncated = true
+	}
+	n := &Node{Kind: kind, Parent: parent}
+	if parent != nil {
+		n.Index = parent.kids
+		n.Depth = parent.Depth + 1
+		parent.kids++
+	}
+	if kind != Step {
+		b.structSeq++
+	}
+	return n
+}
+
+// step materializes the frame's current step.
+func (b *builder) step(f *frame) *Node {
+	if f.step == nil {
+		f.step = b.newNode(Step, f.curParent())
+	}
+	return f.step
+}
+
+// resolveKey maps an access receiver to a handle instance through the
+// frame's substitution environment.
+func (b *builder) resolveKey(f *frame, v *types.Var, expr string) avdapi.HandleKey {
+	if v != nil {
+		if k, ok := f.env[v]; ok {
+			return k
+		}
+		return avdapi.HandleKey{Obj: v}
+	}
+	return avdapi.HandleKey{Expr: expr}
+}
+
+// cloneLocks copies a lock map.
+func cloneLocks(m map[avdapi.HandleKey]int) map[avdapi.HandleKey]int {
+	c := make(map[avdapi.HandleKey]int, len(m))
+	for k, v := range m {
+		c[k] = v
+	}
+	return c
+}
+
+// cloneEnv copies a substitution environment.
+func cloneEnv(m map[*types.Var]avdapi.HandleKey) map[*types.Var]avdapi.HandleKey {
+	c := make(map[*types.Var]avdapi.HandleKey, len(m))
+	for k, v := range m {
+		c[k] = v
+	}
+	return c
+}
+
+// addSite places one access in the current step.
+func (b *builder) addSite(f *frame, key avdapi.HandleKey, write bool, pos token.Pos, inLoop bool, locks map[avdapi.HandleKey]int) {
+	if b.truncated || key.Zero() {
+		return
+	}
+	b.seq++
+	s := &Site{
+		Key:      key,
+		Write:    write,
+		Pos:      pos,
+		Step:     b.step(f),
+		Seq:      b.seq,
+		InLoop:   inLoop || f.loopDepth > 0,
+		Free:     f.free,
+		Locks:    cloneLocks(locks),
+		Branches: append([]BranchArm(nil), b.branchStack...),
+	}
+	b.tree.Sites = append(b.tree.Sites, s)
+}
+
+// run interprets one effect stream in a frame. The frame's open
+// implicit finish, if any, is closed at stream end only by the caller
+// that owns the activation (bodyDone).
+func (b *builder) run(f *frame, effs []Effect) {
+	for _, e := range effs {
+		if b.truncated {
+			return
+		}
+		b.effect(f, e)
+	}
+}
+
+// Effect re-export keeps the builder readable.
+type Effect = avdapi.Effect
+
+func (b *builder) effect(f *frame, e Effect) {
+	switch e := e.(type) {
+	case avdapi.EffAccess:
+		b.addSite(f, b.resolveKey(f, e.RecvVar, e.RecvExpr), e.Write, e.Pos, false, f.locks)
+
+	case avdapi.EffLock:
+		key := b.resolveKey(f, e.RecvVar, e.RecvExpr)
+		if key.Zero() {
+			return
+		}
+		if e.Unlock {
+			delete(f.locks, key)
+		} else {
+			b.sectionID++
+			f.locks[key] = b.sectionID
+		}
+
+	case avdapi.EffDecl:
+		n := b.inst[e.Obj]
+		b.inst[e.Obj] = n + 1
+		key := avdapi.HandleKey{Obj: e.Obj, Inst: n}
+		f.env[e.Obj] = key
+		b.tree.Scope[key] = f.curParent()
+		b.tree.DeclKind[key] = e.Kind
+
+	case avdapi.EffSpawn:
+		parent := f.curParent()
+		if e.Kind == avdapi.KindCilkSpawn && f.implicit == nil {
+			f.implicit = b.newNode(Finish, f.parent)
+			parent = f.implicit
+		}
+		async := b.newNode(Async, parent)
+		async.Replicated = f.scopeLoop > 0
+		async.SpawnPos = e.Pos
+		b.runBody(f, e.Body, async, false)
+		f.step = nil
+
+	case avdapi.EffFinish:
+		fin := b.newNode(Finish, f.curParent())
+		b.runBody(f, e.Body, fin, true)
+		f.step = nil
+
+	case avdapi.EffParallel:
+		fin := b.newNode(Finish, f.curParent())
+		for _, body := range e.Bodies[1:] {
+			// Parallel joins all bodies before returning, so an enclosing
+			// loop never overlaps two executions: not replicated.
+			async := b.newNode(Async, fin)
+			async.SpawnPos = e.Pos
+			b.runBody(f, body, async, false)
+		}
+		if len(e.Bodies) > 0 {
+			b.runBody(f, e.Bodies[0], fin, true)
+		}
+		f.step = nil
+
+	case avdapi.EffParLoop:
+		fin := b.newNode(Finish, f.curParent())
+		async := b.newNode(Async, fin)
+		async.Replicated = true
+		async.SpawnPos = e.Pos
+		b.runBody(f, e.Body, async, false)
+		f.step = nil
+
+	case avdapi.EffSync:
+		f.implicit = nil
+		f.step = nil
+
+	case avdapi.EffGo:
+		gf := &frame{
+			parent: b.newNode(Async, f.curParent()),
+			env:    cloneEnv(f.env),
+			locks:  make(map[avdapi.HandleKey]int),
+			free:   true,
+			stack:  f.stack,
+		}
+		gf.parent.SpawnPos = e.Pos
+		b.bindBody(f, gf, e.Body)
+		if e.Body != nil && !e.Body.Unknown {
+			b.run(gf, b.bodyEffects(e.Body))
+		}
+		f.step = nil
+
+	case avdapi.EffCall:
+		b.inlineCall(f, e)
+
+	case avdapi.EffBranch:
+		pre := b.structSeq
+		b.branchID++
+		arm := BranchArm{ID: b.branchID, Multi: f.loopDepth > 0 || underReplicated(f.curParent())}
+		join := make([]map[avdapi.HandleKey]int, 0, len(e.Alts))
+		entry := cloneLocks(f.locks)
+		for i, alt := range e.Alts {
+			arm.Arm = i
+			b.branchStack = append(b.branchStack, arm)
+			f.locks = cloneLocks(entry)
+			b.run(f, alt)
+			b.branchStack = b.branchStack[:len(b.branchStack)-1]
+			join = append(join, f.locks)
+		}
+		f.locks = b.intersectLocks(join)
+		if b.structSeq != pre {
+			// Some alternative advanced the tree; the join point is a
+			// fresh step.
+			f.step = nil
+		}
+
+	case avdapi.EffLoop:
+		pre := cloneLocks(f.locks)
+		f.loopDepth++
+		f.scopeLoop++
+		b.run(f, e.Body)
+		f.loopDepth--
+		f.scopeLoop--
+		// The loop may run zero times: only sections held both before
+		// and after the body survive.
+		f.locks = b.intersectLocks([]map[avdapi.HandleKey]int{pre, f.locks})
+
+	case avdapi.EffOpaque:
+		// Unknown callees cannot reach non-escaping handles and cannot
+		// re-parent modeled steps; no tree effect.
+	}
+}
+
+// intersectLocks joins lock maps from alternative paths: a section
+// survives only if its mutex is held on every path; differing section
+// ids merge into a fresh one, so accesses on either side of the join
+// never look same-section with accesses inside one arm.
+func (b *builder) intersectLocks(alts []map[avdapi.HandleKey]int) map[avdapi.HandleKey]int {
+	if len(alts) == 0 {
+		return make(map[avdapi.HandleKey]int)
+	}
+	out := make(map[avdapi.HandleKey]int)
+	for key, id := range alts[0] {
+		same := true
+		held := true
+		for _, m := range alts[1:] {
+			id2, ok := m[key]
+			if !ok {
+				held = false
+				break
+			}
+			if id2 != id {
+				same = false
+			}
+		}
+		if !held {
+			continue
+		}
+		if !same {
+			b.sectionID++
+			id = b.sectionID
+		}
+		out[key] = id
+	}
+	return out
+}
+
+// bodyEffects resolves a body reference to its effect stream.
+func (b *builder) bodyEffects(ref *avdapi.BodyRef) []Effect {
+	if ref == nil || ref.Unknown {
+		return nil
+	}
+	if ref.Lit != nil {
+		return b.eng.sum.Effects(ref.Lit)
+	}
+	if ref.Decl != nil {
+		return b.eng.sum.Effects(ref.Decl)
+	}
+	return nil
+}
+
+// bindBody installs a body's creation-time bindings (helper params,
+// method receivers) into the body frame's environment, resolving the
+// bound expressions in the caller's environment.
+func (b *builder) bindBody(caller, body *frame, ref *avdapi.BodyRef) {
+	if ref == nil {
+		return
+	}
+	for i, v := range ref.BindVars {
+		if i >= len(ref.BindArgs) || v == nil {
+			break
+		}
+		if av := b.eng.api.ObjectOf(ref.BindArgs[i]); av != nil {
+			body.env[v] = b.resolveKey(caller, av, "")
+		}
+	}
+}
+
+// runBody interprets a task body under a new tree node. Inline bodies
+// (finish and parallel's first function) share the caller's lock map —
+// they run on the caller's activation; forked bodies start lock-free.
+// Named bodies join the inline stack so self-spawning recursion widens.
+func (b *builder) runBody(f *frame, ref *avdapi.BodyRef, parent *Node, inline bool) {
+	if ref == nil || ref.Unknown || b.truncated {
+		return
+	}
+	if ref.Decl != nil && onStack(f.stack, ref.Decl) {
+		b.widen(f, parent, ref.Decl, ref.Pos)
+		return
+	}
+	locks := make(map[avdapi.HandleKey]int)
+	if inline {
+		locks = f.locks
+	}
+	bf := &frame{
+		parent:    parent,
+		env:       cloneEnv(f.env),
+		locks:     locks,
+		free:      f.free,
+		loopDepth: 0,
+		stack:     f.stack,
+	}
+	if inline {
+		bf.loopDepth = f.loopDepth
+	}
+	if ref.Decl != nil {
+		bf.stack = append(append([]*ast.FuncDecl(nil), f.stack...), ref.Decl)
+	}
+	b.bindBody(f, bf, ref)
+	b.run(bf, b.bodyEffects(ref))
+}
+
+// inlineCall interprets an in-package call on the caller's own frame:
+// the callee's effects continue the caller's step, locks, and implicit
+// finish, with the environment temporarily extended by
+// parameter-to-argument handle bindings. Recursion and over-deep
+// chains widen through the callee's transitive summary.
+func (b *builder) inlineCall(f *frame, e avdapi.EffCall) {
+	var target ast.Node
+	if e.Lit != nil {
+		target = e.Lit
+	} else if e.Decl != nil {
+		target = e.Decl
+	} else {
+		return
+	}
+
+	if e.Decl != nil && (onStack(f.stack, e.Decl) || len(f.stack) >= inlineDepthCap) {
+		b.widenSerial(f, e.Decl, e.Pos)
+		return
+	}
+	if e.Lit != nil && len(f.stack) >= inlineDepthCap {
+		return
+	}
+
+	// Extend the environment for the call's duration.
+	type saved struct {
+		v   *types.Var
+		k   avdapi.HandleKey
+		had bool
+	}
+	var saves []saved
+	bind := func(v *types.Var, arg ast.Expr) {
+		if v == nil || arg == nil {
+			return
+		}
+		av := b.eng.api.ObjectOf(arg)
+		if av == nil {
+			return
+		}
+		old, had := f.env[v]
+		saves = append(saves, saved{v, old, had})
+		f.env[v] = b.resolveKey(f, av, "")
+	}
+	if e.Decl != nil {
+		params := declParams(b.eng.api, e.Decl)
+		for i, p := range params {
+			if i < len(e.Args) {
+				bind(p, e.Args[i])
+			}
+		}
+		if e.Recv != nil {
+			bind(declRecv(b.eng.api, e.Decl), e.Recv)
+		}
+		f.stack = append(f.stack, e.Decl)
+	}
+
+	b.run(f, b.eng.sum.Effects(target))
+
+	if e.Decl != nil {
+		f.stack = f.stack[:len(f.stack)-1]
+	}
+	for i := len(saves) - 1; i >= 0; i-- {
+		s := saves[i]
+		if s.had {
+			f.env[s.v] = s.k
+		} else {
+			delete(f.env, s.v)
+		}
+	}
+}
+
+// widen models a recursive forked body through its transitive summary:
+// one Replicated async whose single step carries every reachable
+// access, lock-free and loop-marked — maximally parallel, so never-MHP
+// conclusions stay sound.
+func (b *builder) widen(f *frame, parent *Node, decl *ast.FuncDecl, pos token.Pos) {
+	sum := b.eng.sum.Summary(decl)
+	async := parent
+	if async.Kind != Async {
+		async = b.newNode(Async, parent)
+		async.SpawnPos = pos
+	}
+	async.Replicated = true
+	wf := &frame{
+		parent: async,
+		env:    f.env,
+		locks:  make(map[avdapi.HandleKey]int),
+		free:   f.free || sum.HasGo,
+		stack:  f.stack,
+	}
+	for _, acc := range sum.Accesses {
+		b.addSite(wf, b.resolveKey(wf, acc.RecvVar, acc.RecvExpr), acc.Write, acc.Pos, true, wf.locks)
+	}
+}
+
+// widenSerial models a recursive inline call: if the callee may fork,
+// its accesses land under a fresh Replicated async (the recursion can
+// overlap them arbitrarily); otherwise they extend the caller's step,
+// loop-marked because the recursion repeats them.
+func (b *builder) widenSerial(f *frame, decl *ast.FuncDecl, pos token.Pos) {
+	sum := b.eng.sum.Summary(decl)
+	if sum.MayFork || sum.HasGo {
+		async := b.newNode(Async, f.curParent())
+		async.Replicated = true
+		async.SpawnPos = pos
+		wf := &frame{
+			parent: async,
+			env:    f.env,
+			locks:  make(map[avdapi.HandleKey]int),
+			free:   f.free || sum.HasGo,
+			stack:  f.stack,
+		}
+		for _, acc := range sum.Accesses {
+			b.addSite(wf, b.resolveKey(wf, acc.RecvVar, acc.RecvExpr), acc.Write, acc.Pos, true, wf.locks)
+		}
+		f.step = nil
+		return
+	}
+	empty := make(map[avdapi.HandleKey]int)
+	for _, acc := range sum.Accesses {
+		b.addSite(f, b.resolveKey(f, acc.RecvVar, acc.RecvExpr), acc.Write, acc.Pos, true, empty)
+	}
+}
+
+// underReplicated reports a Replicated async at or above n.
+func underReplicated(n *Node) bool {
+	for ; n != nil; n = n.Parent {
+		if n.Kind == Async && n.Replicated {
+			return true
+		}
+	}
+	return false
+}
+
+// onStack reports whether decl is already being inlined.
+func onStack(stack []*ast.FuncDecl, decl *ast.FuncDecl) bool {
+	for _, d := range stack {
+		if d == decl {
+			return true
+		}
+	}
+	return false
+}
+
+// declParams returns the parameter objects of a declaration.
+func declParams(api *avdapi.Facts, decl *ast.FuncDecl) []*types.Var {
+	var vars []*types.Var
+	if decl.Type.Params == nil {
+		return nil
+	}
+	for _, field := range decl.Type.Params.List {
+		for _, name := range field.Names {
+			v, _ := api.Info.Defs[name].(*types.Var)
+			vars = append(vars, v)
+		}
+	}
+	return vars
+}
+
+// declRecv returns the receiver object of a method declaration.
+func declRecv(api *avdapi.Facts, decl *ast.FuncDecl) *types.Var {
+	if decl.Recv == nil || len(decl.Recv.List) == 0 || len(decl.Recv.List[0].Names) == 0 {
+		return nil
+	}
+	v, _ := api.Info.Defs[decl.Recv.List[0].Names[0]].(*types.Var)
+	return v
+}

@@ -1,0 +1,298 @@
+// Package staticmhp builds a static approximation of the paper's
+// dynamic program structure tree and answers may-happen-in-parallel
+// queries between instrumented access sites, at compile time.
+//
+// The runtime DPST (internal/dpst) is grown one node per executed
+// structure operation; two steps may run in parallel iff the child of
+// their least common ancestor on the earlier step's path is an async
+// node. This package grows the same tree shape by abstract execution
+// of the avdapi effect streams: one entry point (a function whose
+// subtree reaches Session.Run) is interpreted top-down, in-package
+// calls are inlined with parameter-to-argument handle substitution,
+// loops execute their body once with spawned children marked
+// Replicated (one static async stands for every dynamic sibling), and
+// recursion is widened through the callee's transitive summary. The
+// MHP query is then the paper's LCA rule plus a replication clause:
+// two sites in the same static subtree of a Replicated async are
+// parallel across dynamic copies, unless the handle itself was
+// declared inside the replicated body (each copy owns a fresh
+// instance, so cross-copy accesses touch different locations).
+//
+// The approximation errs on the side of reporting parallelism: branch
+// alternatives are laid out sequentially (exclusive arms look
+// parallel with each other's spawns), goroutine escapes are parallel
+// with everything, and truncated trees answer no queries at all. That
+// direction makes never-MHP facts — the ones the elision pass consumes
+// to remove instrumentation — trustworthy, while staticavd candidates
+// stay advisory.
+package staticmhp
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"github.com/taskpar/avd/internal/analysis/avdapi"
+)
+
+// NodeKind classifies static DPST nodes.
+type NodeKind int
+
+// Node kinds, mirroring the runtime tree.
+const (
+	Finish NodeKind = iota
+	Async
+	Step
+)
+
+// Node is one static DPST node.
+type Node struct {
+	Kind NodeKind
+	// Parent is nil only for the root finish.
+	Parent *Node
+	// Index is the child position under Parent; the MHP rule compares
+	// sibling order through it.
+	Index int
+	// Depth supports the LCA walk.
+	Depth int
+	// Replicated marks an async standing for arbitrarily many dynamic
+	// siblings (spawn inside a loop, parallel-for body, widened
+	// recursion).
+	Replicated bool
+	// SpawnPos is the source position of the structure call that forked
+	// this async (provenance for diagnostics).
+	SpawnPos token.Pos
+
+	kids int
+}
+
+// Site is one instrumented access site placed in the tree.
+type Site struct {
+	// Key identifies the handle instance accessed.
+	Key avdapi.HandleKey
+	// Write distinguishes the access kind.
+	Write bool
+	// Pos is the access call position.
+	Pos token.Pos
+	// Step is the static step performing the access.
+	Step *Node
+	// Seq orders sites by abstract execution time.
+	Seq int
+	// InLoop marks a site inside a serial loop body: one static site
+	// stands for many dynamic accesses of the same dynamic step, so
+	// self-pairs and order-reversed pairs are feasible.
+	InLoop bool
+	// Free marks a site on an escaped goroutine, outside the DPST: it
+	// may happen in parallel with everything.
+	Free bool
+	// Locks is the lock-section snapshot at the access: mutex key to
+	// section id. Two accesses sharing a key with equal ids sit in the
+	// same critical section of that mutex.
+	Locks map[avdapi.HandleKey]int
+	// Branches is the enclosing branch-arm context: sites under
+	// different arms of a once-evaluated branch are mutually exclusive.
+	Branches []BranchArm
+}
+
+// BranchArm locates a site inside one alternative of a branch.
+type BranchArm struct {
+	// ID identifies the branch occurrence in the abstract execution.
+	ID int
+	// Arm is the alternative index taken.
+	Arm int
+	// Multi marks a branch that may evaluate more than once per
+	// dynamic context (inside a serial loop or a replicated region), so
+	// different arms can both execute and exclusivity does not hold.
+	Multi bool
+}
+
+// Exclusive reports whether two sites sit under different arms of a
+// common once-evaluated branch — they cannot both execute, so no
+// pattern or interleaving involves both.
+func Exclusive(a, b *Site) bool {
+	for _, ba := range a.Branches {
+		if ba.Multi {
+			continue
+		}
+		for _, bb := range b.Branches {
+			if bb.ID == ba.ID && bb.Arm != ba.Arm {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Tree is the static DPST of one entry point.
+type Tree struct {
+	// Decl is the entry-point function.
+	Decl *ast.FuncDecl
+	// Root is the implicit enclosing finish.
+	Root *Node
+	// Sites are every placed access site, in Seq order.
+	Sites []*Site
+	// Scope maps a handle instance to the node enclosing its
+	// declaration; replication below the scope shares the instance,
+	// replication above it does not. Instances with no declaration in
+	// the tree default to Root (conservatively shared).
+	Scope map[avdapi.HandleKey]*Node
+	// DeclKind maps declared instances to their handle kind
+	// ("IntVar", ...).
+	DeclKind map[avdapi.HandleKey]string
+	// Truncated marks a tree that hit the node budget; it answers no
+	// MHP queries (every Par is true, no site set is complete).
+	Truncated bool
+}
+
+// nodeBudget bounds tree growth; blowing it marks the tree Truncated.
+const nodeBudget = 20000
+
+// inlineDepthCap bounds the symbolic call stack; deeper chains widen
+// like recursion.
+const inlineDepthCap = 32
+
+// Engine computes and caches static trees for one package.
+type Engine struct {
+	api   *avdapi.Facts
+	sum   *avdapi.Summarizer
+	trees map[*ast.FuncDecl]*Tree
+}
+
+// New builds an engine over one package's files.
+func New(api *avdapi.Facts, files []*ast.File) *Engine {
+	return &Engine{
+		api:   api,
+		sum:   avdapi.NewSummarizer(api, files),
+		trees: make(map[*ast.FuncDecl]*Tree),
+	}
+}
+
+// Shared returns the engine cached on the facts layer, so every
+// analyzer of one suite run reuses the same trees.
+func Shared(api *avdapi.Facts, files []*ast.File) *Engine {
+	return api.Memo("staticmhp.engine", func() any {
+		return New(api, files)
+	}).(*Engine)
+}
+
+// Summarizer exposes the underlying effect/summary layer.
+func (e *Engine) Summarizer() *avdapi.Summarizer { return e.sum }
+
+// Roots returns the package's analysis entry points.
+func (e *Engine) Roots() []*ast.FuncDecl { return e.sum.Roots() }
+
+// Tree returns the static DPST grown from fn, building and caching it
+// on first use. fn need not be a root; any declaration works.
+func (e *Engine) Tree(fn *ast.FuncDecl) *Tree {
+	if t, ok := e.trees[fn]; ok {
+		return t
+	}
+	b := &builder{
+		eng: e,
+		tree: &Tree{
+			Decl:     fn,
+			Root:     &Node{Kind: Finish},
+			Scope:    make(map[avdapi.HandleKey]*Node),
+			DeclKind: make(map[avdapi.HandleKey]string),
+		},
+		inst: make(map[*types.Var]int),
+	}
+	f := &frame{
+		parent: b.tree.Root,
+		env:    make(map[*types.Var]avdapi.HandleKey),
+		locks:  make(map[avdapi.HandleKey]int),
+		stack:  []*ast.FuncDecl{fn},
+	}
+	b.run(f, e.sum.Effects(fn))
+	b.tree.Truncated = b.truncated
+	e.trees[fn] = b.tree
+	return b.tree
+}
+
+// TreeFor returns the built tree whose entry point lexically encloses
+// pos, or nil. It only consults roots (building them on demand), so a
+// consumer holding an arbitrary position — the elision pass holds a
+// handle declaration — finds the tree that actually models it.
+func (e *Engine) TreeFor(pos token.Pos) *Tree {
+	for _, root := range e.Roots() {
+		if root.Pos() <= pos && pos <= root.End() {
+			return e.Tree(root)
+		}
+	}
+	return nil
+}
+
+// SpawnSite returns the structure-call position that forked the
+// nearest enclosing async of a site, or token.NoPos for sites on the
+// entry task.
+func (t *Tree) SpawnSite(s *Site) token.Pos {
+	for n := s.Step; n != nil; n = n.Parent {
+		if n.Kind == Async && n.SpawnPos.IsValid() {
+			return n.SpawnPos
+		}
+	}
+	return token.NoPos
+}
+
+// Par reports whether two sites may happen in parallel. scope is the
+// declaration scope of the handle instance under discussion (nil means
+// the root): replicated asyncs strictly below it duplicate accesses to
+// the one shared instance, replicated asyncs at or below the handle's
+// declaration each own a private instance and are ignored. Truncated
+// trees answer true for everything.
+func (t *Tree) Par(a, b *Site, scope *Node) bool {
+	if t.Truncated || a.Free || b.Free {
+		return true
+	}
+	if scope == nil {
+		scope = t.Root
+	}
+	if a.Step == b.Step {
+		// Same static step: parallel only across dynamic copies of a
+		// replicated ancestor sharing the instance.
+		return replicatedBelow(a.Step, scope)
+	}
+	l := lca(a.Step, b.Step)
+	if replicatedBelow(l, scope) {
+		return true
+	}
+	ca, cb := childToward(l, a.Step), childToward(l, b.Step)
+	earlier := ca
+	if cb.Index < ca.Index {
+		earlier = cb
+	}
+	return earlier.Kind == Async
+}
+
+// replicatedBelow reports a Replicated async on the path from n
+// (inclusive) up to scope (exclusive).
+func replicatedBelow(n, scope *Node) bool {
+	for ; n != nil && n != scope; n = n.Parent {
+		if n.Kind == Async && n.Replicated {
+			return true
+		}
+	}
+	return false
+}
+
+// lca returns the least common ancestor of two nodes.
+func lca(a, b *Node) *Node {
+	for a.Depth > b.Depth {
+		a = a.Parent
+	}
+	for b.Depth > a.Depth {
+		b = b.Parent
+	}
+	for a != b {
+		a, b = a.Parent, b.Parent
+	}
+	return a
+}
+
+// childToward returns the child of l on the path down to s.
+func childToward(l, s *Node) *Node {
+	for s.Parent != l {
+		s = s.Parent
+	}
+	return s
+}

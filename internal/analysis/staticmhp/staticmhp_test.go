@@ -1,0 +1,227 @@
+package staticmhp_test
+
+import (
+	"go/ast"
+	"go/token"
+	"testing"
+
+	"github.com/taskpar/avd/internal/analysis/avdapi"
+	"github.com/taskpar/avd/internal/analysis/load"
+	"github.com/taskpar/avd/internal/analysis/staticmhp"
+)
+
+// engineOver builds a static-MHP engine over the staticavd corpus,
+// which doubles as the interprocedural-summary corpus: recursion,
+// mutual recursion, method values, helper-returned closures, and
+// go-statement escapes all appear there.
+func engineOver(t *testing.T) (*load.Loader, *staticmhp.Engine) {
+	t.Helper()
+	l := load.NewGOPATH("../testdata")
+	pkg, err := l.Load("staticavd")
+	if err != nil {
+		t.Fatalf("loading staticavd corpus: %v", err)
+	}
+	api := avdapi.NewFacts(pkg.Types, pkg.Info)
+	return l, staticmhp.New(api, pkg.Files)
+}
+
+// treeOf finds the root tree for the named entry function.
+func treeOf(t *testing.T, eng *staticmhp.Engine, name string) *staticmhp.Tree {
+	t.Helper()
+	for _, r := range eng.Roots() {
+		if r.Name.Name == name {
+			return eng.Tree(r)
+		}
+	}
+	t.Fatalf("no root named %s (interprocedural root detection failed)", name)
+	return nil
+}
+
+// sitesAt returns the tree's sites on the given source line.
+func sitesAt(l *load.Loader, tree *staticmhp.Tree, line int) []*staticmhp.Site {
+	var out []*staticmhp.Site
+	for _, s := range tree.Sites {
+		if l.Fset.Position(s.Pos).Line == line {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+func lineOf(l *load.Loader, pos token.Pos) int { return l.Fset.Position(pos).Line }
+
+// TestRoots pins interprocedural root detection: every corpus entry
+// point is a root, and helpers reachable from them are not.
+func TestRoots(t *testing.T) {
+	_, eng := engineOver(t)
+	want := map[string]bool{
+		"basic": true, "lockSections": true, "lockClean": true,
+		"atomicPair": true, "loopSpawn": true, "methodValue": true,
+		"helperClosure": true, "goEscape": true, "recurse": true, "mutual": true,
+	}
+	got := map[string]bool{}
+	for _, r := range eng.Roots() {
+		got[r.Name.Name] = true
+	}
+	for name := range want {
+		if !got[name] {
+			t.Errorf("entry point %s is not a root", name)
+		}
+	}
+	for _, helper := range []string{"work", "ping", "pong", "leak", "makeIncrement", "step"} {
+		if got[helper] {
+			t.Errorf("helper %s should not be a root (it is referenced from an entry point)", helper)
+		}
+	}
+}
+
+// TestBasicMHP checks the core DPST facts on the Figure-1 tree: the
+// increment pair shares a step (serial), and the sibling store may
+// happen in parallel with both.
+func TestBasicMHP(t *testing.T) {
+	l, eng := engineOver(t)
+	tree := treeOf(t, eng, "basic")
+	if tree.Truncated {
+		t.Fatal("basic tree truncated")
+	}
+	loads := sitesAt(l, tree, 19)  // a := x.Load(t)
+	stores := sitesAt(l, tree, 20) // x.Store(t, a+1)
+	sibs := sitesAt(l, tree, 22)   // sibling x.Store(t, 0)
+	if len(loads) != 1 || len(stores) != 1 || len(sibs) != 1 {
+		t.Fatalf("site counts: load=%d store=%d sibling=%d, want 1 each", len(loads), len(stores), len(sibs))
+	}
+	ld, st, sib := loads[0], stores[0], sibs[0]
+	scope := tree.Scope[ld.Key]
+	if ld.Step != st.Step {
+		t.Error("increment pair should share one static step")
+	}
+	if tree.Par(ld, st, scope) {
+		t.Error("same-step accesses of a non-replicated task must not be MHP")
+	}
+	if !tree.Par(ld, sib, scope) || !tree.Par(st, sib, scope) {
+		t.Error("sibling spawn's store must be MHP with the increment pair")
+	}
+	if !sib.Write || ld.Write {
+		t.Error("access kinds mislabeled")
+	}
+}
+
+// TestLockSections checks lock-section tracking: re-locking opens a
+// fresh section, so the Figure-11 pair does not share one, while the
+// single-section variant does.
+func TestLockSections(t *testing.T) {
+	l, eng := engineOver(t)
+	split := treeOf(t, eng, "lockSections")
+	ld := sitesAt(l, split, 39)[0] // load in first section
+	st := sitesAt(l, split, 42)[0] // store in second section
+	if len(ld.Locks) != 1 || len(st.Locks) != 1 {
+		t.Fatalf("both accesses should hold exactly one lock, got %d and %d", len(ld.Locks), len(st.Locks))
+	}
+	for k, id := range ld.Locks {
+		if st.Locks[k] == id {
+			t.Error("re-locked sections must have distinct section ids")
+		}
+	}
+
+	clean := treeOf(t, eng, "lockClean")
+	pair := sitesAt(l, clean, 65) // x.Store(t, x.Load(t)+1) — R then W
+	if len(pair) != 2 {
+		t.Fatalf("got %d sites on the locked pair line, want 2", len(pair))
+	}
+	for k, id := range pair[0].Locks {
+		if pair[1].Locks[k] != id {
+			t.Error("accesses inside one critical section must share its section id")
+		}
+	}
+}
+
+// TestReplication checks that spawning in a serial loop marks the
+// async replicated: its sites are MHP with themselves.
+func TestReplication(t *testing.T) {
+	l, eng := engineOver(t)
+	tree := treeOf(t, eng, "loopSpawn")
+	sites := sitesAt(l, tree, 109) // v.Add inside the loop spawn
+	if len(sites) != 2 {
+		t.Fatalf("got %d sites for the Add, want 2 (R and W)", len(sites))
+	}
+	scope := tree.Scope[sites[0].Key]
+	if !tree.Par(sites[0], sites[0], scope) {
+		t.Error("a replicated async's site must be MHP with itself")
+	}
+}
+
+// TestGoEscape checks that accesses reached through a go statement are
+// free: MHP with everything in the tree.
+func TestGoEscape(t *testing.T) {
+	l, eng := engineOver(t)
+	tree := treeOf(t, eng, "goEscape")
+	leaked := sitesAt(l, tree, 159) // g.Store inside leak, reached via go
+	serial := sitesAt(l, tree, 168) // g.Load on the entry task
+	if len(leaked) != 1 || len(serial) != 1 {
+		t.Fatalf("site counts: leaked=%d serial=%d, want 1 each", len(leaked), len(serial))
+	}
+	if !leaked[0].Free {
+		t.Error("a site reached through a go statement must be free")
+	}
+	if !tree.Par(leaked[0], serial[0], tree.Scope[serial[0].Key]) {
+		t.Error("a free site must be MHP with serial accesses")
+	}
+}
+
+// TestRecursionWidening checks that self- and mutual recursion widen to
+// replicated asyncs instead of truncating, and that the widened sites
+// carry the callee's accesses at their original positions.
+func TestRecursionWidening(t *testing.T) {
+	l, eng := engineOver(t)
+	for name, line := range map[string]int{"recurse": 179, "mutual": 203} {
+		tree := treeOf(t, eng, name)
+		if tree.Truncated {
+			t.Errorf("%s: recursion must widen, not truncate", name)
+			continue
+		}
+		sites := sitesAt(l, tree, line)
+		if len(sites) < 2 {
+			t.Errorf("%s: got %d sites at line %d, want >= 2 (direct + widened)", name, len(sites), line)
+			continue
+		}
+		widened := false
+		for _, s := range sites {
+			if s.InLoop && tree.Par(s, s, tree.Scope[s.Key]) {
+				widened = true
+			}
+		}
+		if !widened {
+			t.Errorf("%s: no widened self-MHP site at line %d", name, line)
+		}
+	}
+}
+
+// TestSummaries spot-checks the summary layer underneath the engine.
+func TestSummaries(t *testing.T) {
+	_, eng := engineOver(t)
+	sum := eng.Summarizer()
+	var decls []*ast.FuncDecl
+	for _, d := range sum.Decls() {
+		decls = append(decls, d)
+	}
+	byName := func(name string) *ast.FuncDecl {
+		for _, d := range decls {
+			if d.Name.Name == name {
+				return d
+			}
+		}
+		t.Fatalf("no decl %s", name)
+		return nil
+	}
+	pingSum := sum.Summary(byName("ping"))
+	if pingSum == nil || !pingSum.MayFork {
+		t.Fatal("ping's summary must record that it may fork")
+	}
+	if len(pingSum.Accesses) == 0 {
+		t.Error("ping's transitive summary must include pong's access")
+	}
+	leakSum := sum.Summary(byName("leak"))
+	if leakSum == nil || leakSum.MayFork {
+		t.Error("leak's summary must not claim forking")
+	}
+}

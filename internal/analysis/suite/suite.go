@@ -11,6 +11,7 @@ import (
 	"github.com/taskpar/avd/internal/analysis/passes/observer"
 	"github.com/taskpar/avd/internal/analysis/passes/sessionhandle"
 	"github.com/taskpar/avd/internal/analysis/passes/sharedescape"
+	"github.com/taskpar/avd/internal/analysis/passes/staticavd"
 	"github.com/taskpar/avd/internal/analysis/passes/taskcapture"
 )
 
@@ -23,5 +24,6 @@ func All() []*analysis.Analyzer {
 		sessionhandle.Analyzer,
 		elision.Analyzer,
 		observer.Analyzer,
+		staticavd.Analyzer,
 	}
 }

@@ -25,14 +25,15 @@ func TestRegistration(t *testing.T) {
 		}
 		seen[a.Name] = true
 		wantSev := analysis.SeverityWarning
-		if a.Name == "elision" {
+		advisory := a.Name == "elision" || a.Name == "staticavd"
+		if advisory {
 			wantSev = analysis.SeverityInfo
 		}
-		if got := a.DefaultSeverity; got != wantSev && !(a.Name != "elision" && got == "") {
+		if got := a.DefaultSeverity; got != wantSev && !(!advisory && got == "") {
 			t.Errorf("analyzer %s severity = %q, want %q", a.Name, got, wantSev)
 		}
 	}
-	for _, name := range []string{"taskcapture", "sharedescape", "lockdiscipline", "sessionhandle", "elision"} {
+	for _, name := range []string{"taskcapture", "sharedescape", "lockdiscipline", "sessionhandle", "elision", "staticavd"} {
 		if !seen[name] {
 			t.Errorf("suite is missing analyzer %q", name)
 		}
@@ -44,7 +45,7 @@ func TestRegistration(t *testing.T) {
 // inspector/facts without crashing, and each one must fire on its own
 // corpus while running alongside the others.
 func TestSuiteOverCorpus(t *testing.T) {
-	corpora := []string{"taskcapture", "sharedescape", "lockdiscipline", "sessionhandle", "elision"}
+	corpora := []string{"taskcapture", "sharedescape", "lockdiscipline", "sessionhandle", "elision", "staticavd"}
 	l := load.NewGOPATH("../testdata")
 	for _, path := range corpora {
 		pkg, err := l.Load(path)

@@ -1,5 +1,6 @@
 // Corpus for the elision analyzer: instrumented variables provably
-// touched by a single step are reported (info) as safely elidable.
+// touched by a single step — or statically proven serial across steps
+// by the static-MHP engine — are reported (info) as safely elidable.
 package elision
 
 import "avd"
@@ -8,7 +9,7 @@ func elidable() {
 	s := avd.NewSession(avd.Options{})
 	defer s.Close()
 	x := s.NewIntVar("X") // want `IntVar x is only ever accessed by a single step; its instrumentation can be elided safely`
-	y := s.NewIntVar("Y")
+	y := s.NewIntVar("Y") // want `IntVar y is statically proven serial`
 	s.Run(func(t *avd.Task) {
 		t.Finish(func(t *avd.Task) {
 			t.Spawn(func(t *avd.Task) {
@@ -19,7 +20,7 @@ func elidable() {
 				y.Store(t, 1)
 			})
 		})
-		y.Add(t, 1) // a second step touches y: not elidable
+		y.Add(t, 1) // after the join: serial with the spawned store
 	})
 	_ = x.Value() // neutral read: emits no event, does not disturb the proof
 }
@@ -34,13 +35,30 @@ func runOnly() {
 	})
 }
 
+// The static proof also covers steps that hand their task to unknown
+// code: an unknown callee cannot reach a handle that never escapes, so
+// the accesses stay serial even though the single-step proof gives up.
+func opaqueCallee() {
+	s := avd.NewSession(avd.Options{})
+	defer s.Close()
+	d := s.NewIntVar("D") // want `IntVar d is statically proven serial`
+	s.Run(func(t *avd.Task) {
+		t.Finish(func(t *avd.Task) {
+			t.Spawn(func(t *avd.Task) {
+				d.Store(t, 1)
+				helper(t)
+			})
+		})
+	})
+}
+
 func notElidable() {
 	s := avd.NewSession(avd.Options{})
 	defer s.Close()
 	a := s.NewIntVar("A") // two parallel steps: genuinely shared
 	b := s.NewIntVar("B") // replicated body: one handle, many dynamic steps
 	c := s.NewIntVar("C") // escapes into Atomic grouping
-	d := s.NewIntVar("D") // its step hands the task to unknown code, which may spawn
+	e := s.NewIntVar("E") // spawned write races the pre-join read
 	s.Run(func(t *avd.Task) {
 		t.Finish(func(t *avd.Task) {
 			t.Spawn(func(t *avd.Task) { a.Add(t, 1) })
@@ -49,9 +67,9 @@ func notElidable() {
 		avd.ParallelFor(t, 0, 8, 1, func(t *avd.Task, i int) {
 			b.Add(t, int64(i))
 		})
-		t.Spawn(func(t *avd.Task) {
-			d.Store(t, 1)
-			helper(t)
+		t.Finish(func(t *avd.Task) {
+			t.Spawn(func(t *avd.Task) { e.Store(t, 1) })
+			_ = e.Load(t) // still inside the finish: parallel with the spawn
 		})
 	})
 	s.Atomic(c)

@@ -46,6 +46,38 @@ func spanSync(s *avd.Session) {
 	})
 }
 
+// crossClosure splits one lock/unlock pair across two tasks: the
+// parent locks, the spawned child unlocks. Both halves are reported —
+// the span at the structure call and the orphan unlock inside the
+// closure.
+func crossClosure(s *avd.Session) {
+	m := s.NewMutex("M")
+	x := s.NewIntVar("X")
+	s.Run(func(t *avd.Task) {
+		m.Lock(t)
+		t.Spawn(func(t *avd.Task) { // want `critical section of mutex m spans Spawn`
+			x.Store(t, 1)
+			m.Unlock(t) // want `mutex m is unlocked in the task closure of Spawn but locked by the spawning task`
+		})
+	})
+}
+
+// crossClosureClean re-locks inside the child: its unlock pairs with
+// its own lock, so only the span is reported.
+func crossClosureClean(s *avd.Session) {
+	m := s.NewMutex("M")
+	x := s.NewIntVar("X")
+	s.Run(func(t *avd.Task) {
+		m.Lock(t)
+		t.Spawn(func(t *avd.Task) { // want `critical section of mutex m spans Spawn`
+			m.Lock(t)
+			x.Store(t, 1)
+			m.Unlock(t)
+		})
+		m.Unlock(t)
+	})
+}
+
 func clean(s *avd.Session) {
 	m := s.NewMutex("M")
 	x := s.NewIntVar("X")

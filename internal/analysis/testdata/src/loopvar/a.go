@@ -1,0 +1,90 @@
+// Corpus for the taskcapture analyzer's loop-variable check, run with
+// a declared language version of go1.21: a spawned task closure that
+// captures an enclosing loop variable shares one variable with every
+// iteration under the old semantics, so the task races on it. The same
+// corpus is also run with the version unset (treated as current), where
+// every case below must be silent.
+package loopvar
+
+import "avd"
+
+func capturedFor() {
+	s := avd.NewSession(avd.Options{})
+	defer s.Close()
+	x := s.NewIntVar("X")
+	s.Run(func(t *avd.Task) {
+		t.Finish(func(t *avd.Task) {
+			for i := 0; i < 4; i++ {
+				t.Spawn(func(t *avd.Task) {
+					x.Add(t, int64(i)) // want `task closure of Spawn captures for-loop variable i`
+				})
+			}
+		})
+	})
+}
+
+func capturedRange() {
+	s := avd.NewSession(avd.Options{})
+	defer s.Close()
+	x := s.NewIntVar("X")
+	vals := []int64{1, 2, 3}
+	s.Run(func(t *avd.Task) {
+		t.Finish(func(t *avd.Task) {
+			for i, v := range vals {
+				t.CilkSpawn(func(t *avd.Task) {
+					x.Store(t, v) // want `task closure of CilkSpawn captures range-loop variable v`
+				})
+				_ = i
+			}
+		})
+	})
+}
+
+// nestedSpawn: a Spawn inside a Spawn keeps the capture asynchronous;
+// the inner closure is flagged against the outer loop.
+func nestedSpawn() {
+	s := avd.NewSession(avd.Options{})
+	defer s.Close()
+	x := s.NewIntVar("X")
+	s.Run(func(t *avd.Task) {
+		t.Finish(func(t *avd.Task) {
+			for i := 0; i < 4; i++ {
+				t.Spawn(func(t *avd.Task) {
+					t.Spawn(func(t *avd.Task) {
+						x.Add(t, int64(i)) // want `task closure of Spawn captures for-loop variable i`
+					})
+				})
+			}
+		})
+	})
+}
+
+// rebound: the i := i idiom rebinds per iteration — silent.
+// joined: the Finish inside the loop joins the spawn before the
+// iteration advances — silent.
+// parfor: ParallelFor's index is a parameter, not a capture — silent.
+func clean() {
+	s := avd.NewSession(avd.Options{})
+	defer s.Close()
+	x := s.NewIntVar("X")
+	s.Run(func(t *avd.Task) {
+		t.Finish(func(t *avd.Task) {
+			for i := 0; i < 4; i++ {
+				i := i
+				t.Spawn(func(t *avd.Task) {
+					x.Add(t, int64(i))
+				})
+			}
+		})
+		for i := 0; i < 4; i++ {
+			t.Finish(func(t *avd.Task) {
+				t.Spawn(func(t *avd.Task) {
+					x.Add(t, int64(i))
+				})
+			})
+		}
+		avd.ParallelFor(t, 0, 8, 1, func(t *avd.Task, i int) {
+			x.Add(t, int64(i))
+		})
+	})
+}

@@ -1,0 +1,214 @@
+// Corpus for the staticavd analyzer: compile-time atomicity-violation
+// candidates found by running the paper's three-access patterns over
+// the static DPST. Each function is its own entry point (contains a
+// Session.Run and is referenced by nobody), so each grows its own
+// static tree.
+package staticavd
+
+import "avd"
+
+// basic is the paper's Figure 1: the increment pair in one spawned
+// task, an overwriting store in a parallel sibling.
+func basic() {
+	s := avd.NewSession(avd.Options{})
+	defer s.Close()
+	x := s.NewIntVar("X")
+	s.Run(func(t *avd.Task) {
+		t.Finish(func(t *avd.Task) {
+			t.Spawn(func(t *avd.Task) {
+				a := x.Load(t) // want `atomicity-violation candidate on IntVar x: pattern R-W-W`
+				x.Store(t, a+1)
+			})
+			t.Spawn(func(t *avd.Task) { x.Store(t, 0) })
+		})
+	})
+}
+
+// lockSections is Figure 11: the pair's read and write sit in two
+// different critical sections of L, so the locked parallel store can
+// slot between them.
+func lockSections() {
+	s := avd.NewSession(avd.Options{})
+	defer s.Close()
+	x := s.NewIntVar("X")
+	l := s.NewMutex("L")
+	s.Run(func(t *avd.Task) {
+		t.Finish(func(t *avd.Task) {
+			t.Spawn(func(t *avd.Task) {
+				l.Lock(t)
+				a := x.Load(t) // want `atomicity-violation candidate on IntVar x: pattern R-W-W`
+				l.Unlock(t)
+				l.Lock(t)
+				x.Store(t, a)
+				l.Unlock(t)
+			})
+			t.Spawn(func(t *avd.Task) {
+				l.Lock(t)
+				x.Store(t, 1)
+				l.Unlock(t)
+			})
+		})
+	})
+}
+
+// lockClean keeps the pair inside one critical section: the non-strict
+// suppression silences it, exactly like the dynamic checker.
+func lockClean() {
+	s := avd.NewSession(avd.Options{})
+	defer s.Close()
+	x := s.NewIntVar("X")
+	l := s.NewMutex("L")
+	s.Run(func(t *avd.Task) {
+		t.Finish(func(t *avd.Task) {
+			t.Spawn(func(t *avd.Task) {
+				l.Lock(t)
+				x.Store(t, x.Load(t)+1)
+				l.Unlock(t)
+			})
+			t.Spawn(func(t *avd.Task) {
+				l.Lock(t)
+				x.Store(t, 1)
+				l.Unlock(t)
+			})
+		})
+	})
+}
+
+// atomicPair is the bank-account shape: two variables forming one
+// Session.Atomic location; the transfer's write pair and the audit's
+// read pair each admit an unserializable interleaving.
+func atomicPair() {
+	s := avd.NewSession(avd.Options{})
+	defer s.Close()
+	checking := s.NewIntVar("checking")
+	savings := s.NewIntVar("savings")
+	s.Atomic(checking, savings)
+	s.Run(func(t *avd.Task) {
+		t.Finish(func(t *avd.Task) {
+			t.Spawn(func(t *avd.Task) {
+				checking.Store(t, checking.Load(t)-50) // want `atomicity-violation candidate on IntVar checking: pattern W-R-W`
+				savings.Store(t, savings.Load(t)+50)
+			})
+			t.Spawn(func(t *avd.Task) {
+				_ = checking.Load(t) + savings.Load(t) // want `atomicity-violation candidate on IntVar checking: pattern R-W-R`
+			})
+		})
+	})
+}
+
+// loopSpawn replicates a spawn inside a serial loop: one static async
+// stands for every iteration's child, and the increment pair can be
+// interleaved by another copy's write.
+func loopSpawn() {
+	s := avd.NewSession(avd.Options{})
+	defer s.Close()
+	v := s.NewIntVar("V")
+	s.Run(func(t *avd.Task) {
+		t.Finish(func(t *avd.Task) {
+			for i := 0; i < 4; i++ {
+				t.Spawn(func(t *avd.Task) { v.Add(t, 1) }) // want `atomicity-violation candidate on IntVar v: pattern R-W-W`
+			}
+		})
+	})
+}
+
+// methodValue spawns a method value twice; the receiver-field accesses
+// of the two children interleave each other.
+type worker struct{ v *avd.IntVar }
+
+func (w worker) step(t *avd.Task) {
+	w.v.Add(t, 1) // want `pattern R-W-W` `pattern R-W-W`
+}
+
+func methodValue() {
+	s := avd.NewSession(avd.Options{})
+	defer s.Close()
+	w := worker{v: s.NewIntVar("V")}
+	s.Run(func(t *avd.Task) {
+		t.Finish(func(t *avd.Task) {
+			t.Spawn(w.step)
+			t.Spawn(w.step)
+		})
+	})
+}
+
+// helperClosure spawns a closure returned from an in-package helper;
+// the helper's parameter is substituted by the spawn argument.
+func makeIncrement(v *avd.IntVar) func(*avd.Task) {
+	return func(t *avd.Task) {
+		a := v.Load(t) // want `atomicity-violation candidate on IntVar h: pattern R-W-W`
+		v.Store(t, a+1)
+	}
+}
+
+func helperClosure() {
+	s := avd.NewSession(avd.Options{})
+	defer s.Close()
+	h := s.NewIntVar("H")
+	s.Run(func(t *avd.Task) {
+		t.Finish(func(t *avd.Task) {
+			t.Spawn(makeIncrement(h))
+			t.Spawn(func(t *avd.Task) { h.Store(t, 0) })
+		})
+	})
+}
+
+// goEscape hands the task to a goroutine outside the DPST: its store
+// may happen in parallel with everything, including the serial pair.
+func leak(t *avd.Task, g *avd.IntVar) {
+	g.Store(t, 2)
+}
+
+func goEscape() {
+	s := avd.NewSession(avd.Options{})
+	defer s.Close()
+	g := s.NewIntVar("G")
+	s.Run(func(t *avd.Task) {
+		go leak(t, g)
+		a := g.Load(t) // want `atomicity-violation candidate on IntVar g: pattern R-W-W`
+		g.Store(t, a+1)
+	})
+}
+
+// recurse widens self-recursion: work spawns a store at every level,
+// and the widened replicated async interleaves its own copies.
+func work(t *avd.Task, n *avd.IntVar, d int) {
+	if d == 0 {
+		return
+	}
+	t.Spawn(func(t *avd.Task) { n.Store(t, int64(d)) }) // want `pattern W-W-W` `pattern W-W-W`
+	work(t, n, d-1)
+}
+
+func recurse() {
+	s := avd.NewSession(avd.Options{})
+	defer s.Close()
+	n := s.NewIntVar("N")
+	s.Run(func(t *avd.Task) {
+		t.Finish(func(t *avd.Task) { work(t, n, 4) })
+	})
+}
+
+// mutual widens mutual recursion: ping spawns pong, pong calls ping.
+// The widened async admits every unserializable pattern; the reporter
+// caps one location at four.
+func ping(t *avd.Task, m *avd.IntVar, d int) {
+	if d == 0 {
+		return
+	}
+	t.Spawn(func(t *avd.Task) { pong(t, m, d-1) })
+}
+
+func pong(t *avd.Task, m *avd.IntVar, d int) {
+	m.Add(t, 1) // want `on IntVar m` `on IntVar m` `on IntVar m` `on IntVar m`
+	ping(t, m, d)
+}
+
+func mutual() {
+	s := avd.NewSession(avd.Options{})
+	defer s.Close()
+	m := s.NewIntVar("M")
+	s.Run(func(t *avd.Task) {
+		t.Finish(func(t *avd.Task) { ping(t, m, 3) })
+	})
+}

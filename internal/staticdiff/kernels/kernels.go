@@ -1,0 +1,113 @@
+// Package kernels holds the differential-gate corpus: small parallel
+// kernels that are BOTH executed under the dynamic checker and
+// analyzed by the static suite. The staticdiff test anchors the two
+// soundness directions the static layer promises:
+//
+//   - every kernel the dynamic checker flags is at least a staticavd
+//     candidate (the static tree over-approximates, so it cannot miss
+//     a schedule the runtime admits), and
+//   - every handle the static engine proves serial produces zero
+//     dynamic violations (the elision proof is safe to act on).
+//
+// Serial kernels suppress their advisory elision findings with
+// //avdlint:ignore on the declaration line; the test reads the proof
+// off the suppressed diagnostics, exercising that channel too.
+package kernels
+
+import avd "github.com/taskpar/avd"
+
+// SeededIncrement is the paper's Figure 1: an unprotected load/store
+// increment pair in one task, an overwriting store in a parallel
+// sibling. Dynamically flagged in every schedule.
+func SeededIncrement() avd.Report {
+	s := avd.NewSession(avd.Options{})
+	defer s.Close()
+	x := s.NewIntVar("X")
+	s.Run(func(t *avd.Task) {
+		x.Store(t, 10)
+		t.Finish(func(t *avd.Task) {
+			t.Spawn(func(t *avd.Task) {
+				a := x.Load(t)
+				x.Store(t, a+1)
+			})
+			t.Spawn(func(t *avd.Task) {
+				x.Store(t, 0)
+			})
+		})
+	})
+	return s.Report()
+}
+
+// SeededBank is the two-variable transfer/audit race: the accounts
+// form one atomic group, the transfer's writes and the audit's reads
+// interleave unserializably.
+func SeededBank() avd.Report {
+	s := avd.NewSession(avd.Options{})
+	defer s.Close()
+	checking := s.NewIntVar("checking")
+	savings := s.NewIntVar("savings")
+	s.Atomic(checking, savings)
+	s.Run(func(t *avd.Task) {
+		checking.Store(t, 100)
+		savings.Store(t, 100)
+		t.Finish(func(t *avd.Task) {
+			t.Spawn(func(t *avd.Task) {
+				checking.Store(t, checking.Load(t)-50)
+				savings.Store(t, savings.Load(t)+50)
+			})
+			t.Spawn(func(t *avd.Task) {
+				_ = checking.Load(t) + savings.Load(t)
+			})
+		})
+	})
+	return s.Report()
+}
+
+// SerialPhases writes a handle before a parallel phase that never
+// touches it and reads it after the join: multiple steps, provably
+// serial. The static engine elides it; the runtime must agree there is
+// nothing to flag.
+func SerialPhases() avd.Report {
+	s := avd.NewSession(avd.Options{})
+	defer s.Close()
+	shared := s.NewIntVar("shared")
+	m := s.NewMutex("m")
+	total := s.NewIntVar("total") //avdlint:ignore advisory elision finding; the differential test reads it from the suppressed channel
+	s.Run(func(t *avd.Task) {
+		total.Store(t, 0)
+		t.Finish(func(t *avd.Task) {
+			t.Spawn(func(t *avd.Task) {
+				m.Lock(t)
+				shared.Add(t, 1)
+				m.Unlock(t)
+			})
+			t.Spawn(func(t *avd.Task) {
+				m.Lock(t)
+				shared.Add(t, 2)
+				m.Unlock(t)
+			})
+		})
+		total.Store(t, shared.Load(t))
+		total.Add(t, 1)
+	})
+	return s.Report()
+}
+
+// SerialPipeline threads one handle through a chain of spawn-join
+// stages: every access is in a different step, but each step joins
+// before the next begins.
+func SerialPipeline() avd.Report {
+	s := avd.NewSession(avd.Options{})
+	defer s.Close()
+	acc := s.NewIntVar("acc") //avdlint:ignore advisory elision finding; the differential test reads it from the suppressed channel
+	s.Run(func(t *avd.Task) {
+		for stage := 0; stage < 3; stage++ {
+			t.Finish(func(t *avd.Task) {
+				t.Spawn(func(t *avd.Task) {
+					acc.Add(t, 1)
+				})
+			})
+		}
+	})
+	return s.Report()
+}

@@ -1,0 +1,118 @@
+// Package staticdiff is the static-vs-dynamic differential gate: the
+// kernels corpus is executed under the dynamic checker AND analyzed by
+// the static suite, and the two must agree in the directions the
+// static layer promises. Dynamically flagged kernels must be static
+// candidates (the static tree over-approximates schedules, so it may
+// not miss one the runtime admits); statically proven-serial handles
+// must produce zero dynamic violations (the elision proof licenses
+// removing instrumentation, so it must never silence a real finding).
+package staticdiff
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+	"testing"
+
+	avd "github.com/taskpar/avd"
+	"github.com/taskpar/avd/internal/analysis"
+	"github.com/taskpar/avd/internal/analysis/load"
+	"github.com/taskpar/avd/internal/analysis/suite"
+	"github.com/taskpar/avd/internal/staticdiff/kernels"
+)
+
+type kernel struct {
+	name   string
+	run    func() avd.Report
+	seeded bool // true: dynamic violation expected AND static candidate required
+}
+
+var corpus = []kernel{
+	{"SeededIncrement", kernels.SeededIncrement, true},
+	{"SeededBank", kernels.SeededBank, true},
+	{"SerialPhases", kernels.SerialPhases, false},
+	{"SerialPipeline", kernels.SerialPipeline, false},
+}
+
+// analyzeKernels runs the whole static suite over the kernels package
+// and returns the result plus each kernel function's source span.
+func analyzeKernels(t *testing.T) (*token.FileSet, *analysis.Result, map[string][2]token.Pos) {
+	t.Helper()
+	l, err := load.NewModule(".")
+	if err != nil {
+		t.Fatalf("resolving module: %v", err)
+	}
+	pkg, err := l.LoadDir("./kernels")
+	if err != nil {
+		t.Fatalf("loading kernels: %v", err)
+	}
+	res, err := analysis.RunDetailed(l.Fset, pkg.Files, pkg.Types, pkg.Info, suite.All(),
+		analysis.Options{GoVersion: pkg.GoVersion})
+	if err != nil {
+		t.Fatalf("running suite: %v", err)
+	}
+	spans := make(map[string][2]token.Pos)
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok {
+				spans[fd.Name.Name] = [2]token.Pos{fd.Pos(), fd.End()}
+			}
+		}
+	}
+	return l.Fset, res, spans
+}
+
+// hasFinding reports whether analyzer reported a message containing
+// substr inside the span, searching reported and suppressed findings
+// alike (serial kernels silence their advisory diagnostics with
+// //avdlint:ignore, so their proofs live on the suppressed channel).
+func hasFinding(res *analysis.Result, span [2]token.Pos, analyzer, substr string) bool {
+	for _, list := range [][]analysis.Diagnostic{res.Diags, res.Suppressed} {
+		for _, d := range list {
+			if d.Analyzer == analyzer && d.Pos >= span[0] && d.Pos < span[1] &&
+				strings.Contains(d.Message, substr) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func TestDifferential(t *testing.T) {
+	_, res, spans := analyzeKernels(t)
+	for _, k := range corpus {
+		span, ok := spans[k.name]
+		if !ok {
+			t.Errorf("kernel %s not found in kernels package", k.name)
+			continue
+		}
+		rep := k.run()
+		if k.seeded {
+			if rep.ViolationCount == 0 {
+				t.Errorf("%s: dynamic checker found no violation in a seeded kernel", k.name)
+			}
+			if !hasFinding(res, span, "staticavd", "atomicity-violation candidate") {
+				t.Errorf("%s: dynamically flagged kernel has no static candidate — the static layer missed a schedule the runtime admits", k.name)
+			}
+		} else {
+			if rep.ViolationCount != 0 {
+				t.Errorf("%s: statically proven-serial kernel produced %d dynamic violations — the elision proof is unsound", k.name, rep.ViolationCount)
+			}
+			if !hasFinding(res, span, "elision", "statically proven serial") {
+				t.Errorf("%s: serial kernel missing its static elision proof", k.name)
+			}
+		}
+	}
+}
+
+// TestKernelsLintClean pins that the corpus itself respects the
+// instrumentation contract: advisory findings are fine (and expected),
+// warnings would mean the kernels exercise the API wrongly.
+func TestKernelsLintClean(t *testing.T) {
+	fset, res, _ := analyzeKernels(t)
+	for _, d := range res.Diags {
+		if d.Severity == analysis.SeverityWarning {
+			t.Errorf("%s: [%s] %s", fset.Position(d.Pos), d.Analyzer, d.Message)
+		}
+	}
+}
