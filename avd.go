@@ -283,8 +283,9 @@ type Options struct {
 	// robustness testing; nil disables it.
 	Chaos *ChaosConfig
 	// Observer streams live analysis events (violations, drops,
-	// saturation, task panics) to the caller while the program runs; nil
-	// (the default) keeps the hot path free of observer overhead.
+	// saturation, task panics) to the caller while the program runs —
+	// or, for a Replayer, while the trace replays; nil (the default)
+	// keeps the hot path free of observer overhead.
 	Observer *Observer
 }
 
@@ -610,6 +611,7 @@ func NewReplayer(opts Options) (*Replayer, error) {
 	r.plane = opts.Chaos.plane()
 	r.gate = opts.gate(r.plane)
 	setTreeGate(r.tree, r.gate)
+	ob := opts.Observer
 	switch opts.Checker {
 	case CheckerVelodrome:
 		r.velo = velodrome.New()
@@ -633,10 +635,18 @@ func NewReplayer(opts Options) (*Replayer, error) {
 			Hub:                  r.hub,
 			Gate:                 r.gate,
 		})
-		rep.SetObserver(func(v Violation) { r.hub.Note(obs.EventViolation, uint64(v.Loc)) })
+		rep.SetObserver(func(v Violation) {
+			r.hub.Note(obs.EventViolation, uint64(v.Loc))
+			if ob != nil && ob.OnViolation != nil {
+				ob.OnViolation(v)
+			}
+		})
 		rep.SetDropObserver(func() {
 			r.hub.Note(obs.EventDrop, 0)
-			r.hub.LatchSaturation(0)
+			r.saturate(ob)
+			if ob != nil && ob.OnDrop != nil {
+				ob.OnDrop(DropEvent{Kind: "violation"})
+			}
 		})
 	default:
 		return nil, fmt.Errorf("avd: ReplayTrace requires an analyzing checker, got %v", opts.Checker)
@@ -644,10 +654,22 @@ func NewReplayer(opts Options) (*Replayer, error) {
 	if r.gate != nil {
 		r.gate.SetDropObserver(func(site chaos.Site, n int64) {
 			r.hub.Note(obs.EventDrop, uint64(site))
-			r.hub.LatchSaturation(0)
+			r.saturate(ob)
+			if ob != nil && ob.OnDrop != nil {
+				ob.OnDrop(DropEvent{Kind: site.String(), Bytes: n})
+			}
 		})
 	}
 	return r, nil
+}
+
+// saturate latches replay saturation on the first drop of any kind and
+// fires the observer's OnSaturation exactly once, mirroring
+// Session.saturate.
+func (r *Replayer) saturate(ob *Observer) {
+	if r.hub.LatchSaturation(0) && ob != nil && ob.OnSaturation != nil {
+		ob.OnSaturation()
+	}
 }
 
 // Replay feeds tr through the analysis and returns its Report. It may

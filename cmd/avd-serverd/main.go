@@ -11,12 +11,21 @@
 //	            [-attempts N] [-backoff D] [-budget N] [-max-violations N]
 //	            [-max-runs N] [-report-cache N] [-drain-timeout D]
 //	            [-chaos-seed N] [-chaos-worker-crash P] [-chaos-admit-reject P]
+//	            [-webhook-url URL] [-snapshot-interval D]
 //
 // Submit a trace and poll its lifecycle:
 //
 //	curl -s -XPOST --data-binary @trace.json localhost:8056/v1/checkruns
 //	curl -s localhost:8056/v1/checkruns/1
 //	curl -s localhost:8056/v1/checkruns/1/report
+//
+// Or watch it live: GET /v1/checkruns/1/events streams state
+// transitions, findings, and periodic analysis snapshots over SSE
+// (avd-top renders them as a dashboard), GET /metrics serves the
+// Prometheus text exposition, and GET /debug/avd/spans the run
+// lifecycles as a Perfetto timeline. With -webhook-url every ERROR
+// finding is POSTed as JSON to the given endpoint (retried with
+// jittered backoff; delivery counters are on /metrics).
 //
 // SIGINT/SIGTERM drain gracefully: admission stops with 503, in-flight
 // runs get -drain-timeout to finish, stragglers are canceled, and the
@@ -58,20 +67,28 @@ func main() {
 	chaosSeed := flag.Int64("chaos-seed", 1, "chaos decision-stream seed")
 	chaosCrash := flag.Float64("chaos-worker-crash", 0, "probability a run attempt's worker crashes (testing)")
 	chaosReject := flag.Float64("chaos-admit-reject", 0, "probability an admission is rejected as overflow (testing)")
+	webhookURL := flag.String("webhook-url", "", "POST a JSON notification here for every ERROR finding (empty disables)")
+	snapshotInterval := flag.Duration("snapshot-interval", 0, "live-analysis frame period on run event streams (0 = 250ms)")
 	flag.Parse()
 
+	if err := server.ValidateWebhookURL(*webhookURL); err != nil {
+		log.Fatalf("avd-serverd: %v", err)
+	}
+
 	svc := server.New(server.Config{
-		Shards:          *shards,
-		QueueDepth:      *queueDepth,
-		MaxBodyBytes:    *maxBody,
-		DefaultDeadline: *deadline,
-		MaxDeadline:     *maxDeadline,
-		MaxAttempts:     *attempts,
-		RetryBackoff:    *backoff,
-		MemoryBudget:    *budget,
-		MaxViolations:   *maxViolations,
-		MaxRuns:         *maxRuns,
-		ReportCacheSize: *reportCache,
+		Shards:           *shards,
+		QueueDepth:       *queueDepth,
+		MaxBodyBytes:     *maxBody,
+		DefaultDeadline:  *deadline,
+		MaxDeadline:      *maxDeadline,
+		MaxAttempts:      *attempts,
+		RetryBackoff:     *backoff,
+		MemoryBudget:     *budget,
+		MaxViolations:    *maxViolations,
+		MaxRuns:          *maxRuns,
+		ReportCacheSize:  *reportCache,
+		WebhookURL:       *webhookURL,
+		SnapshotInterval: *snapshotInterval,
 		Chaos: chaos.Config{
 			Seed:            *chaosSeed,
 			WorkerCrashProb: *chaosCrash,

@@ -1,0 +1,322 @@
+// Command avd-top is a terminal dashboard for the avd-serverd
+// observability plane: a live runs table, per-shard queue bars,
+// counter sparklines, and a tail of findings streamed over SSE,
+// redrawn in place lazydocker-style with plain ANSI escapes.
+//
+// Usage:
+//
+//	avd-top [-addr http://localhost:8056] [-interval 1s] [-width N]
+//	avd-top -once                      # render one frame and exit (CI-safe)
+//	avd-top -demo [-kernel streamcluster] [-n N]
+//	avd-top -reduce URL                # reduce an SSE stream to the report
+//	avd-top -check-metrics URL         # validate a /metrics exposition
+//
+// The default mode polls GET /debug/avd for the panels and subscribes
+// to GET /v1/checkruns/{id}/events for every non-terminal run it sees,
+// feeding the findings tail. -demo needs no server: it runs a bench
+// kernel in-process under the checker and renders the live analysis
+// snapshot instead.
+//
+// The last two modes are plumbing for scripts and CI rather than
+// dashboards: -reduce consumes a run's SSE stream to completion and
+// prints the reduced findings report (byte-identical to GET
+// /v1/checkruns/{id}/report), and -check-metrics fetches a Prometheus
+// endpoint, round-trips it through the text-exposition parser, and
+// fails unless the required avd metric families are present.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/taskpar/avd/internal/bench"
+	"github.com/taskpar/avd/internal/harness"
+	"github.com/taskpar/avd/internal/obs"
+	"github.com/taskpar/avd/internal/server"
+	"github.com/taskpar/avd/internal/top"
+)
+
+func main() {
+	addr := flag.String("addr", "http://localhost:8056", "avd-serverd base URL")
+	interval := flag.Duration("interval", time.Second, "poll and redraw interval")
+	width := flag.Int("width", 0, "render width (default $COLUMNS, else 100)")
+	once := flag.Bool("once", false, "render a single frame and exit (no screen clearing)")
+	frames := flag.Int("frames", 0, "stop after N redraws (0 = until interrupted)")
+	noColor := flag.Bool("no-color", false, "disable ANSI colors")
+	demo := flag.Bool("demo", false, "run a bench kernel in-process and watch its live analysis (no server)")
+	kernel := flag.String("kernel", "streamcluster", "demo kernel name")
+	size := flag.Int("n", 0, "demo problem size (default: the kernel's)")
+	reduce := flag.String("reduce", "", "consume the SSE stream at URL to completion and print the reduced report")
+	checkMetrics := flag.String("check-metrics", "", "fetch the Prometheus endpoint at URL, validate it, and verify the avd families")
+	flag.Parse()
+
+	switch {
+	case *reduce != "":
+		if err := reduceStream(*reduce); err != nil {
+			fatal(err)
+		}
+	case *checkMetrics != "":
+		if err := verifyMetrics(*checkMetrics, os.Stdout); err != nil {
+			fatal(err)
+		}
+	case *demo:
+		if err := runDemo(*kernel, *size, *interval, termWidth(*width), *frames, *noColor); err != nil {
+			fatal(err)
+		}
+	default:
+		if err := watch(*addr, *interval, termWidth(*width), *once, *frames, *noColor); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "avd-top:", err)
+	os.Exit(1)
+}
+
+func termWidth(flagW int) int {
+	if flagW > 0 {
+		return flagW
+	}
+	if c, err := strconv.Atoi(os.Getenv("COLUMNS")); err == nil && c >= 40 {
+		return c
+	}
+	return 100
+}
+
+// reduceStream consumes one run's SSE stream to completion and prints
+// the reduced findings report. CI diffs this against GET /report to
+// enforce the stream-equivalence contract.
+func reduceStream(url string) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET %s: %s", url, resp.Status)
+	}
+	out, err := server.ReduceStream(resp.Body)
+	if err != nil {
+		return err
+	}
+	_, err = os.Stdout.Write(out)
+	return err
+}
+
+// requiredFamilies are the metric families every avd-serverd /metrics
+// exposition must carry; -check-metrics fails if any is missing.
+var requiredFamilies = []string{
+	"avd_server_admitted_total",
+	"avd_server_rejected_total",
+	"avd_server_runs_total",
+	"avd_server_in_flight",
+	"avd_server_queued",
+	"avd_server_report_cache_hits_total",
+	"avd_stream_subscribers",
+	"avd_stream_dropped_frames_total",
+	"avd_analysis_violations_total",
+	"avd_analysis_locations_total",
+	"avd_run_queue_wait_seconds",
+	"avd_run_duration_seconds",
+}
+
+// verifyMetrics fetches a Prometheus text exposition, round-trips it
+// through the validating parser, and checks the required families.
+func verifyMetrics(url string, w io.Writer) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET %s: %s", url, resp.Status)
+	}
+	pm, err := obs.ParseProm(io.LimitReader(resp.Body, 8<<20))
+	if err != nil {
+		return fmt.Errorf("invalid exposition: %w", err)
+	}
+	var missing []string
+	for _, name := range requiredFamilies {
+		if _, ok := pm.Types[name]; !ok {
+			missing = append(missing, name)
+		}
+	}
+	if len(missing) > 0 {
+		return fmt.Errorf("missing metric families: %s", strings.Join(missing, ", "))
+	}
+	fmt.Fprintf(w, "metrics ok: %d families, %d samples\n", len(pm.Types), len(pm.Samples))
+	return nil
+}
+
+// watch is the live dashboard loop against a server.
+func watch(base string, interval time.Duration, width int, once bool, frames int, noColor bool) error {
+	base = strings.TrimRight(base, "/")
+	dash := top.NewDash(64)
+	dash.NoColor = noColor || once
+	t := &tailer{base: base, dash: dash, seen: make(map[int64]bool)}
+
+	poll := func() error {
+		doc, err := fetchDebug(base)
+		if err != nil {
+			return err
+		}
+		dash.Observe(top.Frame{Time: time.Now(), Source: base, Metrics: doc.Metrics, Runs: doc.Runs})
+		if !once {
+			for _, r := range doc.Runs {
+				t.ensure(r.ID, r.Status)
+			}
+		}
+		return nil
+	}
+
+	if once {
+		if err := poll(); err != nil {
+			return err
+		}
+		_, err := os.Stdout.WriteString(dash.Render(width))
+		return err
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	drawn := 0
+	for {
+		if err := poll(); err != nil {
+			dash.AddFinding("poll error: " + err.Error())
+		}
+		os.Stdout.WriteString(top.Clear + dash.Render(width))
+		drawn++
+		if frames > 0 && drawn >= frames {
+			return nil
+		}
+		select {
+		case <-sig:
+			return nil
+		case <-time.After(interval):
+		}
+	}
+}
+
+func fetchDebug(base string) (*top.DebugDoc, error) {
+	resp, err := http.Get(base + "/debug/avd")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET /debug/avd: %s", resp.Status)
+	}
+	var doc top.DebugDoc
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		return nil, err
+	}
+	return &doc, nil
+}
+
+// tailer follows the SSE stream of every non-terminal run once,
+// feeding finding titles into the dashboard tail.
+type tailer struct {
+	base string
+	dash *top.Dash
+	mu   sync.Mutex
+	seen map[int64]bool
+}
+
+func (t *tailer) ensure(id int64, status server.Status) {
+	switch status {
+	case server.StatusDone, server.StatusFailed, server.StatusCanceled:
+		return
+	}
+	t.mu.Lock()
+	already := t.seen[id]
+	t.seen[id] = true
+	t.mu.Unlock()
+	if already {
+		return
+	}
+	go t.follow(id)
+}
+
+func (t *tailer) follow(id int64) {
+	resp, err := http.Get(fmt.Sprintf("%s/v1/checkruns/%d/events", t.base, id))
+	if err != nil {
+		t.dash.AddFinding(fmt.Sprintf("run %d: stream error: %v", id, err))
+		return
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.dash.AddFinding(fmt.Sprintf("run %d: stream: %s", id, resp.Status))
+		return
+	}
+	_ = server.DecodeSSE(resp.Body, func(event string, data []byte) error {
+		switch event {
+		case server.EventFinding:
+			var ev server.StreamEvent
+			if err := json.Unmarshal(data, &ev); err != nil || ev.Finding == nil {
+				return nil
+			}
+			t.dash.AddFinding(fmt.Sprintf("run %d [%s] %s", id, ev.Finding.Status, ev.Finding.Title))
+		case server.EventReset:
+			t.dash.AddFinding(fmt.Sprintf("run %d: attempt crashed, findings discarded", id))
+		}
+		return nil
+	})
+}
+
+// runDemo measures a bench kernel in-process under the checker and
+// renders its live analysis snapshot — the dashboard without a server.
+func runDemo(name string, n int, interval time.Duration, width, frames int, noColor bool) error {
+	k, err := bench.ByName(name)
+	if err != nil {
+		return err
+	}
+	if n <= 0 {
+		n = k.DefaultN
+	}
+	dash := top.NewDash(64)
+	dash.NoColor = noColor
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := harness.Measure(k, harness.PrototypeBatch(0), n, 1)
+		done <- err
+	}()
+
+	src := fmt.Sprintf("demo %s n=%d", name, n)
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	drawn := 0
+	for {
+		if s := harness.LiveSession(); s != nil {
+			dash.Observe(top.FrameFromSnapshot(s.Snapshot(), src, time.Now()))
+		}
+		os.Stdout.WriteString(top.Clear + dash.Render(width))
+		drawn++
+		if frames > 0 && drawn >= frames {
+			return nil
+		}
+		select {
+		case err := <-done:
+			if err != nil {
+				return err
+			}
+			os.Stdout.WriteString(top.Clear + dash.Render(width))
+			fmt.Println("demo run complete")
+			return nil
+		case <-sig:
+			return nil
+		case <-time.After(interval):
+		}
+	}
+}

@@ -4,6 +4,7 @@
 // Usage:
 //
 //	avd-viz [-i trace.json] [-o out.json] [-strict] [-no-violations]
+//	avd-viz -spans [-i spans.json] [-o out.json]
 //
 // Workflow: record a trace (avd.Options.RecordTrace or avd-trace -gen),
 // convert it with avd-viz, then open https://ui.perfetto.dev (or
@@ -14,13 +15,22 @@
 // appear as instants on the affected task. Traces recorded live also
 // get an "avd workers" process showing which scheduler worker executed
 // each task over time, making steals visible as track migrations.
+//
+// With -spans the input is instead a JSON array of avd-serverd run
+// spans (GET /debug/avd/spans?raw=1) and the output is the server
+// timeline: one track per shard with async queued spans, serial
+// execution spans, and terminal-state instants —
+//
+//	curl -s localhost:8056/debug/avd/spans?raw=1 | avd-viz -spans -o timeline.json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"time"
 
 	"github.com/taskpar/avd/internal/trace"
 )
@@ -31,6 +41,7 @@ func main() {
 	strict := flag.Bool("strict", false, "run the violation overlay with the strict-lock extension")
 	noViolations := flag.Bool("no-violations", false, "skip the checker replay; export structure only")
 	maxExpl := flag.Int("max-explanations", 100, "cap on rendered explanations in otherData")
+	spans := flag.Bool("spans", false, "input is an avd-serverd run-span array (/debug/avd/spans?raw=1); export the server timeline")
 	flag.Parse()
 
 	var r io.Reader = os.Stdin
@@ -41,10 +52,6 @@ func main() {
 		}
 		defer f.Close()
 		r = f
-	}
-	tr, err := trace.Decode(r)
-	if err != nil {
-		fatal(err)
 	}
 
 	var w io.Writer = os.Stdout
@@ -59,6 +66,22 @@ func main() {
 			}
 		}()
 		w = f
+	}
+
+	if *spans {
+		var rs []trace.RunSpan
+		if err := json.NewDecoder(r).Decode(&rs); err != nil {
+			fatal(fmt.Errorf("decoding run spans: %w", err))
+		}
+		if err := trace.ExportRunSpans(rs, time.Now().UnixNano(), w); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	tr, err := trace.Decode(r)
+	if err != nil {
+		fatal(err)
 	}
 	err = trace.ExportPerfetto(tr, w, trace.PerfettoOptions{
 		SkipViolations:   *noViolations,

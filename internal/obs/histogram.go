@@ -1,0 +1,85 @@
+package obs
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+)
+
+// HistBuckets is the fixed bucket count of a Histogram, excluding the
+// implicit +Inf overflow bucket. Bucket i covers observations v with
+// (1<<(i-1))-1 < v <= (1<<i)-1 — log-2 bounds 0, 1, 3, 7, 15, … — so
+// 40 finite buckets span one nanosecond to about nine minutes when the
+// unit is nanoseconds, which comfortably covers every latency the
+// service can legally produce (deadlines cap at minutes).
+const HistBuckets = 40
+
+// Histogram is a fixed-geometry log-2 histogram for latency and
+// queue-wait measurements on hot paths: Observe is one predictable
+// bucket index computation plus two atomic adds, allocation-free, with
+// no locks and no configurable bucket schedule to mismatch across
+// restarts. The zero value is ready to use.
+//
+// Like the Striped counters, concurrent reads race benignly with
+// writers: a snapshot is a monotone lower bound per bucket, exact at
+// quiescence. Observe is not striped — histograms sit on admission and
+// completion paths (per run), not per-access hot loops.
+type Histogram struct {
+	buckets [HistBuckets + 1]atomic.Int64 // [HistBuckets] is +Inf
+	sum     atomic.Int64
+}
+
+// bucketIndex maps an observation to its bucket: bits.Len64 gives the
+// log-2 class directly (0 -> 0, 1 -> 1, 2..3 -> 2, 4..7 -> 3, …).
+func bucketIndex(v int64) int {
+	if v <= 0 {
+		return 0
+	}
+	i := bits.Len64(uint64(v))
+	if i > HistBuckets {
+		return HistBuckets
+	}
+	return i
+}
+
+// Observe counts one observation. Negative values clamp to zero.
+func (h *Histogram) Observe(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.buckets[bucketIndex(v)].Add(1)
+	h.sum.Add(v)
+}
+
+// HistogramSnapshot is a point-in-time view of a histogram: Buckets are
+// non-cumulative per-bucket counts (index HistBuckets is the +Inf
+// overflow), Count their total, Sum the sum of observed values.
+type HistogramSnapshot struct {
+	Buckets [HistBuckets + 1]int64
+	Count   int64
+	Sum     int64
+}
+
+// Snapshot reads the histogram. Concurrent with writers every field is
+// a monotone lower bound; at quiescence it is exact.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	var s HistogramSnapshot
+	for i := range h.buckets {
+		n := h.buckets[i].Load()
+		s.Buckets[i] = n
+		s.Count += n
+	}
+	s.Sum = h.sum.Load()
+	return s
+}
+
+// BucketBound returns the inclusive upper bound of bucket i: (1<<i)-1,
+// with +Inf for the overflow bucket. Bounds are exact — an observation
+// v lands in the first bucket whose bound satisfies v <= bound — so the
+// exposition's cumulative le buckets follow Prometheus semantics.
+func BucketBound(i int) float64 {
+	if i >= HistBuckets {
+		return math.Inf(1)
+	}
+	return float64((int64(1) << uint(i)) - 1)
+}

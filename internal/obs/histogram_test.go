@@ -1,0 +1,99 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+// TestHistogramBucketing pins the log-2 geometry: v lands in the first
+// bucket whose inclusive bound (1<<i)-1 is >= v.
+func TestHistogramBucketing(t *testing.T) {
+	cases := []struct {
+		v    int64
+		want int
+	}{
+		{-5, 0}, {0, 0}, {1, 1}, {2, 2}, {3, 2}, {4, 3}, {7, 3}, {8, 4},
+		{(1 << 20) - 1, 20}, {1 << 20, 21},
+		{math.MaxInt64, HistBuckets},
+	}
+	for _, c := range cases {
+		if got := bucketIndex(c.v); got != c.want {
+			t.Errorf("bucketIndex(%d) = %d, want %d", c.v, got, c.want)
+		}
+		if c.v >= 0 && c.want < HistBuckets {
+			if b := BucketBound(c.want); float64(c.v) > b {
+				t.Errorf("value %d exceeds its bucket bound %g", c.v, b)
+			}
+			if c.want > 0 {
+				if b := BucketBound(c.want - 1); float64(c.v) <= b {
+					t.Errorf("value %d fits the previous bucket bound %g", c.v, b)
+				}
+			}
+		}
+	}
+	if !math.IsInf(BucketBound(HistBuckets), 1) {
+		t.Errorf("overflow bucket bound = %g, want +Inf", BucketBound(HistBuckets))
+	}
+}
+
+func TestHistogramSnapshot(t *testing.T) {
+	var h Histogram
+	for _, v := range []int64{0, 1, 1, 3, 100, -7} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	if s.Count != 6 {
+		t.Fatalf("count = %d, want 6", s.Count)
+	}
+	if s.Sum != 105 {
+		t.Fatalf("sum = %d, want 105 (negative clamps to 0)", s.Sum)
+	}
+	if s.Buckets[0] != 2 { // 0 and clamped -7
+		t.Errorf("bucket 0 = %d, want 2", s.Buckets[0])
+	}
+	if s.Buckets[1] != 2 {
+		t.Errorf("bucket 1 = %d, want 2", s.Buckets[1])
+	}
+	if s.Buckets[2] != 1 || s.Buckets[7] != 1 {
+		t.Errorf("buckets = %v", s.Buckets[:8])
+	}
+}
+
+// TestHistogramConcurrent exercises Observe from many goroutines under
+// the race detector and checks the quiescent totals are exact.
+func TestHistogramConcurrent(t *testing.T) {
+	var h Histogram
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(int64(w*per + i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	s := h.Snapshot()
+	if s.Count != workers*per {
+		t.Fatalf("count = %d, want %d", s.Count, workers*per)
+	}
+	want := int64(workers*per) * int64(workers*per-1) / 2
+	if s.Sum != want {
+		t.Fatalf("sum = %d, want %d", s.Sum, want)
+	}
+}
+
+// TestHistogramObserveZeroAllocs pins the hot-path allocation contract:
+// recording a latency must not allocate.
+func TestHistogramObserveZeroAllocs(t *testing.T) {
+	var h Histogram
+	allocs := testing.AllocsPerRun(1000, func() {
+		h.Observe(12345)
+	})
+	if allocs != 0 {
+		t.Fatalf("Observe allocates %v times per call, want 0", allocs)
+	}
+}

@@ -1,0 +1,228 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// PromMetrics is a parsed Prometheus text exposition: the declared
+// family types and every sample keyed by its full series identity
+// (name plus rendered label set). The parser exists so tests and the
+// CI smoke job can validate the server's /metrics output structurally —
+// well-formed lines, types declared before samples, histogram buckets
+// cumulative and consistent — without linking a client library.
+type PromMetrics struct {
+	// Types maps family name to its declared # TYPE.
+	Types map[string]string
+	// Samples maps "name{labels}" (labels as written) to the value.
+	Samples map[string]float64
+}
+
+// Value returns the sample of an unlabeled series.
+func (p *PromMetrics) Value(name string) (float64, bool) {
+	v, ok := p.Samples[name]
+	return v, ok
+}
+
+// Names returns the sorted family names that carried samples.
+func (p *PromMetrics) Names() []string {
+	seen := make(map[string]struct{})
+	for k := range p.Samples {
+		name := k
+		if i := strings.IndexByte(name, '{'); i >= 0 {
+			name = name[:i]
+		}
+		seen[name] = struct{}{}
+	}
+	out := make([]string, 0, len(seen))
+	for n := range seen {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// validName reports whether s is a legal metric or label name:
+// [a-zA-Z_][a-zA-Z0-9_]*.
+func validName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		alpha := c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+		if !alpha && (i == 0 || c < '0' || c > '9') {
+			return false
+		}
+	}
+	return true
+}
+
+// family strips histogram sample suffixes to the declared family name.
+func family(name string) string {
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		if strings.HasSuffix(name, suf) {
+			return strings.TrimSuffix(name, suf)
+		}
+	}
+	return name
+}
+
+// parseSample splits one sample line into series key and value,
+// validating the metric name and label syntax.
+func parseSample(line string) (key string, val float64, name string, labels string, err error) {
+	rest := line
+	name = rest
+	labels = ""
+	if i := strings.IndexByte(rest, '{'); i >= 0 {
+		j := strings.IndexByte(rest, '}')
+		if j < i {
+			return "", 0, "", "", fmt.Errorf("unbalanced labels in %q", line)
+		}
+		name = rest[:i]
+		labels = rest[i : j+1]
+		rest = name + rest[j+1:]
+	}
+	fields := strings.Fields(rest)
+	if len(fields) != 2 {
+		return "", 0, "", "", fmt.Errorf("want 'name value', got %q", line)
+	}
+	if !validName(fields[0]) {
+		return "", 0, "", "", fmt.Errorf("bad metric name %q", fields[0])
+	}
+	v, perr := strconv.ParseFloat(fields[1], 64)
+	if perr != nil {
+		return "", 0, "", "", fmt.Errorf("bad value in %q: %v", line, perr)
+	}
+	return fields[0] + labels, v, fields[0], labels, nil
+}
+
+// labelValue extracts one label's value from a rendered label set, with
+// ok=false when absent.
+func labelValue(labels, key string) (string, bool) {
+	needle := key + `="`
+	i := strings.Index(labels, needle)
+	if i < 0 {
+		return "", false
+	}
+	rest := labels[i+len(needle):]
+	j := strings.IndexByte(rest, '"')
+	if j < 0 {
+		return "", false
+	}
+	return rest[:j], true
+}
+
+// ParseProm parses and validates a Prometheus text exposition. It
+// rejects samples whose family lacks a # TYPE declaration, malformed
+// names, labels, and values, and histograms whose cumulative buckets
+// decrease or whose _count disagrees with the +Inf bucket.
+func ParseProm(r io.Reader) (*PromMetrics, error) {
+	p := &PromMetrics{Types: make(map[string]string), Samples: make(map[string]float64)}
+	// Per histogram series (name+labels sans le): last cumulative bucket,
+	// last le, and the +Inf count for the _count cross-check.
+	lastCum := make(map[string]float64)
+	lastLe := make(map[string]float64)
+	infCount := make(map[string]float64)
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64<<10), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(line)
+			if len(fields) >= 3 && fields[1] == "TYPE" {
+				if !validName(fields[2]) {
+					return nil, fmt.Errorf("line %d: bad family name %q", lineNo, fields[2])
+				}
+				p.Types[fields[2]] = strings.Join(fields[3:], " ")
+			}
+			continue
+		}
+		key, v, name, labels, err := parseSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %v", lineNo, err)
+		}
+		fam := family(name)
+		typ, declared := p.Types[fam]
+		if !declared {
+			// A _sum/_count-suffixed counter is its own family.
+			typ, declared = p.Types[name]
+			fam = name
+		}
+		if !declared {
+			return nil, fmt.Errorf("line %d: sample %q has no # TYPE declaration", lineNo, name)
+		}
+		if strings.HasSuffix(name, "_bucket") && typ == "histogram" {
+			le, ok := labelValue(labels, "le")
+			if !ok {
+				return nil, fmt.Errorf("line %d: histogram bucket %q lacks le", lineNo, line)
+			}
+			bound := math.Inf(1)
+			if le != "+Inf" {
+				if bound, err = strconv.ParseFloat(le, 64); err != nil {
+					return nil, fmt.Errorf("line %d: bad le %q", lineNo, le)
+				}
+			}
+			series := fam + stripLabel(labels, "le")
+			if prev, seen := lastCum[series]; seen {
+				if v < prev {
+					return nil, fmt.Errorf("line %d: histogram %s buckets not cumulative (%g after %g)", lineNo, series, v, prev)
+				}
+				if bound <= lastLe[series] {
+					return nil, fmt.Errorf("line %d: histogram %s le not increasing", lineNo, series)
+				}
+			}
+			lastCum[series] = v
+			lastLe[series] = bound
+			if math.IsInf(bound, 1) {
+				infCount[series] = v
+			}
+		}
+		if strings.HasSuffix(name, "_count") && typ == "histogram" {
+			series := fam + labels
+			if inf, seen := infCount[series]; seen && inf != v {
+				return nil, fmt.Errorf("line %d: histogram %s _count %g != +Inf bucket %g", lineNo, series, v, inf)
+			}
+		}
+		if _, dup := p.Samples[key]; dup {
+			return nil, fmt.Errorf("line %d: duplicate sample %q", lineNo, key)
+		}
+		p.Samples[key] = v
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// stripLabel removes one key="value" pair from a rendered label set.
+func stripLabel(labels, key string) string {
+	needle := key + `="`
+	i := strings.Index(labels, needle)
+	if i < 0 {
+		return labels
+	}
+	rest := labels[i+len(needle):]
+	j := strings.IndexByte(rest, '"')
+	if j < 0 {
+		return labels
+	}
+	out := labels[:i] + rest[j+1:]
+	out = strings.ReplaceAll(out, ",}", "}")
+	out = strings.ReplaceAll(out, "{,", "{")
+	out = strings.ReplaceAll(out, ",,", ",")
+	if out == "{}" {
+		return ""
+	}
+	return out
+}

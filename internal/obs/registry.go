@@ -1,0 +1,200 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// MetricType classifies a registered metric for the exposition's # TYPE
+// line.
+type MetricType string
+
+// Prometheus metric types.
+const (
+	TypeCounter   MetricType = "counter"
+	TypeGauge     MetricType = "gauge"
+	TypeHistogram MetricType = "histogram"
+)
+
+// Label is one name="value" pair of a series.
+type Label struct {
+	Key, Value string
+}
+
+// Series is one sample stream of a metric: a label set plus either a
+// scalar read function (counters, gauges) or a histogram. Read
+// functions are called at scrape time, so registering a closure over an
+// atomic counter costs nothing between scrapes.
+type Series struct {
+	Labels []Label
+	// Value supplies the sample for counter and gauge series.
+	Value func() float64
+	// Hist supplies the buckets for histogram series. Scale divides the
+	// bucket bounds and sum on exposition — a histogram observed in
+	// nanoseconds with Scale 1e9 exposes seconds, keeping the hot path
+	// integer-only while the scrape follows Prometheus base units. Zero
+	// means 1.
+	Hist  *Histogram
+	Scale float64
+}
+
+// Metric is one named family: help text, type, and its series.
+type Metric struct {
+	Name   string
+	Help   string
+	Type   MetricType
+	Series []Series
+}
+
+// Registry names a set of metrics and writes them in the Prometheus
+// text exposition format. It is dependency-free by design: the checker
+// never links a metrics client library, and the writer's output is
+// deterministic (families sorted by name, series in registration order)
+// so scrapes are diffable and goldens stable. Safe for concurrent
+// Register and Write.
+type Registry struct {
+	mu      sync.Mutex
+	metrics map[string]*Metric
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{metrics: make(map[string]*Metric)}
+}
+
+// Register adds a metric family, appending series when the name is
+// already registered (the family's help and type are fixed by the first
+// registration).
+func (r *Registry) Register(m Metric) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if have, ok := r.metrics[m.Name]; ok {
+		have.Series = append(have.Series, m.Series...)
+		return
+	}
+	cp := m
+	cp.Series = append([]Series(nil), m.Series...)
+	r.metrics[m.Name] = &cp
+}
+
+// Counter registers a single-series counter read from fn.
+func (r *Registry) Counter(name, help string, fn func() int64) {
+	r.Register(Metric{Name: name, Help: help, Type: TypeCounter,
+		Series: []Series{{Value: func() float64 { return float64(fn()) }}}})
+}
+
+// Gauge registers a single-series gauge read from fn.
+func (r *Registry) Gauge(name, help string, fn func() int64) {
+	r.Register(Metric{Name: name, Help: help, Type: TypeGauge,
+		Series: []Series{{Value: func() float64 { return float64(fn()) }}}})
+}
+
+// LabeledCounter registers one counter series carrying a label.
+func (r *Registry) LabeledCounter(name, help, key, value string, fn func() int64) {
+	r.Register(Metric{Name: name, Help: help, Type: TypeCounter,
+		Series: []Series{{Labels: []Label{{key, value}}, Value: func() float64 { return float64(fn()) }}}})
+}
+
+// LabeledGauge registers one gauge series carrying a label.
+func (r *Registry) LabeledGauge(name, help, key, value string, fn func() int64) {
+	r.Register(Metric{Name: name, Help: help, Type: TypeGauge,
+		Series: []Series{{Labels: []Label{{key, value}}, Value: func() float64 { return float64(fn()) }}}})
+}
+
+// Histogram registers a histogram exposed with bounds and sum divided
+// by scale (observe nanoseconds, expose seconds with scale 1e9).
+func (r *Registry) Histogram(name, help string, h *Histogram, scale float64) {
+	r.Register(Metric{Name: name, Help: help, Type: TypeHistogram,
+		Series: []Series{{Hist: h, Scale: scale}}})
+}
+
+// formatValue renders a sample value the shortest way that round-trips.
+func formatValue(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// renderLabels renders a label set as {k="v",...}; extra appends one
+// more pair (the histogram writer's le).
+func renderLabels(labels []Label, extra ...Label) string {
+	all := append(append([]Label(nil), labels...), extra...)
+	if len(all) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range all {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", l.Key, l.Value)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// WritePrometheus writes every registered metric in the text exposition
+// format (version 0.0.4): # HELP and # TYPE lines followed by the
+// samples, families sorted by name. Histograms expose cumulative
+// _bucket{le=...} samples with exact log-2 bounds, plus _sum and
+// _count.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.metrics))
+	for name := range r.metrics {
+		names = append(names, name)
+	}
+	ms := make([]*Metric, 0, len(names))
+	sort.Strings(names)
+	for _, name := range names {
+		ms = append(ms, r.metrics[name])
+	}
+	r.mu.Unlock()
+
+	for _, m := range ms {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", m.Name, m.Help, m.Name, m.Type); err != nil {
+			return err
+		}
+		for _, s := range m.Series {
+			if m.Type == TypeHistogram {
+				if err := writeHistogram(w, m.Name, s); err != nil {
+					return err
+				}
+				continue
+			}
+			if _, err := fmt.Fprintf(w, "%s%s %s\n", m.Name, renderLabels(s.Labels), formatValue(s.Value())); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// writeHistogram writes one histogram series: cumulative buckets, sum,
+// count.
+func writeHistogram(w io.Writer, name string, s Series) error {
+	scale := s.Scale
+	if scale == 0 {
+		scale = 1
+	}
+	snap := s.Hist.Snapshot()
+	var cum int64
+	for i := 0; i <= HistBuckets; i++ {
+		cum += snap.Buckets[i]
+		le := "+Inf"
+		if i < HistBuckets {
+			le = formatValue(BucketBound(i) / scale)
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", name, renderLabels(s.Labels, Label{"le", le}), cum); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", name, renderLabels(s.Labels), formatValue(float64(snap.Sum)/scale)); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", name, renderLabels(s.Labels), cum)
+	return err
+}

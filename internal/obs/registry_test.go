@@ -1,0 +1,125 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func testRegistry() (*Registry, *Histogram) {
+	r := NewRegistry()
+	var adm int64 = 42
+	r.Counter("avd_admitted_total", "Runs admitted.", func() int64 { return adm })
+	r.Gauge("avd_in_flight", "Runs executing now.", func() int64 { return 3 })
+	for i := 0; i < 2; i++ {
+		i := i
+		r.LabeledGauge("avd_shard_queue_depth", "Queued runs per shard.", "shard", string(rune('0'+i)), func() int64 { return int64(i * 5) })
+	}
+	h := &Histogram{}
+	h.Observe(0)
+	h.Observe(1500) // ns
+	h.Observe(3_000_000_000)
+	r.Histogram("avd_run_duration_seconds", "Run wall time.", h, 1e9)
+	return r, h
+}
+
+// TestWritePrometheusRoundTrip validates the writer's output through the
+// exposition parser: every family typed, samples parse, histogram
+// buckets cumulative with _count matching the +Inf bucket.
+func TestWritePrometheusRoundTrip(t *testing.T) {
+	r, _ := testRegistry()
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	p, err := ParseProm(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("parse own output:\n%s\nerror: %v", buf.String(), err)
+	}
+	if v, ok := p.Value("avd_admitted_total"); !ok || v != 42 {
+		t.Errorf("avd_admitted_total = %v, %v", v, ok)
+	}
+	if v, ok := p.Value("avd_in_flight"); !ok || v != 3 {
+		t.Errorf("avd_in_flight = %v, %v", v, ok)
+	}
+	if v, ok := p.Samples[`avd_shard_queue_depth{shard="1"}`]; !ok || v != 5 {
+		t.Errorf("shard 1 depth = %v, %v", v, ok)
+	}
+	if v, ok := p.Value("avd_run_duration_seconds_count"); !ok || v != 3 {
+		t.Errorf("histogram count = %v, %v", v, ok)
+	}
+	if typ := p.Types["avd_run_duration_seconds"]; typ != "histogram" {
+		t.Errorf("histogram type = %q", typ)
+	}
+}
+
+// TestWritePrometheusDeterministic pins byte-identical scrapes: two
+// writes of the same registry state must match, families sorted.
+func TestWritePrometheusDeterministic(t *testing.T) {
+	r, _ := testRegistry()
+	var a, b bytes.Buffer
+	if err := r.WritePrometheus(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatalf("scrapes differ:\n%s\n---\n%s", a.String(), b.String())
+	}
+	var last string
+	for _, line := range strings.Split(a.String(), "\n") {
+		if !strings.HasPrefix(line, "# HELP ") {
+			continue
+		}
+		name := strings.Fields(line)[2]
+		if name < last {
+			t.Fatalf("families not sorted: %q after %q", name, last)
+		}
+		last = name
+	}
+}
+
+// TestHistogramExposition pins the le schedule and the seconds scaling:
+// a 1500 ns observation must sit in the bucket whose bound is
+// (2^11-1)/1e9 seconds.
+func TestHistogramExposition(t *testing.T) {
+	r := NewRegistry()
+	h := &Histogram{}
+	h.Observe(1500)
+	r.Histogram("lat_seconds", "x", h, 1e9)
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	// 1500 has bit length 11: bound (2^11-1)/1e9 = 2.047e-06.
+	if !strings.Contains(out, `lat_seconds_bucket{le="2.047e-06"} 1`) {
+		t.Errorf("missing expected bucket line in:\n%s", out)
+	}
+	if !strings.Contains(out, `lat_seconds_bucket{le="1.023e-06"} 0`) {
+		t.Errorf("bucket below the observation should be empty:\n%s", out)
+	}
+	if !strings.Contains(out, `lat_seconds_sum 1.5e-06`) {
+		t.Errorf("sum not scaled to seconds:\n%s", out)
+	}
+}
+
+// TestParsePromRejects documents the malformed inputs the parser must
+// refuse, so the CI validation actually validates.
+func TestParsePromRejects(t *testing.T) {
+	cases := map[string]string{
+		"untyped sample":        "foo 1\n",
+		"bad name":              "# TYPE 9foo counter\n9foo 1\n",
+		"bad value":             "# TYPE foo counter\nfoo abc\n",
+		"duplicate sample":      "# TYPE foo counter\nfoo 1\nfoo 2\n",
+		"non-cumulative bucket": "# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"2\"} 3\n",
+		"non-increasing le":     "# TYPE h histogram\nh_bucket{le=\"2\"} 1\nh_bucket{le=\"1\"} 2\n",
+		"count mismatch":        "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 5\nh_count 4\n",
+	}
+	for name, in := range cases {
+		if _, err := ParseProm(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: parsed without error", name)
+		}
+	}
+}

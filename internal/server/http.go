@@ -6,11 +6,16 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"mime"
+	"mime/multipart"
 	"net/http"
 	"os"
+	"sort"
 	"strconv"
+	"strings"
 	"time"
 
+	avd "github.com/taskpar/avd"
 	"github.com/taskpar/avd/internal/chaos"
 	"github.com/taskpar/avd/internal/trace"
 )
@@ -23,18 +28,31 @@ import (
 //	GET  /v1/checkruns            list run summaries
 //	GET  /v1/checkruns/{id}       one run, including its findings
 //	GET  /v1/checkruns/{id}/report  canonical text violation report
+//	GET  /v1/checkruns/{id}/events  live event stream (SSE): state
+//	                              transitions, findings as the checker
+//	                              admits them, periodic analysis frames
 //	POST /v1/checkruns/{id}/cancel  request cancellation
 //	GET  /healthz                 liveness (503 while draining)
+//	GET  /metrics                 Prometheus text exposition
 //	GET  /debug/avd               server metrics + live run snapshots
+//	GET  /debug/avd/spans         run-lifecycle spans as a Perfetto trace
+//
+// Submissions are either a raw trace JSON body or multipart/form-data
+// with a "trace" part and an optional "lint" part (avd-lint -json
+// output or a JSON array of candidate strings) whose staticavd
+// candidates annotate the dynamic findings that confirm them.
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/checkruns", s.handleSubmit)
 	mux.HandleFunc("GET /v1/checkruns", s.handleList)
 	mux.HandleFunc("GET /v1/checkruns/{id}", s.handleGet)
 	mux.HandleFunc("GET /v1/checkruns/{id}/report", s.handleReport)
+	mux.HandleFunc("GET /v1/checkruns/{id}/events", s.handleEvents)
 	mux.HandleFunc("POST /v1/checkruns/{id}/cancel", s.handleCancel)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /debug/avd", s.handleDebug)
+	mux.HandleFunc("GET /debug/avd/spans", s.handleSpans)
 	return mux
 }
 
@@ -88,6 +106,18 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	_ = rc.SetReadDeadline(time.Time{})
+	var lint []string
+	if ct := r.Header.Get("Content-Type"); strings.HasPrefix(ct, "multipart/") {
+		// Multipart submission: a "trace" part plus an optional "lint"
+		// part of staticavd candidates. The whole upload was already
+		// size-bounded above, so the parts are too.
+		body, lint, err = splitMultipart(ct, body)
+		if err != nil {
+			s.metrics.rejectedBody.Add(1)
+			writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+			return
+		}
+	}
 	tr, err := trace.DecodeLimited(bytes.NewReader(body), s.cfg.MaxBodyBytes)
 	if err != nil {
 		s.metrics.rejectedBody.Add(1)
@@ -100,7 +130,7 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
 		return
 	}
-	run, err := s.Admit(tr, body, opts)
+	run, err := s.AdmitLint(tr, body, opts, lint)
 	if err != nil {
 		var ae *AdmitError
 		if errors.As(err, &ae) {
@@ -114,6 +144,102 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusAccepted, run.view(false))
+}
+
+// splitMultipart extracts the trace bytes and optional lint candidates
+// from a multipart submission.
+func splitMultipart(contentType string, body []byte) (traceBody []byte, lint []string, err error) {
+	_, params, err := mime.ParseMediaType(contentType)
+	if err != nil {
+		return nil, nil, fmt.Errorf("bad multipart content type: %v", err)
+	}
+	boundary := params["boundary"]
+	if boundary == "" {
+		return nil, nil, errors.New("multipart upload lacks a boundary")
+	}
+	mr := multipart.NewReader(bytes.NewReader(body), boundary)
+	for {
+		part, err := mr.NextPart()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, nil, fmt.Errorf("reading multipart upload: %v", err)
+		}
+		data, err := io.ReadAll(part)
+		part.Close()
+		if err != nil {
+			return nil, nil, fmt.Errorf("reading part %q: %v", part.FormName(), err)
+		}
+		switch part.FormName() {
+		case "trace":
+			traceBody = data
+		case "lint":
+			lint, err = parseLintUpload(data)
+			if err != nil {
+				return nil, nil, err
+			}
+		default:
+			return nil, nil, fmt.Errorf("unknown multipart part %q (want trace, lint)", part.FormName())
+		}
+	}
+	if traceBody == nil {
+		return nil, nil, errors.New(`multipart upload lacks a "trace" part`)
+	}
+	return traceBody, lint, nil
+}
+
+// parseLintUpload decodes an uploaded lint document into candidate
+// messages. Two shapes are accepted: a bare JSON array of message
+// strings, and avd-lint -json output (packages → analyzers → findings),
+// from which every finding is flattened to "posn: message".
+func parseLintUpload(data []byte) ([]string, error) {
+	data = bytes.TrimSpace(data)
+	if len(data) == 0 {
+		return nil, nil
+	}
+	if data[0] == '[' {
+		var msgs []string
+		if err := json.Unmarshal(data, &msgs); err != nil {
+			return nil, fmt.Errorf("bad lint array: %v", err)
+		}
+		return msgs, nil
+	}
+	type lintFinding struct {
+		Posn    string `json:"posn"`
+		Message string `json:"message"`
+	}
+	type lintPackage struct {
+		Findings map[string][]lintFinding `json:"findings"`
+	}
+	var tree map[string]lintPackage
+	if err := json.Unmarshal(data, &tree); err != nil {
+		return nil, fmt.Errorf("bad lint JSON (want an array of strings or avd-lint -json output): %v", err)
+	}
+	// Deterministic order: packages, then analyzers, sorted.
+	var out []string
+	pkgs := make([]string, 0, len(tree))
+	for pkg := range tree {
+		pkgs = append(pkgs, pkg)
+	}
+	sort.Strings(pkgs)
+	for _, pkg := range pkgs {
+		analyzers := make([]string, 0, len(tree[pkg].Findings))
+		for a := range tree[pkg].Findings {
+			analyzers = append(analyzers, a)
+		}
+		sort.Strings(analyzers)
+		for _, a := range analyzers {
+			for _, f := range tree[pkg].Findings[a] {
+				msg := f.Message
+				if f.Posn != "" {
+					msg = f.Posn + ": " + msg
+				}
+				out = append(out, msg)
+			}
+		}
+	}
+	return out, nil
 }
 
 // parseRunOptions reads the per-run knobs from the submit query.
@@ -233,6 +359,19 @@ type liveStats struct {
 	Saturated  bool  `json:"saturated,omitempty"`
 }
 
+// newLiveStats projects a Replayer snapshot onto the streamed subset
+// shared by /debug/avd and the SSE snapshot frames.
+func newLiveStats(snap avd.Snapshot) *liveStats {
+	return &liveStats{
+		Locations:  snap.Stats.Locations,
+		DPSTNodes:  snap.Stats.DPSTNodes,
+		Violations: snap.ViolationCount,
+		Drops:      snap.Events.Drops,
+		MemoryUsed: snap.MemoryUsed,
+		Saturated:  snap.Saturated,
+	}
+}
+
 func (s *Service) handleDebug(w http.ResponseWriter, r *http.Request) {
 	runs := s.Runs()
 	out := debugView{Metrics: s.Metrics(), Runs: make([]debugRun, 0, len(runs))}
@@ -245,15 +384,7 @@ func (s *Service) handleDebug(w http.ResponseWriter, r *http.Request) {
 		rp := run.replayer
 		run.mu.Unlock()
 		if rp != nil {
-			snap := rp.Snapshot()
-			dr.Live = &liveStats{
-				Locations:  snap.Stats.Locations,
-				DPSTNodes:  snap.Stats.DPSTNodes,
-				Violations: snap.ViolationCount,
-				Drops:      snap.Events.Drops,
-				MemoryUsed: snap.MemoryUsed,
-				Saturated:  snap.Saturated,
-			}
+			dr.Live = newLiveStats(rp.Snapshot())
 		}
 		out.Runs = append(out.Runs, dr)
 	}

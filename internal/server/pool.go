@@ -46,15 +46,26 @@ func (s *Service) execute(run *Run) {
 	run.status = StatusRunning
 	run.started = time.Now()
 	run.cancel = cancel
+	s.metrics.queueWait.Observe(run.started.Sub(run.created).Nanoseconds())
 	run.mu.Unlock()
 	defer cancel()
 	s.metrics.inFlight.Add(1)
 	defer s.metrics.inFlight.Add(-1)
+	// Periodic live-analysis frames for stream subscribers, for the
+	// run's whole execution (all attempts); the deferred cancel stops it.
+	go s.snapshotLoop(ctx, run)
 
 	for attempt := 1; ; attempt++ {
 		run.mu.Lock()
 		run.attempts = attempt
 		run.mu.Unlock()
+		if attempt > 1 {
+			// The previous attempt crashed after possibly streaming
+			// findings; tell subscribers to discard them before the
+			// re-execution streams its own.
+			run.hub.publish(StreamEvent{Kind: EventReset})
+		}
+		run.hub.publish(StreamEvent{Kind: EventState, Status: StatusRunning, Attempt: attempt})
 		rep, err := s.attempt(ctx, run, attempt)
 		var crash *crashError
 		switch {
@@ -74,6 +85,10 @@ func (s *Service) execute(run *Run) {
 		}
 		s.metrics.workerPanics.Add(1)
 		if attempt >= s.cfg.MaxAttempts {
+			// The final attempt crashed: whatever it streamed is not in
+			// the (empty) terminal report. Reset before the terminal
+			// findings so a reduced stream matches /report.
+			run.hub.publish(StreamEvent{Kind: EventReset})
 			s.finishErr(run, StatusFailed, avd.Report{}, CodeWorkerCrash,
 				fmt.Sprintf("worker crashed on all %d attempts: %v", attempt, err), false)
 			return
@@ -116,6 +131,15 @@ func (s *Service) attempt(ctx context.Context, run *Run, attempt int) (rep avd.R
 		StrictLockChecks: run.opts.Strict,
 		MemoryBudget:     s.cfg.MemoryBudget,
 		MaxViolations:    s.cfg.MaxViolations,
+		// Stream violations as the checker admits them. hub.publish is
+		// an append plus non-blocking wakes, satisfying the observer
+		// contract (cheap, never blocks, no session re-entry); a slow
+		// stream consumer can never slow the analysis down.
+		Observer: &avd.Observer{
+			OnViolation: func(v avd.Violation) {
+				run.hub.publish(StreamEvent{Kind: EventFinding, Finding: streamFinding(v)})
+			},
+		},
 	})
 	if err != nil {
 		return rep, err
@@ -134,7 +158,7 @@ func (s *Service) attempt(ctx context.Context, run *Run, attempt int) (rep avd.R
 // finish records a run's terminal state, findings, and report, and
 // counts it in the metrics.
 func (s *Service) finish(run *Run, st Status, rep avd.Report, errMsg string, partial bool) {
-	s.finishWith(run, st, rep, errMsg, buildResults(rep, partial))
+	s.finishWith(run, st, rep, errMsg, buildResults(rep, partial, run.lint))
 }
 
 // finishErr is finish for interrupted and failed runs: the terminal
@@ -145,7 +169,7 @@ func (s *Service) finishErr(run *Run, st Status, rep avd.Report, code, msg strin
 	if st == StatusCanceled {
 		sev = ResultWarn
 	}
-	results := append([]Result{{Status: sev, Code: code, Title: msg}}, buildResults(rep, partial)...)
+	results := append([]Result{{Status: sev, Code: code, Title: msg}}, buildResults(rep, partial, run.lint)...)
 	s.finishWith(run, st, rep, msg, results)
 }
 
@@ -156,6 +180,7 @@ func (s *Service) finishWith(run *Run, st Status, rep avd.Report, errMsg string,
 	run.report = rep
 	run.errMsg = errMsg
 	run.results = results
+	s.metrics.runDuration.Observe(run.finished.Sub(run.started).Nanoseconds())
 	run.mu.Unlock()
 	switch st {
 	case StatusDone:
@@ -170,6 +195,31 @@ func (s *Service) finishWith(run *Run, st Status, rep avd.Report, errMsg string,
 	case StatusCanceled:
 		s.metrics.canceled.Add(1)
 	}
+	// Fold the executed analysis into the server-wide aggregates. Every
+	// finishWith caller ran the analysis (cache hits terminate in Admit),
+	// so the aggregates mirror exactly what the replayers measured.
+	s.metrics.foldReport(rep)
+	// Complete the stream: non-violation findings (violations already
+	// streamed live from the checker's observer), the terminal
+	// transition, then closure so subscribers drain and end.
+	publishResults(run.hub, results, true)
+	run.hub.publish(StreamEvent{Kind: EventState, Status: st})
+	run.hub.close()
+	s.notifyFindings(run, results)
+}
+
+// foldReport accumulates one executed run's terminal report into the
+// server-wide analysis aggregates served on /metrics.
+func (m *Metrics) foldReport(rep avd.Report) {
+	m.anViolations.Add(rep.ViolationCount)
+	m.anDrops.Add(rep.Drops.Locations + rep.Drops.Labels + rep.Drops.LCAEntries + rep.Drops.Violations)
+	m.anTaskPanics.Add(rep.PanicCount)
+	m.anLocations.Add(rep.Stats.Locations)
+	m.anFilterHits.Add(rep.Stats.FilterHits)
+	m.anFilterMisses.Add(rep.Stats.FilterMisses)
+	m.anBatchFlushes.Add(rep.Stats.BatchFlushes)
+	m.anBatchedAccesses.Add(rep.Stats.BatchedAccesses)
+	m.anWindowElisions.Add(rep.Stats.WindowElisions)
 }
 
 // backoff computes the jittered exponential backoff before the next
@@ -223,6 +273,7 @@ func (s *Service) Shutdown(ctx context.Context) error {
 	}()
 	select {
 	case <-done:
+		s.stopWebhook()
 		return nil
 	case <-ctx.Done():
 	}
@@ -236,6 +287,9 @@ func (s *Service) Shutdown(ctx context.Context) error {
 			r.finished = time.Now()
 			r.results = []Result{{Status: ResultWarn, Code: CodePartial, Title: "canceled by drain deadline"}}
 			s.metrics.canceled.Add(1)
+			publishResults(r.hub, r.results, false)
+			r.hub.publish(StreamEvent{Kind: EventState, Status: StatusCanceled})
+			r.hub.close()
 		case StatusRunning:
 			if r.cancel != nil {
 				r.cancel()
@@ -244,6 +298,7 @@ func (s *Service) Shutdown(ctx context.Context) error {
 		r.mu.Unlock()
 	}
 	<-done
+	s.stopWebhook()
 	return ctx.Err()
 }
 

@@ -20,6 +20,7 @@ package server
 import (
 	"context"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -175,6 +176,16 @@ type Run struct {
 	// served from it).
 	ckey    cacheKey
 	cacheOK bool
+
+	// hub is the run's live event stream (created at admission, closed
+	// at terminality). It is immutable after Admit, so readers need no
+	// lock.
+	hub *streamHub
+
+	// lint carries the staticavd candidate messages uploaded alongside
+	// the trace; dynamic findings that confirm a candidate are annotated
+	// with it.
+	lint []string
 }
 
 // ID returns the run's identifier.
@@ -219,6 +230,9 @@ type View struct {
 	Violations int64 `json:"violations"`
 	// Saturated mirrors Report.Saturated: findings may be incomplete.
 	Saturated bool `json:"saturated,omitempty"`
+	// StaticCandidates counts the staticavd candidate messages uploaded
+	// alongside the trace (0 when none were).
+	StaticCandidates int `json:"static_candidates,omitempty"`
 }
 
 // view assembles the JSON representation. withResults controls whether
@@ -227,16 +241,17 @@ func (r *Run) view(withResults bool) View {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	v := View{
-		ID:         r.id,
-		Status:     r.status,
-		Shard:      r.shard,
-		Attempts:   r.attempts,
-		TraceBytes: r.traceSz,
-		Options:    r.opts,
-		CreatedAt:  r.created,
-		Error:      r.errMsg,
-		Violations: r.report.ViolationCount,
-		Saturated:  r.report.Saturated,
+		ID:               r.id,
+		Status:           r.status,
+		Shard:            r.shard,
+		Attempts:         r.attempts,
+		TraceBytes:       r.traceSz,
+		Options:          r.opts,
+		CreatedAt:        r.created,
+		Error:            r.errMsg,
+		Violations:       r.report.ViolationCount,
+		Saturated:        r.report.Saturated,
+		StaticCandidates: len(r.lint),
 	}
 	if !r.started.IsZero() {
 		t := r.started
@@ -257,13 +272,22 @@ func (r *Run) view(withResults bool) View {
 // content = Explain() provenance), a WARN when the analysis saturated,
 // and a single SUCCESS when nothing else was found. partial suppresses
 // the SUCCESS finding — an interrupted run's empty prefix proves
-// nothing — leaving the caller's interruption finding to lead.
-func buildResults(rep avd.Report, partial bool) []Result {
+// nothing — leaving the caller's interruption finding to lead. lint is
+// the run's uploaded staticavd candidate list: a violation whose access
+// pattern matches a compile-time candidate is annotated with it, tying
+// the dynamic confirmation back to the static prediction.
+func buildResults(rep avd.Report, partial bool, lint []string) []Result {
 	var out []Result
 	for _, v := range rep.Violations {
 		res := Result{Status: ResultError, Code: CodeViolation, Title: v.String()}
 		if v.Prov != nil {
 			res.Content = v.Explain()
+		}
+		if m := matchCandidates(lint, v.Kind()); len(m) > 0 {
+			if res.Content != "" {
+				res.Content += "\n"
+			}
+			res.Content += "confirms static candidate:\n  " + strings.Join(m, "\n  ")
 		}
 		out = append(out, res)
 	}
@@ -280,6 +304,25 @@ func buildResults(rep avd.Report, partial bool) []Result {
 	}
 	if len(out) == 0 && !partial {
 		out = append(out, Result{Status: ResultSuccess, Code: CodeOK, Title: "no atomicity violations"})
+	}
+	return out
+}
+
+// matchCandidates returns the staticavd candidate messages whose
+// predicted access pattern matches a dynamic violation's kind. Traces
+// carry no variable names, so the join is by pattern: the candidate
+// message embeds `pattern R-W-R`-style text produced by the same
+// automaton vocabulary the checker's Kind() uses.
+func matchCandidates(lint []string, kind string) []string {
+	if len(lint) == 0 || kind == "" {
+		return nil
+	}
+	var out []string
+	needle := "pattern " + kind
+	for _, msg := range lint {
+		if strings.Contains(msg, needle) {
+			out = append(out, msg)
+		}
 	}
 	return out
 }

@@ -56,6 +56,19 @@ type Config struct {
 	// instantly with the memoized report instead of re-running the
 	// analysis. 0 means 256; negative disables the cache.
 	ReportCacheSize int
+	// SnapshotInterval paces the periodic live-analysis frames on a
+	// running run's event stream (0 = 250 ms). Frames are generated only
+	// while someone is subscribed.
+	SnapshotInterval time.Duration
+	// WebhookURL, when set, enables violation notifications: every
+	// ERROR finding of a terminal run is POSTed to this URL as JSON,
+	// with jittered-backoff retry and delivery counters on /metrics.
+	WebhookURL string
+	// WebhookQueue bounds the pending-notification queue; deliveries
+	// beyond it are dropped and counted (0 = 256).
+	WebhookQueue int
+	// WebhookAttempts caps delivery attempts per notification (0 = 3).
+	WebhookAttempts int
 	// Chaos enables deterministic fault injection in the service layer
 	// (worker crashes, admission rejections); the zero value disables
 	// it.
@@ -97,6 +110,15 @@ func (c Config) withDefaults() Config {
 	if c.ReportCacheSize == 0 {
 		c.ReportCacheSize = 256
 	}
+	if c.SnapshotInterval <= 0 {
+		c.SnapshotInterval = 250 * time.Millisecond
+	}
+	if c.WebhookQueue <= 0 {
+		c.WebhookQueue = 256
+	}
+	if c.WebhookAttempts <= 0 {
+		c.WebhookAttempts = 3
+	}
 	return c
 }
 
@@ -119,6 +141,36 @@ type Metrics struct {
 	inFlight       obs.Gauge
 	queued         obs.Gauge // all shards combined
 	perShardQueued []obs.Gauge
+
+	// Live-stream plane: current SSE subscribers and snapshot frames
+	// dropped to slow ones.
+	streamSubs          obs.Gauge
+	streamDroppedFrames atomic.Int64
+
+	// Webhook delivery counters (zero unless Config.WebhookURL is set).
+	webhookDelivered atomic.Int64
+	webhookFailed    atomic.Int64
+	webhookDropped   atomic.Int64
+
+	// Analysis aggregates: per-run terminal report counters folded into
+	// server-wide totals when a run that actually executed finishes
+	// (cache hits fold nothing — no analysis ran). These mirror the
+	// fields of a run's Snapshot/Report on /metrics.
+	anViolations      atomic.Int64
+	anDrops           atomic.Int64
+	anTaskPanics      atomic.Int64
+	anLocations       atomic.Int64
+	anFilterHits      atomic.Int64
+	anFilterMisses    atomic.Int64
+	anBatchFlushes    atomic.Int64
+	anBatchedAccesses atomic.Int64
+	anWindowElisions  atomic.Int64
+
+	// Run-latency histograms: time spent queued (admit to first
+	// execution) and executing (first execution to terminal), in
+	// nanoseconds, exposed on /metrics in seconds.
+	queueWait   obs.Histogram
+	runDuration obs.Histogram
 }
 
 // MetricsView is the JSON snapshot of Metrics.
@@ -144,6 +196,25 @@ type MetricsView struct {
 	ReportCacheHits    int64 `json:"report_cache_hits"`
 	ReportCacheMisses  int64 `json:"report_cache_misses"`
 	ReportCacheEntries int64 `json:"report_cache_entries"`
+	// Live-stream gauges: current SSE subscribers and snapshot frames
+	// dropped to slow ones.
+	StreamSubscribers   int64 `json:"stream_subscribers"`
+	StreamDroppedFrames int64 `json:"stream_dropped_frames"`
+	// Webhook delivery counters (zero unless a webhook is configured).
+	WebhookDelivered int64 `json:"webhook_delivered"`
+	WebhookFailed    int64 `json:"webhook_failed"`
+	WebhookDropped   int64 `json:"webhook_dropped"`
+	// Analysis aggregates: terminal-report counters of every executed
+	// run folded into server totals.
+	AnalysisViolations      int64 `json:"analysis_violations"`
+	AnalysisDrops           int64 `json:"analysis_drops"`
+	AnalysisTaskPanics      int64 `json:"analysis_task_panics"`
+	AnalysisLocations       int64 `json:"analysis_locations"`
+	AnalysisFilterHits      int64 `json:"analysis_filter_hits"`
+	AnalysisFilterMisses    int64 `json:"analysis_filter_misses"`
+	AnalysisBatchFlushes    int64 `json:"analysis_batch_flushes"`
+	AnalysisBatchedAccesses int64 `json:"analysis_batched_accesses"`
+	AnalysisWindowElisions  int64 `json:"analysis_window_elisions"`
 }
 
 // view snapshots the metrics.
@@ -170,6 +241,23 @@ func (m *Metrics) view() MetricsView {
 		QueuedPerShard:    per,
 		ReportCacheHits:   m.cacheHits.Load(),
 		ReportCacheMisses: m.cacheMisses.Load(),
+
+		StreamSubscribers:   m.streamSubs.Load(),
+		StreamDroppedFrames: m.streamDroppedFrames.Load(),
+
+		WebhookDelivered: m.webhookDelivered.Load(),
+		WebhookFailed:    m.webhookFailed.Load(),
+		WebhookDropped:   m.webhookDropped.Load(),
+
+		AnalysisViolations:      m.anViolations.Load(),
+		AnalysisDrops:           m.anDrops.Load(),
+		AnalysisTaskPanics:      m.anTaskPanics.Load(),
+		AnalysisLocations:       m.anLocations.Load(),
+		AnalysisFilterHits:      m.anFilterHits.Load(),
+		AnalysisFilterMisses:    m.anFilterMisses.Load(),
+		AnalysisBatchFlushes:    m.anBatchFlushes.Load(),
+		AnalysisBatchedAccesses: m.anBatchedAccesses.Load(),
+		AnalysisWindowElisions:  m.anWindowElisions.Load(),
 	}
 }
 
@@ -192,6 +280,11 @@ type Service struct {
 	wg      sync.WaitGroup
 	metrics Metrics
 
+	// registry names every metric for the Prometheus /metrics endpoint.
+	registry *obs.Registry
+	// webhook delivers per-finding notifications (nil unless configured).
+	webhook *webhookSender
+
 	// drainCancel cancels every in-flight run when the drain deadline
 	// passes.
 	draining atomic.Bool
@@ -213,7 +306,17 @@ func New(cfg Config) *Service {
 		s.wg.Add(1)
 		go s.worker(i)
 	}
+	s.registry = s.buildRegistry()
+	if cfg.WebhookURL != "" {
+		s.webhook = newWebhookSender(cfg, &s.metrics)
+	}
 	return s
+}
+
+// newHub creates a run's stream hub, folding its drop and subscriber
+// accounting into the service metrics.
+func (s *Service) newHub() *streamHub {
+	return newStreamHub(&s.metrics.streamDroppedFrames, &s.metrics.streamSubs)
 }
 
 // Metrics returns the current server-level metrics snapshot.
@@ -254,6 +357,15 @@ func (e *AdmitError) Error() string { return e.Msg }
 // service, or an injected chaos rejection refuse the admission with an
 // *AdmitError carrying the client-facing status and Retry-After hint.
 func (s *Service) Admit(tr *avd.Trace, body []byte, opts RunOptions) (*Run, error) {
+	return s.AdmitLint(tr, body, opts, nil)
+}
+
+// AdmitLint is Admit with staticavd candidate messages attached: the
+// run's dynamic findings that confirm a compile-time candidate are
+// annotated with it. Lint-carrying runs bypass the report cache both
+// ways — their findings embed upload-specific annotations that must not
+// leak into (or be served from) the trace-keyed cache.
+func (s *Service) AdmitLint(tr *avd.Trace, body []byte, opts RunOptions, lint []string) (*Run, error) {
 	if _, ok := opts.checkerKind(); !ok {
 		return nil, &AdmitError{Status: 400, Msg: fmt.Sprintf("unknown checker %q", opts.Checker)}
 	}
@@ -273,7 +385,7 @@ func (s *Service) Admit(tr *avd.Trace, body []byte, opts RunOptions) (*Run, erro
 	// The cache probe runs after the chaos draw so fault-injection
 	// decision streams see the same admission ordinals whether or not
 	// earlier identical traces were cached.
-	cacheable := s.cfg.ReportCacheSize > 0
+	cacheable := s.cfg.ReportCacheSize > 0 && len(lint) == 0
 	var key cacheKey
 	if cacheable {
 		key = keyFor(body, opts)
@@ -309,6 +421,7 @@ func (s *Service) Admit(tr *avd.Trace, body []byte, opts RunOptions) (*Run, erro
 				finished: now,
 				report:   e.report,
 				results:  append([]Result(nil), e.results...),
+				hub:      s.newHub(),
 			}
 			s.runs[run.id] = run
 			s.order = append(s.order, run.id)
@@ -316,6 +429,16 @@ func (s *Service) Admit(tr *avd.Trace, body []byte, opts RunOptions) (*Run, erro
 			s.metrics.admitted.Add(1)
 			s.metrics.cacheHits.Add(1)
 			s.metrics.done.Add(1)
+			// The stream of a cache-served run replays the memoized
+			// outcome: violations with their triple identity straight from
+			// the report (so reduction still matches /report), then the
+			// remaining findings and the terminal transition.
+			run.hub.publish(StreamEvent{Kind: EventState, Status: StatusSubmitted})
+			publishReportViolations(run.hub, run.report)
+			publishResults(run.hub, run.results, true)
+			run.hub.publish(StreamEvent{Kind: EventState, Status: StatusDone})
+			run.hub.close()
+			s.notifyFindings(run, run.results)
 			return run, nil
 		}
 	}
@@ -330,6 +453,8 @@ func (s *Service) Admit(tr *avd.Trace, body []byte, opts RunOptions) (*Run, erro
 		created: time.Now(),
 		ckey:    key,
 		cacheOK: cacheable,
+		hub:     s.newHub(),
+		lint:    lint,
 	}
 	// Enqueue under the registry lock so drain's queue close cannot race
 	// the send; the channel send is non-blocking either way.
@@ -349,6 +474,7 @@ func (s *Service) Admit(tr *avd.Trace, body []byte, opts RunOptions) (*Run, erro
 	}
 	s.metrics.queued.Add(1)
 	s.metrics.perShardQueued[shard].Add(1)
+	run.hub.publish(StreamEvent{Kind: EventState, Status: StatusSubmitted})
 	return run, nil
 }
 
@@ -406,6 +532,9 @@ func (s *Service) Cancel(id int64) (Status, bool) {
 		r.finished = time.Now()
 		r.results = []Result{{Status: ResultWarn, Code: CodePartial, Title: "canceled before start"}}
 		s.metrics.canceled.Add(1)
+		publishResults(r.hub, r.results, false)
+		r.hub.publish(StreamEvent{Kind: EventState, Status: StatusCanceled})
+		r.hub.close()
 	case StatusRunning:
 		if r.cancel != nil {
 			r.cancel()

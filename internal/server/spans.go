@@ -1,0 +1,49 @@
+package server
+
+import (
+	"net/http"
+	"time"
+
+	"github.com/taskpar/avd/internal/trace"
+)
+
+// RunSpans snapshots every registered run's lifecycle timestamps for
+// the Perfetto server timeline.
+func (s *Service) RunSpans() []trace.RunSpan {
+	runs := s.Runs()
+	spans := make([]trace.RunSpan, 0, len(runs))
+	for _, r := range runs {
+		r.mu.Lock()
+		sp := trace.RunSpan{
+			ID:         r.id,
+			Shard:      r.shard,
+			Status:     string(r.status),
+			Attempts:   r.attempts,
+			Created:    r.created.UnixNano(),
+			Violations: r.report.ViolationCount,
+		}
+		if !r.started.IsZero() {
+			sp.Started = r.started.UnixNano()
+		}
+		if !r.finished.IsZero() {
+			sp.Finished = r.finished.UnixNano()
+		}
+		r.mu.Unlock()
+		spans = append(spans, sp)
+	}
+	return spans
+}
+
+// handleSpans serves GET /debug/avd/spans: the run lifecycles as a
+// Chrome trace-event / Perfetto JSON timeline — SUBMITTED→queued→
+// RUNNING→terminal per run, one track per shard. Load it at
+// https://ui.perfetto.dev. ?raw=1 returns the span records themselves
+// (JSON array), the form avd-viz -spans converts offline.
+func (s *Service) handleSpans(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("raw") != "" {
+		writeJSON(w, http.StatusOK, s.RunSpans())
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = trace.ExportRunSpans(s.RunSpans(), time.Now().UnixNano(), w)
+}

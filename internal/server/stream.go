@@ -1,0 +1,429 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	avd "github.com/taskpar/avd"
+)
+
+// Stream event kinds on the per-run SSE endpoint.
+const (
+	// EventState announces a lifecycle transition (and, for RUNNING, the
+	// attempt number).
+	EventState = "state"
+	// EventFinding carries one finding: violations stream live while the
+	// run executes, the remaining findings (saturation, interruption,
+	// success) arrive with the terminal transition.
+	EventFinding = "finding"
+	// EventSnapshot is a periodic live-analysis frame while the run
+	// executes. Snapshot frames are ephemeral: slow subscribers miss
+	// frames rather than delay anyone, and reducing the stream ignores
+	// them.
+	EventSnapshot = "snapshot"
+	// EventReset invalidates previously streamed findings: the attempt
+	// that produced them crashed and the run is being re-executed (or
+	// failed for good). Reducers clear their accumulated findings.
+	EventReset = "reset"
+)
+
+// StreamFinding is the payload of a finding event: the finding itself
+// plus, for violations, the triple identity the canonical report is
+// deduplicated and ordered by. Carrying the identity on the wire is
+// what lets a consumer reduce the live stream to the exact bytes of
+// GET /report without re-running the analysis.
+type StreamFinding struct {
+	Result
+	Loc             int64 `json:"loc,omitempty"`
+	PatternStep     int64 `json:"pattern_step,omitempty"`
+	InterleaverStep int64 `json:"interleaver_step,omitempty"`
+	// Pattern is the triple kind ("R-W-R"); the order tiebreaker.
+	Pattern string `json:"pattern,omitempty"`
+}
+
+// StreamEvent is one event of a run's live stream. Exactly one of the
+// payload fields is set, selected by Kind.
+type StreamEvent struct {
+	Kind string `json:"kind"`
+	// State payload.
+	Status  Status `json:"status,omitempty"`
+	Attempt int    `json:"attempt,omitempty"`
+	// Finding payload.
+	Finding *StreamFinding `json:"finding,omitempty"`
+	// Snapshot payload.
+	Live *liveStats `json:"live,omitempty"`
+}
+
+// streamSub is one subscriber's mailbox: wake signals durable-log
+// growth or closure, snap carries droppable snapshot frames.
+type streamSub struct {
+	wake chan struct{}
+	snap chan StreamEvent
+}
+
+// notify is a non-blocking wake signal.
+func (s *streamSub) notify() {
+	select {
+	case s.wake <- struct{}{}:
+	default:
+	}
+}
+
+// streamHub is the bounded per-run broadcast plane. Durable events
+// (state transitions, findings, resets) append to an in-memory log that
+// subscribers drain at their own pace by cursor — the publisher (the
+// checker's observer callback, the lifecycle code) never blocks and
+// never waits for a subscriber. The log is naturally bounded: findings
+// are capped by the reporter's retention and MaxViolations, state
+// transitions by the attempts cap. Snapshot frames bypass the log
+// through a one-deep droppable mailbox per subscriber: a slow consumer
+// loses frames (counted in droppedFrames), never delays the run.
+type streamHub struct {
+	mu     sync.Mutex
+	log    []StreamEvent
+	subs   map[*streamSub]struct{}
+	closed bool
+
+	// droppedFrames and subscribers alias the service-level metrics so
+	// every hub folds into /metrics without holding a Service reference.
+	droppedFrames *atomic.Int64
+	subscribers   interface{ Add(int64) int64 }
+}
+
+func newStreamHub(dropped *atomic.Int64, subscribers interface{ Add(int64) int64 }) *streamHub {
+	return &streamHub{
+		subs:          make(map[*streamSub]struct{}),
+		droppedFrames: dropped,
+		subscribers:   subscribers,
+	}
+}
+
+// publish appends one durable event and wakes subscribers. Safe to call
+// with a Run's mutex held (the hub lock is a leaf).
+func (h *streamHub) publish(ev StreamEvent) {
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		return
+	}
+	h.log = append(h.log, ev)
+	for sub := range h.subs {
+		sub.notify()
+	}
+	h.mu.Unlock()
+}
+
+// publishSnapshot offers an ephemeral frame to every current
+// subscriber, dropping it wherever the previous frame is still unread.
+func (h *streamHub) publishSnapshot(ev StreamEvent) {
+	h.mu.Lock()
+	for sub := range h.subs {
+		select {
+		case sub.snap <- ev:
+		default:
+			if h.droppedFrames != nil {
+				h.droppedFrames.Add(1)
+			}
+		}
+	}
+	h.mu.Unlock()
+}
+
+// close marks the stream complete (the terminal state event must
+// already be published); subscribers drain the log and end.
+func (h *streamHub) close() {
+	h.mu.Lock()
+	h.closed = true
+	for sub := range h.subs {
+		sub.notify()
+	}
+	h.mu.Unlock()
+}
+
+// hasSubscribers reports whether anyone is listening, so the snapshot
+// ticker can idle when nobody is.
+func (h *streamHub) hasSubscribers() bool {
+	h.mu.Lock()
+	n := len(h.subs)
+	h.mu.Unlock()
+	return n > 0
+}
+
+// subscribe registers a mailbox; the caller must unsubscribe.
+func (h *streamHub) subscribe() *streamSub {
+	sub := &streamSub{wake: make(chan struct{}, 1), snap: make(chan StreamEvent, 1)}
+	h.mu.Lock()
+	h.subs[sub] = struct{}{}
+	h.mu.Unlock()
+	if h.subscribers != nil {
+		h.subscribers.Add(1)
+	}
+	return sub
+}
+
+func (h *streamHub) unsubscribe(sub *streamSub) {
+	h.mu.Lock()
+	delete(h.subs, sub)
+	h.mu.Unlock()
+	if h.subscribers != nil {
+		h.subscribers.Add(-1)
+	}
+}
+
+// next returns the durable event at cursor if available, and whether
+// the stream is complete (closed with the log fully consumed).
+func (h *streamHub) next(cursor int) (ev StreamEvent, ok, done bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if cursor < len(h.log) {
+		return h.log[cursor], true, false
+	}
+	return StreamEvent{}, false, h.closed
+}
+
+// streamFinding converts a live violation into its stream payload.
+func streamFinding(v avd.Violation) *StreamFinding {
+	f := &StreamFinding{
+		Result: Result{
+			Status: ResultError,
+			Code:   CodeViolation,
+			Title:  v.String(),
+		},
+		Loc:             int64(v.Loc),
+		PatternStep:     int64(v.PatternStep),
+		InterleaverStep: int64(v.InterleaverStep),
+		Pattern:         v.Kind(),
+	}
+	if v.Prov != nil {
+		f.Content = v.Explain()
+	}
+	return f
+}
+
+// publishResults publishes findings of a terminal run. When
+// skipViolations is set the violation findings are omitted — they
+// already streamed live from the checker while the run executed.
+func publishResults(h *streamHub, results []Result, skipViolations bool) {
+	for _, res := range results {
+		if skipViolations && res.Code == CodeViolation {
+			continue
+		}
+		res := res
+		h.publish(StreamEvent{Kind: EventFinding, Finding: &StreamFinding{Result: res}})
+	}
+}
+
+// publishReportViolations publishes the violations of a completed
+// report with their triple identity — the cache-hit admission path,
+// where no live stream ever ran.
+func publishReportViolations(h *streamHub, rep avd.Report) {
+	for _, v := range rep.Violations {
+		h.publish(StreamEvent{Kind: EventFinding, Finding: streamFinding(v)})
+	}
+}
+
+// handleEvents serves GET /v1/checkruns/{id}/events: the run's live
+// event stream as server-sent events. Durable events (state, finding,
+// reset) carry their log index as the SSE id; snapshot frames are
+// unnumbered. The stream ends (EOF) once the run is terminal and the
+// log is drained, so consuming it to completion is bounded.
+func (s *Service) handleEvents(w http.ResponseWriter, r *http.Request) {
+	run := s.pathRun(w, r)
+	if run == nil {
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeJSON(w, http.StatusInternalServerError, errorBody{Error: "streaming unsupported"})
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+
+	hub := run.hub
+	sub := hub.subscribe()
+	defer hub.unsubscribe(sub)
+	cursor := 0
+	for {
+		ev, ok, done := hub.next(cursor)
+		if ok {
+			if err := writeSSE(w, ev.Kind, cursor, ev); err != nil {
+				return
+			}
+			cursor++
+			fl.Flush()
+			continue
+		}
+		if done {
+			return
+		}
+		select {
+		case <-sub.wake:
+		case snap := <-sub.snap:
+			if err := writeSSE(w, snap.Kind, -1, snap); err != nil {
+				return
+			}
+			fl.Flush()
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// writeSSE frames one event; id < 0 omits the id field (ephemeral
+// frames are not part of the durable sequence).
+func writeSSE(w io.Writer, event string, id int, payload any) error {
+	data, err := json.Marshal(payload)
+	if err != nil {
+		return err
+	}
+	if id >= 0 {
+		_, err = fmt.Fprintf(w, "event: %s\nid: %d\ndata: %s\n\n", event, id, data)
+	} else {
+		_, err = fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, data)
+	}
+	return err
+}
+
+// DecodeSSE reads a server-sent-event stream, invoking fn for every
+// event with its name and data payload. It returns on EOF or the first
+// fn error.
+func DecodeSSE(r io.Reader, fn func(event string, data []byte) error) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64<<10), 4<<20)
+	var event string
+	var data bytes.Buffer
+	flush := func() error {
+		if event == "" && data.Len() == 0 {
+			return nil
+		}
+		err := fn(event, data.Bytes())
+		event = ""
+		data.Reset()
+		return err
+	}
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case line == "":
+			if err := flush(); err != nil {
+				return err
+			}
+		case strings.HasPrefix(line, "event:"):
+			event = strings.TrimSpace(strings.TrimPrefix(line, "event:"))
+		case strings.HasPrefix(line, "data:"):
+			data.WriteString(strings.TrimSpace(strings.TrimPrefix(line, "data:")))
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	return flush()
+}
+
+// ReduceStream folds a complete SSE event stream back into the
+// canonical text report of the run: violation findings are
+// deduplicated by triple identity and ordered exactly as the reporter
+// orders them (location, pattern step, interleaver step, kind), reset
+// events discard findings of crashed attempts, and everything else
+// (snapshots, state transitions, non-violation findings) is ignored.
+// For a terminal run the result is byte-identical to GET /report —
+// the CI-enforced equivalence that makes the live stream trustworthy.
+// (Exactness holds while the run's distinct violations fit the
+// reporter's retention limit, 65536 by default; beyond it the report
+// truncates and the stream does not.)
+func ReduceStream(r io.Reader) ([]byte, error) {
+	type key struct {
+		loc, pat, inter int64
+		kind            string
+	}
+	type entry struct {
+		key   key
+		title string
+	}
+	var entries []entry
+	seen := make(map[key]struct{})
+	err := DecodeSSE(r, func(event string, data []byte) error {
+		switch event {
+		case EventReset:
+			entries = entries[:0]
+			seen = make(map[key]struct{})
+		case EventFinding:
+			var ev StreamEvent
+			if err := json.Unmarshal(data, &ev); err != nil {
+				return fmt.Errorf("bad finding payload: %w", err)
+			}
+			f := ev.Finding
+			if f == nil || f.Code != CodeViolation || f.Pattern == "" {
+				return nil
+			}
+			k := key{f.Loc, f.PatternStep, f.InterleaverStep, f.Pattern}
+			if _, dup := seen[k]; dup {
+				return nil
+			}
+			seen[k] = struct{}{}
+			entries = append(entries, entry{key: k, title: f.Title})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		a, b := entries[i].key, entries[j].key
+		if a.loc != b.loc {
+			return a.loc < b.loc
+		}
+		if a.pat != b.pat {
+			return a.pat < b.pat
+		}
+		if a.inter != b.inter {
+			return a.inter < b.inter
+		}
+		return a.kind < b.kind
+	})
+	var buf bytes.Buffer
+	for _, e := range entries {
+		fmt.Fprintln(&buf, e.title)
+	}
+	return buf.Bytes(), nil
+}
+
+// snapshotLoop publishes periodic live-analysis frames for a running
+// run until ctx is done. Frames are only generated while someone is
+// subscribed — an unwatched run pays nothing beyond the ticker.
+func (s *Service) snapshotLoop(ctx interface{ Done() <-chan struct{} }, run *Run) {
+	interval := s.cfg.SnapshotInterval
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			if !run.hub.hasSubscribers() {
+				continue
+			}
+			run.mu.Lock()
+			rp := run.replayer
+			run.mu.Unlock()
+			if rp == nil {
+				continue
+			}
+			snap := rp.Snapshot()
+			run.hub.publishSnapshot(StreamEvent{Kind: EventSnapshot, Live: newLiveStats(snap)})
+		}
+	}
+}

@@ -1,0 +1,174 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// WebhookPayload is the JSON body of one webhook delivery: the run it
+// belongs to and the ERROR finding being reported. Violations carry
+// their full Explain() provenance in Finding.Content, so a receiver can
+// file the report without calling back.
+type WebhookPayload struct {
+	RunID   int64  `json:"run_id"`
+	Status  Status `json:"status"`
+	Shard   int    `json:"shard"`
+	Finding Result `json:"finding"`
+}
+
+// webhookSender fans terminal ERROR findings out to the configured URL
+// from a single delivery goroutine, decoupled from the run lifecycle by
+// a bounded queue: a slow or dead receiver never delays a worker, and
+// notifications beyond the queue bound are dropped and counted rather
+// than accumulated. Deliveries are retried with the same jittered
+// exponential backoff discipline the run retry loop uses.
+type webhookSender struct {
+	url      string
+	attempts int
+	backoff  time.Duration
+	client   *http.Client
+	m        *Metrics
+
+	ch   chan WebhookPayload
+	done chan struct{}
+	stop sync.Once
+}
+
+// newWebhookSender starts the delivery goroutine.
+func newWebhookSender(cfg Config, m *Metrics) *webhookSender {
+	w := &webhookSender{
+		url:      cfg.WebhookURL,
+		attempts: cfg.WebhookAttempts,
+		backoff:  cfg.RetryBackoff,
+		client:   &http.Client{Timeout: 10 * time.Second},
+		m:        m,
+		ch:       make(chan WebhookPayload, cfg.WebhookQueue),
+		done:     make(chan struct{}),
+	}
+	go w.loop()
+	return w
+}
+
+// enqueue offers one notification without blocking; overflow is dropped
+// and counted.
+func (w *webhookSender) enqueue(p WebhookPayload) {
+	select {
+	case w.ch <- p:
+	default:
+		w.m.webhookDropped.Add(1)
+	}
+}
+
+// close stops intake and waits for the queued deliveries to be
+// attempted.
+func (w *webhookSender) close() {
+	w.stop.Do(func() { close(w.ch) })
+	<-w.done
+}
+
+// loop drains the queue, delivering each notification with retries.
+func (w *webhookSender) loop() {
+	defer close(w.done)
+	for p := range w.ch {
+		if w.deliver(p) {
+			w.m.webhookDelivered.Add(1)
+		} else {
+			w.m.webhookFailed.Add(1)
+		}
+	}
+}
+
+// deliver POSTs one payload, retrying transient failures (transport
+// errors, 5xx, 429) with jittered exponential backoff. Other client
+// errors (4xx) are permanent: the receiver understood and refused.
+func (w *webhookSender) deliver(p WebhookPayload) bool {
+	body, err := json.Marshal(p)
+	if err != nil {
+		return false
+	}
+	for attempt := 1; ; attempt++ {
+		ok, retryable := w.post(body)
+		if ok {
+			return true
+		}
+		if !retryable || attempt >= w.attempts {
+			return false
+		}
+		time.Sleep(w.retryDelay(p.RunID, attempt))
+	}
+}
+
+// post performs one delivery attempt.
+func (w *webhookSender) post(body []byte) (ok, retryable bool) {
+	resp, err := w.client.Post(w.url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return false, true
+	}
+	defer resp.Body.Close()
+	switch {
+	case resp.StatusCode >= 200 && resp.StatusCode < 300:
+		return true, false
+	case resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode >= 500:
+		return false, true
+	default:
+		return false, false
+	}
+}
+
+// retryDelay mirrors Service.backoff: base<<(attempt-1) capped at one
+// second plus deterministic jitter from the (run, attempt) pair.
+func (w *webhookSender) retryDelay(run int64, attempt int) time.Duration {
+	d := w.backoff << uint(attempt-1)
+	if d > time.Second {
+		d = time.Second
+	}
+	h := mix64(uint64(run)<<8 ^ uint64(attempt) ^ 0x9e3779b97f4a7c15)
+	return d + time.Duration(h%uint64(w.backoff))
+}
+
+// notifyFindings enqueues a webhook delivery for every ERROR finding of
+// a terminal run. A no-op unless a webhook is configured.
+func (s *Service) notifyFindings(run *Run, results []Result) {
+	if s.webhook == nil {
+		return
+	}
+	st := run.Status()
+	for _, res := range results {
+		if res.Status != ResultError {
+			continue
+		}
+		s.webhook.enqueue(WebhookPayload{
+			RunID:   run.ID(),
+			Status:  st,
+			Shard:   run.shard,
+			Finding: res,
+		})
+	}
+}
+
+// stopWebhook flushes and stops the webhook sender at the end of drain.
+func (s *Service) stopWebhook() {
+	if s.webhook != nil {
+		s.webhook.close()
+	}
+}
+
+// ValidateWebhookURL reports misconfiguration early: the delivery loop
+// would otherwise discover a bad URL one failed notification at a time.
+func ValidateWebhookURL(raw string) error {
+	if raw == "" {
+		return nil
+	}
+	req, err := http.NewRequest(http.MethodPost, raw, nil)
+	if err != nil {
+		return fmt.Errorf("bad webhook URL %q: %w", raw, err)
+	}
+	if req.URL.Scheme != "http" && req.URL.Scheme != "https" {
+		return fmt.Errorf("bad webhook URL %q: scheme must be http or https", raw)
+	}
+	return nil
+}

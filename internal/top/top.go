@@ -1,0 +1,388 @@
+// Package top renders the avd-serverd observability plane as a live
+// terminal dashboard: a runs table, per-shard queue bars, counter
+// sparklines, and a tail of streamed findings, drawn with plain ANSI
+// box-drawing in the lazydocker panel style. The package is pure
+// presentation — it consumes the server's /debug/avd JSON (or an
+// in-process analysis snapshot) and produces strings — so every panel
+// is unit-testable without a terminal or a server.
+package top
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	avd "github.com/taskpar/avd"
+	"github.com/taskpar/avd/internal/server"
+)
+
+// DebugRun is one run entry of the /debug/avd payload.
+type DebugRun struct {
+	server.View
+	Live *LiveView `json:"live,omitempty"`
+}
+
+// LiveView mirrors the live-analysis snapshot of a RUNNING run.
+type LiveView struct {
+	Locations  int64 `json:"locations"`
+	DPSTNodes  int   `json:"dpst_nodes"`
+	Violations int64 `json:"violations"`
+	Drops      int64 `json:"drops"`
+	MemoryUsed int64 `json:"memory_used"`
+	Saturated  bool  `json:"saturated,omitempty"`
+}
+
+// DebugDoc is the /debug/avd JSON document.
+type DebugDoc struct {
+	Metrics server.MetricsView `json:"metrics"`
+	Runs    []DebugRun         `json:"runs"`
+}
+
+// Frame is the dashboard's input for one refresh.
+type Frame struct {
+	Time    time.Time
+	Source  string
+	Metrics server.MetricsView
+	Runs    []DebugRun
+}
+
+// FrameFromSnapshot adapts one in-process analysis snapshot (a harness
+// LiveSession, say) into a single-run frame, so the dashboard renders
+// local runs with the same panels it uses against a server.
+func FrameFromSnapshot(snap avd.Snapshot, source string, now time.Time) Frame {
+	dr := DebugRun{
+		View: server.View{ID: 1, Status: server.StatusRunning, Violations: snap.ViolationCount, Saturated: snap.Saturated},
+		Live: &LiveView{
+			Locations:  snap.Stats.Locations,
+			DPSTNodes:  snap.Stats.DPSTNodes,
+			Violations: snap.ViolationCount,
+			Drops:      snap.Events.Drops,
+			MemoryUsed: snap.MemoryUsed,
+			Saturated:  snap.Saturated,
+		},
+	}
+	return Frame{
+		Time:   now,
+		Source: source,
+		Metrics: server.MetricsView{
+			InFlight:           1,
+			AnalysisViolations: snap.ViolationCount,
+			AnalysisDrops: snap.Drops.Locations + snap.Drops.Labels +
+				snap.Drops.LCAEntries + snap.Drops.Violations,
+			AnalysisLocations:       snap.Stats.Locations,
+			AnalysisFilterHits:      snap.Stats.FilterHits,
+			AnalysisFilterMisses:    snap.Stats.FilterMisses,
+			AnalysisBatchFlushes:    snap.Stats.BatchFlushes,
+			AnalysisBatchedAccesses: snap.Stats.BatchedAccesses,
+			AnalysisWindowElisions:  snap.Stats.WindowElisions,
+			QueuedPerShard:          []int64{},
+		},
+		Runs: []DebugRun{dr},
+	}
+}
+
+// sparkRunes is the eight-level bar alphabet of the sparklines.
+var sparkRunes = []rune("▁▂▃▄▅▆▇█")
+
+// Sparkline renders vals as a fixed-width unicode bar chart, scaled to
+// the series maximum; the most recent value is rightmost. Empty or
+// all-zero input renders as flat baseline bars.
+func Sparkline(vals []int64, width int) string {
+	if width <= 0 {
+		return ""
+	}
+	if len(vals) > width {
+		vals = vals[len(vals)-width:]
+	}
+	var max int64
+	for _, v := range vals {
+		if v > max {
+			max = v
+		}
+	}
+	var b strings.Builder
+	for i := 0; i < width-len(vals); i++ {
+		b.WriteByte(' ')
+	}
+	for _, v := range vals {
+		if v < 0 {
+			v = 0
+		}
+		idx := 0
+		if max > 0 {
+			idx = int(v * int64(len(sparkRunes)-1) / max)
+		}
+		b.WriteRune(sparkRunes[idx])
+	}
+	return b.String()
+}
+
+// history is one bounded sparkline series.
+type history struct {
+	vals []int64
+	cap  int
+}
+
+func (h *history) push(v int64) {
+	h.vals = append(h.vals, v)
+	if len(h.vals) > h.cap {
+		h.vals = h.vals[len(h.vals)-h.cap:]
+	}
+}
+
+// Dash accumulates frames and findings and renders the dashboard. Safe
+// for concurrent Observe/AddFinding/Render — the poller, the SSE
+// consumers, and the draw loop run on different goroutines.
+type Dash struct {
+	mu       sync.Mutex
+	frame    Frame
+	haveF    bool
+	hist     map[string]*history
+	findings []string
+	maxTail  int
+
+	// NoColor disables ANSI color sequences (tests, dumb terminals).
+	NoColor bool
+}
+
+// NewDash creates an empty dashboard with a findings tail bounded to
+// maxTail lines.
+func NewDash(maxTail int) *Dash {
+	if maxTail <= 0 {
+		maxTail = 64
+	}
+	return &Dash{hist: make(map[string]*history), maxTail: maxTail}
+}
+
+// Observe ingests one refresh frame, extending the sparkline series.
+func (d *Dash) Observe(f Frame) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.frame = f
+	d.haveF = true
+	m := f.Metrics
+	for _, s := range []struct {
+		name string
+		v    int64
+	}{
+		{"in-flight", m.InFlight},
+		{"queued", m.Queued},
+		{"violations", m.AnalysisViolations},
+		{"admitted", m.Admitted},
+		{"done", m.Done},
+		{"cache hits", m.ReportCacheHits},
+		{"stream subs", m.StreamSubscribers},
+	} {
+		h := d.hist[s.name]
+		if h == nil {
+			h = &history{cap: 120}
+			d.hist[s.name] = h
+		}
+		h.push(s.v)
+	}
+}
+
+// AddFinding appends one streamed finding line to the tail.
+func (d *Dash) AddFinding(line string) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.findings = append(d.findings, line)
+	if len(d.findings) > d.maxTail {
+		d.findings = d.findings[len(d.findings)-d.maxTail:]
+	}
+}
+
+// ANSI helpers.
+const (
+	ansiReset = "\x1b[0m"
+	ansiDim   = "\x1b[2m"
+)
+
+// Clear is the ANSI sequence that clears the screen and homes the
+// cursor, prepended to each live redraw.
+const Clear = "\x1b[2J\x1b[H"
+
+func (d *Dash) color(code, s string) string {
+	if d.NoColor {
+		return s
+	}
+	return "\x1b[" + code + "m" + s + ansiReset
+}
+
+func (d *Dash) statusColor(st server.Status) string {
+	switch st {
+	case server.StatusRunning:
+		return d.color("36", string(st))
+	case server.StatusDone:
+		return d.color("32", string(st))
+	case server.StatusFailed:
+		return d.color("31", string(st))
+	case server.StatusCanceled:
+		return d.color("33", string(st))
+	default:
+		if d.NoColor {
+			return string(st)
+		}
+		return ansiDim + string(st) + ansiReset
+	}
+}
+
+// visibleLen measures s without ANSI escape sequences.
+func visibleLen(s string) int {
+	n := 0
+	esc := false
+	for _, r := range s {
+		switch {
+		case esc:
+			if r == 'm' {
+				esc = false
+			}
+		case r == '\x1b':
+			esc = true
+		default:
+			n++
+		}
+	}
+	return n
+}
+
+// panel frames lines in a box of the given inner width with a title.
+func panel(title string, width int, lines []string) []string {
+	top := "┌ " + title + " " + strings.Repeat("─", maxInt(0, width-len([]rune(title))-2)) + "┐"
+	out := []string{top}
+	for _, l := range lines {
+		pad := width - visibleLen(l)
+		if pad < 0 {
+			pad = 0
+		}
+		out = append(out, "│"+l+strings.Repeat(" ", pad)+"│")
+	}
+	out = append(out, "└"+strings.Repeat("─", width)+"┘")
+	return out
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// clip truncates s to the width (rune-aware, ANSI-unaware — callers
+// color only whole clipped cells).
+func clip(s string, width int) string {
+	r := []rune(s)
+	if len(r) <= width {
+		return s
+	}
+	if width <= 1 {
+		return string(r[:width])
+	}
+	return string(r[:width-1]) + "…"
+}
+
+// Render draws the dashboard at the given terminal width. It returns
+// the full screen contents (no clear sequence; the caller decides
+// whether to redraw in place).
+func (d *Dash) Render(width int) string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if width < 40 {
+		width = 40
+	}
+	inner := width - 2
+	var out []string
+
+	f := d.frame
+	m := f.Metrics
+	header := fmt.Sprintf(" avd-top — %s — %s", f.Source, f.Time.Format("15:04:05"))
+	if !d.haveF {
+		header = " avd-top — waiting for first frame"
+	}
+	out = append(out, d.color("1", clip(header, width)))
+
+	// Runs panel: newest first, bounded.
+	var runLines []string
+	runLines = append(runLines, fmt.Sprintf(" %-5s %-10s %-5s %-3s %-6s %-9s %s",
+		"ID", "STATUS", "SHARD", "ATT", "VIOL", "TRACE", "LIVE"))
+	runs := f.Runs
+	const maxRuns = 12
+	if len(runs) > maxRuns {
+		runs = runs[len(runs)-maxRuns:]
+	}
+	for i := len(runs) - 1; i >= 0; i-- {
+		r := runs[i]
+		live := ""
+		if r.Live != nil {
+			live = fmt.Sprintf("locs=%d nodes=%d viol=%d", r.Live.Locations, r.Live.DPSTNodes, r.Live.Violations)
+			if r.Live.Saturated {
+				live += " SAT"
+			}
+		}
+		pad := 10 - len(string(r.Status))
+		if pad < 0 {
+			pad = 0
+		}
+		line := fmt.Sprintf(" %-5d %s%s %-5d %-3d %-6d %-9d %s",
+			r.ID, d.statusColor(r.Status), strings.Repeat(" ", pad),
+			r.Shard, r.Attempts, r.Violations, r.TraceBytes, live)
+		runLines = append(runLines, clip(line, inner))
+	}
+	out = append(out, panel(fmt.Sprintf("runs (%d)", len(f.Runs)), inner, runLines)...)
+
+	// Shard queues panel.
+	var shardLines []string
+	for i, depth := range m.QueuedPerShard {
+		barW := 24
+		fill := int(depth)
+		if fill > barW {
+			fill = barW
+		}
+		shardLines = append(shardLines, fmt.Sprintf(" shard %-2d [%s%s] %d",
+			i, strings.Repeat("█", fill), strings.Repeat(" ", barW-fill), depth))
+	}
+	if len(shardLines) == 0 {
+		shardLines = []string{" (no shards reported)"}
+	}
+	out = append(out, panel(fmt.Sprintf("shard queues (in-flight %d, queued %d)", m.InFlight, m.Queued), inner, shardLines)...)
+
+	// Counters panel with sparklines.
+	sparkW := 30
+	var counterLines []string
+	for _, name := range []string{"admitted", "done", "in-flight", "queued", "violations", "cache hits", "stream subs"} {
+		h := d.hist[name]
+		var vals []int64
+		if h != nil {
+			vals = h.vals
+		}
+		cur := int64(0)
+		if len(vals) > 0 {
+			cur = vals[len(vals)-1]
+		}
+		counterLines = append(counterLines,
+			clip(fmt.Sprintf(" %-12s %8d  %s", name, cur, Sparkline(vals, sparkW)), inner))
+	}
+	counterLines = append(counterLines, clip(fmt.Sprintf(
+		" %-12s %8d  drops %d panics %d dropped-frames %d webhook %d/%d",
+		"locations", m.AnalysisLocations, m.AnalysisDrops, m.AnalysisTaskPanics,
+		m.StreamDroppedFrames, m.WebhookDelivered, m.WebhookFailed), inner))
+	out = append(out, panel("counters", inner, counterLines)...)
+
+	// Findings tail.
+	tail := d.findings
+	const maxShown = 8
+	if len(tail) > maxShown {
+		tail = tail[len(tail)-maxShown:]
+	}
+	var tailLines []string
+	for _, l := range tail {
+		tailLines = append(tailLines, clip(" "+l, inner))
+	}
+	if len(tailLines) == 0 {
+		tailLines = []string{" (no findings streamed yet)"}
+	}
+	out = append(out, panel(fmt.Sprintf("findings (%d)", len(d.findings)), inner, tailLines)...)
+
+	return strings.Join(out, "\n") + "\n"
+}

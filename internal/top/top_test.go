@@ -1,0 +1,196 @@
+package top
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	avd "github.com/taskpar/avd"
+	"github.com/taskpar/avd/internal/server"
+)
+
+func TestSparkline(t *testing.T) {
+	if got := Sparkline(nil, 5); got != "     " {
+		t.Fatalf("empty series: %q", got)
+	}
+	if got := Sparkline([]int64{0, 0, 0}, 3); got != "▁▁▁" {
+		t.Fatalf("all-zero series: %q", got)
+	}
+	got := Sparkline([]int64{0, 7}, 2)
+	if got != "▁█" {
+		t.Fatalf("min/max: %q", got)
+	}
+	// Longer than width: keeps the most recent values.
+	got = Sparkline([]int64{9, 9, 9, 0, 3}, 2)
+	if got != "▁█" {
+		t.Fatalf("window: %q", got)
+	}
+	// Shorter than width: left-padded with spaces.
+	got = Sparkline([]int64{5}, 3)
+	if got != "  █" {
+		t.Fatalf("padding: %q", got)
+	}
+	if got := Sparkline([]int64{1, 2}, 0); got != "" {
+		t.Fatalf("zero width: %q", got)
+	}
+}
+
+func sampleFrame() Frame {
+	return Frame{
+		Time:   time.Date(2026, 8, 9, 12, 30, 45, 0, time.UTC),
+		Source: "http://localhost:8056",
+		Metrics: server.MetricsView{
+			Admitted:           7,
+			Done:               4,
+			Failed:             1,
+			InFlight:           2,
+			Queued:             3,
+			QueuedPerShard:     []int64{1, 0, 2},
+			ReportCacheHits:    5,
+			AnalysisViolations: 11,
+			AnalysisLocations:  4096,
+			StreamSubscribers:  1,
+		},
+		Runs: []DebugRun{
+			{View: server.View{ID: 1, Status: server.StatusDone, Shard: 0, Attempts: 1, Violations: 3, TraceBytes: 512}},
+			{View: server.View{ID: 2, Status: server.StatusRunning, Shard: 2, Attempts: 2, TraceBytes: 9000},
+				Live: &LiveView{Locations: 128, DPSTNodes: 63, Violations: 4, Saturated: true}},
+		},
+	}
+}
+
+func TestRenderPanels(t *testing.T) {
+	d := NewDash(8)
+	d.NoColor = true
+	d.Observe(sampleFrame())
+	d.AddFinding("run 2 [ERROR] atomicity violation (pattern R-W-R) at location 7")
+
+	out := d.Render(100)
+	for _, want := range []string{
+		"avd-top — http://localhost:8056 — 12:30:45",
+		"runs (2)",
+		"RUNNING",
+		"DONE",
+		"locs=128 nodes=63 viol=4 SAT",
+		"shard queues (in-flight 2, queued 3)",
+		"shard 0",
+		"shard 2",
+		"violations",
+		"findings (1)",
+		"pattern R-W-R",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "\x1b[") {
+		t.Fatalf("NoColor render contains ANSI escapes")
+	}
+}
+
+// Every box line must align: visible width inner+2 for panel rows.
+func TestRenderAlignment(t *testing.T) {
+	for _, noColor := range []bool{true, false} {
+		d := NewDash(8)
+		d.NoColor = noColor
+		d.Observe(sampleFrame())
+		d.AddFinding(strings.Repeat("x", 300)) // must clip, not overflow
+		const width = 80
+		out := d.Render(width)
+		for _, line := range strings.Split(strings.TrimRight(out, "\n"), "\n") {
+			if !strings.HasPrefix(line, "│") && !strings.HasPrefix(line, "┌") && !strings.HasPrefix(line, "└") {
+				continue // header line
+			}
+			if got := visibleLen(line); got != width {
+				t.Fatalf("noColor=%v: line visible width %d, want %d: %q", noColor, got, width, line)
+			}
+		}
+	}
+}
+
+func TestRenderEmptyDash(t *testing.T) {
+	d := NewDash(8)
+	d.NoColor = true
+	out := d.Render(60)
+	for _, want := range []string{
+		"waiting for first frame",
+		"(no shards reported)",
+		"(no findings streamed yet)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("empty render missing %q\n%s", want, out)
+		}
+	}
+}
+
+func TestFindingsTailBounded(t *testing.T) {
+	d := NewDash(4)
+	d.NoColor = true
+	for i := 0; i < 10; i++ {
+		d.AddFinding(strings.Repeat("f", 10) + string(rune('0'+i)))
+	}
+	d.mu.Lock()
+	n := len(d.findings)
+	last := d.findings[len(d.findings)-1]
+	d.mu.Unlock()
+	if n != 4 {
+		t.Fatalf("tail length %d, want 4", n)
+	}
+	if !strings.HasSuffix(last, "9") {
+		t.Fatalf("tail did not keep newest: %q", last)
+	}
+}
+
+// The DebugDoc mirror must round-trip the server's /debug/avd payload:
+// metrics, run views, and the live snapshot subset.
+func TestDebugDocDecode(t *testing.T) {
+	raw := `{
+	 "metrics": {"admitted": 3, "queued_per_shard": [0, 2], "analysis_violations": 9,
+	             "stream_subscribers": 1, "webhook_delivered": 4},
+	 "runs": [
+	  {"id": 1, "status": "DONE", "shard": 0, "trace_bytes": 100, "violations": 2},
+	  {"id": 2, "status": "RUNNING", "shard": 1,
+	   "live": {"locations": 42, "dpst_nodes": 17, "violations": 1, "memory_used": 2048, "saturated": true}}
+	 ]}`
+	var doc DebugDoc
+	if err := json.Unmarshal([]byte(raw), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Metrics.Admitted != 3 || doc.Metrics.AnalysisViolations != 9 || doc.Metrics.WebhookDelivered != 4 {
+		t.Fatalf("metrics: %+v", doc.Metrics)
+	}
+	if len(doc.Runs) != 2 || doc.Runs[0].Status != server.StatusDone || doc.Runs[0].Live != nil {
+		t.Fatalf("runs: %+v", doc.Runs)
+	}
+	live := doc.Runs[1].Live
+	if live == nil || live.Locations != 42 || live.DPSTNodes != 17 || !live.Saturated {
+		t.Fatalf("live: %+v", live)
+	}
+}
+
+func TestFrameFromSnapshot(t *testing.T) {
+	snap := avd.Snapshot{ViolationCount: 5, Saturated: true, MemoryUsed: 1 << 20}
+	snap.Stats.Locations = 99
+	snap.Stats.DPSTNodes = 31
+	snap.Drops.Violations = 2
+	snap.Events.Drops = 2
+	f := FrameFromSnapshot(snap, "demo", time.Unix(0, 0))
+	if len(f.Runs) != 1 || f.Runs[0].Status != server.StatusRunning {
+		t.Fatalf("runs: %+v", f.Runs)
+	}
+	live := f.Runs[0].Live
+	if live.Locations != 99 || live.DPSTNodes != 31 || live.Violations != 5 || !live.Saturated {
+		t.Fatalf("live: %+v", live)
+	}
+	if f.Metrics.AnalysisViolations != 5 || f.Metrics.AnalysisDrops != 2 || f.Metrics.AnalysisLocations != 99 {
+		t.Fatalf("metrics: %+v", f.Metrics)
+	}
+
+	d := NewDash(8)
+	d.NoColor = true
+	d.Observe(f)
+	if out := d.Render(90); !strings.Contains(out, "locs=99 nodes=31 viol=5 SAT") {
+		t.Fatalf("snapshot frame render:\n%s", out)
+	}
+}

@@ -30,11 +30,13 @@ type PerfettoOptions struct {
 
 // perfEvent is one Chrome trace-event record (the JSON the Perfetto UI
 // and chrome://tracing ingest). Ph selects the phase: B/E duration
-// begin/end, i instant, C counter, M metadata.
+// begin/end, b/e async begin/end (ID-matched, may overlap on a track),
+// i instant, C counter, M metadata.
 type perfEvent struct {
 	Name string         `json:"name,omitempty"`
 	Ph   string         `json:"ph"`
 	Cat  string         `json:"cat,omitempty"`
+	ID   string         `json:"id,omitempty"`
 	Ts   float64        `json:"ts"`
 	Pid  int32          `json:"pid"`
 	Tid  int32          `json:"tid"`
@@ -49,10 +51,12 @@ type perfTrace struct {
 	OtherData       map[string]any `json:"otherData,omitempty"`
 }
 
-// Track processes: tasks (DPST view) and workers (execution view).
+// Track processes: tasks (DPST view), workers (execution view), and —
+// for run-span exports — the server timeline (one track per shard).
 const (
 	pidTasks   int32 = 1
 	pidWorkers int32 = 2
+	pidServer  int32 = 3
 )
 
 // violationOverlay replays the trace through the optimized checker and

@@ -1,0 +1,109 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// RunSpan is one server check run's lifecycle timestamps: the span from
+// admission through queueing to a terminal state, as the avd-serverd
+// run registry records it. Times are Unix nanoseconds; a zero Started
+// means the run never executed (canceled while queued, or still
+// waiting), a zero Finished that it has not reached a terminal state.
+type RunSpan struct {
+	ID       int64  `json:"id"`
+	Shard    int    `json:"shard"`
+	Status   string `json:"status"`
+	Attempts int    `json:"attempts,omitempty"`
+	Created  int64  `json:"created_ns"`
+	Started  int64  `json:"started_ns,omitempty"`
+	Finished int64  `json:"finished_ns,omitempty"`
+	// Violations is the run's distinct violation count (terminal runs).
+	Violations int64 `json:"violations,omitempty"`
+}
+
+// ExportRunSpans renders a server run timeline as Chrome trace-event /
+// Perfetto JSON, the same format ExportPerfetto emits for task traces,
+// so avd-viz and the Perfetto UI work unchanged. The server process
+// carries one track per shard: queued phases are async spans (ph "b"/
+// "e", ID-matched per run — many runs wait on one shard concurrently,
+// so they must be allowed to overlap), execution phases are nested B/E
+// spans (a shard worker runs serially, so they never overlap), and
+// terminal transitions are instants named by outcome. now is the
+// export's reference clock in Unix nanoseconds: spans still open are
+// drawn up to it.
+func ExportRunSpans(spans []RunSpan, now int64, w io.Writer) error {
+	ordered := append([]RunSpan(nil), spans...)
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i].ID < ordered[j].ID })
+
+	// Normalize to the earliest admission so timestamps stay readable.
+	base := now
+	for _, sp := range ordered {
+		if sp.Created > 0 && sp.Created < base {
+			base = sp.Created
+		}
+	}
+	ts := func(ns int64) float64 { return float64(ns-base) / 1e3 }
+
+	var out []perfEvent
+	emit := func(e perfEvent) { out = append(out, e) }
+
+	emit(perfEvent{Ph: "M", Name: "process_name", Pid: pidServer, Args: map[string]any{"name": "avd server (runs view)"}})
+	shards := map[int]bool{}
+	for _, sp := range ordered {
+		if !shards[sp.Shard] {
+			shards[sp.Shard] = true
+			emit(perfEvent{Ph: "M", Name: "thread_name", Pid: pidServer, Tid: int32(sp.Shard),
+				Args: map[string]any{"name": fmt.Sprintf("shard %d", sp.Shard)}})
+		}
+	}
+
+	terminal := 0
+	for _, sp := range ordered {
+		name := fmt.Sprintf("run %d", sp.ID)
+		id := fmt.Sprintf("run-%d", sp.ID)
+		tid := int32(sp.Shard)
+		queuedEnd := sp.Started
+		if queuedEnd == 0 {
+			queuedEnd = sp.Finished
+		}
+		if queuedEnd == 0 {
+			queuedEnd = now
+		}
+		emit(perfEvent{Name: name + " queued", Ph: "b", Cat: "queued", ID: id,
+			Ts: ts(sp.Created), Pid: pidServer, Tid: tid})
+		emit(perfEvent{Name: name + " queued", Ph: "e", Cat: "queued", ID: id,
+			Ts: ts(queuedEnd), Pid: pidServer, Tid: tid})
+		if sp.Started > 0 {
+			end := sp.Finished
+			if end == 0 {
+				end = now
+			}
+			emit(perfEvent{Name: name, Ph: "B", Cat: "run", Ts: ts(sp.Started), Pid: pidServer, Tid: tid,
+				Args: map[string]any{
+					"status":     sp.Status,
+					"attempts":   sp.Attempts,
+					"violations": sp.Violations,
+				}})
+			emit(perfEvent{Ph: "E", Ts: ts(end), Pid: pidServer, Tid: tid})
+		}
+		if sp.Finished > 0 {
+			terminal++
+			emit(perfEvent{Name: fmt.Sprintf("%s %s", name, sp.Status), Ph: "i", S: "t",
+				Cat: "lifecycle", Ts: ts(sp.Finished), Pid: pidServer, Tid: tid})
+		}
+	}
+
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(perfTrace{
+		TraceEvents:     out,
+		DisplayTimeUnit: "ms",
+		OtherData: map[string]any{
+			"runs":     len(ordered),
+			"terminal": terminal,
+		},
+	})
+}

@@ -1,0 +1,133 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+func decodeSpanExport(t *testing.T, spans []RunSpan, now int64) perfTrace {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := ExportRunSpans(spans, now, &buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc perfTrace
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	return doc
+}
+
+// Two runs queued concurrently on one shard must export as ID-matched
+// async spans (ph b/e) — B/E duration spans would nest wrongly — while
+// execution spans stay serial B/E and terminal states become instants.
+func TestExportRunSpansOverlappingQueues(t *testing.T) {
+	spans := []RunSpan{
+		{ID: 1, Shard: 0, Status: "DONE", Attempts: 1, Created: 1000, Started: 5000, Finished: 9000, Violations: 2},
+		{ID: 2, Shard: 0, Status: "DONE", Attempts: 2, Created: 2000, Started: 9000, Finished: 12000},
+	}
+	doc := decodeSpanExport(t, spans, 20000)
+
+	var asyncB, asyncE, durB, durE, inst int
+	ids := map[string]int{}
+	for _, ev := range doc.TraceEvents {
+		switch ev.Ph {
+		case "b":
+			asyncB++
+			ids[ev.ID]++
+		case "e":
+			asyncE++
+			ids[ev.ID]++
+		case "B":
+			durB++
+		case "E":
+			durE++
+		case "i":
+			inst++
+		}
+		if ev.Ph != "M" && ev.Pid != pidServer {
+			t.Fatalf("span event on pid %d, want %d: %+v", ev.Pid, pidServer, ev)
+		}
+	}
+	if asyncB != 2 || asyncE != 2 {
+		t.Fatalf("async queued spans b=%d e=%d, want 2/2", asyncB, asyncE)
+	}
+	for id, n := range ids {
+		if n != 2 {
+			t.Fatalf("async span %q has %d events, want matched pair", id, n)
+		}
+	}
+	if durB != 2 || durE != 2 {
+		t.Fatalf("execution spans B=%d E=%d, want 2/2", durB, durE)
+	}
+	if inst != 2 {
+		t.Fatalf("%d terminal instants, want 2", inst)
+	}
+	if doc.OtherData["runs"].(float64) != 2 || doc.OtherData["terminal"].(float64) != 2 {
+		t.Fatalf("otherData: %+v", doc.OtherData)
+	}
+}
+
+// Open runs draw up to the reference clock: a still-queued run gets its
+// async end at now, a still-running one its E at now, and neither emits
+// a terminal instant.
+func TestExportRunSpansOpenRuns(t *testing.T) {
+	const now = 50000
+	spans := []RunSpan{
+		{ID: 3, Shard: 1, Status: "SUBMITTED", Created: 1000},
+		{ID: 4, Shard: 1, Status: "RUNNING", Created: 2000, Started: 3000},
+	}
+	doc := decodeSpanExport(t, spans, now)
+
+	wantTs := float64(now-1000) / 1e3
+	var b, e, inst int
+	for _, ev := range doc.TraceEvents {
+		switch ev.Ph {
+		case "b":
+			b++
+		case "e":
+			e++
+			if ev.ID == "run-3" && ev.Ts != wantTs {
+				t.Fatalf("open queued span ends at %v, want now (%v)", ev.Ts, wantTs)
+			}
+		case "i":
+			inst++
+		case "E":
+			if got := float64(now-1000) / 1e3; ev.Ts != got {
+				t.Fatalf("open execution span ends at %v, want now (%v)", ev.Ts, got)
+			}
+		}
+	}
+	if b != 2 || e != 2 {
+		t.Fatalf("async pairs b=%d e=%d", b, e)
+	}
+	if inst != 0 {
+		t.Fatalf("%d terminal instants for non-terminal runs", inst)
+	}
+	if doc.OtherData["terminal"].(float64) != 0 {
+		t.Fatalf("otherData: %+v", doc.OtherData)
+	}
+}
+
+// Shard thread-name metadata is emitted once per shard, and timestamps
+// normalize to the earliest admission.
+func TestExportRunSpansMetadata(t *testing.T) {
+	spans := []RunSpan{
+		{ID: 1, Shard: 0, Status: "DONE", Created: 7000, Started: 8000, Finished: 9000},
+		{ID: 2, Shard: 2, Status: "DONE", Created: 5000, Started: 6000, Finished: 7000},
+	}
+	doc := decodeSpanExport(t, spans, 10000)
+	threads := map[string]bool{}
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "M" && ev.Name == "thread_name" {
+			threads[ev.Args["name"].(string)] = true
+		}
+		if ev.Ph == "b" && ev.ID == "run-2" && ev.Ts != 0 {
+			t.Fatalf("earliest admission not normalized to 0: %v", ev.Ts)
+		}
+	}
+	if !threads["shard 0"] || !threads["shard 2"] {
+		t.Fatalf("shard tracks missing: %v", threads)
+	}
+}
